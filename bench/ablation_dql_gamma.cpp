@@ -1,0 +1,48 @@
+// Ablation: DQL bootstrap discount γ.
+//
+// The paper's Eq. 4 omits a discount factor; our implementation exposes
+// it (DESIGN.md §5).  This sweep trains DRAS-DQL at several γ values and
+// reports scheduling quality, quantifying how sensitive the published
+// algorithm is to this unstated hyper-parameter.
+#include <iostream>
+
+#include "bench_common.h"
+#include "metrics/report.h"
+#include "util/format.h"
+#include "util/rng.h"
+
+int main() {
+  using dras::util::format;
+  namespace benchx = dras::benchx;
+
+  const auto scenario = benchx::Scenario::theta_mini(15);
+  const auto test_trace = scenario.trace(1000, 151515);
+  const auto reward = scenario.reward();
+
+  benchx::print_preamble("Ablation: DQL discount factor (DRAS-DQL)",
+                         scenario, 1000);
+
+  std::cout << "csv:gamma,avg_wait_s,max_wait_s,utilization\n";
+  std::vector<std::vector<std::string>> table;
+  for (const double gamma : {0.0, 0.9, 0.99, 1.0}) {
+    auto cfg = scenario.preset.agent_config(
+        dras::core::AgentKind::DQL, dras::util::derive_seed(9, "gamma"));
+    cfg.gamma = gamma;
+    dras::core::DrasAgent agent(cfg);
+    benchx::train_dras_agent(agent, scenario, 24, 500);
+    const auto evaluation = dras::train::evaluate(scenario.preset.nodes,
+                                                  test_trace, agent, &reward);
+    table.push_back(
+        {format("gamma={:.2f}", gamma),
+         dras::metrics::format_duration(evaluation.summary.avg_wait),
+         dras::metrics::format_duration(evaluation.summary.max_wait),
+         format("{:.3f}", evaluation.summary.utilization)});
+    std::cout << format("csv:{:.2f},{:.1f},{:.1f},{:.4f}\n", gamma,
+                        evaluation.summary.avg_wait,
+                        evaluation.summary.max_wait,
+                        evaluation.summary.utilization);
+  }
+  dras::metrics::print_table(
+      std::cout, {"gamma", "avg wait", "max wait", "utilization"}, table);
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Extension: the classic priority heuristics vs DRAS.
+//
+// RLScheduler (SC'20, the paper's §II-A related work) benchmarks RL
+// schedulers against hand-tuned priority functions — SJF, WFP3, F1 —
+// rather than only FCFS.  This bench runs that wider roster (all with
+// EASY backfilling) plus a trained DRAS-PG/DQL pair on the capability
+// scenario, giving context for how much of DRAS's margin comes from
+// learning versus from a good hand-tuned priority.
+#include <iostream>
+
+#include "bench_common.h"
+#include "metrics/report.h"
+#include "sched/priority_sched.h"
+#include "util/format.h"
+
+int main() {
+  using dras::util::format;
+  namespace benchx = dras::benchx;
+
+  const auto scenario = benchx::Scenario::theta_mini(16);
+  constexpr std::size_t kTestJobs = 1200;
+  const auto test_trace = scenario.trace(kTestJobs, 161616);
+  const auto reward = scenario.reward();
+
+  benchx::print_preamble("Extension: priority-heuristic roster vs DRAS",
+                         scenario, kTestJobs);
+
+  benchx::MethodSet methods(scenario);
+  methods.train_agents(scenario, 30, 500);
+
+  auto sjf = dras::sched::make_sjf();
+  auto ljf = dras::sched::make_ljf();
+  auto wfp3 = dras::sched::make_wfp3();
+  auto f1 = dras::sched::make_f1();
+  std::vector<dras::sim::Scheduler*> roster = {
+      &methods.fcfs(), &sjf, &ljf, &wfp3, &f1, &methods.dras_pg(),
+      &methods.dras_dql()};
+
+  std::cout << "csv:method,avg_wait_s,max_wait_s,avg_slowdown,"
+               "utilization\n";
+  std::vector<std::vector<std::string>> table;
+  for (dras::sim::Scheduler* method : roster) {
+    const auto evaluation = dras::train::evaluate(
+        scenario.preset.nodes, test_trace, *method, &reward);
+    table.push_back(
+        {evaluation.method,
+         dras::metrics::format_duration(evaluation.summary.avg_wait),
+         dras::metrics::format_duration(evaluation.summary.max_wait),
+         format("{:.2f}", evaluation.summary.avg_slowdown),
+         format("{:.3f}", evaluation.summary.utilization)});
+    std::cout << format("csv:{},{:.1f},{:.1f},{:.3f},{:.4f}\n",
+                        evaluation.method, evaluation.summary.avg_wait,
+                        evaluation.summary.max_wait,
+                        evaluation.summary.avg_slowdown,
+                        evaluation.summary.utilization);
+  }
+  dras::metrics::print_table(
+      std::cout,
+      {"method", "avg wait", "max wait", "slowdown", "utilization"}, table);
+  return 0;
+}

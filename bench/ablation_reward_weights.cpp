@@ -1,0 +1,69 @@
+// Ablation: the capability-reward weights (Eq. 1).
+//
+// §III-A: "The weights can be tuned by system administrators based on the
+// site priority.  For example, the higher w1 value could meet a more
+// stringent requirement on job starvation."  This sweep trains DRAS-PG
+// under different (w1, w2, w3) mixes and reports maximum wait (the
+// starvation metric w1 targets) plus average wait and utilisation.
+#include <iostream>
+
+#include "bench_common.h"
+#include "metrics/report.h"
+#include "util/format.h"
+#include "util/rng.h"
+
+int main() {
+  using dras::util::format;
+  namespace benchx = dras::benchx;
+
+  const auto scenario = benchx::Scenario::theta_mini(13);
+  const auto test_trace = scenario.trace(1000, 131313);
+
+  benchx::print_preamble("Ablation: Eq. 1 reward weights (DRAS-PG)",
+                         scenario, 1000);
+
+  struct Mix {
+    std::string label;
+    dras::core::RewardWeights weights;
+  };
+  const std::vector<Mix> mixes = {
+      {"w=(1/3,1/3,1/3) paper", {1.0 / 3, 1.0 / 3, 1.0 / 3}},
+      {"w=(0.8,0.1,0.1) anti-starvation", {0.8, 0.1, 0.1}},
+      {"w=(0.1,0.8,0.1) capability-first", {0.1, 0.8, 0.1}},
+      {"w=(0.1,0.1,0.8) utilisation-first", {0.1, 0.1, 0.8}},
+  };
+
+  std::cout << "csv:weights,avg_wait_s,max_wait_s,large_avg_wait_s,"
+               "utilization\n";
+  std::vector<std::vector<std::string>> table;
+  for (const Mix& mix : mixes) {
+    auto cfg = scenario.preset.agent_config(
+        dras::core::AgentKind::PG, dras::util::derive_seed(5, mix.label));
+    cfg.reward_weights = mix.weights;
+    dras::core::DrasAgent agent(cfg);
+    benchx::train_dras_agent(agent, scenario, 24, 500);
+
+    const dras::core::RewardFunction reward(dras::core::RewardKind::Capability,
+                                            mix.weights);
+    const auto evaluation = dras::train::evaluate(scenario.preset.nodes,
+                                                  test_trace, agent, &reward);
+    const int edges[] = {128};
+    const auto by_size =
+        dras::metrics::by_size_bucket(evaluation.result.jobs, edges);
+    table.push_back(
+        {mix.label,
+         dras::metrics::format_duration(evaluation.summary.avg_wait),
+         dras::metrics::format_duration(evaluation.summary.max_wait),
+         dras::metrics::format_duration(by_size[1].avg_wait),
+         format("{:.3f}", evaluation.summary.utilization)});
+    std::cout << format("csv:{},{:.1f},{:.1f},{:.1f},{:.4f}\n", mix.label,
+                        evaluation.summary.avg_wait,
+                        evaluation.summary.max_wait, by_size[1].avg_wait,
+                        evaluation.summary.utilization);
+  }
+  dras::metrics::print_table(std::cout,
+                             {"weights", "avg wait", "max wait",
+                              "large-job avg wait", "utilization"},
+                             table);
+  return 0;
+}

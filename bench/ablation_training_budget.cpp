@@ -1,0 +1,60 @@
+// Ablation: training budget vs scheduling quality.
+//
+// DESIGN.md notes (and our Fig. 7 debugging showed) that the DRAS-PG
+// starvation tail shrinks as training grows: an under-trained stochastic
+// policy occasionally fails to re-select a reserved whole-machine job.
+// This sweep trains DRAS-PG with increasing episode budgets and reports
+// average and maximum wait on a fixed test trace.
+#include <iostream>
+
+#include "bench_common.h"
+#include "metrics/report.h"
+#include "util/format.h"
+#include "util/rng.h"
+
+int main() {
+  using dras::util::format;
+  namespace benchx = dras::benchx;
+
+  const auto scenario = benchx::Scenario::theta_mini(12);
+  const auto test_trace = scenario.trace(1000, 121212);
+  const auto reward = scenario.reward();
+
+  benchx::print_preamble("Ablation: training budget (DRAS-PG)", scenario,
+                         1000);
+
+  // FCFS reference.
+  dras::sched::FcfsEasy fcfs;
+  const auto fcfs_eval = dras::train::evaluate(scenario.preset.nodes,
+                                               test_trace, fcfs, &reward);
+
+  std::cout << "csv:episodes,avg_wait_s,max_wait_s,utilization\n";
+  std::cout << format("csv:FCFS,{:.1f},{:.1f},{:.4f}\n",
+                      fcfs_eval.summary.avg_wait, fcfs_eval.summary.max_wait,
+                      fcfs_eval.summary.utilization);
+
+  std::vector<std::vector<std::string>> table;
+  table.push_back({"FCFS (ref)",
+                   dras::metrics::format_duration(fcfs_eval.summary.avg_wait),
+                   dras::metrics::format_duration(fcfs_eval.summary.max_wait),
+                   format("{:.3f}", fcfs_eval.summary.utilization)});
+  for (const std::size_t episodes : {2u, 6u, 14u, 30u}) {
+    dras::core::DrasAgent agent(scenario.preset.agent_config(
+        dras::core::AgentKind::PG, dras::util::derive_seed(3, "budget")));
+    benchx::train_dras_agent(agent, scenario, episodes, 500);
+    const auto evaluation = dras::train::evaluate(scenario.preset.nodes,
+                                                  test_trace, agent, &reward);
+    table.push_back(
+        {format("DRAS-PG @{} episodes", episodes),
+         dras::metrics::format_duration(evaluation.summary.avg_wait),
+         dras::metrics::format_duration(evaluation.summary.max_wait),
+         format("{:.3f}", evaluation.summary.utilization)});
+    std::cout << format("csv:{},{:.1f},{:.1f},{:.4f}\n", episodes,
+                        evaluation.summary.avg_wait,
+                        evaluation.summary.max_wait,
+                        evaluation.summary.utilization);
+  }
+  dras::metrics::print_table(
+      std::cout, {"config", "avg wait", "max wait", "utilization"}, table);
+  return 0;
+}

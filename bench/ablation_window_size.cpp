@@ -1,0 +1,48 @@
+// Ablation: window size W (§III-B).
+//
+// The window is DRAS's starvation valve — only the W oldest jobs are
+// eligible for selection.  A tiny window collapses DRAS toward FCFS; a
+// huge window grows the action space and slows learning.  This sweep
+// trains DRAS-PG at several window sizes and reports the §IV-E metrics.
+#include <iostream>
+
+#include "bench_common.h"
+#include "metrics/report.h"
+#include "util/format.h"
+#include "util/rng.h"
+
+int main() {
+  using dras::util::format;
+  namespace benchx = dras::benchx;
+
+  const auto scenario = benchx::Scenario::theta_mini(14);
+  const auto test_trace = scenario.trace(1000, 141414);
+  const auto reward = scenario.reward();
+
+  benchx::print_preamble("Ablation: window size W (DRAS-PG)", scenario,
+                         1000);
+
+  std::cout << "csv:window,avg_wait_s,max_wait_s,utilization\n";
+  std::vector<std::vector<std::string>> table;
+  for (const std::size_t window : {2u, 5u, 10u, 20u}) {
+    auto cfg = scenario.preset.agent_config(
+        dras::core::AgentKind::PG, dras::util::derive_seed(7, "window"));
+    cfg.window = window;
+    dras::core::DrasAgent agent(cfg);
+    benchx::train_dras_agent(agent, scenario, 24, 500);
+    const auto evaluation = dras::train::evaluate(scenario.preset.nodes,
+                                                  test_trace, agent, &reward);
+    table.push_back(
+        {format("W={}", window),
+         dras::metrics::format_duration(evaluation.summary.avg_wait),
+         dras::metrics::format_duration(evaluation.summary.max_wait),
+         format("{:.3f}", evaluation.summary.utilization)});
+    std::cout << format("csv:{},{:.1f},{:.1f},{:.4f}\n", window,
+                        evaluation.summary.avg_wait,
+                        evaluation.summary.max_wait,
+                        evaluation.summary.utilization);
+  }
+  dras::metrics::print_table(
+      std::cout, {"window", "avg wait", "max wait", "utilization"}, table);
+  return 0;
+}

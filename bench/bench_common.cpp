@@ -1,0 +1,128 @@
+#include "bench_common.h"
+
+#include "util/format.h"
+#include "util/rng.h"
+
+namespace dras::benchx {
+
+Scenario Scenario::theta_mini(std::uint64_t seed) {
+  return Scenario{core::theta_mini(), workload::theta_mini_workload(), seed};
+}
+
+Scenario Scenario::cori_mini(std::uint64_t seed) {
+  return Scenario{core::cori_mini(), workload::cori_mini_workload(), seed};
+}
+
+sim::Trace Scenario::trace(std::size_t jobs, std::uint64_t trace_seed,
+                           double load_scale) const {
+  workload::GenerateOptions options;
+  options.num_jobs = jobs;
+  options.seed = trace_seed;
+  options.load_scale = load_scale;
+  return workload::generate_trace(model, options);
+}
+
+sim::Trace Scenario::real_trace(std::size_t jobs) const {
+  return trace(jobs, workload::kRealTraceSeed);
+}
+
+MethodSet::MethodSet(const Scenario& scenario) {
+  random_ = std::make_unique<sched::RandomPolicy>(
+      util::derive_seed(scenario.seed, "random-policy"));
+  optimization_ = std::make_unique<sched::KnapsackOpt>(scenario.reward());
+
+  sched::DecimaConfig decima_cfg;
+  decima_cfg.total_nodes = scenario.preset.nodes;
+  decima_cfg.window = scenario.preset.window;
+  decima_cfg.fc1 = scenario.preset.fc1;
+  decima_cfg.fc2 = scenario.preset.fc2;
+  decima_cfg.time_scale = scenario.preset.max_walltime;
+  decima_cfg.reward_kind = scenario.preset.reward;
+  decima_cfg.seed = util::derive_seed(scenario.seed, "decima");
+  decima_ = std::make_unique<sched::DecimaPG>(decima_cfg);
+
+  dras_pg_ = std::make_unique<core::DrasAgent>(scenario.preset.agent_config(
+      core::AgentKind::PG, util::derive_seed(scenario.seed, "dras-pg")));
+  dras_dql_ = std::make_unique<core::DrasAgent>(scenario.preset.agent_config(
+      core::AgentKind::DQL, util::derive_seed(scenario.seed, "dras-dql")));
+}
+
+namespace {
+std::vector<train::Jobset> build_bench_curriculum(
+    const Scenario& scenario, std::size_t episodes,
+    std::size_t jobs_per_episode, std::uint64_t curriculum_seed) {
+  const auto real = scenario.real_trace(jobs_per_episode * 4);
+  train::CurriculumOptions options;
+  // Short three-phase curriculum scaled to the episode budget.
+  options.sampled_sets = std::max<std::size_t>(1, episodes / 3);
+  options.real_sets = std::max<std::size_t>(1, episodes / 3);
+  options.synthetic_sets =
+      std::max<std::size_t>(1, episodes - 2 * (episodes / 3));
+  options.jobs_per_set = jobs_per_episode;
+  options.seed = curriculum_seed != 0
+                     ? curriculum_seed
+                     : util::derive_seed(scenario.seed, "bench-curriculum");
+  return train::build_curriculum(scenario.model, real, options);
+}
+}  // namespace
+
+void train_dras_agent(core::DrasAgent& agent, const Scenario& scenario,
+                      std::size_t episodes, std::size_t jobs_per_episode,
+                      std::uint64_t curriculum_seed) {
+  const auto curriculum = build_bench_curriculum(
+      scenario, episodes, jobs_per_episode, curriculum_seed);
+  train::TrainerOptions trainer_options;
+  trainer_options.validate_each_episode = false;
+  train::Trainer trainer(agent, scenario.preset.nodes, {}, trainer_options);
+  (void)trainer.run(curriculum);
+  agent.set_training(false);
+}
+
+void MethodSet::train_agents(const Scenario& scenario, std::size_t episodes,
+                             std::size_t jobs_per_episode) {
+  const auto curriculum =
+      build_bench_curriculum(scenario, episodes, jobs_per_episode, 0);
+  train::TrainerOptions trainer_options;
+  trainer_options.validate_each_episode = false;
+  for (core::DrasAgent* agent : {dras_pg_.get(), dras_dql_.get()}) {
+    train::Trainer trainer(*agent, scenario.preset.nodes, {},
+                           trainer_options);
+    (void)trainer.run(curriculum);
+    agent->set_training(false);
+  }
+  // Decima-PG trains on the same jobsets.
+  for (const auto& jobset : curriculum) {
+    sim::Simulator simulator(scenario.preset.nodes);
+    (void)simulator.run(jobset.trace, *decima_);
+  }
+  decima_->set_training(false);
+}
+
+std::vector<sim::Scheduler*> MethodSet::all() {
+  return {&fcfs_,        &bin_packing_, random_.get(), optimization_.get(),
+          decima_.get(), dras_pg_.get(), dras_dql_.get()};
+}
+
+std::vector<train::Evaluation> evaluate_all(MethodSet& methods,
+                                            const Scenario& scenario,
+                                            const sim::Trace& trace) {
+  const auto reward = scenario.reward();
+  std::vector<train::Evaluation> evaluations;
+  for (sim::Scheduler* method : methods.all())
+    evaluations.push_back(
+        train::evaluate(scenario.preset.nodes, trace, *method, &reward));
+  return evaluations;
+}
+
+void print_preamble(const std::string& experiment, const Scenario& scenario,
+                    std::size_t trace_jobs) {
+  std::cout << "# " << experiment << "\n";
+  std::cout << util::format(
+      "# scenario={} nodes={} window={} reward={} jobs={} seed={}\n",
+      scenario.preset.name, scenario.preset.nodes, scenario.preset.window,
+      core::to_string(scenario.preset.reward), trace_jobs, scenario.seed);
+  std::cout << "# (scaled-down model per DESIGN.md; shapes, not absolute "
+               "values, are the reproduction target)\n";
+}
+
+}  // namespace dras::benchx

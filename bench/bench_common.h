@@ -1,0 +1,94 @@
+// Shared support for the figure/table reproduction benches.
+//
+// Every bench binary is self-contained: it builds its workloads from the
+// statistical models (DESIGN.md §1), trains the learned agents on a short
+// curriculum, evaluates every method on an identical test trace, and
+// prints both a human-readable table and machine-readable CSV rows.
+#pragma once
+
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/dras_agent.h"
+#include "core/presets.h"
+#include "sched/bin_packing.h"
+#include "sched/decima_pg.h"
+#include "sched/fcfs_easy.h"
+#include "sched/knapsack_opt.h"
+#include "sched/random_policy.h"
+#include "train/curriculum.h"
+#include "train/evaluator.h"
+#include "train/trainer.h"
+#include "workload/jobset.h"
+#include "workload/models.h"
+#include "workload/synthetic.h"
+
+namespace dras::benchx {
+
+/// One experiment scenario: a scaled system preset plus its matching
+/// workload model (theta-mini by default; cori-mini for capacity runs).
+struct Scenario {
+  core::SystemPreset preset;
+  workload::WorkloadModel model;
+  std::uint64_t seed = 1;
+
+  static Scenario theta_mini(std::uint64_t seed = 1);
+  static Scenario cori_mini(std::uint64_t seed = 1);
+
+  [[nodiscard]] core::RewardFunction reward() const {
+    return core::RewardFunction(preset.reward);
+  }
+  /// Generate a trace from this scenario's model.
+  [[nodiscard]] sim::Trace trace(std::size_t jobs, std::uint64_t seed,
+                                 double load_scale = 1.0) const;
+  /// The designated stand-in "real" trace (DESIGN.md §1).
+  [[nodiscard]] sim::Trace real_trace(std::size_t jobs) const;
+};
+
+/// The full method roster of §IV-A.  Owns every scheduler.
+class MethodSet {
+ public:
+  explicit MethodSet(const Scenario& scenario);
+
+  /// Train DRAS-PG, DRAS-DQL and Decima-PG for `episodes` episodes each on
+  /// sampled jobsets of `jobs_per_episode` jobs, then freeze all agents.
+  void train_agents(const Scenario& scenario, std::size_t episodes,
+                    std::size_t jobs_per_episode);
+
+  /// All methods in the paper's presentation order.
+  [[nodiscard]] std::vector<sim::Scheduler*> all();
+  [[nodiscard]] core::DrasAgent& dras_pg() { return *dras_pg_; }
+  [[nodiscard]] core::DrasAgent& dras_dql() { return *dras_dql_; }
+  [[nodiscard]] sched::DecimaPG& decima() { return *decima_; }
+  [[nodiscard]] sched::FcfsEasy& fcfs() { return fcfs_; }
+
+ private:
+  sched::FcfsEasy fcfs_;
+  sched::BinPacking bin_packing_;
+  std::unique_ptr<sched::RandomPolicy> random_;
+  std::unique_ptr<sched::KnapsackOpt> optimization_;
+  std::unique_ptr<sched::DecimaPG> decima_;
+  std::unique_ptr<core::DrasAgent> dras_pg_;
+  std::unique_ptr<core::DrasAgent> dras_dql_;
+};
+
+/// Train one DRAS agent on a short three-phase curriculum (§III-C) built
+/// from the scenario's stand-in real trace, then freeze it.  Shared by
+/// MethodSet::train_agents and the ablation benches so every experiment
+/// trains the same way.
+void train_dras_agent(core::DrasAgent& agent, const Scenario& scenario,
+                      std::size_t episodes, std::size_t jobs_per_episode,
+                      std::uint64_t curriculum_seed = 0);
+
+/// Evaluate every method on the same trace; returns results in roster
+/// order.  Reward accounting uses the scenario's reward function.
+[[nodiscard]] std::vector<train::Evaluation> evaluate_all(
+    MethodSet& methods, const Scenario& scenario, const sim::Trace& trace);
+
+/// Print the standard bench preamble (config echo, per DESIGN.md §4).
+void print_preamble(const std::string& experiment, const Scenario& scenario,
+                    std::size_t trace_jobs);
+
+}  // namespace dras::benchx

@@ -1,0 +1,82 @@
+// Fig. 2 + Table II reproduction: job characterisation of Theta and Cori.
+//
+// Outer circle of Fig. 2 = share of jobs per size category; inner circle
+// = share of core-hours.  The qualitative signature to reproduce: on
+// Theta (capability) core-hours concentrate in large jobs while counts
+// concentrate in the smallest allowed sizes; on Cori (capacity) counts
+// are dominated by 1-few-node jobs.
+#include <iostream>
+
+#include "metrics/report.h"
+#include "util/format.h"
+#include "workload/models.h"
+#include "workload/synthetic.h"
+#include "workload/trace.h"
+
+namespace {
+
+void characterize(const dras::workload::WorkloadModel& model,
+                  std::size_t jobs, std::span<const int> boundaries) {
+  using dras::util::format;
+  dras::workload::GenerateOptions options;
+  options.num_jobs = jobs;
+  options.seed = dras::workload::kRealTraceSeed;
+  const auto trace = dras::workload::generate_trace(model, options);
+
+  const auto summary = dras::workload::summarize_trace(trace);
+  std::cout << format(
+      "\n## {} — {} jobs over {}, max job {} nodes, max runtime {}\n",
+      model.name, summary.jobs,
+      dras::metrics::format_duration(summary.span_seconds), summary.max_size,
+      dras::metrics::format_duration(summary.max_runtime));
+
+  const auto buckets = dras::workload::size_distribution(trace, boundaries);
+  double total_hours = 0.0;
+  for (const auto& bucket : buckets) total_hours += bucket.core_hours;
+
+  std::vector<std::vector<std::string>> table;
+  for (const auto& bucket : buckets) {
+    if (bucket.jobs == 0) continue;
+    table.push_back(
+        {bucket.label(), format("{}", bucket.jobs),
+         dras::metrics::format_percent(static_cast<double>(bucket.jobs) /
+                                       summary.jobs),
+         format("{:.0f}", bucket.core_hours),
+         dras::metrics::format_percent(bucket.core_hours / total_hours)});
+    std::cout << format("csv:{},{},{},{:.2f},{:.2f}\n", model.name,
+                        bucket.label(), bucket.jobs,
+                        100.0 * bucket.jobs / summary.jobs,
+                        100.0 * bucket.core_hours / total_hours);
+  }
+  dras::metrics::print_table(
+      std::cout,
+      {"size", "jobs", "jobs% (outer)", "core-hours", "core-hours% (inner)"},
+      table);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "# Fig. 2 / Table II: job characterisation (statistical "
+               "models standing in for the proprietary logs)\n";
+  std::cout << "csv:system,size_bucket,jobs,jobs_pct,core_hours_pct\n";
+
+  const int theta_edges[] = {256, 512, 1024, 2048};
+  characterize(dras::workload::theta_workload(), 50000, theta_edges);
+
+  const int cori_edges[] = {1, 4, 16, 64, 256};
+  characterize(dras::workload::cori_workload(), 50000, cori_edges);
+
+  // Table II echo.
+  std::cout << "\n## Table II summary\n";
+  for (const auto& model : {dras::workload::theta_workload(),
+                            dras::workload::cori_workload()}) {
+    std::cout << dras::util::format(
+        "{}: {} nodes, max job length {}, mean inter-arrival {:.0f}s, "
+        "offered load {:.2f}\n",
+        model.name, model.system_nodes,
+        dras::metrics::format_duration(model.max_runtime),
+        model.mean_interarrival, model.offered_load());
+  }
+  return 0;
+}

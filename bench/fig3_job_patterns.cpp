@@ -1,0 +1,75 @@
+// Fig. 3 reproduction: job patterns of the Theta training dataset —
+// hourly job arrivals, daily job arrivals, job-size distribution, and
+// job-runtime distribution of the (stand-in) training trace.
+#include <iostream>
+
+#include "metrics/report.h"
+#include "util/format.h"
+#include "workload/jobset.h"
+#include "workload/models.h"
+#include "workload/synthetic.h"
+#include "workload/trace.h"
+
+int main() {
+  using dras::util::format;
+  const auto model = dras::workload::theta_mini_workload();
+
+  // The training split of the stand-in "real" trace (paper: first two
+  // months of the Theta log).
+  dras::workload::GenerateOptions options;
+  options.num_jobs = 6000;
+  options.seed = dras::workload::kRealTraceSeed;
+  const auto full = dras::workload::generate_trace(model, options);
+  const auto split = dras::workload::split_trace(full, 0.6, 0.2);
+  const auto& training = split.train;
+
+  std::cout << "# Fig. 3: job patterns of the Theta training dataset "
+               "(scaled model)\n";
+  std::cout << format("# training jobs: {}\n", training.size());
+
+  std::cout << "\n## hourly job arrivals\ncsv:hour,arrivals\n";
+  const auto hourly = dras::workload::hourly_arrivals(training);
+  for (std::size_t h = 0; h < hourly.size(); ++h)
+    std::cout << format("csv:{},{}\n", h, hourly[h]);
+
+  std::cout << "\n## daily job arrivals (0 = Monday)\ncsv:day,arrivals\n";
+  const auto daily = dras::workload::daily_arrivals(training);
+  for (std::size_t d = 0; d < daily.size(); ++d)
+    std::cout << format("csv:{},{}\n", d, daily[d]);
+
+  std::cout << "\n## job size distribution\ncsv:size,jobs\n";
+  std::vector<int> edges;
+  for (const auto& cat : model.size_mix) edges.push_back(cat.size);
+  const auto sizes = dras::workload::size_distribution(
+      training, std::span<const int>(edges.data(), edges.size() - 1));
+  for (const auto& bucket : sizes)
+    if (bucket.jobs > 0)
+      std::cout << format("csv:{},{}\n", bucket.label(), bucket.jobs);
+
+  std::cout << "\n## job runtime distribution\ncsv:runtime_upper,jobs\n";
+  const double runtime_edges[] = {1800, 3600, 2 * 3600, 4 * 3600,
+                                  8 * 3600, 16 * 3600};
+  const auto runtimes =
+      dras::workload::runtime_histogram(training, runtime_edges);
+  for (std::size_t i = 0; i < runtimes.size(); ++i) {
+    const std::string label =
+        i < std::size(runtime_edges)
+            ? dras::metrics::format_duration(runtime_edges[i])
+            : "longer";
+    std::cout << format("csv:{},{}\n", label, runtimes[i]);
+  }
+
+  // Sanity signature of Fig. 3: weekday arrivals exceed weekend arrivals,
+  // and working-hours arrivals exceed night arrivals.
+  std::size_t weekday = 0, weekend = 0;
+  for (std::size_t d = 0; d < 5; ++d) weekday += daily[d];
+  weekend = daily[5] + daily[6];
+  std::size_t day_hours = 0, night_hours = 0;
+  for (std::size_t h = 9; h < 18; ++h) day_hours += hourly[h];
+  for (std::size_t h = 0; h < 6; ++h) night_hours += hourly[h];
+  std::cout << format(
+      "\nshape check: weekday/day arrivals {} (avg/day {:.0f}) vs weekend {} "
+      "(avg/day {:.0f}); 9-18h {} vs 0-6h {}\n",
+      weekday, weekday / 5.0, weekend, weekend / 2.0, day_hours, night_hours);
+  return (weekday / 5.0 > weekend / 2.0 && day_hours > night_hours) ? 0 : 1;
+}

@@ -1,0 +1,91 @@
+// Fig. 5 reproduction: total reward collected on the validation dataset by
+// every scheduling method, per training episode.
+//
+// The learned agents (DRAS-PG, DRAS-DQL, Decima-PG) train one jobset per
+// episode and are evaluated frozen on the validation trace after each; the
+// static methods (FCFS, BinPacking, Random, Optimization) are horizontal
+// lines.  The paper's signature: DRAS starts near Random and climbs past
+// the heuristics as it converges.
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/format.h"
+
+int main() {
+  using dras::util::format;
+  namespace benchx = dras::benchx;
+
+  const auto scenario = benchx::Scenario::theta_mini(5);
+  constexpr std::size_t kEpisodes = 12;
+  constexpr std::size_t kJobsPerSet = 300;
+  const auto validation = scenario.trace(250, 909090);
+
+  benchx::print_preamble("Fig. 5: learning curves on the validation set",
+                         scenario, kJobsPerSet);
+
+  benchx::MethodSet methods(scenario);
+  const auto reward = scenario.reward();
+
+  // Build the shared training curriculum once.
+  const auto real = scenario.real_trace(kJobsPerSet * 4);
+  dras::train::CurriculumOptions curriculum_options;
+  curriculum_options.sampled_sets = kEpisodes / 3;
+  curriculum_options.real_sets = kEpisodes / 3;
+  curriculum_options.synthetic_sets = kEpisodes - 2 * (kEpisodes / 3);
+  curriculum_options.jobs_per_set = kJobsPerSet;
+  curriculum_options.seed = 31;
+  const auto curriculum =
+      dras::train::build_curriculum(scenario.model, real,
+                                    curriculum_options);
+
+  // Static methods: constant validation reward.
+  const auto validation_reward = [&](dras::sim::Scheduler& method) {
+    return dras::train::evaluate(scenario.preset.nodes, validation, method,
+                                 &reward)
+        .total_reward;
+  };
+  const double fcfs_line = validation_reward(methods.fcfs());
+  std::vector<std::pair<std::string, double>> static_lines = {
+      {"FCFS", fcfs_line}};
+  {
+    auto all = methods.all();
+    // BinPacking (1), Random (2), Optimization (3).
+    static_lines.emplace_back("BinPacking", validation_reward(*all[1]));
+    static_lines.emplace_back("Random", validation_reward(*all[2]));
+    static_lines.emplace_back("Optimization", validation_reward(*all[3]));
+  }
+
+  std::cout << "csv:method,episode,validation_reward\n";
+  for (const auto& [name, value] : static_lines)
+    for (std::size_t e = 0; e < kEpisodes; ++e)
+      std::cout << format("csv:{},{},{:.3f}\n", name, e, value);
+
+  // Learned methods: train one jobset per episode, evaluate frozen.
+  double dras_pg_final = 0.0, random_line = static_lines[2].second;
+  for (std::size_t e = 0; e < kEpisodes; ++e) {
+    const auto& jobset = curriculum[e % curriculum.size()];
+    for (auto* agent : {&methods.dras_pg(), &methods.dras_dql()}) {
+      agent->set_training(true);
+      dras::sim::Simulator sim(scenario.preset.nodes);
+      (void)sim.run(jobset.trace, *agent);
+      agent->set_training(false);
+      const double value = validation_reward(*agent);
+      std::cout << format("csv:{},{},{:.3f}\n", agent->name(), e, value);
+      if (agent->name() == "DRAS-PG") dras_pg_final = value;
+    }
+    methods.decima().set_training(true);
+    {
+      dras::sim::Simulator sim(scenario.preset.nodes);
+      (void)sim.run(jobset.trace, methods.decima());
+    }
+    methods.decima().set_training(false);
+    std::cout << format("csv:{},{},{:.3f}\n", methods.decima().name(), e,
+                        validation_reward(methods.decima()));
+  }
+
+  std::cout << format(
+      "\nshape check: DRAS-PG final {:.3f} vs Random {:.3f} vs FCFS "
+      "{:.3f}\n",
+      dras_pg_final, random_line, fcfs_line);
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Fig. 6 reproduction: overall scheduling performance Kiviat axes on the
+// Theta-style (capability) and Cori-style (capacity) scenarios.
+//
+// For each method we print the raw §IV-E metrics and the normalised
+// Kiviat axes (reciprocal metrics min-max scaled to [0,1]; 1 = best among
+// methods).  Paper signature: DRAS agents have the largest area; FCFS
+// wins max-wait but loses average wait; BinPacking/Random are worst
+// overall.
+#include <iostream>
+
+#include "bench_common.h"
+#include "metrics/kiviat.h"
+#include "metrics/report.h"
+#include "util/format.h"
+
+namespace {
+
+void run_scenario(const dras::benchx::Scenario& scenario) {
+  using dras::util::format;
+  constexpr std::size_t kTrainEpisodes = 30;
+  constexpr std::size_t kTrainJobs = 500;
+  constexpr std::size_t kTestJobs = 1200;
+
+  dras::benchx::print_preamble(
+      format("Fig. 6 ({}): overall performance", scenario.preset.name),
+      scenario, kTestJobs);
+
+  dras::benchx::MethodSet methods(scenario);
+  methods.train_agents(scenario, kTrainEpisodes, kTrainJobs);
+  const auto test_trace = scenario.trace(kTestJobs, 616161);
+  const auto evaluations =
+      dras::benchx::evaluate_all(methods, scenario, test_trace);
+
+  std::vector<std::string> names;
+  std::vector<dras::metrics::Summary> summaries;
+  for (const auto& evaluation : evaluations) {
+    names.push_back(evaluation.method);
+    summaries.push_back(evaluation.summary);
+  }
+  const auto axes = dras::metrics::kiviat_axes(names, summaries);
+
+  std::vector<std::vector<std::string>> table;
+  std::cout << format(
+      "csv:scenario,method,avg_wait_s,max_wait_s,avg_slowdown,avg_response_s"
+      ",utilization,kiviat_mean\n");
+  for (std::size_t i = 0; i < evaluations.size(); ++i) {
+    const auto& s = summaries[i];
+    table.push_back({names[i], format("{:.0f}", s.avg_wait),
+                     format("{:.0f}", s.max_wait),
+                     format("{:.2f}", s.avg_slowdown),
+                     format("{:.0f}", s.avg_response),
+                     format("{:.3f}", s.utilization),
+                     format("{:.3f}", axes[i].mean_score())});
+    std::cout << format("csv:{},{},{:.1f},{:.1f},{:.3f},{:.1f},{:.4f},"
+                        "{:.4f}\n",
+                        scenario.preset.name, names[i], s.avg_wait,
+                        s.max_wait, s.avg_slowdown, s.avg_response,
+                        s.utilization, axes[i].mean_score());
+  }
+  dras::metrics::print_table(
+      std::cout,
+      {"method", "avg wait (s)", "max wait (s)", "avg slowdown",
+       "avg response (s)", "utilization", "kiviat mean"},
+      table);
+
+  std::cout << "\nKiviat axes (1 = best):\n";
+  table.clear();
+  for (const auto& ax : axes)
+    table.push_back({ax.method, format("{:.2f}", ax.inv_avg_wait),
+                     format("{:.2f}", ax.inv_max_wait),
+                     format("{:.2f}", ax.inv_avg_slowdown),
+                     format("{:.2f}", ax.inv_avg_response),
+                     format("{:.2f}", ax.utilization)});
+  dras::metrics::print_table(std::cout,
+                             {"method", "1/avg-wait", "1/max-wait",
+                              "1/slowdown", "1/response", "utilization"},
+                             table);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  run_scenario(dras::benchx::Scenario::theta_mini(6));
+  run_scenario(dras::benchx::Scenario::cori_mini(6));
+  return 0;
+}

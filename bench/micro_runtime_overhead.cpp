@@ -1,0 +1,133 @@
+// §V-E reproduction: runtime overhead of the DRAS agents.
+//
+// The paper reports, on a quad-core desktop, < 1 s per DRAS-PG network
+// parameter update and < 2 s per DRAS-DQL update at full Theta scale,
+// versus the 15-30 s decision budget of production schedulers.  These
+// benchmarks measure the same operations with our networks at the paper's
+// full-scale dimensions (Table III) and at the mini scale used by the
+// trace-driven benches.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/dql_policy.h"
+#include "core/pg_policy.h"
+#include "core/presets.h"
+#include "util/rng.h"
+
+namespace {
+
+using dras::core::DQLConfig;
+using dras::core::DQLPolicy;
+using dras::core::PGConfig;
+using dras::core::PGPolicy;
+
+PGPolicy& pg_policy(const dras::core::SystemPreset& preset) {
+  static std::map<std::string, std::unique_ptr<PGPolicy>> cache;
+  auto& slot = cache[preset.name];
+  if (!slot) {
+    PGConfig cfg;
+    cfg.net = preset.pg_network();
+    slot = std::make_unique<PGPolicy>(cfg, 1);
+  }
+  return *slot;
+}
+
+DQLPolicy& dql_policy(const dras::core::SystemPreset& preset) {
+  static std::map<std::string, std::unique_ptr<DQLPolicy>> cache;
+  auto& slot = cache[preset.name];
+  if (!slot) {
+    DQLConfig cfg;
+    cfg.net = preset.dql_network();
+    slot = std::make_unique<DQLPolicy>(cfg, 1);
+  }
+  return *slot;
+}
+
+std::vector<float> random_state(std::size_t size, std::uint64_t seed) {
+  dras::util::Rng rng(seed);
+  std::vector<float> state(size);
+  for (auto& v : state) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return state;
+}
+
+// One scheduling decision: a single forward pass over the window state.
+void BM_PGDecision(benchmark::State& state,
+                   const dras::core::SystemPreset& preset) {
+  auto& policy = pg_policy(preset);
+  const auto input = random_state(policy.network().config().input_size(), 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        policy.greedy_action(input, preset.window));
+  }
+}
+
+// One scheduling decision for DQL: W forward passes (one per window job).
+void BM_DQLDecision(benchmark::State& state,
+                    const dras::core::SystemPreset& preset) {
+  auto& policy = dql_policy(preset);
+  std::vector<std::vector<float>> window;
+  for (std::size_t i = 0; i < preset.window; ++i)
+    window.push_back(
+        random_state(policy.network().config().input_size(), 11 + i));
+  dras::util::Rng rng(13);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        policy.select_action(window, rng, /*explore=*/false));
+  }
+}
+
+// One network parameter update over a 10-instance batch (~20 actions),
+// the quantity §V-E bounds at < 1 s (PG) / < 2 s (DQL).
+void BM_PGUpdate(benchmark::State& state,
+                 const dras::core::SystemPreset& preset) {
+  auto& policy = pg_policy(preset);
+  const auto input = random_state(policy.network().config().input_size(), 17);
+  for (auto _ : state) {
+    for (int k = 0; k < 20; ++k)
+      policy.record(input, preset.window, k % preset.window,
+                    k % 2 == 0 ? 1.0 : -1.0);
+    policy.update();
+  }
+}
+
+void BM_DQLUpdate(benchmark::State& state,
+                  const dras::core::SystemPreset& preset) {
+  auto& policy = dql_policy(preset);
+  const auto input = random_state(policy.network().config().input_size(), 19);
+  for (auto _ : state) {
+    for (int k = 0; k < 20; ++k)
+      policy.record({input, input}, k % 2, k % 2 == 0 ? 1.0 : -1.0);
+    policy.update();
+  }
+}
+
+}  // namespace
+
+// Full paper scale (Theta, Table III) — the §V-E claim.
+BENCHMARK_CAPTURE(BM_PGDecision, theta_full, dras::core::theta())
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(5);
+BENCHMARK_CAPTURE(BM_DQLDecision, theta_full, dras::core::theta())
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+BENCHMARK_CAPTURE(BM_PGUpdate, theta_full, dras::core::theta())
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+BENCHMARK_CAPTURE(BM_DQLUpdate, theta_full, dras::core::theta())
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+
+// Mini scale used by the trace-driven benches.
+BENCHMARK_CAPTURE(BM_PGDecision, theta_mini, dras::core::theta_mini())
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_DQLDecision, theta_mini, dras::core::theta_mini())
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_PGUpdate, theta_mini, dras::core::theta_mini())
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_DQLUpdate, theta_mini, dras::core::theta_mini())
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// Table IV reproduction: job and core-hour shares per execution mode
+// (backfilled / ready / reserved) on the Theta-style scenario.
+//
+// Paper signature: the myopic methods (Optimization, Decima-PG,
+// BinPacking, Random) run 100% of jobs "ready"; FCFS and DRAS backfill
+// the majority of jobs while reserved jobs consume the majority of
+// core-hours.
+#include <iostream>
+
+#include "bench_common.h"
+#include "metrics/report.h"
+#include "metrics/stats.h"
+#include "util/format.h"
+
+int main() {
+  using dras::util::format;
+  namespace benchx = dras::benchx;
+
+  const auto scenario = benchx::Scenario::theta_mini(4);
+  constexpr std::size_t kTestJobs = 1500;
+
+  benchx::print_preamble(
+      "Table IV: job distributions by execution mode", scenario, kTestJobs);
+
+  benchx::MethodSet methods(scenario);
+  methods.train_agents(scenario, 30, 500);
+  const auto test_trace = scenario.trace(kTestJobs, 444444);
+  const auto evaluations =
+      benchx::evaluate_all(methods, scenario, test_trace);
+
+  std::vector<std::vector<std::string>> table;
+  std::cout << "csv:method,backfilled_jobs_pct,backfilled_hours_pct,"
+               "ready_jobs_pct,ready_hours_pct,reserved_jobs_pct,"
+               "reserved_hours_pct\n";
+  bool dras_pattern_holds = true;
+  for (const auto& evaluation : evaluations) {
+    const auto shares = dras::metrics::mode_shares(evaluation.result.jobs);
+    // shares order: backfilled, ready, reserved (stats.cpp).
+    table.push_back(
+        {evaluation.method,
+         dras::metrics::format_percent(shares[0].job_fraction),
+         dras::metrics::format_percent(shares[0].core_hour_fraction),
+         dras::metrics::format_percent(shares[1].job_fraction),
+         dras::metrics::format_percent(shares[1].core_hour_fraction),
+         dras::metrics::format_percent(shares[2].job_fraction),
+         dras::metrics::format_percent(shares[2].core_hour_fraction)});
+    std::cout << format(
+        "csv:{},{:.2f},{:.2f},{:.2f},{:.2f},{:.2f},{:.2f}\n",
+        evaluation.method, 100 * shares[0].job_fraction,
+        100 * shares[0].core_hour_fraction, 100 * shares[1].job_fraction,
+        100 * shares[1].core_hour_fraction, 100 * shares[2].job_fraction,
+        100 * shares[2].core_hour_fraction);
+
+    if (evaluation.method == "DRAS-PG" || evaluation.method == "DRAS-DQL") {
+      // Table IV: DRAS backfills most jobs; reserved jobs dominate hours.
+      dras_pattern_holds &= shares[0].job_fraction > 0.5;
+      dras_pattern_holds &=
+          shares[2].core_hour_fraction > shares[2].job_fraction;
+    }
+    if (evaluation.method == "Optimization" ||
+        evaluation.method == "BinPacking" || evaluation.method == "Random" ||
+        evaluation.method == "Decima-PG") {
+      dras_pattern_holds &= shares[1].job_fraction > 0.999;
+    }
+  }
+  dras::metrics::print_table(
+      std::cout,
+      {"method", "backfilled jobs", "backfilled hours", "ready jobs",
+       "ready hours", "reserved jobs", "reserved hours"},
+      table);
+
+  std::cout << format("\nshape check: Table IV pattern {}\n",
+                      dras_pattern_holds ? "holds" : "VIOLATED");
+  return 0;
+}

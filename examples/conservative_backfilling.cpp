@@ -1,0 +1,58 @@
+// Reservation-depth extension: EASY vs conservative backfilling.
+//
+// The paper's DRAS (and production EASY) keep one outstanding
+// reservation.  This example sweeps the simulator's reservation depth on
+// the same workload with the same policy, showing the classic trade-off:
+// deeper ledgers give more jobs a guaranteed start (tighter worst-case
+// wait) but shrink the backfill opportunity.
+//
+//   ./conservative_backfilling
+#include <iostream>
+
+#include "metrics/report.h"
+#include "metrics/stats.h"
+#include "sched/fcfs_easy.h"
+#include "sim/simulator.h"
+#include "util/format.h"
+#include "workload/models.h"
+#include "workload/synthetic.h"
+
+int main() {
+  using dras::util::format;
+  const auto model = dras::workload::theta_mini_workload();
+
+  dras::workload::GenerateOptions gen;
+  gen.num_jobs = 1000;
+  gen.seed = 77;
+  gen.load_scale = 1.1;  // slight overload: reservations matter
+  const auto trace = dras::workload::generate_trace(model, gen);
+  std::cout << format(
+      "{} jobs on {} nodes at ~110% offered load, FCFS policy\n\n",
+      trace.size(), model.system_nodes);
+
+  std::vector<std::vector<std::string>> table;
+  for (const int depth : {1, 2, 4, 8, 16}) {
+    dras::sim::Simulator sim(model.system_nodes, depth);
+    dras::sched::FcfsEasy fcfs;
+    const auto result = sim.run(trace, fcfs);
+    const auto summary = dras::metrics::summarize(result);
+    std::size_t backfilled = 0, reserved = 0;
+    for (const auto& rec : result.jobs) {
+      if (rec.mode == dras::sim::ExecMode::Backfilled) ++backfilled;
+      if (rec.mode == dras::sim::ExecMode::Reserved) ++reserved;
+    }
+    table.push_back({depth == 1 ? "1 (EASY)" : format("{}", depth),
+                     dras::metrics::format_duration(summary.avg_wait),
+                     dras::metrics::format_duration(summary.p90_wait),
+                     dras::metrics::format_duration(summary.max_wait),
+                     format("{}", backfilled), format("{}", reserved),
+                     format("{:.1f}%", 100.0 * summary.utilization)});
+  }
+  dras::metrics::print_table(std::cout,
+                             {"depth", "avg wait", "p90 wait", "max wait",
+                              "backfilled", "reserved", "util"},
+                             table);
+  std::cout << "\ndeeper ledgers trade backfill throughput for start-time "
+               "guarantees (EASY -> conservative spectrum).\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Trace tooling: write a workload to Standard Workload Format, read it
+// back, and replay it through the simulator — the workflow for feeding
+// dras with logs from the Parallel Workloads Archive.
+//
+//   ./swf_replay [path/to/trace.swf]
+//
+// Without an argument the example writes a synthetic trace to a temporary
+// SWF file first, so it is self-contained.
+#include <filesystem>
+#include <iostream>
+
+#include "metrics/report.h"
+#include "sched/fcfs_easy.h"
+#include "train/evaluator.h"
+#include "util/format.h"
+#include "workload/models.h"
+#include "workload/swf.h"
+#include "workload/synthetic.h"
+#include "workload/trace.h"
+
+int main(int argc, char** argv) {
+  using dras::util::format;
+
+  std::filesystem::path path;
+  if (argc > 1) {
+    path = argv[1];
+  } else {
+    // Self-contained mode: write a synthetic trace as SWF first.
+    path = std::filesystem::temp_directory_path() / "dras_example.swf";
+    dras::workload::GenerateOptions gen;
+    gen.num_jobs = 800;
+    gen.seed = 7;
+    const auto trace = dras::workload::generate_trace(
+        dras::workload::theta_mini_workload(), gen);
+    dras::workload::write_swf_file(path, trace);
+    std::cout << format("wrote {} jobs to {}\n", trace.size(),
+                        path.string());
+  }
+
+  const auto trace = dras::workload::read_swf_file(path);
+  if (trace.empty()) {
+    std::cerr << "no usable jobs in " << path << "\n";
+    return 1;
+  }
+  const auto summary = dras::workload::summarize_trace(trace);
+  std::cout << format(
+      "read {} jobs spanning {}; max job {} nodes, {} node-hours total\n",
+      summary.jobs, dras::metrics::format_duration(summary.span_seconds),
+      summary.max_size, format("{:.0f}", summary.total_node_hours));
+
+  // Size the simulated machine to the largest job (or use a preset).
+  const int nodes = std::max(summary.max_size, 64);
+  dras::sched::FcfsEasy fcfs;
+  const auto evaluation = dras::train::evaluate(nodes, trace, fcfs);
+
+  dras::metrics::print_table(
+      std::cout, {"metric", "value"},
+      {{"jobs completed", format("{}", evaluation.summary.jobs)},
+       {"avg wait", dras::metrics::format_duration(
+                        evaluation.summary.avg_wait)},
+       {"max wait", dras::metrics::format_duration(
+                        evaluation.summary.max_wait)},
+       {"avg slowdown", format("{:.2f}", evaluation.summary.avg_slowdown)},
+       {"utilization",
+        format("{:.1f}%", 100.0 * evaluation.summary.utilization)}});
+
+  if (argc <= 1) std::filesystem::remove(path);
+  return 0;
+}

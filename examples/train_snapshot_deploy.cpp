@@ -1,0 +1,103 @@
+// Model lifecycle: train → snapshot per episode → pick the converged
+// model → deploy it into a fresh agent (the paper's §III-C workflow:
+// "we monitor the progress of the training by taking a snapshot of the
+// model after each episode" and §IV-D "we use the model trained after the
+// 50th episode for testing").
+//
+//   ./train_snapshot_deploy [snapshot-dir]
+#include <filesystem>
+#include <iostream>
+
+#include "core/dras_agent.h"
+#include "core/presets.h"
+#include "metrics/report.h"
+#include "nn/serialize.h"
+#include "train/convergence.h"
+#include "train/evaluator.h"
+#include "train/trainer.h"
+#include "util/format.h"
+#include "workload/models.h"
+#include "workload/synthetic.h"
+
+int main(int argc, char** argv) {
+  using dras::util::format;
+  const auto system = dras::core::theta_mini();
+  const auto model = dras::workload::theta_mini_workload();
+
+  const std::filesystem::path snapshot_dir =
+      argc > 1 ? std::filesystem::path(argv[1])
+               : std::filesystem::temp_directory_path() / "dras_snapshots";
+  std::filesystem::create_directories(snapshot_dir);
+
+  // Validation trace used to monitor convergence.
+  dras::workload::GenerateOptions validation_gen;
+  validation_gen.num_jobs = 200;
+  validation_gen.seed = 2024;
+  const auto validation =
+      dras::workload::generate_trace(model, validation_gen);
+
+  // Train with per-episode snapshots and pick the best-validating episode.
+  dras::core::DrasAgent agent(
+      system.agent_config(dras::core::AgentKind::PG, 9));
+  dras::train::TrainerOptions options;
+  options.snapshot_dir = snapshot_dir;
+  dras::train::Trainer trainer(agent, system.nodes, validation, options);
+
+  std::size_t best_episode = 0;
+  double best_reward = -1e18;
+  constexpr int kEpisodes = 16;
+  dras::train::ConvergenceMonitor convergence(
+      {.window = 3, .tolerance = 0.03});
+  for (int episode = 0; episode < kEpisodes; ++episode) {
+    dras::workload::GenerateOptions gen;
+    gen.num_jobs = 300;
+    gen.seed = 700 + episode;
+    const auto result = trainer.run_episode(dras::train::Jobset{
+        format("jobset-{}", episode), dras::train::JobsetPhase::Synthetic,
+        dras::workload::generate_trace(model, gen)});
+    std::cout << format("episode {}: validation reward {:.2f}\n",
+                        result.episode, result.validation_reward);
+    if (result.validation_reward > best_reward) {
+      best_reward = result.validation_reward;
+      best_episode = result.episode;
+    }
+    // Stop early once the validation reward plateaus (the paper trains
+    // until convergence, then deploys that episode's snapshot, §IV-D).
+    if (convergence.record(result.validation_reward)) {
+      std::cout << format("validation reward converged at episode {}\n",
+                          *convergence.converged_at());
+      break;
+    }
+  }
+  std::cout << format("\nconverged model: episode {} (reward {:.2f})\n",
+                      best_episode, best_reward);
+
+  // Deploy: load the chosen snapshot into a fresh agent.
+  const auto snapshot_path =
+      snapshot_dir / format("DRAS-PG-episode-{}.bin", best_episode);
+  dras::core::DrasAgent deployed(
+      system.agent_config(dras::core::AgentKind::PG, 9));
+  {
+    const auto loaded = dras::nn::load_network_file(snapshot_path);
+    const auto src = loaded.parameters();
+    const auto dst = deployed.network().parameters();
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  deployed.set_training(false);
+
+  // Confirm the deployed model reproduces the snapshot's behaviour.
+  dras::workload::GenerateOptions test_gen;
+  test_gen.num_jobs = 400;
+  test_gen.seed = 4242;
+  const auto test_trace = dras::workload::generate_trace(model, test_gen);
+  const auto evaluation =
+      dras::train::evaluate(system.nodes, test_trace, deployed);
+  dras::metrics::print_table(
+      std::cout, {"deployed model metric", "value"},
+      {{"jobs", format("{}", evaluation.summary.jobs)},
+       {"avg wait",
+        dras::metrics::format_duration(evaluation.summary.avg_wait)},
+       {"utilization",
+        format("{:.1f}%", 100.0 * evaluation.summary.utilization)}});
+  return 0;
+}

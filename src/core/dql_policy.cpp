@@ -1,0 +1,87 @@
+#include "core/dql_policy.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace dras::core {
+
+DQLPolicy::DQLPolicy(const DQLConfig& config, std::uint64_t seed)
+    : config_(config),
+      network_([&] {
+        if (config.net.outputs != 1)
+          throw std::invalid_argument("DQL network must have one output");
+        util::Rng init_rng(util::derive_seed(seed, "dql-init"));
+        return nn::Network(config.net, init_rng);
+      }()),
+      optimizer_(network_.parameter_count(), config.adam),
+      epsilon_(config.epsilon_init) {}
+
+double DQLPolicy::q_value(std::span<const float> state) {
+  return static_cast<double>(network_.forward(state)[0]);
+}
+
+std::size_t DQLPolicy::select_action(
+    const std::vector<std::vector<float>>& candidates, util::Rng& rng,
+    bool explore) {
+  if (candidates.empty())
+    throw std::invalid_argument("no candidates to select among");
+  if (explore && rng.bernoulli(epsilon_))
+    return rng.uniform_index(candidates.size());
+  std::size_t best = 0;
+  double best_q = q_value(candidates[0]);
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
+    const double q = q_value(candidates[i]);
+    if (q > best_q) {
+      best_q = q;
+      best = i;
+    }
+  }
+  return best;
+}
+
+void DQLPolicy::record(std::vector<std::vector<float>> candidates,
+                       std::size_t action, double reward) {
+  assert(action < candidates.size());
+  memory_.push_back(Transition{std::move(candidates), action, reward});
+}
+
+double DQLPolicy::max_q(const std::vector<std::vector<float>>& states) {
+  double best = q_value(states.front());
+  for (std::size_t i = 1; i < states.size(); ++i)
+    best = std::max(best, q_value(states[i]));
+  return best;
+}
+
+void DQLPolicy::update() {
+  if (memory_.empty()) return;
+
+  // Bootstrap targets first (they query the network with current θ).
+  std::vector<double> targets(memory_.size());
+  for (std::size_t k = 0; k < memory_.size(); ++k) {
+    double target = memory_[k].reward;
+    if (k + 1 < memory_.size())
+      target += config_.gamma * max_q(memory_[k + 1].candidates);
+    targets[k] = target;
+  }
+
+  network_.zero_gradients();
+  float td_error_grad[1];
+  for (std::size_t k = 0; k < memory_.size(); ++k) {
+    const Transition& tr = memory_[k];
+    const double q_old = q_value(tr.candidates[tr.action]);
+    // Semi-gradient of ½(Q − target)² w.r.t. θ: (Q − target)·∇Q.
+    td_error_grad[0] = static_cast<float>(q_old - targets[k]);
+    network_.backward(std::span<const float>(td_error_grad, 1));
+  }
+  const auto scale = 1.0f / static_cast<float>(memory_.size());
+  for (float& g : network_.gradients()) g *= scale;
+  optimizer_.step(network_.parameters(), network_.gradients());
+  network_.zero_gradients();
+  memory_.clear();
+
+  epsilon_ = std::max(config_.epsilon_min, epsilon_ * config_.epsilon_decay);
+  ++updates_;
+}
+
+}  // namespace dras::core

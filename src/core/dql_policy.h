@@ -1,0 +1,86 @@
+// DRAS-DQL: deep-Q head over the shared five-layer network
+// (paper §III-B, Eq. 4).
+//
+// The network scores one job at a time: the input is a single job block
+// plus the node rows, the output a scalar Q.  A window of W jobs is scored
+// with W forward passes of the same network; the agent normally takes the
+// argmax, or a uniformly random job with probability ε (ε starts at 1.0
+// and decays by ×0.995 per update).  Learning is semi-gradient TD:
+//
+//   θ ← θ − α Σ_k ∇θ Q(s_k,a_k) ( Q(s_k,a_k) − [r_k + γ·max_a Q(s_{k+1},a)] )
+//
+// The paper's Eq. 4 omits γ; we expose it (default 0.99) and note the
+// deviation in EXPERIMENTS.md.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/adam.h"
+#include "nn/network.h"
+#include "util/rng.h"
+
+namespace dras::core {
+
+struct DQLConfig {
+  nn::NetworkConfig net;  ///< outputs must be 1.
+  nn::AdamConfig adam;
+  double gamma = 0.99;
+  double epsilon_init = 1.0;
+  double epsilon_decay = 0.995;  ///< multiplicative, per update (§III-B).
+  double epsilon_min = 0.01;
+};
+
+class DQLPolicy {
+ public:
+  DQLPolicy(const DQLConfig& config, std::uint64_t seed);
+
+  /// Q-value of a single encoded (job, nodes) state.
+  [[nodiscard]] double q_value(std::span<const float> state);
+
+  /// ε-greedy selection among candidate states (one encoding per job in
+  /// the window).  With `explore` false the choice is pure argmax.
+  [[nodiscard]] std::size_t select_action(
+      const std::vector<std::vector<float>>& candidates, util::Rng& rng,
+      bool explore);
+
+  /// Append one transition.  `candidates` are the encodings the selection
+  /// chose among; the next recorded transition supplies s_{k+1}.
+  void record(std::vector<std::vector<float>> candidates, std::size_t action,
+              double reward);
+
+  /// Eq. 4 semi-gradient update over the recorded transitions; clears the
+  /// memory and decays ε.  No-op when the memory is empty.
+  void update();
+
+  [[nodiscard]] double epsilon() const noexcept { return epsilon_; }
+  [[nodiscard]] std::size_t pending_steps() const noexcept {
+    return memory_.size();
+  }
+  [[nodiscard]] std::size_t updates_done() const noexcept { return updates_; }
+  [[nodiscard]] nn::Network& network() noexcept { return network_; }
+  [[nodiscard]] const nn::Network& network() const noexcept {
+    return network_;
+  }
+  [[nodiscard]] nn::Adam& optimizer() noexcept { return optimizer_; }
+
+  void discard_memory() { memory_.clear(); }
+
+ private:
+  struct Transition {
+    std::vector<std::vector<float>> candidates;
+    std::size_t action = 0;
+    double reward = 0.0;
+  };
+
+  [[nodiscard]] double max_q(const std::vector<std::vector<float>>& states);
+
+  DQLConfig config_;
+  nn::Network network_;
+  nn::Adam optimizer_;
+  std::vector<Transition> memory_;
+  double epsilon_;
+  std::size_t updates_ = 0;
+};
+
+}  // namespace dras::core

@@ -1,0 +1,183 @@
+#include "core/dras_agent.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "core/window.h"
+
+namespace dras::core {
+
+std::string_view to_string(AgentKind kind) noexcept {
+  return kind == AgentKind::PG ? "DRAS-PG" : "DRAS-DQL";
+}
+
+nn::NetworkConfig DrasConfig::network_config() const {
+  nn::NetworkConfig net;
+  net.fc1 = fc1;
+  net.fc2 = fc2;
+  if (kind == AgentKind::PG) {
+    net.input_rows = 2 * window + static_cast<std::size_t>(total_nodes);
+    net.outputs = window;
+  } else {
+    net.input_rows = 2 + static_cast<std::size_t>(total_nodes);
+    net.outputs = 1;
+  }
+  return net;
+}
+
+DrasAgent::DrasAgent(const DrasConfig& config)
+    : config_(config),
+      name_(to_string(config.kind)),
+      reward_(config.reward_kind, config.reward_weights),
+      encoder_(config.total_nodes, config.time_scale),
+      rng_(util::derive_seed(config.seed, "dras-agent")) {
+  if (config.total_nodes <= 0)
+    throw std::invalid_argument("agent needs a positive node count");
+  if (config.window == 0)
+    throw std::invalid_argument("agent needs a non-empty window");
+  if (config.kind == AgentKind::PG) {
+    PGConfig pg_cfg;
+    pg_cfg.net = config.network_config();
+    pg_cfg.adam = config.adam;
+    pg_ = std::make_unique<PGPolicy>(pg_cfg, config.seed);
+  } else {
+    DQLConfig dql_cfg;
+    dql_cfg.net = config.network_config();
+    dql_cfg.adam = config.adam;
+    dql_cfg.gamma = config.gamma;
+    dql_cfg.epsilon_init = config.epsilon_init;
+    dql_cfg.epsilon_decay = config.epsilon_decay;
+    dql_cfg.epsilon_min = config.epsilon_min;
+    dql_ = std::make_unique<DQLPolicy>(dql_cfg, config.seed);
+  }
+}
+
+nn::Network& DrasAgent::network() {
+  return pg_ ? pg_->network() : dql_->network();
+}
+const nn::Network& DrasAgent::network() const {
+  return pg_ ? pg_->network() : dql_->network();
+}
+
+void DrasAgent::begin_episode() {
+  episode_reward_ = 0.0;
+  episode_actions_ = 0;
+  staged_ = false;
+  // Parameters persist across episodes: training is continual (§III-C).
+  // The action-sampling stream restarts so that an episode's trajectory is
+  // a deterministic function of (parameters, trace, seed).
+  rng_ = util::Rng(util::derive_seed(config_.seed, "dras-agent"));
+}
+
+void DrasAgent::end_episode() {
+  // Flush a partial batch so no experience leaks across episodes.
+  if (training_) {
+    if (pg_) pg_->update();
+    if (dql_) dql_->update();
+  }
+}
+
+std::size_t DrasAgent::select(const sim::SchedulingContext& ctx,
+                              std::span<const sim::Job* const> window) {
+  assert(!window.empty());
+  const std::size_t valid = window.size();
+  std::size_t action = 0;
+  if (config_.kind == AgentKind::PG) {
+    encoder_.encode_window(ctx, window, config_.window, encode_scratch_);
+    // The PG policy is stochastic at training AND evaluation time: "a
+    // scheduling action is stochastically drawn from the W jobs following
+    // their probability distributions" (§III-B).  A deterministic argmax
+    // would let a positional bias starve whatever job it never points at.
+    action = pg_->sample_action(encode_scratch_, valid, rng_);
+    if (training_) {
+      staged_state_ = encode_scratch_;
+      staged_valid_ = valid;
+      staged_action_ = action;
+      staged_ = true;
+    }
+  } else {
+    staged_candidates_.clear();
+    staged_candidates_.reserve(valid);
+    for (const sim::Job* job : window) {
+      encoder_.encode_job(ctx, *job, encode_scratch_);
+      staged_candidates_.push_back(encode_scratch_);
+    }
+    action = dql_->select_action(staged_candidates_, rng_,
+                                 /*explore=*/training_);
+    staged_action_ = action;
+    staged_ = training_;
+  }
+  return action;
+}
+
+void DrasAgent::commit_reward(double reward) {
+  episode_reward_ += reward;
+  ++episode_actions_;
+  if (!staged_) return;
+  if (config_.kind == AgentKind::PG) {
+    pg_->record(std::move(staged_state_), staged_valid_, staged_action_,
+                reward);
+  } else {
+    dql_->record(std::move(staged_candidates_), staged_action_, reward);
+  }
+  staged_ = false;
+}
+
+void DrasAgent::maybe_update() {
+  ++instances_seen_;
+  if (!training_) return;
+  if (instances_seen_ % static_cast<std::size_t>(config_.update_every) != 0)
+    return;
+  if (pg_) pg_->update();
+  if (dql_) dql_->update();
+}
+
+void DrasAgent::schedule(sim::SchedulingContext& ctx) {
+  // --- Level 1: immediate execution or reservation (§III-B). ---
+  // Skipped while the reservation ledger is full (at the paper's depth 1:
+  // whenever a reservation from an earlier instance is outstanding) — the
+  // reservation blocks the machine head, so the only legal starts are
+  // backfills, which is precisely level 2's job.
+  std::vector<sim::Job*> eligible;
+  while (!ctx.reservation().full()) {
+    eligible.clear();
+    for (sim::Job* job : ctx.queue())
+      if (!ctx.is_reserved(job->id)) eligible.push_back(job);
+    if (eligible.empty()) break;
+    const auto window = truncate_window(eligible, config_.window);
+    const std::size_t idx = select(ctx, window);
+    const sim::Job* job = window[idx];
+    if (ctx.cluster().fits(job->size) && ctx.start_now(job->id)) {
+      commit_reward(reward_.step_reward(ctx, *job));
+      continue;
+    }
+    if (ctx.reserve(job->id)) {
+      commit_reward(reward_.step_reward(ctx, *job));
+      if (ctx.reservation().full()) break;  // paper behaviour at depth 1
+      continue;
+    }
+    // Neither startable nor reservable (e.g. fitting-but-unsafe with a
+    // full profile): drop the staged experience and end level 1.
+    discard_staged();
+    break;
+  }
+
+  // --- Level 2: backfilling against the reservation (§III-B). ---
+  if (ctx.reservation().active()) {
+    while (true) {
+      const auto candidates = ctx.backfill_candidates();
+      if (candidates.empty()) break;
+      const auto window = truncate_window(candidates, config_.window);
+      const std::size_t idx = select(ctx, window);
+      const sim::Job* job = window[idx];
+      const bool ok = ctx.backfill(job->id);
+      assert(ok);
+      (void)ok;
+      commit_reward(reward_.step_reward(ctx, *job));
+    }
+  }
+
+  maybe_update();
+}
+
+}  // namespace dras::core

@@ -1,0 +1,120 @@
+// The DRAS scheduling agent (paper §III).
+//
+// DrasAgent implements the hierarchical two-level decision procedure of
+// §III-B on top of either the PG or the DQL policy head:
+//
+//   level 1: repeatedly select a job from the W-slot window at the front
+//            of the wait queue; start it if it fits.  The first selected
+//            job that does not fit is *reserved* at its earliest start,
+//            which hands control to level 2.
+//   level 2: fill the window with backfill candidates (jobs that fit the
+//            holes before the reserved start) and select one at a time
+//            until no candidate remains.
+//
+// Every selection produces a reward (Eq. 1 or Eq. 2) evaluated on the
+// post-action state; every `update_every` scheduling instances the policy
+// performs one parameter update and clears its memory (§III-C).  With
+// training disabled the agent acts greedily and collects no experience —
+// that is the evaluation mode used for validation reward curves.  Keeping
+// training enabled during testing gives the continual adaptation of §V-D.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/dql_policy.h"
+#include "core/pg_policy.h"
+#include "core/reward.h"
+#include "core/state_encoder.h"
+#include "sim/scheduler.h"
+#include "util/rng.h"
+
+namespace dras::core {
+
+enum class AgentKind { PG, DQL };
+
+[[nodiscard]] std::string_view to_string(AgentKind kind) noexcept;
+
+struct DrasConfig {
+  AgentKind kind = AgentKind::PG;
+  int total_nodes = 0;
+  std::size_t window = 50;      ///< W (§III-B; Table III output width).
+  std::size_t fc1 = 0;          ///< Hidden layer widths (Table III).
+  std::size_t fc2 = 0;
+  double time_scale = 86400.0;  ///< Encoder normalisation (max walltime).
+  RewardKind reward_kind = RewardKind::Capability;
+  RewardWeights reward_weights;
+  int update_every = 10;        ///< Scheduling instances per update (§III-C).
+  nn::AdamConfig adam;          ///< lr 1e-3 (paper §IV-D).
+  double gamma = 0.99;          ///< DQL bootstrap discount.
+  double epsilon_init = 1.0;    ///< DQL exploration (§III-B).
+  double epsilon_decay = 0.995;
+  double epsilon_min = 0.01;
+  std::uint64_t seed = 1;
+
+  [[nodiscard]] nn::NetworkConfig network_config() const;
+};
+
+class DrasAgent final : public sim::Scheduler {
+ public:
+  explicit DrasAgent(const DrasConfig& config);
+
+  [[nodiscard]] std::string_view name() const override { return name_; }
+  void begin_episode() override;
+  void end_episode() override;
+  void schedule(sim::SchedulingContext& ctx) override;
+
+  /// Enable/disable learning.  Disabled = greedy evaluation, no updates.
+  void set_training(bool enabled) noexcept { training_ = enabled; }
+  [[nodiscard]] bool training() const noexcept { return training_; }
+
+  /// Sum of step rewards collected during the current/last episode
+  /// (the quantity plotted in Fig. 5).
+  [[nodiscard]] double episode_reward() const noexcept {
+    return episode_reward_;
+  }
+  [[nodiscard]] std::size_t episode_actions() const noexcept {
+    return episode_actions_;
+  }
+
+  [[nodiscard]] const DrasConfig& config() const noexcept { return config_; }
+  [[nodiscard]] nn::Network& network();
+  [[nodiscard]] const nn::Network& network() const;
+  /// Non-null exactly when kind == PG / DQL respectively.
+  [[nodiscard]] PGPolicy* pg() noexcept { return pg_.get(); }
+  [[nodiscard]] DQLPolicy* dql() noexcept { return dql_.get(); }
+
+ private:
+  /// Select a job index within `window`; stages the experience so that
+  /// `commit_reward` can attach the post-action reward.
+  [[nodiscard]] std::size_t select(const sim::SchedulingContext& ctx,
+                                   std::span<const sim::Job* const> window);
+  void commit_reward(double reward);
+  /// Drop a staged experience whose action turned out to be illegal.
+  void discard_staged() noexcept { staged_ = false; }
+  void maybe_update();
+
+  DrasConfig config_;
+  std::string name_;
+  RewardFunction reward_;
+  StateEncoder encoder_;
+  std::unique_ptr<PGPolicy> pg_;
+  std::unique_ptr<DQLPolicy> dql_;
+  util::Rng rng_;
+  bool training_ = true;
+
+  // Staged experience between select() and commit_reward().
+  std::vector<float> staged_state_;                 // PG
+  std::vector<std::vector<float>> staged_candidates_;  // DQL
+  std::size_t staged_valid_ = 0;
+  std::size_t staged_action_ = 0;
+  bool staged_ = false;
+
+  double episode_reward_ = 0.0;
+  std::size_t episode_actions_ = 0;
+  std::size_t instances_seen_ = 0;
+  std::vector<float> encode_scratch_;
+};
+
+}  // namespace dras::core

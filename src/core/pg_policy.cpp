@@ -1,0 +1,108 @@
+#include "core/pg_policy.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "nn/ops.h"
+
+namespace dras::core {
+
+PGPolicy::PGPolicy(const PGConfig& config, std::uint64_t seed)
+    : config_(config),
+      network_([&] {
+        util::Rng init_rng(util::derive_seed(seed, "pg-init"));
+        return nn::Network(config.net, init_rng);
+      }()),
+      optimizer_(network_.parameter_count(), config.adam) {
+  probs_scratch_.resize(config_.net.outputs);
+}
+
+void PGPolicy::action_probabilities(std::span<const float> state,
+                                    std::size_t valid,
+                                    std::vector<float>& probs) {
+  if (valid == 0 || valid > config_.net.outputs)
+    throw std::invalid_argument("invalid action count");
+  const auto logits = network_.forward(state);
+  probs.resize(logits.size());
+  nn::softmax_masked(logits, probs, valid);
+}
+
+std::size_t PGPolicy::sample_action(std::span<const float> state,
+                                    std::size_t valid, util::Rng& rng) {
+  action_probabilities(state, valid, probs_scratch_);
+  std::vector<double> weights(probs_scratch_.begin(),
+                              probs_scratch_.begin() +
+                                  static_cast<std::ptrdiff_t>(valid));
+  const std::size_t pick = rng.weighted_index(weights.data(), valid);
+  return pick < valid ? pick : 0;
+}
+
+std::size_t PGPolicy::greedy_action(std::span<const float> state,
+                                    std::size_t valid) {
+  action_probabilities(state, valid, probs_scratch_);
+  return static_cast<std::size_t>(
+      std::max_element(probs_scratch_.begin(),
+                       probs_scratch_.begin() +
+                           static_cast<std::ptrdiff_t>(valid)) -
+      probs_scratch_.begin());
+}
+
+void PGPolicy::record(std::vector<float> state, std::size_t valid,
+                      std::size_t action, double reward) {
+  assert(action < valid && valid <= config_.net.outputs);
+  memory_.push_back(Step{std::move(state), valid, action, reward});
+}
+
+void PGPolicy::update() {
+  if (memory_.empty()) return;
+  const std::size_t k_total = memory_.size();
+
+  // Returns-to-go: G_k = sum_{k' >= k} r_{k'} (Eq. 3, undiscounted).
+  std::vector<double> returns(k_total);
+  double acc = 0.0;
+  for (std::size_t k = k_total; k-- > 0;) {
+    acc += memory_[k].reward;
+    returns[k] = acc;
+  }
+
+  if (baseline_sum_.size() < k_total) {
+    baseline_sum_.resize(k_total, 0.0);
+    baseline_count_.resize(k_total, 0);
+  }
+
+  network_.zero_gradients();
+  std::vector<float> grad_logits(config_.net.outputs);
+  for (std::size_t k = 0; k < k_total; ++k) {
+    const Step& step = memory_[k];
+    const double baseline = baseline_count_[k] > 0
+                                ? baseline_sum_[k] /
+                                      static_cast<double>(baseline_count_[k])
+                                : 0.0;
+    const double advantage = returns[k] - baseline;
+    // Update the running baseline with this batch's return (after use, so
+    // b_k averages over *past* parameter updates only).
+    baseline_sum_[k] += returns[k];
+    ++baseline_count_[k];
+
+    // Gradient of −log π(a|s)·A at the logits: (softmax − onehot_a)·A.
+    const auto logits = network_.forward(step.state);
+    nn::softmax_masked(logits, probs_scratch_, step.valid);
+    const auto adv = static_cast<float>(advantage);
+    for (std::size_t i = 0; i < grad_logits.size(); ++i)
+      grad_logits[i] = probs_scratch_[i] * adv;
+    grad_logits[step.action] -= adv;
+    network_.backward(grad_logits);
+  }
+
+  // Average over the batch, matching the 1/K-free form of Eq. 3 loosely but
+  // keeping step magnitude independent of batch length.
+  const auto scale = 1.0f / static_cast<float>(k_total);
+  for (float& g : network_.gradients()) g *= scale;
+  optimizer_.step(network_.parameters(), network_.gradients());
+  network_.zero_gradients();
+  memory_.clear();
+  ++updates_;
+}
+
+}  // namespace dras::core

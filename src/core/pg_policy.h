@@ -1,0 +1,88 @@
+// DRAS-PG: policy-gradient head over the shared five-layer network
+// (paper §III-B, Eq. 3).
+//
+// The network maps the encoded window state to W logits; a masked softmax
+// turns the first `valid` logits into a distribution over the jobs present
+// in the window, and the action is drawn stochastically from it.  Updates
+// are episodic REINFORCE with a per-step baseline:
+//
+//   θ ← θ + α Σ_k ∇θ log πθ(s_k, a_k) ( Σ_{k'>=k} r_{k'} − b_k )
+//
+// where b_k is the running mean over all past updates of the cumulative
+// reward from step k onward.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/adam.h"
+#include "nn/network.h"
+#include "util/rng.h"
+
+namespace dras::core {
+
+struct PGConfig {
+  nn::NetworkConfig net;  ///< outputs = window slots W.
+  nn::AdamConfig adam;    ///< lr defaults to the paper's 1e-3.
+};
+
+class PGPolicy {
+ public:
+  PGPolicy(const PGConfig& config, std::uint64_t seed);
+
+  /// Stochastic draw from the masked softmax over the first `valid`
+  /// actions (training-time behaviour).
+  [[nodiscard]] std::size_t sample_action(std::span<const float> state,
+                                          std::size_t valid, util::Rng& rng);
+
+  /// Deterministic argmax action (evaluation-time behaviour).
+  [[nodiscard]] std::size_t greedy_action(std::span<const float> state,
+                                          std::size_t valid);
+
+  /// Action probabilities for the given state (masked softmax).
+  void action_probabilities(std::span<const float> state, std::size_t valid,
+                            std::vector<float>& probs);
+
+  /// Append one experience step to the on-policy memory.
+  void record(std::vector<float> state, std::size_t valid, std::size_t action,
+              double reward);
+
+  /// Eq. 3 update over the recorded steps; clears the memory afterwards
+  /// ("updates its parameters based on the collected observations and then
+  /// clears the memory", §III-C).  No-op when the memory is empty.
+  void update();
+
+  [[nodiscard]] std::size_t pending_steps() const noexcept {
+    return memory_.size();
+  }
+  [[nodiscard]] std::size_t updates_done() const noexcept { return updates_; }
+  [[nodiscard]] nn::Network& network() noexcept { return network_; }
+  [[nodiscard]] const nn::Network& network() const noexcept {
+    return network_;
+  }
+  [[nodiscard]] nn::Adam& optimizer() noexcept { return optimizer_; }
+
+  /// Drop recorded experience without updating (e.g. when switching from
+  /// training to evaluation mid-run).
+  void discard_memory() { memory_.clear(); }
+
+ private:
+  struct Step {
+    std::vector<float> state;
+    std::size_t valid = 0;
+    std::size_t action = 0;
+    double reward = 0.0;
+  };
+
+  PGConfig config_;
+  nn::Network network_;
+  nn::Adam optimizer_;
+  std::vector<Step> memory_;
+  // Running baseline statistics per step index k.
+  std::vector<double> baseline_sum_;
+  std::vector<std::size_t> baseline_count_;
+  std::size_t updates_ = 0;
+  std::vector<float> probs_scratch_;
+};
+
+}  // namespace dras::core

@@ -1,0 +1,44 @@
+// System presets: the paper's two target systems (Table II / Table III)
+// plus proportionally scaled-down "mini" variants used by the trace-driven
+// experiments so each bench completes in seconds to minutes.
+//
+//   theta  — ALCF Theta:  4,360 user nodes (4,392 minus 32 debug nodes,
+//            §IV-C), capability computing, reward Eq. 1, W = 50,
+//            hidden 4000/1000, max walltime 1 day.
+//   cori   — NERSC Cori: 12,076 nodes, capacity computing, reward Eq. 2,
+//            W = 50, hidden 10000/4000, max walltime 7 days.
+//   *_mini — node counts and job sizes divided by 16, W = 10, small hidden
+//            layers.  Scheduling dynamics depend on job-size-to-machine
+//            ratios and load, which the scaling preserves (DESIGN.md §1).
+#pragma once
+
+#include <string>
+
+#include "core/dras_agent.h"
+
+namespace dras::core {
+
+struct SystemPreset {
+  std::string name;
+  int nodes = 0;
+  std::size_t window = 50;
+  std::size_t fc1 = 0;
+  std::size_t fc2 = 0;
+  RewardKind reward = RewardKind::Capability;
+  double max_walltime = 86400.0;  ///< Seconds; also the encoder time scale.
+
+  /// Network shapes as in Table III.
+  [[nodiscard]] nn::NetworkConfig pg_network() const;
+  [[nodiscard]] nn::NetworkConfig dql_network() const;
+
+  /// Ready-to-use agent configuration for this system.
+  [[nodiscard]] DrasConfig agent_config(AgentKind kind,
+                                        std::uint64_t seed) const;
+};
+
+[[nodiscard]] SystemPreset theta();
+[[nodiscard]] SystemPreset cori();
+[[nodiscard]] SystemPreset theta_mini();
+[[nodiscard]] SystemPreset cori_mini();
+
+}  // namespace dras::core

@@ -1,0 +1,66 @@
+#include "core/reward.h"
+
+#include <algorithm>
+
+namespace dras::core {
+
+std::string_view to_string(RewardKind kind) noexcept {
+  return kind == RewardKind::Capability ? "capability" : "capacity";
+}
+
+RewardFunction::RewardFunction(RewardKind kind, RewardWeights weights)
+    : kind_(kind), weights_(weights) {}
+
+double RewardFunction::step_reward(const sim::SchedulingContext& ctx,
+                                   const sim::Job& job) const {
+  const auto n_total = static_cast<double>(ctx.cluster().total_nodes());
+  switch (kind_) {
+    case RewardKind::Capability: {
+      const double wait = std::max(ctx.now() - job.submit_time, 0.0);
+      // t_max covers the selected job too: the selected job may itself have
+      // been the longest-waiting one before the action removed it.
+      const double t_max =
+          std::max({ctx.max_queued_time(), wait, kQueuedTimeFloor});
+      const double wait_share = wait / t_max;
+      const double size_share = static_cast<double>(job.size) / n_total;
+      const double util = ctx.cluster().utilization();
+      return weights_.w1 * wait_share + weights_.w2 * size_share +
+             weights_.w3 * util;
+    }
+    case RewardKind::Capacity: {
+      const auto& queue = ctx.queue();
+      if (queue.empty()) return 0.0;
+      double sum = 0.0;
+      for (const sim::Job* waiting : queue) {
+        const double queued =
+            std::max(ctx.now() - waiting->submit_time, kQueuedTimeFloor);
+        sum += -1.0 / queued;
+      }
+      return sum / static_cast<double>(queue.size());
+    }
+  }
+  return 0.0;
+}
+
+double RewardFunction::job_value(const sim::SchedulingContext& ctx,
+                                 const sim::Job& job) const {
+  const auto n_total = static_cast<double>(ctx.cluster().total_nodes());
+  const double queued =
+      std::max(ctx.now() - job.submit_time, kQueuedTimeFloor);
+  switch (kind_) {
+    case RewardKind::Capability: {
+      const double t_max = std::max(ctx.max_queued_time(), kQueuedTimeFloor);
+      // Selecting the job contributes its wait share, its size share and —
+      // by occupying size nodes — the same size share of utilisation.
+      return weights_.w1 * (queued / t_max) +
+             (weights_.w2 + weights_.w3) *
+                 (static_cast<double>(job.size) / n_total);
+    }
+    case RewardKind::Capacity:
+      // Removing the job deletes its −1/t_j penalty from Eq. 2.
+      return 1.0 / queued;
+  }
+  return 0.0;
+}
+
+}  // namespace dras::core

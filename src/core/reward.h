@@ -1,0 +1,63 @@
+// Scheduling reward functions (paper §III-A).
+//
+// Capability computing (Eq. 1):  w1·t̄/t_max + w2·n̄/N + w3·N_used/N
+//   — balances starvation avoidance (reward selecting long-waiting jobs),
+//     capability-job promotion (reward selecting large jobs), and system
+//     utilisation.  Weights default to the paper's 1/3 each (§IV-D).
+//
+// Capacity computing (Eq. 2):  ( Σ_{j∈J} −1/t_j ) / c
+//   — a penalty over the jobs *left* in the queue, largest for recently
+//     submitted jobs, aimed at minimising average wait.
+//
+// DRAS decomposes each scheduling instance into single-job selections, so
+// the reward is evaluated per selection, immediately after the action.
+#pragma once
+
+#include "sim/scheduler.h"
+
+namespace dras::core {
+
+enum class RewardKind {
+  Capability,  ///< Eq. 1 — used for Theta-like systems.
+  Capacity,    ///< Eq. 2 — used for Cori-like systems.
+};
+
+[[nodiscard]] std::string_view to_string(RewardKind kind) noexcept;
+
+struct RewardWeights {
+  double w1 = 1.0 / 3.0;  ///< starvation avoidance (wait share)
+  double w2 = 1.0 / 3.0;  ///< capability promotion (size share)
+  double w3 = 1.0 / 3.0;  ///< utilisation share
+};
+
+class RewardFunction {
+ public:
+  explicit RewardFunction(RewardKind kind, RewardWeights weights = {});
+
+  [[nodiscard]] RewardKind kind() const noexcept { return kind_; }
+  [[nodiscard]] const RewardWeights& weights() const noexcept {
+    return weights_;
+  }
+
+  /// Reward for having just selected `job`, evaluated on the post-action
+  /// environment state in `ctx`.
+  [[nodiscard]] double step_reward(const sim::SchedulingContext& ctx,
+                                   const sim::Job& job) const;
+
+  /// Myopic per-job value used by the knapsack Optimization baseline: the
+  /// immediate objective gain of selecting `job` right now.  Shares the
+  /// scheduling objective with DRAS ("for a fair comparison, we use the
+  /// same scheduling objectives for Optimization and for DRAS", §IV-A).
+  [[nodiscard]] double job_value(const sim::SchedulingContext& ctx,
+                                 const sim::Job& job) const;
+
+ private:
+  RewardKind kind_;
+  RewardWeights weights_;
+};
+
+/// Floor applied to queued times before reciprocals (avoids 1/0 blow-ups
+/// for jobs selected or evaluated immediately after submission).
+inline constexpr double kQueuedTimeFloor = 1.0;
+
+}  // namespace dras::core

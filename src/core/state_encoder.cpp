@@ -1,0 +1,63 @@
+#include "core/state_encoder.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace dras::core {
+
+StateEncoder::StateEncoder(int total_nodes, double time_scale)
+    : total_nodes_(total_nodes), time_scale_(time_scale) {
+  if (total_nodes <= 0 || time_scale <= 0.0)
+    throw std::invalid_argument("encoder needs positive nodes/time scale");
+}
+
+void StateEncoder::write_job_block(const sim::Job& job, sim::Time now,
+                                   float* out) const noexcept {
+  const auto n = static_cast<float>(total_nodes_);
+  const auto ts = static_cast<float>(time_scale_);
+  // Row 1: size, runtime estimate.
+  out[0] = static_cast<float>(job.size) / n;
+  out[1] = static_cast<float>(job.runtime_estimate) / ts;
+  // Row 2: priority, queued time.
+  out[2] = static_cast<float>(job.priority);
+  out[3] = static_cast<float>(std::max(0.0, now - job.submit_time)) / ts;
+}
+
+void StateEncoder::append_nodes(const sim::SchedulingContext& ctx,
+                                float* out) const {
+  ctx.cluster().encode_nodes(ctx.now(), node_scratch_);
+  assert(node_scratch_.size() == static_cast<std::size_t>(total_nodes_));
+  const auto ts = static_cast<float>(time_scale_);
+  for (std::size_t i = 0; i < node_scratch_.size(); ++i) {
+    out[2 * i] = node_scratch_[i].available;
+    out[2 * i + 1] = node_scratch_[i].release_delta / ts;
+  }
+}
+
+void StateEncoder::encode_window(const sim::SchedulingContext& ctx,
+                                 std::span<const sim::Job* const> window,
+                                 std::size_t window_slots,
+                                 std::vector<float>& out) const {
+  if (window.size() > window_slots)
+    throw std::invalid_argument("window holds more jobs than slots");
+  out.assign(pg_input_size(window_slots), 0.0f);
+  float* cursor = out.data();
+  for (const sim::Job* job : window) {
+    write_job_block(*job, ctx.now(), cursor);
+    cursor += 4;
+  }
+  // Remaining slots stay zero (invalid actions are masked downstream).
+  cursor = out.data() + 4 * window_slots;
+  append_nodes(ctx, cursor);
+}
+
+void StateEncoder::encode_job(const sim::SchedulingContext& ctx,
+                              const sim::Job& job,
+                              std::vector<float>& out) const {
+  out.assign(dql_input_size(), 0.0f);
+  write_job_block(job, ctx.now(), out.data());
+  append_nodes(ctx, out.data() + 4);
+}
+
+}  // namespace dras::core

@@ -1,0 +1,68 @@
+// State encoding (paper §III-A).
+//
+// Each waiting job becomes a [2,2] block:
+//     [ job size          , runtime estimate ]
+//     [ priority (0/1)    , queued time      ]
+// Each node becomes a [1,2] row:
+//     [ availability (0/1), estimated-release minus now (0 if available) ]
+//
+// DRAS-PG concatenates W job blocks (zero-padded when fewer jobs are in the
+// window) with the N node rows → input [2W+N, 2].
+// DRAS-DQL concatenates one job block with the node rows → input [2+N, 2].
+//
+// The paper feeds raw values; we additionally scale sizes by the machine
+// size and times by a per-system time scale so the network inputs stay
+// O(1) — a standard conditioning detail that does not change what the
+// agent observes.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sim/cluster.h"
+#include "sim/scheduler.h"
+
+namespace dras::core {
+
+class StateEncoder {
+ public:
+  /// `time_scale` is the characteristic time (seconds) used to normalise
+  /// runtimes, queued times and release deltas (e.g. the system's maximum
+  /// walltime).
+  StateEncoder(int total_nodes, double time_scale);
+
+  [[nodiscard]] int total_nodes() const noexcept { return total_nodes_; }
+  [[nodiscard]] double time_scale() const noexcept { return time_scale_; }
+
+  /// Flat input length for a PG network over a W-job window.
+  [[nodiscard]] std::size_t pg_input_size(std::size_t window) const noexcept {
+    return 2 * (2 * window + static_cast<std::size_t>(total_nodes_));
+  }
+  /// Flat input length for a DQL network (one job).
+  [[nodiscard]] std::size_t dql_input_size() const noexcept {
+    return 2 * (2 + static_cast<std::size_t>(total_nodes_));
+  }
+
+  /// Encode a W-slot window (PG).  `window` holds the jobs actually present
+  /// (size <= window_slots); missing slots are zero blocks.  `out` is
+  /// resized to pg_input_size(window_slots).
+  void encode_window(const sim::SchedulingContext& ctx,
+                     std::span<const sim::Job* const> window,
+                     std::size_t window_slots, std::vector<float>& out) const;
+
+  /// Encode a single job plus the node rows (DQL).  `out` is resized to
+  /// dql_input_size().
+  void encode_job(const sim::SchedulingContext& ctx, const sim::Job& job,
+                  std::vector<float>& out) const;
+
+ private:
+  void write_job_block(const sim::Job& job, sim::Time now,
+                       float* out) const noexcept;
+  void append_nodes(const sim::SchedulingContext& ctx, float* out) const;
+
+  int total_nodes_;
+  double time_scale_;
+  mutable std::vector<sim::NodeRow> node_scratch_;
+};
+
+}  // namespace dras::core

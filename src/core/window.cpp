@@ -1,0 +1,19 @@
+#include "core/window.h"
+
+#include <algorithm>
+
+namespace dras::core {
+
+std::span<sim::Job* const> front_window(const std::vector<sim::Job*>& queue,
+                                        std::size_t window) noexcept {
+  const std::size_t count = std::min(queue.size(), window);
+  return std::span<sim::Job* const>(queue.data(), count);
+}
+
+std::span<sim::Job* const> truncate_window(
+    const std::vector<sim::Job*>& candidates, std::size_t window) noexcept {
+  const std::size_t count = std::min(candidates.size(), window);
+  return std::span<sim::Job* const>(candidates.data(), count);
+}
+
+}  // namespace dras::core

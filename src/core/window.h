@@ -1,0 +1,24 @@
+// Scheduling-window helpers (paper §III-B).
+//
+// "At a given scheduling instance, the scheduler first enforces a window
+//  at the front of the job wait queue.  The window alleviates job
+//  starvation problems by providing higher priorities to older jobs."
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sim/job.h"
+
+namespace dras::core {
+
+/// The first min(W, queue size) jobs of the arrival-ordered queue.
+[[nodiscard]] std::span<sim::Job* const> front_window(
+    const std::vector<sim::Job*>& queue, std::size_t window) noexcept;
+
+/// Truncate an arbitrary candidate list (e.g. backfill candidates) to the
+/// first W entries, preserving order.
+[[nodiscard]] std::span<sim::Job* const> truncate_window(
+    const std::vector<sim::Job*>& candidates, std::size_t window) noexcept;
+
+}  // namespace dras::core

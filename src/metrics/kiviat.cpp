@@ -1,0 +1,54 @@
+#include "metrics/kiviat.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dras::metrics {
+
+namespace {
+/// Min-max normalise in place; constant columns map to 1 (all tied-best).
+void min_max(std::vector<double>& column) {
+  const auto [lo_it, hi_it] =
+      std::minmax_element(column.begin(), column.end());
+  const double lo = *lo_it, hi = *hi_it;
+  for (double& v : column) v = hi > lo ? (v - lo) / (hi - lo) : 1.0;
+}
+
+/// Reciprocal with a floor so a zero metric (ideal) maps to a large value.
+double reciprocal(double v) { return 1.0 / std::max(v, 1e-9); }
+}  // namespace
+
+std::vector<KiviatAxes> kiviat_axes(std::span<const std::string> names,
+                                    std::span<const Summary> summaries) {
+  if (names.size() != summaries.size())
+    throw std::invalid_argument("names/summaries length mismatch");
+  const std::size_t n = summaries.size();
+
+  std::vector<double> inv_avg_wait(n), inv_max_wait(n), inv_slowdown(n),
+      inv_response(n), utilization(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    inv_avg_wait[i] = reciprocal(summaries[i].avg_wait);
+    inv_max_wait[i] = reciprocal(summaries[i].max_wait);
+    inv_slowdown[i] = reciprocal(summaries[i].avg_slowdown);
+    inv_response[i] = reciprocal(summaries[i].avg_response);
+    utilization[i] = summaries[i].utilization;
+  }
+  min_max(inv_avg_wait);
+  min_max(inv_max_wait);
+  min_max(inv_slowdown);
+  min_max(inv_response);
+  min_max(utilization);
+
+  std::vector<KiviatAxes> axes(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    axes[i].method = names[i];
+    axes[i].inv_avg_wait = inv_avg_wait[i];
+    axes[i].inv_max_wait = inv_max_wait[i];
+    axes[i].inv_avg_slowdown = inv_slowdown[i];
+    axes[i].inv_avg_response = inv_response[i];
+    axes[i].utilization = utilization[i];
+  }
+  return axes;
+}
+
+}  // namespace dras::metrics

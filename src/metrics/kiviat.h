@@ -1,0 +1,40 @@
+// Kiviat (radar) normalisation for Fig. 6.
+//
+// "We use the reciprocal of average job wait time, the reciprocal of
+//  maximum job wait time, the reciprocal of average slowdown, and the
+//  reciprocal of average job response time in the plots.  All metrics are
+//  normalized to the range of 0 to 1.  1 means a method achieves the best
+//  performance among all methods and 0 means a method obtains the worst."
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "metrics/stats.h"
+
+namespace dras::metrics {
+
+struct KiviatAxes {
+  std::string method;
+  double inv_avg_wait = 0.0;      ///< normalised 1/avg-wait
+  double inv_max_wait = 0.0;      ///< normalised 1/max-wait
+  double inv_avg_slowdown = 0.0;  ///< normalised 1/avg-slowdown
+  double inv_avg_response = 0.0;  ///< normalised 1/avg-response
+  double utilization = 0.0;       ///< normalised utilisation
+
+  /// Area proxy: the mean of the five axes ("the larger the area is, the
+  /// better the overall performance").
+  [[nodiscard]] double mean_score() const noexcept {
+    return (inv_avg_wait + inv_max_wait + inv_avg_slowdown +
+            inv_avg_response + utilization) /
+           5.0;
+  }
+};
+
+/// Compute min-max-normalised Kiviat axes across methods.  `names` and
+/// `summaries` must be the same length.
+[[nodiscard]] std::vector<KiviatAxes> kiviat_axes(
+    std::span<const std::string> names, std::span<const Summary> summaries);
+
+}  // namespace dras::metrics

@@ -1,0 +1,53 @@
+#include "metrics/report.h"
+
+#include <algorithm>
+#include "util/format.h"
+#include <ostream>
+#include <stdexcept>
+
+namespace dras::metrics {
+
+void print_table(std::ostream& out, const std::vector<std::string>& headers,
+                 const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> widths(headers.size());
+  for (std::size_t c = 0; c < headers.size(); ++c)
+    widths[c] = headers[c].size();
+  for (const auto& row : rows) {
+    if (row.size() != headers.size())
+      throw std::invalid_argument("table row width mismatch");
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    out << "|";
+    for (std::size_t c = 0; c < row.size(); ++c)
+      out << ' ' << row[c] << std::string(widths[c] - row[c].size(), ' ')
+          << " |";
+    out << '\n';
+  };
+  const auto print_rule = [&] {
+    out << "+";
+    for (const std::size_t w : widths) out << std::string(w + 2, '-') << '+';
+    out << '\n';
+  };
+
+  print_rule();
+  print_row(headers);
+  print_rule();
+  for (const auto& row : rows) print_row(row);
+  print_rule();
+}
+
+std::string format_duration(double seconds) {
+  if (seconds < 60.0) return util::format("{:.1f}s", seconds);
+  if (seconds < 3600.0) return util::format("{:.1f}m", seconds / 60.0);
+  if (seconds < 86400.0) return util::format("{:.1f}h", seconds / 3600.0);
+  return util::format("{:.1f}d", seconds / 86400.0);
+}
+
+std::string format_percent(double fraction) {
+  return util::format("{:.2f}%", fraction * 100.0);
+}
+
+}  // namespace dras::metrics

@@ -1,0 +1,22 @@
+// Plain-text table rendering for the bench harnesses: every figure/table
+// binary prints a human-readable table plus machine-readable CSV.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dras::metrics {
+
+/// Render an aligned ASCII table.  All rows must have `headers.size()`
+/// cells.
+void print_table(std::ostream& out, const std::vector<std::string>& headers,
+                 const std::vector<std::vector<std::string>>& rows);
+
+/// Format seconds as a compact human-readable duration ("2.3h", "4.1d").
+[[nodiscard]] std::string format_duration(double seconds);
+
+/// Format a fraction as a percentage with two decimals ("34.17%").
+[[nodiscard]] std::string format_percent(double fraction);
+
+}  // namespace dras::metrics

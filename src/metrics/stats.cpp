@@ -1,0 +1,179 @@
+#include "metrics/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include "util/format.h"
+#include <limits>
+
+namespace dras::metrics {
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double rank =
+      std::clamp(p, 0.0, 100.0) / 100.0 *
+      static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+Summary summarize(const sim::SimulationResult& result) {
+  Summary s;
+  s.jobs = result.jobs.size();
+  s.utilization = result.utilization;
+  if (result.jobs.empty()) return s;
+
+  std::vector<double> waits;
+  waits.reserve(result.jobs.size());
+  double wait_sum = 0.0, response_sum = 0.0, slowdown_sum = 0.0;
+  for (const sim::JobRecord& rec : result.jobs) {
+    const double wait = rec.wait();
+    waits.push_back(wait);
+    wait_sum += wait;
+    response_sum += rec.response();
+    const double slowdown = rec.slowdown();
+    slowdown_sum += slowdown;
+    s.max_wait = std::max(s.max_wait, wait);
+    s.max_slowdown = std::max(s.max_slowdown, slowdown);
+  }
+  const auto n = static_cast<double>(result.jobs.size());
+  s.avg_wait = wait_sum / n;
+  s.avg_response = response_sum / n;
+  s.avg_slowdown = slowdown_sum / n;
+  s.p50_wait = percentile(waits, 50.0);
+  s.p90_wait = percentile(waits, 90.0);
+  s.p99_wait = percentile(waits, 99.0);
+  return s;
+}
+
+namespace {
+struct Accumulator {
+  std::size_t jobs = 0;
+  double wait_sum = 0.0;
+  double max_wait = 0.0;
+  double core_hours = 0.0;
+
+  void add(const sim::JobRecord& rec) {
+    ++jobs;
+    wait_sum += rec.wait();
+    max_wait = std::max(max_wait, rec.wait());
+    core_hours += rec.node_seconds() / 3600.0;
+  }
+  [[nodiscard]] GroupStat finish(std::string label) const {
+    GroupStat g;
+    g.label = std::move(label);
+    g.jobs = jobs;
+    g.avg_wait = jobs > 0 ? wait_sum / static_cast<double>(jobs) : 0.0;
+    g.max_wait = max_wait;
+    g.core_hours = core_hours;
+    return g;
+  }
+};
+}  // namespace
+
+std::vector<GroupStat> by_size_bucket(std::span<const sim::JobRecord> records,
+                                      std::span<const int> boundaries) {
+  struct Bucket {
+    int lo, hi;
+    Accumulator acc;
+  };
+  std::vector<Bucket> buckets;
+  int lo = 1;
+  for (const int edge : boundaries) {
+    buckets.push_back(Bucket{lo, edge, {}});
+    lo = edge + 1;
+  }
+  buckets.push_back(Bucket{lo, std::numeric_limits<int>::max(), {}});
+
+  for (const sim::JobRecord& rec : records) {
+    for (Bucket& b : buckets) {
+      if (rec.size >= b.lo && rec.size <= b.hi) {
+        b.acc.add(rec);
+        break;
+      }
+    }
+  }
+
+  std::vector<GroupStat> stats;
+  for (const Bucket& b : buckets) {
+    std::string label =
+        b.hi == std::numeric_limits<int>::max()
+            ? util::format(">{}", b.lo - 1)
+            : (b.lo == b.hi ? util::format("{}", b.lo)
+                            : util::format("{}-{}", b.lo, b.hi));
+    stats.push_back(b.acc.finish(std::move(label)));
+  }
+  return stats;
+}
+
+std::vector<GroupStat> by_mode(std::span<const sim::JobRecord> records) {
+  constexpr sim::ExecMode kModes[] = {
+      sim::ExecMode::Backfilled, sim::ExecMode::Ready, sim::ExecMode::Reserved};
+  std::vector<GroupStat> stats;
+  for (const sim::ExecMode mode : kModes) {
+    Accumulator acc;
+    for (const sim::JobRecord& rec : records)
+      if (rec.mode == mode) acc.add(rec);
+    stats.push_back(acc.finish(std::string(sim::to_string(mode))));
+  }
+  return stats;
+}
+
+std::vector<ModeShare> mode_shares(std::span<const sim::JobRecord> records) {
+  constexpr sim::ExecMode kModes[] = {
+      sim::ExecMode::Backfilled, sim::ExecMode::Ready, sim::ExecMode::Reserved};
+  double total_core_hours = 0.0;
+  for (const sim::JobRecord& rec : records)
+    total_core_hours += rec.node_seconds() / 3600.0;
+
+  std::vector<ModeShare> shares;
+  for (const sim::ExecMode mode : kModes) {
+    ModeShare share;
+    share.mode = mode;
+    std::size_t jobs = 0;
+    double core_hours = 0.0;
+    for (const sim::JobRecord& rec : records) {
+      if (rec.mode != mode) continue;
+      ++jobs;
+      core_hours += rec.node_seconds() / 3600.0;
+    }
+    if (!records.empty())
+      share.job_fraction =
+          static_cast<double>(jobs) / static_cast<double>(records.size());
+    if (total_core_hours > 0.0)
+      share.core_hour_fraction = core_hours / total_core_hours;
+    shares.push_back(share);
+  }
+  return shares;
+}
+
+std::vector<WeekPoint> weekly_series(std::span<const sim::JobRecord> records,
+                                     double week_seconds) {
+  if (records.empty()) return {};
+  double origin = records.front().submit;
+  for (const sim::JobRecord& rec : records)
+    origin = std::min(origin, rec.submit);
+
+  std::vector<WeekPoint> weeks;
+  std::vector<double> wait_sums;
+  for (const sim::JobRecord& rec : records) {
+    const auto w =
+        static_cast<std::size_t>((rec.submit - origin) / week_seconds);
+    if (w >= weeks.size()) {
+      weeks.resize(w + 1);
+      wait_sums.resize(w + 1, 0.0);
+      for (std::size_t i = 0; i <= w; ++i) weeks[i].week = i;
+    }
+    ++weeks[w].jobs;
+    weeks[w].core_hours += rec.node_seconds() / 3600.0;
+    wait_sums[w] += rec.wait();
+  }
+  for (std::size_t i = 0; i < weeks.size(); ++i)
+    if (weeks[i].jobs > 0)
+      weeks[i].avg_wait = wait_sums[i] / static_cast<double>(weeks[i].jobs);
+  return weeks;
+}
+
+}  // namespace dras::metrics

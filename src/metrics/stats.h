@@ -1,0 +1,73 @@
+// Evaluation metrics (paper §IV-E) and the aggregations behind the
+// figures: per-size-bucket wait distributions (Fig. 7), per-execution-mode
+// shares (Table IV) and waits (Fig. 8), and weekly time series (Fig. 9).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/metrics_collector.h"
+#include "sim/simulator.h"
+
+namespace dras::metrics {
+
+/// Scalar summary of a run: the §IV-E metrics.
+struct Summary {
+  std::size_t jobs = 0;
+  double avg_wait = 0.0;
+  double max_wait = 0.0;
+  double p50_wait = 0.0;
+  double p90_wait = 0.0;
+  double p99_wait = 0.0;
+  double avg_response = 0.0;
+  double avg_slowdown = 0.0;
+  double max_slowdown = 0.0;
+  double utilization = 0.0;
+};
+
+[[nodiscard]] Summary summarize(const sim::SimulationResult& result);
+
+/// Interpolated percentile of an unsorted sample (p in [0, 100]).
+[[nodiscard]] double percentile(std::vector<double> values, double p);
+
+/// Per-group wait statistics (Figs. 7 and 8 use these with different keys).
+struct GroupStat {
+  std::string label;
+  std::size_t jobs = 0;
+  double avg_wait = 0.0;
+  double max_wait = 0.0;
+  double core_hours = 0.0;
+};
+
+/// Group records by job-size bucket; `boundaries` are inclusive upper
+/// edges, ascending; a final open bucket catches larger jobs.
+[[nodiscard]] std::vector<GroupStat> by_size_bucket(
+    std::span<const sim::JobRecord> records, std::span<const int> boundaries);
+
+/// Group records by execution mode (ready / reserved / backfilled).
+[[nodiscard]] std::vector<GroupStat> by_mode(
+    std::span<const sim::JobRecord> records);
+
+/// Table IV rows: job-count and core-hour shares per execution mode.
+struct ModeShare {
+  sim::ExecMode mode = sim::ExecMode::Ready;
+  double job_fraction = 0.0;
+  double core_hour_fraction = 0.0;
+};
+[[nodiscard]] std::vector<ModeShare> mode_shares(
+    std::span<const sim::JobRecord> records);
+
+/// Weekly time series for Fig. 9: submitted demand and average wait per
+/// submit-time week.
+struct WeekPoint {
+  std::size_t week = 0;
+  std::size_t jobs = 0;
+  double core_hours = 0.0;  ///< node-hours submitted that week.
+  double avg_wait = 0.0;    ///< average wait of jobs submitted that week.
+};
+[[nodiscard]] std::vector<WeekPoint> weekly_series(
+    std::span<const sim::JobRecord> records,
+    double week_seconds = 7.0 * 86400.0);
+
+}  // namespace dras::metrics

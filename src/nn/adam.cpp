@@ -1,0 +1,61 @@
+#include "nn/adam.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace dras::nn {
+
+Adam::Adam(std::size_t parameter_count, AdamConfig config)
+    : config_(config),
+      m_(parameter_count, 0.0f),
+      v_(parameter_count, 0.0f) {}
+
+void Adam::step(std::span<float> parameters, std::span<float> gradient) {
+  assert(parameters.size() == m_.size());
+  assert(gradient.size() == m_.size());
+
+  if (config_.max_grad_norm > 0.0) {
+    double norm_sq = 0.0;
+    for (const float g : gradient)
+      norm_sq += static_cast<double>(g) * static_cast<double>(g);
+    const double norm = std::sqrt(norm_sq);
+    if (norm > config_.max_grad_norm) {
+      const auto scale = static_cast<float>(config_.max_grad_norm / norm);
+      for (float& g : gradient) g *= scale;
+    }
+  }
+
+  ++t_;
+  const double bias1 = 1.0 - std::pow(config_.beta1, static_cast<double>(t_));
+  const double bias2 = 1.0 - std::pow(config_.beta2, static_cast<double>(t_));
+  const auto b1 = static_cast<float>(config_.beta1);
+  const auto b2 = static_cast<float>(config_.beta2);
+
+  for (std::size_t i = 0; i < parameters.size(); ++i) {
+    const float g = gradient[i];
+    m_[i] = b1 * m_[i] + (1.0f - b1) * g;
+    v_[i] = b2 * v_[i] + (1.0f - b2) * g * g;
+    const double m_hat = m_[i] / bias1;
+    const double v_hat = v_[i] / bias2;
+    parameters[i] -= static_cast<float>(
+        config_.learning_rate * m_hat / (std::sqrt(v_hat) + config_.epsilon));
+  }
+}
+
+void Adam::restore(std::span<const float> m, std::span<const float> v,
+                   std::size_t steps) {
+  if (m.size() != m_.size() || v.size() != v_.size())
+    throw std::invalid_argument("Adam moment size mismatch on restore");
+  std::copy(m.begin(), m.end(), m_.begin());
+  std::copy(v.begin(), v.end(), v_.begin());
+  t_ = steps;
+}
+
+void Adam::reset() {
+  std::fill(m_.begin(), m_.end(), 0.0f);
+  std::fill(v_.begin(), v_.end(), 0.0f);
+  t_ = 0;
+}
+
+}  // namespace dras::nn

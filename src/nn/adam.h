@@ -1,0 +1,52 @@
+// Adam optimiser (Kingma & Ba, ICLR'15) over a flat parameter vector.
+// The paper trains both DRAS agents with Adam at learning rate 1e-3
+// (§III-B, §IV-D).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dras::nn {
+
+struct AdamConfig {
+  double learning_rate = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+  /// Optional global gradient-norm clip; <= 0 disables clipping.
+  double max_grad_norm = 10.0;
+};
+
+class Adam {
+ public:
+  Adam(std::size_t parameter_count, AdamConfig config = {});
+
+  /// One update: params -= lr · m̂ / (sqrt(v̂) + eps).  `gradient` is the
+  /// accumulated gradient of the loss to *minimise*; callers performing
+  /// gradient ascent negate before calling.
+  void step(std::span<float> parameters, std::span<float> gradient);
+
+  [[nodiscard]] const AdamConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::size_t steps_taken() const noexcept { return t_; }
+
+  // Moment access for serialisation.
+  [[nodiscard]] std::span<const float> first_moment() const noexcept {
+    return m_;
+  }
+  [[nodiscard]] std::span<const float> second_moment() const noexcept {
+    return v_;
+  }
+  void restore(std::span<const float> m, std::span<const float> v,
+               std::size_t steps);
+
+  void reset();
+
+ private:
+  AdamConfig config_;
+  std::vector<float> m_;
+  std::vector<float> v_;
+  std::size_t t_ = 0;
+};
+
+}  // namespace dras::nn

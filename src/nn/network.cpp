@@ -1,0 +1,142 @@
+#include "nn/network.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/ops.h"
+
+namespace dras::nn {
+
+namespace {
+/// Xavier-uniform fill: U(-limit, limit), limit = sqrt(6 / (fan_in+fan_out)).
+void xavier_fill(std::span<float> block, std::size_t fan_in,
+                 std::size_t fan_out, util::Rng& rng) {
+  const double limit = std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  for (float& w : block)
+    w = static_cast<float>(rng.uniform(-limit, limit));
+}
+}  // namespace
+
+Network::Network(const NetworkConfig& config, util::Rng& init_rng)
+    : config_(config) {
+  if (!config.valid())
+    throw std::invalid_argument("network config has a zero dimension");
+  const std::size_t r = config_.input_rows;
+  const std::size_t h1 = config_.fc1;
+  const std::size_t h2 = config_.fc2;
+  const std::size_t out = config_.outputs;
+
+  layout_.conv = 0;
+  layout_.w1 = 3;
+  layout_.w2 = layout_.w1 + h1 * r;
+  layout_.w3 = layout_.w2 + h2 * h1;
+  layout_.b3 = layout_.w3 + out * h2;
+  const std::size_t total = layout_.b3 + out;
+  assert(total == config_.parameter_count());
+
+  params_.assign(total, 0.0f);
+  grads_.assign(total, 0.0f);
+
+  xavier_fill(block(layout_.conv, 2), 2, 1, init_rng);
+  params_[layout_.conv + 2] = 0.0f;  // conv bias
+  xavier_fill(block(layout_.w1, h1 * r), r, h1, init_rng);
+  xavier_fill(block(layout_.w2, h2 * h1), h1, h2, init_rng);
+  xavier_fill(block(layout_.w3, out * h2), h2, out, init_rng);
+  // Output biases start at zero.
+
+  input_.resize(2 * r);
+  conv_out_.resize(r);
+  fc1_pre_.resize(h1);
+  fc1_post_.resize(h1);
+  fc2_pre_.resize(h2);
+  fc2_post_.resize(h2);
+  output_.resize(out);
+  g_fc2_post_.resize(h2);
+  g_fc2_pre_.resize(h2);
+  g_fc1_post_.resize(h1);
+  g_fc1_pre_.resize(h1);
+  g_conv_.resize(r);
+}
+
+std::span<const float> Network::forward(std::span<const float> input) {
+  if (input.size() != config_.input_size())
+    throw std::invalid_argument("network input has the wrong length");
+  const std::size_t r = config_.input_rows;
+  const std::size_t h1 = config_.fc1;
+  const std::size_t h2 = config_.fc2;
+  const std::size_t out = config_.outputs;
+
+  std::copy(input.begin(), input.end(), input_.begin());
+
+  // 1×2 convolution: one shared filter over each (feature0, feature1) row.
+  const float w0 = params_[layout_.conv];
+  const float w1 = params_[layout_.conv + 1];
+  const float cb = params_[layout_.conv + 2];
+  for (std::size_t i = 0; i < r; ++i)
+    conv_out_[i] = w0 * input_[2 * i] + w1 * input_[2 * i + 1] + cb;
+
+  gemv(cblock(layout_.w1, h1 * r), conv_out_, fc1_pre_, h1, r);
+  fc1_post_ = fc1_pre_;
+  leaky_relu(fc1_post_, config_.leaky_slope);
+
+  gemv(cblock(layout_.w2, h2 * h1), fc1_post_, fc2_pre_, h2, h1);
+  fc2_post_ = fc2_pre_;
+  leaky_relu(fc2_post_, config_.leaky_slope);
+
+  gemv(cblock(layout_.w3, out * h2), fc2_post_, output_, out, h2);
+  for (std::size_t i = 0; i < out; ++i)
+    output_[i] += params_[layout_.b3 + i];
+
+  has_forward_ = true;
+  return output_;
+}
+
+void Network::backward(std::span<const float> grad_output) {
+  if (!has_forward_)
+    throw std::logic_error("backward() without a preceding forward()");
+  if (grad_output.size() != config_.outputs)
+    throw std::invalid_argument("grad_output has the wrong length");
+  const std::size_t r = config_.input_rows;
+  const std::size_t h1 = config_.fc1;
+  const std::size_t h2 = config_.fc2;
+  const std::size_t out = config_.outputs;
+
+  // Output layer: y = W3·fc2_post + b3.
+  for (std::size_t i = 0; i < out; ++i)
+    grads_[layout_.b3 + i] += grad_output[i];
+  outer_acc(grad_output, fc2_post_, gblock(layout_.w3, out * h2), out, h2);
+  std::fill(g_fc2_post_.begin(), g_fc2_post_.end(), 0.0f);
+  gemv_transpose_acc(cblock(layout_.w3, out * h2), grad_output, g_fc2_post_,
+                     out, h2);
+
+  // Leaky ReLU 2, dense 2.
+  leaky_relu_backward(fc2_pre_, g_fc2_post_, g_fc2_pre_, config_.leaky_slope);
+  outer_acc(g_fc2_pre_, fc1_post_, gblock(layout_.w2, h2 * h1), h2, h1);
+  std::fill(g_fc1_post_.begin(), g_fc1_post_.end(), 0.0f);
+  gemv_transpose_acc(cblock(layout_.w2, h2 * h1), g_fc2_pre_, g_fc1_post_, h2,
+                     h1);
+
+  // Leaky ReLU 1, dense 1.
+  leaky_relu_backward(fc1_pre_, g_fc1_post_, g_fc1_pre_, config_.leaky_slope);
+  outer_acc(g_fc1_pre_, conv_out_, gblock(layout_.w1, h1 * r), h1, r);
+  std::fill(g_conv_.begin(), g_conv_.end(), 0.0f);
+  gemv_transpose_acc(cblock(layout_.w1, h1 * r), g_fc1_pre_, g_conv_, h1, r);
+
+  // Convolution: conv_out[i] = w0·x[2i] + w1·x[2i+1] + b.
+  float gw0 = 0.0f, gw1 = 0.0f, gb = 0.0f;
+  for (std::size_t i = 0; i < r; ++i) {
+    gw0 += g_conv_[i] * input_[2 * i];
+    gw1 += g_conv_[i] * input_[2 * i + 1];
+    gb += g_conv_[i];
+  }
+  grads_[layout_.conv] += gw0;
+  grads_[layout_.conv + 1] += gw1;
+  grads_[layout_.conv + 2] += gb;
+}
+
+void Network::zero_gradients() {
+  std::fill(grads_.begin(), grads_.end(), 0.0f);
+}
+
+}  // namespace dras::nn

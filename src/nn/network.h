@@ -1,0 +1,128 @@
+// The five-layer DRAS network (paper §III-B, Table III).
+//
+//   input [R, 2]
+//     → 1×2 convolution (one shared filter: 2 weights + 1 bias), one
+//       neuron per input row — "to extract job or node status information
+//       in each row"
+//     → fully-connected layer 1 (no bias), leaky ReLU
+//     → fully-connected layer 2 (no bias), leaky ReLU
+//     → output layer (weights + biases), linear
+//
+// The head (masked softmax for DRAS-PG, scalar Q for DRAS-DQL) lives in
+// the policy, not here.  This exact parameterisation reproduces the
+// paper's trainable-parameter counts: Theta-PG 21,890,053, Theta-DQL
+// 21,449,004, Cori-PG 161,960,053 (Table III).
+//
+// All parameters (and their gradients) live in single flat buffers so the
+// Adam optimiser and the serialiser can treat the network as one vector.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace dras::nn {
+
+struct NetworkConfig {
+  std::size_t input_rows = 0;  ///< R: 2W+N for PG, 2+N for DQL (§III-B).
+  std::size_t fc1 = 0;         ///< First hidden width.
+  std::size_t fc2 = 0;         ///< Second hidden width.
+  std::size_t outputs = 0;     ///< W for PG, 1 for DQL.
+  float leaky_slope = 0.01f;   ///< Leaky-rectifier negative slope.
+
+  [[nodiscard]] bool valid() const noexcept {
+    return input_rows > 0 && fc1 > 0 && fc2 > 0 && outputs > 0;
+  }
+  /// Total trainable parameters for this configuration.
+  [[nodiscard]] std::size_t parameter_count() const noexcept {
+    return 3                      // conv: w0, w1, bias
+           + fc1 * input_rows     // dense 1 (no bias)
+           + fc2 * fc1            // dense 2 (no bias)
+           + outputs * fc2        // output weights
+           + outputs;             // output biases
+  }
+  /// Flat input length: input_rows rows of 2 features.
+  [[nodiscard]] std::size_t input_size() const noexcept {
+    return 2 * input_rows;
+  }
+};
+
+class Network {
+ public:
+  /// Xavier-uniform initialisation drawn from `init_rng`.
+  Network(const NetworkConfig& config, util::Rng& init_rng);
+
+  [[nodiscard]] const NetworkConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] std::size_t parameter_count() const noexcept {
+    return params_.size();
+  }
+
+  /// Forward pass.  `input` must have config().input_size() elements
+  /// (row-major [R,2]).  Returns the raw linear outputs; the reference is
+  /// valid until the next forward().  Caches activations for backward().
+  std::span<const float> forward(std::span<const float> input);
+
+  /// Accumulate parameter gradients for d(loss)/d(outputs) = `grad_output`
+  /// against the most recent forward pass.  May be called repeatedly to
+  /// accumulate over a batch; call zero_gradients() between updates.
+  void backward(std::span<const float> grad_output);
+
+  void zero_gradients();
+
+  // Flat views for the optimiser, serialisation and gradient checking.
+  [[nodiscard]] std::span<float> parameters() noexcept { return params_; }
+  [[nodiscard]] std::span<const float> parameters() const noexcept {
+    return params_;
+  }
+  [[nodiscard]] std::span<float> gradients() noexcept { return grads_; }
+  [[nodiscard]] std::span<const float> gradients() const noexcept {
+    return grads_;
+  }
+
+ private:
+  // Offsets of each block within the flat parameter buffer.
+  struct Layout {
+    std::size_t conv = 0;  // [w0, w1, b]
+    std::size_t w1 = 0;    // fc1 × R
+    std::size_t w2 = 0;    // fc2 × fc1
+    std::size_t w3 = 0;    // outputs × fc2
+    std::size_t b3 = 0;    // outputs
+  };
+
+  [[nodiscard]] std::span<float> block(std::size_t offset,
+                                       std::size_t count) noexcept {
+    return std::span<float>(params_).subspan(offset, count);
+  }
+  [[nodiscard]] std::span<const float> cblock(std::size_t offset,
+                                              std::size_t count) const noexcept {
+    return std::span<const float>(params_).subspan(offset, count);
+  }
+  [[nodiscard]] std::span<float> gblock(std::size_t offset,
+                                        std::size_t count) noexcept {
+    return std::span<float>(grads_).subspan(offset, count);
+  }
+
+  NetworkConfig config_;
+  Layout layout_;
+  std::vector<float> params_;
+  std::vector<float> grads_;
+
+  // Forward caches (valid for the latest forward()).
+  std::vector<float> input_;      // 2R
+  std::vector<float> conv_out_;   // R
+  std::vector<float> fc1_pre_;    // fc1 (pre-activation)
+  std::vector<float> fc1_post_;   // fc1
+  std::vector<float> fc2_pre_;    // fc2
+  std::vector<float> fc2_post_;   // fc2
+  std::vector<float> output_;     // outputs
+  // Backward scratch.
+  std::vector<float> g_fc2_post_, g_fc2_pre_, g_fc1_post_, g_fc1_pre_,
+      g_conv_;
+  bool has_forward_ = false;
+};
+
+}  // namespace dras::nn

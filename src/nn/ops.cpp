@@ -1,0 +1,100 @@
+#include "nn/ops.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace dras::nn {
+
+void gemv(std::span<const float> w, std::span<const float> x,
+          std::span<float> y, std::size_t rows, std::size_t cols) {
+  assert(w.size() == rows * cols);
+  assert(x.size() == cols);
+  assert(y.size() == rows);
+  const float* wp = w.data();
+  const float* xp = x.data();
+  float* yp = y.data();
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t r = 0; r < static_cast<std::ptrdiff_t>(rows); ++r) {
+    const float* row = wp + static_cast<std::size_t>(r) * cols;
+    float acc = 0.0f;
+    for (std::size_t c = 0; c < cols; ++c) acc += row[c] * xp[c];
+    yp[r] = acc;
+  }
+}
+
+void gemv_transpose_acc(std::span<const float> w,
+                        std::span<const float> grad_y,
+                        std::span<float> grad_x, std::size_t rows,
+                        std::size_t cols) {
+  assert(w.size() == rows * cols);
+  assert(grad_y.size() == rows);
+  assert(grad_x.size() == cols);
+  const float* wp = w.data();
+  const float* gp = grad_y.data();
+  float* out = grad_x.data();
+  // Column-parallel so each output element is owned by one thread.
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t c = 0; c < static_cast<std::ptrdiff_t>(cols); ++c) {
+    float acc = 0.0f;
+    for (std::size_t r = 0; r < rows; ++r)
+      acc += wp[r * cols + static_cast<std::size_t>(c)] * gp[r];
+    out[c] += acc;
+  }
+}
+
+void outer_acc(std::span<const float> grad_y, std::span<const float> x,
+               std::span<float> grad_w, std::size_t rows, std::size_t cols) {
+  assert(grad_y.size() == rows);
+  assert(x.size() == cols);
+  assert(grad_w.size() == rows * cols);
+  const float* gp = grad_y.data();
+  const float* xp = x.data();
+  float* wp = grad_w.data();
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t r = 0; r < static_cast<std::ptrdiff_t>(rows); ++r) {
+    const float g = gp[r];
+    if (g == 0.0f) continue;
+    float* row = wp + static_cast<std::size_t>(r) * cols;
+    for (std::size_t c = 0; c < cols; ++c) row[c] += g * xp[c];
+  }
+}
+
+void leaky_relu(std::span<float> x, float slope) {
+  for (float& v : x)
+    if (v < 0.0f) v *= slope;
+}
+
+void leaky_relu_backward(std::span<const float> pre,
+                         std::span<const float> grad_out,
+                         std::span<float> grad_in, float slope) {
+  assert(pre.size() == grad_out.size() && pre.size() == grad_in.size());
+  for (std::size_t i = 0; i < pre.size(); ++i)
+    grad_in[i] = pre[i] > 0.0f ? grad_out[i] : grad_out[i] * slope;
+}
+
+void softmax_masked(std::span<const float> logits, std::span<float> probs,
+                    std::size_t valid) {
+  assert(probs.size() == logits.size());
+  assert(valid > 0 && valid <= logits.size());
+  float max_logit = logits[0];
+  for (std::size_t i = 1; i < valid; ++i)
+    max_logit = std::max(max_logit, logits[i]);
+  float denom = 0.0f;
+  for (std::size_t i = 0; i < valid; ++i) {
+    probs[i] = std::exp(logits[i] - max_logit);
+    denom += probs[i];
+  }
+  for (std::size_t i = 0; i < valid; ++i) probs[i] /= denom;
+  std::fill(probs.begin() + static_cast<std::ptrdiff_t>(valid), probs.end(),
+            0.0f);
+}
+
+float dot(std::span<const float> a, std::span<const float> b) {
+  assert(a.size() == b.size());
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+}  // namespace dras::nn

@@ -1,0 +1,47 @@
+// Dense linear-algebra and activation primitives for the DRAS networks.
+//
+// Everything operates on contiguous float spans (row-major weight blocks)
+// so the Network can keep all parameters in one flat buffer for the
+// optimiser and for serialisation.  The GEMV kernels parallelise over
+// output rows with OpenMP when available; they are bit-deterministic for a
+// fixed thread count because each output element is reduced sequentially.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace dras::nn {
+
+/// y = W·x, W is rows×cols row-major, x has cols elements, y rows elements.
+void gemv(std::span<const float> w, std::span<const float> x,
+          std::span<float> y, std::size_t rows, std::size_t cols);
+
+/// grad_x += Wᵀ·grad_y  (backprop through y = W·x w.r.t. x).
+void gemv_transpose_acc(std::span<const float> w,
+                        std::span<const float> grad_y,
+                        std::span<float> grad_x, std::size_t rows,
+                        std::size_t cols);
+
+/// grad_W += grad_y ⊗ x  (backprop through y = W·x w.r.t. W).
+void outer_acc(std::span<const float> grad_y, std::span<const float> x,
+               std::span<float> grad_w, std::size_t rows, std::size_t cols);
+
+/// In-place leaky ReLU: y = x if x > 0 else slope·x.
+void leaky_relu(std::span<float> x, float slope);
+
+/// grad_in = grad_out ⊙ leaky'(pre): pass `pre` (pre-activation values).
+void leaky_relu_backward(std::span<const float> pre,
+                         std::span<const float> grad_out,
+                         std::span<float> grad_in, float slope);
+
+/// Numerically stable softmax over the first `valid` entries of `logits`;
+/// entries at index >= valid receive probability 0 (action masking,
+/// §III-B: "we mask the invalid actions in the output by rescaling all
+/// valid actions").  Writes into `probs` (same length as logits).
+void softmax_masked(std::span<const float> logits, std::span<float> probs,
+                    std::size_t valid);
+
+/// Sum of elementwise products (dot product).
+[[nodiscard]] float dot(std::span<const float> a, std::span<const float> b);
+
+}  // namespace dras::nn

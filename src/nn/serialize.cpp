@@ -1,0 +1,120 @@
+#include "nn/serialize.h"
+
+#include <cstring>
+#include "util/format.h"
+#include <fstream>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace dras::nn {
+
+namespace {
+constexpr char kMagic[8] = {'D', 'R', 'A', 'S', 'N', 'E', 'T', '1'};
+constexpr char kAdamMagic[4] = {'A', 'D', 'A', 'M'};
+
+void write_u64(std::ostream& out, std::uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void write_f32(std::ostream& out, float v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+std::uint64_t read_u64(std::istream& in) {
+  std::uint64_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!in) throw std::runtime_error("truncated network file");
+  return v;
+}
+float read_f32(std::istream& in) {
+  float v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!in) throw std::runtime_error("truncated network file");
+  return v;
+}
+void write_floats(std::ostream& out, std::span<const float> data) {
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size() * sizeof(float)));
+}
+void read_floats(std::istream& in, std::span<float> data) {
+  in.read(reinterpret_cast<char*>(data.data()),
+          static_cast<std::streamsize>(data.size() * sizeof(float)));
+  if (!in) throw std::runtime_error("truncated network file");
+}
+}  // namespace
+
+void save_network(std::ostream& out, const Network& network,
+                  const Adam* optimizer) {
+  out.write(kMagic, sizeof(kMagic));
+  const NetworkConfig& cfg = network.config();
+  write_u64(out, cfg.input_rows);
+  write_u64(out, cfg.fc1);
+  write_u64(out, cfg.fc2);
+  write_u64(out, cfg.outputs);
+  write_f32(out, cfg.leaky_slope);
+  write_u64(out, network.parameter_count());
+  write_floats(out, network.parameters());
+  if (optimizer != nullptr) {
+    out.write(kAdamMagic, sizeof(kAdamMagic));
+    write_u64(out, optimizer->steps_taken());
+    write_floats(out, optimizer->first_moment());
+    write_floats(out, optimizer->second_moment());
+  }
+  if (!out) throw std::runtime_error("failed to write network");
+}
+
+Network load_network(std::istream& in, std::optional<Adam>* optimizer) {
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+    throw std::runtime_error("not a DRAS network file");
+  NetworkConfig cfg;
+  cfg.input_rows = read_u64(in);
+  cfg.fc1 = read_u64(in);
+  cfg.fc2 = read_u64(in);
+  cfg.outputs = read_u64(in);
+  cfg.leaky_slope = read_f32(in);
+  const std::uint64_t count = read_u64(in);
+  util::Rng dummy(0);
+  Network network(cfg, dummy);
+  if (count != network.parameter_count())
+    throw std::runtime_error(util::format(
+        "parameter count mismatch: file has {}, config implies {}", count,
+        network.parameter_count()));
+  read_floats(in, network.parameters());
+
+  if (optimizer != nullptr) {
+    char adam_magic[4];
+    in.read(adam_magic, sizeof(adam_magic));
+    if (in && std::memcmp(adam_magic, kAdamMagic, sizeof(kAdamMagic)) == 0) {
+      const std::uint64_t steps = read_u64(in);
+      std::vector<float> m(count), v(count);
+      read_floats(in, m);
+      read_floats(in, v);
+      if (!optimizer->has_value()) optimizer->emplace(count);
+      (*optimizer)->restore(m, v, steps);
+    } else {
+      optimizer->reset();
+    }
+  }
+  return network;
+}
+
+void save_network_file(const std::filesystem::path& path,
+                       const Network& network, const Adam* optimizer) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out)
+    throw std::runtime_error(
+        util::format("cannot open {} for writing", path.string()));
+  save_network(out, network, optimizer);
+}
+
+Network load_network_file(const std::filesystem::path& path,
+                          std::optional<Adam>* optimizer) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in)
+    throw std::runtime_error(
+        util::format("cannot open {} for reading", path.string()));
+  return load_network(in, optimizer);
+}
+
+}  // namespace dras::nn

@@ -1,0 +1,40 @@
+// Binary (de)serialisation of networks and optimiser state.
+//
+// Format (little-endian):
+//   magic "DRASNET1" | NetworkConfig fields | parameter block |
+//   [optional] optimiser marker "ADAM" + step count + moments
+//
+// Used for per-episode training snapshots (§III-C: "We monitor the
+// progress of the training by taking a snapshot of the model after each
+// episode") and for shipping converged models into the evaluation benches.
+#pragma once
+
+#include <filesystem>
+#include <iosfwd>
+#include <optional>
+
+#include "nn/adam.h"
+#include "nn/network.h"
+
+namespace dras::nn {
+
+/// Write the network (and optionally the optimiser) to a stream.
+void save_network(std::ostream& out, const Network& network,
+                  const Adam* optimizer = nullptr);
+
+/// Read a network saved by save_network.  When `optimizer` is non-null and
+/// the stream carries optimiser state, the moments are restored into it.
+/// Throws std::runtime_error on malformed input or config mismatch with a
+/// stored optimiser.
+[[nodiscard]] Network load_network(std::istream& in,
+                                   std::optional<Adam>* optimizer = nullptr);
+
+/// File-based convenience wrappers.
+void save_network_file(const std::filesystem::path& path,
+                       const Network& network,
+                       const Adam* optimizer = nullptr);
+[[nodiscard]] Network load_network_file(
+    const std::filesystem::path& path,
+    std::optional<Adam>* optimizer = nullptr);
+
+}  // namespace dras::nn

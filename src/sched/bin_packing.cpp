@@ -1,0 +1,18 @@
+#include "sched/bin_packing.h"
+
+namespace dras::sched {
+
+void BinPacking::schedule(sim::SchedulingContext& ctx) {
+  while (true) {
+    const sim::Job* best = nullptr;
+    for (const sim::Job* job : ctx.queue()) {
+      if (!ctx.cluster().fits(job->size)) continue;
+      // Largest runnable first; arrival order breaks ties (queue order).
+      if (best == nullptr || job->size > best->size) best = job;
+    }
+    if (best == nullptr) break;
+    ctx.start_now(best->id);
+  }
+}
+
+}  // namespace dras::sched

@@ -1,0 +1,21 @@
+// BinPacking heuristic (paper §IV-A, after Tetris-style multi-resource
+// packing): iteratively start the *largest runnable* job — the biggest job
+// whose size fits the currently free nodes — until nothing more fits.
+//
+// No reservations: large jobs can be skipped over indefinitely by smaller
+// arrivals, which is exactly the starvation behaviour Fig. 7 demonstrates.
+#pragma once
+
+#include "sim/scheduler.h"
+
+namespace dras::sched {
+
+class BinPacking final : public sim::Scheduler {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "BinPacking";
+  }
+  void schedule(sim::SchedulingContext& ctx) override;
+};
+
+}  // namespace dras::sched

@@ -1,0 +1,63 @@
+#include "sched/decima_pg.h"
+
+#include <cassert>
+
+#include "core/window.h"
+
+namespace dras::sched {
+
+DecimaPG::DecimaPG(const DecimaConfig& config)
+    : config_(config),
+      reward_(config.reward_kind, config.reward_weights),
+      encoder_(config.total_nodes, config.time_scale),
+      rng_(util::derive_seed(config.seed, "decima")) {
+  core::PGConfig pg_cfg;
+  pg_cfg.net.input_rows =
+      2 * config.window + static_cast<std::size_t>(config.total_nodes);
+  pg_cfg.net.fc1 = config.fc1;
+  pg_cfg.net.fc2 = config.fc2;
+  pg_cfg.net.outputs = config.window;
+  pg_cfg.adam = config.adam;
+  policy_ = std::make_unique<core::PGPolicy>(pg_cfg, config.seed);
+}
+
+void DecimaPG::begin_episode() {
+  episode_reward_ = 0.0;
+  // Restart the sampling stream: a trajectory is a deterministic function
+  // of (parameters, trace, seed).
+  rng_ = util::Rng(util::derive_seed(config_.seed, "decima"));
+}
+
+void DecimaPG::end_episode() {
+  if (training_) policy_->update();
+}
+
+void DecimaPG::schedule(sim::SchedulingContext& ctx) {
+  while (true) {
+    std::vector<sim::Job*> runnable;
+    for (sim::Job* job : ctx.queue())
+      if (ctx.cluster().fits(job->size)) runnable.push_back(job);
+    if (runnable.empty()) break;
+
+    const auto window = core::truncate_window(runnable, config_.window);
+    encoder_.encode_window(ctx, window, config_.window, encode_scratch_);
+    // Stochastic policy at training and evaluation time (§III-B).
+    const std::size_t action =
+        policy_->sample_action(encode_scratch_, window.size(), rng_);
+    const sim::Job* job = window[action];
+    const bool ok = ctx.start_now(job->id);
+    assert(ok);
+    (void)ok;
+    const double reward = reward_.step_reward(ctx, *job);
+    episode_reward_ += reward;
+    if (training_)
+      policy_->record(encode_scratch_, window.size(), action, reward);
+  }
+
+  ++instances_seen_;
+  if (training_ &&
+      instances_seen_ % static_cast<std::size_t>(config_.update_every) == 0)
+    policy_->update();
+}
+
+}  // namespace dras::sched

@@ -1,0 +1,64 @@
+// Decima-PG baseline (paper §IV-A): the modified Decima agent — graph
+// neural network dropped, DRAS's state representation adopted — i.e. a
+// flat policy-gradient scheduler *without* the hierarchical two-level
+// structure.  It selects jobs for immediate execution only: no resource
+// reservation and no backfilling, which is precisely why it starves
+// large jobs (Fig. 7).
+//
+// Action space: a W-slot window over the *runnable* jobs (those that fit
+// the free nodes) in arrival order; the scheduling instance ends when no
+// job is runnable.
+#pragma once
+
+#include <memory>
+
+#include "core/pg_policy.h"
+#include "core/reward.h"
+#include "core/state_encoder.h"
+#include "sim/scheduler.h"
+#include "util/rng.h"
+
+namespace dras::sched {
+
+struct DecimaConfig {
+  int total_nodes = 0;
+  std::size_t window = 50;
+  std::size_t fc1 = 0;
+  std::size_t fc2 = 0;
+  double time_scale = 86400.0;
+  core::RewardKind reward_kind = core::RewardKind::Capability;
+  core::RewardWeights reward_weights;
+  int update_every = 10;
+  nn::AdamConfig adam;
+  std::uint64_t seed = 1;
+};
+
+class DecimaPG final : public sim::Scheduler {
+ public:
+  explicit DecimaPG(const DecimaConfig& config);
+
+  [[nodiscard]] std::string_view name() const override { return "Decima-PG"; }
+  void begin_episode() override;
+  void end_episode() override;
+  void schedule(sim::SchedulingContext& ctx) override;
+
+  void set_training(bool enabled) noexcept { training_ = enabled; }
+  [[nodiscard]] bool training() const noexcept { return training_; }
+  [[nodiscard]] double episode_reward() const noexcept {
+    return episode_reward_;
+  }
+  [[nodiscard]] core::PGPolicy& policy() noexcept { return *policy_; }
+
+ private:
+  DecimaConfig config_;
+  core::RewardFunction reward_;
+  core::StateEncoder encoder_;
+  std::unique_ptr<core::PGPolicy> policy_;
+  util::Rng rng_;
+  bool training_ = true;
+  double episode_reward_ = 0.0;
+  std::size_t instances_seen_ = 0;
+  std::vector<float> encode_scratch_;
+};
+
+}  // namespace dras::sched

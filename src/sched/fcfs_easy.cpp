@@ -1,0 +1,36 @@
+#include "sched/fcfs_easy.h"
+
+namespace dras::sched {
+
+void FcfsEasy::schedule(sim::SchedulingContext& ctx) {
+  // Start from the head of the queue while jobs fit; the first blocked
+  // job receives a reservation.  With reservation depth 1 (the default)
+  // this is classic EASY; at larger depths the walk continues past each
+  // reserved job, reserving further blocked jobs until the ledger fills
+  // (conservative-backfilling extension).
+  while (!ctx.reservation().full()) {
+    const sim::Job* target = nullptr;
+    for (const sim::Job* job : ctx.queue()) {
+      if (!ctx.is_reserved(job->id)) {
+        target = job;
+        break;
+      }
+    }
+    if (target == nullptr) break;
+    // Around an outstanding reservation every start is a backfill.
+    const bool started = ctx.reservation().active()
+                             ? ctx.backfill(target->id)
+                             : ctx.start_now(target->id);
+    if (started) continue;
+    if (!ctx.reserve(target->id)) break;  // racing full ledger
+  }
+  if (!ctx.reservation().active()) return;
+  // First-fit backfilling in arrival order; repeat until no candidate fits.
+  while (true) {
+    const auto candidates = ctx.backfill_candidates();
+    if (candidates.empty()) break;
+    ctx.backfill(candidates.front()->id);
+  }
+}
+
+}  // namespace dras::sched

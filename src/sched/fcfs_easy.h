@@ -1,0 +1,20 @@
+// FCFS with EASY backfilling (paper §II-A, §IV-A) — the default policy on
+// many production supercomputers.
+//
+// Jobs are prioritised by arrival time.  The head of the queue is started
+// while it fits; the first job that does not fit gets a reservation at its
+// earliest estimated start, and subsequent jobs are backfilled first-fit
+// (in arrival order) provided they do not delay the reservation.
+#pragma once
+
+#include "sim/scheduler.h"
+
+namespace dras::sched {
+
+class FcfsEasy final : public sim::Scheduler {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "FCFS"; }
+  void schedule(sim::SchedulingContext& ctx) override;
+};
+
+}  // namespace dras::sched

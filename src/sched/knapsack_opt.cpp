@@ -1,0 +1,65 @@
+#include "sched/knapsack_opt.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dras::sched {
+
+std::vector<std::size_t> KnapsackOpt::solve_knapsack(
+    const std::vector<int>& weights, const std::vector<double>& values,
+    int capacity) {
+  assert(weights.size() == values.size());
+  if (capacity <= 0 || weights.empty()) return {};
+  const std::size_t n = weights.size();
+  const auto cap = static_cast<std::size_t>(capacity);
+
+  // dp[c] = best value with capacity c; keep[i][c] = item i used at cap c.
+  std::vector<double> dp(cap + 1, 0.0);
+  std::vector<std::vector<bool>> keep(n, std::vector<bool>(cap + 1, false));
+  for (std::size_t i = 0; i < n; ++i) {
+    if (weights[i] <= 0) continue;  // defensive; job sizes are positive
+    const auto w = static_cast<std::size_t>(weights[i]);
+    if (w > cap) continue;
+    for (std::size_t c = cap; c >= w; --c) {
+      const double candidate = dp[c - w] + values[i];
+      if (candidate > dp[c]) {
+        dp[c] = candidate;
+        keep[i][c] = true;
+      }
+    }
+  }
+
+  std::vector<std::size_t> picked;
+  std::size_t c = cap;
+  for (std::size_t i = n; i-- > 0;) {
+    if (keep[i][c]) {
+      picked.push_back(i);
+      c -= static_cast<std::size_t>(weights[i]);
+    }
+  }
+  std::reverse(picked.begin(), picked.end());
+  return picked;
+}
+
+void KnapsackOpt::schedule(sim::SchedulingContext& ctx) {
+  const auto& queue = ctx.queue();
+  if (queue.empty()) return;
+
+  std::vector<int> weights;
+  std::vector<double> values;
+  std::vector<sim::JobId> ids;
+  weights.reserve(queue.size());
+  values.reserve(queue.size());
+  ids.reserve(queue.size());
+  for (const sim::Job* job : queue) {
+    weights.push_back(job->size);
+    values.push_back(reward_.job_value(ctx, *job));
+    ids.push_back(job->id);
+  }
+
+  const auto picked =
+      solve_knapsack(weights, values, ctx.cluster().free_nodes());
+  for (const std::size_t i : picked) ctx.start_now(ids[i]);
+}
+
+}  // namespace dras::sched

@@ -1,0 +1,37 @@
+// Optimization baseline (paper §IV-A): cluster scheduling formulated as a
+// 0-1 knapsack over the free nodes, solved exactly with dynamic
+// programming.  Item weight = job size, item value = the myopic objective
+// gain under the same reward the DRAS agents optimise (Eq. 1 or Eq. 2), so
+// the comparison isolates myopic-vs-long-term optimisation.
+//
+// No reservations and no backfilling: the method optimises the immediate
+// objective only, which is exactly the limitation §I calls out.
+#pragma once
+
+#include "core/reward.h"
+#include "sim/scheduler.h"
+
+namespace dras::sched {
+
+class KnapsackOpt final : public sim::Scheduler {
+ public:
+  explicit KnapsackOpt(core::RewardFunction reward)
+      : reward_(std::move(reward)) {}
+
+  [[nodiscard]] std::string_view name() const override {
+    return "Optimization";
+  }
+  void schedule(sim::SchedulingContext& ctx) override;
+
+  /// Exact 0-1 knapsack: maximise total value with total weight <= capacity.
+  /// Returns the selected item indices (ascending).  Exposed for testing
+  /// against brute force.
+  [[nodiscard]] static std::vector<std::size_t> solve_knapsack(
+      const std::vector<int>& weights, const std::vector<double>& values,
+      int capacity);
+
+ private:
+  core::RewardFunction reward_;
+};
+
+}  // namespace dras::sched

@@ -1,0 +1,97 @@
+#include "sched/priority_sched.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dras::sched {
+
+PriorityScheduler::PriorityScheduler(std::string name, PriorityFn priority)
+    : name_(std::move(name)), priority_(std::move(priority)) {}
+
+std::vector<sim::Job*> PriorityScheduler::ordered_queue(
+    const sim::SchedulingContext& ctx) const {
+  std::vector<sim::Job*> jobs = ctx.queue();
+  const sim::Time now = ctx.now();
+  std::stable_sort(jobs.begin(), jobs.end(),
+                   [&](const sim::Job* a, const sim::Job* b) {
+                     const double pa = priority_(*a, now);
+                     const double pb = priority_(*b, now);
+                     if (pa != pb) return pa < pb;
+                     if (a->submit_time != b->submit_time)
+                       return a->submit_time < b->submit_time;
+                     return a->id < b->id;
+                   });
+  return jobs;
+}
+
+void PriorityScheduler::schedule(sim::SchedulingContext& ctx) {
+  // Start from the best-priority job while jobs fit; blocked jobs receive
+  // reservations until the ledger fills (depth 1 = classic EASY).
+  while (!ctx.reservation().full()) {
+    const auto ordered = ordered_queue(ctx);
+    const sim::Job* best = nullptr;
+    for (const sim::Job* job : ordered) {
+      if (!ctx.is_reserved(job->id)) {
+        best = job;
+        break;
+      }
+    }
+    if (best == nullptr) break;
+    const bool started = ctx.reservation().active()
+                             ? ctx.backfill(best->id)
+                             : ctx.start_now(best->id);
+    if (started) continue;
+    if (!ctx.reserve(best->id)) break;
+  }
+  if (!ctx.reservation().active()) return;
+  // First-fit backfilling in priority order.
+  while (true) {
+    const auto candidates = ctx.backfill_candidates();
+    if (candidates.empty()) break;
+    const sim::Time now = ctx.now();
+    const sim::Job* best = candidates.front();
+    double best_priority = priority_(*best, now);
+    for (const sim::Job* job : candidates) {
+      const double p = priority_(*job, now);
+      if (p < best_priority) {
+        best = job;
+        best_priority = p;
+      }
+    }
+    ctx.backfill(best->id);
+  }
+}
+
+PriorityScheduler make_sjf() {
+  return PriorityScheduler("SJF", [](const sim::Job& job, sim::Time) {
+    return job.runtime_estimate;
+  });
+}
+
+PriorityScheduler make_ljf() {
+  return PriorityScheduler("LJF", [](const sim::Job& job, sim::Time) {
+    return -static_cast<double>(job.size);
+  });
+}
+
+PriorityScheduler make_wfp3() {
+  // WFP3 (Tang et al. / RLScheduler): favour jobs with large
+  // (wait/runtime)^3 * size; negate so smaller = better.
+  return PriorityScheduler("WFP3", [](const sim::Job& job, sim::Time now) {
+    const double wait = std::max(0.0, now - job.submit_time);
+    const double ratio = wait / std::max(1.0, job.runtime_estimate);
+    return -(ratio * ratio * ratio) * static_cast<double>(job.size);
+  });
+}
+
+PriorityScheduler make_f1() {
+  // F1 (Carastan-Santos & de Camargo, SC'17; used by RLScheduler):
+  // score = log10(req_time)*size + 870*log10(submit_time); smaller first.
+  return PriorityScheduler("F1", [](const sim::Job& job, sim::Time) {
+    return std::log10(std::max(1.0, job.runtime_estimate)) *
+               static_cast<double>(job.size) +
+           870.0 * std::log10(std::max(1.0, job.submit_time));
+  });
+}
+
+}  // namespace dras::sched

@@ -1,0 +1,53 @@
+// Priority-function schedulers with EASY backfilling.
+//
+// A PriorityScheduler orders the wait queue by an arbitrary priority
+// function and then behaves exactly like FCFS/EASY: start from the best
+// job while it fits, reserve the first non-fitting job, backfill
+// first-fit (in priority order) without delaying the reservation.
+//
+// Besides giving the DRAS evaluation a richer baseline roster, these are
+// the classic hand-tuned heuristics that RL schedulers (RLScheduler,
+// SC'20 — the paper's §II-A related work) compare against:
+//
+//   FCFS  f = submit_time                   (equivalent to sched::FcfsEasy)
+//   SJF   f = runtime_estimate              (shortest job first)
+//   LJF   f = -size                         (largest job first)
+//   WFP3  f = -(wait / runtime_est)^3 * size          (lower = better)
+//   F1    f = log10(runtime_est) * size - 870 * log10(submit_time + 1)
+//
+// Lower priority value = scheduled earlier.
+#pragma once
+
+#include <functional>
+
+#include "sim/scheduler.h"
+
+namespace dras::sched {
+
+/// Priority function: smaller values run first.  `now` is the scheduling
+/// instant (WFP3-style policies depend on the current wait).
+using PriorityFn = std::function<double(const sim::Job&, sim::Time now)>;
+
+class PriorityScheduler final : public sim::Scheduler {
+ public:
+  PriorityScheduler(std::string name, PriorityFn priority);
+
+  [[nodiscard]] std::string_view name() const override { return name_; }
+  void schedule(sim::SchedulingContext& ctx) override;
+
+ private:
+  /// Queue sorted by (priority, submit, id); deterministic.
+  [[nodiscard]] std::vector<sim::Job*> ordered_queue(
+      const sim::SchedulingContext& ctx) const;
+
+  std::string name_;
+  PriorityFn priority_;
+};
+
+/// Factory helpers for the classic heuristics.
+[[nodiscard]] PriorityScheduler make_sjf();
+[[nodiscard]] PriorityScheduler make_ljf();
+[[nodiscard]] PriorityScheduler make_wfp3();
+[[nodiscard]] PriorityScheduler make_f1();
+
+}  // namespace dras::sched

@@ -1,0 +1,18 @@
+#include "sched/random_policy.h"
+
+#include <vector>
+
+namespace dras::sched {
+
+void RandomPolicy::schedule(sim::SchedulingContext& ctx) {
+  while (true) {
+    std::vector<const sim::Job*> runnable;
+    for (const sim::Job* job : ctx.queue())
+      if (ctx.cluster().fits(job->size)) runnable.push_back(job);
+    if (runnable.empty()) break;
+    const auto pick = rng_.uniform_index(runnable.size());
+    ctx.start_now(runnable[pick]->id);
+  }
+}
+
+}  // namespace dras::sched

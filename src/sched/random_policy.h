@@ -1,0 +1,25 @@
+// Random policy (paper §IV-A): repeatedly pick a uniformly random runnable
+// job until no queued job fits.  DRAS behaves like this at the start of
+// training, so Random is the "no learning" control.
+#pragma once
+
+#include "sim/scheduler.h"
+#include "util/rng.h"
+
+namespace dras::sched {
+
+class RandomPolicy final : public sim::Scheduler {
+ public:
+  explicit RandomPolicy(std::uint64_t seed) : rng_(seed), seed_(seed) {}
+
+  [[nodiscard]] std::string_view name() const override { return "Random"; }
+  /// Restores the seed so repeated episodes are identical.
+  void begin_episode() override { rng_ = util::Rng(seed_); }
+  void schedule(sim::SchedulingContext& ctx) override;
+
+ private:
+  util::Rng rng_;
+  std::uint64_t seed_;
+};
+
+}  // namespace dras::sched

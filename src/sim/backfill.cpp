@@ -1,0 +1,32 @@
+#include "sim/backfill.h"
+
+namespace dras::sim {
+
+bool backfill_legal(const Cluster& cluster, const Reservation& reservation,
+                    const Job& job, Time now) {
+  if (job.id == reservation.job) return false;
+  if (!cluster.fits(job.size)) return false;
+  // Fast path: the job is estimated to finish before the reserved start.
+  if (now + job.runtime_estimate <= reservation.start) return true;
+  // Slow path: the job would still be running at t_r; it is legal only if
+  // the reservation's nodes remain covered.  Nodes available at t_r after
+  // allocating the job: free_now - job.size + releases by t_r (the job
+  // itself releases after t_r, so it contributes nothing).
+  const int available_at_start =
+      cluster.free_nodes() - job.size + cluster.released_by(reservation.start);
+  return available_at_start >= reservation.size;
+}
+
+std::vector<Job*> backfill_candidates(const Cluster& cluster,
+                                      const Reservation& reservation,
+                                      const std::vector<Job*>& queue,
+                                      Time now) {
+  std::vector<Job*> candidates;
+  for (Job* job : queue) {
+    if (backfill_legal(cluster, reservation, *job, now))
+      candidates.push_back(job);
+  }
+  return candidates;
+}
+
+}  // namespace dras::sim

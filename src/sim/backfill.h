@@ -1,0 +1,32 @@
+// EASY backfilling legality checks (paper §II-A, §III-B).
+//
+// With one outstanding reservation (R nodes at time t_r), a waiting job j
+// may start now without delaying the reservation iff
+//   (1) j fits in the currently free nodes, and
+//   (2) after allocating j, at least R nodes are still (estimated to be)
+//       available at t_r — i.e. j either finishes by t_r or runs on nodes
+//       the reservation does not need.
+// Estimated completion times are used throughout, as in production EASY.
+#pragma once
+
+#include <vector>
+
+#include "sim/cluster.h"
+#include "sim/job.h"
+#include "sim/reservation.h"
+
+namespace dras::sim {
+
+/// Would starting `job` at `now` be a legal EASY backfill against
+/// `reservation` given the current cluster state?
+[[nodiscard]] bool backfill_legal(const Cluster& cluster,
+                                  const Reservation& reservation,
+                                  const Job& job, Time now);
+
+/// Filter `queue` (arrival order preserved) down to jobs that may legally
+/// backfill right now.  The reserved job itself is excluded.
+[[nodiscard]] std::vector<Job*> backfill_candidates(
+    const Cluster& cluster, const Reservation& reservation,
+    const std::vector<Job*>& queue, Time now);
+
+}  // namespace dras::sim

@@ -1,0 +1,21 @@
+#include "sim/event_queue.h"
+
+namespace dras::sim {
+
+bool event_after(const Event& a, const Event& b) noexcept {
+  if (a.time != b.time) return a.time > b.time;
+  if (a.type != b.type) return a.type > b.type;
+  return a.job > b.job;
+}
+
+Event EventQueue::pop() {
+  Event event = heap_.top();
+  heap_.pop();
+  return event;
+}
+
+void EventQueue::clear() {
+  heap_ = {};
+}
+
+}  // namespace dras::sim

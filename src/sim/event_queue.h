@@ -1,0 +1,55 @@
+// Discrete-event queue for the scheduling simulator.
+//
+// Three event kinds drive the simulation: job submission (from the trace),
+// job completion (clock advance by the effective runtime), and the arrival
+// of a reservation's start time.  Events with equal timestamps are ordered
+// deterministically — completions first, so resources freed at time t are
+// visible to decisions taken at time t, then reservation triggers, then
+// submissions — and ties within a kind break on job id.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "sim/job.h"
+
+namespace dras::sim {
+
+enum class EventType : std::uint8_t {
+  JobEnd = 0,            ///< A running job completes.
+  ReservationReady = 1,  ///< A reservation's start time arrives.
+  JobSubmit = 2,         ///< A job enters the system from the trace.
+};
+
+struct Event {
+  Time time = 0.0;
+  EventType type = EventType::JobSubmit;
+  JobId job = kInvalidJob;
+
+  friend bool operator==(const Event&, const Event&) = default;
+};
+
+/// Strict-weak ordering: earliest time first; see file comment for ties.
+[[nodiscard]] bool event_after(const Event& a, const Event& b) noexcept;
+
+/// Min-heap of events with deterministic ordering.
+class EventQueue {
+ public:
+  void push(Event event) { heap_.push(event); }
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+  [[nodiscard]] const Event& top() const { return heap_.top(); }
+  Event pop();
+  void clear();
+
+ private:
+  struct After {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      return event_after(a, b);
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, After> heap_;
+};
+
+}  // namespace dras::sim

@@ -1,0 +1,50 @@
+#include "sim/job.h"
+
+#include <algorithm>
+#include "util/format.h"
+#include <stdexcept>
+
+namespace dras::sim {
+
+std::string_view to_string(ExecMode mode) noexcept {
+  switch (mode) {
+    case ExecMode::None: return "none";
+    case ExecMode::Ready: return "ready";
+    case ExecMode::Reserved: return "reserved";
+    case ExecMode::Backfilled: return "backfilled";
+  }
+  return "?";
+}
+
+std::string validate_job(const Job& job) {
+  if (job.id < 0) return util::format("job has invalid id {}", job.id);
+  if (job.size <= 0)
+    return util::format("job {} has non-positive size {}", job.id, job.size);
+  if (job.submit_time < 0.0)
+    return util::format("job {} has negative submit time", job.id);
+  if (job.runtime_estimate <= 0.0)
+    return util::format("job {} has non-positive runtime estimate", job.id);
+  if (job.runtime_actual < 0.0)
+    return util::format("job {} has negative actual runtime", job.id);
+  if (job.priority != 0 && job.priority != 1)
+    return util::format("job {} has priority {} outside {{0,1}}", job.id,
+                       job.priority);
+  for (const JobId dep : job.dependencies) {
+    if (dep == job.id)
+      return util::format("job {} depends on itself", job.id);
+  }
+  return {};
+}
+
+void normalize_trace(Trace& trace) {
+  for (const Job& job : trace) {
+    if (auto err = validate_job(job); !err.empty())
+      throw std::invalid_argument(err);
+  }
+  std::sort(trace.begin(), trace.end(), [](const Job& a, const Job& b) {
+    if (a.submit_time != b.submit_time) return a.submit_time < b.submit_time;
+    return a.id < b.id;
+  });
+}
+
+}  // namespace dras::sim

@@ -1,0 +1,94 @@
+// Job model for the scheduling simulator.
+//
+// Mirrors the paper's job abstraction (§II-A): rigid jobs described by a
+// size (node count) and a user-supplied runtime estimate that acts as an
+// upper bound (the scheduler kills a job when it exceeds its estimate).
+// The trace additionally carries the actual runtime used to advance the
+// simulation clock, an optional priority bit, and optional dependencies
+// (a job is hidden from scheduling until all parents have completed,
+// matching Theta's handling of dependent jobs).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace dras::sim {
+
+using JobId = std::int64_t;
+using Time = double;  ///< Seconds since the trace epoch.
+
+inline constexpr Time kUnsetTime = -1.0;
+inline constexpr JobId kInvalidJob = -1;
+
+/// How a job was ultimately dispatched (paper §III-B).
+enum class ExecMode : std::uint8_t {
+  None = 0,        ///< Not yet started.
+  Ready = 1,       ///< Selected for immediate execution.
+  Reserved = 2,    ///< Held a resource reservation before starting.
+  Backfilled = 3,  ///< Started ahead of a reservation through a backfill hole.
+};
+
+[[nodiscard]] std::string_view to_string(ExecMode mode) noexcept;
+
+/// A single batch job.
+struct Job {
+  JobId id = kInvalidJob;
+  Time submit_time = 0.0;
+  int size = 1;                 ///< Requested nodes (rigid).
+  Time runtime_estimate = 0.0;  ///< User walltime request; kill bound.
+  Time runtime_actual = 0.0;    ///< True runtime from the trace.
+  int priority = 0;             ///< 1 = high priority, 0 = low (§III-A).
+  std::vector<JobId> dependencies;  ///< Parent jobs; empty for most jobs.
+
+  // --- Filled in by the simulator ---
+  Time start_time = kUnsetTime;
+  Time end_time = kUnsetTime;
+  ExecMode mode = ExecMode::None;
+
+  /// Runtime the simulator will charge: the actual runtime capped at the
+  /// estimate (jobs exceeding their request are killed, §II-A).
+  [[nodiscard]] Time effective_runtime() const noexcept {
+    return runtime_actual < runtime_estimate ? runtime_actual
+                                             : runtime_estimate;
+  }
+
+  [[nodiscard]] bool started() const noexcept {
+    return start_time != kUnsetTime;
+  }
+  [[nodiscard]] bool finished() const noexcept {
+    return end_time != kUnsetTime;
+  }
+  /// Wait time; only meaningful once started.
+  [[nodiscard]] Time wait_time() const noexcept {
+    return start_time - submit_time;
+  }
+  /// Response time (submission to completion); needs `finished()`.
+  [[nodiscard]] Time response_time() const noexcept {
+    return end_time - submit_time;
+  }
+  /// Bounded slowdown with a floor on runtime to avoid division blow-up.
+  [[nodiscard]] double slowdown(Time runtime_floor = 1.0) const noexcept {
+    const Time run = effective_runtime() > runtime_floor ? effective_runtime()
+                                                         : runtime_floor;
+    return response_time() / run;
+  }
+  /// Node-seconds consumed by the job.
+  [[nodiscard]] double node_seconds() const noexcept {
+    return static_cast<double>(size) * effective_runtime();
+  }
+};
+
+/// Validate trace-level invariants for one job; returns an error message or
+/// an empty string when the job is well-formed.
+[[nodiscard]] std::string validate_job(const Job& job);
+
+/// A trace is a submit-time-ordered list of jobs.
+using Trace = std::vector<Job>;
+
+/// Sort a trace by (submit_time, id) and verify per-job invariants.
+/// Throws std::invalid_argument when a job fails validation.
+void normalize_trace(Trace& trace);
+
+}  // namespace dras::sim

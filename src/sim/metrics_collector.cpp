@@ -1,0 +1,41 @@
+#include "sim/metrics_collector.h"
+
+#include <cassert>
+
+namespace dras::sim {
+
+MetricsCollector::MetricsCollector(int total_nodes)
+    : total_nodes_(total_nodes) {}
+
+void MetricsCollector::advance(Time from, Time to, int used_nodes) {
+  assert(to >= from);
+  const double dt = to - from;
+  used_node_seconds_ += dt * used_nodes;
+  elapsed_node_seconds_ += dt * total_nodes_;
+}
+
+void MetricsCollector::record_completion(const Job& job) {
+  JobRecord rec;
+  rec.id = job.id;
+  rec.size = job.size;
+  rec.priority = job.priority;
+  rec.submit = job.submit_time;
+  rec.start = job.start_time;
+  rec.end = job.end_time;
+  rec.mode = job.mode;
+  records_.push_back(rec);
+}
+
+double MetricsCollector::utilization() const noexcept {
+  return elapsed_node_seconds_ > 0.0
+             ? used_node_seconds_ / elapsed_node_seconds_
+             : 0.0;
+}
+
+void MetricsCollector::clear() {
+  used_node_seconds_ = 0.0;
+  elapsed_node_seconds_ = 0.0;
+  records_.clear();
+}
+
+}  // namespace dras::sim

@@ -1,0 +1,68 @@
+// Per-run metrics collection.
+//
+// Collects a slim record for every completed job plus a node-seconds
+// integral of machine usage, from which all paper metrics (§IV-E: wait,
+// response, slowdown, utilisation) and all figure aggregations (per size
+// bucket, per execution mode, per week) are derived after the run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/job.h"
+
+namespace dras::sim {
+
+/// Everything the evaluation needs to know about one finished job.
+struct JobRecord {
+  JobId id = kInvalidJob;
+  int size = 0;
+  int priority = 0;
+  Time submit = 0.0;
+  Time start = 0.0;
+  Time end = 0.0;
+  ExecMode mode = ExecMode::None;
+
+  [[nodiscard]] Time wait() const noexcept { return start - submit; }
+  [[nodiscard]] Time response() const noexcept { return end - submit; }
+  [[nodiscard]] Time runtime() const noexcept { return end - start; }
+  [[nodiscard]] double slowdown(Time floor = 1.0) const noexcept {
+    const Time run = runtime() > floor ? runtime() : floor;
+    return response() / run;
+  }
+  [[nodiscard]] double node_seconds() const noexcept {
+    return static_cast<double>(size) * runtime();
+  }
+};
+
+class MetricsCollector {
+ public:
+  explicit MetricsCollector(int total_nodes);
+
+  /// Integrate machine usage over [from, to) with `used_nodes` busy.
+  void advance(Time from, Time to, int used_nodes);
+
+  void record_completion(const Job& job);
+
+  [[nodiscard]] const std::vector<JobRecord>& records() const noexcept {
+    return records_;
+  }
+  [[nodiscard]] double used_node_seconds() const noexcept {
+    return used_node_seconds_;
+  }
+  [[nodiscard]] double elapsed_node_seconds() const noexcept {
+    return elapsed_node_seconds_;
+  }
+  /// Ratio of useful node-hours to elapsed node-hours (§IV-E).
+  [[nodiscard]] double utilization() const noexcept;
+
+  void clear();
+
+ private:
+  int total_nodes_;
+  double used_node_seconds_ = 0.0;
+  double elapsed_node_seconds_ = 0.0;
+  std::vector<JobRecord> records_;
+};
+
+}  // namespace dras::sim

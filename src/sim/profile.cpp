@@ -1,0 +1,79 @@
+#include "sim/profile.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+namespace dras::sim {
+
+AvailabilityProfile::AvailabilityProfile(
+    const Cluster& cluster, std::span<const Reservation> reservations,
+    Time now)
+    : now_(now) {
+  // Accumulate deltas at each breakpoint.
+  std::map<Time, int> deltas;
+  for (const RunningJob& rec : cluster.running_jobs()) {
+    const Time release = std::max(rec.estimated_end, now);
+    deltas[release] += rec.size;
+  }
+  for (const Reservation& r : reservations) {
+    const Time start = std::max(r.start, now);
+    deltas[start] -= r.size;
+    deltas[start + std::max(r.duration, 0.0)] += r.size;
+  }
+
+  steps_.reserve(deltas.size() + 1);
+  int available = cluster.free_nodes();
+  // Apply any deltas landing exactly at `now` into the initial step.
+  auto it = deltas.begin();
+  while (it != deltas.end() && it->first <= now) {
+    available += it->second;
+    ++it;
+  }
+  steps_.push_back(Step{now, available});
+  for (; it != deltas.end(); ++it) {
+    available += it->second;
+    steps_.push_back(Step{it->first, available});
+  }
+}
+
+int AvailabilityProfile::available_at(Time t) const {
+  assert(!steps_.empty());
+  // Last step with time <= t.
+  const auto after = std::upper_bound(
+      steps_.begin(), steps_.end(), t,
+      [](Time value, const Step& step) { return value < step.time; });
+  if (after == steps_.begin()) return steps_.front().available;
+  return std::prev(after)->available;
+}
+
+int AvailabilityProfile::min_available(Time from, Time to) const {
+  if (to <= from) return available_at(from);
+  int lowest = available_at(from);
+  for (const Step& step : steps_) {
+    if (step.time <= from) continue;
+    if (step.time >= to) break;
+    lowest = std::min(lowest, step.available);
+  }
+  return lowest;
+}
+
+Time AvailabilityProfile::earliest_start(int size, Time duration) const {
+  // Candidate starts: now and every breakpoint.  Availability only
+  // changes at breakpoints, so checking candidates in order finds the
+  // earliest feasible window.
+  for (const Step& step : steps_) {
+    const Time candidate = std::max(step.time, now_);
+    if (min_available(candidate, candidate + duration) >= size)
+      return candidate;
+  }
+  // All claims expire after the last breakpoint; the machine is as free
+  // as it will ever be there.
+  return steps_.back().time;
+}
+
+bool AvailabilityProfile::can_start_now(int size, Time duration) const {
+  return min_available(now_, now_ + duration) >= size;
+}
+
+}  // namespace dras::sim

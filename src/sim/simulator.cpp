@@ -1,0 +1,298 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <cassert>
+#include "util/format.h"
+#include <stdexcept>
+
+namespace dras::sim {
+
+// ---------------------------------------------------------------------------
+// SchedulingContext
+// ---------------------------------------------------------------------------
+
+Time SchedulingContext::now() const noexcept { return sim_.now_; }
+
+const Cluster& SchedulingContext::cluster() const noexcept {
+  return sim_.cluster_;
+}
+
+const std::vector<Job*>& SchedulingContext::queue() const noexcept {
+  return sim_.queue_.visible();
+}
+
+const ReservationLedger& SchedulingContext::reservation() const noexcept {
+  return sim_.ledger_;
+}
+
+bool SchedulingContext::is_reserved(JobId id) const noexcept {
+  return sim_.ledger_.holds(id);
+}
+
+std::size_t SchedulingContext::instance() const noexcept {
+  return sim_.instances_;
+}
+
+Time SchedulingContext::max_queued_time() const noexcept {
+  return sim_.queue_.max_queued_time(sim_.now_);
+}
+
+bool SchedulingContext::start_now(JobId id) {
+  return sim_.action_start(id, /*as_backfill=*/false);
+}
+
+bool SchedulingContext::reserve(JobId id) { return sim_.action_reserve(id); }
+
+bool SchedulingContext::backfill(JobId id) {
+  return sim_.action_start(id, /*as_backfill=*/true);
+}
+
+std::vector<Job*> SchedulingContext::backfill_candidates() const {
+  if (!sim_.ledger_.active()) return {};
+  if (sim_.ledger_.depth() == 1) {
+    return dras::sim::backfill_candidates(sim_.cluster_, sim_.ledger_.get(),
+                                          sim_.queue_.visible(), sim_.now_);
+  }
+  // Multi-reservation path: plan against the availability profile.
+  const AvailabilityProfile profile(sim_.cluster_, sim_.ledger_.all(),
+                                    sim_.now_);
+  std::vector<Job*> candidates;
+  for (Job* job : sim_.queue_.visible()) {
+    if (sim_.ledger_.holds(job->id)) continue;
+    if (profile.can_start_now(job->size, job->runtime_estimate))
+      candidates.push_back(job);
+  }
+  return candidates;
+}
+
+// ---------------------------------------------------------------------------
+// Simulator
+// ---------------------------------------------------------------------------
+
+Simulator::Simulator(int total_nodes, int reservation_depth)
+    : cluster_(total_nodes),
+      ledger_(static_cast<std::size_t>(std::max(reservation_depth, 1))),
+      metrics_(total_nodes) {}
+
+std::vector<Reservation> Simulator::reservations_except(
+    JobId excluded) const {
+  std::vector<Reservation> others;
+  for (const Reservation& r : ledger_.all())
+    if (r.job != excluded) others.push_back(r);
+  return others;
+}
+
+bool Simulator::start_is_reservation_safe(const Job& job) const {
+  if (!ledger_.active()) return true;
+  if (ledger_.depth() == 1)
+    return backfill_legal(cluster_, ledger_.get(), job, now_);
+  const AvailabilityProfile profile(cluster_, ledger_.all(), now_);
+  return profile.can_start_now(job.size, job.runtime_estimate);
+}
+
+Job* Simulator::find_queued(JobId id) noexcept {
+  const auto it = index_.find(id);
+  if (it == index_.end()) return nullptr;
+  Job& job = jobs_[it->second];
+  if (job.started()) return nullptr;
+  return &job;
+}
+
+bool Simulator::action_start(JobId id, bool as_backfill) {
+  Job* job = find_queued(id);
+  if (job == nullptr) return false;
+  if (ledger_.holds(id)) return false;  // reserved jobs start automatically
+  if (as_backfill && !ledger_.active()) return false;
+  if (!cluster_.fits(job->size)) return false;
+  // Starting a job while reservations are outstanding must not delay any
+  // of them, whatever the policy chooses to call the action.
+  if (!start_is_reservation_safe(*job)) return false;
+  ExecMode mode;
+  if (ever_reserved_.contains(id)) {
+    mode = ExecMode::Reserved;
+  } else if (as_backfill) {
+    mode = ExecMode::Backfilled;
+  } else {
+    mode = ExecMode::Ready;
+  }
+  start_job(*job, mode);
+  if (observer_) {
+    SchedulingContext ctx(*this);
+    observer_(ctx, *job);
+  }
+  return true;
+}
+
+bool Simulator::action_reserve(JobId id) {
+  if (ledger_.full()) return false;
+  Job* job = find_queued(id);
+  if (job == nullptr) return false;
+  if (ledger_.holds(id)) return false;
+  // A job that can legally start right now must be started instead.
+  if (cluster_.fits(job->size) && start_is_reservation_safe(*job))
+    return false;
+  Reservation r;
+  r.job = id;
+  r.size = job->size;
+  r.duration = job->runtime_estimate;
+  if (ledger_.depth() == 1) {
+    r.start = cluster_.earliest_start(job->size, now_);
+  } else {
+    const AvailabilityProfile profile(cluster_, ledger_.all(), now_);
+    r.start = profile.earliest_start(job->size, job->runtime_estimate);
+  }
+  const bool added = ledger_.add(r);
+  assert(added);
+  (void)added;
+  ever_reserved_.insert(id);
+  // Guarantee a scheduling instance at the reserved start even if no job
+  // event lands there (the job usually starts earlier via auto-start).
+  if (r.start > now_)
+    events_.push(Event{r.start, EventType::ReservationReady, id});
+  if (observer_) {
+    SchedulingContext ctx(*this);
+    observer_(ctx, *job);
+  }
+  return true;
+}
+
+void Simulator::auto_start_reserved(const SchedulingContext& ctx) {
+  bool progress = true;
+  while (progress && ledger_.active()) {
+    progress = false;
+    for (const Reservation& r : ledger_.all()) {
+      Job& job = jobs_[index_.at(r.job)];
+      if (!cluster_.fits(job.size)) continue;
+      if (ledger_.depth() > 1) {
+        // Starting this reserved job must not jeopardise the others.
+        const auto others = reservations_except(r.job);
+        const AvailabilityProfile profile(cluster_, others, now_);
+        if (!profile.can_start_now(job.size, job.runtime_estimate)) continue;
+      }
+      ledger_.remove(r.job);
+      start_job(job, ExecMode::Reserved);
+      if (observer_) observer_(ctx, job);
+      progress = true;
+      break;  // ledger mutated; restart the scan
+    }
+  }
+}
+
+void Simulator::start_job(Job& job, ExecMode mode) {
+  const bool removed = queue_.remove(job.id);
+  assert(removed);
+  (void)removed;
+  const bool allocated = cluster_.allocate(job, now_);
+  assert(allocated);
+  (void)allocated;
+  job.start_time = now_;
+  job.end_time = now_ + job.effective_runtime();
+  job.mode = mode;
+  ++started_jobs_;
+  events_.push(Event{job.end_time, EventType::JobEnd, job.id});
+}
+
+void Simulator::handle_event(const Event& event) {
+  switch (event.type) {
+    case EventType::JobSubmit: {
+      Job& job = jobs_[index_.at(event.job)];
+      queue_.submit(&job);
+      break;
+    }
+    case EventType::JobEnd: {
+      Job& job = jobs_[index_.at(event.job)];
+      const auto rec = cluster_.release(job.id);
+      assert(rec.has_value());
+      (void)rec;
+      metrics_.record_completion(job);
+      queue_.on_job_finished(job.id);
+      last_end_ = std::max(last_end_, job.end_time);
+      break;
+    }
+    case EventType::ReservationReady:
+      // Pure trigger: forces a scheduling instance at the reserved start.
+      break;
+  }
+}
+
+void Simulator::reset(const Trace& trace) {
+  cluster_.clear();
+  events_.clear();
+  queue_.clear();
+  ledger_.clear();
+  metrics_.clear();
+  ever_reserved_.clear();
+  jobs_ = trace;
+  index_.clear();
+  index_.reserve(jobs_.size());
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    Job& job = jobs_[i];
+    job.start_time = kUnsetTime;
+    job.end_time = kUnsetTime;
+    job.mode = ExecMode::None;
+    if (!index_.emplace(job.id, i).second)
+      throw std::invalid_argument(
+          util::format("duplicate job id {} in trace", job.id));
+  }
+  for (const Job& job : jobs_) {
+    if (job.size > cluster_.total_nodes())
+      throw std::invalid_argument(
+          util::format("job {} needs {} nodes but the machine has {}", job.id,
+                      job.size, cluster_.total_nodes()));
+    for (const JobId dep : job.dependencies) {
+      if (!index_.contains(dep))
+        throw std::invalid_argument(util::format(
+            "job {} depends on unknown job {}", job.id, dep));
+    }
+  }
+  now_ = jobs_.empty() ? 0.0 : jobs_.front().submit_time;
+  first_submit_ = now_;
+  last_end_ = now_;
+  instances_ = 0;
+  started_jobs_ = 0;
+  for (const Job& job : jobs_)
+    events_.push(Event{job.submit_time, EventType::JobSubmit, job.id});
+}
+
+SimulationResult Simulator::run(const Trace& trace, Scheduler& policy) {
+  {
+    Trace sorted = trace;
+    normalize_trace(sorted);
+    reset(sorted);
+  }
+  policy.begin_episode();
+
+  SchedulingContext ctx(*this);
+  while (!events_.empty()) {
+    const Time batch_time = events_.top().time;
+    metrics_.advance(now_, batch_time, cluster_.used_nodes());
+    now_ = batch_time;
+    while (!events_.empty() && events_.top().time == batch_time)
+      handle_event(events_.pop());
+
+    // Reservations are system commitments ("reserves a set of nodes for
+    // its execution at the earliest available time", §III-B): they persist
+    // until the reserved job starts, and the environment starts a reserved
+    // job as soon as it fits — which may be before the reserved time when
+    // running jobs finish under their estimates.
+    auto_start_reserved(ctx);
+
+    if (queue_.visible_count() > 0) {
+      ++instances_;
+      policy.schedule(ctx);
+    }
+  }
+  policy.end_episode();
+
+  SimulationResult result;
+  result.jobs = metrics_.records();
+  result.unfinished_jobs = jobs_.size() - result.jobs.size();
+  result.used_node_seconds = metrics_.used_node_seconds();
+  result.elapsed_node_seconds = metrics_.elapsed_node_seconds();
+  result.utilization = metrics_.utilization();
+  result.makespan = last_end_ - first_submit_;
+  result.scheduling_instances = instances_;
+  return result;
+}
+
+}  // namespace dras::sim

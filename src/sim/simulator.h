@@ -1,0 +1,107 @@
+// Trace-driven, event-based scheduling simulator (CQSim substrate, §IV-B).
+//
+// "A real system takes jobs from user submission, while CQSim takes jobs
+//  by reading the job arrival information in the trace.  Rather than
+//  executing jobs on system, CQSim simulates the execution by advancing
+//  the simulation clock according to the job runtime information."
+//
+// The simulator owns the per-run copy of the trace, the cluster, the wait
+// queue, the event queue, the (single) reservation ledger and the metrics
+// collector.  A Scheduler is invoked at every scheduling instance and acts
+// through SchedulingContext.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/cluster.h"
+#include "sim/event_queue.h"
+#include "sim/job.h"
+#include "sim/metrics_collector.h"
+#include "sim/profile.h"
+#include "sim/reservation.h"
+#include "sim/scheduler.h"
+#include "sim/wait_queue.h"
+
+namespace dras::sim {
+
+/// Outcome of one full simulation run.
+struct SimulationResult {
+  std::vector<JobRecord> jobs;        ///< Completed jobs.
+  std::size_t unfinished_jobs = 0;    ///< Jobs never started (policy bug or
+                                      ///< unsatisfiable dependency).
+  double used_node_seconds = 0.0;
+  double elapsed_node_seconds = 0.0;
+  double utilization = 0.0;           ///< §IV-E system-level metric.
+  Time makespan = 0.0;                ///< First submit to last completion.
+  std::size_t scheduling_instances = 0;
+};
+
+class Simulator {
+ public:
+  /// `reservation_depth` = 1 gives the paper's single-reservation EASY
+  /// behaviour; larger depths enable the conservative-backfilling
+  /// extension where several queued jobs hold future node claims planned
+  /// through the AvailabilityProfile (see reservation.h / profile.h).
+  explicit Simulator(int total_nodes, int reservation_depth = 1);
+
+  /// Run `trace` to completion under `policy`.  The trace is copied; the
+  /// caller's jobs are untouched.  Throws std::invalid_argument when a job
+  /// is larger than the machine or references an unknown dependency.
+  SimulationResult run(const Trace& trace, Scheduler& policy);
+
+  [[nodiscard]] int total_nodes() const noexcept {
+    return cluster_.total_nodes();
+  }
+
+  /// Invoked after every successful start / reserve / backfill action with
+  /// the post-action state and the acting job.  Lets evaluation code
+  /// account per-action rewards for policies that do not compute them
+  /// (the Fig. 5 reward curves of the heuristic methods).
+  using ActionObserver =
+      std::function<void(const SchedulingContext&, const Job&)>;
+  void set_action_observer(ActionObserver observer) {
+    observer_ = std::move(observer);
+  }
+
+ private:
+  friend class SchedulingContext;
+
+  // --- SchedulingContext backing operations ---
+  bool action_start(JobId id, bool as_backfill);
+  bool action_reserve(JobId id);
+  [[nodiscard]] Job* find_queued(JobId id) noexcept;
+
+  /// Starting `job` now keeps every outstanding reservation satisfiable.
+  [[nodiscard]] bool start_is_reservation_safe(const Job& job) const;
+  /// All outstanding reservations except the one for `excluded`.
+  [[nodiscard]] std::vector<Reservation> reservations_except(
+      JobId excluded) const;
+  /// Start any reserved jobs that now fit without jeopardising the rest.
+  void auto_start_reserved(const SchedulingContext& ctx);
+
+  void start_job(Job& job, ExecMode mode);
+  void handle_event(const Event& event);
+  void reset(const Trace& trace);
+
+  Cluster cluster_;
+  EventQueue events_;
+  WaitQueue queue_;
+  ReservationLedger ledger_;
+  MetricsCollector metrics_;
+
+  std::vector<Job> jobs_;                       // per-run trace copy
+  std::unordered_map<JobId, std::size_t> index_;  // id -> jobs_ slot
+  std::unordered_set<JobId> ever_reserved_;
+  Time now_ = 0.0;
+  Time first_submit_ = 0.0;
+  Time last_end_ = 0.0;
+  std::size_t instances_ = 0;
+  std::size_t started_jobs_ = 0;
+  ActionObserver observer_;
+};
+
+}  // namespace dras::sim

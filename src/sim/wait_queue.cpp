@@ -1,0 +1,65 @@
+#include "sim/wait_queue.h"
+
+#include <algorithm>
+
+namespace dras::sim {
+
+bool WaitQueue::ready(const Job& job) const {
+  return std::all_of(job.dependencies.begin(), job.dependencies.end(),
+                     [&](JobId dep) { return finished_.contains(dep); });
+}
+
+void WaitQueue::insert_visible(Job* job) {
+  // Keep (submit_time, id) order; jobs released from hold may arrive out of
+  // order relative to the tail of the visible queue.
+  const auto pos = std::upper_bound(
+      visible_.begin(), visible_.end(), job, [](const Job* a, const Job* b) {
+        if (a->submit_time != b->submit_time)
+          return a->submit_time < b->submit_time;
+        return a->id < b->id;
+      });
+  visible_.insert(pos, job);
+}
+
+void WaitQueue::submit(Job* job) {
+  if (ready(*job)) {
+    insert_visible(job);
+  } else {
+    held_.push_back(job);
+  }
+}
+
+void WaitQueue::on_job_finished(JobId id) {
+  finished_.insert(id);
+  for (auto it = held_.begin(); it != held_.end();) {
+    if (ready(**it)) {
+      insert_visible(*it);
+      it = held_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool WaitQueue::remove(JobId id) {
+  const auto it = std::find_if(visible_.begin(), visible_.end(),
+                               [id](const Job* j) { return j->id == id; });
+  if (it == visible_.end()) return false;
+  visible_.erase(it);
+  return true;
+}
+
+Time WaitQueue::max_queued_time(Time now) const noexcept {
+  Time longest = 0.0;
+  for (const Job* job : visible_)
+    longest = std::max(longest, now - job->submit_time);
+  return longest;
+}
+
+void WaitQueue::clear() {
+  visible_.clear();
+  held_.clear();
+  finished_.clear();
+}
+
+}  // namespace dras::sim

@@ -1,0 +1,58 @@
+// Arrival-ordered wait queue with dependency gating.
+//
+// Jobs with unfinished parents are *held* — invisible to the scheduler —
+// until every dependency has completed (this is how Theta's Cobalt handles
+// the 2.25 % of dependent jobs, §IV-C).  The visible queue preserves
+// submission order, which FCFS and the DRAS window (§III-B) rely on.
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/job.h"
+
+namespace dras::sim {
+
+class WaitQueue {
+ public:
+  /// Submit a job.  It becomes visible immediately unless it has parents
+  /// that have not yet finished.  The pointer must outlive the queue.
+  void submit(Job* job);
+
+  /// Notify completion of `id`; any held job whose parents are now all
+  /// complete moves into the visible queue (in original submit order).
+  void on_job_finished(JobId id);
+
+  /// Remove a visible job (it was started).  Returns false if not present.
+  bool remove(JobId id);
+
+  /// Visible jobs in arrival order.
+  [[nodiscard]] const std::vector<Job*>& visible() const noexcept {
+    return visible_;
+  }
+  [[nodiscard]] std::size_t visible_count() const noexcept {
+    return visible_.size();
+  }
+  [[nodiscard]] std::size_t held_count() const noexcept {
+    return held_.size();
+  }
+  [[nodiscard]] bool empty() const noexcept {
+    return visible_.empty() && held_.empty();
+  }
+
+  /// Longest current wait among visible jobs; 0 when the queue is empty.
+  [[nodiscard]] Time max_queued_time(Time now) const noexcept;
+
+  void clear();
+
+ private:
+  [[nodiscard]] bool ready(const Job& job) const;
+  void insert_visible(Job* job);
+
+  std::vector<Job*> visible_;               // arrival order
+  std::vector<Job*> held_;                  // arrival order
+  std::unordered_set<JobId> finished_;
+};
+
+}  // namespace dras::sim

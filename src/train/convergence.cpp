@@ -1,0 +1,51 @@
+#include "train/convergence.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace dras::train {
+
+ConvergenceMonitor::ConvergenceMonitor(ConvergenceOptions options)
+    : options_(options) {
+  if (options_.window == 0) options_.window = 1;
+}
+
+double ConvergenceMonitor::recent_average() const noexcept {
+  if (rewards_.empty()) return 0.0;
+  const std::size_t n = std::min(options_.window, rewards_.size());
+  const double sum = std::accumulate(rewards_.end() - static_cast<long>(n),
+                                     rewards_.end(), 0.0);
+  return sum / static_cast<double>(n);
+}
+
+bool ConvergenceMonitor::record(double validation_reward) {
+  rewards_.push_back(validation_reward);
+  if (converged_) return true;
+  const std::size_t w = options_.window;
+  if (rewards_.size() < 2 * w) return false;
+
+  const auto tail = rewards_.end();
+  const double recent =
+      std::accumulate(tail - static_cast<long>(w), tail, 0.0) /
+      static_cast<double>(w);
+  const double previous =
+      std::accumulate(tail - static_cast<long>(2 * w),
+                      tail - static_cast<long>(w), 0.0) /
+      static_cast<double>(w);
+  const double scale = std::max({std::fabs(recent), std::fabs(previous),
+                                 1e-12});
+  if (std::fabs(recent - previous) / scale <= options_.tolerance) {
+    converged_ = true;
+    converged_at_ = rewards_.size() - 1;
+  }
+  return converged_;
+}
+
+void ConvergenceMonitor::reset() {
+  rewards_.clear();
+  converged_ = false;
+  converged_at_.reset();
+}
+
+}  // namespace dras::train

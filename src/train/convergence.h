@@ -1,0 +1,54 @@
+// Convergence detection for episodic training (paper §IV-D: "Both DRAS
+// methods converge at 40 episodes.  Hence, we use the model trained after
+// the 40th episode for testing").
+//
+// A reward sequence is declared converged when the moving average over
+// the last `window` episodes changes by less than `tolerance` (relative)
+// compared to the preceding window.  Used by the trainer examples to
+// pick the snapshot episode the way the paper picks its 40th/50th-episode
+// models.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace dras::train {
+
+struct ConvergenceOptions {
+  std::size_t window = 5;     ///< Episodes per moving-average window.
+  double tolerance = 0.02;    ///< Relative change below which = converged.
+};
+
+class ConvergenceMonitor {
+ public:
+  explicit ConvergenceMonitor(ConvergenceOptions options = {});
+
+  /// Record one episode's validation reward.  Returns true once the
+  /// sequence has converged (and keeps returning true afterwards).
+  bool record(double validation_reward);
+
+  [[nodiscard]] bool converged() const noexcept { return converged_; }
+  /// Episode index (0-based) at which convergence was first declared.
+  [[nodiscard]] std::optional<std::size_t> converged_at() const noexcept {
+    return converged_at_;
+  }
+  [[nodiscard]] std::size_t episodes() const noexcept {
+    return rewards_.size();
+  }
+  [[nodiscard]] const std::vector<double>& rewards() const noexcept {
+    return rewards_;
+  }
+  /// Moving average of the most recent window (0 when empty).
+  [[nodiscard]] double recent_average() const noexcept;
+
+  void reset();
+
+ private:
+  ConvergenceOptions options_;
+  std::vector<double> rewards_;
+  bool converged_ = false;
+  std::optional<std::size_t> converged_at_;
+};
+
+}  // namespace dras::train

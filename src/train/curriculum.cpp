@@ -1,0 +1,79 @@
+#include "train/curriculum.h"
+
+#include "util/format.h"
+#include <stdexcept>
+
+#include "util/rng.h"
+#include "workload/jobset.h"
+#include "workload/synthetic.h"
+
+namespace dras::train {
+
+std::string_view to_string(JobsetPhase phase) noexcept {
+  switch (phase) {
+    case JobsetPhase::Sampled: return "sampled";
+    case JobsetPhase::Real: return "real";
+    case JobsetPhase::Synthetic: return "synthetic";
+  }
+  return "?";
+}
+
+std::vector<Jobset> build_curriculum(
+    const workload::WorkloadModel& model,
+    const sim::Trace& real_training_trace, const CurriculumOptions& options) {
+  if (real_training_trace.empty())
+    throw std::invalid_argument("curriculum needs a non-empty real trace");
+
+  // Phase 2 material: weekly slices of the real training trace.
+  const auto week_slices =
+      workload::split_by_duration(real_training_trace, 7.0 * 86400.0);
+
+  std::vector<Jobset> curriculum;
+  std::size_t sampled_made = 0, real_made = 0, synthetic_made = 0;
+  for (const JobsetPhase phase : options.order) {
+    switch (phase) {
+      case JobsetPhase::Sampled:
+        for (std::size_t i = 0; i < options.sampled_sets; ++i) {
+          Jobset set;
+          set.phase = phase;
+          set.name = util::format("sampled-{}", sampled_made);
+          set.trace = workload::sampled_jobset(
+              real_training_trace, options.jobs_per_set,
+              util::derive_seed(options.seed,
+                                util::format("sampled-{}", sampled_made)));
+          curriculum.push_back(std::move(set));
+          ++sampled_made;
+        }
+        break;
+      case JobsetPhase::Real:
+        if (week_slices.empty())
+          throw std::invalid_argument("real trace yields no weekly slices");
+        for (std::size_t i = 0; i < options.real_sets; ++i) {
+          Jobset set;
+          set.phase = phase;
+          set.name = util::format("real-week-{}", real_made);
+          set.trace = week_slices[real_made % week_slices.size()];
+          curriculum.push_back(std::move(set));
+          ++real_made;
+        }
+        break;
+      case JobsetPhase::Synthetic:
+        for (std::size_t i = 0; i < options.synthetic_sets; ++i) {
+          workload::GenerateOptions gen;
+          gen.num_jobs = options.jobs_per_set;
+          gen.seed = util::derive_seed(
+              options.seed, util::format("synthetic-{}", synthetic_made));
+          Jobset set;
+          set.phase = phase;
+          set.name = util::format("synthetic-{}", synthetic_made);
+          set.trace = workload::generate_trace(model, gen);
+          curriculum.push_back(std::move(set));
+          ++synthetic_made;
+        }
+        break;
+    }
+  }
+  return curriculum;
+}
+
+}  // namespace dras::train

@@ -1,0 +1,50 @@
+// Three-phase training curriculum (paper §III-C, §IV-D).
+//
+// "Three types of jobsets are used to train DRAS in order: (1) a set of
+//  sampled jobs from real job traces, (2) a period of real job traces,
+//  and (3) a set of synthetic jobs generated according to job patterns on
+//  the target system."
+//
+// The curriculum builder produces the ordered jobset list; alternate
+// orderings (real-first, synthetic-first) back the Fig. 4 ablation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/job.h"
+#include "workload/models.h"
+
+namespace dras::train {
+
+enum class JobsetPhase { Sampled, Real, Synthetic };
+
+[[nodiscard]] std::string_view to_string(JobsetPhase phase) noexcept;
+
+struct Jobset {
+  std::string name;
+  JobsetPhase phase = JobsetPhase::Sampled;
+  sim::Trace trace;
+};
+
+struct CurriculumOptions {
+  std::size_t sampled_sets = 9;    ///< Paper: 9 sampled jobsets on Theta.
+  std::size_t real_sets = 9;       ///< Paper: nine one-week slices.
+  std::size_t synthetic_sets = 82; ///< Paper: 82 synthetic jobsets.
+  std::size_t jobs_per_set = 3200; ///< Paper: 320,000 jobs / 100 jobsets.
+  std::uint64_t seed = 1;
+  /// Phase ordering; the paper's best is Sampled → Real → Synthetic.
+  std::vector<JobsetPhase> order = {JobsetPhase::Sampled, JobsetPhase::Real,
+                                    JobsetPhase::Synthetic};
+};
+
+/// Build the ordered curriculum.  Real jobsets are contiguous slices of
+/// `real_training_trace` (cycled if fewer slices exist than requested);
+/// sampled jobsets are drawn from it; synthetic jobsets come from `model`
+/// with per-set seeds.
+[[nodiscard]] std::vector<Jobset> build_curriculum(
+    const workload::WorkloadModel& model,
+    const sim::Trace& real_training_trace, const CurriculumOptions& options);
+
+}  // namespace dras::train

@@ -1,0 +1,22 @@
+#include "train/evaluator.h"
+
+namespace dras::train {
+
+Evaluation evaluate(int total_nodes, const sim::Trace& trace,
+                    sim::Scheduler& policy,
+                    const core::RewardFunction* reward) {
+  sim::Simulator simulator(total_nodes);
+  Evaluation evaluation;
+  evaluation.method = std::string(policy.name());
+  if (reward != nullptr) {
+    simulator.set_action_observer(
+        [&](const sim::SchedulingContext& ctx, const sim::Job& job) {
+          evaluation.total_reward += reward->step_reward(ctx, job);
+        });
+  }
+  evaluation.result = simulator.run(trace, policy);
+  evaluation.summary = metrics::summarize(evaluation.result);
+  return evaluation;
+}
+
+}  // namespace dras::train

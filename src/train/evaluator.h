@@ -1,0 +1,31 @@
+// Evaluation runner: execute one policy over one trace and collect the
+// §IV-E summary plus (optionally) the total per-action reward, which is
+// the quantity Fig. 5 plots for every method including the heuristics.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/reward.h"
+#include "metrics/stats.h"
+#include "sim/simulator.h"
+
+namespace dras::train {
+
+struct Evaluation {
+  std::string method;
+  metrics::Summary summary;
+  double total_reward = 0.0;  ///< Valid when a reward function was given.
+  sim::SimulationResult result;
+};
+
+/// Run `policy` on `trace` with a machine of `total_nodes` nodes.  When
+/// `reward` is provided, every successful action is scored on the
+/// post-action state and accumulated into `total_reward` (this uses the
+/// simulator's action observer; any observer previously installed on a
+/// caller-owned simulator is not preserved).
+[[nodiscard]] Evaluation evaluate(int total_nodes, const sim::Trace& trace,
+                                  sim::Scheduler& policy,
+                                  const core::RewardFunction* reward = nullptr);
+
+}  // namespace dras::train

@@ -1,0 +1,71 @@
+#include "train/trainer.h"
+
+#include "util/format.h"
+
+#include "nn/serialize.h"
+#include "sim/simulator.h"
+#include "util/logging.h"
+
+namespace dras::train {
+
+Trainer::Trainer(core::DrasAgent& agent, int total_nodes,
+                 sim::Trace validation, TrainerOptions options)
+    : agent_(agent),
+      total_nodes_(total_nodes),
+      validation_(std::move(validation)),
+      options_(std::move(options)) {}
+
+EpisodeResult Trainer::validate() {
+  EpisodeResult result;
+  result.episode = episodes_done_;
+  const bool was_training = agent_.training();
+  agent_.set_training(false);
+  sim::Simulator simulator(total_nodes_);
+  const sim::SimulationResult run = simulator.run(validation_, agent_);
+  result.validation_reward = agent_.episode_reward();
+  result.validation_summary = metrics::summarize(run);
+  agent_.set_training(was_training);
+  return result;
+}
+
+EpisodeResult Trainer::run_episode(const Jobset& jobset) {
+  EpisodeResult result;
+  result.episode = episodes_done_;
+  result.jobset = jobset.name;
+  result.phase = jobset.phase;
+
+  agent_.set_training(true);
+  sim::Simulator simulator(total_nodes_);
+  simulator.run(jobset.trace, agent_);
+  result.training_reward = agent_.episode_reward();
+
+  if (options_.validate_each_episode && !validation_.empty()) {
+    const EpisodeResult validation = validate();
+    result.validation_reward = validation.validation_reward;
+    result.validation_summary = validation.validation_summary;
+  }
+
+  if (options_.snapshot_dir) {
+    std::filesystem::create_directories(*options_.snapshot_dir);
+    const auto path =
+        *options_.snapshot_dir /
+        util::format("{}-episode-{}.bin", agent_.name(), episodes_done_);
+    nn::save_network_file(path, agent_.network());
+  }
+
+  util::log_info("episode {} [{}] train reward {:.3f} validation {:.3f}",
+                 episodes_done_, jobset.name, result.training_reward,
+                 result.validation_reward);
+  ++episodes_done_;
+  return result;
+}
+
+std::vector<EpisodeResult> Trainer::run(std::span<const Jobset> curriculum) {
+  std::vector<EpisodeResult> results;
+  results.reserve(curriculum.size());
+  for (const Jobset& jobset : curriculum)
+    results.push_back(run_episode(jobset));
+  return results;
+}
+
+}  // namespace dras::train

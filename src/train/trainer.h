@@ -1,0 +1,65 @@
+// Episodic trainer (paper §III-C).
+//
+// "We train the neural network in episodes ... For each episode, the
+//  environment is first set to its initial state (all nodes idle).  An
+//  episode terminates when all jobs in the jobset have been scheduled.
+//  We monitor the progress of the training by taking a snapshot of the
+//  model after each episode.  The next episode uses a new jobset to
+//  refine the previous model."
+//
+// After each episode the trainer optionally evaluates the frozen agent on
+// a validation trace (training disabled, greedy actions); the resulting
+// total-reward sequence is the Fig. 4 / Fig. 5 learning curve.
+#pragma once
+
+#include <filesystem>
+#include <optional>
+#include <vector>
+
+#include "core/dras_agent.h"
+#include "metrics/stats.h"
+#include "train/curriculum.h"
+
+namespace dras::train {
+
+struct EpisodeResult {
+  std::size_t episode = 0;
+  std::string jobset;
+  JobsetPhase phase = JobsetPhase::Sampled;
+  double training_reward = 0.0;    ///< Reward collected during the episode.
+  double validation_reward = 0.0;  ///< Greedy reward on the validation set.
+  metrics::Summary validation_summary;
+};
+
+struct TrainerOptions {
+  bool validate_each_episode = true;
+  /// When set, a model snapshot is written per episode as
+  /// "<dir>/<agent>-episode-<k>.bin".
+  std::optional<std::filesystem::path> snapshot_dir;
+};
+
+class Trainer {
+ public:
+  /// `validation` may be empty when options.validate_each_episode is off.
+  Trainer(core::DrasAgent& agent, int total_nodes, sim::Trace validation,
+          TrainerOptions options = {});
+
+  /// Train one episode on `jobset`, then (optionally) validate & snapshot.
+  EpisodeResult run_episode(const Jobset& jobset);
+
+  /// Run a whole curriculum in order.
+  std::vector<EpisodeResult> run(std::span<const Jobset> curriculum);
+
+  /// Greedy evaluation on the validation trace (no learning, no
+  /// exploration).  The agent's training flag is restored afterwards.
+  [[nodiscard]] EpisodeResult validate();
+
+ private:
+  core::DrasAgent& agent_;
+  int total_nodes_;
+  sim::Trace validation_;
+  TrainerOptions options_;
+  std::size_t episodes_done_ = 0;
+};
+
+}  // namespace dras::train

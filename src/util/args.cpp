@@ -1,0 +1,106 @@
+#include "util/args.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/format.h"
+
+namespace dras::util {
+
+Args::Args(int argc, const char* const* argv,
+           const std::vector<std::string>& known_flags) {
+  program_ = argc > 0 ? argv[0] : "";
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(token));
+      continue;
+    }
+    std::string key = token.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = key.find('='); eq != std::string::npos) {
+      value = key.substr(eq + 1);
+      key = key.substr(0, eq);
+      has_value = true;
+    }
+    if (key.empty())
+      throw std::invalid_argument("empty option name '--'");
+    const bool is_flag =
+        std::find(known_flags.begin(), known_flags.end(), key) !=
+        known_flags.end();
+    if (is_flag) {
+      if (has_value)
+        throw std::invalid_argument(
+            format("flag --{} does not take a value", key));
+      flags_[key] = true;
+      continue;
+    }
+    if (!has_value) {
+      if (i + 1 >= argc)
+        throw std::invalid_argument(
+            format("option --{} expects a value", key));
+      value = argv[++i];
+    }
+    values_[key] = std::move(value);
+  }
+}
+
+bool Args::has(const std::string& key) const {
+  touched_[key] = true;
+  return values_.contains(key);
+}
+
+bool Args::flag(const std::string& key) const {
+  touched_[key] = true;
+  const auto it = flags_.find(key);
+  return it != flags_.end() && it->second;
+}
+
+std::string Args::get(const std::string& key,
+                      const std::string& fallback) const {
+  touched_[key] = true;
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+long long Args::get_int(const std::string& key, long long fallback) const {
+  touched_[key] = true;
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    std::size_t consumed = 0;
+    const long long value = std::stoll(it->second, &consumed);
+    if (consumed != it->second.size()) throw std::invalid_argument("");
+    return value;
+  } catch (const std::exception&) {
+    throw std::invalid_argument(
+        format("option --{} expects an integer, got '{}'", key, it->second));
+  }
+}
+
+double Args::get_double(const std::string& key, double fallback) const {
+  touched_[key] = true;
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(it->second, &consumed);
+    if (consumed != it->second.size()) throw std::invalid_argument("");
+    return value;
+  } catch (const std::exception&) {
+    throw std::invalid_argument(
+        format("option --{} expects a number, got '{}'", key, it->second));
+  }
+}
+
+std::vector<std::string> Args::unused() const {
+  std::vector<std::string> unread;
+  for (const auto& [key, value] : values_)
+    if (!touched_.contains(key)) unread.push_back(key);
+  for (const auto& [key, set] : flags_)
+    if (set && !touched_.contains(key)) unread.push_back(key);
+  return unread;
+}
+
+}  // namespace dras::util

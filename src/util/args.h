@@ -1,0 +1,50 @@
+// Minimal command-line argument parser for the dras tools.
+//
+// Supports "--key value", "--key=value" and boolean "--flag" options plus
+// positional arguments.  Typed getters with defaults; unknown-option and
+// type errors surface as std::invalid_argument with a helpful message.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dras::util {
+
+class Args {
+ public:
+  /// Parse argv.  `known_flags` lists boolean options (present/absent);
+  /// everything else beginning with "--" expects a value.
+  Args(int argc, const char* const* argv,
+       const std::vector<std::string>& known_flags = {});
+
+  [[nodiscard]] const std::string& program() const noexcept {
+    return program_;
+  }
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] bool flag(const std::string& key) const;
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const;
+  [[nodiscard]] long long get_int(const std::string& key,
+                                  long long fallback) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  /// Keys that were provided but never read — for catching typos.
+  [[nodiscard]] std::vector<std::string> unused() const;
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::map<std::string, bool> flags_;
+  std::vector<std::string> positional_;
+  mutable std::map<std::string, bool> touched_;
+};
+
+}  // namespace dras::util

@@ -1,0 +1,87 @@
+#include "util/csv.h"
+
+#include <cassert>
+#include <cmath>
+#include <ostream>
+
+namespace dras::util {
+
+CsvWriter::CsvWriter(std::ostream& out) : out_(out) {}
+
+void CsvWriter::header(const std::vector<std::string>& columns) {
+  assert(!header_written_ && !in_row_);
+  header_written_ = true;
+  bool first = true;
+  for (const auto& c : columns) {
+    if (!first) out_ << ',';
+    out_ << escape(c);
+    first = false;
+  }
+  out_ << '\n';
+}
+
+CsvWriter& CsvWriter::row() {
+  if (in_row_) end_row();
+  in_row_ = true;
+  row_has_field_ = false;
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(std::string_view value) {
+  assert(in_row_);
+  if (row_has_field_) out_ << ',';
+  out_ << escape(value);
+  row_has_field_ = true;
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(double value) {
+  assert(in_row_);
+  if (row_has_field_) out_ << ',';
+  if (std::isnan(value)) {
+    out_ << "nan";
+  } else {
+    out_ << value;
+  }
+  row_has_field_ = true;
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(long long value) {
+  assert(in_row_);
+  if (row_has_field_) out_ << ',';
+  out_ << value;
+  row_has_field_ = true;
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(unsigned long long value) {
+  assert(in_row_);
+  if (row_has_field_) out_ << ',';
+  out_ << value;
+  row_has_field_ = true;
+  return *this;
+}
+
+void CsvWriter::end_row() {
+  if (!in_row_) return;
+  out_ << '\n';
+  in_row_ = false;
+}
+
+std::string CsvWriter::escape(std::string_view value) {
+  const bool needs_quotes =
+      value.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(value);
+  std::string quoted;
+  quoted.reserve(value.size() + 2);
+  quoted.push_back('"');
+  for (const char c : value) {
+    if (c == '"') quoted.push_back('"');
+    quoted.push_back(c);
+  }
+  quoted.push_back('"');
+  return quoted;
+}
+
+}  // namespace dras::util

@@ -1,0 +1,48 @@
+// Minimal CSV emission used by the bench harnesses.
+//
+// Every figure/table bench prints machine-readable CSV rows (plus a short
+// human-readable header) so downstream plotting never has to parse ad-hoc
+// formats.  Values are quoted only when needed.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dras::util {
+
+/// Streaming CSV writer.  Not thread-safe; one writer per stream.
+class CsvWriter {
+ public:
+  /// Writes to `out`; the caller keeps ownership of the stream.
+  explicit CsvWriter(std::ostream& out);
+
+  /// Emit the header row.  Must be called at most once, before any row.
+  void header(const std::vector<std::string>& columns);
+
+  /// Begin a new row.  Fields are appended with `field()` / `operator<<`.
+  CsvWriter& row();
+  CsvWriter& field(std::string_view value);
+  CsvWriter& field(double value);
+  CsvWriter& field(long long value);
+  CsvWriter& field(unsigned long long value);
+  CsvWriter& field(int value) { return field(static_cast<long long>(value)); }
+  CsvWriter& field(std::size_t value) {
+    return field(static_cast<unsigned long long>(value));
+  }
+
+  /// Flush the current row (also done implicitly by the next `row()`).
+  void end_row();
+
+  /// Quote/escape a single CSV field per RFC 4180.
+  [[nodiscard]] static std::string escape(std::string_view value);
+
+ private:
+  std::ostream& out_;
+  bool in_row_ = false;
+  bool row_has_field_ = false;
+  bool header_written_ = false;
+};
+
+}  // namespace dras::util

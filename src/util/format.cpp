@@ -1,0 +1,50 @@
+#include "util/format.h"
+
+#include <stdexcept>
+
+namespace dras::util::detail {
+
+std::string vformat(std::string_view fmt, const Field* fields,
+                    std::size_t count) {
+  std::ostringstream out;
+  std::size_t next_arg = 0;
+  for (std::size_t i = 0; i < fmt.size(); ++i) {
+    const char c = fmt[i];
+    if (c == '{') {
+      if (i + 1 < fmt.size() && fmt[i + 1] == '{') {
+        out << '{';
+        ++i;
+        continue;
+      }
+      const std::size_t close = fmt.find('}', i);
+      if (close == std::string_view::npos)
+        throw std::invalid_argument("unterminated format field");
+      std::string_view body = fmt.substr(i + 1, close - i - 1);
+      std::string_view spec;
+      if (const std::size_t colon = body.find(':');
+          colon != std::string_view::npos) {
+        spec = body.substr(colon + 1);
+        body = body.substr(0, colon);
+      }
+      if (!body.empty())
+        throw std::invalid_argument("only automatic field numbering is supported");
+      if (next_arg >= count)
+        throw std::invalid_argument("not enough format arguments");
+      fields[next_arg].write(out, spec, fields[next_arg].value);
+      ++next_arg;
+      i = close;
+    } else if (c == '}') {
+      if (i + 1 < fmt.size() && fmt[i + 1] == '}') {
+        out << '}';
+        ++i;
+        continue;
+      }
+      throw std::invalid_argument("stray '}' in format string");
+    } else {
+      out << c;
+    }
+  }
+  return out.str();
+}
+
+}  // namespace dras::util::detail

@@ -1,0 +1,81 @@
+// Minimal std::format stand-in for toolchains without <format> (GCC 12).
+//
+// Supports the subset this codebase uses: positional "{}" fields in order,
+// fixed-precision float specs "{:.Nf}", and "{{" / "}}" escapes.  Unknown
+// specs fall back to default streaming.  Replace with std::format when the
+// baseline toolchain moves to GCC 13+.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <iomanip>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace dras::util {
+
+namespace detail {
+
+template <typename T>
+void write_value(std::ostream& out, std::string_view spec, const T& value) {
+  if constexpr (std::is_floating_point_v<T>) {
+    // Recognise ".Nf" fixed-precision specs.
+    if (spec.size() >= 3 && spec.front() == '.' && spec.back() == 'f') {
+      int precision = 0;
+      for (std::size_t i = 1; i + 1 < spec.size(); ++i) {
+        const char c = spec[i];
+        if (c < '0' || c > '9') {
+          precision = -1;
+          break;
+        }
+        precision = precision * 10 + (c - '0');
+      }
+      if (precision >= 0) {
+        const auto flags = out.flags();
+        const auto old_precision = out.precision();
+        out << std::fixed << std::setprecision(precision) << value;
+        out.flags(flags);
+        out.precision(old_precision);
+        return;
+      }
+    }
+  }
+  out << value;
+}
+
+struct Field {
+  void (*write)(std::ostream&, std::string_view, const void*) = nullptr;
+  const void* value = nullptr;
+};
+
+template <typename T>
+Field make_field(const T& value) {
+  return Field{
+      [](std::ostream& out, std::string_view spec, const void* p) {
+        write_value(out, spec, *static_cast<const T*>(p));
+      },
+      &value};
+}
+
+std::string vformat(std::string_view fmt, const Field* fields,
+                    std::size_t count);
+
+}  // namespace detail
+
+/// Format `fmt` with the given arguments (see file comment for the
+/// supported subset).  Throws std::invalid_argument on malformed format
+/// strings or argument-count mismatches.
+template <typename... Args>
+[[nodiscard]] std::string format(std::string_view fmt, const Args&... args) {
+  if constexpr (sizeof...(Args) == 0) {
+    return detail::vformat(fmt, nullptr, 0);
+  } else {
+    const std::array<detail::Field, sizeof...(Args)> fields{
+        detail::make_field(args)...};
+    return detail::vformat(fmt, fields.data(), fields.size());
+  }
+}
+
+}  // namespace dras::util

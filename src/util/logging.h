@@ -1,0 +1,47 @@
+// Lightweight leveled logging.
+//
+// The library itself is silent by default (level = Warn); trainers and
+// bench harnesses raise the level for progress reporting.  Messages below
+// the active level are formatted lazily (never at all).
+#pragma once
+
+#include <string_view>
+
+#include "util/format.h"
+
+namespace dras::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Process-wide minimum level; messages below it are dropped.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Emit one line to stderr as "[LEVEL] message".  Thread-safe.
+void log_message(LogLevel level, std::string_view message);
+
+template <typename... Args>
+void log_debug(std::string_view fmt, const Args&... args) {
+  if (log_level() <= LogLevel::Debug)
+    log_message(LogLevel::Debug, format(fmt, args...));
+}
+
+template <typename... Args>
+void log_info(std::string_view fmt, const Args&... args) {
+  if (log_level() <= LogLevel::Info)
+    log_message(LogLevel::Info, format(fmt, args...));
+}
+
+template <typename... Args>
+void log_warn(std::string_view fmt, const Args&... args) {
+  if (log_level() <= LogLevel::Warn)
+    log_message(LogLevel::Warn, format(fmt, args...));
+}
+
+template <typename... Args>
+void log_error(std::string_view fmt, const Args&... args) {
+  if (log_level() <= LogLevel::Error)
+    log_message(LogLevel::Error, format(fmt, args...));
+}
+
+}  // namespace dras::util

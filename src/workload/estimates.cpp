@@ -1,0 +1,73 @@
+#include "workload/estimates.h"
+
+#include <algorithm>
+#include <array>
+
+#include "util/rng.h"
+
+namespace dras::workload {
+
+std::string_view to_string(EstimateModel model) noexcept {
+  switch (model) {
+    case EstimateModel::Exact: return "exact";
+    case EstimateModel::Factor: return "factor";
+    case EstimateModel::Rounded: return "rounded";
+    case EstimateModel::MaxedOut: return "maxed-out";
+  }
+  return "?";
+}
+
+namespace {
+constexpr std::array<double, 10> kRoundWalltimes = {
+    900.0,    1800.0,   3600.0,    7200.0,    14400.0,
+    28800.0,  43200.0,  86400.0,   172800.0,  604800.0};
+}  // namespace
+
+std::span<const double> round_walltimes() noexcept {
+  return kRoundWalltimes;
+}
+
+sim::Trace apply_estimates(const sim::Trace& trace,
+                           const EstimateOptions& options) {
+  util::Rng rng(util::derive_seed(options.seed, "estimates"));
+  sim::Trace rewritten = trace;
+  for (sim::Job& job : rewritten) {
+    double estimate = job.runtime_actual;
+    switch (options.model) {
+      case EstimateModel::Exact:
+        break;
+      case EstimateModel::Factor:
+        estimate = job.runtime_actual *
+                   rng.uniform(1.0, std::max(1.0, options.max_factor));
+        break;
+      case EstimateModel::Rounded: {
+        estimate = kRoundWalltimes.back();
+        for (const double wall : kRoundWalltimes) {
+          if (wall >= job.runtime_actual) {
+            estimate = wall;
+            break;
+          }
+        }
+        break;
+      }
+      case EstimateModel::MaxedOut:
+        estimate = options.walltime_limit;
+        break;
+    }
+    estimate = std::min(estimate, options.walltime_limit);
+    // An estimate is a kill bound: never let the cap push it below a
+    // second of runtime (degenerate inputs aside, actual <= limit).
+    job.runtime_estimate = std::max(estimate, 1.0);
+  }
+  return rewritten;
+}
+
+double mean_overestimate(const sim::Trace& trace) noexcept {
+  if (trace.empty()) return 0.0;
+  double sum = 0.0;
+  for (const sim::Job& job : trace)
+    sum += job.runtime_estimate / std::max(job.runtime_actual, 1.0);
+  return sum / static_cast<double>(trace.size());
+}
+
+}  // namespace dras::workload

@@ -1,0 +1,61 @@
+// User runtime-estimate behaviour models.
+//
+// Everything in EASY-style scheduling — reservations, backfill legality,
+// kill-by-walltime — keys off the *user-supplied* runtime estimate, and
+// real users are systematically imprecise (the DRAS authors study this in
+// their CLUSTER'17 paper on runtime-estimate accuracy).  This module
+// rewrites the estimates of an existing trace under controlled behaviour
+// models so their effect on scheduling can be measured
+// (bench/ablation_estimate_quality):
+//
+//   Exact      — estimate = actual runtime (oracle users)
+//   Factor     — estimate = actual × U(1, k)       (uniform pessimism)
+//   Rounded    — estimate = actual rounded *up* to the next "round"
+//                walltime (30 min, 1 h, 2 h, 4 h, ...): the dominant
+//                real-world pattern (users request round numbers)
+//   MaxedOut   — estimate = queue walltime limit (lazy users who always
+//                request the maximum)
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "sim/job.h"
+
+namespace dras::workload {
+
+enum class EstimateModel {
+  Exact,
+  Factor,
+  Rounded,
+  MaxedOut,
+};
+
+[[nodiscard]] std::string_view to_string(EstimateModel model) noexcept;
+
+struct EstimateOptions {
+  EstimateModel model = EstimateModel::Factor;
+  /// Factor model: estimates drawn from actual × U(1, max_factor).
+  double max_factor = 3.0;
+  /// Cap applied to every estimate (the queue's walltime limit).
+  double walltime_limit = 86400.0;
+  std::uint64_t seed = 1;
+};
+
+/// Return a copy of `trace` with runtime estimates rewritten under the
+/// given behaviour model.  Actual runtimes are untouched; every estimate
+/// satisfies  actual <= estimate <= walltime_limit  except under
+/// MaxedOut/Rounded where the cap may truncate (the simulator then kills
+/// the job at its estimate, as real schedulers do).
+[[nodiscard]] sim::Trace apply_estimates(const sim::Trace& trace,
+                                         const EstimateOptions& options);
+
+/// The "round" walltime grid used by the Rounded model (seconds):
+/// 15 min, 30 min, 1 h, 2 h, 4 h, 8 h, 12 h, 24 h, 48 h, 7 d.
+[[nodiscard]] std::span<const double> round_walltimes() noexcept;
+
+/// Mean overestimation factor (estimate / actual) of a trace — a quick
+/// measure of how pessimistic its users are.
+[[nodiscard]] double mean_overestimate(const sim::Trace& trace) noexcept;
+
+}  // namespace dras::workload

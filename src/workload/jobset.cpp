@@ -1,0 +1,86 @@
+#include "workload/jobset.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace dras::workload {
+
+namespace {
+/// Remove dependencies whose parent job is not part of `trace`.
+void drop_external_dependencies(sim::Trace& trace) {
+  std::unordered_set<sim::JobId> present;
+  present.reserve(trace.size());
+  for (const sim::Job& job : trace) present.insert(job.id);
+  for (sim::Job& job : trace) {
+    std::erase_if(job.dependencies, [&](sim::JobId dep) {
+      return !present.contains(dep);
+    });
+  }
+}
+}  // namespace
+
+sim::Trace rebase(sim::Trace trace) {
+  if (trace.empty()) return trace;
+  const double offset =
+      std::min_element(trace.begin(), trace.end(),
+                       [](const sim::Job& a, const sim::Job& b) {
+                         return a.submit_time < b.submit_time;
+                       })
+          ->submit_time;
+  for (sim::Job& job : trace) job.submit_time -= offset;
+  return trace;
+}
+
+std::vector<sim::Trace> split_by_duration(const sim::Trace& trace,
+                                          double duration) {
+  if (duration <= 0.0)
+    throw std::invalid_argument("slice duration must be positive");
+  if (trace.empty()) return {};
+
+  sim::Trace sorted = trace;
+  sim::normalize_trace(sorted);
+  const double origin = sorted.front().submit_time;
+
+  std::vector<sim::Trace> slices;
+  for (const sim::Job& job : sorted) {
+    const auto slot = static_cast<std::size_t>(
+        (job.submit_time - origin) / duration);
+    if (slot >= slices.size()) slices.resize(slot + 1);
+    slices[slot].push_back(job);
+  }
+  std::erase_if(slices, [](const sim::Trace& s) { return s.empty(); });
+  for (sim::Trace& slice : slices) {
+    drop_external_dependencies(slice);
+    slice = rebase(std::move(slice));
+  }
+  return slices;
+}
+
+TraceSplit split_trace(const sim::Trace& trace, double train_fraction,
+                       double validation_fraction) {
+  if (train_fraction <= 0.0 || validation_fraction <= 0.0 ||
+      train_fraction + validation_fraction > 1.0)
+    throw std::invalid_argument("invalid split fractions");
+
+  sim::Trace sorted = trace;
+  sim::normalize_trace(sorted);
+
+  const auto n = sorted.size();
+  const auto train_end = static_cast<std::size_t>(n * train_fraction);
+  const auto val_end = static_cast<std::size_t>(
+      n * (train_fraction + validation_fraction));
+
+  TraceSplit split;
+  split.train.assign(sorted.begin(), sorted.begin() + train_end);
+  split.validation.assign(sorted.begin() + train_end,
+                          sorted.begin() + val_end);
+  split.test.assign(sorted.begin() + val_end, sorted.end());
+  for (sim::Trace* part : {&split.train, &split.validation, &split.test}) {
+    drop_external_dependencies(*part);
+    *part = rebase(std::move(*part));
+  }
+  return split;
+}
+
+}  // namespace dras::workload

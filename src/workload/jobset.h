@@ -1,0 +1,36 @@
+// Jobset utilities: slicing a long trace into training episodes and
+// train/validation/test splits (paper §IV-C: "we use the first 2-month
+// data for training, the next month for validating model convergence, and
+// the rest for testing").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/job.h"
+
+namespace dras::workload {
+
+/// Shift all submit times so the first job arrives at t = 0, renumbering
+/// nothing else.  Episode traces start from an idle machine (§III-C).
+[[nodiscard]] sim::Trace rebase(sim::Trace trace);
+
+/// Split a trace into contiguous slices of `duration` seconds of submit
+/// time (the paper's one-week real jobsets).  Each slice is rebased.
+/// Dependencies crossing a slice boundary are dropped (the parent is not
+/// in the slice).
+[[nodiscard]] std::vector<sim::Trace> split_by_duration(
+    const sim::Trace& trace, double duration);
+
+/// Fractional three-way split by job count, preserving order; each part
+/// is rebased.  Fractions must be positive and sum to <= 1.
+struct TraceSplit {
+  sim::Trace train;
+  sim::Trace validation;
+  sim::Trace test;
+};
+[[nodiscard]] TraceSplit split_trace(const sim::Trace& trace,
+                                     double train_fraction,
+                                     double validation_fraction);
+
+}  // namespace dras::workload

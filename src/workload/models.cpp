@@ -1,0 +1,136 @@
+#include "workload/models.h"
+
+#include <cmath>
+#include "util/format.h"
+#include <numeric>
+
+namespace dras::workload {
+
+namespace {
+
+/// Office-hours diurnal shape: quiet overnight, ramp through the morning,
+/// peak early afternoon (normalised to mean 1 in normalize()).
+constexpr std::array<double, 24> kDiurnalShape = {
+    0.45, 0.40, 0.35, 0.35, 0.40, 0.50, 0.65, 0.85, 1.10, 1.35, 1.50, 1.55,
+    1.50, 1.55, 1.60, 1.55, 1.45, 1.30, 1.15, 1.00, 0.85, 0.70, 0.60, 0.50};
+
+/// Mon..Fri busy, weekend quiet.
+constexpr std::array<double, 7> kWeeklyShape = {1.15, 1.20, 1.20, 1.15,
+                                                1.10, 0.65, 0.55};
+
+template <std::size_t N>
+std::array<double, N> normalize(const std::array<double, N>& weights) {
+  const double sum = std::accumulate(weights.begin(), weights.end(), 0.0);
+  std::array<double, N> result{};
+  for (std::size_t i = 0; i < N; ++i)
+    result[i] = weights[i] * static_cast<double>(N) / sum;
+  return result;
+}
+
+}  // namespace
+
+double WorkloadModel::mean_size() const noexcept {
+  double mean = 0.0;
+  for (const auto& [size, probability] : size_mix)
+    mean += size * probability;
+  return mean;
+}
+
+double WorkloadModel::mean_runtime() const noexcept {
+  if (max_runtime <= min_runtime) return min_runtime;
+  return (max_runtime - min_runtime) / std::log(max_runtime / min_runtime);
+}
+
+double WorkloadModel::offered_load() const noexcept {
+  return mean_size() * mean_runtime() /
+         (mean_interarrival * static_cast<double>(system_nodes));
+}
+
+WorkloadModel WorkloadModel::with_load(double target) const {
+  WorkloadModel copy = *this;
+  copy.mean_interarrival = mean_size() * mean_runtime() /
+                           (target * static_cast<double>(system_nodes));
+  return copy;
+}
+
+std::string WorkloadModel::validate() const {
+  if (system_nodes <= 0) return "system_nodes must be positive";
+  if (size_mix.empty()) return "size mix is empty";
+  double total = 0.0;
+  for (const auto& [size, probability] : size_mix) {
+    if (size <= 0 || size > system_nodes)
+      return util::format("size {} outside [1, {}]", size, system_nodes);
+    if (probability < 0.0) return "negative size probability";
+    total += probability;
+  }
+  if (std::abs(total - 1.0) > 1e-6)
+    return util::format("size probabilities sum to {}, not 1", total);
+  if (min_runtime <= 0.0 || max_runtime < min_runtime)
+    return "invalid runtime bounds";
+  if (mean_interarrival <= 0.0) return "invalid mean interarrival";
+  if (max_overestimate_factor < 1.0) return "overestimate factor below 1";
+  if (high_priority_fraction < 0.0 || high_priority_fraction > 1.0)
+    return "priority fraction outside [0, 1]";
+  return {};
+}
+
+WorkloadModel theta_workload() {
+  WorkloadModel m;
+  m.name = "theta";
+  m.system_nodes = 4360;
+  // Fig. 2 (left): counts concentrate in the smallest allowed sizes while
+  // core-hours concentrate in the capability sizes.
+  m.size_mix = {{128, 0.40}, {256, 0.22}, {512, 0.14},
+                {1024, 0.12}, {2048, 0.08}, {4096, 0.04}};
+  m.min_runtime = 600.0;     // 10 minutes
+  m.max_runtime = 86400.0;   // 1 day (Table II)
+  m.hourly_weights = normalize(kDiurnalShape);
+  m.daily_weights = normalize(kWeeklyShape);
+  m.high_priority_fraction = 0.10;
+  m.max_overestimate_factor = 3.0;
+  // 121,837 jobs over 24 months ≈ one arrival every 8.6 minutes.
+  m.mean_interarrival = 517.0;
+  return m;
+}
+
+WorkloadModel cori_workload() {
+  WorkloadModel m;
+  m.name = "cori";
+  m.system_nodes = 12076;
+  // Fig. 2 (right): counts dominated by 1-few-node jobs.
+  m.size_mix = {{1, 0.50},   {2, 0.15},  {4, 0.11},  {8, 0.08},
+                {16, 0.07},  {32, 0.05}, {64, 0.02}, {128, 0.015},
+                {512, 0.005}};
+  m.min_runtime = 300.0;          // 5 minutes
+  m.max_runtime = 7.0 * 86400.0;  // 7 days (Table II)
+  m.hourly_weights = normalize(kDiurnalShape);
+  m.daily_weights = normalize(kWeeklyShape);
+  m.high_priority_fraction = 0.05;
+  m.max_overestimate_factor = 4.0;
+  // 2,607,054 jobs over ~17 weeks ≈ one arrival every 4 seconds.
+  m.mean_interarrival = 4.0;
+  return m;
+}
+
+WorkloadModel theta_mini_workload() {
+  WorkloadModel m = theta_workload();
+  m.name = "theta-mini";
+  m.system_nodes = 272;
+  m.size_mix = {{8, 0.40}, {16, 0.22}, {32, 0.14},
+                {64, 0.12}, {128, 0.08}, {256, 0.04}};
+  // Target ≈85 % offered load on the scaled machine.
+  return m.with_load(0.85);
+}
+
+WorkloadModel cori_mini_workload() {
+  WorkloadModel m = cori_workload();
+  m.name = "cori-mini";
+  m.system_nodes = 256;
+  m.size_mix = {{1, 0.50},  {2, 0.15},  {4, 0.11}, {8, 0.08},
+                {16, 0.07}, {32, 0.05}, {64, 0.02}, {128, 0.015},
+                {192, 0.005}};
+  m.max_runtime = 2.0 * 86400.0;  // keep mini episodes short
+  return m.with_load(0.85);
+}
+
+}  // namespace dras::workload

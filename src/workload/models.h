@@ -1,0 +1,77 @@
+// Statistical workload models for the two target systems (Table II,
+// Fig. 2, Fig. 3).
+//
+// The proprietary Theta/Cori logs are unavailable, so — exactly like the
+// paper's own phase-3 synthetic jobsets — we model each system's workload
+// by its published marginals: the job-size mix (Fig. 2), runtime bounds
+// (Table II: max 1 day on Theta, 7 days on Cori), and hourly/daily arrival
+// modulation (Fig. 3).  A fixed seed designates one realisation as the
+// stand-in "real" trace; other seeds produce the synthetic jobsets.
+//
+// Each model also records the system size so job sizes and node counts
+// stay mutually consistent; the *mini* models divide both by 16, which
+// preserves the job-size-to-machine ratios the scheduling dynamics depend
+// on (DESIGN.md §1).
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "sim/job.h"
+
+namespace dras::workload {
+
+/// One entry of the discrete job-size mix.
+struct SizeCategory {
+  int size = 1;              ///< Nodes requested.
+  double probability = 0.0;  ///< Fraction of jobs (by count).
+};
+
+struct WorkloadModel {
+  std::string name;
+  int system_nodes = 0;
+  std::vector<SizeCategory> size_mix;
+  double min_runtime = 60.0;       ///< Seconds (log-uniform draw).
+  double max_runtime = 86400.0;    ///< Seconds; also the walltime cap.
+  double mean_interarrival = 600;  ///< Seconds at load_scale 1.
+  /// Diurnal arrival-rate weights (mean ≈ 1): jobs arrive mostly during
+  /// working hours (Fig. 3 "hourly job arrivals").
+  std::array<double, 24> hourly_weights{};
+  /// Day-of-week weights (mean ≈ 1): weekdays busier than weekends
+  /// (Fig. 3 "daily job arrivals").
+  std::array<double, 7> daily_weights{};
+  /// Fraction of jobs flagged high priority (state-encoding bit, §III-A).
+  double high_priority_fraction = 0.1;
+  /// User estimates are pessimistic: estimate = actual × U(1, this).
+  double max_overestimate_factor = 3.0;
+
+  /// Mean job size implied by the size mix.
+  [[nodiscard]] double mean_size() const noexcept;
+  /// Mean runtime of the log-uniform draw: (b − a) / ln(b / a).
+  [[nodiscard]] double mean_runtime() const noexcept;
+  /// Offered load at load_scale 1:
+  /// mean_size · mean_runtime / (mean_interarrival · system_nodes).
+  [[nodiscard]] double offered_load() const noexcept;
+
+  /// Copy with mean_interarrival adjusted so offered_load() == target.
+  [[nodiscard]] WorkloadModel with_load(double target) const;
+
+  /// Validate invariants (probabilities sum to ~1, sizes fit the system,
+  /// positive times).  Returns an error message or empty string.
+  [[nodiscard]] std::string validate() const;
+};
+
+/// ALCF Theta: capability computing, jobs of 128–4096 nodes; large jobs
+/// dominate core-hours even though mid-size jobs dominate counts (Fig. 2).
+[[nodiscard]] WorkloadModel theta_workload();
+/// NERSC Cori: capacity computing, counts dominated by 1–few-node jobs.
+[[nodiscard]] WorkloadModel cori_workload();
+/// 1/16-scale variants used by the trace-driven benches.
+[[nodiscard]] WorkloadModel theta_mini_workload();
+[[nodiscard]] WorkloadModel cori_mini_workload();
+
+/// Seed that designates the stand-in "real" trace realisation.
+inline constexpr std::uint64_t kRealTraceSeed = 0x7e7a2018;
+
+}  // namespace dras::workload

@@ -1,0 +1,72 @@
+#include "workload/swf.h"
+
+#include <array>
+#include "util/format.h"
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dras::workload {
+
+sim::Trace read_swf(std::istream& in) {
+  sim::Trace trace;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line.front() == ';') continue;
+    std::istringstream fields(line);
+    std::array<double, 18> value;
+    value.fill(-1.0);
+    std::size_t count = 0;
+    double v = 0.0;
+    while (count < value.size() && fields >> v) value[count++] = v;
+    if (count < 9) continue;  // malformed line
+
+    sim::Job job;
+    job.id = static_cast<sim::JobId>(value[0]);
+    job.submit_time = value[1];
+    job.runtime_actual = value[3];
+    const int allocated = static_cast<int>(value[4]);
+    const int requested = static_cast<int>(value[7]);
+    job.size = requested > 0 ? requested : allocated;
+    job.runtime_estimate =
+        value[8] > 0.0 ? value[8] : job.runtime_actual;
+
+    if (job.size <= 0 || job.runtime_actual <= 0.0 ||
+        job.runtime_estimate <= 0.0 || job.submit_time < 0.0)
+      continue;  // cancelled / unusable entry
+    trace.push_back(std::move(job));
+  }
+  return trace;
+}
+
+sim::Trace read_swf_file(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in)
+    throw std::runtime_error(
+        util::format("cannot open SWF file {}", path.string()));
+  return read_swf(in);
+}
+
+void write_swf(std::ostream& out, const sim::Trace& trace) {
+  out << "; SWF trace written by dras\n";
+  for (const sim::Job& job : trace) {
+    // 18 fields: id submit wait run alloc cpu mem reqprocs reqtime reqmem
+    //            status user group app queue partition prev think
+    out << job.id << ' ' << util::format("{:.0f}", job.submit_time)
+        << " -1 " << util::format("{:.0f}", job.runtime_actual) << ' '
+        << job.size << " -1 -1 " << job.size << ' '
+        << util::format("{:.0f}", job.runtime_estimate)
+        << " -1 1 -1 -1 -1 -1 -1 -1 -1\n";
+  }
+}
+
+void write_swf_file(const std::filesystem::path& path,
+                    const sim::Trace& trace) {
+  std::ofstream out(path);
+  if (!out)
+    throw std::runtime_error(
+        util::format("cannot open {} for writing", path.string()));
+  write_swf(out, trace);
+}
+
+}  // namespace dras::workload

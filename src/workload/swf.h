@@ -1,0 +1,37 @@
+// Standard Workload Format (SWF) I/O.
+//
+// SWF is the de-facto interchange format for HPC job logs (the Parallel
+// Workloads Archive format used by CQSim and most scheduling simulators).
+// Each non-comment line carries 18 whitespace-separated fields; this
+// reader maps the subset the simulator needs:
+//
+//   field  1  job number          → Job::id
+//   field  2  submit time (s)     → Job::submit_time
+//   field  4  run time (s)        → Job::runtime_actual
+//   field  5  allocated procs     → Job::size (fallback: field 8)
+//   field  8  requested procs     → Job::size (preferred when > 0)
+//   field  9  requested time (s)  → Job::runtime_estimate
+//                                   (fallback: run time when missing)
+//
+// Unknown/absent values are -1 per the SWF convention.  Jobs with
+// non-positive size or runtime are skipped (cancelled entries).
+#pragma once
+
+#include <filesystem>
+#include <iosfwd>
+
+#include "sim/job.h"
+
+namespace dras::workload {
+
+/// Parse an SWF stream into a trace.  Comment lines start with ';'.
+[[nodiscard]] sim::Trace read_swf(std::istream& in);
+[[nodiscard]] sim::Trace read_swf_file(const std::filesystem::path& path);
+
+/// Emit a trace as SWF (fields the reader consumes are round-trip safe;
+/// the remaining fields are written as -1).
+void write_swf(std::ostream& out, const sim::Trace& trace);
+void write_swf_file(const std::filesystem::path& path,
+                    const sim::Trace& trace);
+
+}  // namespace dras::workload

@@ -1,0 +1,132 @@
+#include "workload/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace dras::workload {
+
+namespace {
+
+constexpr double kHour = 3600.0;
+constexpr double kDay = 86400.0;
+constexpr double kWeek = 7.0 * kDay;
+
+/// Instantaneous arrival-rate multiplier at absolute time t.
+double rate_multiplier(const WorkloadModel& model,
+                       const GenerateOptions& options, double t) {
+  double multiplier = options.load_scale;
+  if (options.modulated_arrivals) {
+    const auto hour = static_cast<std::size_t>(std::fmod(t, kDay) / kHour);
+    const auto day = static_cast<std::size_t>(std::fmod(t, kWeek) / kDay);
+    multiplier *= model.hourly_weights[std::min<std::size_t>(hour, 23)] *
+                  model.daily_weights[std::min<std::size_t>(day, 6)];
+  }
+  if (!options.weekly_load_profile.empty()) {
+    const auto week = static_cast<std::size_t>(
+        std::max(0.0, t - options.start_time) / kWeek);
+    multiplier *=
+        options.weekly_load_profile[week % options.weekly_load_profile.size()];
+  }
+  return multiplier;
+}
+
+/// Upper bound on the rate multiplier, for Poisson thinning.
+double max_rate_multiplier(const WorkloadModel& model,
+                           const GenerateOptions& options) {
+  double max_mod = 1.0;
+  if (options.modulated_arrivals) {
+    double max_hour = 0.0, max_day = 0.0;
+    for (const double w : model.hourly_weights) max_hour = std::max(max_hour, w);
+    for (const double w : model.daily_weights) max_day = std::max(max_day, w);
+    max_mod = max_hour * max_day;
+  }
+  double max_week = 1.0;
+  for (const double w : options.weekly_load_profile)
+    max_week = std::max(max_week, w);
+  return options.load_scale * max_mod * max_week;
+}
+
+sim::Job draw_job(const WorkloadModel& model, util::Rng& rng,
+                  sim::JobId id, double submit) {
+  sim::Job job;
+  job.id = id;
+  job.submit_time = submit;
+
+  std::vector<double> weights;
+  weights.reserve(model.size_mix.size());
+  for (const auto& cat : model.size_mix) weights.push_back(cat.probability);
+  const std::size_t pick = rng.weighted_index(weights.data(), weights.size());
+  job.size = model.size_mix[pick < weights.size() ? pick : 0].size;
+
+  job.runtime_actual = rng.log_uniform(model.min_runtime, model.max_runtime);
+  const double factor = rng.uniform(1.0, model.max_overestimate_factor);
+  job.runtime_estimate =
+      std::min(job.runtime_actual * factor, model.max_runtime);
+  // Users never request less than the job actually runs... but when the
+  // overestimate cap collides with the walltime limit, the estimate is the
+  // kill bound and the actual runtime is clipped by the simulator.
+  job.priority = rng.bernoulli(model.high_priority_fraction) ? 1 : 0;
+  return job;
+}
+
+}  // namespace
+
+sim::Trace generate_trace(const WorkloadModel& model,
+                          const GenerateOptions& options) {
+  if (auto err = model.validate(); !err.empty())
+    throw std::invalid_argument("workload model invalid: " + err);
+  util::Rng rng(util::derive_seed(options.seed, "synthetic-" + model.name));
+
+  sim::Trace trace;
+  trace.reserve(options.num_jobs);
+  const double base_rate = 1.0 / model.mean_interarrival;
+  const double rate_cap = base_rate * max_rate_multiplier(model, options);
+
+  double t = options.start_time;
+  sim::JobId next_id = options.first_id;
+  while (trace.size() < options.num_jobs) {
+    // Poisson thinning against the rate envelope.
+    t += rng.exponential(rate_cap);
+    const double accept =
+        base_rate * rate_multiplier(model, options, t) / rate_cap;
+    if (!rng.bernoulli(accept)) continue;
+    trace.push_back(draw_job(model, rng, next_id++, t));
+  }
+  return trace;
+}
+
+sim::Trace sampled_jobset(const sim::Trace& source, std::size_t num_jobs,
+                          std::uint64_t seed, sim::JobId first_id) {
+  if (source.empty())
+    throw std::invalid_argument("cannot sample from an empty trace");
+  util::Rng rng(util::derive_seed(seed, "sampled-jobset"));
+
+  // Average inter-arrival time of the source trace.
+  double mean_gap = 600.0;
+  if (source.size() > 1) {
+    const double span =
+        source.back().submit_time - source.front().submit_time;
+    mean_gap = std::max(1.0, span / static_cast<double>(source.size() - 1));
+  }
+
+  sim::Trace sampled;
+  sampled.reserve(num_jobs);
+  double t = 0.0;
+  for (std::size_t i = 0; i < num_jobs; ++i) {
+    t += rng.exponential(1.0 / mean_gap);
+    sim::Job job = source[rng.uniform_index(source.size())];
+    job.id = first_id + static_cast<sim::JobId>(i);
+    job.submit_time = t;
+    job.dependencies.clear();  // sampled jobs lose cross-job structure
+    job.start_time = sim::kUnsetTime;
+    job.end_time = sim::kUnsetTime;
+    job.mode = sim::ExecMode::None;
+    sampled.push_back(std::move(job));
+  }
+  return sampled;
+}
+
+}  // namespace dras::workload

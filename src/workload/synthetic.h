@@ -1,0 +1,52 @@
+// Synthetic trace generation (paper §III-C, §IV-D).
+//
+// Two generators:
+//
+//  * generate_trace — non-homogeneous Poisson arrivals whose rate follows
+//    the model's hourly/daily modulation (Fig. 3 patterns), job sizes from
+//    the model's discrete mix, runtimes log-uniform within the model's
+//    bounds, user estimates pessimistic by a uniform overestimate factor.
+//    An optional per-week load profile scales the arrival rate to create
+//    the demand surges of Fig. 9.
+//
+//  * sampled_jobset — the paper's phase-1 jobsets: jobs sampled uniformly
+//    from a source trace with arrival times re-drawn from a *homogeneous*
+//    Poisson process at the source's average inter-arrival time ("sampled
+//    jobsets have controlled job arrival rates providing the easiest
+//    learning environment").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/job.h"
+#include "workload/models.h"
+
+namespace dras::workload {
+
+struct GenerateOptions {
+  std::size_t num_jobs = 1000;
+  double start_time = 0.0;
+  std::uint64_t seed = 1;
+  /// Global arrival-rate multiplier (>1 = heavier load).
+  double load_scale = 1.0;
+  /// Apply the model's hourly/daily modulation; false = plain Poisson.
+  bool modulated_arrivals = true;
+  /// Optional per-week arrival-rate multipliers (cycled); empty = none.
+  std::vector<double> weekly_load_profile;
+  /// First job id to assign (ids are sequential from here).
+  sim::JobId first_id = 0;
+};
+
+/// Draw a full trace from the model.  Throws std::invalid_argument when
+/// the model fails validation.
+[[nodiscard]] sim::Trace generate_trace(const WorkloadModel& model,
+                                        const GenerateOptions& options);
+
+/// Phase-1 sampled jobset (see file comment).
+[[nodiscard]] sim::Trace sampled_jobset(const sim::Trace& source,
+                                        std::size_t num_jobs,
+                                        std::uint64_t seed,
+                                        sim::JobId first_id = 0);
+
+}  // namespace dras::workload

@@ -1,0 +1,119 @@
+#include "core/dql_policy.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace dras::core {
+namespace {
+
+DQLConfig tiny_config() {
+  DQLConfig cfg;
+  cfg.net.input_rows = 4;
+  cfg.net.fc1 = 8;
+  cfg.net.fc2 = 8;
+  cfg.net.outputs = 1;
+  cfg.adam.learning_rate = 0.02;
+  cfg.gamma = 0.9;
+  return cfg;
+}
+
+std::vector<float> state(float fill) { return std::vector<float>(8, fill); }
+
+TEST(DQLPolicy, RejectsMultiOutputNetwork) {
+  DQLConfig cfg = tiny_config();
+  cfg.net.outputs = 2;
+  EXPECT_THROW(DQLPolicy(cfg, 1), std::invalid_argument);
+}
+
+TEST(DQLPolicy, EpsilonStartsAtInitAndDecaysPerUpdate) {
+  DQLConfig cfg = tiny_config();
+  cfg.epsilon_init = 1.0;
+  cfg.epsilon_decay = 0.5;
+  cfg.epsilon_min = 0.1;
+  DQLPolicy policy(cfg, 1);
+  EXPECT_DOUBLE_EQ(policy.epsilon(), 1.0);
+  policy.record({state(0.1f)}, 0, 1.0);
+  policy.update();
+  EXPECT_DOUBLE_EQ(policy.epsilon(), 0.5);
+  policy.record({state(0.1f)}, 0, 1.0);
+  policy.update();
+  EXPECT_DOUBLE_EQ(policy.epsilon(), 0.25);
+  for (int i = 0; i < 10; ++i) {
+    policy.record({state(0.1f)}, 0, 1.0);
+    policy.update();
+  }
+  EXPECT_DOUBLE_EQ(policy.epsilon(), 0.1);  // clamped at epsilon_min
+}
+
+TEST(DQLPolicy, UpdateOnEmptyMemoryIsNoop) {
+  DQLPolicy policy(tiny_config(), 3);
+  policy.update();
+  EXPECT_EQ(policy.updates_done(), 0u);
+  EXPECT_DOUBLE_EQ(policy.epsilon(), tiny_config().epsilon_init);
+}
+
+TEST(DQLPolicy, SelectWithoutExploreIsArgmax) {
+  DQLPolicy policy(tiny_config(), 5);
+  util::Rng rng(7);
+  const std::vector<std::vector<float>> candidates = {
+      state(0.1f), state(0.9f), state(-0.5f)};
+  const auto pick = policy.select_action(candidates, rng, /*explore=*/false);
+  double best = policy.q_value(candidates[pick]);
+  for (const auto& c : candidates) EXPECT_GE(best + 1e-9, policy.q_value(c));
+}
+
+TEST(DQLPolicy, SelectOnEmptyCandidatesThrows) {
+  DQLPolicy policy(tiny_config(), 5);
+  util::Rng rng(7);
+  EXPECT_THROW((void)policy.select_action({}, rng, true),
+               std::invalid_argument);
+}
+
+TEST(DQLPolicy, FullEpsilonExploresUniformly) {
+  DQLConfig cfg = tiny_config();
+  cfg.epsilon_init = 1.0;
+  DQLPolicy policy(cfg, 9);
+  util::Rng rng(11);
+  const std::vector<std::vector<float>> candidates = {
+      state(0.1f), state(0.2f), state(0.3f)};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 3000; ++i)
+    ++counts[policy.select_action(candidates, rng, true)];
+  for (const int c : counts) EXPECT_NEAR(c, 1000, 150);
+}
+
+// One-step value regression: state A always yields reward 1, state B
+// always 0 (terminal steps).  Q(A) must end up above Q(B).
+TEST(DQLPolicy, LearnsValueOrdering) {
+  DQLPolicy policy(tiny_config(), 13);
+  const auto a = state(1.0f), b = state(-1.0f);
+  for (int update = 0; update < 150; ++update) {
+    // Each update batch is a short episode ending in a terminal step.
+    policy.record({a}, 0, 1.0);
+    policy.record({b}, 0, 0.0);
+    policy.update();
+  }
+  EXPECT_GT(policy.q_value(a), policy.q_value(b));
+}
+
+TEST(DQLPolicy, QValuesApproachTargets) {
+  DQLPolicy policy(tiny_config(), 17);
+  const auto a = state(0.8f);
+  for (int update = 0; update < 400; ++update) {
+    policy.record({a}, 0, 2.0);  // single terminal transition, target 2.0
+    policy.update();
+  }
+  EXPECT_NEAR(policy.q_value(a), 2.0, 0.3);
+}
+
+TEST(DQLPolicy, DiscardMemory) {
+  DQLPolicy policy(tiny_config(), 19);
+  policy.record({state(0.0f)}, 0, 1.0);
+  EXPECT_EQ(policy.pending_steps(), 1u);
+  policy.discard_memory();
+  EXPECT_EQ(policy.pending_steps(), 0u);
+}
+
+}  // namespace
+}  // namespace dras::core

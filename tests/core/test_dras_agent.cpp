@@ -1,0 +1,193 @@
+#include "core/dras_agent.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "../test_helpers.h"
+#include "core/presets.h"
+#include "sim/simulator.h"
+#include "workload/models.h"
+#include "workload/synthetic.h"
+
+namespace dras::core {
+namespace {
+
+using dras::testing::make_job;
+
+DrasConfig tiny_config(AgentKind kind) {
+  DrasConfig cfg;
+  cfg.kind = kind;
+  cfg.total_nodes = 8;
+  cfg.window = 4;
+  cfg.fc1 = 16;
+  cfg.fc2 = 8;
+  cfg.time_scale = 1000.0;
+  cfg.reward_kind = RewardKind::Capability;
+  cfg.seed = 5;
+  return cfg;
+}
+
+TEST(DrasConfig, NetworkShapesFollowKind) {
+  const auto pg = tiny_config(AgentKind::PG).network_config();
+  EXPECT_EQ(pg.input_rows, 2u * 4 + 8);
+  EXPECT_EQ(pg.outputs, 4u);
+  const auto dql = tiny_config(AgentKind::DQL).network_config();
+  EXPECT_EQ(dql.input_rows, 2u + 8);
+  EXPECT_EQ(dql.outputs, 1u);
+}
+
+TEST(DrasAgent, RejectsInvalidConfig) {
+  DrasConfig cfg = tiny_config(AgentKind::PG);
+  cfg.total_nodes = 0;
+  EXPECT_THROW(DrasAgent{cfg}, std::invalid_argument);
+  cfg = tiny_config(AgentKind::PG);
+  cfg.window = 0;
+  EXPECT_THROW(DrasAgent{cfg}, std::invalid_argument);
+}
+
+TEST(DrasAgent, NamesFollowKind) {
+  DrasAgent pg(tiny_config(AgentKind::PG));
+  DrasAgent dql(tiny_config(AgentKind::DQL));
+  EXPECT_EQ(pg.name(), "DRAS-PG");
+  EXPECT_EQ(dql.name(), "DRAS-DQL");
+  EXPECT_NE(pg.pg(), nullptr);
+  EXPECT_EQ(pg.dql(), nullptr);
+  EXPECT_NE(dql.dql(), nullptr);
+  EXPECT_EQ(dql.pg(), nullptr);
+}
+
+class DrasAgentKinds : public ::testing::TestWithParam<AgentKind> {};
+
+TEST_P(DrasAgentKinds, CompletesWorkloadWhileTraining) {
+  DrasAgent agent(tiny_config(GetParam()));
+  sim::Trace trace;
+  for (int i = 0; i < 60; ++i)
+    trace.push_back(make_job(i, i * 10.0, 1 + (i * 5) % 8, 80));
+  sim::Simulator sim(8);
+  const auto result = sim.run(trace, agent);
+  EXPECT_EQ(result.unfinished_jobs, 0u);
+  EXPECT_GT(agent.episode_actions(), 0u);
+}
+
+TEST_P(DrasAgentKinds, CompletesWorkloadWhileFrozen) {
+  DrasAgent agent(tiny_config(GetParam()));
+  agent.set_training(false);
+  sim::Trace trace;
+  for (int i = 0; i < 40; ++i)
+    trace.push_back(make_job(i, i * 15.0, 1 + (i * 3) % 8, 60));
+  sim::Simulator sim(8);
+  const auto result = sim.run(trace, agent);
+  EXPECT_EQ(result.unfinished_jobs, 0u);
+}
+
+TEST_P(DrasAgentKinds, UsesReservationsAndBackfilling) {
+  // A workload guaranteed to create reservations: whole-machine jobs mixed
+  // with small ones.  DRAS must produce Reserved and Backfilled modes —
+  // the paper's Table IV signature.
+  DrasAgent agent(tiny_config(GetParam()));
+  sim::Trace trace;
+  sim::JobId id = 0;
+  for (int round = 0; round < 12; ++round) {
+    trace.push_back(make_job(id++, round * 50.0, 8, 100));  // whole machine
+    trace.push_back(make_job(id++, round * 50.0 + 1, 1, 30));
+    trace.push_back(make_job(id++, round * 50.0 + 2, 2, 40));
+  }
+  sim::Simulator sim(8);
+  const auto result = sim.run(trace, agent);
+  EXPECT_EQ(result.unfinished_jobs, 0u);
+  std::map<sim::ExecMode, int> modes;
+  for (const auto& rec : result.jobs) ++modes[rec.mode];
+  EXPECT_GT(modes[sim::ExecMode::Reserved], 0);
+  EXPECT_GT(modes[sim::ExecMode::Backfilled] + modes[sim::ExecMode::Ready], 0);
+}
+
+TEST_P(DrasAgentKinds, EpisodeRewardResetsPerEpisode) {
+  DrasAgent agent(tiny_config(GetParam()));
+  sim::Trace trace = {make_job(1, 0, 2, 10), make_job(2, 1, 2, 10)};
+  sim::Simulator sim(8);
+  (void)sim.run(trace, agent);
+  const double first = agent.episode_reward();
+  EXPECT_NE(first, 0.0);
+  (void)sim.run(trace, agent);
+  // Reward is re-accumulated, not carried over.
+  EXPECT_LT(std::abs(agent.episode_reward()), std::abs(first) * 10 + 10);
+  agent.begin_episode();
+  EXPECT_DOUBLE_EQ(agent.episode_reward(), 0.0);
+}
+
+TEST_P(DrasAgentKinds, TrainingUpdatesChangeParameters) {
+  DrasAgent agent(tiny_config(GetParam()));
+  const std::vector<float> before(agent.network().parameters().begin(),
+                                  agent.network().parameters().end());
+  sim::Trace trace;
+  for (int i = 0; i < 80; ++i)
+    trace.push_back(make_job(i, i * 8.0, 1 + (i * 7) % 8, 50));
+  sim::Simulator sim(8);
+  (void)sim.run(trace, agent);
+  const auto after = agent.network().parameters();
+  bool changed = false;
+  for (std::size_t i = 0; i < before.size(); ++i)
+    changed |= (before[i] != after[i]);
+  EXPECT_TRUE(changed);
+}
+
+TEST_P(DrasAgentKinds, FrozenAgentKeepsParameters) {
+  DrasAgent agent(tiny_config(GetParam()));
+  agent.set_training(false);
+  const std::vector<float> before(agent.network().parameters().begin(),
+                                  agent.network().parameters().end());
+  sim::Trace trace;
+  for (int i = 0; i < 40; ++i)
+    trace.push_back(make_job(i, i * 8.0, 1 + (i * 7) % 8, 50));
+  sim::Simulator sim(8);
+  (void)sim.run(trace, agent);
+  const auto after = agent.network().parameters();
+  for (std::size_t i = 0; i < before.size(); ++i)
+    EXPECT_EQ(before[i], after[i]);
+}
+
+TEST_P(DrasAgentKinds, DeterministicAcrossIdenticalRuns) {
+  const auto run_once = [&] {
+    DrasAgent agent(tiny_config(GetParam()));
+    sim::Trace trace;
+    for (int i = 0; i < 50; ++i)
+      trace.push_back(make_job(i, i * 12.0, 1 + (i * 3) % 8, 70));
+    sim::Simulator sim(8);
+    const auto result = sim.run(trace, agent);
+    double sum = 0.0;
+    for (const auto& rec : result.jobs) sum += rec.start;
+    return sum;
+  };
+  EXPECT_DOUBLE_EQ(run_once(), run_once());
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, DrasAgentKinds,
+                         ::testing::Values(AgentKind::PG, AgentKind::DQL));
+
+TEST(Presets, FullScaleShapesMatchPaper) {
+  EXPECT_EQ(theta().nodes, 4360);
+  EXPECT_EQ(theta().window, 50u);
+  EXPECT_EQ(cori().nodes, 12076);
+  EXPECT_EQ(theta().reward, RewardKind::Capability);
+  EXPECT_EQ(cori().reward, RewardKind::Capacity);
+}
+
+TEST(Presets, MiniPresetsAreConsistentWithWorkloadModels) {
+  EXPECT_EQ(theta_mini().nodes,
+            workload::theta_mini_workload().system_nodes);
+  EXPECT_EQ(cori_mini().nodes, workload::cori_mini_workload().system_nodes);
+}
+
+TEST(Presets, AgentConfigRoundTrip) {
+  const auto cfg = theta_mini().agent_config(AgentKind::PG, 42);
+  EXPECT_EQ(cfg.total_nodes, theta_mini().nodes);
+  EXPECT_EQ(cfg.window, theta_mini().window);
+  EXPECT_EQ(cfg.reward_kind, RewardKind::Capability);
+  EXPECT_EQ(cfg.seed, 42u);
+  DrasAgent agent(cfg);  // constructible
+  EXPECT_EQ(agent.config().fc1, theta_mini().fc1);
+}
+
+}  // namespace
+}  // namespace dras::core

@@ -1,0 +1,148 @@
+#include "core/reward.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.h"
+#include "sim/simulator.h"
+
+namespace dras::core {
+namespace {
+
+using dras::testing::LambdaScheduler;
+using dras::testing::make_job;
+
+TEST(RewardKind, ToString) {
+  EXPECT_EQ(to_string(RewardKind::Capability), "capability");
+  EXPECT_EQ(to_string(RewardKind::Capacity), "capacity");
+}
+
+TEST(Reward, CapabilityStepRewardComposition) {
+  // 10 nodes.  Jobs submitted at t=0: a 5-node job (selected at t=100)
+  // and another waiting job submitted at t=0 -> t_max = 100 either way.
+  // After starting the 5-node job: wait share = 100/100 = 1, size share =
+  // 0.5, utilisation = 0.5.  With w = (1/3, 1/3, 1/3): reward = 2/3.
+  sim::Simulator sim(10);
+  RewardFunction reward(RewardKind::Capability);
+  double captured = -1.0;
+  LambdaScheduler probe([&](sim::SchedulingContext& ctx) {
+    if (ctx.now() < 100.0 || captured >= 0.0) return;
+    const sim::Job* selected = ctx.queue().front();
+    ASSERT_TRUE(ctx.start_now(selected->id));
+    captured = reward.step_reward(ctx, *selected);
+  });
+  // A dummy job forces an event at t=100 to trigger the instance.
+  const sim::Trace trace = {make_job(1, 0, 5, 100), make_job(2, 0, 5, 100),
+                            make_job(3, 100, 1, 1)};
+  (void)sim.run(trace, probe);
+  EXPECT_NEAR(captured, (1.0 + 0.5 + 0.5) / 3.0, 1e-9);
+}
+
+TEST(Reward, CapabilityWeightsScaleTerms) {
+  sim::Simulator sim(10);
+  RewardWeights weights{1.0, 0.0, 0.0};  // starvation-only objective
+  RewardFunction reward(RewardKind::Capability, weights);
+  double captured = -1.0;
+  LambdaScheduler probe([&](sim::SchedulingContext& ctx) {
+    if (captured >= 0.0) return;
+    const sim::Job* selected = ctx.queue().front();
+    ASSERT_TRUE(ctx.start_now(selected->id));
+    captured = reward.step_reward(ctx, *selected);
+  });
+  (void)sim.run({make_job(1, 0, 5, 100)}, probe);
+  // Selected immediately at t=0: wait share = 0.
+  EXPECT_NEAR(captured, 0.0, 1e-9);
+}
+
+TEST(Reward, CapacityStepRewardAveragesQueuePenalty) {
+  // After the action, two jobs remain queued with waits 100 and 50.
+  // Eq. 2: ( -1/100 + -1/50 ) / 2 = -0.015.
+  sim::Simulator sim(10);
+  RewardFunction reward(RewardKind::Capacity);
+  double captured = 1.0;
+  LambdaScheduler probe([&](sim::SchedulingContext& ctx) {
+    if (ctx.now() < 100.0 || captured <= 0.0) return;
+    // Start the job submitted at t=100, leaving the t=0 and t=50 jobs.
+    ASSERT_TRUE(ctx.start_now(3));
+    captured = reward.step_reward(ctx, *ctx.queue().front());
+  });
+  const sim::Trace trace = {make_job(1, 0, 10, 100), make_job(2, 50, 10, 100),
+                            make_job(3, 100, 10, 100)};
+  (void)sim.run(trace, probe);
+  EXPECT_NEAR(captured, (-1.0 / 100.0 - 1.0 / 50.0) / 2.0, 1e-9);
+}
+
+TEST(Reward, CapacityEmptyQueueGivesZero) {
+  sim::Simulator sim(10);
+  RewardFunction reward(RewardKind::Capacity);
+  double captured = -1.0;
+  LambdaScheduler probe([&](sim::SchedulingContext& ctx) {
+    const sim::Job* job = ctx.queue().front();
+    ASSERT_TRUE(ctx.start_now(job->id));
+    captured = reward.step_reward(ctx, *job);
+  });
+  (void)sim.run({make_job(1, 0, 2, 10)}, probe);
+  EXPECT_DOUBLE_EQ(captured, 0.0);
+}
+
+TEST(Reward, CapacityFloorsTinyWaits) {
+  // A job enqueued in the same instant must not produce -inf.
+  sim::Simulator sim(10);
+  RewardFunction reward(RewardKind::Capacity);
+  double captured = 1.0;
+  LambdaScheduler probe([&](sim::SchedulingContext& ctx) {
+    if (captured <= 0.0) return;
+    ASSERT_TRUE(ctx.start_now(1));
+    captured = reward.step_reward(ctx, *ctx.queue().front());
+  });
+  (void)sim.run({make_job(1, 0, 5, 10), make_job(2, 0, 5, 10)}, probe);
+  EXPECT_NEAR(captured, -1.0, 1e-9);  // floored at 1 second
+}
+
+// Fixture for job_value checks: three queued jobs at t=100 in queue order
+// (0: blocker submitted t=0, 1: old 1-node job t=0, 2: new 8-node job
+// t=100); the probe never schedules, it only inspects values.
+class JobValueTest : public ::testing::Test {
+ protected:
+  // Returns (value of old small job, value of new large job).
+  std::pair<double, double> values(const RewardFunction& reward) {
+    sim::Simulator sim(10);
+    std::pair<double, double> out{-1.0, -1.0};
+    bool checked = false;
+    dras::testing::LambdaScheduler probe(
+        [&](sim::SchedulingContext& ctx) {
+          if (checked || ctx.now() < 100.0) return;
+          checked = true;
+          // Queue order is (submit, id): [0, 1, 2].
+          ASSERT_EQ(ctx.queue().size(), 3u);
+          out.first = reward.job_value(ctx, *ctx.queue()[1]);
+          out.second = reward.job_value(ctx, *ctx.queue()[2]);
+        });
+    const sim::Trace trace = {make_job(0, 0, 10, 500), make_job(1, 0, 1, 10),
+                              make_job(2, 100, 8, 10)};
+    (void)sim.run(trace, probe);
+    EXPECT_TRUE(checked);
+    return out;
+  }
+};
+
+TEST_F(JobValueTest, CapabilityValueCombinesWaitAndSizeShares) {
+  const RewardFunction reward(RewardKind::Capability);
+  const auto [v_old, v_new] = values(reward);
+  // old 1-node job: wait share 100/100, size share 0.1 (weighted 2/3).
+  EXPECT_NEAR(v_old, 1.0 / 3.0 + (2.0 / 3.0) * 0.1, 1e-9);
+  // new 8-node job: wait floored to 1 s -> share 1/100; size share 0.8.
+  EXPECT_NEAR(v_new, (1.0 / 3.0) * 0.01 + (2.0 / 3.0) * 0.8, 1e-9);
+}
+
+TEST_F(JobValueTest, CapacityValueFavoursRecentJobs) {
+  // Eq. 2's myopic gain is 1/t_j: newest jobs have the largest gain (the
+  // root of Optimization's long max waits in Fig. 7).
+  const RewardFunction reward(RewardKind::Capacity);
+  const auto [v_old, v_new] = values(reward);
+  EXPECT_NEAR(v_old, 1.0 / 100.0, 1e-9);
+  EXPECT_NEAR(v_new, 1.0, 1e-9);  // floored at 1 s
+  EXPECT_GT(v_new, v_old);
+}
+
+}  // namespace
+}  // namespace dras::core

@@ -1,0 +1,127 @@
+#include "core/state_encoder.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.h"
+#include "core/window.h"
+#include "sim/simulator.h"
+
+namespace dras::core {
+namespace {
+
+using dras::testing::LambdaScheduler;
+using dras::testing::make_job;
+
+TEST(StateEncoder, InputSizeFormulas) {
+  const StateEncoder encoder(100, 3600.0);
+  // PG: 2·(2W + N); DQL: 2·(2 + N)  (§III-B input shapes).
+  EXPECT_EQ(encoder.pg_input_size(50), 2u * (2 * 50 + 100));
+  EXPECT_EQ(encoder.dql_input_size(), 2u * (2 + 100));
+}
+
+TEST(StateEncoder, RejectsInvalidConstruction) {
+  EXPECT_THROW(StateEncoder(0, 10.0), std::invalid_argument);
+  EXPECT_THROW(StateEncoder(10, 0.0), std::invalid_argument);
+}
+
+// Drive a tiny simulation so we can encode against a real context:
+// 4-node machine, a 2-node job running until t=100 (estimate 200),
+// two queued jobs probed at t=50.
+class EncoderFixture : public ::testing::Test {
+ protected:
+  void probe(const std::function<void(const sim::SchedulingContext&)>& fn) {
+    sim::Simulator sim(4);
+    bool done = false;
+    LambdaScheduler scheduler([&](sim::SchedulingContext& ctx) {
+      if (ctx.now() == 0.0) {
+        ASSERT_TRUE(ctx.start_now(1));
+        return;
+      }
+      if (!done && ctx.now() == 50.0) {
+        done = true;
+        fn(ctx);
+      }
+    });
+    // Job 1 runs 2 nodes, actual 100 / estimate 200.  Jobs 2 and 3 queue.
+    // Job 3's submission at t=50 triggers the probed instance.
+    const sim::Trace trace = {make_job(1, 0, 2, 100, 200),
+                              make_job(2, 10, 3, 50, 60, /*priority=*/1),
+                              make_job(3, 50, 1, 30)};
+    (void)sim.run(trace, scheduler);
+    EXPECT_TRUE(done);
+  }
+};
+
+TEST_F(EncoderFixture, WindowEncodingLayout) {
+  probe([&](const sim::SchedulingContext& ctx) {
+    const StateEncoder encoder(4, 100.0);
+    const auto window = front_window(ctx.queue(), 3);
+    ASSERT_EQ(window.size(), 2u);  // jobs 2 and 3 queued
+    std::vector<float> state;
+    encoder.encode_window(ctx, window, 3, state);
+    ASSERT_EQ(state.size(), encoder.pg_input_size(3));
+
+    // Job 2 block: [size/N, est/ts; priority, queued/ts].
+    EXPECT_FLOAT_EQ(state[0], 3.0f / 4.0f);
+    EXPECT_FLOAT_EQ(state[1], 60.0f / 100.0f);
+    EXPECT_FLOAT_EQ(state[2], 1.0f);           // high priority
+    EXPECT_FLOAT_EQ(state[3], 40.0f / 100.0f); // queued 40 s
+    // Job 3 block: queued 0.
+    EXPECT_FLOAT_EQ(state[4], 1.0f / 4.0f);
+    EXPECT_FLOAT_EQ(state[7], 0.0f);
+    // Third slot: zero padding.
+    for (int i = 8; i < 12; ++i) EXPECT_FLOAT_EQ(state[i], 0.0f);
+
+    // Node rows: 2 busy (release delta = 200-50 = 150 -> 1.5 scaled),
+    // then 2 free.
+    EXPECT_FLOAT_EQ(state[12], 0.0f);
+    EXPECT_FLOAT_EQ(state[13], 1.5f);
+    EXPECT_FLOAT_EQ(state[14], 0.0f);
+    EXPECT_FLOAT_EQ(state[15], 1.5f);
+    EXPECT_FLOAT_EQ(state[16], 1.0f);
+    EXPECT_FLOAT_EQ(state[17], 0.0f);
+    EXPECT_FLOAT_EQ(state[18], 1.0f);
+    EXPECT_FLOAT_EQ(state[19], 0.0f);
+  });
+}
+
+TEST_F(EncoderFixture, JobEncodingLayout) {
+  probe([&](const sim::SchedulingContext& ctx) {
+    const StateEncoder encoder(4, 100.0);
+    std::vector<float> state;
+    encoder.encode_job(ctx, *ctx.queue().front(), state);
+    ASSERT_EQ(state.size(), encoder.dql_input_size());
+    EXPECT_FLOAT_EQ(state[0], 3.0f / 4.0f);  // job 2
+    EXPECT_FLOAT_EQ(state[1], 0.6f);
+    EXPECT_FLOAT_EQ(state[2], 1.0f);
+    EXPECT_FLOAT_EQ(state[3], 0.4f);
+    // Node rows follow immediately.
+    EXPECT_FLOAT_EQ(state[4], 0.0f);
+    EXPECT_FLOAT_EQ(state[5], 1.5f);
+    EXPECT_FLOAT_EQ(state[8], 1.0f);
+  });
+}
+
+TEST_F(EncoderFixture, WindowLargerThanSlotsThrows) {
+  probe([&](const sim::SchedulingContext& ctx) {
+    const StateEncoder encoder(4, 100.0);
+    const auto window = front_window(ctx.queue(), 2);
+    std::vector<float> state;
+    EXPECT_THROW(encoder.encode_window(ctx, window, 1, state),
+                 std::invalid_argument);
+  });
+}
+
+TEST(Window, FrontWindowTruncates) {
+  sim::Job a = make_job(1, 0, 1, 10), b = make_job(2, 1, 1, 10),
+           c = make_job(3, 2, 1, 10);
+  const std::vector<sim::Job*> queue = {&a, &b, &c};
+  EXPECT_EQ(front_window(queue, 2).size(), 2u);
+  EXPECT_EQ(front_window(queue, 2)[0]->id, 1);
+  EXPECT_EQ(front_window(queue, 5).size(), 3u);
+  EXPECT_EQ(truncate_window(queue, 1).size(), 1u);
+  EXPECT_EQ(truncate_window(queue, 0).size(), 0u);
+}
+
+}  // namespace
+}  // namespace dras::core

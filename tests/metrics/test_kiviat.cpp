@@ -1,0 +1,97 @@
+#include "metrics/kiviat.h"
+
+#include <gtest/gtest.h>
+
+namespace dras::metrics {
+namespace {
+
+Summary summary(double avg_wait, double max_wait, double slowdown,
+                double response, double utilization) {
+  Summary s;
+  s.avg_wait = avg_wait;
+  s.max_wait = max_wait;
+  s.avg_slowdown = slowdown;
+  s.avg_response = response;
+  s.utilization = utilization;
+  return s;
+}
+
+TEST(Kiviat, BestMethodScoresOneWorstScoresZero) {
+  const std::vector<std::string> names = {"good", "bad"};
+  const std::vector<Summary> summaries = {
+      summary(10, 100, 1.5, 200, 0.9),
+      summary(50, 900, 6.0, 800, 0.4),
+  };
+  const auto axes = kiviat_axes(names, summaries);
+  ASSERT_EQ(axes.size(), 2u);
+  EXPECT_DOUBLE_EQ(axes[0].inv_avg_wait, 1.0);
+  EXPECT_DOUBLE_EQ(axes[0].inv_max_wait, 1.0);
+  EXPECT_DOUBLE_EQ(axes[0].inv_avg_slowdown, 1.0);
+  EXPECT_DOUBLE_EQ(axes[0].inv_avg_response, 1.0);
+  EXPECT_DOUBLE_EQ(axes[0].utilization, 1.0);
+  EXPECT_DOUBLE_EQ(axes[1].inv_avg_wait, 0.0);
+  EXPECT_DOUBLE_EQ(axes[1].utilization, 0.0);
+  EXPECT_GT(axes[0].mean_score(), axes[1].mean_score());
+}
+
+TEST(Kiviat, AxesAreIndependent) {
+  // A method can win one axis and lose another.
+  const std::vector<std::string> names = {"low-wait", "high-util"};
+  const std::vector<Summary> summaries = {
+      summary(10, 100, 2.0, 300, 0.5),
+      summary(40, 100, 2.0, 300, 0.9),
+  };
+  const auto axes = kiviat_axes(names, summaries);
+  EXPECT_DOUBLE_EQ(axes[0].inv_avg_wait, 1.0);
+  EXPECT_DOUBLE_EQ(axes[0].utilization, 0.0);
+  EXPECT_DOUBLE_EQ(axes[1].inv_avg_wait, 0.0);
+  EXPECT_DOUBLE_EQ(axes[1].utilization, 1.0);
+}
+
+TEST(Kiviat, TiedColumnMapsToOne) {
+  const std::vector<std::string> names = {"a", "b"};
+  const std::vector<Summary> summaries = {
+      summary(10, 100, 2.0, 300, 0.7),
+      summary(10, 200, 2.0, 300, 0.7),
+  };
+  const auto axes = kiviat_axes(names, summaries);
+  EXPECT_DOUBLE_EQ(axes[0].inv_avg_wait, 1.0);
+  EXPECT_DOUBLE_EQ(axes[1].inv_avg_wait, 1.0);
+}
+
+TEST(Kiviat, ValuesBoundedInUnitInterval) {
+  const std::vector<std::string> names = {"a", "b", "c"};
+  const std::vector<Summary> summaries = {
+      summary(10, 100, 1.5, 200, 0.9),
+      summary(20, 400, 3.0, 500, 0.6),
+      summary(50, 900, 6.0, 800, 0.4),
+  };
+  for (const auto& ax : kiviat_axes(names, summaries)) {
+    for (const double v :
+         {ax.inv_avg_wait, ax.inv_max_wait, ax.inv_avg_slowdown,
+          ax.inv_avg_response, ax.utilization}) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST(Kiviat, MismatchedLengthsThrow) {
+  const std::vector<std::string> names = {"a"};
+  const std::vector<Summary> summaries(2);
+  EXPECT_THROW((void)kiviat_axes(names, summaries), std::invalid_argument);
+}
+
+TEST(Kiviat, ZeroMetricsDoNotDivideByZero) {
+  const std::vector<std::string> names = {"ideal", "normal"};
+  const std::vector<Summary> summaries = {
+      summary(0, 0, 0, 0, 1.0),
+      summary(10, 20, 2.0, 30, 0.5),
+  };
+  const auto axes = kiviat_axes(names, summaries);
+  EXPECT_DOUBLE_EQ(axes[0].inv_avg_wait, 1.0);
+  EXPECT_DOUBLE_EQ(axes[1].inv_avg_wait, 0.0);
+}
+
+}  // namespace
+}  // namespace dras::metrics

@@ -1,0 +1,47 @@
+#include "metrics/report.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace dras::metrics {
+namespace {
+
+TEST(Report, RendersAlignedTable) {
+  std::ostringstream out;
+  print_table(out, {"method", "wait"},
+              {{"FCFS", "12.5"}, {"DRAS-PG", "7"}});
+  const std::string text = out.str();
+  EXPECT_NE(text.find("| method  | wait |"), std::string::npos);
+  EXPECT_NE(text.find("| FCFS    | 12.5 |"), std::string::npos);
+  EXPECT_NE(text.find("| DRAS-PG | 7    |"), std::string::npos);
+  EXPECT_NE(text.find("+---------+------+"), std::string::npos);
+}
+
+TEST(Report, RejectsRaggedRows) {
+  std::ostringstream out;
+  EXPECT_THROW(print_table(out, {"a", "b"}, {{"only-one"}}),
+               std::invalid_argument);
+}
+
+TEST(Report, EmptyRowsStillPrintsHeader) {
+  std::ostringstream out;
+  print_table(out, {"col"}, {});
+  EXPECT_NE(out.str().find("col"), std::string::npos);
+}
+
+TEST(Report, FormatDurationPicksUnits) {
+  EXPECT_EQ(format_duration(30.0), "30.0s");
+  EXPECT_EQ(format_duration(90.0), "1.5m");
+  EXPECT_EQ(format_duration(7200.0), "2.0h");
+  EXPECT_EQ(format_duration(2.5 * 86400.0), "2.5d");
+}
+
+TEST(Report, FormatPercent) {
+  EXPECT_EQ(format_percent(0.3417), "34.17%");
+  EXPECT_EQ(format_percent(1.0), "100.00%");
+  EXPECT_EQ(format_percent(0.0), "0.00%");
+}
+
+}  // namespace
+}  // namespace dras::metrics

@@ -1,0 +1,143 @@
+#include "metrics/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace dras::metrics {
+namespace {
+
+sim::JobRecord record(sim::JobId id, int size, double submit, double start,
+                      double end,
+                      sim::ExecMode mode = sim::ExecMode::Ready) {
+  sim::JobRecord rec;
+  rec.id = id;
+  rec.size = size;
+  rec.submit = submit;
+  rec.start = start;
+  rec.end = end;
+  rec.mode = mode;
+  return rec;
+}
+
+TEST(Percentile, InterpolatesBetweenSamples) {
+  EXPECT_DOUBLE_EQ(percentile({1, 2, 3, 4}, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({1, 2, 3, 4}, 100), 4.0);
+  EXPECT_DOUBLE_EQ(percentile({1, 2, 3, 4}, 50), 2.5);
+  EXPECT_DOUBLE_EQ(percentile({4, 1, 3, 2}, 50), 2.5);  // unsorted input
+}
+
+TEST(Percentile, SingleSampleAndEmpty) {
+  EXPECT_DOUBLE_EQ(percentile({7}, 99), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+}
+
+TEST(Percentile, ClampsOutOfRangeP) {
+  EXPECT_DOUBLE_EQ(percentile({1, 2}, -5), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({1, 2}, 150), 2.0);
+}
+
+TEST(Summarize, ComputesPaperMetrics) {
+  sim::SimulationResult result;
+  result.utilization = 0.8;
+  result.jobs = {
+      record(1, 2, 0, 10, 110),   // wait 10, response 110, slowdown 1.1
+      record(2, 4, 0, 30, 130),   // wait 30, response 130, slowdown 1.3
+  };
+  const auto s = summarize(result);
+  EXPECT_EQ(s.jobs, 2u);
+  EXPECT_DOUBLE_EQ(s.avg_wait, 20.0);
+  EXPECT_DOUBLE_EQ(s.max_wait, 30.0);
+  EXPECT_DOUBLE_EQ(s.avg_response, 120.0);
+  EXPECT_DOUBLE_EQ(s.avg_slowdown, 1.2);
+  EXPECT_DOUBLE_EQ(s.utilization, 0.8);
+  EXPECT_DOUBLE_EQ(s.p50_wait, 20.0);
+}
+
+TEST(Summarize, EmptyResult) {
+  const auto s = summarize(sim::SimulationResult{});
+  EXPECT_EQ(s.jobs, 0u);
+  EXPECT_DOUBLE_EQ(s.avg_wait, 0.0);
+}
+
+TEST(BySizeBucket, GroupsWaitsAndHours) {
+  const std::vector<sim::JobRecord> records = {
+      record(1, 2, 0, 10, 3610),
+      record(2, 3, 0, 20, 3620),
+      record(3, 50, 0, 100, 7300),
+  };
+  const int boundaries[] = {4};
+  const auto groups = by_size_bucket(records, boundaries);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].label, "1-4");
+  EXPECT_EQ(groups[0].jobs, 2u);
+  EXPECT_DOUBLE_EQ(groups[0].avg_wait, 15.0);
+  EXPECT_DOUBLE_EQ(groups[0].max_wait, 20.0);
+  EXPECT_EQ(groups[1].label, ">4");
+  EXPECT_DOUBLE_EQ(groups[1].core_hours, 50.0 * 7200.0 / 3600.0);
+}
+
+TEST(ByMode, GroupsByExecutionMode) {
+  const std::vector<sim::JobRecord> records = {
+      record(1, 1, 0, 5, 10, sim::ExecMode::Backfilled),
+      record(2, 1, 0, 15, 20, sim::ExecMode::Backfilled),
+      record(3, 1, 0, 100, 200, sim::ExecMode::Reserved),
+  };
+  const auto groups = by_mode(records);
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups[0].label, "backfilled");
+  EXPECT_EQ(groups[0].jobs, 2u);
+  EXPECT_DOUBLE_EQ(groups[0].avg_wait, 10.0);
+  EXPECT_EQ(groups[1].label, "ready");
+  EXPECT_EQ(groups[1].jobs, 0u);
+  EXPECT_EQ(groups[2].label, "reserved");
+  EXPECT_EQ(groups[2].jobs, 1u);
+}
+
+TEST(ModeShares, FractionsSumToOne) {
+  const std::vector<sim::JobRecord> records = {
+      record(1, 1, 0, 0, 3600, sim::ExecMode::Backfilled),   // 1 core-h
+      record(2, 3, 0, 0, 3600, sim::ExecMode::Ready),        // 3 core-h
+      record(3, 4, 0, 0, 7200, sim::ExecMode::Reserved),     // 8 core-h
+  };
+  const auto shares = mode_shares(records);
+  ASSERT_EQ(shares.size(), 3u);
+  double job_total = 0.0, hour_total = 0.0;
+  for (const auto& share : shares) {
+    job_total += share.job_fraction;
+    hour_total += share.core_hour_fraction;
+  }
+  EXPECT_NEAR(job_total, 1.0, 1e-12);
+  EXPECT_NEAR(hour_total, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(shares[0].core_hour_fraction, 1.0 / 12.0);
+  EXPECT_DOUBLE_EQ(shares[2].core_hour_fraction, 8.0 / 12.0);
+}
+
+TEST(ModeShares, EmptyRecords) {
+  const auto shares = mode_shares({});
+  for (const auto& share : shares) {
+    EXPECT_DOUBLE_EQ(share.job_fraction, 0.0);
+    EXPECT_DOUBLE_EQ(share.core_hour_fraction, 0.0);
+  }
+}
+
+TEST(WeeklySeries, BucketsBySubmitWeek) {
+  constexpr double kWeek = 7.0 * 86400.0;
+  const std::vector<sim::JobRecord> records = {
+      record(1, 1, 0, 10, 3610),
+      record(2, 1, 100, 300, 3700),
+      record(3, 2, kWeek + 5, kWeek + 10, kWeek + 3605),
+  };
+  const auto weeks = weekly_series(records);
+  ASSERT_EQ(weeks.size(), 2u);
+  EXPECT_EQ(weeks[0].jobs, 2u);
+  EXPECT_DOUBLE_EQ(weeks[0].avg_wait, (10.0 + 200.0) / 2.0);
+  EXPECT_EQ(weeks[1].jobs, 1u);
+  EXPECT_DOUBLE_EQ(weeks[1].avg_wait, 5.0);
+  EXPECT_EQ(weeks[1].week, 1u);
+}
+
+TEST(WeeklySeries, EmptyInput) {
+  EXPECT_TRUE(weekly_series({}).empty());
+}
+
+}  // namespace
+}  // namespace dras::metrics

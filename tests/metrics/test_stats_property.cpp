@@ -1,0 +1,115 @@
+// Property tests for the metrics aggregations: grouped statistics must be
+// consistent decompositions of the whole.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "metrics/stats.h"
+#include "util/rng.h"
+
+namespace dras::metrics {
+namespace {
+
+std::vector<sim::JobRecord> random_records(std::uint64_t seed,
+                                           std::size_t count) {
+  util::Rng rng(seed);
+  std::vector<sim::JobRecord> records(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    auto& rec = records[i];
+    rec.id = static_cast<sim::JobId>(i);
+    rec.size = static_cast<int>(1 + rng.uniform_index(256));
+    rec.submit = rng.uniform(0.0, 1e6);
+    rec.start = rec.submit + rng.uniform(0.0, 1e5);
+    rec.end = rec.start + rng.uniform(1.0, 1e5);
+    rec.mode = static_cast<sim::ExecMode>(1 + rng.uniform_index(3));
+  }
+  return records;
+}
+
+class StatsProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StatsProperty, SizeBucketsPartitionTheRecords) {
+  const auto records = random_records(GetParam(), 500);
+  const int boundaries[] = {4, 16, 64, 128};
+  const auto groups = by_size_bucket(records, boundaries);
+  std::size_t total_jobs = 0;
+  double total_hours = 0.0;
+  for (const auto& g : groups) {
+    total_jobs += g.jobs;
+    total_hours += g.core_hours;
+  }
+  EXPECT_EQ(total_jobs, records.size());
+  double expected_hours = 0.0;
+  for (const auto& rec : records)
+    expected_hours += rec.node_seconds() / 3600.0;
+  EXPECT_NEAR(total_hours, expected_hours, expected_hours * 1e-9);
+}
+
+TEST_P(StatsProperty, ModesPartitionTheRecords) {
+  const auto records = random_records(GetParam() ^ 0x55, 400);
+  const auto groups = by_mode(records);
+  std::size_t total = 0;
+  for (const auto& g : groups) total += g.jobs;
+  EXPECT_EQ(total, records.size());
+
+  const auto shares = mode_shares(records);
+  double job_frac = 0.0, hour_frac = 0.0;
+  for (const auto& s : shares) {
+    job_frac += s.job_fraction;
+    hour_frac += s.core_hour_fraction;
+  }
+  EXPECT_NEAR(job_frac, 1.0, 1e-9);
+  EXPECT_NEAR(hour_frac, 1.0, 1e-9);
+}
+
+TEST_P(StatsProperty, WeeklySeriesPreservesTotals) {
+  const auto records = random_records(GetParam() ^ 0xAA, 600);
+  const auto weeks = weekly_series(records);
+  std::size_t total_jobs = 0;
+  double total_hours = 0.0, weighted_wait = 0.0;
+  for (const auto& w : weeks) {
+    total_jobs += w.jobs;
+    total_hours += w.core_hours;
+    weighted_wait += w.avg_wait * static_cast<double>(w.jobs);
+  }
+  EXPECT_EQ(total_jobs, records.size());
+  double expected_wait = 0.0, expected_hours = 0.0;
+  for (const auto& rec : records) {
+    expected_wait += rec.wait();
+    expected_hours += rec.node_seconds() / 3600.0;
+  }
+  EXPECT_NEAR(weighted_wait, expected_wait, expected_wait * 1e-9 + 1e-6);
+  EXPECT_NEAR(total_hours, expected_hours, expected_hours * 1e-9);
+}
+
+TEST_P(StatsProperty, PercentileMatchesSortedRank) {
+  util::Rng rng(GetParam() ^ 0x77);
+  std::vector<double> values(101);
+  for (auto& v : values) v = rng.uniform(-100.0, 100.0);
+  auto sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  // With 101 samples, percentile p lands exactly on sorted[p].
+  for (const double p : {0.0, 25.0, 50.0, 75.0, 100.0})
+    EXPECT_DOUBLE_EQ(percentile(values, p),
+                     sorted[static_cast<std::size_t>(p)]);
+}
+
+TEST_P(StatsProperty, SummaryBoundsAreConsistent) {
+  sim::SimulationResult result;
+  result.jobs = random_records(GetParam() ^ 0x33, 300);
+  result.utilization = 0.5;
+  const auto s = summarize(result);
+  EXPECT_LE(s.avg_wait, s.max_wait);
+  EXPECT_LE(s.p50_wait, s.p90_wait);
+  EXPECT_LE(s.p90_wait, s.p99_wait);
+  EXPECT_LE(s.p99_wait, s.max_wait + 1e-9);
+  EXPECT_LE(s.avg_slowdown, s.max_slowdown);
+  EXPECT_GE(s.avg_response, s.avg_wait);  // response = wait + runtime > 0
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StatsProperty,
+                         ::testing::Values(1u, 7u, 42u, 1337u));
+
+}  // namespace
+}  // namespace dras::metrics

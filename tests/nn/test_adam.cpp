@@ -1,0 +1,117 @@
+#include "nn/adam.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace dras::nn {
+namespace {
+
+TEST(Adam, MinimizesQuadratic) {
+  // f(x) = (x - 3)^2, gradient 2(x - 3).
+  AdamConfig cfg;
+  cfg.learning_rate = 0.1;
+  Adam adam(1, cfg);
+  std::vector<float> x = {0.0f};
+  std::vector<float> g(1);
+  for (int i = 0; i < 500; ++i) {
+    g[0] = 2.0f * (x[0] - 3.0f);
+    adam.step(x, g);
+  }
+  EXPECT_NEAR(x[0], 3.0f, 1e-2);
+}
+
+TEST(Adam, MinimizesMultiDimensionalQuadratic) {
+  AdamConfig cfg;
+  cfg.learning_rate = 0.05;
+  Adam adam(3, cfg);
+  std::vector<float> x = {5.0f, -5.0f, 1.0f};
+  const std::vector<float> target = {1.0f, 2.0f, -3.0f};
+  std::vector<float> g(3);
+  for (int i = 0; i < 2000; ++i) {
+    for (int d = 0; d < 3; ++d) g[d] = 2.0f * (x[d] - target[d]);
+    adam.step(x, g);
+  }
+  for (int d = 0; d < 3; ++d) EXPECT_NEAR(x[d], target[d], 0.05);
+}
+
+TEST(Adam, FirstStepSizeIsLearningRate) {
+  // With bias correction, the very first Adam step is ≈ lr · sign(g).
+  AdamConfig cfg;
+  cfg.learning_rate = 0.01;
+  cfg.max_grad_norm = 0.0;  // disable clipping
+  Adam adam(1, cfg);
+  std::vector<float> x = {0.0f};
+  std::vector<float> g = {123.0f};
+  adam.step(x, g);
+  EXPECT_NEAR(x[0], -0.01f, 1e-5);
+}
+
+TEST(Adam, GradientClippingBoundsNorm) {
+  AdamConfig cfg;
+  cfg.max_grad_norm = 1.0;
+  Adam adam(2, cfg);
+  std::vector<float> x = {0.0f, 0.0f};
+  std::vector<float> g = {300.0f, 400.0f};  // norm 500
+  adam.step(x, g);
+  // The clipped gradient should have norm 1 (direction preserved).
+  EXPECT_NEAR(std::hypot(g[0], g[1]), 1.0, 1e-4);
+  EXPECT_NEAR(g[0] / g[1], 0.75, 1e-4);
+}
+
+TEST(Adam, ZeroClipDisablesClipping) {
+  AdamConfig cfg;
+  cfg.max_grad_norm = 0.0;
+  Adam adam(1, cfg);
+  std::vector<float> x = {0.0f};
+  std::vector<float> g = {1e6f};
+  adam.step(x, g);
+  EXPECT_FLOAT_EQ(g[0], 1e6f);
+}
+
+TEST(Adam, StepsTakenCounts) {
+  Adam adam(1);
+  std::vector<float> x = {0.0f}, g = {1.0f};
+  EXPECT_EQ(adam.steps_taken(), 0u);
+  adam.step(x, g);
+  g[0] = 1.0f;
+  adam.step(x, g);
+  EXPECT_EQ(adam.steps_taken(), 2u);
+}
+
+TEST(Adam, RestoreRoundTripsMoments) {
+  Adam a(2);
+  std::vector<float> x = {0.0f, 0.0f}, g = {1.0f, -2.0f};
+  a.step(x, g);
+  Adam b(2);
+  b.restore(a.first_moment(), a.second_moment(), a.steps_taken());
+  EXPECT_EQ(b.steps_taken(), 1u);
+  // After restore, both optimisers take identical next steps.
+  std::vector<float> xa = {1.0f, 1.0f}, xb = {1.0f, 1.0f};
+  std::vector<float> ga = {0.5f, 0.5f}, gb = {0.5f, 0.5f};
+  a.step(xa, ga);
+  b.step(xb, gb);
+  EXPECT_FLOAT_EQ(xa[0], xb[0]);
+  EXPECT_FLOAT_EQ(xa[1], xb[1]);
+}
+
+TEST(Adam, RestoreRejectsSizeMismatch) {
+  Adam a(2), b(3);
+  EXPECT_THROW(
+      b.restore(a.first_moment(), a.second_moment(), a.steps_taken()),
+      std::invalid_argument);
+}
+
+TEST(Adam, ResetClearsState) {
+  Adam adam(1);
+  std::vector<float> x = {0.0f}, g = {1.0f};
+  adam.step(x, g);
+  adam.reset();
+  EXPECT_EQ(adam.steps_taken(), 0u);
+  EXPECT_EQ(adam.first_moment()[0], 0.0f);
+  EXPECT_EQ(adam.second_moment()[0], 0.0f);
+}
+
+}  // namespace
+}  // namespace dras::nn

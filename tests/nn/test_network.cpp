@@ -1,0 +1,198 @@
+#include "nn/network.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/presets.h"
+#include "nn/ops.h"
+#include "util/rng.h"
+
+namespace dras::nn {
+namespace {
+
+NetworkConfig small_config() {
+  NetworkConfig cfg;
+  cfg.input_rows = 6;
+  cfg.fc1 = 5;
+  cfg.fc2 = 4;
+  cfg.outputs = 3;
+  return cfg;
+}
+
+TEST(NetworkConfig, ParameterCountFormula) {
+  const NetworkConfig cfg = small_config();
+  // conv 3 + 5*6 + 4*5 + 3*4 + 3 = 3 + 30 + 20 + 12 + 3 = 68.
+  EXPECT_EQ(cfg.parameter_count(), 68u);
+}
+
+// Table III: the paper's published trainable-parameter counts.  Our layer
+// stack (conv w0/w1/b, bias-free FC1/FC2, biased output) must reproduce
+// them exactly for Theta-PG, Theta-DQL and Cori-PG.  (The paper's Cori-DQL
+// number is inconsistent with its own layer sizes; see EXPERIMENTS.md.)
+TEST(NetworkConfig, TableIIIThetaPG) {
+  EXPECT_EQ(core::theta().pg_network().parameter_count(), 21'890'053u);
+}
+
+TEST(NetworkConfig, TableIIIThetaDQL) {
+  EXPECT_EQ(core::theta().dql_network().parameter_count(), 21'449'004u);
+}
+
+TEST(NetworkConfig, TableIIICoriPG) {
+  EXPECT_EQ(core::cori().pg_network().parameter_count(), 161'960'053u);
+}
+
+TEST(NetworkConfig, TableIIICoriDQLImpliedByLayerSizes) {
+  // 12078·10000 + 10000·4000 + 4000·1 + 1 + 3 (what Table III's layer sizes
+  // imply; the printed 161,764,004 appears to be a typo).
+  EXPECT_EQ(core::cori().dql_network().parameter_count(), 160'784'004u);
+}
+
+TEST(NetworkConfig, InputRowsMatchTableIII) {
+  EXPECT_EQ(core::theta().pg_network().input_rows, 4460u);
+  EXPECT_EQ(core::theta().dql_network().input_rows, 4362u);
+  EXPECT_EQ(core::cori().pg_network().input_rows, 12176u);
+  EXPECT_EQ(core::cori().dql_network().input_rows, 12078u);
+}
+
+TEST(Network, ForwardShapeAndDeterminism) {
+  util::Rng rng(1);
+  Network net(small_config(), rng);
+  std::vector<float> input(net.config().input_size(), 0.5f);
+  const auto out1 = net.forward(input);
+  ASSERT_EQ(out1.size(), 3u);
+  std::vector<float> saved(out1.begin(), out1.end());
+  const auto out2 = net.forward(input);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_FLOAT_EQ(saved[i], out2[i]);
+}
+
+TEST(Network, SameSeedSameInitialization) {
+  util::Rng rng1(42), rng2(42);
+  Network a(small_config(), rng1), b(small_config(), rng2);
+  const auto pa = a.parameters(), pb = b.parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) EXPECT_EQ(pa[i], pb[i]);
+}
+
+TEST(Network, RejectsWrongInputLength) {
+  util::Rng rng(1);
+  Network net(small_config(), rng);
+  std::vector<float> bad(3, 0.0f);
+  EXPECT_THROW((void)net.forward(bad), std::invalid_argument);
+}
+
+TEST(Network, BackwardWithoutForwardThrows) {
+  util::Rng rng(1);
+  Network net(small_config(), rng);
+  std::vector<float> grad(3, 1.0f);
+  EXPECT_THROW(net.backward(grad), std::logic_error);
+}
+
+TEST(Network, RejectsZeroDimensionConfig) {
+  util::Rng rng(1);
+  NetworkConfig cfg = small_config();
+  cfg.fc1 = 0;
+  EXPECT_THROW(Network(cfg, rng), std::invalid_argument);
+}
+
+TEST(Network, ZeroGradientsClears) {
+  util::Rng rng(1);
+  Network net(small_config(), rng);
+  std::vector<float> input(net.config().input_size(), 0.3f);
+  (void)net.forward(input);
+  std::vector<float> grad(3, 1.0f);
+  net.backward(grad);
+  bool any_nonzero = false;
+  for (const float g : net.gradients()) any_nonzero |= (g != 0.0f);
+  EXPECT_TRUE(any_nonzero);
+  net.zero_gradients();
+  for (const float g : net.gradients()) EXPECT_EQ(g, 0.0f);
+}
+
+TEST(Network, BackwardAccumulatesAcrossCalls) {
+  util::Rng rng(2);
+  Network net(small_config(), rng);
+  std::vector<float> input(net.config().input_size(), 0.2f);
+  std::vector<float> grad(3, 1.0f);
+
+  (void)net.forward(input);
+  net.backward(grad);
+  std::vector<float> once(net.gradients().begin(), net.gradients().end());
+
+  net.zero_gradients();
+  (void)net.forward(input);
+  net.backward(grad);
+  (void)net.forward(input);
+  net.backward(grad);
+  const auto twice = net.gradients();
+  for (std::size_t i = 0; i < once.size(); ++i)
+    EXPECT_NEAR(twice[i], 2.0f * once[i], 1e-4f + std::abs(once[i]) * 1e-3f);
+}
+
+// --- Numerical gradient check (property test over random configs) -------
+
+struct GradCheckParam {
+  std::size_t rows, fc1, fc2, outputs;
+  std::uint64_t seed;
+};
+
+class NetworkGradCheck : public ::testing::TestWithParam<GradCheckParam> {};
+
+TEST_P(NetworkGradCheck, AnalyticMatchesNumericalGradient) {
+  const auto param = GetParam();
+  NetworkConfig cfg;
+  cfg.input_rows = param.rows;
+  cfg.fc1 = param.fc1;
+  cfg.fc2 = param.fc2;
+  cfg.outputs = param.outputs;
+  util::Rng rng(param.seed);
+  Network net(cfg, rng);
+
+  std::vector<float> input(cfg.input_size());
+  for (auto& v : input) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  // Loss: L = sum_i c_i * y_i with random c => dL/dy = c.
+  std::vector<float> c(cfg.outputs);
+  for (auto& v : c) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+
+  const auto loss = [&] {
+    const auto y = net.forward(input);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < y.size(); ++i) acc += c[i] * y[i];
+    return acc;
+  };
+
+  (void)net.forward(input);
+  net.zero_gradients();
+  net.backward(c);
+  std::vector<float> analytic(net.gradients().begin(),
+                              net.gradients().end());
+
+  // Spot-check a spread of parameters (checking all is O(P^2)).
+  util::Rng pick(param.seed ^ 0xabcdef);
+  const auto params = net.parameters();
+  const float h = 1e-3f;
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto i = pick.uniform_index(params.size());
+    const float saved = params[i];
+    params[i] = saved + h;
+    const double up = loss();
+    params[i] = saved - h;
+    const double down = loss();
+    params[i] = saved;
+    const double numeric = (up - down) / (2.0 * h);
+    EXPECT_NEAR(analytic[i], numeric, 2e-2 + 2e-2 * std::abs(numeric))
+        << "param index " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, NetworkGradCheck,
+    ::testing::Values(GradCheckParam{4, 6, 5, 3, 11},
+                      GradCheckParam{10, 8, 8, 1, 13},
+                      GradCheckParam{7, 12, 4, 5, 17},
+                      GradCheckParam{16, 10, 6, 2, 19},
+                      GradCheckParam{3, 3, 3, 3, 29}));
+
+}  // namespace
+}  // namespace dras::nn

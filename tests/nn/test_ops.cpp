@@ -1,0 +1,129 @@
+#include "nn/ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace dras::nn {
+namespace {
+
+TEST(Gemv, MatchesHandComputedProduct) {
+  // W = [[1, 2, 3], [4, 5, 6]], x = [1, 1, 2].
+  const std::vector<float> w = {1, 2, 3, 4, 5, 6};
+  const std::vector<float> x = {1, 1, 2};
+  std::vector<float> y(2);
+  gemv(w, x, y, 2, 3);
+  EXPECT_FLOAT_EQ(y[0], 9.0f);
+  EXPECT_FLOAT_EQ(y[1], 21.0f);
+}
+
+TEST(Gemv, IdentityPreservesInput) {
+  const std::vector<float> w = {1, 0, 0, 0, 1, 0, 0, 0, 1};
+  const std::vector<float> x = {3.5f, -2.0f, 7.0f};
+  std::vector<float> y(3);
+  gemv(w, x, y, 3, 3);
+  EXPECT_EQ(std::vector<float>(y.begin(), y.end()), x);
+}
+
+TEST(GemvTransposeAcc, AccumulatesTransposeProduct) {
+  const std::vector<float> w = {1, 2, 3, 4, 5, 6};  // 2x3
+  const std::vector<float> gy = {1, 10};
+  std::vector<float> gx = {100, 100, 100};
+  gemv_transpose_acc(w, gy, gx, 2, 3);
+  EXPECT_FLOAT_EQ(gx[0], 100 + 1 * 1 + 4 * 10);
+  EXPECT_FLOAT_EQ(gx[1], 100 + 2 * 1 + 5 * 10);
+  EXPECT_FLOAT_EQ(gx[2], 100 + 3 * 1 + 6 * 10);
+}
+
+TEST(OuterAcc, AccumulatesOuterProduct) {
+  const std::vector<float> gy = {2, -1};
+  const std::vector<float> x = {1, 3};
+  std::vector<float> gw(4, 0.5f);
+  outer_acc(gy, x, gw, 2, 2);
+  EXPECT_FLOAT_EQ(gw[0], 0.5f + 2 * 1);
+  EXPECT_FLOAT_EQ(gw[1], 0.5f + 2 * 3);
+  EXPECT_FLOAT_EQ(gw[2], 0.5f - 1 * 1);
+  EXPECT_FLOAT_EQ(gw[3], 0.5f - 1 * 3);
+}
+
+TEST(GemvRoundTrip, TransposeIsAdjoint) {
+  // <W x, y> == <x, W^T y> for random matrices (adjoint property).
+  util::Rng rng(99);
+  const std::size_t rows = 7, cols = 11;
+  std::vector<float> w(rows * cols), x(cols), y(rows);
+  for (auto& v : w) v = static_cast<float>(rng.uniform(-1, 1));
+  for (auto& v : x) v = static_cast<float>(rng.uniform(-1, 1));
+  for (auto& v : y) v = static_cast<float>(rng.uniform(-1, 1));
+
+  std::vector<float> wx(rows);
+  gemv(w, x, wx, rows, cols);
+  std::vector<float> wty(cols, 0.0f);
+  gemv_transpose_acc(w, y, wty, rows, cols);
+
+  EXPECT_NEAR(dot(wx, y), dot(x, wty), 1e-4);
+}
+
+TEST(LeakyRelu, PositivePassThroughNegativeScaled) {
+  std::vector<float> x = {-2.0f, 0.0f, 3.0f};
+  leaky_relu(x, 0.1f);
+  EXPECT_FLOAT_EQ(x[0], -0.2f);
+  EXPECT_FLOAT_EQ(x[1], 0.0f);
+  EXPECT_FLOAT_EQ(x[2], 3.0f);
+}
+
+TEST(LeakyReluBackward, GradientMatchesSlope) {
+  const std::vector<float> pre = {-1.0f, 2.0f};
+  const std::vector<float> grad_out = {10.0f, 10.0f};
+  std::vector<float> grad_in(2);
+  leaky_relu_backward(pre, grad_out, grad_in, 0.01f);
+  EXPECT_FLOAT_EQ(grad_in[0], 0.1f);
+  EXPECT_FLOAT_EQ(grad_in[1], 10.0f);
+}
+
+TEST(SoftmaxMasked, SumsToOneOverValidEntries) {
+  const std::vector<float> logits = {1.0f, 2.0f, 3.0f, 100.0f};
+  std::vector<float> probs(4);
+  softmax_masked(logits, probs, 3);
+  EXPECT_FLOAT_EQ(probs[3], 0.0f);  // masked despite huge logit
+  EXPECT_NEAR(probs[0] + probs[1] + probs[2], 1.0f, 1e-6);
+  EXPECT_LT(probs[0], probs[1]);
+  EXPECT_LT(probs[1], probs[2]);
+}
+
+TEST(SoftmaxMasked, NumericallyStableForLargeLogits) {
+  const std::vector<float> logits = {1000.0f, 1000.0f};
+  std::vector<float> probs(2);
+  softmax_masked(logits, probs, 2);
+  EXPECT_NEAR(probs[0], 0.5f, 1e-6);
+  EXPECT_NEAR(probs[1], 0.5f, 1e-6);
+}
+
+TEST(SoftmaxMasked, SingleValidEntryGetsAllMass) {
+  const std::vector<float> logits = {-5.0f, 9.0f};
+  std::vector<float> probs(2);
+  softmax_masked(logits, probs, 1);
+  EXPECT_FLOAT_EQ(probs[0], 1.0f);
+  EXPECT_FLOAT_EQ(probs[1], 0.0f);
+}
+
+TEST(SoftmaxMasked, ShiftInvariance) {
+  const std::vector<float> a = {1.0f, 2.0f, 0.5f};
+  const std::vector<float> b = {11.0f, 12.0f, 10.5f};
+  std::vector<float> pa(3), pb(3);
+  softmax_masked(a, pa, 3);
+  softmax_masked(b, pb, 3);
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(pa[i], pb[i], 1e-6);
+}
+
+TEST(Dot, BasicProduct) {
+  const std::vector<float> a = {1, 2, 3};
+  const std::vector<float> b = {4, -5, 6};
+  EXPECT_FLOAT_EQ(dot(a, b), 4 - 10 + 18);
+}
+
+}  // namespace
+}  // namespace dras::nn

@@ -1,0 +1,110 @@
+#include "nn/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/rng.h"
+
+namespace dras::nn {
+namespace {
+
+NetworkConfig config() {
+  NetworkConfig cfg;
+  cfg.input_rows = 8;
+  cfg.fc1 = 6;
+  cfg.fc2 = 4;
+  cfg.outputs = 2;
+  return cfg;
+}
+
+TEST(Serialize, NetworkRoundTrip) {
+  util::Rng rng(7);
+  Network original(config(), rng);
+  std::stringstream buffer;
+  save_network(buffer, original);
+  Network loaded = load_network(buffer);
+
+  ASSERT_EQ(loaded.parameter_count(), original.parameter_count());
+  EXPECT_EQ(loaded.config().input_rows, original.config().input_rows);
+  EXPECT_EQ(loaded.config().outputs, original.config().outputs);
+  const auto a = original.parameters(), b = loaded.parameters();
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(Serialize, RoundTripPreservesForwardOutputs) {
+  util::Rng rng(9);
+  Network original(config(), rng);
+  std::vector<float> input(original.config().input_size(), 0.25f);
+  const auto before = original.forward(input);
+  std::vector<float> saved(before.begin(), before.end());
+
+  std::stringstream buffer;
+  save_network(buffer, original);
+  Network loaded = load_network(buffer);
+  const auto after = loaded.forward(input);
+  for (std::size_t i = 0; i < saved.size(); ++i)
+    EXPECT_FLOAT_EQ(saved[i], after[i]);
+}
+
+TEST(Serialize, OptimizerRoundTrip) {
+  util::Rng rng(11);
+  Network net(config(), rng);
+  Adam adam(net.parameter_count());
+  std::vector<float> grad(net.parameter_count(), 0.1f);
+  adam.step(net.parameters(), grad);
+
+  std::stringstream buffer;
+  save_network(buffer, net, &adam);
+  std::optional<Adam> restored;
+  Network loaded = load_network(buffer, &restored);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->steps_taken(), 1u);
+  const auto m0 = adam.first_moment(), m1 = restored->first_moment();
+  for (std::size_t i = 0; i < m0.size(); ++i) EXPECT_EQ(m0[i], m1[i]);
+}
+
+TEST(Serialize, MissingOptimizerClearsOptional) {
+  util::Rng rng(13);
+  Network net(config(), rng);
+  std::stringstream buffer;
+  save_network(buffer, net);
+  std::optional<Adam> restored(Adam(net.parameter_count()));
+  (void)load_network(buffer, &restored);
+  EXPECT_FALSE(restored.has_value());
+}
+
+TEST(Serialize, RejectsGarbage) {
+  std::stringstream buffer("not a network at all");
+  EXPECT_THROW((void)load_network(buffer), std::runtime_error);
+}
+
+TEST(Serialize, RejectsTruncatedFile) {
+  util::Rng rng(15);
+  Network net(config(), rng);
+  std::stringstream buffer;
+  save_network(buffer, net);
+  std::string data = buffer.str();
+  data.resize(data.size() / 2);
+  std::stringstream truncated(data);
+  EXPECT_THROW((void)load_network(truncated), std::runtime_error);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  util::Rng rng(17);
+  Network net(config(), rng);
+  const auto path =
+      std::filesystem::temp_directory_path() / "dras_test_net.bin";
+  save_network_file(path, net);
+  Network loaded = load_network_file(path);
+  EXPECT_EQ(loaded.parameter_count(), net.parameter_count());
+  std::filesystem::remove(path);
+}
+
+TEST(Serialize, MissingFileThrows) {
+  EXPECT_THROW((void)load_network_file("/nonexistent/dir/net.bin"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dras::nn

@@ -1,0 +1,83 @@
+#include "sched/bin_packing.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "../test_helpers.h"
+#include "sim/simulator.h"
+
+namespace dras::sched {
+namespace {
+
+using dras::testing::make_job;
+using sim::Trace;
+
+std::map<sim::JobId, sim::JobRecord> run_bp(int nodes, const Trace& trace) {
+  sim::Simulator sim(nodes);
+  BinPacking bp;
+  const auto result = sim.run(trace, bp);
+  std::map<sim::JobId, sim::JobRecord> by_id;
+  for (const auto& rec : result.jobs) by_id[rec.id] = rec;
+  return by_id;
+}
+
+TEST(BinPacking, PicksLargestRunnableFirst) {
+  // 8 nodes, all jobs submitted together: sizes 2, 6, 3.
+  // Largest-first packing: 6, then 2 (3 no longer fits).
+  const auto jobs = run_bp(8, {make_job(1, 0, 2, 100), make_job(2, 0, 6, 100),
+                               make_job(3, 0, 3, 100)});
+  EXPECT_DOUBLE_EQ(jobs.at(2).start, 0.0);
+  EXPECT_DOUBLE_EQ(jobs.at(1).start, 0.0);
+  EXPECT_DOUBLE_EQ(jobs.at(3).start, 100.0);
+}
+
+TEST(BinPacking, SkipsOverNonFittingHead) {
+  // 4 nodes busy with a 3-node job; head of queue needs 4 -> BinPacking
+  // (no reservation) lets the later 1-node job jump ahead.
+  const auto jobs = run_bp(4, {make_job(1, 0, 3, 100), make_job(2, 1, 4, 10),
+                               make_job(3, 2, 1, 10)});
+  EXPECT_DOUBLE_EQ(jobs.at(3).start, 2.0);
+  EXPECT_GT(jobs.at(2).start, jobs.at(3).start);
+}
+
+TEST(BinPacking, LargeJobStarvesUnderSmallJobStream) {
+  // The starvation pathology of Fig. 7: a whole-machine job is postponed
+  // by a continuous stream of small long jobs.
+  Trace trace;
+  trace.push_back(make_job(0, 0, 3, 500));
+  trace.push_back(make_job(1, 1, 4, 10));  // whole machine
+  // Small jobs arriving every 100s, each runs 400s: the machine never
+  // fully drains.
+  for (int i = 0; i < 20; ++i)
+    trace.push_back(make_job(2 + i, 10.0 + 100.0 * i, 1, 400));
+  const auto jobs = run_bp(4, trace);
+  // Every small job starts before the whole-machine job.
+  double min_small_start = 1e18;
+  for (int i = 0; i < 20; ++i)
+    min_small_start = std::min(min_small_start, jobs.at(2 + i).start);
+  EXPECT_GT(jobs.at(1).start, 2000.0);
+  EXPECT_LT(min_small_start, jobs.at(1).start);
+}
+
+TEST(BinPacking, AllJobsEventuallyRun) {
+  Trace trace;
+  for (int i = 0; i < 10; ++i)
+    trace.push_back(make_job(i, i, 1 + i % 4, 50));
+  sim::Simulator sim(8);
+  BinPacking bp;
+  const auto result = sim.run(trace, bp);
+  EXPECT_EQ(result.unfinished_jobs, 0u);
+}
+
+TEST(BinPacking, NeverReserves) {
+  sim::Simulator sim(4);
+  BinPacking bp;
+  const auto result = sim.run(
+      {make_job(1, 0, 4, 100), make_job(2, 1, 4, 100)}, bp);
+  for (const auto& rec : result.jobs)
+    EXPECT_NE(rec.mode, sim::ExecMode::Reserved);
+}
+
+}  // namespace
+}  // namespace dras::sched

@@ -1,0 +1,135 @@
+#include "sched/knapsack_opt.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "../test_helpers.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace dras::sched {
+namespace {
+
+using dras::testing::make_job;
+
+// --- Exact DP vs brute force -------------------------------------------
+
+double best_value_brute_force(const std::vector<int>& weights,
+                              const std::vector<double>& values,
+                              int capacity) {
+  const std::size_t n = weights.size();
+  double best = 0.0;
+  for (std::size_t mask = 0; mask < (1u << n); ++mask) {
+    int weight = 0;
+    double value = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask & (1u << i)) {
+        weight += weights[i];
+        value += values[i];
+      }
+    }
+    if (weight <= capacity) best = std::max(best, value);
+  }
+  return best;
+}
+
+double value_of(const std::vector<std::size_t>& picked,
+                const std::vector<double>& values) {
+  double total = 0.0;
+  for (const std::size_t i : picked) total += values[i];
+  return total;
+}
+
+int weight_of(const std::vector<std::size_t>& picked,
+              const std::vector<int>& weights) {
+  int total = 0;
+  for (const std::size_t i : picked) total += weights[i];
+  return total;
+}
+
+TEST(Knapsack, HandPickedInstance) {
+  const std::vector<int> weights = {3, 4, 5};
+  const std::vector<double> values = {4.0, 5.0, 6.0};
+  const auto picked = KnapsackOpt::solve_knapsack(weights, values, 7);
+  EXPECT_DOUBLE_EQ(value_of(picked, values), 9.0);  // items 0 and 1
+  EXPECT_LE(weight_of(picked, weights), 7);
+}
+
+TEST(Knapsack, EmptyInputsAndZeroCapacity) {
+  EXPECT_TRUE(KnapsackOpt::solve_knapsack({}, {}, 10).empty());
+  EXPECT_TRUE(KnapsackOpt::solve_knapsack({1}, {1.0}, 0).empty());
+}
+
+TEST(Knapsack, OversizedItemIgnored) {
+  const auto picked =
+      KnapsackOpt::solve_knapsack({100, 2}, {1000.0, 1.0}, 10);
+  ASSERT_EQ(picked.size(), 1u);
+  EXPECT_EQ(picked[0], 1u);
+}
+
+class KnapsackProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KnapsackProperty, DPMatchesBruteForce) {
+  util::Rng rng(GetParam());
+  const std::size_t n = 3 + rng.uniform_index(10);  // 3..12 items
+  std::vector<int> weights(n);
+  std::vector<double> values(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    weights[i] = static_cast<int>(1 + rng.uniform_index(15));
+    values[i] = rng.uniform(0.0, 10.0);
+  }
+  const int capacity = static_cast<int>(5 + rng.uniform_index(40));
+
+  const auto picked = KnapsackOpt::solve_knapsack(weights, values, capacity);
+  EXPECT_LE(weight_of(picked, weights), capacity);
+  EXPECT_NEAR(value_of(picked, values),
+              best_value_brute_force(weights, values, capacity), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KnapsackProperty,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+// --- As a scheduler ------------------------------------------------------
+
+TEST(KnapsackOpt, FillsMachineWithBestCombination) {
+  // 8 nodes; capability reward: size-driven value favours the best total
+  // packing.  Jobs: 5, 4, 4.  Picking 4+4 fills the machine; 5 alone
+  // wastes 3 nodes.
+  sim::Simulator sim(8);
+  core::RewardFunction reward(core::RewardKind::Capability);
+  KnapsackOpt opt(reward);
+  const sim::Trace trace = {make_job(1, 0, 5, 100), make_job(2, 0, 4, 100),
+                            make_job(3, 0, 4, 100)};
+  const auto result = sim.run(trace, opt);
+  std::map<sim::JobId, sim::JobRecord> by_id;
+  for (const auto& rec : result.jobs) by_id[rec.id] = rec;
+  EXPECT_DOUBLE_EQ(by_id.at(2).start, 0.0);
+  EXPECT_DOUBLE_EQ(by_id.at(3).start, 0.0);
+  EXPECT_DOUBLE_EQ(by_id.at(1).start, 100.0);
+}
+
+TEST(KnapsackOpt, CompletesRealisticWorkload) {
+  sim::Trace trace;
+  for (int i = 0; i < 50; ++i)
+    trace.push_back(make_job(i, i * 5.0, 1 + (i * 3) % 8, 60));
+  sim::Simulator sim(8);
+  core::RewardFunction reward(core::RewardKind::Capacity);
+  KnapsackOpt opt(reward);
+  const auto result = sim.run(trace, opt);
+  EXPECT_EQ(result.unfinished_jobs, 0u);
+  EXPECT_EQ(opt.name(), "Optimization");
+}
+
+TEST(KnapsackOpt, NeverReservesOrBackfills) {
+  sim::Simulator sim(4);
+  core::RewardFunction reward(core::RewardKind::Capability);
+  KnapsackOpt opt(reward);
+  const auto result =
+      sim.run({make_job(1, 0, 4, 50), make_job(2, 1, 4, 50)}, opt);
+  for (const auto& rec : result.jobs)
+    EXPECT_EQ(rec.mode, sim::ExecMode::Ready);
+}
+
+}  // namespace
+}  // namespace dras::sched

@@ -1,0 +1,137 @@
+#include "sched/priority_sched.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "../test_helpers.h"
+#include "sim/simulator.h"
+
+namespace dras::sched {
+namespace {
+
+using dras::testing::make_job;
+
+std::map<sim::JobId, sim::JobRecord> run(int nodes, const sim::Trace& trace,
+                                         PriorityScheduler& policy) {
+  sim::Simulator sim(nodes);
+  const auto result = sim.run(trace, policy);
+  std::map<sim::JobId, sim::JobRecord> by_id;
+  for (const auto& rec : result.jobs) by_id[rec.id] = rec;
+  return by_id;
+}
+
+TEST(PrioritySched, SjfRunsShortestFirst) {
+  auto sjf = make_sjf();
+  // One node free at a time: strict ordering by estimate.
+  const sim::Trace trace = {make_job(1, 0, 4, 300), make_job(2, 1, 4, 100),
+                            make_job(3, 2, 4, 200)};
+  const auto jobs = run(4, trace, sjf);
+  // Job 1 starts at t=0 (only job); afterwards shortest-first: 2 then 3.
+  EXPECT_DOUBLE_EQ(jobs.at(1).start, 0.0);
+  EXPECT_LT(jobs.at(2).start, jobs.at(3).start);
+}
+
+TEST(PrioritySched, LjfRunsLargestFirst) {
+  auto ljf = make_ljf();
+  const sim::Trace trace = {make_job(1, 0, 4, 100), make_job(2, 0, 2, 100),
+                            make_job(3, 0, 6, 100)};
+  const auto jobs = run(8, trace, ljf);
+  // Largest (6) first, then the 2-node job fits alongside; the 4-node job
+  // must wait.
+  EXPECT_DOUBLE_EQ(jobs.at(3).start, 0.0);
+  EXPECT_DOUBLE_EQ(jobs.at(2).start, 0.0);
+  EXPECT_DOUBLE_EQ(jobs.at(1).start, 100.0);
+}
+
+TEST(PrioritySched, Wfp3OrdersByWaitRuntimeRatioNotArrival) {
+  auto wfp3 = make_wfp3();
+  // Jobs 2 and 3 are held by a dependency on job 1 (ends t=1000) so they
+  // become visible in the same scheduling instance with accumulated
+  // waits.  WFP3 ranks by (wait/estimate)^3·size: job 3 — later arrival
+  // but tiny estimate — scores 9^3 versus job 2's 0.1^3 and must run
+  // first, the opposite of FCFS order.
+  sim::Job blocker = make_job(1, 0, 4, 1000);
+  sim::Job early_huge = make_job(2, 0, 3, 500, /*estimate=*/10000);
+  early_huge.dependencies = {1};
+  sim::Job late_tiny = make_job(3, 100, 3, 100, /*estimate=*/100);
+  late_tiny.dependencies = {1};
+  const auto jobs = run(4, {blocker, early_huge, late_tiny}, wfp3);
+  EXPECT_LT(jobs.at(3).start, jobs.at(2).start);
+}
+
+TEST(PrioritySched, ReservesAndBackfillsLikeEasy) {
+  auto sjf = make_sjf();
+  // 6 nodes: job1 holds 4 until 100; job2 (6 nodes) reserved; job3
+  // (2 nodes, ends before the reservation) backfills.
+  const sim::Trace trace = {make_job(1, 0, 4, 100), make_job(2, 1, 6, 500),
+                            make_job(3, 2, 2, 50)};
+  sim::Simulator sim(6);
+  const auto result = sim.run(trace, sjf);
+  std::map<sim::JobId, sim::JobRecord> by_id;
+  for (const auto& rec : result.jobs) by_id[rec.id] = rec;
+  EXPECT_EQ(by_id.at(3).mode, sim::ExecMode::Backfilled);
+  EXPECT_DOUBLE_EQ(by_id.at(3).start, 2.0);
+  EXPECT_EQ(by_id.at(2).mode, sim::ExecMode::Reserved);
+  EXPECT_DOUBLE_EQ(by_id.at(2).start, 100.0);
+}
+
+TEST(PrioritySched, SjfReservationTargetsShortestNotOldest) {
+  auto sjf = make_sjf();
+  // Machine full until t=100.  Two whole-machine jobs arrive together:
+  // the one with the shorter estimate gets the reservation even though
+  // its id orders it later.
+  const sim::Trace trace = {make_job(1, 0, 4, 100),
+                            make_job(2, 1, 4, 500, 500),
+                            make_job(3, 1, 4, 50, 50)};
+  const auto jobs = run(4, trace, sjf);
+  EXPECT_LT(jobs.at(3).start, jobs.at(2).start);
+}
+
+TEST(PrioritySched, AllFactoriesCompleteAWorkload) {
+  sim::Trace trace;
+  for (int i = 0; i < 60; ++i)
+    trace.push_back(make_job(i, i * 8.0, 1 + (i * 5) % 8, 70));
+  for (auto policy : {make_sjf(), make_ljf(), make_wfp3(), make_f1()}) {
+    sim::Simulator sim(8);
+    const auto result = sim.run(trace, policy);
+    EXPECT_EQ(result.unfinished_jobs, 0u) << policy.name();
+  }
+}
+
+TEST(PrioritySched, NamesAreDistinct) {
+  EXPECT_EQ(make_sjf().name(), "SJF");
+  EXPECT_EQ(make_ljf().name(), "LJF");
+  EXPECT_EQ(make_wfp3().name(), "WFP3");
+  EXPECT_EQ(make_f1().name(), "F1");
+}
+
+TEST(PrioritySched, CustomPriorityFunction) {
+  // Priority by id parity: even ids first.
+  PriorityScheduler even_first(
+      "even-first", [](const sim::Job& job, sim::Time) {
+        return job.id % 2 == 0 ? 0.0 : 1.0;
+      });
+  const sim::Trace trace = {make_job(1, 0, 4, 100), make_job(2, 0, 4, 100)};
+  const auto jobs = run(4, trace, even_first);
+  EXPECT_DOUBLE_EQ(jobs.at(2).start, 0.0);
+  EXPECT_DOUBLE_EQ(jobs.at(1).start, 100.0);
+}
+
+TEST(PrioritySched, NoStarvationOfReservedJob) {
+  // SJF without reservations starves long jobs; with the EASY-style
+  // reservation the long job is bounded by the (estimated) drain time.
+  auto sjf = make_sjf();
+  sim::Trace trace;
+  trace.push_back(make_job(0, 0, 3, 400, 400));
+  trace.push_back(make_job(1, 1, 4, 1000, 1000));  // long whole-machine job
+  for (int i = 0; i < 30; ++i)
+    trace.push_back(make_job(2 + i, 2.0 + i * 10.0, 1, 50, 50));
+  const auto jobs = run(4, trace, sjf);
+  // The long job gets reserved once it is the best non-fitting candidate
+  // and starts no later than the estimated drain of everything shorter.
+  EXPECT_LE(jobs.at(1).start, 800.0);
+}
+
+}  // namespace
+}  // namespace dras::sched

@@ -1,0 +1,97 @@
+#include "sim/backfill.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.h"
+
+namespace dras::sim {
+namespace {
+
+using dras::testing::make_job;
+
+class BackfillTest : public ::testing::Test {
+ protected:
+  // 10-node machine: 6 nodes busy until t=100 (estimated), 4 free.
+  // Reservation: 10 nodes at t=100 for job 50.
+  BackfillTest() : cluster_(10) {
+    cluster_.allocate(make_job(1, 0, 6, 100), 0.0);
+    reservation_ = Reservation{50, 10, 100.0};
+  }
+  Cluster cluster_;
+  Reservation reservation_;
+};
+
+TEST_F(BackfillTest, ShortJobFittingFreeNodesIsLegal) {
+  // 4 nodes, finishes by t=100 -> cannot delay the reservation.
+  const Job job = make_job(2, 0, 4, 50, 80);
+  EXPECT_TRUE(backfill_legal(cluster_, reservation_, job, 0.0));
+}
+
+TEST_F(BackfillTest, JobTooBigForFreeNodesIsIllegal) {
+  const Job job = make_job(2, 0, 5, 10, 10);
+  EXPECT_FALSE(backfill_legal(cluster_, reservation_, job, 0.0));
+}
+
+TEST_F(BackfillTest, LongJobDelayingReservationIsIllegal) {
+  // 4 nodes but estimated to run past t=100; at t=100 the machine would
+  // only have 10 - 4 = 6 nodes for a 10-node reservation.
+  const Job job = make_job(2, 0, 4, 200, 200);
+  EXPECT_FALSE(backfill_legal(cluster_, reservation_, job, 0.0));
+}
+
+TEST_F(BackfillTest, EstimateNotActualGovernsLegality) {
+  // Actual runtime is short, but the estimate crosses the reservation;
+  // EASY must use the estimate.
+  const Job job = make_job(2, 0, 4, /*runtime=*/10, /*estimate=*/500);
+  EXPECT_FALSE(backfill_legal(cluster_, reservation_, job, 0.0));
+}
+
+TEST_F(BackfillTest, ReservedJobItselfNeverBackfills) {
+  const Job job = make_job(50, 0, 2, 10, 10);
+  EXPECT_FALSE(backfill_legal(cluster_, reservation_, job, 0.0));
+}
+
+TEST_F(BackfillTest, BoundaryFinishExactlyAtReservationIsLegal) {
+  const Job job = make_job(2, 0, 4, 100, 100);  // ends exactly at t=100
+  EXPECT_TRUE(backfill_legal(cluster_, reservation_, job, 0.0));
+}
+
+TEST(BackfillExtraNodes, LongJobOnSpareNodesIsLegal) {
+  // 10 nodes, 2 busy until 100; reservation needs 6 at t=100.
+  // A long 2-node job leaves 10 - 2 - 2 = 6... releases by 100: 2.
+  // free(8) - size(2) + released(2) = 8 >= 6 -> legal even though it runs
+  // past the reserved start (it uses nodes the reservation does not need).
+  Cluster cluster(10);
+  cluster.allocate(make_job(1, 0, 2, 100), 0.0);
+  const Reservation reservation{50, 6, 100.0};
+  const Job job = make_job(2, 0, 2, 1000, 1000);
+  EXPECT_TRUE(backfill_legal(cluster, reservation, job, 0.0));
+}
+
+TEST(BackfillExtraNodes, ExactCoverBoundary) {
+  Cluster cluster(10);
+  cluster.allocate(make_job(1, 0, 2, 100), 0.0);
+  const Reservation reservation{50, 8, 100.0};
+  // free 8, released by 100: 2.  A long 2-node job: 8 - 2 + 2 = 8 >= 8 OK.
+  EXPECT_TRUE(backfill_legal(cluster, reservation,
+                             make_job(2, 0, 2, 1000, 1000), 0.0));
+  // A long 3-node job: 8 - 3 + 2 = 7 < 8 -> illegal.
+  EXPECT_FALSE(backfill_legal(cluster, reservation,
+                              make_job(3, 0, 3, 1000, 1000), 0.0));
+}
+
+TEST_F(BackfillTest, CandidatesPreserveArrivalOrderAndFilter) {
+  Job a = make_job(2, 0, 4, 50, 50);    // legal
+  Job b = make_job(3, 1, 5, 10, 10);    // too big for free nodes
+  Job c = make_job(4, 2, 2, 30, 30);    // legal
+  Job d = make_job(5, 3, 4, 500, 500);  // would delay reservation
+  const std::vector<Job*> queue = {&a, &b, &c, &d};
+  const auto candidates =
+      backfill_candidates(cluster_, reservation_, queue, 0.0);
+  ASSERT_EQ(candidates.size(), 2u);
+  EXPECT_EQ(candidates[0]->id, 2);
+  EXPECT_EQ(candidates[1]->id, 4);
+}
+
+}  // namespace
+}  // namespace dras::sim

@@ -1,0 +1,65 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+namespace dras::sim {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  q.push(Event{30.0, EventType::JobSubmit, 1});
+  q.push(Event{10.0, EventType::JobSubmit, 2});
+  q.push(Event{20.0, EventType::JobSubmit, 3});
+  EXPECT_EQ(q.pop().job, 2);
+  EXPECT_EQ(q.pop().job, 3);
+  EXPECT_EQ(q.pop().job, 1);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, EndsBeforeReservationBeforeSubmitsAtSameTime) {
+  EventQueue q;
+  q.push(Event{5.0, EventType::JobSubmit, 1});
+  q.push(Event{5.0, EventType::JobEnd, 2});
+  q.push(Event{5.0, EventType::ReservationReady, 3});
+  EXPECT_EQ(q.pop().type, EventType::JobEnd);
+  EXPECT_EQ(q.pop().type, EventType::ReservationReady);
+  EXPECT_EQ(q.pop().type, EventType::JobSubmit);
+}
+
+TEST(EventQueue, TieBreaksOnJobId) {
+  EventQueue q;
+  q.push(Event{1.0, EventType::JobSubmit, 9});
+  q.push(Event{1.0, EventType::JobSubmit, 4});
+  EXPECT_EQ(q.pop().job, 4);
+  EXPECT_EQ(q.pop().job, 9);
+}
+
+TEST(EventQueue, SizeAndClear) {
+  EventQueue q;
+  q.push(Event{1.0, EventType::JobSubmit, 1});
+  q.push(Event{2.0, EventType::JobSubmit, 2});
+  EXPECT_EQ(q.size(), 2u);
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, TopDoesNotPop) {
+  EventQueue q;
+  q.push(Event{1.0, EventType::JobSubmit, 1});
+  EXPECT_EQ(q.top().job, 1);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventAfter, IsStrictWeakOrdering) {
+  const Event a{1.0, EventType::JobEnd, 1};
+  const Event b{1.0, EventType::JobEnd, 1};
+  EXPECT_FALSE(event_after(a, b));
+  EXPECT_FALSE(event_after(b, a));  // irreflexive on equal elements
+  const Event c{2.0, EventType::JobEnd, 1};
+  EXPECT_TRUE(event_after(c, a));
+  EXPECT_FALSE(event_after(a, c));  // antisymmetric
+}
+
+}  // namespace
+}  // namespace dras::sim

@@ -1,0 +1,63 @@
+// Property test: the event queue is a total order and drains sorted.
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.h"
+#include "util/rng.h"
+
+namespace dras::sim {
+namespace {
+
+class EventQueueProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EventQueueProperty, DrainsInNonDecreasingDeterministicOrder) {
+  util::Rng rng(GetParam());
+  EventQueue queue;
+  constexpr int kEvents = 500;
+  for (int i = 0; i < kEvents; ++i) {
+    Event event;
+    event.time = static_cast<double>(rng.uniform_index(50));  // many ties
+    event.type = static_cast<EventType>(rng.uniform_index(3));
+    event.job = static_cast<JobId>(rng.uniform_index(40));
+    queue.push(event);
+  }
+  ASSERT_EQ(queue.size(), static_cast<std::size_t>(kEvents));
+
+  Event previous{-1.0, EventType::JobEnd, -1};
+  bool first = true;
+  while (!queue.empty()) {
+    const Event event = queue.pop();
+    if (!first) {
+      // Strict weak order: previous must not come after event.
+      EXPECT_FALSE(event_after(previous, event))
+          << "event order violated at t=" << event.time;
+    }
+    previous = event;
+    first = false;
+  }
+}
+
+TEST_P(EventQueueProperty, OrderIndependentOfInsertionOrder) {
+  util::Rng rng(GetParam() ^ 0xBEEF);
+  std::vector<Event> events;
+  for (int i = 0; i < 200; ++i)
+    events.push_back(Event{static_cast<double>(rng.uniform_index(20)),
+                           static_cast<EventType>(rng.uniform_index(3)),
+                           static_cast<JobId>(i)});
+
+  EventQueue forward, backward;
+  for (const Event& e : events) forward.push(e);
+  for (auto it = events.rbegin(); it != events.rend(); ++it)
+    backward.push(*it);
+
+  while (!forward.empty()) {
+    ASSERT_FALSE(backward.empty());
+    EXPECT_EQ(forward.pop(), backward.pop());
+  }
+  EXPECT_TRUE(backward.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueProperty,
+                         ::testing::Values(2u, 3u, 5u, 7u));
+
+}  // namespace
+}  // namespace dras::sim

@@ -1,0 +1,103 @@
+#include "sim/job.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.h"
+
+namespace dras::sim {
+namespace {
+
+using dras::testing::make_job;
+
+TEST(Job, EffectiveRuntimeCappedAtEstimate) {
+  Job job = make_job(1, 0, 4, /*runtime=*/500, /*estimate=*/300);
+  EXPECT_DOUBLE_EQ(job.effective_runtime(), 300.0);  // killed at walltime
+}
+
+TEST(Job, EffectiveRuntimeBelowEstimateUnchanged) {
+  Job job = make_job(1, 0, 4, 200, 300);
+  EXPECT_DOUBLE_EQ(job.effective_runtime(), 200.0);
+}
+
+TEST(Job, LifecycleFlags) {
+  Job job = make_job(1, 10, 2, 100);
+  EXPECT_FALSE(job.started());
+  EXPECT_FALSE(job.finished());
+  job.start_time = 50;
+  EXPECT_TRUE(job.started());
+  job.end_time = 150;
+  EXPECT_TRUE(job.finished());
+  EXPECT_DOUBLE_EQ(job.wait_time(), 40.0);
+  EXPECT_DOUBLE_EQ(job.response_time(), 140.0);
+}
+
+TEST(Job, SlowdownUsesRuntimeFloor) {
+  Job job = make_job(1, 0, 1, 0.5, 1.0);
+  job.start_time = 10;
+  job.end_time = 10.5;
+  // runtime 0.5 < floor 1.0 -> slowdown = response / 1.0.
+  EXPECT_DOUBLE_EQ(job.slowdown(), 10.5);
+}
+
+TEST(Job, NodeSeconds) {
+  Job job = make_job(1, 0, 8, 100);
+  EXPECT_DOUBLE_EQ(job.node_seconds(), 800.0);
+}
+
+TEST(ValidateJob, AcceptsWellFormed) {
+  EXPECT_TRUE(validate_job(make_job(1, 0, 4, 100)).empty());
+}
+
+TEST(ValidateJob, RejectsNegativeId) {
+  EXPECT_FALSE(validate_job(make_job(-1, 0, 4, 100)).empty());
+}
+
+TEST(ValidateJob, RejectsNonPositiveSize) {
+  EXPECT_FALSE(validate_job(make_job(1, 0, 0, 100)).empty());
+}
+
+TEST(ValidateJob, RejectsNegativeSubmit) {
+  EXPECT_FALSE(validate_job(make_job(1, -5, 4, 100)).empty());
+}
+
+TEST(ValidateJob, RejectsZeroEstimate) {
+  Job job = make_job(1, 0, 4, 100);
+  job.runtime_estimate = 0;
+  EXPECT_FALSE(validate_job(job).empty());
+}
+
+TEST(ValidateJob, RejectsBadPriority) {
+  Job job = make_job(1, 0, 4, 100);
+  job.priority = 2;
+  EXPECT_FALSE(validate_job(job).empty());
+}
+
+TEST(ValidateJob, RejectsSelfDependency) {
+  Job job = make_job(1, 0, 4, 100);
+  job.dependencies.push_back(1);
+  EXPECT_FALSE(validate_job(job).empty());
+}
+
+TEST(NormalizeTrace, SortsBySubmitThenId) {
+  Trace trace = {make_job(3, 20, 1, 10), make_job(1, 5, 1, 10),
+                 make_job(2, 5, 1, 10)};
+  normalize_trace(trace);
+  EXPECT_EQ(trace[0].id, 1);
+  EXPECT_EQ(trace[1].id, 2);
+  EXPECT_EQ(trace[2].id, 3);
+}
+
+TEST(NormalizeTrace, ThrowsOnInvalidJob) {
+  Trace trace = {make_job(1, 0, -4, 100)};
+  EXPECT_THROW(normalize_trace(trace), std::invalid_argument);
+}
+
+TEST(ExecMode, ToStringCoversAll) {
+  EXPECT_EQ(to_string(ExecMode::None), "none");
+  EXPECT_EQ(to_string(ExecMode::Ready), "ready");
+  EXPECT_EQ(to_string(ExecMode::Reserved), "reserved");
+  EXPECT_EQ(to_string(ExecMode::Backfilled), "backfilled");
+}
+
+}  // namespace
+}  // namespace dras::sim

@@ -1,0 +1,99 @@
+#include "sim/profile.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.h"
+
+namespace dras::sim {
+namespace {
+
+using dras::testing::make_job;
+
+TEST(Profile, IdleClusterIsFlat) {
+  Cluster cluster(10);
+  const AvailabilityProfile profile(cluster, {}, 0.0);
+  EXPECT_EQ(profile.available_at(0.0), 10);
+  EXPECT_EQ(profile.available_at(1e9), 10);
+  EXPECT_EQ(profile.min_available(0.0, AvailabilityProfile::kOpenEnd), 10);
+}
+
+TEST(Profile, RunningJobsReleaseAtEstimatedEnds) {
+  Cluster cluster(10);
+  cluster.allocate(make_job(1, 0, 4, 100), 0.0);
+  cluster.allocate(make_job(2, 0, 3, 200), 0.0);
+  const AvailabilityProfile profile(cluster, {}, 0.0);
+  EXPECT_EQ(profile.available_at(0.0), 3);
+  EXPECT_EQ(profile.available_at(99.9), 3);
+  EXPECT_EQ(profile.available_at(100.0), 7);
+  EXPECT_EQ(profile.available_at(200.0), 10);
+}
+
+TEST(Profile, ReservationsClaimTheirWindow) {
+  Cluster cluster(10);
+  cluster.allocate(make_job(1, 0, 4, 100), 0.0);
+  const Reservation r{50, 6, 100.0, 300.0};  // 6 nodes over [100, 400)
+  const AvailabilityProfile profile(cluster, std::span(&r, 1), 0.0);
+  EXPECT_EQ(profile.available_at(0.0), 6);
+  EXPECT_EQ(profile.available_at(100.0), 4);   // +4 released, −6 claimed
+  EXPECT_EQ(profile.available_at(399.0), 4);
+  EXPECT_EQ(profile.available_at(400.0), 10);  // claim expires
+}
+
+TEST(Profile, MinAvailableScansBreakpoints) {
+  Cluster cluster(10);
+  cluster.allocate(make_job(1, 0, 4, 100), 0.0);
+  const Reservation r{50, 6, 100.0, 300.0};
+  const AvailabilityProfile profile(cluster, std::span(&r, 1), 0.0);
+  EXPECT_EQ(profile.min_available(0.0, 50.0), 6);
+  EXPECT_EQ(profile.min_available(0.0, 200.0), 4);
+  EXPECT_EQ(profile.min_available(400.0, 500.0), 10);
+}
+
+TEST(Profile, EarliestStartFindsWindow) {
+  Cluster cluster(10);
+  cluster.allocate(make_job(1, 0, 8, 100), 0.0);
+  const Reservation r{50, 10, 100.0, 50.0};  // whole machine [100, 150)
+  const AvailabilityProfile profile(cluster, std::span(&r, 1), 0.0);
+  // A 2-node job ending before the whole-machine claim fits right now.
+  EXPECT_DOUBLE_EQ(profile.earliest_start(2, 60.0), 0.0);
+  EXPECT_DOUBLE_EQ(profile.earliest_start(2, 100.0), 0.0);
+  // A 2-node window overlapping the [100, 150) whole-machine claim must
+  // wait until the claim expires.
+  EXPECT_DOUBLE_EQ(profile.earliest_start(2, 120.0), 150.0);
+  // The whole machine is first continuously free at t=150.
+  EXPECT_DOUBLE_EQ(profile.earliest_start(10, 1000.0), 150.0);
+}
+
+TEST(Profile, CanStartNowMatchesMinAvailability) {
+  Cluster cluster(10);
+  cluster.allocate(make_job(1, 0, 4, 100), 0.0);
+  const Reservation r{50, 6, 100.0, 300.0};
+  const AvailabilityProfile profile(cluster, std::span(&r, 1), 0.0);
+  EXPECT_TRUE(profile.can_start_now(4, 50.0));    // ends before the claim
+  EXPECT_TRUE(profile.can_start_now(4, 1000.0));  // fits beside the claim
+  EXPECT_FALSE(profile.can_start_now(6, 1000.0)); // collides at t=100
+  EXPECT_TRUE(profile.can_start_now(6, 100.0));   // exactly ends at claim
+}
+
+TEST(Profile, DeltasAtNowFoldIntoInitialStep) {
+  Cluster cluster(4);
+  cluster.allocate(make_job(1, 0, 4, 100), 0.0);
+  const AvailabilityProfile profile(cluster, {}, 100.0);  // at release time
+  EXPECT_EQ(profile.available_at(100.0), 4);
+}
+
+TEST(Profile, StepsAreSortedAndStartAtNow) {
+  Cluster cluster(8);
+  cluster.allocate(make_job(1, 0, 2, 300), 0.0);
+  cluster.allocate(make_job(2, 0, 2, 100), 0.0);
+  const Reservation r{50, 4, 100.0, 100.0};
+  const AvailabilityProfile profile(cluster, std::span(&r, 1), 10.0);
+  const auto& steps = profile.steps();
+  ASSERT_FALSE(steps.empty());
+  EXPECT_DOUBLE_EQ(steps.front().time, 10.0);
+  for (std::size_t i = 1; i < steps.size(); ++i)
+    EXPECT_LT(steps[i - 1].time, steps[i].time);
+}
+
+}  // namespace
+}  // namespace dras::sim

@@ -1,0 +1,145 @@
+// Edge-case tests for the simulator beyond the core scenarios.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "../test_helpers.h"
+#include "sched/fcfs_easy.h"
+#include "sim/simulator.h"
+
+namespace dras::sim {
+namespace {
+
+using dras::testing::LambdaScheduler;
+using dras::testing::make_job;
+
+TEST(SimulatorEdge, EmptyTraceProducesEmptyResult) {
+  Simulator sim(8);
+  sched::FcfsEasy fcfs;
+  const auto result = sim.run({}, fcfs);
+  EXPECT_TRUE(result.jobs.empty());
+  EXPECT_EQ(result.unfinished_jobs, 0u);
+  EXPECT_EQ(result.scheduling_instances, 0u);
+  EXPECT_DOUBLE_EQ(result.makespan, 0.0);
+}
+
+TEST(SimulatorEdge, SimulatorIsReusableAcrossRuns) {
+  Simulator sim(8);
+  sched::FcfsEasy fcfs;
+  const Trace trace = {make_job(1, 0, 4, 100), make_job(2, 1, 8, 50)};
+  const auto a = sim.run(trace, fcfs);
+  const auto b = sim.run(trace, fcfs);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  EXPECT_DOUBLE_EQ(a.utilization, b.utilization);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+}
+
+TEST(SimulatorEdge, NonZeroTraceStartDoesNotInflateMetrics) {
+  // Jobs arriving late in absolute time: the utilisation window starts at
+  // the first submission, not at t=0.
+  Simulator sim(4);
+  sched::FcfsEasy fcfs;
+  const Trace trace = {make_job(1, 1000.0, 4, 100)};
+  const auto result = sim.run(trace, fcfs);
+  EXPECT_DOUBLE_EQ(result.makespan, 100.0);
+  EXPECT_DOUBLE_EQ(result.utilization, 1.0);
+}
+
+TEST(SimulatorEdge, WholeMachineJobsSerialize) {
+  Simulator sim(16);
+  sched::FcfsEasy fcfs;
+  Trace trace;
+  for (int i = 0; i < 5; ++i)
+    trace.push_back(make_job(i, static_cast<double>(i), 16, 100));
+  const auto result = sim.run(trace, fcfs);
+  ASSERT_EQ(result.jobs.size(), 5u);
+  std::map<JobId, JobRecord> by_id;
+  for (const auto& rec : result.jobs) by_id[rec.id] = rec;
+  for (int i = 1; i < 5; ++i)
+    EXPECT_GE(by_id.at(i).start, by_id.at(i - 1).end);
+  EXPECT_NEAR(result.utilization, 1.0, 0.02);
+}
+
+TEST(SimulatorEdge, ZeroActualRuntimeJobCompletesInstantly) {
+  Simulator sim(4);
+  sched::FcfsEasy fcfs;
+  Job job = make_job(1, 0, 2, /*runtime=*/0.0, /*estimate=*/100.0);
+  const auto result = sim.run({job}, fcfs);
+  ASSERT_EQ(result.jobs.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.jobs[0].end, result.jobs[0].start);
+}
+
+TEST(SimulatorEdge, SameTimestampSubmitBurstHandledInOneInstance) {
+  Simulator sim(8);
+  std::size_t instances_with_queue = 0;
+  LambdaScheduler counter([&](SchedulingContext& ctx) {
+    ++instances_with_queue;
+    while (!ctx.queue().empty() &&
+           ctx.cluster().fits(ctx.queue().front()->size))
+      ctx.start_now(ctx.queue().front()->id);
+  });
+  Trace trace;
+  for (int i = 0; i < 8; ++i) trace.push_back(make_job(i, 5.0, 1, 10));
+  (void)sim.run(trace, counter);
+  // All eight submissions at t=5 collapse into a single instance.
+  EXPECT_EQ(instances_with_queue, 1u);
+}
+
+TEST(SimulatorEdge, DeepDependencyChainRunsSequentially) {
+  Simulator sim(8);
+  sched::FcfsEasy fcfs;
+  Trace trace;
+  for (int i = 0; i < 6; ++i) {
+    Job job = make_job(i, 0, 2, 10);
+    if (i > 0) job.dependencies.push_back(i - 1);
+    trace.push_back(job);
+  }
+  const auto result = sim.run(trace, fcfs);
+  EXPECT_EQ(result.unfinished_jobs, 0u);
+  std::map<JobId, JobRecord> by_id;
+  for (const auto& rec : result.jobs) by_id[rec.id] = rec;
+  for (int i = 1; i < 6; ++i)
+    EXPECT_GE(by_id.at(i).start, by_id.at(i - 1).end);
+  EXPECT_NEAR(by_id.at(5).end, 60.0, 1e-9);
+}
+
+TEST(SimulatorEdge, DiamondDependencyWaitsForAllParents) {
+  // Diamond: job 1 fans out to jobs 2 and 3; job 4 depends on both.
+  Simulator sim(8);
+  sched::FcfsEasy fcfs;
+  Job a = make_job(1, 0, 2, 10);
+  Job b = make_job(2, 0, 2, 50);
+  b.dependencies = {1};
+  Job c = make_job(3, 0, 2, 20);
+  c.dependencies = {1};
+  Job d = make_job(4, 0, 2, 10);
+  d.dependencies = {2, 3};
+  const auto result = sim.run({a, b, c, d}, fcfs);
+  std::map<JobId, JobRecord> by_id;
+  for (const auto& rec : result.jobs) by_id[rec.id] = rec;
+  EXPECT_GE(by_id.at(4).start, std::max(by_id.at(2).end, by_id.at(3).end));
+}
+
+TEST(SimulatorEdge, SchedulingInstancesCounted) {
+  Simulator sim(4);
+  sched::FcfsEasy fcfs;
+  const Trace trace = {make_job(1, 0, 4, 100), make_job(2, 50, 4, 100)};
+  const auto result = sim.run(trace, fcfs);
+  // Instances: submit@0, submit@50; job-end events with an empty queue do
+  // not invoke the policy.
+  EXPECT_GE(result.scheduling_instances, 2u);
+}
+
+TEST(SimulatorEdge, ObserverExceptionPropagates) {
+  Simulator sim(4);
+  sim.set_action_observer(
+      [](const SchedulingContext&, const Job&) {
+        throw std::runtime_error("observer boom");
+      });
+  sched::FcfsEasy fcfs;
+  EXPECT_THROW((void)sim.run({make_job(1, 0, 2, 10)}, fcfs),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dras::sim

@@ -1,0 +1,112 @@
+#include "sim/wait_queue.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.h"
+
+namespace dras::sim {
+namespace {
+
+using dras::testing::make_job;
+
+TEST(WaitQueue, VisibleInArrivalOrder) {
+  WaitQueue queue;
+  Job a = make_job(1, 10, 1, 10), b = make_job(2, 5, 1, 10);
+  queue.submit(&a);
+  queue.submit(&b);
+  ASSERT_EQ(queue.visible_count(), 2u);
+  EXPECT_EQ(queue.visible()[0]->id, 2);  // earlier submit first
+  EXPECT_EQ(queue.visible()[1]->id, 1);
+}
+
+TEST(WaitQueue, DependentJobHeldUntilParentFinishes) {
+  WaitQueue queue;
+  Job parent = make_job(1, 0, 1, 10);
+  Job child = make_job(2, 1, 1, 10);
+  child.dependencies.push_back(1);
+  queue.submit(&parent);
+  queue.submit(&child);
+  EXPECT_EQ(queue.visible_count(), 1u);
+  EXPECT_EQ(queue.held_count(), 1u);
+
+  queue.remove(1);  // parent started
+  queue.on_job_finished(1);
+  EXPECT_EQ(queue.visible_count(), 1u);
+  EXPECT_EQ(queue.visible()[0]->id, 2);
+  EXPECT_EQ(queue.held_count(), 0u);
+}
+
+TEST(WaitQueue, MultipleDependenciesAllRequired) {
+  WaitQueue queue;
+  Job child = make_job(3, 0, 1, 10);
+  child.dependencies = {1, 2};
+  queue.submit(&child);
+  EXPECT_EQ(queue.held_count(), 1u);
+  queue.on_job_finished(1);
+  EXPECT_EQ(queue.held_count(), 1u);
+  queue.on_job_finished(2);
+  EXPECT_EQ(queue.visible_count(), 1u);
+}
+
+TEST(WaitQueue, ParentFinishedBeforeChildSubmitted) {
+  WaitQueue queue;
+  queue.on_job_finished(1);
+  Job child = make_job(2, 0, 1, 10);
+  child.dependencies.push_back(1);
+  queue.submit(&child);
+  EXPECT_EQ(queue.visible_count(), 1u);  // immediately visible
+}
+
+TEST(WaitQueue, ReleasedJobKeepsSubmitOrder) {
+  WaitQueue queue;
+  Job parent = make_job(1, 0, 1, 10);
+  Job child = make_job(2, 1, 1, 10);  // depends on parent, early submit
+  child.dependencies.push_back(1);
+  Job later = make_job(3, 5, 1, 10);
+  queue.submit(&parent);
+  queue.submit(&child);
+  queue.submit(&later);
+  queue.remove(1);
+  queue.on_job_finished(1);
+  ASSERT_EQ(queue.visible_count(), 2u);
+  EXPECT_EQ(queue.visible()[0]->id, 2);  // child inserted before job 3
+  EXPECT_EQ(queue.visible()[1]->id, 3);
+}
+
+TEST(WaitQueue, RemoveOnlyAffectsNamedJob) {
+  WaitQueue queue;
+  Job a = make_job(1, 0, 1, 10), b = make_job(2, 1, 1, 10);
+  queue.submit(&a);
+  queue.submit(&b);
+  EXPECT_TRUE(queue.remove(1));
+  EXPECT_FALSE(queue.remove(1));  // already gone
+  EXPECT_EQ(queue.visible_count(), 1u);
+  EXPECT_EQ(queue.visible()[0]->id, 2);
+}
+
+TEST(WaitQueue, MaxQueuedTime) {
+  WaitQueue queue;
+  Job a = make_job(1, 10, 1, 10), b = make_job(2, 30, 1, 10);
+  queue.submit(&a);
+  queue.submit(&b);
+  EXPECT_DOUBLE_EQ(queue.max_queued_time(50.0), 40.0);
+}
+
+TEST(WaitQueue, MaxQueuedTimeEmptyIsZero) {
+  WaitQueue queue;
+  EXPECT_DOUBLE_EQ(queue.max_queued_time(100.0), 0.0);
+}
+
+TEST(WaitQueue, ClearEmptiesEverything) {
+  WaitQueue queue;
+  Job a = make_job(1, 0, 1, 10);
+  Job held = make_job(2, 0, 1, 10);
+  held.dependencies.push_back(7);
+  queue.submit(&a);
+  queue.submit(&held);
+  queue.clear();
+  EXPECT_TRUE(queue.empty());
+}
+
+}  // namespace
+}  // namespace dras::sim

@@ -1,0 +1,84 @@
+#include "train/convergence.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dras::train {
+namespace {
+
+TEST(Convergence, FlatSequenceConvergesAfterTwoWindows) {
+  ConvergenceMonitor monitor({.window = 3, .tolerance = 0.01});
+  for (int i = 0; i < 5; ++i) EXPECT_FALSE(monitor.record(10.0));
+  EXPECT_TRUE(monitor.record(10.0));  // episode 6 = two full windows
+  EXPECT_TRUE(monitor.converged());
+  ASSERT_TRUE(monitor.converged_at().has_value());
+  EXPECT_EQ(*monitor.converged_at(), 5u);
+}
+
+TEST(Convergence, RisingSequenceDoesNotConverge) {
+  ConvergenceMonitor monitor({.window = 3, .tolerance = 0.01});
+  for (int i = 0; i < 12; ++i) monitor.record(i * 10.0);
+  EXPECT_FALSE(monitor.converged());
+}
+
+TEST(Convergence, PlateauAfterRiseConverges) {
+  ConvergenceMonitor monitor({.window = 4, .tolerance = 0.02});
+  for (int i = 0; i < 10; ++i) monitor.record(i * 5.0);
+  EXPECT_FALSE(monitor.converged());
+  for (int i = 0; i < 8; ++i) monitor.record(50.0);
+  EXPECT_TRUE(monitor.converged());
+}
+
+TEST(Convergence, NoisyPlateauWithinToleranceConverges) {
+  ConvergenceMonitor monitor({.window = 5, .tolerance = 0.05});
+  for (int i = 0; i < 20; ++i)
+    monitor.record(100.0 + (i % 2 == 0 ? 1.0 : -1.0));
+  EXPECT_TRUE(monitor.converged());
+}
+
+TEST(Convergence, StaysConvergedOnceDeclared) {
+  ConvergenceMonitor monitor({.window = 2, .tolerance = 0.01});
+  for (int i = 0; i < 4; ++i) monitor.record(1.0);
+  ASSERT_TRUE(monitor.converged());
+  // Even a spike afterwards does not un-converge (snapshot already picked).
+  EXPECT_TRUE(monitor.record(1000.0));
+}
+
+TEST(Convergence, NegativeRewardsSupported) {
+  // Capacity rewards (Eq. 2) are negative; relative comparison must work.
+  ConvergenceMonitor monitor({.window = 3, .tolerance = 0.01});
+  for (int i = 0; i < 8; ++i) monitor.record(-50.0);
+  EXPECT_TRUE(monitor.converged());
+}
+
+TEST(Convergence, RecentAverage) {
+  ConvergenceMonitor monitor({.window = 2, .tolerance = 0.01});
+  EXPECT_DOUBLE_EQ(monitor.recent_average(), 0.0);
+  monitor.record(10.0);
+  EXPECT_DOUBLE_EQ(monitor.recent_average(), 10.0);
+  monitor.record(20.0);
+  monitor.record(30.0);
+  EXPECT_DOUBLE_EQ(monitor.recent_average(), 25.0);
+}
+
+TEST(Convergence, ResetClearsState) {
+  ConvergenceMonitor monitor({.window = 2, .tolerance = 0.01});
+  for (int i = 0; i < 4; ++i) monitor.record(5.0);
+  ASSERT_TRUE(monitor.converged());
+  monitor.reset();
+  EXPECT_FALSE(monitor.converged());
+  EXPECT_EQ(monitor.episodes(), 0u);
+  EXPECT_FALSE(monitor.converged_at().has_value());
+}
+
+TEST(Convergence, ZeroWindowCoercedToOne) {
+  ConvergenceMonitor monitor({.window = 0, .tolerance = 0.01});
+  monitor.record(1.0);
+  EXPECT_FALSE(monitor.converged());
+  monitor.record(1.0);
+  EXPECT_TRUE(monitor.converged());
+}
+
+}  // namespace
+}  // namespace dras::train

@@ -1,0 +1,109 @@
+#include "train/curriculum.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/synthetic.h"
+
+namespace dras::train {
+namespace {
+
+sim::Trace real_trace() {
+  // Three weeks of submissions so weekly slicing yields several sets.
+  workload::GenerateOptions opt;
+  opt.num_jobs = 600;
+  opt.seed = workload::kRealTraceSeed;
+  return workload::generate_trace(workload::theta_mini_workload(), opt);
+}
+
+CurriculumOptions small_options() {
+  CurriculumOptions opt;
+  opt.sampled_sets = 2;
+  opt.real_sets = 2;
+  opt.synthetic_sets = 3;
+  opt.jobs_per_set = 50;
+  opt.seed = 9;
+  return opt;
+}
+
+TEST(Curriculum, PhaseToString) {
+  EXPECT_EQ(to_string(JobsetPhase::Sampled), "sampled");
+  EXPECT_EQ(to_string(JobsetPhase::Real), "real");
+  EXPECT_EQ(to_string(JobsetPhase::Synthetic), "synthetic");
+}
+
+TEST(Curriculum, DefaultOrderIsSampledRealSynthetic) {
+  const auto sets = build_curriculum(workload::theta_mini_workload(),
+                                     real_trace(), small_options());
+  ASSERT_EQ(sets.size(), 7u);
+  EXPECT_EQ(sets[0].phase, JobsetPhase::Sampled);
+  EXPECT_EQ(sets[1].phase, JobsetPhase::Sampled);
+  EXPECT_EQ(sets[2].phase, JobsetPhase::Real);
+  EXPECT_EQ(sets[3].phase, JobsetPhase::Real);
+  EXPECT_EQ(sets[4].phase, JobsetPhase::Synthetic);
+  EXPECT_EQ(sets[6].phase, JobsetPhase::Synthetic);
+}
+
+TEST(Curriculum, AlternateOrderingRespected) {
+  CurriculumOptions opt = small_options();
+  opt.order = {JobsetPhase::Synthetic, JobsetPhase::Sampled,
+               JobsetPhase::Real};
+  const auto sets = build_curriculum(workload::theta_mini_workload(),
+                                     real_trace(), opt);
+  EXPECT_EQ(sets.front().phase, JobsetPhase::Synthetic);
+  EXPECT_EQ(sets.back().phase, JobsetPhase::Real);
+}
+
+TEST(Curriculum, SampledAndSyntheticSetsHaveRequestedSize) {
+  const auto sets = build_curriculum(workload::theta_mini_workload(),
+                                     real_trace(), small_options());
+  for (const auto& set : sets) {
+    if (set.phase != JobsetPhase::Real) {
+      EXPECT_EQ(set.trace.size(), 50u) << set.name;
+    }
+    EXPECT_FALSE(set.trace.empty()) << set.name;
+  }
+}
+
+TEST(Curriculum, RealSetsAreRebasedWeeklySlices) {
+  const auto sets = build_curriculum(workload::theta_mini_workload(),
+                                     real_trace(), small_options());
+  for (const auto& set : sets) {
+    if (set.phase != JobsetPhase::Real) continue;
+    double min_submit = 1e18;
+    for (const auto& job : set.trace)
+      min_submit = std::min(min_submit, job.submit_time);
+    EXPECT_DOUBLE_EQ(min_submit, 0.0);
+  }
+}
+
+TEST(Curriculum, SyntheticSetsDifferAcrossIndices) {
+  const auto sets = build_curriculum(workload::theta_mini_workload(),
+                                     real_trace(), small_options());
+  const auto* first = &sets[4].trace;
+  const auto* second = &sets[5].trace;
+  bool differ = first->size() != second->size();
+  for (std::size_t i = 0; !differ && i < first->size(); ++i)
+    differ = (*first)[i].submit_time != (*second)[i].submit_time;
+  EXPECT_TRUE(differ);
+}
+
+TEST(Curriculum, DeterministicForSeed) {
+  const auto a = build_curriculum(workload::theta_mini_workload(),
+                                  real_trace(), small_options());
+  const auto b = build_curriculum(workload::theta_mini_workload(),
+                                  real_trace(), small_options());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(a[i].trace.size(), b[i].trace.size());
+  }
+}
+
+TEST(Curriculum, EmptyRealTraceThrows) {
+  EXPECT_THROW((void)build_curriculum(workload::theta_mini_workload(), {},
+                                      small_options()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dras::train

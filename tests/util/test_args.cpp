@@ -1,0 +1,96 @@
+#include "util/args.h"
+
+#include <gtest/gtest.h>
+
+namespace dras::util {
+namespace {
+
+Args parse(std::vector<const char*> argv,
+           const std::vector<std::string>& flags = {}) {
+  argv.insert(argv.begin(), "prog");
+  return Args(static_cast<int>(argv.size()), argv.data(), flags);
+}
+
+TEST(Args, EmptyCommandLine) {
+  const auto args = parse({});
+  EXPECT_EQ(args.program(), "prog");
+  EXPECT_TRUE(args.positional().empty());
+  EXPECT_FALSE(args.has("anything"));
+}
+
+TEST(Args, KeyValuePairs) {
+  const auto args = parse({"--policy", "fcfs", "--jobs", "500"});
+  EXPECT_EQ(args.get("policy", "x"), "fcfs");
+  EXPECT_EQ(args.get_int("jobs", 0), 500);
+}
+
+TEST(Args, EqualsSyntax) {
+  const auto args = parse({"--policy=dras-pg", "--load=1.5"});
+  EXPECT_EQ(args.get("policy", ""), "dras-pg");
+  EXPECT_DOUBLE_EQ(args.get_double("load", 0.0), 1.5);
+}
+
+TEST(Args, DefaultsWhenAbsent) {
+  const auto args = parse({});
+  EXPECT_EQ(args.get("policy", "fcfs"), "fcfs");
+  EXPECT_EQ(args.get_int("jobs", 42), 42);
+  EXPECT_DOUBLE_EQ(args.get_double("load", 2.5), 2.5);
+}
+
+TEST(Args, Flags) {
+  const auto args = parse({"--csv", "--jobs", "10"}, {"csv", "verbose"});
+  EXPECT_TRUE(args.flag("csv"));
+  EXPECT_FALSE(args.flag("verbose"));
+  EXPECT_EQ(args.get_int("jobs", 0), 10);
+}
+
+TEST(Args, FlagWithValueThrows) {
+  EXPECT_THROW(parse({"--csv=yes"}, {"csv"}), std::invalid_argument);
+}
+
+TEST(Args, MissingValueThrows) {
+  EXPECT_THROW(parse({"--policy"}), std::invalid_argument);
+}
+
+TEST(Args, BadIntegerThrows) {
+  const auto args = parse({"--jobs", "12abc"});
+  EXPECT_THROW((void)args.get_int("jobs", 0), std::invalid_argument);
+}
+
+TEST(Args, BadDoubleThrows) {
+  const auto args = parse({"--load", "fast"});
+  EXPECT_THROW((void)args.get_double("load", 0.0), std::invalid_argument);
+}
+
+TEST(Args, NegativeNumbersParse) {
+  const auto args = parse({"--offset", "-12", "--scale", "-0.5"});
+  EXPECT_EQ(args.get_int("offset", 0), -12);
+  EXPECT_DOUBLE_EQ(args.get_double("scale", 0.0), -0.5);
+}
+
+TEST(Args, PositionalArguments) {
+  const auto args = parse({"input.swf", "--jobs", "5", "more.txt"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "input.swf");
+  EXPECT_EQ(args.positional()[1], "more.txt");
+}
+
+TEST(Args, UnusedReportsUntouchedOptions) {
+  const auto args = parse({"--jobs", "5", "--typo", "x"});
+  EXPECT_EQ(args.get_int("jobs", 0), 5);
+  const auto unread = args.unused();
+  ASSERT_EQ(unread.size(), 1u);
+  EXPECT_EQ(unread[0], "typo");
+}
+
+TEST(Args, LastValueWins) {
+  const auto args = parse({"--jobs", "1", "--jobs", "2"});
+  EXPECT_EQ(args.get_int("jobs", 0), 2);
+}
+
+TEST(Args, EmptyOptionNameThrows) {
+  EXPECT_THROW(parse({"--", "x"}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dras::util

@@ -1,0 +1,66 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+namespace dras::util {
+namespace {
+
+TEST(Csv, EscapePlainValueUnchanged) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+}
+
+TEST(Csv, EscapeCommaQuotes) {
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+}
+
+TEST(Csv, EscapeEmbeddedQuote) {
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, EscapeNewline) {
+  EXPECT_EQ(CsvWriter::escape("two\nlines"), "\"two\nlines\"");
+}
+
+TEST(Csv, HeaderAndRows) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.header({"method", "wait", "jobs"});
+  csv.row().field("FCFS").field(12.5).field(3);
+  csv.row().field("DRAS-PG").field(7.25).field(4);
+  csv.end_row();
+  EXPECT_EQ(out.str(),
+            "method,wait,jobs\n"
+            "FCFS,12.5,3\n"
+            "DRAS-PG,7.25,4\n");
+}
+
+TEST(Csv, NewRowFlushesPrevious) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row().field(1);
+  csv.row().field(2);
+  csv.end_row();
+  EXPECT_EQ(out.str(), "1\n2\n");
+}
+
+TEST(Csv, NanRendersAsNan) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row().field(std::nan(""));
+  csv.end_row();
+  EXPECT_EQ(out.str(), "nan\n");
+}
+
+TEST(Csv, SizeTAndIntegerFields) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row().field(std::size_t{18446744073709551615ULL}).field(-12);
+  csv.end_row();
+  EXPECT_EQ(out.str(), "18446744073709551615,-12\n");
+}
+
+}  // namespace
+}  // namespace dras::util

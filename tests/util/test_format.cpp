@@ -1,0 +1,63 @@
+#include "util/format.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace dras::util {
+namespace {
+
+TEST(Format, PlainTextPassesThrough) {
+  EXPECT_EQ(format("hello world"), "hello world");
+}
+
+TEST(Format, SubstitutesInOrder) {
+  EXPECT_EQ(format("{} + {} = {}", 1, 2, 3), "1 + 2 = 3");
+}
+
+TEST(Format, Strings) {
+  EXPECT_EQ(format("job {} on {}", "42", std::string("theta")),
+            "job 42 on theta");
+}
+
+TEST(Format, FixedPrecision) {
+  EXPECT_EQ(format("{:.2f}", 3.14159), "3.14");
+  EXPECT_EQ(format("{:.0f}", 2.71), "3");
+  EXPECT_EQ(format("{:.3f}", 1.0), "1.000");
+}
+
+TEST(Format, NegativeFixedPrecision) {
+  EXPECT_EQ(format("{:.1f}", -0.25), "-0.2");
+}
+
+TEST(Format, EscapedBraces) {
+  EXPECT_EQ(format("{{}}"), "{}");
+  EXPECT_EQ(format("{{{}}}", 5), "{5}");
+}
+
+TEST(Format, MixedTypes) {
+  EXPECT_EQ(format("{} {} {:.1f}", -7, 3u, 0.55), "-7 3 0.6");
+}
+
+TEST(Format, ThrowsOnTooFewArguments) {
+  EXPECT_THROW((void)format("{} {}", 1), std::invalid_argument);
+}
+
+TEST(Format, ThrowsOnUnterminatedField) {
+  EXPECT_THROW((void)format("{oops", 1), std::invalid_argument);
+}
+
+TEST(Format, ThrowsOnStrayClosingBrace) {
+  EXPECT_THROW((void)format("}"), std::invalid_argument);
+}
+
+TEST(Format, ThrowsOnPositionalFields) {
+  EXPECT_THROW((void)format("{0}", 1), std::invalid_argument);
+}
+
+TEST(Format, ExtraArgumentsAreIgnored) {
+  EXPECT_EQ(format("{}", 1, 2, 3), "1");
+}
+
+}  // namespace
+}  // namespace dras::util

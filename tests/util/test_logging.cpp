@@ -1,0 +1,41 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace dras::util {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_log_level(LogLevel::Warn); }
+};
+
+TEST_F(LoggingTest, LevelRoundTrips) {
+  set_log_level(LogLevel::Debug);
+  EXPECT_EQ(log_level(), LogLevel::Debug);
+  set_log_level(LogLevel::Off);
+  EXPECT_EQ(log_level(), LogLevel::Off);
+}
+
+TEST_F(LoggingTest, DefaultLevelSuppressesInfo) {
+  set_log_level(LogLevel::Warn);
+  EXPECT_GT(log_level(), LogLevel::Info);
+}
+
+TEST_F(LoggingTest, EmittingAtEachLevelDoesNotThrow) {
+  set_log_level(LogLevel::Off);
+  EXPECT_NO_THROW(log_debug("d {}", 1));
+  EXPECT_NO_THROW(log_info("i {}", 2));
+  EXPECT_NO_THROW(log_warn("w {}", 3));
+  EXPECT_NO_THROW(log_error("e {}", 4));
+}
+
+TEST_F(LoggingTest, SuppressedMessageSkipsFormatting) {
+  set_log_level(LogLevel::Off);
+  // A malformed format string must not throw when the message is filtered:
+  // formatting is lazy.
+  EXPECT_NO_THROW(log_debug("{} {}", 1));
+}
+
+}  // namespace
+}  // namespace dras::util

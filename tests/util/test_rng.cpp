@@ -1,0 +1,180 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace dras::util {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == b.next()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-5.0, 9.0);
+    EXPECT_GE(v, -5.0);
+    EXPECT_LT(v, 9.0);
+  }
+}
+
+TEST(Rng, UniformIndexCoversRangeUniformly) {
+  Rng rng(17);
+  std::vector<int> counts(10, 0);
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.uniform_index(10)];
+  for (const int c : counts) EXPECT_NEAR(c, kDraws / 10, kDraws / 100);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(29);
+  double sum = 0.0, sum_sq = 0.0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double v = rng.normal(2.0, 3.0);
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / kDraws;
+  const double var = sum_sq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.05);
+}
+
+TEST(Rng, ExponentialMeanIsInverseRate) {
+  Rng rng(31);
+  double sum = 0.0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.exponential(0.25);
+  EXPECT_NEAR(sum / kDraws, 4.0, 0.1);
+}
+
+TEST(Rng, ExponentialAlwaysPositive) {
+  Rng rng(37);
+  for (int i = 0; i < 10000; ++i) EXPECT_GT(rng.exponential(5.0), 0.0);
+}
+
+TEST(Rng, LogUniformWithinBounds) {
+  Rng rng(41);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.log_uniform(10.0, 1000.0);
+    EXPECT_GE(v, 10.0);
+    EXPECT_LE(v, 1000.0);
+  }
+}
+
+TEST(Rng, LogUniformMedianIsGeometricMean) {
+  Rng rng(43);
+  std::vector<double> draws;
+  constexpr int kDraws = 50001;
+  draws.reserve(kDraws);
+  for (int i = 0; i < kDraws; ++i)
+    draws.push_back(rng.log_uniform(1.0, 10000.0));
+  std::nth_element(draws.begin(), draws.begin() + kDraws / 2, draws.end());
+  EXPECT_NEAR(draws[kDraws / 2], 100.0, 10.0);  // sqrt(1 * 10000)
+}
+
+TEST(Rng, BernoulliFrequencyMatchesP) {
+  Rng rng(47);
+  int hits = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i)
+    if (rng.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(53);
+  const double weights[] = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  constexpr int kDraws = 40000;
+  for (int i = 0; i < kDraws; ++i) {
+    const auto pick = rng.weighted_index(weights, 3);
+    ASSERT_LT(pick, 3u);
+    ++counts[pick];
+  }
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[0], kDraws / 4, kDraws / 50);
+  EXPECT_NEAR(counts[2], 3 * kDraws / 4, kDraws / 50);
+}
+
+TEST(Rng, WeightedIndexAllZeroReturnsN) {
+  Rng rng(59);
+  const double weights[] = {0.0, 0.0};
+  EXPECT_EQ(rng.weighted_index(weights, 2), 2u);
+}
+
+TEST(DeriveSeed, StreamsAreIndependent) {
+  const auto a = derive_seed(100, "alpha");
+  const auto b = derive_seed(100, "beta");
+  const auto a2 = derive_seed(100, "alpha");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, a2);
+}
+
+TEST(DeriveSeed, MasterSeedMatters) {
+  EXPECT_NE(derive_seed(1, "x"), derive_seed(2, "x"));
+}
+
+TEST(Rng, SpawnProducesDistinctStream) {
+  Rng parent(61);
+  Rng child = parent.spawn("child");
+  Rng parent2(61);
+  // The child stream differs from a fresh parent stream.
+  int equal = 0;
+  for (int i = 0; i < 50; ++i)
+    if (child.next() == parent2.next()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace dras::util

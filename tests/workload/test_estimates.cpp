@@ -1,0 +1,122 @@
+#include "workload/estimates.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.h"
+#include "workload/models.h"
+#include "workload/synthetic.h"
+
+namespace dras::workload {
+namespace {
+
+using dras::testing::make_job;
+
+sim::Trace base_trace() {
+  return {make_job(1, 0, 4, 1000), make_job(2, 1, 8, 5000),
+          make_job(3, 2, 2, 100)};
+}
+
+TEST(Estimates, ModelNames) {
+  EXPECT_EQ(to_string(EstimateModel::Exact), "exact");
+  EXPECT_EQ(to_string(EstimateModel::Factor), "factor");
+  EXPECT_EQ(to_string(EstimateModel::Rounded), "rounded");
+  EXPECT_EQ(to_string(EstimateModel::MaxedOut), "maxed-out");
+}
+
+TEST(Estimates, ExactMatchesActual) {
+  EstimateOptions options;
+  options.model = EstimateModel::Exact;
+  const auto trace = apply_estimates(base_trace(), options);
+  for (const auto& job : trace)
+    EXPECT_DOUBLE_EQ(job.runtime_estimate, job.runtime_actual);
+  EXPECT_DOUBLE_EQ(mean_overestimate(trace), 1.0);
+}
+
+TEST(Estimates, FactorBoundsRespected) {
+  EstimateOptions options;
+  options.model = EstimateModel::Factor;
+  options.max_factor = 4.0;
+  options.seed = 7;
+  const auto trace = apply_estimates(base_trace(), options);
+  for (const auto& job : trace) {
+    EXPECT_GE(job.runtime_estimate, job.runtime_actual);
+    EXPECT_LE(job.runtime_estimate,
+              std::min(job.runtime_actual * 4.0, options.walltime_limit) +
+                  1e-9);
+  }
+  EXPECT_GT(mean_overestimate(trace), 1.0);
+}
+
+TEST(Estimates, FactorIsDeterministicPerSeed) {
+  EstimateOptions options;
+  options.model = EstimateModel::Factor;
+  options.seed = 3;
+  const auto a = apply_estimates(base_trace(), options);
+  const auto b = apply_estimates(base_trace(), options);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_DOUBLE_EQ(a[i].runtime_estimate, b[i].runtime_estimate);
+}
+
+TEST(Estimates, RoundedSnapsUpToGrid) {
+  EstimateOptions options;
+  options.model = EstimateModel::Rounded;
+  const auto trace = apply_estimates(base_trace(), options);
+  // 1000 s -> 1800 (30 min); 5000 s -> 7200 (2 h); 100 s -> 900 (15 min).
+  EXPECT_DOUBLE_EQ(trace[0].runtime_estimate, 1800.0);
+  EXPECT_DOUBLE_EQ(trace[1].runtime_estimate, 7200.0);
+  EXPECT_DOUBLE_EQ(trace[2].runtime_estimate, 900.0);
+}
+
+TEST(Estimates, RoundedNeverBelowActualWithinGrid) {
+  EstimateOptions options;
+  options.model = EstimateModel::Rounded;
+  options.walltime_limit = 7.0 * 86400.0;
+  workload::GenerateOptions gen;
+  gen.num_jobs = 500;
+  gen.seed = 5;
+  const auto source = generate_trace(theta_mini_workload(), gen);
+  const auto trace = apply_estimates(source, options);
+  for (const auto& job : trace)
+    EXPECT_GE(job.runtime_estimate + 1e-9, job.runtime_actual);
+}
+
+TEST(Estimates, MaxedOutUsesWalltimeLimit) {
+  EstimateOptions options;
+  options.model = EstimateModel::MaxedOut;
+  options.walltime_limit = 43200.0;
+  const auto trace = apply_estimates(base_trace(), options);
+  for (const auto& job : trace)
+    EXPECT_DOUBLE_EQ(job.runtime_estimate, 43200.0);
+}
+
+TEST(Estimates, WalltimeCapTruncates) {
+  EstimateOptions options;
+  options.model = EstimateModel::Factor;
+  options.max_factor = 100.0;
+  options.walltime_limit = 2000.0;
+  const auto trace = apply_estimates(base_trace(), options);
+  for (const auto& job : trace)
+    EXPECT_LE(job.runtime_estimate, 2000.0);
+}
+
+TEST(Estimates, ActualRuntimesUntouched) {
+  EstimateOptions options;
+  options.model = EstimateModel::MaxedOut;
+  const auto original = base_trace();
+  const auto trace = apply_estimates(original, options);
+  for (std::size_t i = 0; i < trace.size(); ++i)
+    EXPECT_DOUBLE_EQ(trace[i].runtime_actual, original[i].runtime_actual);
+}
+
+TEST(Estimates, RoundGridIsSortedAscending) {
+  const auto grid = round_walltimes();
+  for (std::size_t i = 1; i < grid.size(); ++i)
+    EXPECT_LT(grid[i - 1], grid[i]);
+}
+
+TEST(Estimates, MeanOverestimateEmptyTrace) {
+  EXPECT_DOUBLE_EQ(mean_overestimate({}), 0.0);
+}
+
+}  // namespace
+}  // namespace dras::workload

@@ -1,0 +1,51 @@
+#include <gtest/gtest.h>
+
+#include "../test_helpers.h"
+#include "workload/trace.h"
+
+namespace dras::workload {
+namespace {
+
+using dras::testing::make_job;
+
+TEST(FilterTrace, KeepsMatchingJobs) {
+  const sim::Trace trace = {make_job(1, 0, 4, 10), make_job(2, 1, 64, 10),
+                            make_job(3, 2, 128, 10)};
+  const auto filtered = filter_trace(
+      trace, [](const sim::Job& job) { return job.size >= 64; });
+  ASSERT_EQ(filtered.size(), 2u);
+  EXPECT_EQ(filtered[0].id, 2);
+  EXPECT_EQ(filtered[1].id, 3);
+}
+
+TEST(FilterTrace, DropsDependenciesOnRemovedJobs) {
+  sim::Job parent = make_job(1, 0, 4, 10);     // will be filtered out
+  sim::Job keeper = make_job(2, 1, 64, 10);
+  sim::Job child = make_job(3, 2, 64, 10);
+  child.dependencies = {1, 2};
+  const auto filtered = filter_trace(
+      {parent, keeper, child},
+      [](const sim::Job& job) { return job.size >= 64; });
+  ASSERT_EQ(filtered.size(), 2u);
+  ASSERT_EQ(filtered[1].dependencies.size(), 1u);
+  EXPECT_EQ(filtered[1].dependencies[0], 2);
+}
+
+TEST(FilterMinSize, MimicsThetaDebugJobFiltering) {
+  // §IV-C: debug jobs are filtered; Theta's smallest user job is 128.
+  sim::Trace trace;
+  for (int i = 0; i < 10; ++i) trace.push_back(make_job(i, i, 8, 10));
+  for (int i = 10; i < 16; ++i) trace.push_back(make_job(i, i, 128, 10));
+  const auto filtered = filter_min_size(trace, 128);
+  EXPECT_EQ(filtered.size(), 6u);
+  for (const auto& job : filtered) EXPECT_GE(job.size, 128);
+}
+
+TEST(FilterTrace, EmptyResultAndEmptyInput) {
+  EXPECT_TRUE(filter_min_size({}, 1).empty());
+  const sim::Trace trace = {make_job(1, 0, 4, 10)};
+  EXPECT_TRUE(filter_min_size(trace, 100).empty());
+}
+
+}  // namespace
+}  // namespace dras::workload

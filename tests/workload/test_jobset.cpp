@@ -1,0 +1,94 @@
+#include "workload/jobset.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.h"
+
+namespace dras::workload {
+namespace {
+
+using dras::testing::make_job;
+
+TEST(Rebase, ShiftsFirstSubmitToZero) {
+  sim::Trace trace = {make_job(1, 100, 1, 10), make_job(2, 250, 1, 10)};
+  const auto rebased = rebase(trace);
+  EXPECT_DOUBLE_EQ(rebased[0].submit_time, 0.0);
+  EXPECT_DOUBLE_EQ(rebased[1].submit_time, 150.0);
+}
+
+TEST(Rebase, EmptyTraceIsFine) {
+  EXPECT_TRUE(rebase({}).empty());
+}
+
+TEST(SplitByDuration, SlicesBySubmitWindow) {
+  sim::Trace trace;
+  for (int i = 0; i < 10; ++i)
+    trace.push_back(make_job(i, i * 100.0, 1, 10));
+  const auto slices = split_by_duration(trace, 300.0);
+  ASSERT_EQ(slices.size(), 4u);  // 0-299, 300-599, 600-899, 900+
+  EXPECT_EQ(slices[0].size(), 3u);
+  EXPECT_EQ(slices[3].size(), 1u);
+  // Each slice is rebased.
+  for (const auto& slice : slices)
+    EXPECT_DOUBLE_EQ(slice.front().submit_time, 0.0);
+}
+
+TEST(SplitByDuration, DropsCrossSliceDependencies) {
+  sim::Trace trace;
+  trace.push_back(make_job(1, 0, 1, 10));
+  sim::Job child = make_job(2, 500, 1, 10);
+  child.dependencies.push_back(1);  // parent lands in an earlier slice
+  sim::Job sibling = make_job(3, 510, 1, 10);
+  sim::Job child2 = make_job(4, 520, 1, 10);
+  child2.dependencies.push_back(3);  // same-slice dependency survives
+  trace.push_back(child);
+  trace.push_back(sibling);
+  trace.push_back(child2);
+  const auto slices = split_by_duration(trace, 300.0);
+  ASSERT_EQ(slices.size(), 2u);
+  EXPECT_TRUE(slices[1][0].dependencies.empty());
+  ASSERT_EQ(slices[1][2].dependencies.size(), 1u);
+  EXPECT_EQ(slices[1][2].dependencies[0], 3);
+}
+
+TEST(SplitByDuration, RejectsNonPositiveDuration) {
+  EXPECT_THROW((void)split_by_duration({make_job(1, 0, 1, 10)}, 0.0),
+               std::invalid_argument);
+}
+
+TEST(SplitByDuration, SkipsEmptyWindows) {
+  sim::Trace trace = {make_job(1, 0, 1, 10), make_job(2, 1000, 1, 10)};
+  const auto slices = split_by_duration(trace, 100.0);
+  EXPECT_EQ(slices.size(), 2u);  // the empty middle windows are dropped
+}
+
+TEST(SplitTrace, FractionsPartitionJobs) {
+  sim::Trace trace;
+  for (int i = 0; i < 100; ++i)
+    trace.push_back(make_job(i, i * 10.0, 1, 10));
+  const auto split = split_trace(trace, 0.2, 0.1);
+  EXPECT_EQ(split.train.size(), 20u);
+  EXPECT_EQ(split.validation.size(), 10u);
+  EXPECT_EQ(split.test.size(), 70u);
+  // Chronological: training jobs precede validation precede test.
+  EXPECT_DOUBLE_EQ(split.train.front().submit_time, 0.0);
+  EXPECT_DOUBLE_EQ(split.validation.front().submit_time, 0.0);  // rebased
+}
+
+TEST(SplitTrace, RejectsBadFractions) {
+  const sim::Trace trace = {make_job(1, 0, 1, 10)};
+  EXPECT_THROW((void)split_trace(trace, 0.0, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)split_trace(trace, 0.7, 0.5), std::invalid_argument);
+}
+
+TEST(SplitTrace, PartsAreDisjointAndComplete) {
+  sim::Trace trace;
+  for (int i = 0; i < 37; ++i)
+    trace.push_back(make_job(i, i * 5.0, 1, 10));
+  const auto split = split_trace(trace, 0.3, 0.3);
+  EXPECT_EQ(split.train.size() + split.validation.size() + split.test.size(),
+            trace.size());
+}
+
+}  // namespace
+}  // namespace dras::workload

@@ -1,0 +1,110 @@
+#include "workload/models.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dras::workload {
+namespace {
+
+TEST(Models, AllPresetsValidate) {
+  EXPECT_TRUE(theta_workload().validate().empty());
+  EXPECT_TRUE(cori_workload().validate().empty());
+  EXPECT_TRUE(theta_mini_workload().validate().empty());
+  EXPECT_TRUE(cori_mini_workload().validate().empty());
+}
+
+TEST(Models, SystemSizesMatchTableII) {
+  EXPECT_EQ(theta_workload().system_nodes, 4360);   // 4392 - 32 debug nodes
+  EXPECT_EQ(cori_workload().system_nodes, 12076);
+}
+
+TEST(Models, WalltimeCapsMatchTableII) {
+  EXPECT_DOUBLE_EQ(theta_workload().max_runtime, 86400.0);       // 1 day
+  EXPECT_DOUBLE_EQ(cori_workload().max_runtime, 7.0 * 86400.0);  // 7 days
+}
+
+TEST(Models, ThetaSmallestJobIs128Nodes) {
+  int smallest = 1 << 30;
+  for (const auto& cat : theta_workload().size_mix)
+    smallest = std::min(smallest, cat.size);
+  EXPECT_EQ(smallest, 128);  // Theta's minimum job size (§IV-C)
+}
+
+TEST(Models, CoriIsDominatedBySmallJobCounts) {
+  double small_prob = 0.0;
+  for (const auto& cat : cori_workload().size_mix)
+    if (cat.size <= 4) small_prob += cat.probability;
+  EXPECT_GT(small_prob, 0.5);  // Fig. 2 right: mostly 1-few node jobs
+}
+
+TEST(Models, ThetaCoreHoursSkewLarge) {
+  // Fig. 2 left: core-hours concentrate in capability-size jobs even
+  // though counts concentrate in small jobs.
+  const auto model = theta_workload();
+  double hours_small = 0.0, hours_large = 0.0;
+  for (const auto& cat : model.size_mix) {
+    const double hours = cat.size * cat.probability;  // ∝ expected node-h
+    if (cat.size <= 256) {
+      hours_small += hours;
+    } else {
+      hours_large += hours;
+    }
+  }
+  EXPECT_GT(hours_large, hours_small);
+}
+
+TEST(Models, MeanSizeMatchesMix) {
+  WorkloadModel m;
+  m.system_nodes = 10;
+  m.size_mix = {{2, 0.5}, {6, 0.5}};
+  EXPECT_DOUBLE_EQ(m.mean_size(), 4.0);
+}
+
+TEST(Models, MeanRuntimeOfLogUniform) {
+  WorkloadModel m;
+  m.min_runtime = 1.0;
+  m.max_runtime = std::exp(1.0);  // (e - 1)/ln(e) = e - 1
+  EXPECT_NEAR(m.mean_runtime(), std::exp(1.0) - 1.0, 1e-12);
+}
+
+TEST(Models, WithLoadHitsTarget) {
+  const auto model = theta_mini_workload().with_load(0.7);
+  EXPECT_NEAR(model.offered_load(), 0.7, 1e-9);
+}
+
+TEST(Models, MiniModelsTargetHighLoad) {
+  EXPECT_NEAR(theta_mini_workload().offered_load(), 0.85, 1e-9);
+  EXPECT_NEAR(cori_mini_workload().offered_load(), 0.85, 1e-9);
+}
+
+TEST(Models, ValidationCatchesBadMix) {
+  WorkloadModel m = theta_mini_workload();
+  m.size_mix[0].probability += 0.5;  // no longer sums to 1
+  EXPECT_FALSE(m.validate().empty());
+
+  m = theta_mini_workload();
+  m.size_mix[0].size = m.system_nodes + 1;  // larger than the machine
+  EXPECT_FALSE(m.validate().empty());
+
+  m = theta_mini_workload();
+  m.min_runtime = -1;
+  EXPECT_FALSE(m.validate().empty());
+
+  m = theta_mini_workload();
+  m.max_overestimate_factor = 0.5;
+  EXPECT_FALSE(m.validate().empty());
+}
+
+TEST(Models, ModulationWeightsAverageToOne) {
+  for (const auto& model : {theta_workload(), cori_workload()}) {
+    double hourly = 0.0, daily = 0.0;
+    for (const double w : model.hourly_weights) hourly += w;
+    for (const double w : model.daily_weights) daily += w;
+    EXPECT_NEAR(hourly / 24.0, 1.0, 1e-9);
+    EXPECT_NEAR(daily / 7.0, 1.0, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace dras::workload

@@ -1,0 +1,97 @@
+#include "workload/swf.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "../test_helpers.h"
+
+namespace dras::workload {
+namespace {
+
+using dras::testing::make_job;
+
+TEST(Swf, RoundTripPreservesSchedulingFields) {
+  sim::Trace original = {make_job(1, 100, 64, 3600, 7200),
+                         make_job(2, 200, 128, 1800, 3600)};
+  std::stringstream buffer;
+  write_swf(buffer, original);
+  const auto loaded = read_swf(buffer);
+  ASSERT_EQ(loaded.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(loaded[i].id, original[i].id);
+    EXPECT_DOUBLE_EQ(loaded[i].submit_time, original[i].submit_time);
+    EXPECT_EQ(loaded[i].size, original[i].size);
+    EXPECT_DOUBLE_EQ(loaded[i].runtime_actual, original[i].runtime_actual);
+    EXPECT_DOUBLE_EQ(loaded[i].runtime_estimate,
+                     original[i].runtime_estimate);
+  }
+}
+
+TEST(Swf, SkipsCommentsAndBlankLines) {
+  std::stringstream in(
+      "; comment header\n"
+      "\n"
+      "1 0 -1 100 4 -1 -1 4 200 -1 1 -1 -1 -1 -1 -1 -1 -1\n");
+  const auto trace = read_swf(in);
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace[0].id, 1);
+  EXPECT_EQ(trace[0].size, 4);
+}
+
+TEST(Swf, PrefersRequestedProcsOverAllocated) {
+  std::stringstream in(
+      "1 0 -1 100 4 -1 -1 8 200 -1 1 -1 -1 -1 -1 -1 -1 -1\n");
+  const auto trace = read_swf(in);
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace[0].size, 8);
+}
+
+TEST(Swf, FallsBackToAllocatedProcs) {
+  std::stringstream in(
+      "1 0 -1 100 4 -1 -1 -1 200 -1 1 -1 -1 -1 -1 -1 -1 -1\n");
+  const auto trace = read_swf(in);
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace[0].size, 4);
+}
+
+TEST(Swf, MissingRequestedTimeFallsBackToRuntime) {
+  std::stringstream in(
+      "1 0 -1 100 4 -1 -1 4 -1 -1 1 -1 -1 -1 -1 -1 -1 -1\n");
+  const auto trace = read_swf(in);
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_DOUBLE_EQ(trace[0].runtime_estimate, 100.0);
+}
+
+TEST(Swf, SkipsCancelledEntries) {
+  std::stringstream in(
+      "1 0 -1 -1 4 -1 -1 4 200 -1 5 -1 -1 -1 -1 -1 -1 -1\n"   // no runtime
+      "2 0 -1 100 -1 -1 -1 -1 200 -1 5 -1 -1 -1 -1 -1 -1 -1\n"  // no size
+      "3 0 -1 100 4 -1 -1 4 200 -1 1 -1 -1 -1 -1 -1 -1 -1\n");
+  const auto trace = read_swf(in);
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace[0].id, 3);
+}
+
+TEST(Swf, SkipsMalformedShortLines) {
+  std::stringstream in("1 0 -1\nnot numbers at all\n");
+  EXPECT_TRUE(read_swf(in).empty());
+}
+
+TEST(Swf, MissingFileThrows) {
+  EXPECT_THROW((void)read_swf_file("/nonexistent/trace.swf"),
+               std::runtime_error);
+}
+
+TEST(Swf, FileRoundTrip) {
+  const auto path = std::filesystem::temp_directory_path() / "dras_test.swf";
+  const sim::Trace trace = {make_job(7, 50, 16, 600, 1200)};
+  write_swf_file(path, trace);
+  const auto loaded = read_swf_file(path);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0].id, 7);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace dras::workload

@@ -1,0 +1,171 @@
+#include "workload/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "sim/job.h"
+
+namespace dras::workload {
+namespace {
+
+GenerateOptions options(std::size_t jobs, std::uint64_t seed) {
+  GenerateOptions opt;
+  opt.num_jobs = jobs;
+  opt.seed = seed;
+  return opt;
+}
+
+TEST(Synthetic, ProducesRequestedJobCount) {
+  const auto trace =
+      generate_trace(theta_mini_workload(), options(500, 1));
+  EXPECT_EQ(trace.size(), 500u);
+}
+
+TEST(Synthetic, DeterministicForSeed) {
+  const auto a = generate_trace(theta_mini_workload(), options(200, 7));
+  const auto b = generate_trace(theta_mini_workload(), options(200, 7));
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].submit_time, b[i].submit_time);
+    EXPECT_EQ(a[i].size, b[i].size);
+    EXPECT_EQ(a[i].runtime_actual, b[i].runtime_actual);
+  }
+}
+
+TEST(Synthetic, DifferentSeedsDiffer) {
+  const auto a = generate_trace(theta_mini_workload(), options(200, 1));
+  const auto b = generate_trace(theta_mini_workload(), options(200, 2));
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    any_diff |= (a[i].submit_time != b[i].submit_time);
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Synthetic, JobsAreValidAndOrdered) {
+  const auto model = theta_mini_workload();
+  const auto trace = generate_trace(model, options(800, 3));
+  std::set<int> allowed;
+  for (const auto& cat : model.size_mix) allowed.insert(cat.size);
+  double prev = -1.0;
+  std::set<sim::JobId> ids;
+  for (const auto& job : trace) {
+    EXPECT_TRUE(sim::validate_job(job).empty());
+    EXPECT_TRUE(allowed.contains(job.size));
+    EXPECT_GE(job.runtime_actual, model.min_runtime);
+    EXPECT_LE(job.runtime_actual, model.max_runtime);
+    EXPECT_GE(job.runtime_estimate, 0.999 * job.runtime_actual);
+    EXPECT_LE(job.runtime_estimate, model.max_runtime * 1.0001);
+    EXPECT_GE(job.submit_time, prev);
+    prev = job.submit_time;
+    EXPECT_TRUE(ids.insert(job.id).second);  // unique ids
+  }
+}
+
+TEST(Synthetic, FirstIdOffsetsIds) {
+  GenerateOptions opt = options(10, 4);
+  opt.first_id = 1000;
+  const auto trace = generate_trace(theta_mini_workload(), opt);
+  for (const auto& job : trace) EXPECT_GE(job.id, 1000);
+}
+
+TEST(Synthetic, LoadScaleCompressesArrivals) {
+  GenerateOptions base = options(2000, 5);
+  GenerateOptions heavy = base;
+  heavy.load_scale = 4.0;
+  const auto slow = generate_trace(theta_mini_workload(), base);
+  const auto fast = generate_trace(theta_mini_workload(), heavy);
+  const double span_slow = slow.back().submit_time - slow.front().submit_time;
+  const double span_fast = fast.back().submit_time - fast.front().submit_time;
+  EXPECT_NEAR(span_slow / span_fast, 4.0, 1.0);
+}
+
+TEST(Synthetic, MeanInterarrivalTracksModel) {
+  const auto model = theta_mini_workload();
+  GenerateOptions opt = options(5000, 6);
+  opt.modulated_arrivals = false;  // plain Poisson
+  const auto trace = generate_trace(model, opt);
+  const double span = trace.back().submit_time - trace.front().submit_time;
+  const double mean_gap = span / static_cast<double>(trace.size() - 1);
+  EXPECT_NEAR(mean_gap, model.mean_interarrival,
+              model.mean_interarrival * 0.1);
+}
+
+TEST(Synthetic, SizeMixFrequenciesRoughlyMatch) {
+  const auto model = theta_mini_workload();
+  const auto trace = generate_trace(model, options(20000, 8));
+  std::map<int, int> counts;
+  for (const auto& job : trace) ++counts[job.size];
+  for (const auto& cat : model.size_mix) {
+    const double freq =
+        static_cast<double>(counts[cat.size]) / trace.size();
+    EXPECT_NEAR(freq, cat.probability, 0.02) << "size " << cat.size;
+  }
+}
+
+TEST(Synthetic, WeeklyLoadProfileCreatesSurges) {
+  // Weeks with multiplier 3 should contain roughly 3x the jobs of weeks
+  // with multiplier 1.
+  GenerateOptions opt = options(6000, 9);
+  opt.modulated_arrivals = false;
+  opt.weekly_load_profile = {1.0, 3.0};
+  const auto trace = generate_trace(theta_mini_workload(), opt);
+  constexpr double kWeek = 7.0 * 86400.0;
+  double in_even = 0, in_odd = 0;
+  for (const auto& job : trace) {
+    const auto week = static_cast<std::size_t>(job.submit_time / kWeek);
+    (week % 2 == 0 ? in_even : in_odd) += 1.0;
+  }
+  ASSERT_GT(in_odd, 0.0);
+  EXPECT_NEAR(in_odd / in_even, 3.0, 0.6);
+}
+
+TEST(Synthetic, InvalidModelThrows) {
+  WorkloadModel bad = theta_mini_workload();
+  bad.size_mix.clear();
+  EXPECT_THROW((void)generate_trace(bad, options(10, 1)),
+               std::invalid_argument);
+}
+
+TEST(SampledJobset, DrawsFromSourceDistribution) {
+  const auto source =
+      generate_trace(theta_mini_workload(), options(500, 10));
+  const auto sampled = sampled_jobset(source, 300, 11);
+  ASSERT_EQ(sampled.size(), 300u);
+  std::set<int> source_sizes;
+  for (const auto& job : source) source_sizes.insert(job.size);
+  for (const auto& job : sampled) {
+    EXPECT_TRUE(source_sizes.contains(job.size));
+    EXPECT_TRUE(job.dependencies.empty());
+    EXPECT_FALSE(job.started());
+  }
+}
+
+TEST(SampledJobset, IdsAreSequentialFromFirstId) {
+  const auto source = generate_trace(theta_mini_workload(), options(50, 12));
+  const auto sampled = sampled_jobset(source, 20, 13, 700);
+  for (std::size_t i = 0; i < sampled.size(); ++i)
+    EXPECT_EQ(sampled[i].id, 700 + static_cast<sim::JobId>(i));
+}
+
+TEST(SampledJobset, ArrivalRateMatchesSource) {
+  const auto source =
+      generate_trace(theta_mini_workload(), options(2000, 14));
+  const double source_gap =
+      (source.back().submit_time - source.front().submit_time) /
+      static_cast<double>(source.size() - 1);
+  const auto sampled = sampled_jobset(source, 2000, 15);
+  const double sampled_gap =
+      (sampled.back().submit_time - sampled.front().submit_time) /
+      static_cast<double>(sampled.size() - 1);
+  EXPECT_NEAR(sampled_gap, source_gap, source_gap * 0.1);
+}
+
+TEST(SampledJobset, EmptySourceThrows) {
+  EXPECT_THROW((void)sampled_jobset({}, 10, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dras::workload

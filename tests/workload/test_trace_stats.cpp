@@ -1,0 +1,94 @@
+#include "workload/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.h"
+
+namespace dras::workload {
+namespace {
+
+using dras::testing::make_job;
+
+TEST(SizeDistribution, BucketsJobsAndCoreHours) {
+  sim::Trace trace = {
+      make_job(1, 0, 2, 3600),    // bucket 1-4: 2 node-hours
+      make_job(2, 0, 4, 1800),    // bucket 1-4: 2 node-hours
+      make_job(3, 0, 8, 3600),    // bucket 5-8: 8 node-hours
+      make_job(4, 0, 100, 3600),  // open bucket: 100 node-hours
+  };
+  const int boundaries[] = {4, 8};
+  const auto buckets = size_distribution(trace, boundaries);
+  ASSERT_EQ(buckets.size(), 3u);
+  EXPECT_EQ(buckets[0].label(), "1-4");
+  EXPECT_EQ(buckets[0].jobs, 2u);
+  EXPECT_DOUBLE_EQ(buckets[0].core_hours, 4.0);
+  EXPECT_EQ(buckets[1].label(), "5-8");
+  EXPECT_EQ(buckets[1].jobs, 1u);
+  EXPECT_DOUBLE_EQ(buckets[1].core_hours, 8.0);
+  EXPECT_EQ(buckets[2].label(), ">8");
+  EXPECT_DOUBLE_EQ(buckets[2].core_hours, 100.0);
+}
+
+TEST(SizeDistribution, SingleSizeBucketLabel) {
+  const int boundaries[] = {1, 2};
+  const auto buckets =
+      size_distribution({make_job(1, 0, 1, 60)}, boundaries);
+  EXPECT_EQ(buckets[0].label(), "1");
+  EXPECT_EQ(buckets[1].label(), "2");
+}
+
+TEST(HourlyArrivals, MapsSubmitTimesToHours) {
+  sim::Trace trace = {
+      make_job(1, 0.0, 1, 10),            // hour 0
+      make_job(2, 3600.0 * 5 + 10, 1, 10),  // hour 5
+      make_job(3, 86400.0 + 3600.0 * 5, 1, 10),  // next day, hour 5
+  };
+  const auto histogram = hourly_arrivals(trace);
+  EXPECT_EQ(histogram[0], 1u);
+  EXPECT_EQ(histogram[5], 2u);
+  std::size_t total = 0;
+  for (const auto c : histogram) total += c;
+  EXPECT_EQ(total, trace.size());
+}
+
+TEST(DailyArrivals, MapsSubmitTimesToDays) {
+  sim::Trace trace = {
+      make_job(1, 0.0, 1, 10),                   // day 0
+      make_job(2, 86400.0 * 2 + 100, 1, 10),     // day 2
+      make_job(3, 86400.0 * 9 + 100, 1, 10),     // day 2 of week 2
+  };
+  const auto histogram = daily_arrivals(trace);
+  EXPECT_EQ(histogram[0], 1u);
+  EXPECT_EQ(histogram[2], 2u);
+}
+
+TEST(RuntimeHistogram, BucketsRuntimes) {
+  sim::Trace trace = {make_job(1, 0, 1, 30), make_job(2, 0, 1, 90),
+                      make_job(3, 0, 1, 400), make_job(4, 0, 1, 90)};
+  const double edges[] = {60.0, 120.0};
+  const auto histogram = runtime_histogram(trace, edges);
+  ASSERT_EQ(histogram.size(), 3u);
+  EXPECT_EQ(histogram[0], 1u);
+  EXPECT_EQ(histogram[1], 2u);
+  EXPECT_EQ(histogram[2], 1u);
+}
+
+TEST(TraceSummary, AggregatesCorrectly) {
+  sim::Trace trace = {make_job(1, 100, 4, 3600), make_job(2, 400, 16, 7200)};
+  const auto s = summarize_trace(trace);
+  EXPECT_EQ(s.jobs, 2u);
+  EXPECT_DOUBLE_EQ(s.span_seconds, 300.0);
+  EXPECT_EQ(s.max_size, 16);
+  EXPECT_DOUBLE_EQ(s.max_runtime, 7200.0);
+  EXPECT_DOUBLE_EQ(s.total_node_hours, 4.0 + 32.0);
+  EXPECT_DOUBLE_EQ(s.mean_interarrival, 300.0);
+}
+
+TEST(TraceSummary, EmptyTrace) {
+  const auto s = summarize_trace({});
+  EXPECT_EQ(s.jobs, 0u);
+  EXPECT_DOUBLE_EQ(s.total_node_hours, 0.0);
+}
+
+}  // namespace
+}  // namespace dras::workload

@@ -1,0 +1,231 @@
+// dras_sim — command-line scheduling simulator.
+//
+// Run any scheduling policy over a workload (an SWF file or a synthetic
+// model) and print the §IV-E metrics, optionally as CSV.
+//
+//   dras_sim --policy fcfs --model theta-mini --jobs 1000
+//   dras_sim --policy dras-pg --train-episodes 20 --model cori-mini
+//   dras_sim --policy sjf --swf trace.swf --nodes 4360
+//   dras_sim --policy fcfs --model theta-mini --depth 4   # conservative
+//
+// Policies: fcfs, binpacking, random, optimization, decima-pg, sjf, ljf,
+//           wfp3, f1, dras-pg, dras-dql
+// Models:   theta, cori, theta-mini, cori-mini
+#include <iostream>
+#include <memory>
+
+#include "core/dras_agent.h"
+#include "core/presets.h"
+#include "metrics/report.h"
+#include "sched/bin_packing.h"
+#include "sched/decima_pg.h"
+#include "sched/fcfs_easy.h"
+#include "sched/knapsack_opt.h"
+#include "sched/priority_sched.h"
+#include "sched/random_policy.h"
+#include "train/evaluator.h"
+#include "train/trainer.h"
+#include "util/args.h"
+#include "util/format.h"
+#include "util/logging.h"
+#include "workload/models.h"
+#include "workload/swf.h"
+#include "workload/synthetic.h"
+
+namespace {
+
+using dras::util::format;
+
+int usage(const std::string& error = {}) {
+  if (!error.empty()) std::cerr << "error: " << error << "\n\n";
+  std::cerr <<
+      "usage: dras_sim [options]\n"
+      "  --policy P          fcfs | binpacking | random | optimization |\n"
+      "                      decima-pg | sjf | ljf | wfp3 | f1 |\n"
+      "                      dras-pg | dras-dql            (default fcfs)\n"
+      "  --model M           theta | cori | theta-mini | cori-mini\n"
+      "                                               (default theta-mini)\n"
+      "  --swf FILE          replay an SWF trace instead of the model\n"
+      "  --nodes N           machine size (default: model/preset size)\n"
+      "  --jobs N            synthetic trace length (default 1000)\n"
+      "  --seed S            master seed (default 1)\n"
+      "  --load L            arrival-rate multiplier (default 1.0)\n"
+      "  --depth D           reservation depth, 1 = EASY (default 1)\n"
+      "  --train-episodes E  episodes before evaluation for learned\n"
+      "                      policies (default 10)\n"
+      "  --csv               machine-readable output\n"
+      "  --verbose           progress logging\n";
+  return error.empty() ? 0 : 2;
+}
+
+struct Setup {
+  dras::core::SystemPreset preset;
+  dras::workload::WorkloadModel model;
+};
+
+Setup pick_model(const std::string& name) {
+  if (name == "theta")
+    return {dras::core::theta(), dras::workload::theta_workload()};
+  if (name == "cori")
+    return {dras::core::cori(), dras::workload::cori_workload()};
+  if (name == "theta-mini")
+    return {dras::core::theta_mini(), dras::workload::theta_mini_workload()};
+  if (name == "cori-mini")
+    return {dras::core::cori_mini(), dras::workload::cori_mini_workload()};
+  throw std::invalid_argument(format("unknown model '{}'", name));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const dras::util::Args args(argc, argv, {"csv", "verbose", "help"});
+    if (args.flag("help")) return usage();
+    const bool csv_output = args.flag("csv");
+    if (args.flag("verbose"))
+      dras::util::set_log_level(dras::util::LogLevel::Info);
+
+    const auto setup = pick_model(args.get("model", "theta-mini"));
+    const auto policy_name = args.get("policy", "fcfs");
+    const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    const int depth = static_cast<int>(args.get_int("depth", 1));
+
+    // Workload.
+    dras::sim::Trace trace;
+    int nodes = setup.preset.nodes;
+    if (args.has("swf")) {
+      trace = dras::workload::read_swf_file(args.get("swf", ""));
+      if (trace.empty()) return usage("SWF file contains no usable jobs");
+      int max_size = 0;
+      for (const auto& job : trace) max_size = std::max(max_size, job.size);
+      nodes = static_cast<int>(args.get_int("nodes", std::max(max_size, 1)));
+    } else {
+      dras::workload::GenerateOptions gen;
+      gen.num_jobs = static_cast<std::size_t>(args.get_int("jobs", 1000));
+      gen.seed = seed;
+      gen.load_scale = args.get_double("load", 1.0);
+      trace = dras::workload::generate_trace(setup.model, gen);
+      nodes = static_cast<int>(args.get_int("nodes", setup.preset.nodes));
+    }
+
+    // Policy.
+    const dras::core::RewardFunction reward(setup.preset.reward);
+    std::unique_ptr<dras::sim::Scheduler> owned;
+    const auto train_episodes =
+        static_cast<std::size_t>(args.get_int("train-episodes", 10));
+
+    const auto train_agent = [&](dras::core::DrasAgent& agent) {
+      dras::train::TrainerOptions options;
+      options.validate_each_episode = false;
+      dras::train::Trainer trainer(agent, nodes, {}, options);
+      for (std::size_t e = 0; e < train_episodes; ++e) {
+        dras::workload::GenerateOptions gen;
+        gen.num_jobs = 400;
+        gen.seed = dras::util::derive_seed(seed, format("train-{}", e));
+        (void)trainer.run_episode(dras::train::Jobset{
+            format("train-{}", e), dras::train::JobsetPhase::Synthetic,
+            dras::workload::generate_trace(setup.model, gen)});
+      }
+      agent.set_training(false);
+    };
+
+    if (policy_name == "fcfs") {
+      owned = std::make_unique<dras::sched::FcfsEasy>();
+    } else if (policy_name == "binpacking") {
+      owned = std::make_unique<dras::sched::BinPacking>();
+    } else if (policy_name == "random") {
+      owned = std::make_unique<dras::sched::RandomPolicy>(seed);
+    } else if (policy_name == "optimization") {
+      owned = std::make_unique<dras::sched::KnapsackOpt>(reward);
+    } else if (policy_name == "sjf") {
+      owned = std::make_unique<dras::sched::PriorityScheduler>(
+          dras::sched::make_sjf());
+    } else if (policy_name == "ljf") {
+      owned = std::make_unique<dras::sched::PriorityScheduler>(
+          dras::sched::make_ljf());
+    } else if (policy_name == "wfp3") {
+      owned = std::make_unique<dras::sched::PriorityScheduler>(
+          dras::sched::make_wfp3());
+    } else if (policy_name == "f1") {
+      owned = std::make_unique<dras::sched::PriorityScheduler>(
+          dras::sched::make_f1());
+    } else if (policy_name == "decima-pg") {
+      dras::sched::DecimaConfig cfg;
+      cfg.total_nodes = nodes;
+      cfg.window = setup.preset.window;
+      cfg.fc1 = setup.preset.fc1;
+      cfg.fc2 = setup.preset.fc2;
+      cfg.time_scale = setup.preset.max_walltime;
+      cfg.reward_kind = setup.preset.reward;
+      cfg.seed = seed;
+      auto decima = std::make_unique<dras::sched::DecimaPG>(cfg);
+      for (std::size_t e = 0; e < train_episodes; ++e) {
+        dras::workload::GenerateOptions gen;
+        gen.num_jobs = 400;
+        gen.seed = dras::util::derive_seed(seed, format("train-{}", e));
+        dras::sim::Simulator sim(nodes);
+        (void)sim.run(dras::workload::generate_trace(setup.model, gen),
+                      *decima);
+      }
+      decima->set_training(false);
+      owned = std::move(decima);
+    } else if (policy_name == "dras-pg" || policy_name == "dras-dql") {
+      auto cfg = setup.preset.agent_config(
+          policy_name == "dras-pg" ? dras::core::AgentKind::PG
+                                   : dras::core::AgentKind::DQL,
+          seed);
+      cfg.total_nodes = nodes;
+      auto agent = std::make_unique<dras::core::DrasAgent>(cfg);
+      train_agent(*agent);
+      owned = std::move(agent);
+    } else {
+      return usage(format("unknown policy '{}'", policy_name));
+    }
+
+    if (const auto unread = args.unused(); !unread.empty())
+      return usage(format("unknown option --{}", unread.front()));
+
+    // Run.
+    dras::sim::Simulator sim(nodes, depth);
+    double total_reward = 0.0;
+    sim.set_action_observer(
+        [&](const dras::sim::SchedulingContext& ctx,
+            const dras::sim::Job& job) {
+          total_reward += reward.step_reward(ctx, job);
+        });
+    const auto result = sim.run(trace, *owned);
+    const auto summary = dras::metrics::summarize(result);
+
+    if (csv_output) {
+      std::cout << "policy,nodes,depth,jobs,unfinished,avg_wait_s,max_wait_s,"
+                   "p90_wait_s,avg_slowdown,avg_response_s,utilization,"
+                   "total_reward\n";
+      std::cout << format("{},{},{},{},{},{:.1f},{:.1f},{:.1f},{:.3f},{:.1f},"
+                          "{:.4f},{:.3f}\n",
+                          owned->name(), nodes, depth, summary.jobs,
+                          result.unfinished_jobs, summary.avg_wait,
+                          summary.max_wait, summary.p90_wait,
+                          summary.avg_slowdown, summary.avg_response,
+                          summary.utilization, total_reward);
+    } else {
+      dras::metrics::print_table(
+          std::cout, {"metric", "value"},
+          {{"policy", std::string(owned->name())},
+           {"machine", format("{} nodes, reservation depth {}", nodes, depth)},
+           {"jobs completed", format("{}", summary.jobs)},
+           {"jobs unfinished", format("{}", result.unfinished_jobs)},
+           {"avg wait", dras::metrics::format_duration(summary.avg_wait)},
+           {"p90 wait", dras::metrics::format_duration(summary.p90_wait)},
+           {"max wait", dras::metrics::format_duration(summary.max_wait)},
+           {"avg slowdown", format("{:.2f}", summary.avg_slowdown)},
+           {"avg response",
+            dras::metrics::format_duration(summary.avg_response)},
+           {"utilization",
+            format("{:.1f}%", 100.0 * summary.utilization)},
+           {"total reward", format("{:.2f}", total_reward)}});
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    return usage(e.what());
+  }
+}
