@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dql_gamma.dir/ablation_dql_gamma.cpp.o"
+  "CMakeFiles/ablation_dql_gamma.dir/ablation_dql_gamma.cpp.o.d"
+  "ablation_dql_gamma"
+  "ablation_dql_gamma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dql_gamma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

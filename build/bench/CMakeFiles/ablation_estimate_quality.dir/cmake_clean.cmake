@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_estimate_quality.dir/ablation_estimate_quality.cpp.o"
+  "CMakeFiles/ablation_estimate_quality.dir/ablation_estimate_quality.cpp.o.d"
+  "ablation_estimate_quality"
+  "ablation_estimate_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_estimate_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

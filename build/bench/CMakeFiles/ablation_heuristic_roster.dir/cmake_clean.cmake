@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_heuristic_roster.dir/ablation_heuristic_roster.cpp.o"
+  "CMakeFiles/ablation_heuristic_roster.dir/ablation_heuristic_roster.cpp.o.d"
+  "ablation_heuristic_roster"
+  "ablation_heuristic_roster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_heuristic_roster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_reservation_depth.dir/ablation_reservation_depth.cpp.o"
+  "CMakeFiles/ablation_reservation_depth.dir/ablation_reservation_depth.cpp.o.d"
+  "ablation_reservation_depth"
+  "ablation_reservation_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_reservation_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

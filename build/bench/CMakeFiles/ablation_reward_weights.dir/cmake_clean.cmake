@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_reward_weights.dir/ablation_reward_weights.cpp.o"
+  "CMakeFiles/ablation_reward_weights.dir/ablation_reward_weights.cpp.o.d"
+  "ablation_reward_weights"
+  "ablation_reward_weights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_reward_weights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

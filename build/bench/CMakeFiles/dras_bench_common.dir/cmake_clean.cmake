@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dras_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/dras_bench_common.dir/bench_common.cpp.o.d"
+  "libdras_bench_common.a"
+  "libdras_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dras_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

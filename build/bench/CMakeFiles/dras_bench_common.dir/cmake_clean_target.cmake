@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdras_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_job_patterns.dir/fig3_job_patterns.cpp.o"
+  "CMakeFiles/fig3_job_patterns.dir/fig3_job_patterns.cpp.o.d"
+  "fig3_job_patterns"
+  "fig3_job_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_job_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_training_order.dir/fig4_training_order.cpp.o"
+  "CMakeFiles/fig4_training_order.dir/fig4_training_order.cpp.o.d"
+  "fig4_training_order"
+  "fig4_training_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_training_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_learning_curves.dir/fig5_learning_curves.cpp.o"
+  "CMakeFiles/fig5_learning_curves.dir/fig5_learning_curves.cpp.o.d"
+  "fig5_learning_curves"
+  "fig5_learning_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_learning_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

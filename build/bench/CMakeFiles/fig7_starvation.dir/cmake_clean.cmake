@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_starvation.dir/fig7_starvation.cpp.o"
+  "CMakeFiles/fig7_starvation.dir/fig7_starvation.cpp.o.d"
+  "fig7_starvation"
+  "fig7_starvation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_starvation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_wait_by_mode.dir/fig8_wait_by_mode.cpp.o"
+  "CMakeFiles/fig8_wait_by_mode.dir/fig8_wait_by_mode.cpp.o.d"
+  "fig8_wait_by_mode"
+  "fig8_wait_by_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_wait_by_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig8_wait_by_mode.
+# This may be replaced when dependencies are built.

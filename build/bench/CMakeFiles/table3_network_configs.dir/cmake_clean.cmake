@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_network_configs.dir/table3_network_configs.cpp.o"
+  "CMakeFiles/table3_network_configs.dir/table3_network_configs.cpp.o.d"
+  "table3_network_configs"
+  "table3_network_configs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_network_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

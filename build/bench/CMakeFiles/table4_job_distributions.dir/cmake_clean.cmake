@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_job_distributions.dir/table4_job_distributions.cpp.o"
+  "CMakeFiles/table4_job_distributions.dir/table4_job_distributions.cpp.o.d"
+  "table4_job_distributions"
+  "table4_job_distributions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_job_distributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

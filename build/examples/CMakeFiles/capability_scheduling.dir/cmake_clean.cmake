@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capability_scheduling.dir/capability_scheduling.cpp.o"
+  "CMakeFiles/capability_scheduling.dir/capability_scheduling.cpp.o.d"
+  "capability_scheduling"
+  "capability_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capability_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capacity_scheduling.dir/capacity_scheduling.cpp.o"
+  "CMakeFiles/capacity_scheduling.dir/capacity_scheduling.cpp.o.d"
+  "capacity_scheduling"
+  "capacity_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capacity_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

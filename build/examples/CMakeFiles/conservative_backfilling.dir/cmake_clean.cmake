@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conservative_backfilling.dir/conservative_backfilling.cpp.o"
+  "CMakeFiles/conservative_backfilling.dir/conservative_backfilling.cpp.o.d"
+  "conservative_backfilling"
+  "conservative_backfilling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conservative_backfilling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for conservative_backfilling.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_snapshot_deploy.dir/train_snapshot_deploy.cpp.o"
+  "CMakeFiles/train_snapshot_deploy.dir/train_snapshot_deploy.cpp.o.d"
+  "train_snapshot_deploy"
+  "train_snapshot_deploy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_snapshot_deploy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for train_snapshot_deploy.
+# This may be replaced when dependencies are built.

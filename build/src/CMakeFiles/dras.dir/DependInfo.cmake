@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dql_policy.cpp" "src/CMakeFiles/dras.dir/core/dql_policy.cpp.o" "gcc" "src/CMakeFiles/dras.dir/core/dql_policy.cpp.o.d"
+  "/root/repo/src/core/dras_agent.cpp" "src/CMakeFiles/dras.dir/core/dras_agent.cpp.o" "gcc" "src/CMakeFiles/dras.dir/core/dras_agent.cpp.o.d"
+  "/root/repo/src/core/pg_policy.cpp" "src/CMakeFiles/dras.dir/core/pg_policy.cpp.o" "gcc" "src/CMakeFiles/dras.dir/core/pg_policy.cpp.o.d"
+  "/root/repo/src/core/presets.cpp" "src/CMakeFiles/dras.dir/core/presets.cpp.o" "gcc" "src/CMakeFiles/dras.dir/core/presets.cpp.o.d"
+  "/root/repo/src/core/reward.cpp" "src/CMakeFiles/dras.dir/core/reward.cpp.o" "gcc" "src/CMakeFiles/dras.dir/core/reward.cpp.o.d"
+  "/root/repo/src/core/state_encoder.cpp" "src/CMakeFiles/dras.dir/core/state_encoder.cpp.o" "gcc" "src/CMakeFiles/dras.dir/core/state_encoder.cpp.o.d"
+  "/root/repo/src/core/window.cpp" "src/CMakeFiles/dras.dir/core/window.cpp.o" "gcc" "src/CMakeFiles/dras.dir/core/window.cpp.o.d"
+  "/root/repo/src/metrics/kiviat.cpp" "src/CMakeFiles/dras.dir/metrics/kiviat.cpp.o" "gcc" "src/CMakeFiles/dras.dir/metrics/kiviat.cpp.o.d"
+  "/root/repo/src/metrics/report.cpp" "src/CMakeFiles/dras.dir/metrics/report.cpp.o" "gcc" "src/CMakeFiles/dras.dir/metrics/report.cpp.o.d"
+  "/root/repo/src/metrics/stats.cpp" "src/CMakeFiles/dras.dir/metrics/stats.cpp.o" "gcc" "src/CMakeFiles/dras.dir/metrics/stats.cpp.o.d"
+  "/root/repo/src/nn/adam.cpp" "src/CMakeFiles/dras.dir/nn/adam.cpp.o" "gcc" "src/CMakeFiles/dras.dir/nn/adam.cpp.o.d"
+  "/root/repo/src/nn/network.cpp" "src/CMakeFiles/dras.dir/nn/network.cpp.o" "gcc" "src/CMakeFiles/dras.dir/nn/network.cpp.o.d"
+  "/root/repo/src/nn/ops.cpp" "src/CMakeFiles/dras.dir/nn/ops.cpp.o" "gcc" "src/CMakeFiles/dras.dir/nn/ops.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/CMakeFiles/dras.dir/nn/serialize.cpp.o" "gcc" "src/CMakeFiles/dras.dir/nn/serialize.cpp.o.d"
+  "/root/repo/src/sched/bin_packing.cpp" "src/CMakeFiles/dras.dir/sched/bin_packing.cpp.o" "gcc" "src/CMakeFiles/dras.dir/sched/bin_packing.cpp.o.d"
+  "/root/repo/src/sched/decima_pg.cpp" "src/CMakeFiles/dras.dir/sched/decima_pg.cpp.o" "gcc" "src/CMakeFiles/dras.dir/sched/decima_pg.cpp.o.d"
+  "/root/repo/src/sched/fcfs_easy.cpp" "src/CMakeFiles/dras.dir/sched/fcfs_easy.cpp.o" "gcc" "src/CMakeFiles/dras.dir/sched/fcfs_easy.cpp.o.d"
+  "/root/repo/src/sched/knapsack_opt.cpp" "src/CMakeFiles/dras.dir/sched/knapsack_opt.cpp.o" "gcc" "src/CMakeFiles/dras.dir/sched/knapsack_opt.cpp.o.d"
+  "/root/repo/src/sched/priority_sched.cpp" "src/CMakeFiles/dras.dir/sched/priority_sched.cpp.o" "gcc" "src/CMakeFiles/dras.dir/sched/priority_sched.cpp.o.d"
+  "/root/repo/src/sched/random_policy.cpp" "src/CMakeFiles/dras.dir/sched/random_policy.cpp.o" "gcc" "src/CMakeFiles/dras.dir/sched/random_policy.cpp.o.d"
+  "/root/repo/src/sim/backfill.cpp" "src/CMakeFiles/dras.dir/sim/backfill.cpp.o" "gcc" "src/CMakeFiles/dras.dir/sim/backfill.cpp.o.d"
+  "/root/repo/src/sim/cluster.cpp" "src/CMakeFiles/dras.dir/sim/cluster.cpp.o" "gcc" "src/CMakeFiles/dras.dir/sim/cluster.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/dras.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/dras.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/job.cpp" "src/CMakeFiles/dras.dir/sim/job.cpp.o" "gcc" "src/CMakeFiles/dras.dir/sim/job.cpp.o.d"
+  "/root/repo/src/sim/metrics_collector.cpp" "src/CMakeFiles/dras.dir/sim/metrics_collector.cpp.o" "gcc" "src/CMakeFiles/dras.dir/sim/metrics_collector.cpp.o.d"
+  "/root/repo/src/sim/profile.cpp" "src/CMakeFiles/dras.dir/sim/profile.cpp.o" "gcc" "src/CMakeFiles/dras.dir/sim/profile.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/dras.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/dras.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/sim/wait_queue.cpp" "src/CMakeFiles/dras.dir/sim/wait_queue.cpp.o" "gcc" "src/CMakeFiles/dras.dir/sim/wait_queue.cpp.o.d"
+  "/root/repo/src/train/convergence.cpp" "src/CMakeFiles/dras.dir/train/convergence.cpp.o" "gcc" "src/CMakeFiles/dras.dir/train/convergence.cpp.o.d"
+  "/root/repo/src/train/curriculum.cpp" "src/CMakeFiles/dras.dir/train/curriculum.cpp.o" "gcc" "src/CMakeFiles/dras.dir/train/curriculum.cpp.o.d"
+  "/root/repo/src/train/evaluator.cpp" "src/CMakeFiles/dras.dir/train/evaluator.cpp.o" "gcc" "src/CMakeFiles/dras.dir/train/evaluator.cpp.o.d"
+  "/root/repo/src/train/trainer.cpp" "src/CMakeFiles/dras.dir/train/trainer.cpp.o" "gcc" "src/CMakeFiles/dras.dir/train/trainer.cpp.o.d"
+  "/root/repo/src/util/args.cpp" "src/CMakeFiles/dras.dir/util/args.cpp.o" "gcc" "src/CMakeFiles/dras.dir/util/args.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "src/CMakeFiles/dras.dir/util/csv.cpp.o" "gcc" "src/CMakeFiles/dras.dir/util/csv.cpp.o.d"
+  "/root/repo/src/util/format.cpp" "src/CMakeFiles/dras.dir/util/format.cpp.o" "gcc" "src/CMakeFiles/dras.dir/util/format.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "src/CMakeFiles/dras.dir/util/logging.cpp.o" "gcc" "src/CMakeFiles/dras.dir/util/logging.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/dras.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/dras.dir/util/rng.cpp.o.d"
+  "/root/repo/src/workload/estimates.cpp" "src/CMakeFiles/dras.dir/workload/estimates.cpp.o" "gcc" "src/CMakeFiles/dras.dir/workload/estimates.cpp.o.d"
+  "/root/repo/src/workload/jobset.cpp" "src/CMakeFiles/dras.dir/workload/jobset.cpp.o" "gcc" "src/CMakeFiles/dras.dir/workload/jobset.cpp.o.d"
+  "/root/repo/src/workload/models.cpp" "src/CMakeFiles/dras.dir/workload/models.cpp.o" "gcc" "src/CMakeFiles/dras.dir/workload/models.cpp.o.d"
+  "/root/repo/src/workload/swf.cpp" "src/CMakeFiles/dras.dir/workload/swf.cpp.o" "gcc" "src/CMakeFiles/dras.dir/workload/swf.cpp.o.d"
+  "/root/repo/src/workload/synthetic.cpp" "src/CMakeFiles/dras.dir/workload/synthetic.cpp.o" "gcc" "src/CMakeFiles/dras.dir/workload/synthetic.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/CMakeFiles/dras.dir/workload/trace.cpp.o" "gcc" "src/CMakeFiles/dras.dir/workload/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

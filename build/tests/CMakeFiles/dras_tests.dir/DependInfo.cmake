@@ -1,0 +1,65 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_dql_policy.cpp" "tests/CMakeFiles/dras_tests.dir/core/test_dql_policy.cpp.o" "gcc" "tests/CMakeFiles/dras_tests.dir/core/test_dql_policy.cpp.o.d"
+  "/root/repo/tests/core/test_dras_agent.cpp" "tests/CMakeFiles/dras_tests.dir/core/test_dras_agent.cpp.o" "gcc" "tests/CMakeFiles/dras_tests.dir/core/test_dras_agent.cpp.o.d"
+  "/root/repo/tests/core/test_pg_policy.cpp" "tests/CMakeFiles/dras_tests.dir/core/test_pg_policy.cpp.o" "gcc" "tests/CMakeFiles/dras_tests.dir/core/test_pg_policy.cpp.o.d"
+  "/root/repo/tests/core/test_reward.cpp" "tests/CMakeFiles/dras_tests.dir/core/test_reward.cpp.o" "gcc" "tests/CMakeFiles/dras_tests.dir/core/test_reward.cpp.o.d"
+  "/root/repo/tests/core/test_state_encoder.cpp" "tests/CMakeFiles/dras_tests.dir/core/test_state_encoder.cpp.o" "gcc" "tests/CMakeFiles/dras_tests.dir/core/test_state_encoder.cpp.o.d"
+  "/root/repo/tests/integration/test_end_to_end.cpp" "tests/CMakeFiles/dras_tests.dir/integration/test_end_to_end.cpp.o" "gcc" "tests/CMakeFiles/dras_tests.dir/integration/test_end_to_end.cpp.o.d"
+  "/root/repo/tests/metrics/test_kiviat.cpp" "tests/CMakeFiles/dras_tests.dir/metrics/test_kiviat.cpp.o" "gcc" "tests/CMakeFiles/dras_tests.dir/metrics/test_kiviat.cpp.o.d"
+  "/root/repo/tests/metrics/test_report.cpp" "tests/CMakeFiles/dras_tests.dir/metrics/test_report.cpp.o" "gcc" "tests/CMakeFiles/dras_tests.dir/metrics/test_report.cpp.o.d"
+  "/root/repo/tests/metrics/test_stats.cpp" "tests/CMakeFiles/dras_tests.dir/metrics/test_stats.cpp.o" "gcc" "tests/CMakeFiles/dras_tests.dir/metrics/test_stats.cpp.o.d"
+  "/root/repo/tests/metrics/test_stats_property.cpp" "tests/CMakeFiles/dras_tests.dir/metrics/test_stats_property.cpp.o" "gcc" "tests/CMakeFiles/dras_tests.dir/metrics/test_stats_property.cpp.o.d"
+  "/root/repo/tests/nn/test_adam.cpp" "tests/CMakeFiles/dras_tests.dir/nn/test_adam.cpp.o" "gcc" "tests/CMakeFiles/dras_tests.dir/nn/test_adam.cpp.o.d"
+  "/root/repo/tests/nn/test_network.cpp" "tests/CMakeFiles/dras_tests.dir/nn/test_network.cpp.o" "gcc" "tests/CMakeFiles/dras_tests.dir/nn/test_network.cpp.o.d"
+  "/root/repo/tests/nn/test_ops.cpp" "tests/CMakeFiles/dras_tests.dir/nn/test_ops.cpp.o" "gcc" "tests/CMakeFiles/dras_tests.dir/nn/test_ops.cpp.o.d"
+  "/root/repo/tests/nn/test_serialize.cpp" "tests/CMakeFiles/dras_tests.dir/nn/test_serialize.cpp.o" "gcc" "tests/CMakeFiles/dras_tests.dir/nn/test_serialize.cpp.o.d"
+  "/root/repo/tests/sched/test_bin_packing.cpp" "tests/CMakeFiles/dras_tests.dir/sched/test_bin_packing.cpp.o" "gcc" "tests/CMakeFiles/dras_tests.dir/sched/test_bin_packing.cpp.o.d"
+  "/root/repo/tests/sched/test_decima_pg.cpp" "tests/CMakeFiles/dras_tests.dir/sched/test_decima_pg.cpp.o" "gcc" "tests/CMakeFiles/dras_tests.dir/sched/test_decima_pg.cpp.o.d"
+  "/root/repo/tests/sched/test_fcfs_easy.cpp" "tests/CMakeFiles/dras_tests.dir/sched/test_fcfs_easy.cpp.o" "gcc" "tests/CMakeFiles/dras_tests.dir/sched/test_fcfs_easy.cpp.o.d"
+  "/root/repo/tests/sched/test_knapsack_opt.cpp" "tests/CMakeFiles/dras_tests.dir/sched/test_knapsack_opt.cpp.o" "gcc" "tests/CMakeFiles/dras_tests.dir/sched/test_knapsack_opt.cpp.o.d"
+  "/root/repo/tests/sched/test_priority_sched.cpp" "tests/CMakeFiles/dras_tests.dir/sched/test_priority_sched.cpp.o" "gcc" "tests/CMakeFiles/dras_tests.dir/sched/test_priority_sched.cpp.o.d"
+  "/root/repo/tests/sched/test_random_policy.cpp" "tests/CMakeFiles/dras_tests.dir/sched/test_random_policy.cpp.o" "gcc" "tests/CMakeFiles/dras_tests.dir/sched/test_random_policy.cpp.o.d"
+  "/root/repo/tests/sim/test_backfill.cpp" "tests/CMakeFiles/dras_tests.dir/sim/test_backfill.cpp.o" "gcc" "tests/CMakeFiles/dras_tests.dir/sim/test_backfill.cpp.o.d"
+  "/root/repo/tests/sim/test_cluster.cpp" "tests/CMakeFiles/dras_tests.dir/sim/test_cluster.cpp.o" "gcc" "tests/CMakeFiles/dras_tests.dir/sim/test_cluster.cpp.o.d"
+  "/root/repo/tests/sim/test_event_queue.cpp" "tests/CMakeFiles/dras_tests.dir/sim/test_event_queue.cpp.o" "gcc" "tests/CMakeFiles/dras_tests.dir/sim/test_event_queue.cpp.o.d"
+  "/root/repo/tests/sim/test_event_queue_property.cpp" "tests/CMakeFiles/dras_tests.dir/sim/test_event_queue_property.cpp.o" "gcc" "tests/CMakeFiles/dras_tests.dir/sim/test_event_queue_property.cpp.o.d"
+  "/root/repo/tests/sim/test_job.cpp" "tests/CMakeFiles/dras_tests.dir/sim/test_job.cpp.o" "gcc" "tests/CMakeFiles/dras_tests.dir/sim/test_job.cpp.o.d"
+  "/root/repo/tests/sim/test_multi_reservation.cpp" "tests/CMakeFiles/dras_tests.dir/sim/test_multi_reservation.cpp.o" "gcc" "tests/CMakeFiles/dras_tests.dir/sim/test_multi_reservation.cpp.o.d"
+  "/root/repo/tests/sim/test_profile.cpp" "tests/CMakeFiles/dras_tests.dir/sim/test_profile.cpp.o" "gcc" "tests/CMakeFiles/dras_tests.dir/sim/test_profile.cpp.o.d"
+  "/root/repo/tests/sim/test_properties.cpp" "tests/CMakeFiles/dras_tests.dir/sim/test_properties.cpp.o" "gcc" "tests/CMakeFiles/dras_tests.dir/sim/test_properties.cpp.o.d"
+  "/root/repo/tests/sim/test_simulator.cpp" "tests/CMakeFiles/dras_tests.dir/sim/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/dras_tests.dir/sim/test_simulator.cpp.o.d"
+  "/root/repo/tests/sim/test_simulator_edge.cpp" "tests/CMakeFiles/dras_tests.dir/sim/test_simulator_edge.cpp.o" "gcc" "tests/CMakeFiles/dras_tests.dir/sim/test_simulator_edge.cpp.o.d"
+  "/root/repo/tests/sim/test_wait_queue.cpp" "tests/CMakeFiles/dras_tests.dir/sim/test_wait_queue.cpp.o" "gcc" "tests/CMakeFiles/dras_tests.dir/sim/test_wait_queue.cpp.o.d"
+  "/root/repo/tests/train/test_convergence.cpp" "tests/CMakeFiles/dras_tests.dir/train/test_convergence.cpp.o" "gcc" "tests/CMakeFiles/dras_tests.dir/train/test_convergence.cpp.o.d"
+  "/root/repo/tests/train/test_curriculum.cpp" "tests/CMakeFiles/dras_tests.dir/train/test_curriculum.cpp.o" "gcc" "tests/CMakeFiles/dras_tests.dir/train/test_curriculum.cpp.o.d"
+  "/root/repo/tests/train/test_trainer.cpp" "tests/CMakeFiles/dras_tests.dir/train/test_trainer.cpp.o" "gcc" "tests/CMakeFiles/dras_tests.dir/train/test_trainer.cpp.o.d"
+  "/root/repo/tests/util/test_args.cpp" "tests/CMakeFiles/dras_tests.dir/util/test_args.cpp.o" "gcc" "tests/CMakeFiles/dras_tests.dir/util/test_args.cpp.o.d"
+  "/root/repo/tests/util/test_csv.cpp" "tests/CMakeFiles/dras_tests.dir/util/test_csv.cpp.o" "gcc" "tests/CMakeFiles/dras_tests.dir/util/test_csv.cpp.o.d"
+  "/root/repo/tests/util/test_format.cpp" "tests/CMakeFiles/dras_tests.dir/util/test_format.cpp.o" "gcc" "tests/CMakeFiles/dras_tests.dir/util/test_format.cpp.o.d"
+  "/root/repo/tests/util/test_logging.cpp" "tests/CMakeFiles/dras_tests.dir/util/test_logging.cpp.o" "gcc" "tests/CMakeFiles/dras_tests.dir/util/test_logging.cpp.o.d"
+  "/root/repo/tests/util/test_rng.cpp" "tests/CMakeFiles/dras_tests.dir/util/test_rng.cpp.o" "gcc" "tests/CMakeFiles/dras_tests.dir/util/test_rng.cpp.o.d"
+  "/root/repo/tests/workload/test_estimates.cpp" "tests/CMakeFiles/dras_tests.dir/workload/test_estimates.cpp.o" "gcc" "tests/CMakeFiles/dras_tests.dir/workload/test_estimates.cpp.o.d"
+  "/root/repo/tests/workload/test_filter.cpp" "tests/CMakeFiles/dras_tests.dir/workload/test_filter.cpp.o" "gcc" "tests/CMakeFiles/dras_tests.dir/workload/test_filter.cpp.o.d"
+  "/root/repo/tests/workload/test_jobset.cpp" "tests/CMakeFiles/dras_tests.dir/workload/test_jobset.cpp.o" "gcc" "tests/CMakeFiles/dras_tests.dir/workload/test_jobset.cpp.o.d"
+  "/root/repo/tests/workload/test_models.cpp" "tests/CMakeFiles/dras_tests.dir/workload/test_models.cpp.o" "gcc" "tests/CMakeFiles/dras_tests.dir/workload/test_models.cpp.o.d"
+  "/root/repo/tests/workload/test_swf.cpp" "tests/CMakeFiles/dras_tests.dir/workload/test_swf.cpp.o" "gcc" "tests/CMakeFiles/dras_tests.dir/workload/test_swf.cpp.o.d"
+  "/root/repo/tests/workload/test_synthetic.cpp" "tests/CMakeFiles/dras_tests.dir/workload/test_synthetic.cpp.o" "gcc" "tests/CMakeFiles/dras_tests.dir/workload/test_synthetic.cpp.o.d"
+  "/root/repo/tests/workload/test_trace_stats.cpp" "tests/CMakeFiles/dras_tests.dir/workload/test_trace_stats.cpp.o" "gcc" "tests/CMakeFiles/dras_tests.dir/workload/test_trace_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dras.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dras_sim.dir/dras_sim.cpp.o"
+  "CMakeFiles/dras_sim.dir/dras_sim.cpp.o.d"
+  "dras_sim"
+  "dras_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dras_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
