@@ -18,7 +18,8 @@
 #include "util/rng.h"
 #include "workload/estimates.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const dras::benchx::ObsSession obs_session(argc, argv);
   using dras::util::format;
   namespace benchx = dras::benchx;
   using dras::workload::EstimateModel;

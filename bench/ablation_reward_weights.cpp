@@ -12,7 +12,8 @@
 #include "util/format.h"
 #include "util/rng.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const dras::benchx::ObsSession obs_session(argc, argv);
   using dras::util::format;
   namespace benchx = dras::benchx;
 

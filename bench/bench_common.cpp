@@ -1,9 +1,47 @@
 #include "bench_common.h"
 
+#include <fstream>
+
+#include "obs/metrics.h"
+#include "obs/sink.h"
+#include "util/args.h"
 #include "util/format.h"
 #include "util/rng.h"
 
 namespace dras::benchx {
+
+ObsSession::ObsSession(int argc, const char* const* argv) {
+  const util::Args args(argc, argv, {"profile"});
+  profile_ = args.flag("profile");
+  metrics_out_ = args.get("metrics-out", "");
+  if (args.has("trace-out")) {
+    const auto format = args.get("trace-format", "chrome") == "jsonl"
+                            ? obs::TraceFormat::Jsonl
+                            : obs::TraceFormat::ChromeJson;
+    tracer_ = std::make_unique<obs::EventTracer>(
+        obs::make_sink(args.get("trace-out", "")), format);
+    obs::set_default_tracer(tracer_.get());
+  }
+  if (profile_ || !metrics_out_.empty()) obs::set_enabled(true);
+}
+
+ObsSession::~ObsSession() {
+  if (tracer_) {
+    obs::set_default_tracer(nullptr);
+    tracer_->close();
+  }
+  if (!metrics_out_.empty()) {
+    std::ofstream out(metrics_out_);
+    if (out) {
+      const bool as_csv =
+          metrics_out_.size() >= 4 &&
+          metrics_out_.rfind(".csv") == metrics_out_.size() - 4;
+      out << (as_csv ? obs::metrics_to_csv(obs::Registry::global())
+                     : obs::metrics_to_json(obs::Registry::global()));
+    }
+  }
+  if (profile_) std::cerr << obs::metrics_to_text(obs::Registry::global());
+}
 
 Scenario Scenario::theta_mini(std::uint64_t seed) {
   return Scenario{core::theta_mini(), workload::theta_mini_workload(), seed};

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/dras_agent.h"
+#include "obs/trace.h"
 #include "core/presets.h"
 #include "sched/bin_packing.h"
 #include "sched/decima_pg.h"
@@ -90,5 +91,29 @@ void train_dras_agent(core::DrasAgent& agent, const Scenario& scenario,
 /// Print the standard bench preamble (config echo, per DESIGN.md §4).
 void print_preamble(const std::string& experiment, const Scenario& scenario,
                     std::size_t trace_jobs);
+
+/// Shared telemetry plumbing for the bench harnesses.  Parses
+/// `--trace-out FILE`, `--trace-format chrome|jsonl`, `--metrics-out FILE`
+/// and `--profile` from argv; when requested, installs the process-default
+/// tracer (every Simulator the bench creates feeds it) and enables the
+/// metrics registry.  The destructor finalizes the trace, dumps metrics
+/// and prints the --profile table to stderr.  With none of the flags
+/// present this is a no-op.
+class ObsSession {
+ public:
+  ObsSession(int argc, const char* const* argv);
+  ~ObsSession();
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  [[nodiscard]] obs::EventTracer* tracer() const noexcept {
+    return tracer_.get();
+  }
+
+ private:
+  std::unique_ptr<obs::EventTracer> tracer_;
+  std::string metrics_out_;
+  bool profile_ = false;
+};
 
 }  // namespace dras::benchx

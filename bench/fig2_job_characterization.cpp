@@ -7,6 +7,7 @@
 // are dominated by 1-few-node jobs.
 #include <iostream>
 
+#include "bench_common.h"
 #include "metrics/report.h"
 #include "util/format.h"
 #include "workload/models.h"
@@ -56,7 +57,8 @@ void characterize(const dras::workload::WorkloadModel& model,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const dras::benchx::ObsSession obs_session(argc, argv);
   std::cout << "# Fig. 2 / Table II: job characterisation (statistical "
                "models standing in for the proprietary logs)\n";
   std::cout << "csv:system,size_bucket,jobs,jobs_pct,core_hours_pct\n";

@@ -3,6 +3,7 @@
 // job-runtime distribution of the (stand-in) training trace.
 #include <iostream>
 
+#include "bench_common.h"
 #include "metrics/report.h"
 #include "util/format.h"
 #include "workload/jobset.h"
@@ -10,7 +11,8 @@
 #include "workload/synthetic.h"
 #include "workload/trace.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const dras::benchx::ObsSession obs_session(argc, argv);
   using dras::util::format;
   const auto model = dras::workload::theta_mini_workload();
 

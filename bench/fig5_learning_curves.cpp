@@ -11,7 +11,8 @@
 #include "bench_common.h"
 #include "util/format.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const dras::benchx::ObsSession obs_session(argc, argv);
   using dras::util::format;
   namespace benchx = dras::benchx;
 

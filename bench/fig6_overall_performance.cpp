@@ -80,7 +80,8 @@ void run_scenario(const dras::benchx::Scenario& scenario) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const dras::benchx::ObsSession obs_session(argc, argv);
   run_scenario(dras::benchx::Scenario::theta_mini(6));
   run_scenario(dras::benchx::Scenario::cori_mini(6));
   return 0;

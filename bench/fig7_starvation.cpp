@@ -12,7 +12,8 @@
 #include "metrics/stats.h"
 #include "util/format.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const dras::benchx::ObsSession obs_session(argc, argv);
   using dras::util::format;
   namespace benchx = dras::benchx;
 

@@ -8,10 +8,12 @@
 #include <iostream>
 
 #include "core/presets.h"
+#include "bench_common.h"
 #include "metrics/report.h"
 #include "util/format.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const dras::benchx::ObsSession obs_session(argc, argv);
   using dras::util::format;
 
   struct Row {

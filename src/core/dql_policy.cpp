@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <stdexcept>
 
 namespace dras::core {
@@ -67,15 +68,23 @@ void DQLPolicy::update() {
 
   network_.zero_gradients();
   float td_error_grad[1];
+  double loss_acc = 0.0;
   for (std::size_t k = 0; k < memory_.size(); ++k) {
     const Transition& tr = memory_[k];
     const double q_old = q_value(tr.candidates[tr.action]);
     // Semi-gradient of ½(Q − target)² w.r.t. θ: (Q − target)·∇Q.
-    td_error_grad[0] = static_cast<float>(q_old - targets[k]);
+    const double td_error = q_old - targets[k];
+    loss_acc += 0.5 * td_error * td_error;
+    td_error_grad[0] = static_cast<float>(td_error);
     network_.backward(std::span<const float>(td_error_grad, 1));
   }
   const auto scale = 1.0f / static_cast<float>(memory_.size());
   for (float& g : network_.gradients()) g *= scale;
+  double grad_sq = 0.0;
+  for (const float g : network_.gradients())
+    grad_sq += static_cast<double>(g) * static_cast<double>(g);
+  last_loss_ = loss_acc / static_cast<double>(memory_.size());
+  last_grad_norm_ = std::sqrt(grad_sq);
   optimizer_.step(network_.parameters(), network_.gradients());
   network_.zero_gradients();
   memory_.clear();

@@ -58,6 +58,12 @@ class DQLPolicy {
     return memory_.size();
   }
   [[nodiscard]] std::size_t updates_done() const noexcept { return updates_; }
+  /// Mean TD loss ½(Q − target)² of the last update; 0 before the first.
+  [[nodiscard]] double last_loss() const noexcept { return last_loss_; }
+  /// L2 norm of the batch-averaged gradient applied by the last update.
+  [[nodiscard]] double last_grad_norm() const noexcept {
+    return last_grad_norm_;
+  }
   [[nodiscard]] nn::Network& network() noexcept { return network_; }
   [[nodiscard]] const nn::Network& network() const noexcept {
     return network_;
@@ -81,6 +87,8 @@ class DQLPolicy {
   std::vector<Transition> memory_;
   double epsilon_;
   std::size_t updates_ = 0;
+  double last_loss_ = 0.0;
+  double last_grad_norm_ = 0.0;
 };
 
 }  // namespace dras::core

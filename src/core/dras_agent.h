@@ -78,6 +78,24 @@ class DrasAgent final : public sim::Scheduler {
     return episode_actions_;
   }
 
+  // --- Training telemetry (kind-agnostic views over the policy head) ---
+  /// Loss of the most recent parameter update (0 before the first).
+  [[nodiscard]] double last_update_loss() const noexcept {
+    return pg_ ? pg_->last_loss() : dql_->last_loss();
+  }
+  /// Gradient L2 norm of the most recent parameter update.
+  [[nodiscard]] double last_update_grad_norm() const noexcept {
+    return pg_ ? pg_->last_grad_norm() : dql_->last_grad_norm();
+  }
+  /// Parameter updates performed so far.
+  [[nodiscard]] std::size_t updates_done() const noexcept {
+    return pg_ ? pg_->updates_done() : dql_->updates_done();
+  }
+  /// Current exploration rate; 0 for PG (which explores by sampling).
+  [[nodiscard]] double epsilon() const noexcept {
+    return dql_ ? dql_->epsilon() : 0.0;
+  }
+
   [[nodiscard]] const DrasConfig& config() const noexcept { return config_; }
   [[nodiscard]] nn::Network& network();
   [[nodiscard]] const nn::Network& network() const;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <stdexcept>
 
 #include "nn/ops.h"
@@ -73,6 +74,7 @@ void PGPolicy::update() {
 
   network_.zero_gradients();
   std::vector<float> grad_logits(config_.net.outputs);
+  double loss_acc = 0.0;
   for (std::size_t k = 0; k < k_total; ++k) {
     const Step& step = memory_[k];
     const double baseline = baseline_count_[k] > 0
@@ -88,6 +90,9 @@ void PGPolicy::update() {
     // Gradient of −log π(a|s)·A at the logits: (softmax − onehot_a)·A.
     const auto logits = network_.forward(step.state);
     nn::softmax_masked(logits, probs_scratch_, step.valid);
+    const double p_action =
+        std::max(static_cast<double>(probs_scratch_[step.action]), 1e-12);
+    loss_acc += -std::log(p_action) * advantage;
     const auto adv = static_cast<float>(advantage);
     for (std::size_t i = 0; i < grad_logits.size(); ++i)
       grad_logits[i] = probs_scratch_[i] * adv;
@@ -99,6 +104,11 @@ void PGPolicy::update() {
   // keeping step magnitude independent of batch length.
   const auto scale = 1.0f / static_cast<float>(k_total);
   for (float& g : network_.gradients()) g *= scale;
+  double grad_sq = 0.0;
+  for (const float g : network_.gradients())
+    grad_sq += static_cast<double>(g) * static_cast<double>(g);
+  last_loss_ = loss_acc / static_cast<double>(k_total);
+  last_grad_norm_ = std::sqrt(grad_sq);
   optimizer_.step(network_.parameters(), network_.gradients());
   network_.zero_gradients();
   memory_.clear();

@@ -56,6 +56,13 @@ class PGPolicy {
     return memory_.size();
   }
   [[nodiscard]] std::size_t updates_done() const noexcept { return updates_; }
+  /// Mean REINFORCE surrogate loss (−log π·A) of the last update; 0 before
+  /// the first update.  Telemetry only — not part of the learning rule.
+  [[nodiscard]] double last_loss() const noexcept { return last_loss_; }
+  /// L2 norm of the batch-averaged gradient applied by the last update.
+  [[nodiscard]] double last_grad_norm() const noexcept {
+    return last_grad_norm_;
+  }
   [[nodiscard]] nn::Network& network() noexcept { return network_; }
   [[nodiscard]] const nn::Network& network() const noexcept {
     return network_;
@@ -82,6 +89,8 @@ class PGPolicy {
   std::vector<double> baseline_sum_;
   std::vector<std::size_t> baseline_count_;
   std::size_t updates_ = 0;
+  double last_loss_ = 0.0;
+  double last_grad_norm_ = 0.0;
   std::vector<float> probs_scratch_;
 };
 

@@ -1,0 +1,309 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/format.h"
+#include "util/json.h"
+
+namespace dras::obs {
+
+namespace detail {
+#if DRAS_OBS_COMPILED
+std::atomic<bool> g_enabled{false};
+#endif
+}  // namespace detail
+
+void set_enabled(bool on) noexcept {
+#if DRAS_OBS_COMPILED
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+#else
+  (void)on;
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Gauge
+// ---------------------------------------------------------------------------
+
+void Gauge::add(double delta) noexcept {
+  if (!enabled()) return;
+  double current = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()))
+    throw std::invalid_argument("histogram bounds must be sorted");
+}
+
+void Histogram::observe(double v) noexcept {
+  if (!enabled()) return;
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto slot = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[slot].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+
+  double sum = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(sum, sum + v,
+                                     std::memory_order_relaxed)) {
+  }
+  double lo = min_.load(std::memory_order_relaxed);
+  while (v < lo &&
+         !min_.compare_exchange_weak(lo, v, std::memory_order_relaxed)) {
+  }
+  double hi = max_.load(std::memory_order_relaxed);
+  while (v > hi &&
+         !max_.compare_exchange_weak(hi, v, std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::reset() noexcept {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+std::vector<double> Histogram::exponential_bounds(double start, double factor,
+                                                  std::size_t count) {
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double bound = start;
+  for (std::size_t i = 0; i < count; ++i) {
+    bounds.push_back(bound);
+    bound *= factor;
+  }
+  return bounds;
+}
+
+std::vector<double> Histogram::linear_bounds(double start, double step,
+                                             std::size_t count) {
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    bounds.push_back(start + step * static_cast<double>(i));
+  return bounds;
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+Registry::Entry* Registry::find_locked(std::string_view name) {
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), name,
+      [](const auto& entry, std::string_view key) {
+        return entry.first < key;
+      });
+  if (it == entries_.end() || it->first != name) return nullptr;
+  return &it->second;
+}
+
+Registry::Entry& Registry::emplace_locked(std::string_view name,
+                                          MetricKind kind) {
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), name,
+      [](const auto& entry, std::string_view key) {
+        return entry.first < key;
+      });
+  Entry entry;
+  entry.kind = kind;
+  return entries_.emplace(it, std::string(name), std::move(entry))->second;
+}
+
+namespace {
+[[noreturn]] void kind_clash(std::string_view name) {
+  throw std::invalid_argument(util::format(
+      "metric '{}' already registered with a different kind", name));
+}
+}  // namespace
+
+Counter& Registry::counter(std::string_view name) {
+  const std::scoped_lock lock(mutex_);
+  if (Entry* existing = find_locked(name)) {
+    if (existing->kind != MetricKind::Counter) kind_clash(name);
+    return *existing->counter;
+  }
+  Entry& entry = emplace_locked(name, MetricKind::Counter);
+  entry.counter = std::make_unique<Counter>();
+  return *entry.counter;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  const std::scoped_lock lock(mutex_);
+  if (Entry* existing = find_locked(name)) {
+    if (existing->kind != MetricKind::Gauge) kind_clash(name);
+    return *existing->gauge;
+  }
+  Entry& entry = emplace_locked(name, MetricKind::Gauge);
+  entry.gauge = std::make_unique<Gauge>();
+  return *entry.gauge;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::vector<double> bounds) {
+  const std::scoped_lock lock(mutex_);
+  if (Entry* existing = find_locked(name)) {
+    if (existing->kind != MetricKind::Histogram) kind_clash(name);
+    return *existing->histogram;
+  }
+  Entry& entry = emplace_locked(name, MetricKind::Histogram);
+  entry.histogram = std::make_unique<Histogram>(std::move(bounds));
+  return *entry.histogram;
+}
+
+bool Registry::contains(std::string_view name) const {
+  const std::scoped_lock lock(mutex_);
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), name,
+      [](const auto& entry, std::string_view key) {
+        return entry.first < key;
+      });
+  return it != entries_.end() && it->first == name;
+}
+
+std::size_t Registry::size() const {
+  const std::scoped_lock lock(mutex_);
+  return entries_.size();
+}
+
+void Registry::reset_values() {
+  const std::scoped_lock lock(mutex_);
+  for (auto& [name, entry] : entries_) {
+    switch (entry.kind) {
+      case MetricKind::Counter: entry.counter->reset(); break;
+      case MetricKind::Gauge: entry.gauge->reset(); break;
+      case MetricKind::Histogram: entry.histogram->reset(); break;
+    }
+  }
+}
+
+void Registry::clear() {
+  const std::scoped_lock lock(mutex_);
+  entries_.clear();
+}
+
+std::vector<MetricSnapshot> Registry::snapshot() const {
+  const std::scoped_lock lock(mutex_);
+  std::vector<MetricSnapshot> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    MetricSnapshot snap;
+    snap.name = name;
+    snap.kind = entry.kind;
+    switch (entry.kind) {
+      case MetricKind::Counter:
+        snap.value = static_cast<double>(entry.counter->value());
+        break;
+      case MetricKind::Gauge:
+        snap.value = entry.gauge->value();
+        break;
+      case MetricKind::Histogram: {
+        const Histogram& h = *entry.histogram;
+        snap.value = h.sum();
+        snap.count = h.count();
+        snap.min = h.count() > 0 ? h.min() : 0.0;
+        snap.max = h.count() > 0 ? h.max() : 0.0;
+        snap.mean = h.mean();
+        snap.bounds = h.bounds();
+        snap.buckets.reserve(h.bucket_count());
+        for (std::size_t i = 0; i < h.bucket_count(); ++i)
+          snap.buckets.push_back(h.bucket(i));
+        break;
+      }
+    }
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Dumps
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string_view kind_name(MetricKind kind) noexcept {
+  switch (kind) {
+    case MetricKind::Counter: return "counter";
+    case MetricKind::Gauge: return "gauge";
+    case MetricKind::Histogram: return "histogram";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string metrics_to_json(const Registry& registry) {
+  std::ostringstream out;
+  out << "{\"metrics\":[";
+  bool first = true;
+  for (const MetricSnapshot& m : registry.snapshot()) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"name\":" << util::json::quote(m.name)
+        << ",\"kind\":\"" << kind_name(m.kind) << '"';
+    if (m.kind == MetricKind::Histogram) {
+      out << util::format(
+          ",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{}",
+          m.count, m.value, m.min, m.max, m.mean);
+      out << ",\"bounds\":[";
+      for (std::size_t i = 0; i < m.bounds.size(); ++i)
+        out << (i ? "," : "") << m.bounds[i];
+      out << "],\"buckets\":[";
+      for (std::size_t i = 0; i < m.buckets.size(); ++i)
+        out << (i ? "," : "") << m.buckets[i];
+      out << ']';
+    } else {
+      out << util::format(",\"value\":{}", m.value);
+    }
+    out << '}';
+  }
+  out << "]}\n";
+  return out.str();
+}
+
+std::string metrics_to_csv(const Registry& registry) {
+  std::ostringstream out;
+  out << "name,kind,value,count,min,max,mean\n";
+  for (const MetricSnapshot& m : registry.snapshot()) {
+    out << util::format("{},{},{},{},{},{},{}\n", m.name, kind_name(m.kind),
+                        m.value, m.count, m.min, m.max, m.mean);
+  }
+  return out.str();
+}
+
+std::string metrics_to_text(const Registry& registry) {
+  std::ostringstream out;
+  for (const MetricSnapshot& m : registry.snapshot()) {
+    std::string name = m.name;
+    if (name.size() < 32) name.append(32 - name.size(), ' ');
+    if (m.kind == MetricKind::Histogram) {
+      out << util::format(
+          "{} n={} mean={:.2f} min={:.2f} max={:.2f} sum={:.2f}\n", name,
+          m.count, m.mean, m.min, m.max, m.value);
+    } else {
+      out << util::format("{} {}\n", name, m.value);
+    }
+  }
+  return out.str();
+}
+
+}  // namespace dras::obs

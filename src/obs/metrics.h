@@ -1,0 +1,235 @@
+// Process-wide metrics registry: named counters, gauges and fixed-bucket
+// histograms, plus a scoped RAII timer.
+//
+// Design goals, in order:
+//   1. Near-zero cost when telemetry is disabled.  Every hot operation
+//      (Counter::add, Histogram::observe, ScopedTimer) first checks one
+//      relaxed atomic bool; when it is false the operation touches no
+//      shared state, performs no allocation and reads no clock.  A whole
+//      translation unit can additionally compile the subsystem out by
+//      defining DRAS_OBS_COMPILED=0 (CMake option -DDRAS_OBS=OFF), which
+//      turns `enabled()` into `constexpr false` so the compiler deletes
+//      the instrumentation branches entirely.
+//   2. Thread safety.  Metric values are atomics; registration takes a
+//      mutex but instruments hold stable pointers, so steady-state use is
+//      lock-free.
+//   3. Registration is always allowed (even while disabled) so handles
+//      acquired at startup stay valid when telemetry is toggled later.
+//
+// Typical use:
+//
+//   auto& started = obs::Registry::global().counter("sim.jobs.started");
+//   ...
+//   started.add();                      // no-op unless obs::set_enabled(true)
+//
+//   auto& lat = obs::Registry::global().histogram(
+//       "sim.schedule_us", obs::Histogram::exponential_bounds(1.0, 4.0, 12));
+//   { obs::ScopedTimer t(lat); policy.schedule(ctx); }
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#ifndef DRAS_OBS_COMPILED
+#define DRAS_OBS_COMPILED 1
+#endif
+
+namespace dras::obs {
+
+namespace detail {
+#if DRAS_OBS_COMPILED
+extern std::atomic<bool> g_enabled;
+#endif
+}  // namespace detail
+
+/// Runtime master switch; starts disabled.
+void set_enabled(bool on) noexcept;
+
+/// Is telemetry active?  One relaxed load; `constexpr false` when the
+/// subsystem is compiled out.
+[[nodiscard]] inline bool enabled() noexcept {
+#if DRAS_OBS_COMPILED
+  return detail::g_enabled.load(std::memory_order_relaxed);
+#else
+  return false;
+#endif
+}
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    if (enabled()) value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double v) noexcept {
+    if (enabled()) value_.store(v, std::memory_order_relaxed);
+  }
+  void add(double delta) noexcept;
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram with running count/sum/min/max.  Bucket i counts
+/// observations <= bounds[i]; one extra overflow bucket counts the rest.
+/// Bounds are fixed at registration; observation is lock-free.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v) noexcept;
+
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept {
+    return bounds_;
+  }
+  /// bounds().size() + 1 (overflow bucket last).
+  [[nodiscard]] std::size_t bucket_count() const noexcept {
+    return buckets_.size();
+  }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double mean() const noexcept {
+    const auto n = count();
+    return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+  }
+  /// +inf / -inf when empty.
+  [[nodiscard]] double min() const noexcept {
+    return min_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double max() const noexcept {
+    return max_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept;
+
+  /// `count` upper bounds starting at `start`, each ×`factor`:
+  /// {start, start·f, start·f², ...}.
+  [[nodiscard]] static std::vector<double> exponential_bounds(
+      double start, double factor, std::size_t count);
+  /// `count` upper bounds {start, start+step, ...}.
+  [[nodiscard]] static std::vector<double> linear_bounds(double start,
+                                                         double step,
+                                                         std::size_t count);
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+};
+
+/// RAII wall-clock timer recording elapsed microseconds into a histogram
+/// on destruction.  When telemetry is disabled at construction time the
+/// clock is never read.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& target) noexcept
+      : target_(enabled() ? &target : nullptr),
+        start_(target_ ? std::chrono::steady_clock::now()
+                       : std::chrono::steady_clock::time_point{}) {}
+  ~ScopedTimer() {
+    if (target_ == nullptr) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    target_->observe(
+        std::chrono::duration<double, std::micro>(elapsed).count());
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* target_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+enum class MetricKind { Counter, Gauge, Histogram };
+
+/// Point-in-time copy of one metric, for dumps and tests.
+struct MetricSnapshot {
+  std::string name;
+  MetricKind kind = MetricKind::Counter;
+  double value = 0.0;           ///< counter / gauge value; histogram sum.
+  std::uint64_t count = 0;      ///< histogram observation count.
+  double min = 0.0, max = 0.0, mean = 0.0;  ///< histogram only.
+  std::vector<double> bounds;               ///< histogram only.
+  std::vector<std::uint64_t> buckets;       ///< histogram only.
+};
+
+/// Name → metric registry.  Lookup creates on first use; names are
+/// namespaced by convention ("sim.jobs.started").  A name maps to exactly
+/// one kind; re-registering under a different kind throws.
+class Registry {
+ public:
+  /// The process-wide registry used by all built-in instrumentation.
+  [[nodiscard]] static Registry& global();
+
+  [[nodiscard]] Counter& counter(std::string_view name);
+  [[nodiscard]] Gauge& gauge(std::string_view name);
+  /// `bounds` is consulted only on first registration.
+  [[nodiscard]] Histogram& histogram(std::string_view name,
+                                     std::vector<double> bounds);
+
+  [[nodiscard]] bool contains(std::string_view name) const;
+  [[nodiscard]] std::size_t size() const;
+
+  /// Zero every value, keep registrations.
+  void reset_values();
+  /// Drop all metrics (invalidates outstanding handles; tests only).
+  void clear();
+
+  [[nodiscard]] std::vector<MetricSnapshot> snapshot() const;
+
+ private:
+  struct Entry {
+    MetricKind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mutex_;
+  // Sorted map keeps dumps deterministic.
+  std::vector<std::pair<std::string, Entry>> entries_;
+
+  Entry* find_locked(std::string_view name);
+  Entry& emplace_locked(std::string_view name, MetricKind kind);
+};
+
+/// Serialize a snapshot of `registry` as JSON ({"metrics":[...]}).
+[[nodiscard]] std::string metrics_to_json(const Registry& registry);
+/// Serialize as CSV (name,kind,value,count,min,max,mean).
+[[nodiscard]] std::string metrics_to_csv(const Registry& registry);
+/// Human-readable table for --profile output.
+[[nodiscard]] std::string metrics_to_text(const Registry& registry);
+
+}  // namespace dras::obs

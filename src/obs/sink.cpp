@@ -1,0 +1,105 @@
+#include "obs/sink.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <iostream>
+#include <stdexcept>
+
+#include "util/format.h"
+
+namespace dras::obs {
+
+// ---------------------------------------------------------------------------
+// NullSink
+// ---------------------------------------------------------------------------
+
+void NullSink::write(std::string_view text) {
+  bytes_.fetch_add(text.size(), std::memory_order_relaxed);
+}
+
+std::size_t NullSink::bytes_discarded() const noexcept {
+  return bytes_.load(std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// StderrSink
+// ---------------------------------------------------------------------------
+
+void StderrSink::write(std::string_view text) {
+  const std::scoped_lock lock(mutex_);
+  std::cerr << text;
+}
+
+// ---------------------------------------------------------------------------
+// StringSink
+// ---------------------------------------------------------------------------
+
+void StringSink::write(std::string_view text) {
+  const std::scoped_lock lock(mutex_);
+  data_.append(text);
+}
+
+std::string StringSink::str() const {
+  const std::scoped_lock lock(mutex_);
+  return data_;
+}
+
+// ---------------------------------------------------------------------------
+// FileSink
+// ---------------------------------------------------------------------------
+
+FileSink::FileSink(const std::filesystem::path& path,
+                   std::size_t buffer_capacity)
+    : path_(path), capacity_(buffer_capacity) {
+  if (path.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(path.parent_path(), ec);
+  }
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd_ < 0)
+    throw std::runtime_error(util::format("cannot open '{}': {}",
+                                          path.string(),
+                                          std::strerror(errno)));
+  buffer_.reserve(capacity_);
+}
+
+FileSink::~FileSink() {
+  flush();
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void FileSink::write(std::string_view text) {
+  const std::scoped_lock lock(mutex_);
+  buffer_.append(text);
+  if (buffer_.size() >= capacity_) flush_locked();
+}
+
+void FileSink::flush() {
+  const std::scoped_lock lock(mutex_);
+  flush_locked();
+}
+
+void FileSink::flush_locked() {
+  const char* data = buffer_.data();
+  std::size_t left = buffer_.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd_, data, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // telemetry must never take the process down
+    }
+    data += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  buffer_.clear();
+}
+
+std::unique_ptr<Sink> make_sink(const std::string& target) {
+  if (target == "-") return std::make_unique<StderrSink>();
+  return std::make_unique<FileSink>(target);
+}
+
+}  // namespace dras::obs

@@ -1,0 +1,91 @@
+// Output sinks for the telemetry subsystem.
+//
+// A Sink receives already-serialized text (trace events, metric dumps)
+// and is responsible only for where the bytes go.  FileSink buffers
+// internally and writes in large chunks so the producers — the simulator
+// event loop above all — never pay a syscall per event; flush() (and the
+// destructor) drain the buffer.  All sinks are thread-safe.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace dras::obs {
+
+class Sink {
+ public:
+  virtual ~Sink() = default;
+
+  /// Append `text` (may buffer).
+  virtual void write(std::string_view text) = 0;
+  /// Push buffered bytes to the destination.
+  virtual void flush() {}
+};
+
+/// Discards everything.  Used to measure serialization cost in benches.
+class NullSink final : public Sink {
+ public:
+  void write(std::string_view text) override;
+  /// Bytes that would have been written; handy for benches and tests.
+  [[nodiscard]] std::size_t bytes_discarded() const noexcept;
+
+ private:
+  std::atomic<std::size_t> bytes_{0};
+};
+
+/// Unbuffered line-oriented writes to stderr.
+class StderrSink final : public Sink {
+ public:
+  void write(std::string_view text) override;
+
+ private:
+  std::mutex mutex_;
+};
+
+/// Accumulates into a string.  The test sink.
+class StringSink final : public Sink {
+ public:
+  void write(std::string_view text) override;
+  [[nodiscard]] std::string str() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::string data_;
+};
+
+/// Buffered file writer.  Opens (truncates) on construction and throws
+/// std::runtime_error when the file cannot be opened; the destructor
+/// flushes.  `buffer_capacity` bounds the internal buffer before a write
+/// to the OS happens.
+class FileSink final : public Sink {
+ public:
+  explicit FileSink(const std::filesystem::path& path,
+                    std::size_t buffer_capacity = 1 << 18);
+  ~FileSink() override;
+
+  void write(std::string_view text) override;
+  void flush() override;
+
+  [[nodiscard]] const std::filesystem::path& path() const noexcept {
+    return path_;
+  }
+
+ private:
+  void flush_locked();
+
+  std::filesystem::path path_;
+  std::size_t capacity_;
+  std::mutex mutex_;
+  std::string buffer_;
+  int fd_ = -1;
+};
+
+/// Convenience factory: "-" means stderr, anything else a FileSink.
+[[nodiscard]] std::unique_ptr<Sink> make_sink(const std::string& target);
+
+}  // namespace dras::obs

@@ -1,0 +1,166 @@
+#include "obs/trace.h"
+
+#include <chrono>
+
+#include "util/format.h"
+#include "util/json.h"
+
+namespace dras::obs {
+
+namespace {
+
+std::atomic<EventTracer*> g_default_tracer{nullptr};
+
+constexpr std::size_t kFlushThreshold = 1 << 16;  // 64 KiB
+
+void append_args(std::string& out, const std::vector<TraceArg>& args) {
+  out += ",\"args\":{";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i) out += ',';
+    out += util::json::quote(args[i].key);
+    out += ':';
+    out += args[i].value;
+  }
+  out += '}';
+}
+
+}  // namespace
+
+TraceArg targ(std::string_view key, double value) {
+  return {std::string(key), util::format("{}", value)};
+}
+TraceArg targ(std::string_view key, std::int64_t value) {
+  return {std::string(key), util::format("{}", value)};
+}
+TraceArg targ(std::string_view key, std::uint64_t value) {
+  return {std::string(key), util::format("{}", value)};
+}
+TraceArg targ(std::string_view key, int value) {
+  return {std::string(key), util::format("{}", value)};
+}
+TraceArg targ(std::string_view key, bool value) {
+  return {std::string(key), value ? "true" : "false"};
+}
+TraceArg targ(std::string_view key, std::string_view value) {
+  return {std::string(key), util::json::quote(value)};
+}
+TraceArg targ(std::string_view key, const char* value) {
+  return targ(key, std::string_view(value));
+}
+
+EventTracer::EventTracer(std::unique_ptr<Sink> sink, TraceFormat format)
+    : sink_(std::move(sink)),
+      format_(format),
+      epoch_(std::chrono::steady_clock::now()) {
+  const std::scoped_lock lock(mutex_);
+  emit_metadata_locked();
+}
+
+EventTracer::~EventTracer() { close(); }
+
+void EventTracer::emit_metadata_locked() {
+  const auto name_event = [](int pid, std::string_view name) {
+    return util::format(
+        "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\"tid\":0,"
+        "\"args\":{{\"name\":{}}}}}",
+        pid, util::json::quote(name));
+  };
+  append_locked(name_event(kSimPid, "simulator (sim time)"));
+  append_locked(name_event(kTrainPid, "trainer (wall time)"));
+}
+
+void EventTracer::append_locked(std::string&& event_json) {
+  if (closed_) return;
+  if (format_ == TraceFormat::ChromeJson) {
+    buffer_ += wrote_any_ ? ",\n" : "{\"traceEvents\":[\n";
+    buffer_ += event_json;
+  } else {
+    buffer_ += event_json;
+    buffer_ += '\n';
+  }
+  wrote_any_ = true;
+  ++events_;
+  if (buffer_.size() >= kFlushThreshold) {
+    sink_->write(buffer_);
+    buffer_.clear();
+  }
+}
+
+void EventTracer::instant(std::string_view name, double ts_seconds,
+                          const std::vector<TraceArg>& args, int pid,
+                          int tid) {
+  std::string event = util::format(
+      "{{\"name\":{},\"ph\":\"i\",\"s\":\"t\",\"ts\":{:.3f},\"pid\":{},"
+      "\"tid\":{}",
+      util::json::quote(name), ts_seconds * 1e6, pid, tid);
+  if (!args.empty()) append_args(event, args);
+  event += '}';
+  const std::scoped_lock lock(mutex_);
+  append_locked(std::move(event));
+}
+
+void EventTracer::complete(std::string_view name, double ts_seconds,
+                           double dur_seconds,
+                           const std::vector<TraceArg>& args, int pid,
+                           int tid) {
+  std::string event = util::format(
+      "{{\"name\":{},\"ph\":\"X\",\"ts\":{:.3f},\"dur\":{:.3f},\"pid\":{},"
+      "\"tid\":{}",
+      util::json::quote(name), ts_seconds * 1e6, dur_seconds * 1e6, pid, tid);
+  if (!args.empty()) append_args(event, args);
+  event += '}';
+  const std::scoped_lock lock(mutex_);
+  append_locked(std::move(event));
+}
+
+void EventTracer::counter(std::string_view name, double ts_seconds,
+                          double value, int pid) {
+  std::string event = util::format(
+      "{{\"name\":{},\"ph\":\"C\",\"ts\":{:.3f},\"pid\":{},\"tid\":0,"
+      "\"args\":{{\"value\":{}}}}}",
+      util::json::quote(name), ts_seconds * 1e6, pid, value);
+  const std::scoped_lock lock(mutex_);
+  append_locked(std::move(event));
+}
+
+double EventTracer::wall_seconds() const noexcept {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+std::uint64_t EventTracer::events_recorded() const noexcept {
+  return events_;
+}
+
+void EventTracer::flush() {
+  const std::scoped_lock lock(mutex_);
+  if (!buffer_.empty()) {
+    sink_->write(buffer_);
+    buffer_.clear();
+  }
+  sink_->flush();
+}
+
+void EventTracer::close() {
+  const std::scoped_lock lock(mutex_);
+  if (closed_) return;
+  if (format_ == TraceFormat::ChromeJson)
+    buffer_ += wrote_any_ ? "\n]}\n" : "{\"traceEvents\":[]}\n";
+  closed_ = true;
+  if (!buffer_.empty()) {
+    sink_->write(buffer_);
+    buffer_.clear();
+  }
+  sink_->flush();
+}
+
+void set_default_tracer(EventTracer* tracer) noexcept {
+  g_default_tracer.store(tracer, std::memory_order_release);
+}
+
+EventTracer* default_tracer() noexcept {
+  return g_default_tracer.load(std::memory_order_acquire);
+}
+
+}  // namespace dras::obs

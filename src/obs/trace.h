@@ -1,0 +1,110 @@
+// Structured event tracer emitting Chrome trace-event JSON (loadable in
+// chrome://tracing and Perfetto) or JSONL (one event object per line).
+//
+// Timestamps are caller-supplied seconds and are written as microseconds,
+// the unit the trace-event spec mandates.  Simulator instrumentation
+// passes *simulation* time so the resulting trace visualizes the schedule
+// itself (each job a 'X' complete event, queue depth / used nodes as 'C'
+// counter tracks); trainer instrumentation passes wall time from
+// `wall_seconds()`.  The two live on different pid lanes (kSimPid /
+// kTrainPid) so mixed traces stay readable.
+//
+// Events are serialized immediately into an in-memory buffer under a
+// mutex and handed to the Sink in large chunks, so the simulator event
+// loop never blocks on I/O.  The destructor (or close()) finalizes the
+// JSON document.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/sink.h"
+
+namespace dras::obs {
+
+enum class TraceFormat { ChromeJson, Jsonl };
+
+/// One pre-encoded "args" entry: `value` must already be valid JSON
+/// (use the targ() helpers).
+struct TraceArg {
+  std::string key;
+  std::string value;
+};
+
+[[nodiscard]] TraceArg targ(std::string_view key, double value);
+[[nodiscard]] TraceArg targ(std::string_view key, std::int64_t value);
+[[nodiscard]] TraceArg targ(std::string_view key, std::uint64_t value);
+[[nodiscard]] TraceArg targ(std::string_view key, int value);
+[[nodiscard]] TraceArg targ(std::string_view key, bool value);
+[[nodiscard]] TraceArg targ(std::string_view key, std::string_view value);
+// String literals would otherwise prefer the bool overload (pointer→bool
+// is a standard conversion; const char*→string_view is not).
+[[nodiscard]] TraceArg targ(std::string_view key, const char* value);
+
+inline constexpr int kSimPid = 1;    ///< Simulation-time lane.
+inline constexpr int kTrainPid = 2;  ///< Wall-time (trainer) lane.
+
+class EventTracer {
+ public:
+  /// Takes ownership of `sink`.  Emits process-name metadata up front.
+  explicit EventTracer(std::unique_ptr<Sink> sink,
+                       TraceFormat format = TraceFormat::ChromeJson);
+  ~EventTracer();
+
+  EventTracer(const EventTracer&) = delete;
+  EventTracer& operator=(const EventTracer&) = delete;
+
+  /// 'i' instant event at `ts_seconds`.
+  void instant(std::string_view name, double ts_seconds,
+               const std::vector<TraceArg>& args = {}, int pid = kSimPid,
+               int tid = 1);
+  /// 'X' complete event covering [ts_seconds, ts_seconds + dur_seconds].
+  void complete(std::string_view name, double ts_seconds, double dur_seconds,
+                const std::vector<TraceArg>& args = {}, int pid = kSimPid,
+                int tid = 1);
+  /// 'C' counter sample; renders as a counter track.
+  void counter(std::string_view name, double ts_seconds, double value,
+               int pid = kSimPid);
+
+  /// Wall-clock seconds since this tracer was constructed (monotonic);
+  /// the timestamp source for wall-time lanes.
+  [[nodiscard]] double wall_seconds() const noexcept;
+
+  /// Events recorded so far.
+  [[nodiscard]] std::uint64_t events_recorded() const noexcept;
+
+  /// Serialize any buffered bytes to the sink and flush it.
+  void flush();
+  /// Finalize the document (writes the closing bracket for ChromeJson)
+  /// and flush.  Further events are dropped.  Idempotent.
+  void close();
+
+  [[nodiscard]] TraceFormat format() const noexcept { return format_; }
+
+ private:
+  void append_locked(std::string&& event_json);
+  void emit_metadata_locked();
+
+  std::unique_ptr<Sink> sink_;
+  TraceFormat format_;
+  std::mutex mutex_;
+  std::string buffer_;
+  bool wrote_any_ = false;
+  bool closed_ = false;
+  std::atomic<std::uint64_t> events_{0};
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// Process-wide default tracer (may be null).  Simulator instances pick
+/// this up at construction; CLI drivers and bench harnesses install it.
+/// Not owning — the caller keeps the tracer alive.
+void set_default_tracer(EventTracer* tracer) noexcept;
+[[nodiscard]] EventTracer* default_tracer() noexcept;
+
+}  // namespace dras::obs

@@ -2,10 +2,42 @@
 
 #include <algorithm>
 #include <cassert>
-#include "util/format.h"
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/format.h"
+
 namespace dras::sim {
+
+namespace {
+
+// Registered once per process; every op is a no-op unless obs::enabled().
+struct SimMetrics {
+  obs::Registry& reg = obs::Registry::global();
+  obs::Counter& instances = reg.counter("sim.scheduling_instances");
+  obs::Counter& submits = reg.counter("sim.jobs.submitted");
+  obs::Counter& completions = reg.counter("sim.jobs.completed");
+  obs::Counter& starts_ready = reg.counter("sim.jobs.started_ready");
+  obs::Counter& starts_backfill = reg.counter("sim.jobs.started_backfill");
+  obs::Counter& starts_reserved = reg.counter("sim.jobs.started_reserved");
+  obs::Counter& reservations = reg.counter("sim.reservations");
+  obs::Counter& kills = reg.counter("sim.jobs.killed_walltime");
+  obs::Counter& runs = reg.counter("sim.runs");
+  obs::Histogram& wait_s = reg.histogram(
+      "sim.job_wait_s", obs::Histogram::exponential_bounds(1.0, 4.0, 10));
+  obs::Histogram& queue_depth = reg.histogram(
+      "sim.queue_depth", obs::Histogram::linear_bounds(0.0, 16.0, 16));
+  obs::Histogram& schedule_us = reg.histogram(
+      "sim.schedule_us", obs::Histogram::exponential_bounds(1.0, 4.0, 12));
+
+  static SimMetrics& get() {
+    static SimMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // SchedulingContext
@@ -72,7 +104,13 @@ std::vector<Job*> SchedulingContext::backfill_candidates() const {
 Simulator::Simulator(int total_nodes, int reservation_depth)
     : cluster_(total_nodes),
       ledger_(static_cast<std::size_t>(std::max(reservation_depth, 1))),
-      metrics_(total_nodes) {}
+      metrics_(total_nodes),
+      tracer_(obs::default_tracer()) {}
+
+void Simulator::notify_observers(const SchedulingContext& ctx,
+                                 const Job& job) {
+  for (const ActionObserver& observer : observers_) observer(ctx, job);
+}
 
 std::vector<Reservation> Simulator::reservations_except(
     JobId excluded) const {
@@ -116,9 +154,9 @@ bool Simulator::action_start(JobId id, bool as_backfill) {
     mode = ExecMode::Ready;
   }
   start_job(*job, mode);
-  if (observer_) {
+  if (!observers_.empty()) {
     SchedulingContext ctx(*this);
-    observer_(ctx, *job);
+    notify_observers(ctx, *job);
   }
   return true;
 }
@@ -149,9 +187,15 @@ bool Simulator::action_reserve(JobId id) {
   // event lands there (the job usually starts earlier via auto-start).
   if (r.start > now_)
     events_.push(Event{r.start, EventType::ReservationReady, id});
-  if (observer_) {
+  SimMetrics::get().reservations.add();
+  if (tracer_ != nullptr) {
+    tracer_->instant("reserve", now_,
+                     {obs::targ("job", job->id), obs::targ("size", job->size),
+                      obs::targ("reserved_start", r.start)});
+  }
+  if (!observers_.empty()) {
     SchedulingContext ctx(*this);
-    observer_(ctx, *job);
+    notify_observers(ctx, *job);
   }
   return true;
 }
@@ -171,7 +215,7 @@ void Simulator::auto_start_reserved(const SchedulingContext& ctx) {
       }
       ledger_.remove(r.job);
       start_job(job, ExecMode::Reserved);
-      if (observer_) observer_(ctx, job);
+      notify_observers(ctx, job);
       progress = true;
       break;  // ledger mutated; restart the scan
     }
@@ -190,6 +234,20 @@ void Simulator::start_job(Job& job, ExecMode mode) {
   job.mode = mode;
   ++started_jobs_;
   events_.push(Event{job.end_time, EventType::JobEnd, job.id});
+
+  SimMetrics& m = SimMetrics::get();
+  switch (mode) {
+    case ExecMode::Backfilled: m.starts_backfill.add(); break;
+    case ExecMode::Reserved: m.starts_reserved.add(); break;
+    default: m.starts_ready.add(); break;
+  }
+  m.wait_s.observe(job.wait_time());
+  if (tracer_ != nullptr) {
+    tracer_->complete(to_string(mode), job.start_time,
+                      job.effective_runtime(),
+                      {obs::targ("job", job.id), obs::targ("size", job.size),
+                       obs::targ("wait_s", job.wait_time())});
+  }
 }
 
 void Simulator::handle_event(const Event& event) {
@@ -197,6 +255,7 @@ void Simulator::handle_event(const Event& event) {
     case EventType::JobSubmit: {
       Job& job = jobs_[index_.at(event.job)];
       queue_.submit(&job);
+      SimMetrics::get().submits.add();
       break;
     }
     case EventType::JobEnd: {
@@ -207,6 +266,20 @@ void Simulator::handle_event(const Event& event) {
       metrics_.record_completion(job);
       queue_.on_job_finished(job.id);
       last_end_ = std::max(last_end_, job.end_time);
+      SimMetrics::get().completions.add();
+      // A job whose true runtime exceeds its estimate was cut short at the
+      // walltime bound (§II-A): surface those kills distinctly.
+      if (job.runtime_actual > job.runtime_estimate) {
+        SimMetrics::get().kills.add();
+        if (tracer_ != nullptr) {
+          tracer_->instant(
+              "kill_walltime", now_,
+              {obs::targ("job", job.id),
+               obs::targ("walltime_s", job.runtime_estimate),
+               obs::targ("overrun_s",
+                         job.runtime_actual - job.runtime_estimate)});
+        }
+      }
       break;
     }
     case EventType::ReservationReady:
@@ -261,6 +334,8 @@ SimulationResult Simulator::run(const Trace& trace, Scheduler& policy) {
     reset(sorted);
   }
   policy.begin_episode();
+  SimMetrics& m = SimMetrics::get();
+  m.runs.add();
 
   SchedulingContext ctx(*this);
   while (!events_.empty()) {
@@ -279,8 +354,34 @@ SimulationResult Simulator::run(const Trace& trace, Scheduler& policy) {
 
     if (queue_.visible_count() > 0) {
       ++instances_;
-      policy.schedule(ctx);
+      m.instances.add();
+      m.queue_depth.observe(static_cast<double>(queue_.visible_count()));
+      if (tracer_ != nullptr) {
+        tracer_->instant(
+            "scheduling_instance", now_,
+            {obs::targ("instance", static_cast<std::uint64_t>(instances_)),
+             obs::targ("queue_depth",
+                       static_cast<std::uint64_t>(queue_.visible_count())),
+             obs::targ("free_nodes", cluster_.free_nodes())});
+      }
+      {
+        const obs::ScopedTimer timer(m.schedule_us);
+        policy.schedule(ctx);
+      }
+      if (tracer_ != nullptr) {
+        // Post-decision samples: these render as counter tracks showing
+        // queue pressure and machine utilization over simulated time.
+        tracer_->counter("queue_depth", now_,
+                         static_cast<double>(queue_.visible_count()));
+        tracer_->counter("used_nodes", now_,
+                         static_cast<double>(cluster_.used_nodes()));
+      }
     }
+  }
+  if (tracer_ != nullptr) {
+    tracer_->counter("queue_depth", now_, 0.0);
+    tracer_->counter("used_nodes", now_,
+                     static_cast<double>(cluster_.used_nodes()));
   }
   policy.end_episode();
 

@@ -26,6 +26,10 @@
 #include "sim/scheduler.h"
 #include "sim/wait_queue.h"
 
+namespace dras::obs {
+class EventTracer;
+}  // namespace dras::obs
+
 namespace dras::sim {
 
 /// Outcome of one full simulation run.
@@ -60,12 +64,28 @@ class Simulator {
   /// Invoked after every successful start / reserve / backfill action with
   /// the post-action state and the acting job.  Lets evaluation code
   /// account per-action rewards for policies that do not compute them
-  /// (the Fig. 5 reward curves of the heuristic methods).
+  /// (the Fig. 5 reward curves of the heuristic methods).  Any number of
+  /// observers may be registered; they are notified in registration order.
   using ActionObserver =
       std::function<void(const SchedulingContext&, const Job&)>;
-  void set_action_observer(ActionObserver observer) {
-    observer_ = std::move(observer);
+  void add_action_observer(ActionObserver observer) {
+    observers_.push_back(std::move(observer));
   }
+  /// Replace all registered observers with `observer` (historical
+  /// single-observer semantics).  Prefer add_action_observer.
+  void set_action_observer(ActionObserver observer) {
+    observers_.clear();
+    observers_.push_back(std::move(observer));
+  }
+
+  /// Attach a telemetry tracer (non-owning; nullptr detaches).  New
+  /// simulators pick up obs::default_tracer() automatically; this
+  /// overrides that choice.  The tracer receives one instant event per
+  /// scheduling instance, one complete event per started job, queue-depth
+  /// and used-node counter tracks, and reservation / walltime-kill
+  /// instants — all stamped with simulation time.
+  void set_tracer(obs::EventTracer* tracer) noexcept { tracer_ = tracer; }
+  [[nodiscard]] obs::EventTracer* tracer() const noexcept { return tracer_; }
 
  private:
   friend class SchedulingContext;
@@ -86,6 +106,7 @@ class Simulator {
   void start_job(Job& job, ExecMode mode);
   void handle_event(const Event& event);
   void reset(const Trace& trace);
+  void notify_observers(const SchedulingContext& ctx, const Job& job);
 
   Cluster cluster_;
   EventQueue events_;
@@ -101,7 +122,8 @@ class Simulator {
   Time last_end_ = 0.0;
   std::size_t instances_ = 0;
   std::size_t started_jobs_ = 0;
-  ActionObserver observer_;
+  std::vector<ActionObserver> observers_;
+  obs::EventTracer* tracer_ = nullptr;
 };
 
 }  // namespace dras::sim

@@ -9,7 +9,7 @@ Evaluation evaluate(int total_nodes, const sim::Trace& trace,
   Evaluation evaluation;
   evaluation.method = std::string(policy.name());
   if (reward != nullptr) {
-    simulator.set_action_observer(
+    simulator.add_action_observer(
         [&](const sim::SchedulingContext& ctx, const sim::Job& job) {
           evaluation.total_reward += reward->step_reward(ctx, job);
         });

@@ -21,9 +21,9 @@ struct Evaluation {
 
 /// Run `policy` on `trace` with a machine of `total_nodes` nodes.  When
 /// `reward` is provided, every successful action is scored on the
-/// post-action state and accumulated into `total_reward` (this uses the
-/// simulator's action observer; any observer previously installed on a
-/// caller-owned simulator is not preserved).
+/// post-action state and accumulated into `total_reward`.  Reward
+/// accounting registers an additional action observer, so it coexists
+/// with telemetry tracers and any other observers.
 [[nodiscard]] Evaluation evaluate(int total_nodes, const sim::Trace& trace,
                                   sim::Scheduler& policy,
                                   const core::RewardFunction* reward = nullptr);

@@ -1,12 +1,35 @@
 #include "train/trainer.h"
 
-#include "util/format.h"
+#include <chrono>
 
 #include "nn/serialize.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
+#include "util/format.h"
 #include "util/logging.h"
 
 namespace dras::train {
+
+namespace {
+
+struct TrainMetrics {
+  obs::Registry& reg = obs::Registry::global();
+  obs::Counter& episodes = reg.counter("train.episodes");
+  obs::Counter& snapshots = reg.counter("train.snapshots");
+  obs::Histogram& episode_wall_s = reg.histogram(
+      "train.episode_wall_s",
+      obs::Histogram::exponential_bounds(0.001, 4.0, 12));
+  obs::Histogram& loss = reg.histogram(
+      "train.loss", obs::Histogram::exponential_bounds(1e-4, 10.0, 10));
+
+  static TrainMetrics& get() {
+    static TrainMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
 
 Trainer::Trainer(core::DrasAgent& agent, int total_nodes,
                  sim::Trace validation, TrainerOptions options)
@@ -29,6 +52,12 @@ EpisodeResult Trainer::validate() {
 }
 
 EpisodeResult Trainer::run_episode(const Jobset& jobset) {
+  obs::EventTracer* tracer =
+      options_.tracer != nullptr ? options_.tracer : obs::default_tracer();
+  const auto wall_start = std::chrono::steady_clock::now();
+  const double trace_start =
+      tracer != nullptr ? tracer->wall_seconds() : 0.0;
+
   EpisodeResult result;
   result.episode = episodes_done_;
   result.jobset = jobset.name;
@@ -38,6 +67,9 @@ EpisodeResult Trainer::run_episode(const Jobset& jobset) {
   sim::Simulator simulator(total_nodes_);
   simulator.run(jobset.trace, agent_);
   result.training_reward = agent_.episode_reward();
+  result.loss = agent_.last_update_loss();
+  result.grad_norm = agent_.last_update_grad_norm();
+  result.epsilon = agent_.epsilon();
 
   if (options_.validate_each_episode && !validation_.empty()) {
     const EpisodeResult validation = validate();
@@ -51,6 +83,35 @@ EpisodeResult Trainer::run_episode(const Jobset& jobset) {
         *options_.snapshot_dir /
         util::format("{}-episode-{}.bin", agent_.name(), episodes_done_);
     nn::save_network_file(path, agent_.network());
+    TrainMetrics::get().snapshots.add();
+    if (tracer != nullptr) {
+      tracer->instant("snapshot", tracer->wall_seconds(),
+                      {obs::targ("path", path.string()),
+                       obs::targ(
+                           "episode",
+                           static_cast<std::uint64_t>(episodes_done_))},
+                      obs::kTrainPid);
+    }
+  }
+
+  result.wall_seconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - wall_start)
+                            .count();
+  TrainMetrics& m = TrainMetrics::get();
+  m.episodes.add();
+  m.episode_wall_s.observe(result.wall_seconds);
+  m.loss.observe(result.loss);
+  if (tracer != nullptr) {
+    tracer->complete(
+        util::format("episode {}", episodes_done_), trace_start,
+        tracer->wall_seconds() - trace_start,
+        {obs::targ("jobset", jobset.name),
+         obs::targ("training_reward", result.training_reward),
+         obs::targ("validation_reward", result.validation_reward),
+         obs::targ("loss", result.loss),
+         obs::targ("grad_norm", result.grad_norm),
+         obs::targ("epsilon", result.epsilon)},
+        obs::kTrainPid);
   }
 
   util::log_info("episode {} [{}] train reward {:.3f} validation {:.3f}",

@@ -20,6 +20,10 @@
 #include "metrics/stats.h"
 #include "train/curriculum.h"
 
+namespace dras::obs {
+class EventTracer;
+}  // namespace dras::obs
+
 namespace dras::train {
 
 struct EpisodeResult {
@@ -29,6 +33,11 @@ struct EpisodeResult {
   double training_reward = 0.0;    ///< Reward collected during the episode.
   double validation_reward = 0.0;  ///< Greedy reward on the validation set.
   metrics::Summary validation_summary;
+  // --- Training telemetry ---
+  double loss = 0.0;          ///< Policy loss of the last update.
+  double grad_norm = 0.0;     ///< Gradient L2 norm of the last update.
+  double epsilon = 0.0;       ///< DQL exploration rate (0 for PG).
+  double wall_seconds = 0.0;  ///< Wall-clock cost of the training episode.
 };
 
 struct TrainerOptions {
@@ -36,6 +45,10 @@ struct TrainerOptions {
   /// When set, a model snapshot is written per episode as
   /// "<dir>/<agent>-episode-<k>.bin".
   std::optional<std::filesystem::path> snapshot_dir;
+  /// Telemetry tracer for episode begin/end, loss/reward/epsilon and
+  /// snapshot-write events (non-owning).  Falls back to
+  /// obs::default_tracer() when null.
+  obs::EventTracer* tracer = nullptr;
 };
 
 class Trainer {

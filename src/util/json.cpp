@@ -1,0 +1,324 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <stdexcept>
+#include <utility>
+
+#include "util/format.h"
+
+namespace dras::util::json {
+
+std::string escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char hex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xF];
+          out += hex[c & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string quote(std::string_view text) {
+  return '"' + escape(text) + '"';
+}
+
+// ---------------------------------------------------------------------------
+// Value
+// ---------------------------------------------------------------------------
+
+namespace {
+[[noreturn]] void kind_error(std::string_view wanted) {
+  throw std::invalid_argument(
+      util::format("JSON value is not a {}", wanted));
+}
+}  // namespace
+
+bool Value::as_bool() const {
+  if (kind_ != Kind::Bool) kind_error("bool");
+  return bool_;
+}
+
+double Value::as_number() const {
+  if (kind_ != Kind::Number) kind_error("number");
+  return number_;
+}
+
+const std::string& Value::as_string() const {
+  if (kind_ != Kind::String) kind_error("string");
+  return string_;
+}
+
+const std::vector<Value>& Value::as_array() const {
+  if (kind_ != Kind::Array) kind_error("array");
+  return array_;
+}
+
+const std::map<std::string, Value>& Value::as_object() const {
+  if (kind_ != Kind::Object) kind_error("object");
+  return object_;
+}
+
+const Value* Value::find(const std::string& key) const noexcept {
+  if (kind_ != Kind::Object) return nullptr;
+  const auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+Value Value::make_null() { return {}; }
+
+Value Value::make_bool(bool b) {
+  Value v;
+  v.kind_ = Kind::Bool;
+  v.bool_ = b;
+  return v;
+}
+
+Value Value::make_number(double n) {
+  Value v;
+  v.kind_ = Kind::Number;
+  v.number_ = n;
+  return v;
+}
+
+Value Value::make_string(std::string s) {
+  Value v;
+  v.kind_ = Kind::String;
+  v.string_ = std::move(s);
+  return v;
+}
+
+Value Value::make_array(std::vector<Value> items) {
+  Value v;
+  v.kind_ = Kind::Array;
+  v.array_ = std::move(items);
+  return v;
+}
+
+Value Value::make_object(std::map<std::string, Value> members) {
+  Value v;
+  v.kind_ = Kind::Object;
+  v.object_ = std::move(members);
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value parse_document() {
+    Value value = parse_value();
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("trailing garbage after document");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(std::string_view what) const {
+    throw std::invalid_argument(
+        util::format("JSON parse error at offset {}: {}", pos_, what));
+  }
+
+  void skip_whitespace() noexcept {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(util::format("expected '{}'", c));
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  Value parse_value() {
+    skip_whitespace();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Value::make_string(parse_string());
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return Value::make_bool(true);
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return Value::make_bool(false);
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return Value::make_null();
+      default: return parse_number();
+    }
+  }
+
+  Value parse_object() {
+    expect('{');
+    std::map<std::string, Value> members;
+    skip_whitespace();
+    if (peek() == '}') {
+      ++pos_;
+      return Value::make_object(std::move(members));
+    }
+    while (true) {
+      skip_whitespace();
+      std::string key = parse_string();
+      skip_whitespace();
+      expect(':');
+      members.insert_or_assign(std::move(key), parse_value());
+      skip_whitespace();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') break;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+    return Value::make_object(std::move(members));
+  }
+
+  Value parse_array() {
+    expect('[');
+    std::vector<Value> items;
+    skip_whitespace();
+    if (peek() == ']') {
+      ++pos_;
+      return Value::make_array(std::move(items));
+    }
+    while (true) {
+      items.push_back(parse_value());
+      skip_whitespace();
+      const char c = peek();
+      ++pos_;
+      if (c == ']') break;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+    return Value::make_array(std::move(items));
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') break;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad hex digit in \\u escape");
+          }
+          // Encode the code point as UTF-8 (surrogate pairs are passed
+          // through as two 3-byte sequences; good enough for telemetry).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+    return out;
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+'))
+      ++pos_;
+    bool any = false;
+    auto digits = [&] {
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+        any = true;
+      }
+    };
+    digits();
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      digits();
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+'))
+        ++pos_;
+      digits();
+    }
+    if (!any) fail("invalid number");
+    const std::string_view token = text_.substr(start, pos_ - start);
+    double value = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), value);
+    if (ec != std::errc{} || ptr != token.data() + token.size())
+      fail("invalid number");
+    return Value::make_number(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value parse(std::string_view text) { return Parser(text).parse_document(); }
+
+}  // namespace dras::util::json

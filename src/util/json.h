@@ -1,0 +1,81 @@
+// Minimal JSON support: string escaping for writers and a small
+// recursive-descent parser for readers.
+//
+// The obs/ tracer emits Chrome trace-event JSON and JSONL; tests (and any
+// tooling that wants to round-trip those files) parse them back with
+// json::parse.  This is deliberately a tiny strict subset implementation —
+// UTF-8 pass-through, no comments, no trailing commas — not a general
+// JSON library.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dras::util::json {
+
+/// Escape `text` for inclusion inside a JSON string literal (quotes not
+/// added).  Control characters become \uXXXX escapes.
+[[nodiscard]] std::string escape(std::string_view text);
+
+/// Quote and escape: `"..."`.
+[[nodiscard]] std::string quote(std::string_view text);
+
+class Value {
+ public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Value() = default;
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::Null; }
+  [[nodiscard]] bool is_bool() const noexcept { return kind_ == Kind::Bool; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return kind_ == Kind::Number;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return kind_ == Kind::String;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return kind_ == Kind::Array; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return kind_ == Kind::Object;
+  }
+
+  /// Typed accessors; throw std::invalid_argument on kind mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<Value>& as_array() const;
+  [[nodiscard]] const std::map<std::string, Value>& as_object() const;
+
+  /// Object lookup; returns nullptr when absent or not an object.
+  [[nodiscard]] const Value* find(const std::string& key) const noexcept;
+  /// `find(key) != nullptr`.
+  [[nodiscard]] bool contains(const std::string& key) const noexcept {
+    return find(key) != nullptr;
+  }
+
+  static Value make_null();
+  static Value make_bool(bool b);
+  static Value make_number(double n);
+  static Value make_string(std::string s);
+  static Value make_array(std::vector<Value> items);
+  static Value make_object(std::map<std::string, Value> members);
+
+ private:
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Value> array_;
+  std::map<std::string, Value> object_;
+};
+
+/// Parse one complete JSON document.  Trailing whitespace is allowed;
+/// anything else after the document throws.  Throws std::invalid_argument
+/// with an offset-bearing message on malformed input.
+[[nodiscard]] Value parse(std::string_view text);
+
+}  // namespace dras::util::json

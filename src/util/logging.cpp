@@ -1,13 +1,18 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdlib>
 #include <iostream>
 #include <mutex>
 
 namespace dras::util {
 
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+using Clock = std::chrono::steady_clock;
+
 std::mutex g_mutex;
 
 constexpr std::string_view level_name(LogLevel level) noexcept {
@@ -20,19 +25,63 @@ constexpr std::string_view level_name(LogLevel level) noexcept {
   }
   return "?";
 }
+
+Clock::time_point process_start() noexcept {
+  static const Clock::time_point start = Clock::now();
+  return start;
+}
+
+LogLevel initial_level() noexcept {
+  if (const char* env = std::getenv("DRAS_LOG")) {
+    if (const auto parsed = parse_log_level(env)) return *parsed;
+  }
+  return LogLevel::Warn;
+}
+
+std::atomic<LogLevel>& level_slot() noexcept {
+  static std::atomic<LogLevel> level{initial_level()};
+  return level;
+}
+
 }  // namespace
 
+std::optional<LogLevel> parse_log_level(std::string_view name) noexcept {
+  std::string lowered;
+  lowered.reserve(name.size());
+  for (const char c : name)
+    lowered += static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c)));
+  if (lowered == "debug") return LogLevel::Debug;
+  if (lowered == "info") return LogLevel::Info;
+  if (lowered == "warn" || lowered == "warning") return LogLevel::Warn;
+  if (lowered == "error") return LogLevel::Error;
+  if (lowered == "off" || lowered == "none") return LogLevel::Off;
+  return std::nullopt;
+}
+
 void set_log_level(LogLevel level) noexcept {
-  g_level.store(level, std::memory_order_relaxed);
+  level_slot().store(level, std::memory_order_relaxed);
 }
 
 LogLevel log_level() noexcept {
-  return g_level.load(std::memory_order_relaxed);
+  return level_slot().load(std::memory_order_relaxed);
+}
+
+double log_uptime_seconds() noexcept {
+  return std::chrono::duration<double>(Clock::now() - process_start())
+      .count();
+}
+
+std::string format_log_line(LogLevel level, std::string_view message) {
+  std::string stamp = format("{:.3f}", log_uptime_seconds());
+  if (stamp.size() < 8) stamp.insert(0, 8 - stamp.size(), ' ');
+  return format("[{}] [{}] {}", stamp, level_name(level), message);
 }
 
 void log_message(LogLevel level, std::string_view message) {
+  const std::string line = format_log_line(level, message);
   const std::scoped_lock lock(g_mutex);
-  std::cerr << '[' << level_name(level) << "] " << message << '\n';
+  std::cerr << line << '\n';
 }
 
 }  // namespace dras::util

@@ -1,10 +1,17 @@
 // Lightweight leveled logging.
 //
 // The library itself is silent by default (level = Warn); trainers and
-// bench harnesses raise the level for progress reporting.  Messages below
-// the active level are formatted lazily (never at all).
+// bench harnesses raise the level for progress reporting, and the
+// `DRAS_LOG` environment variable (debug|info|warn|error|off) overrides
+// the initial level without code changes.  Messages below the active
+// level are formatted lazily (never at all).  Every emitted line is
+// prefixed with a monotonic seconds-since-process-start timestamp:
+//
+//   [   12.345] [INFO] episode 3 ...
 #pragma once
 
+#include <optional>
+#include <string>
 #include <string_view>
 
 #include "util/format.h"
@@ -13,11 +20,24 @@ namespace dras::util {
 
 enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
 
-/// Process-wide minimum level; messages below it are dropped.
+/// Parse a level name ("debug", "INFO", "off", ...); nullopt on unknown.
+[[nodiscard]] std::optional<LogLevel> parse_log_level(
+    std::string_view name) noexcept;
+
+/// Process-wide minimum level; messages below it are dropped.  The
+/// initial value honours DRAS_LOG and defaults to Warn.
 void set_log_level(LogLevel level) noexcept;
 [[nodiscard]] LogLevel log_level() noexcept;
 
-/// Emit one line to stderr as "[LEVEL] message".  Thread-safe.
+/// Monotonic seconds since the logging subsystem was first touched.
+[[nodiscard]] double log_uptime_seconds() noexcept;
+
+/// The exact line log_message emits (timestamp + level + message), for
+/// sinks and tests: "[   12.345] [INFO] message".
+[[nodiscard]] std::string format_log_line(LogLevel level,
+                                          std::string_view message);
+
+/// Emit one line to stderr (see format_log_line).  Thread-safe.
 void log_message(LogLevel level, std::string_view message);
 
 template <typename... Args>

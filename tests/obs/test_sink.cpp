@@ -1,0 +1,111 @@
+#include "obs/sink.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dras::obs {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+class SinkTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("dras_sink_test_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+};
+
+TEST_F(SinkTest, StringSinkAccumulates) {
+  StringSink sink;
+  sink.write("hello ");
+  sink.write("world");
+  EXPECT_EQ(sink.str(), "hello world");
+}
+
+TEST_F(SinkTest, NullSinkCountsDiscardedBytes) {
+  NullSink sink;
+  sink.write("12345");
+  sink.write("678");
+  EXPECT_EQ(sink.bytes_discarded(), 8u);
+}
+
+TEST_F(SinkTest, FileSinkWritesOnFlush) {
+  const auto path = dir_ / "out.txt";
+  FileSink sink(path);
+  sink.write("buffered");
+  sink.flush();
+  EXPECT_EQ(read_file(path), "buffered");
+}
+
+TEST_F(SinkTest, FileSinkFlushesOnDestruction) {
+  const auto path = dir_ / "out.txt";
+  {
+    FileSink sink(path);
+    sink.write("drained at exit");
+  }
+  EXPECT_EQ(read_file(path), "drained at exit");
+}
+
+TEST_F(SinkTest, FileSinkDrainsWhenBufferFills) {
+  const auto path = dir_ / "out.txt";
+  FileSink sink(path, /*buffer_capacity=*/16);
+  const std::string chunk(64, 'x');
+  sink.write(chunk);  // exceeds capacity: must hit the OS without flush()
+  EXPECT_EQ(read_file(path), chunk);
+}
+
+TEST_F(SinkTest, FileSinkCreatesParentDirectories) {
+  const auto path = dir_ / "a" / "b" / "out.txt";
+  {
+    FileSink sink(path);
+    sink.write("nested");
+  }
+  EXPECT_EQ(read_file(path), "nested");
+}
+
+TEST_F(SinkTest, FileSinkThrowsWhenUnopenable) {
+  // A path routed *through* an existing regular file cannot be created.
+  const auto blocker = dir_ / "file";
+  { std::ofstream(blocker) << "x"; }
+  EXPECT_THROW(FileSink sink(blocker / "child.txt"), std::runtime_error);
+}
+
+TEST_F(SinkTest, MakeSinkDashIsStderr) {
+  const auto sink = make_sink("-");
+  ASSERT_NE(sink, nullptr);
+  EXPECT_NE(dynamic_cast<StderrSink*>(sink.get()), nullptr);
+}
+
+TEST_F(SinkTest, MakeSinkPathIsFileSink) {
+  const auto path = dir_ / "made.txt";
+  const auto sink = make_sink(path.string());
+  ASSERT_NE(sink, nullptr);
+  auto* file_sink = dynamic_cast<FileSink*>(sink.get());
+  ASSERT_NE(file_sink, nullptr);
+  EXPECT_EQ(file_sink->path(), path);
+}
+
+}  // namespace
+}  // namespace dras::obs

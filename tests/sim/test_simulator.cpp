@@ -236,6 +236,39 @@ TEST(Simulator, ActionObserverSeesEveryAction) {
               observed.end());
 }
 
+TEST(Simulator, MultipleActionObserversAllSeeActions) {
+  Simulator sim(10);
+  sched::FcfsEasy fcfs;
+  std::vector<JobId> first, second;
+  sim.add_action_observer(
+      [&](const SchedulingContext&, const Job& job) {
+        first.push_back(job.id);
+      });
+  sim.add_action_observer(
+      [&](const SchedulingContext&, const Job& job) {
+        second.push_back(job.id);
+      });
+  const Trace trace = {make_job(1, 0, 8, 100), make_job(2, 1, 2, 50)};
+  (void)sim.run(trace, fcfs);
+  EXPECT_FALSE(first.empty());
+  // Both observers receive the identical action stream.
+  EXPECT_EQ(first, second);
+}
+
+TEST(Simulator, SetActionObserverReplacesAllObservers) {
+  Simulator sim(10);
+  sched::FcfsEasy fcfs;
+  int dropped_calls = 0, kept_calls = 0;
+  sim.add_action_observer(
+      [&](const SchedulingContext&, const Job&) { ++dropped_calls; });
+  // Historical replace semantics: the earlier observer must not fire.
+  sim.set_action_observer(
+      [&](const SchedulingContext&, const Job&) { ++kept_calls; });
+  (void)sim.run({make_job(1, 0, 4, 100)}, fcfs);
+  EXPECT_EQ(dropped_calls, 0);
+  EXPECT_GT(kept_calls, 0);
+}
+
 // ---------------------------------------------------------------------------
 // Property test: invariants over randomized workloads under FCFS/EASY.
 // ---------------------------------------------------------------------------

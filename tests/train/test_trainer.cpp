@@ -3,9 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <memory>
+#include <sstream>
 
+#include "obs/sink.h"
+#include "obs/trace.h"
 #include "sched/fcfs_easy.h"
 #include "train/evaluator.h"
+#include "util/json.h"
 #include "workload/synthetic.h"
 
 namespace dras::train {
@@ -95,6 +100,55 @@ TEST(Trainer, WritesSnapshotsWhenConfigured) {
       Jobset{"snap", JobsetPhase::Sampled, tiny_trace(30, 20)});
   EXPECT_TRUE(std::filesystem::exists(dir / "DRAS-PG-episode-0.bin"));
   std::filesystem::remove_all(dir);
+}
+
+TEST(Trainer, EpisodeResultCarriesTrainingTelemetry) {
+  core::DrasAgent agent(tiny_agent_config(core::AgentKind::DQL));
+  TrainerOptions options;
+  options.validate_each_episode = false;
+  Trainer trainer(agent, 16, {}, options);
+  const auto result = trainer.run_episode(
+      Jobset{"telemetry", JobsetPhase::Sampled, tiny_trace(60, 40)});
+  // DQL updates happened, so loss/grad norm reflect the last update and
+  // epsilon reflects the exploration schedule.
+  EXPECT_GT(result.epsilon, 0.0);
+  EXPECT_GE(result.grad_norm, 0.0);
+  EXPECT_GT(result.wall_seconds, 0.0);
+}
+
+TEST(Trainer, EmitsEpisodeTraceEvents) {
+  auto sink = std::make_unique<obs::StringSink>();
+  obs::StringSink* raw_sink = sink.get();
+  obs::EventTracer tracer(std::move(sink), obs::TraceFormat::Jsonl);
+
+  core::DrasAgent agent(tiny_agent_config(core::AgentKind::PG));
+  TrainerOptions options;
+  options.validate_each_episode = false;
+  options.tracer = &tracer;
+  Trainer trainer(agent, 16, {}, options);
+  (void)trainer.run_episode(
+      Jobset{"traced", JobsetPhase::Synthetic, tiny_trace(40, 41)});
+  tracer.flush();
+
+  // The episode lane ('X' on the trainer pid) carries the learning
+  // telemetry as args.
+  bool found_episode = false;
+  std::istringstream lines(raw_sink->str());
+  std::string line;
+  while (std::getline(lines, line)) {
+    const auto event = util::json::parse(line);
+    if (event.find("ph")->as_string() != "X") continue;
+    if (event.find("pid")->as_number() != obs::kTrainPid) continue;
+    found_episode = true;
+    const auto* args = event.find("args");
+    ASSERT_NE(args, nullptr);
+    EXPECT_TRUE(args->contains("training_reward"));
+    EXPECT_TRUE(args->contains("loss"));
+    EXPECT_TRUE(args->contains("grad_norm"));
+    EXPECT_TRUE(args->contains("epsilon"));
+    EXPECT_EQ(args->find("jobset")->as_string(), "traced");
+  }
+  EXPECT_TRUE(found_episode);
 }
 
 TEST(Evaluator, SummarizesHeuristicRun) {

@@ -1,0 +1,90 @@
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace dras::util::json {
+namespace {
+
+TEST(JsonEscape, PassesPlainTextThrough) {
+  EXPECT_EQ(escape("hello world"), "hello world");
+}
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonQuote, WrapsInQuotes) { EXPECT_EQ(quote("x\"y"), "\"x\\\"y\""); }
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(parse("null").is_null());
+  EXPECT_TRUE(parse("true").as_bool());
+  EXPECT_FALSE(parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(parse("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(parse("-1.5e3").as_number(), -1500.0);
+  EXPECT_EQ(parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(parse("\"a\\n\\t\\\"b\\\\\"").as_string(), "a\n\t\"b\\");
+  // \u0041 = 'A'; multi-byte code point round-trips as UTF-8.
+  EXPECT_EQ(parse("\"\\u0041\"").as_string(), "A");
+  EXPECT_EQ(parse("\"\\u00e9\"").as_string(), "\xc3\xa9");
+}
+
+TEST(JsonParse, NestedStructures) {
+  const auto doc = parse(R"({"a": [1, 2, {"b": true}], "c": "x"})");
+  ASSERT_TRUE(doc.is_object());
+  const auto* a = doc.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->as_array().size(), 3u);
+  EXPECT_DOUBLE_EQ(a->as_array()[0].as_number(), 1.0);
+  EXPECT_TRUE(a->as_array()[2].find("b")->as_bool());
+  EXPECT_EQ(doc.find("c")->as_string(), "x");
+  EXPECT_TRUE(doc.contains("a"));
+  EXPECT_FALSE(doc.contains("missing"));
+  EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(JsonParse, EmptyContainers) {
+  EXPECT_TRUE(parse("[]").as_array().empty());
+  EXPECT_TRUE(parse("{}").as_object().empty());
+  EXPECT_TRUE(parse("  [ ]  ").as_array().empty());
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  EXPECT_THROW((void)parse(""), std::invalid_argument);
+  EXPECT_THROW((void)parse("{"), std::invalid_argument);
+  EXPECT_THROW((void)parse("[1,]"), std::invalid_argument);
+  EXPECT_THROW((void)parse("\"unterminated"), std::invalid_argument);
+  EXPECT_THROW((void)parse("nul"), std::invalid_argument);
+  EXPECT_THROW((void)parse("1 2"), std::invalid_argument);
+  EXPECT_THROW((void)parse("{'a': 1}"), std::invalid_argument);
+}
+
+TEST(JsonValue, AccessorsThrowOnKindMismatch) {
+  const auto v = parse("42");
+  EXPECT_THROW((void)v.as_string(), std::invalid_argument);
+  EXPECT_THROW((void)v.as_array(), std::invalid_argument);
+  EXPECT_THROW((void)v.as_object(), std::invalid_argument);
+  EXPECT_THROW((void)v.as_bool(), std::invalid_argument);
+}
+
+TEST(JsonValue, Factories) {
+  EXPECT_TRUE(Value::make_null().is_null());
+  EXPECT_TRUE(Value::make_bool(true).as_bool());
+  EXPECT_DOUBLE_EQ(Value::make_number(3.5).as_number(), 3.5);
+  EXPECT_EQ(Value::make_string("s").as_string(), "s");
+  EXPECT_EQ(Value::make_array({Value::make_number(1)}).as_array().size(), 1u);
+  std::map<std::string, Value> members;
+  members["k"] = Value::make_bool(false);
+  EXPECT_FALSE(Value::make_object(std::move(members)).find("k")->as_bool());
+}
+
+}  // namespace
+}  // namespace dras::util::json

@@ -37,5 +37,37 @@ TEST_F(LoggingTest, SuppressedMessageSkipsFormatting) {
   EXPECT_NO_THROW(log_debug("{} {}", 1));
 }
 
+TEST_F(LoggingTest, ParseLogLevelAcceptsAllSpellings) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::Debug);
+  EXPECT_EQ(parse_log_level("INFO"), LogLevel::Info);
+  EXPECT_EQ(parse_log_level("Warn"), LogLevel::Warn);
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::Warn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::Error);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::Off);
+  EXPECT_EQ(parse_log_level("none"), LogLevel::Off);
+  EXPECT_EQ(parse_log_level("verbose"), std::nullopt);
+  EXPECT_EQ(parse_log_level(""), std::nullopt);
+}
+
+TEST_F(LoggingTest, FormatLogLineHasTimestampAndLevelPrefix) {
+  const auto line = format_log_line(LogLevel::Info, "hello");
+  // "[   12.345] [INFO] hello" — timestamp right-aligned to 8 chars.
+  ASSERT_GE(line.size(), 10u);
+  EXPECT_EQ(line.front(), '[');
+  const auto close = line.find(']');
+  ASSERT_NE(close, std::string::npos);
+  EXPECT_EQ(close, 9u);  // "[" + 8-char timestamp + "]"
+  EXPECT_NE(line.find("] [INFO] hello"), std::string::npos);
+  EXPECT_NE(format_log_line(LogLevel::Error, "x").find("[ERROR]"),
+            std::string::npos);
+}
+
+TEST_F(LoggingTest, UptimeIsMonotonic) {
+  const double a = log_uptime_seconds();
+  const double b = log_uptime_seconds();
+  EXPECT_GE(b, a);
+  EXPECT_GE(a, 0.0);
+}
+
 }  // namespace
 }  // namespace dras::util

@@ -11,12 +11,16 @@
 // Policies: fcfs, binpacking, random, optimization, decima-pg, sjf, ljf,
 //           wfp3, f1, dras-pg, dras-dql
 // Models:   theta, cori, theta-mini, cori-mini
+#include <fstream>
 #include <iostream>
 #include <memory>
 
 #include "core/dras_agent.h"
 #include "core/presets.h"
 #include "metrics/report.h"
+#include "obs/metrics.h"
+#include "obs/sink.h"
+#include "obs/trace.h"
 #include "sched/bin_packing.h"
 #include "sched/decima_pg.h"
 #include "sched/fcfs_easy.h"
@@ -54,7 +58,14 @@ int usage(const std::string& error = {}) {
       "  --train-episodes E  episodes before evaluation for learned\n"
       "                      policies (default 10)\n"
       "  --csv               machine-readable output\n"
-      "  --verbose           progress logging\n";
+      "  --verbose           progress logging\n"
+      "  --trace-out FILE    write a telemetry event trace (simulator\n"
+      "                      lifecycle + training) to FILE; open it in\n"
+      "                      chrome://tracing or ui.perfetto.dev\n"
+      "  --trace-format F    chrome (default) | jsonl\n"
+      "  --metrics-out FILE  dump the metrics registry on exit\n"
+      "                      (.csv -> CSV, anything else -> JSON)\n"
+      "  --profile           print the metrics registry to stderr on exit\n";
   return error.empty() ? 0 : 2;
 }
 
@@ -79,11 +90,30 @@ Setup pick_model(const std::string& name) {
 
 int main(int argc, char** argv) {
   try {
-    const dras::util::Args args(argc, argv, {"csv", "verbose", "help"});
+    const dras::util::Args args(argc, argv,
+                                {"csv", "verbose", "help", "profile"});
     if (args.flag("help")) return usage();
     const bool csv_output = args.flag("csv");
     if (args.flag("verbose"))
       dras::util::set_log_level(dras::util::LogLevel::Info);
+
+    // Telemetry: the tracer (if requested) becomes the process default so
+    // every simulator — including the ones inside training episodes —
+    // feeds it; metrics collection turns on for --metrics-out/--profile.
+    const bool profile = args.flag("profile");
+    const std::string metrics_out = args.get("metrics-out", "");
+    std::unique_ptr<dras::obs::EventTracer> tracer;
+    const auto format_name = args.get("trace-format", "chrome");
+    if (format_name != "chrome" && format_name != "jsonl")
+      return usage(format("unknown trace format '{}'", format_name));
+    if (args.has("trace-out")) {
+      tracer = std::make_unique<dras::obs::EventTracer>(
+          dras::obs::make_sink(args.get("trace-out", "")),
+          format_name == "jsonl" ? dras::obs::TraceFormat::Jsonl
+                                 : dras::obs::TraceFormat::ChromeJson);
+      dras::obs::set_default_tracer(tracer.get());
+    }
+    if (profile || !metrics_out.empty()) dras::obs::set_enabled(true);
 
     const auto setup = pick_model(args.get("model", "theta-mini"));
     const auto policy_name = args.get("policy", "fcfs");
@@ -188,13 +218,30 @@ int main(int argc, char** argv) {
     // Run.
     dras::sim::Simulator sim(nodes, depth);
     double total_reward = 0.0;
-    sim.set_action_observer(
+    sim.add_action_observer(
         [&](const dras::sim::SchedulingContext& ctx,
             const dras::sim::Job& job) {
           total_reward += reward.step_reward(ctx, job);
         });
     const auto result = sim.run(trace, *owned);
     const auto summary = dras::metrics::summarize(result);
+
+    // Telemetry epilogue: finalize the trace document and dump metrics.
+    if (tracer) {
+      tracer->close();
+      dras::obs::set_default_tracer(nullptr);
+    }
+    if (!metrics_out.empty()) {
+      std::ofstream out(metrics_out);
+      if (!out) return usage(format("cannot write '{}'", metrics_out));
+      const bool as_csv = metrics_out.size() >= 4 &&
+                          metrics_out.rfind(".csv") == metrics_out.size() - 4;
+      out << (as_csv
+                  ? dras::obs::metrics_to_csv(dras::obs::Registry::global())
+                  : dras::obs::metrics_to_json(dras::obs::Registry::global()));
+    }
+    if (profile)
+      std::cerr << dras::obs::metrics_to_text(dras::obs::Registry::global());
 
     if (csv_output) {
       std::cout << "policy,nodes,depth,jobs,unfinished,avg_wait_s,max_wait_s,"
