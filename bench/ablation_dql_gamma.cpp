@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "bench_common.h"
+#include "exec/parallel_runner.h"
 #include "metrics/report.h"
 #include "util/format.h"
 #include "util/rng.h"
@@ -23,22 +24,33 @@ int main(int argc, char** argv) {
   benchx::print_preamble("Ablation: DQL discount factor (DRAS-DQL)",
                          scenario, 1000);
 
+  // Each task trains and evaluates one gamma; tasks share nothing, so
+  // results are identical under any --jobs N.
+  const std::vector<double> gammas = {0.0, 0.9, 0.99, 1.0};
+  dras::exec::ParallelRunner runner(obs_session.jobs());
+  const auto evaluations = runner.map(
+      gammas.size(),
+      [&](std::size_t i) {
+        auto cfg = scenario.preset.agent_config(
+            dras::core::AgentKind::DQL, dras::util::derive_seed(9, "gamma"));
+        cfg.gamma = gammas[i];
+        dras::core::DrasAgent agent(cfg);
+        benchx::train_dras_agent(agent, scenario, 24, 500);
+        return dras::train::evaluate(scenario.preset.nodes, test_trace,
+                                     agent, &reward);
+      },
+      "gamma");
+
   std::cout << "csv:gamma,avg_wait_s,max_wait_s,utilization\n";
   std::vector<std::vector<std::string>> table;
-  for (const double gamma : {0.0, 0.9, 0.99, 1.0}) {
-    auto cfg = scenario.preset.agent_config(
-        dras::core::AgentKind::DQL, dras::util::derive_seed(9, "gamma"));
-    cfg.gamma = gamma;
-    dras::core::DrasAgent agent(cfg);
-    benchx::train_dras_agent(agent, scenario, 24, 500);
-    const auto evaluation = dras::train::evaluate(scenario.preset.nodes,
-                                                  test_trace, agent, &reward);
+  for (std::size_t i = 0; i < gammas.size(); ++i) {
+    const auto& evaluation = evaluations[i];
     table.push_back(
-        {format("gamma={:.2f}", gamma),
+        {format("gamma={:.2f}", gammas[i]),
          dras::metrics::format_duration(evaluation.summary.avg_wait),
          dras::metrics::format_duration(evaluation.summary.max_wait),
          format("{:.3f}", evaluation.summary.utilization)});
-    std::cout << format("csv:{:.2f},{:.1f},{:.1f},{:.4f}\n", gamma,
+    std::cout << format("csv:{:.2f},{:.1f},{:.1f},{:.4f}\n", gammas[i],
                         evaluation.summary.avg_wait,
                         evaluation.summary.max_wait,
                         evaluation.summary.utilization);

@@ -52,10 +52,10 @@ int main(int argc, char** argv) {
     const double pessimism = dras::workload::mean_overestimate(trace);
 
     dras::sched::FcfsEasy fcfs;
-    for (dras::sim::Scheduler* method :
-         std::vector<dras::sim::Scheduler*>{&fcfs, &dras}) {
-      const auto evaluation =
-          dras::train::evaluate(scenario.preset.nodes, trace, *method);
+    const std::vector<dras::sim::Scheduler*> roster = {&fcfs, &dras};
+    const auto evaluations = benchx::evaluate_roster(
+        roster, scenario.preset.nodes, trace, nullptr, obs_session.jobs());
+    for (const auto& evaluation : evaluations) {
       std::size_t backfilled = 0;
       for (const auto& rec : evaluation.result.jobs)
         if (rec.mode == dras::sim::ExecMode::Backfilled) ++backfilled;

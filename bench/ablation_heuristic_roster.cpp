@@ -37,12 +37,14 @@ int main(int argc, char** argv) {
       &methods.fcfs(), &sjf, &ljf, &wfp3, &f1, &methods.dras_pg(),
       &methods.dras_dql()};
 
+  const auto evaluations = benchx::evaluate_roster(
+      roster, scenario.preset.nodes, test_trace, &reward,
+      obs_session.jobs());
+
   std::cout << "csv:method,avg_wait_s,max_wait_s,avg_slowdown,"
                "utilization\n";
   std::vector<std::vector<std::string>> table;
-  for (dras::sim::Scheduler* method : roster) {
-    const auto evaluation = dras::train::evaluate(
-        scenario.preset.nodes, test_trace, *method, &reward);
+  for (const auto& evaluation : evaluations) {
     table.push_back(
         {evaluation.method,
          dras::metrics::format_duration(evaluation.summary.avg_wait),

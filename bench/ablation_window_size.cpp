@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "bench_common.h"
+#include "exec/parallel_runner.h"
 #include "metrics/report.h"
 #include "util/format.h"
 #include "util/rng.h"
@@ -23,22 +24,33 @@ int main(int argc, char** argv) {
   benchx::print_preamble("Ablation: window size W (DRAS-PG)", scenario,
                          1000);
 
+  // Each task trains and evaluates one window size; tasks share nothing,
+  // so results are identical under any --jobs N.
+  const std::vector<std::size_t> windows = {2, 5, 10, 20};
+  dras::exec::ParallelRunner runner(obs_session.jobs());
+  const auto evaluations = runner.map(
+      windows.size(),
+      [&](std::size_t i) {
+        auto cfg = scenario.preset.agent_config(
+            dras::core::AgentKind::PG, dras::util::derive_seed(7, "window"));
+        cfg.window = windows[i];
+        dras::core::DrasAgent agent(cfg);
+        benchx::train_dras_agent(agent, scenario, 24, 500);
+        return dras::train::evaluate(scenario.preset.nodes, test_trace,
+                                     agent, &reward);
+      },
+      "window");
+
   std::cout << "csv:window,avg_wait_s,max_wait_s,utilization\n";
   std::vector<std::vector<std::string>> table;
-  for (const std::size_t window : {2u, 5u, 10u, 20u}) {
-    auto cfg = scenario.preset.agent_config(
-        dras::core::AgentKind::PG, dras::util::derive_seed(7, "window"));
-    cfg.window = window;
-    dras::core::DrasAgent agent(cfg);
-    benchx::train_dras_agent(agent, scenario, 24, 500);
-    const auto evaluation = dras::train::evaluate(scenario.preset.nodes,
-                                                  test_trace, agent, &reward);
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    const auto& evaluation = evaluations[i];
     table.push_back(
-        {format("W={}", window),
+        {format("W={}", windows[i]),
          dras::metrics::format_duration(evaluation.summary.avg_wait),
          dras::metrics::format_duration(evaluation.summary.max_wait),
          format("{:.3f}", evaluation.summary.utilization)});
-    std::cout << format("csv:{},{:.1f},{:.1f},{:.4f}\n", window,
+    std::cout << format("csv:{},{:.1f},{:.1f},{:.4f}\n", windows[i],
                         evaluation.summary.avg_wait,
                         evaluation.summary.max_wait,
                         evaluation.summary.utilization);

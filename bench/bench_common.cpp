@@ -2,6 +2,7 @@
 
 #include <fstream>
 
+#include "exec/parallel_evaluator.h"
 #include "obs/metrics.h"
 #include "obs/sink.h"
 #include "util/args.h"
@@ -23,6 +24,9 @@ ObsSession::ObsSession(int argc, const char* const* argv) {
     obs::set_default_tracer(tracer_.get());
   }
   if (profile_ || !metrics_out_.empty()) obs::set_enabled(true);
+  const long long jobs = args.get_int("jobs", 0);
+  jobs_ = jobs <= 0 ? exec::default_concurrency()
+                    : static_cast<std::size_t>(jobs);
 }
 
 ObsSession::~ObsSession() {
@@ -141,15 +145,25 @@ std::vector<sim::Scheduler*> MethodSet::all() {
           decima_.get(), dras_pg_.get(), dras_dql_.get()};
 }
 
+std::vector<train::Evaluation> evaluate_roster(
+    const std::vector<sim::Scheduler*>& roster, int total_nodes,
+    const sim::Trace& trace, const core::RewardFunction* reward,
+    std::size_t jobs) {
+  const sim::Trace* traces[] = {&trace};
+  train::EvalOptions options;
+  options.reward = reward;
+  return exec::ParallelEvaluator(jobs).evaluate_grid(
+      total_nodes, traces, std::span<sim::Scheduler* const>(roster),
+      options);
+}
+
 std::vector<train::Evaluation> evaluate_all(MethodSet& methods,
                                             const Scenario& scenario,
-                                            const sim::Trace& trace) {
+                                            const sim::Trace& trace,
+                                            std::size_t jobs) {
   const auto reward = scenario.reward();
-  std::vector<train::Evaluation> evaluations;
-  for (sim::Scheduler* method : methods.all())
-    evaluations.push_back(
-        train::evaluate(scenario.preset.nodes, trace, *method, &reward));
-  return evaluations;
+  return evaluate_roster(methods.all(), scenario.preset.nodes, trace,
+                         &reward, jobs);
 }
 
 void print_preamble(const std::string& experiment, const Scenario& scenario,

@@ -84,21 +84,33 @@ void train_dras_agent(core::DrasAgent& agent, const Scenario& scenario,
                       std::uint64_t curriculum_seed = 0);
 
 /// Evaluate every method on the same trace; returns results in roster
-/// order.  Reward accounting uses the scenario's reward function.
+/// order.  Reward accounting uses the scenario's reward function.  With
+/// `jobs` > 1 the roster evaluates concurrently via
+/// exec::ParallelEvaluator (each worker runs a private clone); the
+/// determinism contract guarantees output identical to jobs = 1.
 [[nodiscard]] std::vector<train::Evaluation> evaluate_all(
-    MethodSet& methods, const Scenario& scenario, const sim::Trace& trace);
+    MethodSet& methods, const Scenario& scenario, const sim::Trace& trace,
+    std::size_t jobs = 1);
+
+/// Evaluate an explicit policy roster on one trace, in roster order, up
+/// to `jobs` at a time (see evaluate_all for the determinism contract).
+[[nodiscard]] std::vector<train::Evaluation> evaluate_roster(
+    const std::vector<sim::Scheduler*>& roster, int total_nodes,
+    const sim::Trace& trace, const core::RewardFunction* reward,
+    std::size_t jobs);
 
 /// Print the standard bench preamble (config echo, per DESIGN.md §4).
 void print_preamble(const std::string& experiment, const Scenario& scenario,
                     std::size_t trace_jobs);
 
-/// Shared telemetry plumbing for the bench harnesses.  Parses
-/// `--trace-out FILE`, `--trace-format chrome|jsonl`, `--metrics-out FILE`
-/// and `--profile` from argv; when requested, installs the process-default
-/// tracer (every Simulator the bench creates feeds it) and enables the
-/// metrics registry.  The destructor finalizes the trace, dumps metrics
-/// and prints the --profile table to stderr.  With none of the flags
-/// present this is a no-op.
+/// Shared telemetry + execution plumbing for the bench harnesses.  Parses
+/// `--trace-out FILE`, `--trace-format chrome|jsonl`, `--metrics-out FILE`,
+/// `--profile` and `--jobs N` from argv; when requested, installs the
+/// process-default tracer (every Simulator the bench creates feeds it) and
+/// enables the metrics registry.  The destructor finalizes the trace,
+/// dumps metrics and prints the --profile table to stderr.  With none of
+/// the flags present this is a no-op (and jobs() defaults to hardware
+/// concurrency).
 class ObsSession {
  public:
   ObsSession(int argc, const char* const* argv);
@@ -109,11 +121,15 @@ class ObsSession {
   [[nodiscard]] obs::EventTracer* tracer() const noexcept {
     return tracer_.get();
   }
+  /// Worker budget from --jobs N (N >= 1); --jobs 0 or absent = hardware
+  /// concurrency.
+  [[nodiscard]] std::size_t jobs() const noexcept { return jobs_; }
 
  private:
   std::unique_ptr<obs::EventTracer> tracer_;
   std::string metrics_out_;
   bool profile_ = false;
+  std::size_t jobs_ = 1;
 };
 
 }  // namespace dras::benchx

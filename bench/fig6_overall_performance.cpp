@@ -15,7 +15,8 @@
 
 namespace {
 
-void run_scenario(const dras::benchx::Scenario& scenario) {
+void run_scenario(const dras::benchx::Scenario& scenario,
+                  std::size_t jobs) {
   using dras::util::format;
   constexpr std::size_t kTrainEpisodes = 30;
   constexpr std::size_t kTrainJobs = 500;
@@ -29,7 +30,7 @@ void run_scenario(const dras::benchx::Scenario& scenario) {
   methods.train_agents(scenario, kTrainEpisodes, kTrainJobs);
   const auto test_trace = scenario.trace(kTestJobs, 616161);
   const auto evaluations =
-      dras::benchx::evaluate_all(methods, scenario, test_trace);
+      dras::benchx::evaluate_all(methods, scenario, test_trace, jobs);
 
   std::vector<std::string> names;
   std::vector<dras::metrics::Summary> summaries;
@@ -82,7 +83,7 @@ void run_scenario(const dras::benchx::Scenario& scenario) {
 
 int main(int argc, char** argv) {
   const dras::benchx::ObsSession obs_session(argc, argv);
-  run_scenario(dras::benchx::Scenario::theta_mini(6));
-  run_scenario(dras::benchx::Scenario::cori_mini(6));
+  run_scenario(dras::benchx::Scenario::theta_mini(6), obs_session.jobs());
+  run_scenario(dras::benchx::Scenario::cori_mini(6), obs_session.jobs());
   return 0;
 }

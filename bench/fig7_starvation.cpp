@@ -27,7 +27,8 @@ int main(int argc, char** argv) {
   methods.train_agents(scenario, 30, 500);
   const auto test_trace = scenario.trace(kTestJobs, 717171);
   const auto evaluations =
-      benchx::evaluate_all(methods, scenario, test_trace);
+      benchx::evaluate_all(methods, scenario, test_trace,
+                           obs_session.jobs());
 
   // Size buckets scaled from the paper's x-axis (128..4096 -> /16).
   const int boundaries[] = {16, 32, 64, 128};

@@ -29,12 +29,14 @@ int main(int argc, char** argv) {
   std::vector<dras::sim::Scheduler*> roster = {
       &methods.fcfs(), &methods.dras_pg(), &methods.dras_dql()};
 
+  const auto evaluations = benchx::evaluate_roster(
+      roster, scenario.preset.nodes, test_trace, &reward,
+      obs_session.jobs());
+
   std::cout << "csv:method,mode,jobs,avg_wait_s,max_wait_s\n";
   std::vector<std::vector<std::string>> table;
   double fcfs_backfilled_wait = -1.0, dras_backfilled_wait = -1.0;
-  for (dras::sim::Scheduler* method : roster) {
-    const auto evaluation = dras::train::evaluate(
-        scenario.preset.nodes, test_trace, *method, &reward);
+  for (const auto& evaluation : evaluations) {
     const auto groups = dras::metrics::by_mode(evaluation.result.jobs);
     for (const auto& group : groups) {
       table.push_back({evaluation.method, group.label,

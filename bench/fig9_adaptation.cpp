@@ -67,12 +67,16 @@ int main(int argc, char** argv) {
     std::string method;
     std::vector<dras::metrics::WeekPoint> weeks;
   };
+  // Each method evaluates exactly one cell, so online adaptation (the
+  // clone keeps learning inside its own cell) yields identical output
+  // under any --jobs N.
+  const auto evaluations = benchx::evaluate_roster(
+      roster, scenario.preset.nodes, test_trace, &reward,
+      obs_session.jobs());
   std::vector<Series> series;
-  for (dras::sim::Scheduler* method : roster) {
-    const auto evaluation = dras::train::evaluate(
-        scenario.preset.nodes, test_trace, *method, &reward);
+  for (const auto& evaluation : evaluations) {
     Series s;
-    s.method = std::string(method->name());
+    s.method = evaluation.method;
     s.weeks = dras::metrics::weekly_series(evaluation.result.jobs);
     for (const auto& week : s.weeks)
       std::cout << format("csv:{},{},{},{:.1f}\n", s.method, week.week,

@@ -1,0 +1,124 @@
+// Micro-benchmark: parallel evaluation scaling.
+//
+// Evaluates a fixed (8 traces x 1 policy) grid with the exec subsystem
+// at --jobs 1/2/4/8 and reports wall time and speedup per worker count.
+// Before timing, every parallel result is checked cell-by-cell against
+// the serial baseline; any divergence is a determinism bug and the bench
+// exits non-zero.  Emits one JSON line per configuration alongside the
+// human-readable table, matching the other micro benches' output style.
+#include <chrono>
+#include <iostream>
+#include <vector>
+
+#include "exec/parallel_evaluator.h"
+#include "metrics/report.h"
+#include "sched/fcfs_easy.h"
+#include "util/format.h"
+#include "util/rng.h"
+#include "workload/models.h"
+#include "workload/synthetic.h"
+
+namespace {
+
+using dras::util::format;
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool same_evaluation(const dras::train::Evaluation& a,
+                     const dras::train::Evaluation& b) {
+  if (a.method != b.method || a.total_reward != b.total_reward ||
+      a.summary.jobs != b.summary.jobs ||
+      a.summary.avg_wait != b.summary.avg_wait ||
+      a.summary.max_wait != b.summary.max_wait ||
+      a.summary.utilization != b.summary.utilization ||
+      a.result.unfinished_jobs != b.result.unfinished_jobs ||
+      a.result.jobs.size() != b.result.jobs.size())
+    return false;
+  for (std::size_t i = 0; i < a.result.jobs.size(); ++i) {
+    const auto& ja = a.result.jobs[i];
+    const auto& jb = b.result.jobs[i];
+    if (ja.id != jb.id || ja.start != jb.start || ja.end != jb.end ||
+        ja.mode != jb.mode)
+      return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kGrid = 8;
+  constexpr int kRepetitions = 3;
+  const auto model = dras::workload::theta_mini_workload();
+  const int nodes = model.system_nodes;
+
+  // Eight independent traces; one cheap deterministic policy per cell.
+  std::vector<dras::sim::Trace> traces;
+  for (std::size_t t = 0; t < kGrid; ++t) {
+    dras::workload::GenerateOptions options;
+    options.num_jobs = 1500;
+    options.seed = dras::util::derive_seed(42, format("scaling-{}", t));
+    traces.push_back(dras::workload::generate_trace(model, options));
+  }
+  std::vector<const dras::sim::Trace*> trace_ptrs;
+  for (const auto& trace : traces) trace_ptrs.push_back(&trace);
+  dras::sched::FcfsEasy fcfs;
+  std::vector<dras::sim::Scheduler*> policies = {&fcfs};
+
+  const auto run_grid = [&](std::size_t jobs) {
+    return dras::exec::ParallelEvaluator(jobs).evaluate_grid(
+        nodes, trace_ptrs, policies);
+  };
+
+  std::cout << format("parallel evaluation scaling: {} cells, {} nodes, "
+                      "best of {} repetitions\n\n",
+                      kGrid, nodes, kRepetitions);
+
+  const auto baseline = run_grid(1);  // warm-up + identity reference
+
+  bool all_identical = true;
+  double serial_best = 0.0;
+  std::vector<std::vector<std::string>> table;
+  for (const std::size_t jobs : {1u, 2u, 4u, 8u}) {
+    double best = 0.0;
+    bool identical = true;
+    for (int rep = 0; rep < kRepetitions; ++rep) {
+      const double start = now_seconds();
+      const auto evaluations = run_grid(jobs);
+      const double elapsed = now_seconds() - start;
+      if (rep == 0 || elapsed < best) best = elapsed;
+      if (evaluations.size() != baseline.size()) {
+        identical = false;
+      } else {
+        for (std::size_t cell = 0; cell < evaluations.size(); ++cell)
+          identical &= same_evaluation(evaluations[cell], baseline[cell]);
+      }
+    }
+    if (jobs == 1) serial_best = best;
+    const double speedup = best > 0.0 ? serial_best / best : 0.0;
+    all_identical &= identical;
+    table.push_back({format("{}", jobs), format("{:.3f}", best),
+                     format("{:.2f}x", speedup),
+                     identical ? "yes" : "NO"});
+    std::cout << format(
+        "{{\"name\":\"parallel_eval_grid/jobs:{}\",\"grid\":{},\"jobs\":{},"
+        "\"best_seconds\":{:.6f},\"speedup\":{:.3f},\"identical\":{}}}\n",
+        jobs, kGrid, jobs, best, speedup, identical ? "true" : "false");
+  }
+
+  std::cout << "\n";
+  dras::metrics::print_table(
+      std::cout, {"jobs", "best seconds", "speedup", "identical"}, table);
+
+  if (!all_identical) {
+    std::cerr << "\nFAIL: parallel results diverged from the serial "
+                 "baseline\n";
+    return 1;
+  }
+  std::cout << "\nall parallel results bit-identical to --jobs 1\n";
+  return 0;
+}

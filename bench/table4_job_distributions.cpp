@@ -27,7 +27,8 @@ int main(int argc, char** argv) {
   methods.train_agents(scenario, 30, 500);
   const auto test_trace = scenario.trace(kTestJobs, 444444);
   const auto evaluations =
-      benchx::evaluate_all(methods, scenario, test_trace);
+      benchx::evaluate_all(methods, scenario, test_trace,
+                           obs_session.jobs());
 
   std::vector<std::vector<std::string>> table;
   std::cout << "csv:method,backfilled_jobs_pct,backfilled_hours_pct,"

@@ -2,9 +2,10 @@
 # Tier-1 verification: the checks every PR must keep green.
 #
 #   1. Release build + full test suite (the ROADMAP.md tier-1 line).
-#   2. ASan+UBSan build (DRAS_SANITIZE=ON) running the telemetry and
-#      simulator tests — the subsystems with lock-free concurrency and
-#      raw-fd I/O, where sanitizers earn their keep.
+#   2. ASan+UBSan build (DRAS_SANITIZE=ON) running the telemetry,
+#      simulator, and parallel-execution tests — the subsystems with
+#      lock-free concurrency, thread pools, and raw-fd I/O, where
+#      sanitizers earn their keep.
 #
 # Usage: scripts/tier1.sh [--skip-asan]
 set -euo pipefail
@@ -27,6 +28,6 @@ echo "=== tier-1: ASan+UBSan build + obs/sim tests ==="
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug -DDRAS_SANITIZE=ON
 cmake --build build-asan -j "$(nproc)" --target dras_tests
 ctest --test-dir build-asan --output-on-failure -j "$(nproc)" \
-  -R 'Obs|EventTracer|DefaultTracer|Sink|Simulator|Json'
+  -R 'Obs|EventTracer|DefaultTracer|Sink|Simulator|Json|ThreadPool|Parallel|Clone|TaskSeed'
 
 echo "=== tier-1: all green ==="

@@ -52,6 +52,30 @@ DrasAgent::DrasAgent(const DrasConfig& config)
   }
 }
 
+std::unique_ptr<DrasAgent> DrasAgent::clone_agent() const {
+  auto copy = std::make_unique<DrasAgent>(config_);
+  // Policy heads are plain value types (vectors + PODs), so copy-assignment
+  // is an exact deep copy: parameters, Adam moments, epsilon, baselines and
+  // any pending experience memory.
+  if (pg_) *copy->pg_ = *pg_;
+  if (dql_) *copy->dql_ = *dql_;
+  copy->rng_ = rng_;
+  copy->training_ = training_;
+  copy->staged_state_ = staged_state_;
+  copy->staged_candidates_ = staged_candidates_;
+  copy->staged_valid_ = staged_valid_;
+  copy->staged_action_ = staged_action_;
+  copy->staged_ = staged_;
+  copy->episode_reward_ = episode_reward_;
+  copy->episode_actions_ = episode_actions_;
+  copy->instances_seen_ = instances_seen_;
+  return copy;
+}
+
+std::unique_ptr<sim::Scheduler> DrasAgent::clone() const {
+  return clone_agent();
+}
+
 nn::Network& DrasAgent::network() {
   return pg_ ? pg_->network() : dql_->network();
 }

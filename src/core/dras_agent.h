@@ -64,6 +64,14 @@ class DrasAgent final : public sim::Scheduler {
   void begin_episode() override;
   void end_episode() override;
   void schedule(sim::SchedulingContext& ctx) override;
+  /// Deep copy of the agent: network parameters, optimiser moments,
+  /// exploration schedule (DQL epsilon), PG baseline statistics, pending
+  /// experience, RNG position, update cadence (instances_seen_) and the
+  /// training flag all carry over, so the clone behaves bit-identically to
+  /// the original from this point on — including under continual
+  /// adaptation (training enabled during evaluation, §V-D).
+  [[nodiscard]] std::unique_ptr<DrasAgent> clone_agent() const;
+  [[nodiscard]] std::unique_ptr<sim::Scheduler> clone() const override;
 
   /// Enable/disable learning.  Disabled = greedy evaluation, no updates.
   void set_training(bool enabled) noexcept { training_ = enabled; }

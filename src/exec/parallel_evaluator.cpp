@@ -1,0 +1,47 @@
+#include "exec/parallel_evaluator.h"
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "util/format.h"
+
+namespace dras::exec {
+
+std::vector<train::Evaluation> ParallelEvaluator::evaluate_grid(
+    int total_nodes, std::span<const sim::Trace* const> traces,
+    std::span<sim::Scheduler* const> policies,
+    const train::EvalOptions& options) {
+  const std::size_t cells = traces.size() * policies.size();
+  if (cells == 0) return {};
+
+  if (runner_.jobs() <= 1 || cells <= 1) {
+    std::vector<train::Evaluation> results;
+    results.reserve(cells);
+    for (const sim::Trace* trace : traces)
+      for (sim::Scheduler* policy : policies)
+        results.push_back(
+            train::evaluate(total_nodes, *trace, *policy, options));
+    return results;
+  }
+
+  return runner_.map(
+      cells,
+      [&](std::size_t cell) {
+        const std::size_t t = cell / policies.size();
+        const std::size_t p = cell % policies.size();
+        const sim::Scheduler& original = *policies[p];
+        // Clone inside the task so the (potentially expensive) network
+        // copy also parallelises across cells.
+        std::unique_ptr<sim::Scheduler> copy = original.clone();
+        if (copy == nullptr)
+          throw std::invalid_argument(util::format(
+              "policy '{}' is not cloneable; clone() is required for "
+              "parallel evaluation (run with --jobs 1)",
+              original.name()));
+        return train::evaluate(total_nodes, *traces[t], *copy, options);
+      },
+      "evaluate");
+}
+
+}  // namespace dras::exec

@@ -1,0 +1,48 @@
+// ParallelEvaluator: evaluate a (traces × policies) grid concurrently.
+//
+// The paper's evaluation (Figs. 4–9, Tables 3–4) is a grid of independent
+// simulator runs; this evaluator maps the grid's cells over a
+// ParallelRunner.  Determinism contract:
+//   * Cells are laid out row-major by trace: cell (t, p) lands at index
+//     t * policies.size() + p, independent of worker count or finish
+//     order.
+//   * jobs <= 1 runs the literal serial nested loop over the caller's
+//     policy instances — that output is the baseline any jobs > 1 run
+//     must match byte-for-byte.
+//   * jobs > 1 evaluates a private clone() of the policy inside each
+//     task, so workers never share mutable policy state (RNG, staged
+//     experience, online-adaptation updates).  Policies whose clone()
+//     returns nullptr are rejected with std::invalid_argument.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "exec/parallel_runner.h"
+#include "sim/simulator.h"
+#include "train/evaluator.h"
+
+namespace dras::exec {
+
+class ParallelEvaluator {
+ public:
+  /// `jobs` = maximum concurrent evaluations; 0 = hardware concurrency.
+  explicit ParallelEvaluator(std::size_t jobs = 0) : runner_(jobs) {}
+
+  [[nodiscard]] std::size_t jobs() const noexcept { return runner_.jobs(); }
+
+  /// Evaluate every (trace, policy) cell and return the results row-major
+  /// by trace.  With jobs > 1 the caller's policies are not mutated (each
+  /// cell evaluates a clone); with jobs <= 1 the originals run, exactly
+  /// like a hand-written serial loop.
+  [[nodiscard]] std::vector<train::Evaluation> evaluate_grid(
+      int total_nodes, std::span<const sim::Trace* const> traces,
+      std::span<sim::Scheduler* const> policies,
+      const train::EvalOptions& options = {});
+
+ private:
+  ParallelRunner runner_;
+};
+
+}  // namespace dras::exec

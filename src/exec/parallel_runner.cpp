@@ -1,0 +1,17 @@
+#include "exec/parallel_runner.h"
+
+#include "util/rng.h"
+
+namespace dras::exec {
+
+std::uint64_t task_seed(std::uint64_t master, std::string_view stream,
+                        std::uint64_t task_index) noexcept {
+  // Same construction as util::Rng::spawn: a named sub-stream of the
+  // master seed, strided by the golden-ratio increment and finalized by
+  // splitmix64 so neighbouring indices decorrelate.
+  std::uint64_t state = util::derive_seed(master, stream) +
+                        (task_index + 1) * 0x9e3779b97f4a7c15ULL;
+  return util::splitmix64(state);
+}
+
+}  // namespace dras::exec

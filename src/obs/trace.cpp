@@ -67,6 +67,7 @@ void EventTracer::emit_metadata_locked() {
   };
   append_locked(name_event(kSimPid, "simulator (sim time)"));
   append_locked(name_event(kTrainPid, "trainer (wall time)"));
+  append_locked(name_event(kExecPid, "exec (wall time)"));
 }
 
 void EventTracer::append_locked(std::string&& event_json) {

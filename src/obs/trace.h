@@ -49,6 +49,8 @@ struct TraceArg {
 
 inline constexpr int kSimPid = 1;    ///< Simulation-time lane.
 inline constexpr int kTrainPid = 2;  ///< Wall-time (trainer) lane.
+inline constexpr int kExecPid = 3;   ///< Wall-time (thread pool) lane;
+                                     ///< tid = worker index + 1.
 
 class EventTracer {
  public:

@@ -6,6 +6,8 @@
 // arrivals, which is exactly the starvation behaviour Fig. 7 demonstrates.
 #pragma once
 
+#include <memory>
+
 #include "sim/scheduler.h"
 
 namespace dras::sched {
@@ -16,6 +18,9 @@ class BinPacking final : public sim::Scheduler {
     return "BinPacking";
   }
   void schedule(sim::SchedulingContext& ctx) override;
+  [[nodiscard]] std::unique_ptr<sim::Scheduler> clone() const override {
+    return std::make_unique<BinPacking>(*this);
+  }
 };
 
 }  // namespace dras::sched

@@ -21,6 +21,16 @@ DecimaPG::DecimaPG(const DecimaConfig& config)
   policy_ = std::make_unique<core::PGPolicy>(pg_cfg, config.seed);
 }
 
+std::unique_ptr<sim::Scheduler> DecimaPG::clone() const {
+  auto copy = std::make_unique<DecimaPG>(config_);
+  *copy->policy_ = *policy_;
+  copy->rng_ = rng_;
+  copy->training_ = training_;
+  copy->episode_reward_ = episode_reward_;
+  copy->instances_seen_ = instances_seen_;
+  return copy;
+}
+
 void DecimaPG::begin_episode() {
   episode_reward_ = 0.0;
   // Restart the sampling stream: a trajectory is a deterministic function

@@ -41,6 +41,9 @@ class DecimaPG final : public sim::Scheduler {
   void begin_episode() override;
   void end_episode() override;
   void schedule(sim::SchedulingContext& ctx) override;
+  /// Deep copy: network parameters, optimiser moments, RNG position,
+  /// update cadence (instances_seen_) and training flag all carry over.
+  [[nodiscard]] std::unique_ptr<sim::Scheduler> clone() const override;
 
   void set_training(bool enabled) noexcept { training_ = enabled; }
   [[nodiscard]] bool training() const noexcept { return training_; }

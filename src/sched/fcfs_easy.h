@@ -7,6 +7,8 @@
 // (in arrival order) provided they do not delay the reservation.
 #pragma once
 
+#include <memory>
+
 #include "sim/scheduler.h"
 
 namespace dras::sched {
@@ -15,6 +17,9 @@ class FcfsEasy final : public sim::Scheduler {
  public:
   [[nodiscard]] std::string_view name() const override { return "FCFS"; }
   void schedule(sim::SchedulingContext& ctx) override;
+  [[nodiscard]] std::unique_ptr<sim::Scheduler> clone() const override {
+    return std::make_unique<FcfsEasy>(*this);
+  }
 };
 
 }  // namespace dras::sched

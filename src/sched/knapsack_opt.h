@@ -8,6 +8,8 @@
 // objective only, which is exactly the limitation §I calls out.
 #pragma once
 
+#include <memory>
+
 #include "core/reward.h"
 #include "sim/scheduler.h"
 
@@ -22,6 +24,9 @@ class KnapsackOpt final : public sim::Scheduler {
     return "Optimization";
   }
   void schedule(sim::SchedulingContext& ctx) override;
+  [[nodiscard]] std::unique_ptr<sim::Scheduler> clone() const override {
+    return std::make_unique<KnapsackOpt>(*this);
+  }
 
   /// Exact 0-1 knapsack: maximise total value with total weight <= capacity.
   /// Returns the selected item indices (ascending).  Exposed for testing

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 
 #include "sim/scheduler.h"
 
@@ -34,6 +35,9 @@ class PriorityScheduler final : public sim::Scheduler {
 
   [[nodiscard]] std::string_view name() const override { return name_; }
   void schedule(sim::SchedulingContext& ctx) override;
+  [[nodiscard]] std::unique_ptr<sim::Scheduler> clone() const override {
+    return std::make_unique<PriorityScheduler>(*this);
+  }
 
  private:
   /// Queue sorted by (priority, submit, id); deterministic.

@@ -3,6 +3,8 @@
 // training, so Random is the "no learning" control.
 #pragma once
 
+#include <memory>
+
 #include "sim/scheduler.h"
 #include "util/rng.h"
 
@@ -16,6 +18,10 @@ class RandomPolicy final : public sim::Scheduler {
   /// Restores the seed so repeated episodes are identical.
   void begin_episode() override { rng_ = util::Rng(seed_); }
   void schedule(sim::SchedulingContext& ctx) override;
+  /// Copies the current RNG position as well as the seed.
+  [[nodiscard]] std::unique_ptr<sim::Scheduler> clone() const override {
+    return std::make_unique<RandomPolicy>(*this);
+  }
 
  private:
   util::Rng rng_;

@@ -9,6 +9,7 @@
 // from the policy plug-in.
 #pragma once
 
+#include <memory>
 #include <string_view>
 #include <vector>
 
@@ -76,6 +77,17 @@ class Scheduler {
 
   /// Make scheduling decisions for the current instance.
   virtual void schedule(SchedulingContext& ctx) = 0;
+
+  /// Deep copy of this policy, including all mutable state (RNG position,
+  /// learned parameters, optimiser moments, exploration schedule), so that
+  /// the clone run in isolation behaves bit-identically to the original.
+  /// Required for parallel evaluation (exec::ParallelEvaluator), where each
+  /// worker evaluates a private instance.  The default returns nullptr,
+  /// meaning "not cloneable"; such policies can still be evaluated
+  /// serially (--jobs 1).
+  [[nodiscard]] virtual std::unique_ptr<Scheduler> clone() const {
+    return nullptr;
+  }
 };
 
 }  // namespace dras::sim

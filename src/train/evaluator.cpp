@@ -3,20 +3,27 @@
 namespace dras::train {
 
 Evaluation evaluate(int total_nodes, const sim::Trace& trace,
-                    sim::Scheduler& policy,
-                    const core::RewardFunction* reward) {
-  sim::Simulator simulator(total_nodes);
+                    sim::Scheduler& policy, const EvalOptions& options) {
+  sim::Simulator simulator(total_nodes, options.reservation_depth);
   Evaluation evaluation;
   evaluation.method = std::string(policy.name());
-  if (reward != nullptr) {
+  if (options.reward != nullptr) {
     simulator.add_action_observer(
         [&](const sim::SchedulingContext& ctx, const sim::Job& job) {
-          evaluation.total_reward += reward->step_reward(ctx, job);
+          evaluation.total_reward += options.reward->step_reward(ctx, job);
         });
   }
   evaluation.result = simulator.run(trace, policy);
   evaluation.summary = metrics::summarize(evaluation.result);
   return evaluation;
+}
+
+Evaluation evaluate(int total_nodes, const sim::Trace& trace,
+                    sim::Scheduler& policy,
+                    const core::RewardFunction* reward) {
+  EvalOptions options;
+  options.reward = reward;
+  return evaluate(total_nodes, trace, policy, options);
 }
 
 }  // namespace dras::train

@@ -19,11 +19,24 @@ struct Evaluation {
   sim::SimulationResult result;
 };
 
-/// Run `policy` on `trace` with a machine of `total_nodes` nodes.  When
-/// `reward` is provided, every successful action is scored on the
-/// post-action state and accumulated into `total_reward`.  Reward
+/// Knobs for an evaluation run beyond (nodes, trace, policy).
+struct EvalOptions {
+  /// When set, every successful action is scored on the post-action state
+  /// and accumulated into Evaluation::total_reward.
+  const core::RewardFunction* reward = nullptr;
+  /// Simulator reservation depth (how many reservations a policy may hold
+  /// concurrently); 1 matches the paper's EASY-style baseline.
+  int reservation_depth = 1;
+};
+
+/// Run `policy` on `trace` with a machine of `total_nodes` nodes.  Reward
 /// accounting registers an additional action observer, so it coexists
 /// with telemetry tracers and any other observers.
+[[nodiscard]] Evaluation evaluate(int total_nodes, const sim::Trace& trace,
+                                  sim::Scheduler& policy,
+                                  const EvalOptions& options);
+
+/// Convenience overload preserving the original (reward-only) signature.
 [[nodiscard]] Evaluation evaluate(int total_nodes, const sim::Trace& trace,
                                   sim::Scheduler& policy,
                                   const core::RewardFunction* reward = nullptr);

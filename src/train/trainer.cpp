@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "exec/parallel_runner.h"
 #include "nn/serialize.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -17,8 +18,12 @@ struct TrainMetrics {
   obs::Registry& reg = obs::Registry::global();
   obs::Counter& episodes = reg.counter("train.episodes");
   obs::Counter& snapshots = reg.counter("train.snapshots");
+  obs::Counter& validations = reg.counter("train.validations");
   obs::Histogram& episode_wall_s = reg.histogram(
       "train.episode_wall_s",
+      obs::Histogram::exponential_bounds(0.001, 4.0, 12));
+  obs::Histogram& validation_wall_s = reg.histogram(
+      "train.validation_wall_s",
       obs::Histogram::exponential_bounds(0.001, 4.0, 12));
   obs::Histogram& loss = reg.histogram(
       "train.loss", obs::Histogram::exponential_bounds(1e-4, 10.0, 10));
@@ -38,17 +43,63 @@ Trainer::Trainer(core::DrasAgent& agent, int total_nodes,
       validation_(std::move(validation)),
       options_(std::move(options)) {}
 
-EpisodeResult Trainer::validate() {
+EpisodeResult Trainer::validate_on(const sim::Trace& trace,
+                                   core::DrasAgent& agent) const {
+  obs::EventTracer* tracer =
+      options_.tracer != nullptr ? options_.tracer : obs::default_tracer();
+  const auto wall_start = std::chrono::steady_clock::now();
+  const double trace_start =
+      tracer != nullptr ? tracer->wall_seconds() : 0.0;
+
   EpisodeResult result;
   result.episode = episodes_done_;
-  const bool was_training = agent_.training();
-  agent_.set_training(false);
+  const bool was_training = agent.training();
+  agent.set_training(false);
   sim::Simulator simulator(total_nodes_);
-  const sim::SimulationResult run = simulator.run(validation_, agent_);
-  result.validation_reward = agent_.episode_reward();
+  const sim::SimulationResult run = simulator.run(trace, agent);
+  result.validation_reward = agent.episode_reward();
   result.validation_summary = metrics::summarize(run);
-  agent_.set_training(was_training);
+  agent.set_training(was_training);
+
+  result.wall_seconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - wall_start)
+                            .count();
+  TrainMetrics& m = TrainMetrics::get();
+  m.validations.add();
+  m.validation_wall_s.observe(result.wall_seconds);
+  if (tracer != nullptr) {
+    tracer->complete(
+        "validate", trace_start, tracer->wall_seconds() - trace_start,
+        {obs::targ("episode", static_cast<std::uint64_t>(episodes_done_)),
+         obs::targ("validation_reward", result.validation_reward),
+         obs::targ("jobs", static_cast<std::uint64_t>(trace.size()))},
+        obs::kTrainPid);
+  }
   return result;
+}
+
+EpisodeResult Trainer::validate() { return validate_on(validation_, agent_); }
+
+std::vector<EpisodeResult> Trainer::validate_many(
+    std::span<const sim::Trace> traces) {
+  exec::ParallelRunner runner(options_.validation_jobs);
+  if (runner.jobs() <= 1 || traces.size() <= 1) {
+    std::vector<EpisodeResult> results;
+    results.reserve(traces.size());
+    for (const sim::Trace& trace : traces)
+      results.push_back(validate_on(trace, agent_));
+    return results;
+  }
+  // Each task validates a private clone: validation is greedy and
+  // mutates only transient episode state, and the clone starts
+  // bit-identical to the live agent, so results match the serial path.
+  return runner.map(
+      traces.size(),
+      [&](std::size_t i) {
+        const auto clone = agent_.clone_agent();
+        return validate_on(traces[i], *clone);
+      },
+      "validate");
 }
 
 EpisodeResult Trainer::run_episode(const Jobset& jobset) {

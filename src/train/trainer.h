@@ -49,6 +49,11 @@ struct TrainerOptions {
   /// snapshot-write events (non-owning).  Falls back to
   /// obs::default_tracer() when null.
   obs::EventTracer* tracer = nullptr;
+  /// Maximum concurrent validations in validate_many(); 1 = serial,
+  /// 0 = hardware concurrency.  Parallel validation evaluates a private
+  /// clone of the agent per trace, so results are bit-identical to the
+  /// serial path (see exec::ParallelRunner's determinism contract).
+  std::size_t validation_jobs = 1;
 };
 
 class Trainer {
@@ -65,9 +70,23 @@ class Trainer {
 
   /// Greedy evaluation on the validation trace (no learning, no
   /// exploration).  The agent's training flag is restored afterwards.
+  /// Records its wall time and emits a "validate" event on the tracer.
   [[nodiscard]] EpisodeResult validate();
 
+  /// Greedy evaluation on several traces, up to
+  /// options.validation_jobs at a time.  Results are indexed like
+  /// `traces` regardless of the degree of parallelism, and each parallel
+  /// validation runs a private clone of the agent, so the output matches
+  /// the serial path exactly.
+  [[nodiscard]] std::vector<EpisodeResult> validate_many(
+      std::span<const sim::Trace> traces);
+
  private:
+  /// Shared body of validate()/validate_many(): greedy evaluation of
+  /// `agent` on `trace` with wall-time + tracer + metrics accounting.
+  [[nodiscard]] EpisodeResult validate_on(const sim::Trace& trace,
+                                          core::DrasAgent& agent) const;
+
   core::DrasAgent& agent_;
   int total_nodes_;
   sim::Trace validation_;

@@ -1,0 +1,156 @@
+#include "exec/parallel_evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "core/dras_agent.h"
+#include "sched/fcfs_easy.h"
+#include "sched/random_policy.h"
+#include "workload/synthetic.h"
+
+namespace dras::exec {
+namespace {
+
+sim::Trace tiny_trace(std::size_t jobs, std::uint64_t seed) {
+  workload::WorkloadModel model = workload::theta_mini_workload();
+  model.system_nodes = 16;
+  model.size_mix = {{1, 0.4}, {2, 0.3}, {4, 0.2}, {8, 0.1}};
+  model.min_runtime = 60;
+  model.max_runtime = 600;
+  workload::GenerateOptions opt;
+  opt.num_jobs = jobs;
+  opt.seed = seed;
+  return workload::generate_trace(model.with_load(0.8), opt);
+}
+
+core::DrasConfig tiny_agent_config(core::AgentKind kind) {
+  core::DrasConfig cfg;
+  cfg.kind = kind;
+  cfg.total_nodes = 16;
+  cfg.window = 4;
+  cfg.fc1 = 16;
+  cfg.fc2 = 8;
+  cfg.time_scale = 10000.0;
+  cfg.seed = 97;
+  return cfg;
+}
+
+void expect_identical(const train::Evaluation& a, const train::Evaluation& b,
+                      const std::string& context) {
+  SCOPED_TRACE(context);
+  EXPECT_EQ(a.method, b.method);
+  EXPECT_EQ(a.summary.jobs, b.summary.jobs);
+  EXPECT_EQ(a.summary.avg_wait, b.summary.avg_wait);
+  EXPECT_EQ(a.summary.utilization, b.summary.utilization);
+  EXPECT_EQ(a.total_reward, b.total_reward);
+  EXPECT_EQ(a.result.unfinished_jobs, b.result.unfinished_jobs);
+  EXPECT_EQ(a.result.makespan, b.result.makespan);
+  ASSERT_EQ(a.result.jobs.size(), b.result.jobs.size());
+  for (std::size_t i = 0; i < a.result.jobs.size(); ++i) {
+    EXPECT_EQ(a.result.jobs[i].id, b.result.jobs[i].id);
+    EXPECT_EQ(a.result.jobs[i].start, b.result.jobs[i].start);
+    EXPECT_EQ(a.result.jobs[i].end, b.result.jobs[i].end);
+    EXPECT_EQ(a.result.jobs[i].mode, b.result.jobs[i].mode);
+  }
+}
+
+// The acceptance criterion of the subsystem: for the same grid, any
+// --jobs N produces results bit-identical to --jobs 1, including the
+// stochastic policies (Random, DRAS-PG, DRAS-DQL), because every policy
+// reseeds per episode and parallel cells evaluate exact clones.
+TEST(ParallelEvaluator, GridIsBitIdenticalAcrossJobCounts) {
+  const auto trace_a = tiny_trace(40, 5);
+  const auto trace_b = tiny_trace(60, 6);
+  const std::vector<const sim::Trace*> traces = {&trace_a, &trace_b};
+
+  sched::FcfsEasy fcfs;
+  sched::RandomPolicy random(11);
+  core::DrasAgent pg(tiny_agent_config(core::AgentKind::PG));
+  pg.set_training(false);
+  core::DrasAgent dql(tiny_agent_config(core::AgentKind::DQL));
+  dql.set_training(false);
+  const std::vector<sim::Scheduler*> policies = {&fcfs, &random, &pg, &dql};
+
+  const core::RewardFunction reward(core::RewardKind::Capability);
+  train::EvalOptions options;
+  options.reward = &reward;
+
+  const auto serial = ParallelEvaluator(1).evaluate_grid(
+      16, traces, policies, options);
+  ASSERT_EQ(serial.size(), traces.size() * policies.size());
+
+  for (const std::size_t jobs : {2u, 8u}) {
+    const auto parallel = ParallelEvaluator(jobs).evaluate_grid(
+        16, traces, policies, options);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+      expect_identical(serial[i], parallel[i],
+                       "jobs=" + std::to_string(jobs) +
+                           " cell=" + std::to_string(i));
+  }
+}
+
+TEST(ParallelEvaluator, CellsAreRowMajorByTrace) {
+  const auto trace_a = tiny_trace(30, 7);
+  const auto trace_b = tiny_trace(50, 8);
+  const std::vector<const sim::Trace*> traces = {&trace_a, &trace_b};
+  sched::FcfsEasy fcfs;
+  sched::RandomPolicy random(3);
+  const std::vector<sim::Scheduler*> policies = {&fcfs, &random};
+
+  const auto grid = ParallelEvaluator(2).evaluate_grid(16, traces, policies);
+  ASSERT_EQ(grid.size(), 4u);
+  EXPECT_EQ(grid[0].method, "FCFS");
+  EXPECT_EQ(grid[1].method, "Random");
+  EXPECT_EQ(grid[0].summary.jobs, trace_a.size());
+  EXPECT_EQ(grid[2].summary.jobs, trace_b.size());
+  EXPECT_EQ(grid[2].method, "FCFS");
+  EXPECT_EQ(grid[3].method, "Random");
+}
+
+TEST(ParallelEvaluator, ParallelGridDoesNotMutateOriginalPolicies) {
+  const auto trace = tiny_trace(40, 9);
+  core::DrasAgent agent(tiny_agent_config(core::AgentKind::PG));
+  agent.set_training(true);  // online adaptation would mutate parameters
+  const std::vector<float> before(agent.network().parameters().begin(),
+                                  agent.network().parameters().end());
+  std::vector<sim::Scheduler*> policies = {&agent};
+  // Two traces force the parallel path (cells > 1).
+  const std::vector<const sim::Trace*> two = {&trace, &trace};
+  (void)ParallelEvaluator(2).evaluate_grid(16, two, policies);
+  const auto after = agent.network().parameters();
+  ASSERT_EQ(before.size(), after.size());
+  for (std::size_t i = 0; i < before.size(); ++i)
+    EXPECT_EQ(before[i], after[i]);
+}
+
+TEST(ParallelEvaluator, RejectsNonCloneablePoliciesWhenParallel) {
+  struct Opaque final : sim::Scheduler {
+    [[nodiscard]] std::string_view name() const override { return "Opaque"; }
+    void schedule(sim::SchedulingContext&) override {}
+  };
+  const auto trace = tiny_trace(10, 10);
+  const std::vector<const sim::Trace*> traces = {&trace, &trace};
+  Opaque opaque;
+  std::vector<sim::Scheduler*> policies = {&opaque};
+  EXPECT_THROW(
+      (void)ParallelEvaluator(4).evaluate_grid(16, traces, policies),
+      std::invalid_argument);
+  // Serial path accepts it: no clone needed.
+  const auto serial = ParallelEvaluator(1).evaluate_grid(16, traces, policies);
+  EXPECT_EQ(serial.size(), 2u);
+}
+
+TEST(ParallelEvaluator, EmptyGridIsEmpty) {
+  const std::vector<const sim::Trace*> traces;
+  std::vector<sim::Scheduler*> policies;
+  EXPECT_TRUE(
+      ParallelEvaluator(4).evaluate_grid(16, traces, policies).empty());
+}
+
+}  // namespace
+}  // namespace dras::exec

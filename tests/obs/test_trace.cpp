@@ -42,9 +42,9 @@ TEST(EventTracer, EmptyChromeTraceIsValidJson) {
   const auto doc = util::json::parse(sink->str());
   const auto* events = doc.find("traceEvents");
   ASSERT_NE(events, nullptr);
-  // Only the two process_name metadata records.
-  EXPECT_EQ(events->as_array().size(), 2u);
-  EXPECT_EQ(count_events(doc, "process_name"), 2u);
+  // Only the three process_name metadata records (sim / train / exec).
+  EXPECT_EQ(events->as_array().size(), 3u);
+  EXPECT_EQ(count_events(doc, "process_name"), 3u);
 }
 
 TEST(EventTracer, ChromeEventsCarrySpecMandatedFields) {
@@ -56,9 +56,9 @@ TEST(EventTracer, ChromeEventsCarrySpecMandatedFields) {
 
   const auto doc = util::json::parse(sink->str());
   const auto& events = doc.find("traceEvents")->as_array();
-  ASSERT_EQ(events.size(), 5u);  // 2 metadata + 3 payload events.
+  ASSERT_EQ(events.size(), 6u);  // 3 metadata + 3 payload events.
 
-  const auto& instant = events[2];
+  const auto& instant = events[3];
   EXPECT_EQ(instant.find("ph")->as_string(), "i");
   EXPECT_EQ(instant.find("s")->as_string(), "t");
   // Timestamps are microseconds per the trace-event spec.
@@ -66,13 +66,13 @@ TEST(EventTracer, ChromeEventsCarrySpecMandatedFields) {
   EXPECT_DOUBLE_EQ(instant.find("pid")->as_number(), kSimPid);
   EXPECT_DOUBLE_EQ(instant.find("args")->find("k")->as_number(), 7.0);
 
-  const auto& complete = events[3];
+  const auto& complete = events[4];
   EXPECT_EQ(complete.find("ph")->as_string(), "X");
   EXPECT_DOUBLE_EQ(complete.find("ts")->as_number(), 2.0e6);
   EXPECT_DOUBLE_EQ(complete.find("dur")->as_number(), 0.25e6);
   EXPECT_DOUBLE_EQ(complete.find("tid")->as_number(), 3.0);
 
-  const auto& counter = events[4];
+  const auto& counter = events[5];
   EXPECT_EQ(counter.find("ph")->as_string(), "C");
   EXPECT_DOUBLE_EQ(counter.find("args")->find("value")->as_number(), 11.0);
 }
@@ -91,8 +91,8 @@ TEST(EventTracer, JsonlEmitsOneParsableObjectPerLine) {
     EXPECT_TRUE(util::json::parse(line).is_object()) << line;
     ++parsed;
   }
-  EXPECT_EQ(parsed, 4u);  // 2 metadata + 2 events.
-  EXPECT_EQ(tracer->events_recorded(), 4u);
+  EXPECT_EQ(parsed, 5u);  // 3 metadata + 2 events.
+  EXPECT_EQ(tracer->events_recorded(), 5u);
 }
 
 TEST(EventTracer, StringArgsAreJsonEscaped) {
@@ -103,6 +103,7 @@ TEST(EventTracer, StringArgsAreJsonEscaped) {
   std::string line;
   std::getline(lines, line);  // metadata pid 1
   std::getline(lines, line);  // metadata pid 2
+  std::getline(lines, line);  // metadata pid 3
   std::getline(lines, line);  // our event
   const auto doc = util::json::parse(line);
   EXPECT_EQ(doc.find("args")->find("path")->as_string(), "a\"b\\c");

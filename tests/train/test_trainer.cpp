@@ -151,6 +151,89 @@ TEST(Trainer, EmitsEpisodeTraceEvents) {
   EXPECT_TRUE(found_episode);
 }
 
+TEST(Trainer, ValidateRecordsWallTimeAndEmitsTraceEvent) {
+  auto sink = std::make_unique<obs::StringSink>();
+  obs::StringSink* raw_sink = sink.get();
+  obs::EventTracer tracer(std::move(sink), obs::TraceFormat::Jsonl);
+
+  core::DrasAgent agent(tiny_agent_config(core::AgentKind::PG));
+  TrainerOptions options;
+  options.validate_each_episode = false;
+  options.tracer = &tracer;
+  Trainer trainer(agent, 16, tiny_trace(50, 60), options);
+  const auto result = trainer.validate();
+  tracer.flush();
+
+  EXPECT_GT(result.wall_seconds, 0.0);
+  EXPECT_NE(result.validation_reward, 0.0);
+
+  bool found_validate = false;
+  std::istringstream lines(raw_sink->str());
+  std::string line;
+  while (std::getline(lines, line)) {
+    const auto event = util::json::parse(line);
+    if (event.find("ph")->as_string() != "X") continue;
+    if (event.find("name")->as_string() != "validate") continue;
+    if (event.find("pid")->as_number() != obs::kTrainPid) continue;
+    found_validate = true;
+    const auto* args = event.find("args");
+    ASSERT_NE(args, nullptr);
+    EXPECT_TRUE(args->contains("validation_reward"));
+    EXPECT_TRUE(args->contains("episode"));
+    EXPECT_DOUBLE_EQ(args->find("jobs")->as_number(), 50.0);
+  }
+  EXPECT_TRUE(found_validate);
+}
+
+TEST(Trainer, ValidateManyParallelMatchesSerial) {
+  std::vector<sim::Trace> traces;
+  for (int i = 0; i < 4; ++i) traces.push_back(tiny_trace(40, 70 + i));
+
+  core::DrasAgent serial_agent(tiny_agent_config(core::AgentKind::PG));
+  TrainerOptions serial_options;
+  serial_options.validate_each_episode = false;
+  serial_options.validation_jobs = 1;
+  Trainer serial_trainer(serial_agent, 16, {}, serial_options);
+  const auto serial = serial_trainer.validate_many(traces);
+
+  core::DrasAgent parallel_agent(tiny_agent_config(core::AgentKind::PG));
+  TrainerOptions parallel_options;
+  parallel_options.validate_each_episode = false;
+  parallel_options.validation_jobs = 4;
+  Trainer parallel_trainer(parallel_agent, 16, {}, parallel_options);
+  const auto parallel = parallel_trainer.validate_many(traces);
+
+  ASSERT_EQ(serial.size(), traces.size());
+  ASSERT_EQ(parallel.size(), traces.size());
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    EXPECT_EQ(serial[i].validation_reward, parallel[i].validation_reward);
+    EXPECT_EQ(serial[i].validation_summary.avg_wait,
+              parallel[i].validation_summary.avg_wait);
+    EXPECT_EQ(serial[i].validation_summary.utilization,
+              parallel[i].validation_summary.utilization);
+    EXPECT_GT(parallel[i].wall_seconds, 0.0);
+  }
+}
+
+TEST(Trainer, ValidateManyDoesNotMutateAgent) {
+  std::vector<sim::Trace> traces;
+  for (int i = 0; i < 3; ++i) traces.push_back(tiny_trace(30, 80 + i));
+  core::DrasAgent agent(tiny_agent_config(core::AgentKind::DQL));
+  TrainerOptions options;
+  options.validate_each_episode = false;
+  options.validation_jobs = 3;
+  Trainer trainer(agent, 16, {}, options);
+  const std::vector<float> before(agent.network().parameters().begin(),
+                                  agent.network().parameters().end());
+  const double epsilon_before = agent.epsilon();
+  (void)trainer.validate_many(traces);
+  const auto after = agent.network().parameters();
+  for (std::size_t i = 0; i < before.size(); ++i)
+    EXPECT_EQ(before[i], after[i]);
+  EXPECT_EQ(agent.epsilon(), epsilon_before);
+  EXPECT_TRUE(agent.training());
+}
+
 TEST(Evaluator, SummarizesHeuristicRun) {
   sched::FcfsEasy fcfs;
   const auto trace = tiny_trace(80, 30);

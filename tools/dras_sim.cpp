@@ -17,6 +17,7 @@
 
 #include "core/dras_agent.h"
 #include "core/presets.h"
+#include "exec/parallel_evaluator.h"
 #include "metrics/report.h"
 #include "obs/metrics.h"
 #include "obs/sink.h"
@@ -55,6 +56,10 @@ int usage(const std::string& error = {}) {
       "  --seed S            master seed (default 1)\n"
       "  --load L            arrival-rate multiplier (default 1.0)\n"
       "  --depth D           reservation depth, 1 = EASY (default 1)\n"
+      "  --exec-jobs N       worker threads for the evaluation grid\n"
+      "                      (0 = hardware concurrency; default 1; output\n"
+      "                      is identical for every N; --jobs is taken by\n"
+      "                      the trace length above)\n"
       "  --train-episodes E  episodes before evaluation for learned\n"
       "                      policies (default 10)\n"
       "  --csv               machine-readable output\n"
@@ -119,6 +124,10 @@ int main(int argc, char** argv) {
     const auto policy_name = args.get("policy", "fcfs");
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
     const int depth = static_cast<int>(args.get_int("depth", 1));
+    const long long exec_jobs_raw = args.get_int("exec-jobs", 1);
+    const std::size_t exec_jobs =
+        exec_jobs_raw <= 0 ? dras::exec::default_concurrency()
+                           : static_cast<std::size_t>(exec_jobs_raw);
 
     // Workload.
     dras::sim::Trace trace;
@@ -215,16 +224,21 @@ int main(int argc, char** argv) {
     if (const auto unread = args.unused(); !unread.empty())
       return usage(format("unknown option --{}", unread.front()));
 
-    // Run.
-    dras::sim::Simulator sim(nodes, depth);
-    double total_reward = 0.0;
-    sim.add_action_observer(
-        [&](const dras::sim::SchedulingContext& ctx,
-            const dras::sim::Job& job) {
-          total_reward += reward.step_reward(ctx, job);
-        });
-    const auto result = sim.run(trace, *owned);
-    const auto summary = dras::metrics::summarize(result);
+    // Run through the parallel evaluator.  dras_sim evaluates a single
+    // (trace, policy) cell, so any --exec-jobs value takes the serial
+    // path and the output is identical for every N.
+    dras::train::EvalOptions eval_options;
+    eval_options.reward = &reward;
+    eval_options.reservation_depth = depth;
+    const dras::sim::Trace* traces[] = {&trace};
+    dras::sim::Scheduler* policies[] = {owned.get()};
+    const auto evaluations = dras::exec::ParallelEvaluator(exec_jobs)
+                                 .evaluate_grid(nodes, traces, policies,
+                                                eval_options);
+    const auto& evaluation = evaluations.front();
+    const auto& result = evaluation.result;
+    const auto& summary = evaluation.summary;
+    const double total_reward = evaluation.total_reward;
 
     // Telemetry epilogue: finalize the trace document and dump metrics.
     if (tracer) {
