@@ -1,12 +1,12 @@
 #include "bench_common.h"
 
-#include <fstream>
-
 #include "exec/parallel_evaluator.h"
 #include "obs/metrics.h"
 #include "obs/sink.h"
 #include "util/args.h"
 #include "util/format.h"
+#include "util/fs.h"
+#include "util/logging.h"
 #include "util/rng.h"
 
 namespace dras::benchx {
@@ -20,7 +20,7 @@ ObsSession::ObsSession(int argc, const char* const* argv) {
                             ? obs::TraceFormat::Jsonl
                             : obs::TraceFormat::ChromeJson;
     tracer_ = std::make_unique<obs::EventTracer>(
-        obs::make_sink(args.get("trace-out", "")), format);
+        obs::make_sink(args.get("trace-out", ""), /*atomic=*/true), format);
     obs::set_default_tracer(tracer_.get());
   }
   if (profile_ || !metrics_out_.empty()) obs::set_enabled(true);
@@ -35,13 +35,17 @@ ObsSession::~ObsSession() {
     tracer_->close();
   }
   if (!metrics_out_.empty()) {
-    std::ofstream out(metrics_out_);
-    if (out) {
-      const bool as_csv =
-          metrics_out_.size() >= 4 &&
-          metrics_out_.rfind(".csv") == metrics_out_.size() - 4;
-      out << (as_csv ? obs::metrics_to_csv(obs::Registry::global())
-                     : obs::metrics_to_json(obs::Registry::global()));
+    const bool as_csv =
+        metrics_out_.size() >= 4 &&
+        metrics_out_.rfind(".csv") == metrics_out_.size() - 4;
+    try {
+      util::atomic_write_file(
+          metrics_out_,
+          as_csv ? obs::metrics_to_csv(obs::Registry::global())
+                 : obs::metrics_to_json(obs::Registry::global()));
+    } catch (const std::exception& e) {
+      util::log_warn("cannot write metrics to {}: {}", metrics_out_,
+                     e.what());
     }
   }
   if (profile_) std::cerr << obs::metrics_to_text(obs::Registry::global());

@@ -1,0 +1,155 @@
+#include "ckpt/checkpoint.h"
+
+#include "core/dras_agent.h"
+#include "obs/metrics.h"
+#include "train/convergence.h"
+#include "train/curriculum.h"
+#include "train/trainer.h"
+#include "util/binio.h"
+#include "util/format.h"
+#include "util/fs.h"
+
+namespace dras::ckpt {
+
+namespace {
+
+void save_counters(util::BinaryWriter& out) {
+  out.section("OBSC", 1);
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  for (const obs::MetricSnapshot& metric : obs::Registry::global().snapshot()) {
+    if (metric.kind != obs::MetricKind::Counter) continue;
+    counters.emplace_back(metric.name,
+                          static_cast<std::uint64_t>(metric.value));
+  }
+  out.u64(counters.size());
+  for (const auto& [name, value] : counters) {
+    out.str(name);
+    out.u64(value);
+  }
+}
+
+void load_counters(util::BinaryReader& in) {
+  in.section("OBSC", 1);
+  const std::uint64_t count = in.u64();
+  obs::Registry& reg = obs::Registry::global();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::string name = in.str();
+    const std::uint64_t value = in.u64();
+    reg.counter(name).restore(value);
+  }
+}
+
+void require(bool stored, bool supplied, std::string_view component) {
+  if (stored == supplied) return;
+  throw CheckpointError(
+      stored ? util::format(
+                   "checkpoint contains {} state but none was supplied "
+                   "to decode into",
+                   component)
+             : util::format(
+                   "checkpoint has no {} state but one was supplied; "
+                   "save and restore sites must capture the same "
+                   "components",
+                   component));
+}
+
+}  // namespace
+
+std::string encode_checkpoint(const TrainingState& state) {
+  if (state.agent == nullptr)
+    throw CheckpointError("checkpoint state needs an agent");
+  util::BinaryWriter out;
+  state.agent->save_state(out);
+  out.boolean(state.trainer != nullptr);
+  if (state.trainer != nullptr) state.trainer->save_state(out);
+  out.boolean(state.curriculum != nullptr);
+  if (state.curriculum != nullptr) state.curriculum->save_state(out);
+  out.boolean(state.monitor != nullptr);
+  if (state.monitor != nullptr) state.monitor->save_state(out);
+  out.boolean(state.telemetry);
+  if (state.telemetry) save_counters(out);
+  return out.take();
+}
+
+void decode_checkpoint(std::string_view payload, const TrainingState& state) {
+  if (state.agent == nullptr)
+    throw CheckpointError("checkpoint state needs an agent");
+  util::BinaryReader in(payload);
+  state.agent->load_state(in);
+  require(in.boolean(), state.trainer != nullptr, "trainer");
+  if (state.trainer != nullptr) state.trainer->load_state(in);
+  require(in.boolean(), state.curriculum != nullptr, "curriculum");
+  if (state.curriculum != nullptr) state.curriculum->load_state(in);
+  require(in.boolean(), state.monitor != nullptr, "convergence-monitor");
+  if (state.monitor != nullptr) state.monitor->load_state(in);
+  if (in.boolean()) load_counters(in);
+  in.expect_exhausted();
+}
+
+std::string frame_payload(std::string_view payload) {
+  std::string bytes;
+  bytes.reserve(kMagic.size() + sizeof(std::uint32_t) * 2 + payload.size());
+  bytes.append(kMagic);
+  util::BinaryWriter header;
+  header.u32(kFormatVersion);
+  bytes.append(header.buffer());
+  bytes.append(payload);
+  const std::uint32_t checksum = util::crc32(bytes);
+  util::BinaryWriter trailer;
+  trailer.u32(checksum);
+  bytes.append(trailer.buffer());
+  return bytes;
+}
+
+std::string unframe_payload(std::string_view bytes) {
+  constexpr std::size_t kHeader = 8 + sizeof(std::uint32_t);
+  constexpr std::size_t kTrailer = sizeof(std::uint32_t);
+  if (bytes.size() < kHeader + kTrailer)
+    throw CheckpointError(util::format(
+        "checkpoint is {} bytes — too short to hold the {}-byte "
+        "header and checksum; file is truncated",
+        bytes.size(), kHeader + kTrailer));
+  if (bytes.substr(0, kMagic.size()) != kMagic)
+    throw CheckpointError(
+        "not a DRAS checkpoint (magic bytes \"DRASCKP1\" missing)");
+
+  const std::string_view checked = bytes.substr(0, bytes.size() - kTrailer);
+  util::BinaryReader trailer(bytes.substr(bytes.size() - kTrailer));
+  const std::uint32_t stored_crc = trailer.u32();
+  const std::uint32_t actual_crc = util::crc32(checked);
+  if (stored_crc != actual_crc)
+    throw CheckpointError(util::format(
+        "checkpoint checksum mismatch (stored {}, computed {}) — "
+        "file is corrupt or was truncated mid-write",
+        stored_crc, actual_crc));
+
+  util::BinaryReader header(bytes.substr(kMagic.size(), sizeof(std::uint32_t)));
+  const std::uint32_t version = header.u32();
+  if (version == 0 || version > kFormatVersion)
+    throw CheckpointError(util::format(
+        "checkpoint format version {} unsupported (this build reads "
+        "versions 1..{})",
+        version, kFormatVersion));
+
+  return std::string(checked.substr(kHeader));
+}
+
+void write_checkpoint_file(const std::filesystem::path& path,
+                           const TrainingState& state) {
+  util::atomic_write_file(path, frame_payload(encode_checkpoint(state)));
+}
+
+void read_checkpoint_file(const std::filesystem::path& path,
+                          const TrainingState& state) {
+  std::string bytes;
+  try {
+    bytes = util::read_file(path);
+  } catch (const std::exception& e) {
+    throw CheckpointError(
+        util::format("cannot read checkpoint {}: {}", path.string(),
+                     e.what()));
+  }
+  decode_checkpoint(unframe_payload(bytes), state);
+}
+
+}  // namespace dras::ckpt

@@ -1,0 +1,100 @@
+// Versioned, checksummed training snapshots (robustness layer).
+//
+// A checkpoint file is a single atomic unit:
+//
+//   +-----------+-----------+---------------------+-----------+
+//   | "DRASCKP1"| u32 fmt   | payload (sections)  | u32 CRC32 |
+//   |  8 bytes  | version   |                     | of all ^  |
+//   +-----------+-----------+---------------------+-----------+
+//
+// The CRC covers magic + version + payload, so truncation, bit rot and
+// short writes are all detected before a single payload byte is decoded.
+// The payload is a sequence of tagged sections (see util/binio.h)
+// produced by the save_state hooks on DrasAgent, Trainer, Curriculum and
+// ConvergenceMonitor, plus an "OBSC" section holding the telemetry
+// counters — everything needed to continue training bit-identically
+// after a crash.
+//
+// Changing any section layout requires bumping that section's version;
+// changing the container framing requires bumping kFormatVersion.  Both
+// are pinned by golden-file tests in tests/ckpt.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace dras::core {
+class DrasAgent;
+}  // namespace dras::core
+
+namespace dras::train {
+class Trainer;
+class Curriculum;
+class ConvergenceMonitor;
+}  // namespace dras::train
+
+namespace dras::ckpt {
+
+/// First 8 bytes of every checkpoint file.
+inline constexpr std::string_view kMagic = "DRASCKP1";
+/// Container format version (framing, not section layout).
+inline constexpr std::uint32_t kFormatVersion = 1;
+/// Checkpoint files written by CheckpointManager use this extension.
+inline constexpr std::string_view kExtension = ".dras";
+
+/// A checkpoint could not be read: wrong magic, unsupported version,
+/// checksum mismatch, or a payload its sections refuse to decode.
+class CheckpointError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// The set of live objects a checkpoint captures / restores.  All
+/// pointers are non-owning; `agent` is required, the rest are optional
+/// — but a checkpoint written with a component present can only be
+/// restored with that component supplied (and vice versa), so save and
+/// restore sites must agree.
+struct TrainingState {
+  core::DrasAgent* agent = nullptr;
+  train::Trainer* trainer = nullptr;
+  train::Curriculum* curriculum = nullptr;
+  train::ConvergenceMonitor* monitor = nullptr;
+  /// Capture/restore the global obs::Registry counters ("OBSC" section)
+  /// so resumed runs report cumulative telemetry.
+  bool telemetry = true;
+};
+
+/// Serialize `state` into an unframed payload (section sequence).
+[[nodiscard]] std::string encode_checkpoint(const TrainingState& state);
+
+/// Decode a payload produced by encode_checkpoint() into the objects in
+/// `state`.  Throws CheckpointError when the payload's component set
+/// does not match `state`, and util::SerializationError on malformed or
+/// mismatched section content.
+void decode_checkpoint(std::string_view payload, const TrainingState& state);
+
+/// Wrap a payload in magic + version + CRC framing.
+[[nodiscard]] std::string frame_payload(std::string_view payload);
+
+/// Verify framing (magic, version, checksum) and return the payload.
+/// Throws CheckpointError on any framing defect.
+[[nodiscard]] std::string unframe_payload(std::string_view bytes);
+
+/// encode + frame + util::atomic_write_file: the file either appears
+/// complete and checksummed at `path`, or not at all.
+void write_checkpoint_file(const std::filesystem::path& path,
+                           const TrainingState& state);
+
+/// Read + unframe + decode.  Throws CheckpointError (framing / missing
+/// file) or util::SerializationError (section content).  The checksum is
+/// verified before any object is mutated; a decode failure after that
+/// point can leave `state` partially restored, so callers must either
+/// retry with another checkpoint (every load_state overwrites all
+/// fields) or treat the objects as unusable.
+void read_checkpoint_file(const std::filesystem::path& path,
+                          const TrainingState& state);
+
+}  // namespace dras::ckpt

@@ -1,0 +1,80 @@
+#include "ckpt/fault.h"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "util/format.h"
+
+namespace dras::ckpt {
+
+namespace {
+
+std::uint8_t read_byte(const std::filesystem::path& path,
+                       std::size_t offset) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in)
+    throw std::runtime_error(
+        util::format("cannot open {} for reading", path.string()));
+  in.seekg(static_cast<std::streamoff>(offset));
+  char byte = 0;
+  if (!in.get(byte))
+    throw std::runtime_error(util::format(
+        "cannot read byte {} of {}", offset, path.string()));
+  return static_cast<std::uint8_t>(byte);
+}
+
+void write_byte(const std::filesystem::path& path, std::size_t offset,
+                std::uint8_t value) {
+  std::fstream out(path, std::ios::binary | std::ios::in | std::ios::out);
+  if (!out)
+    throw std::runtime_error(
+        util::format("cannot open {} for writing", path.string()));
+  out.seekp(static_cast<std::streamoff>(offset));
+  const char byte = static_cast<char>(value);
+  if (!out.put(byte))
+    throw std::runtime_error(util::format(
+        "cannot write byte {} of {}", offset, path.string()));
+}
+
+}  // namespace
+
+std::size_t FaultInjector::file_size(const std::filesystem::path& path) {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  if (ec)
+    throw std::runtime_error(util::format("cannot stat {}: {}",
+                                          path.string(), ec.message()));
+  return static_cast<std::size_t>(size);
+}
+
+void FaultInjector::truncate_file(const std::filesystem::path& path,
+                                  std::size_t new_size) {
+  const std::size_t current = file_size(path);
+  if (new_size > current)
+    throw std::runtime_error(util::format(
+        "truncate_file: {} is {} bytes, cannot truncate to {}",
+        path.string(), current, new_size));
+  std::error_code ec;
+  std::filesystem::resize_file(path, new_size, ec);
+  if (ec)
+    throw std::runtime_error(util::format("cannot truncate {}: {}",
+                                          path.string(), ec.message()));
+}
+
+void FaultInjector::corrupt_byte(const std::filesystem::path& path,
+                                 std::size_t offset, std::uint8_t value) {
+  if (offset >= file_size(path))
+    throw std::runtime_error(util::format(
+        "corrupt_byte: offset {} past end of {}", offset, path.string()));
+  write_byte(path, offset, value);
+}
+
+void FaultInjector::flip_bit(const std::filesystem::path& path,
+                             std::size_t offset, unsigned bit) {
+  if (bit > 7) throw std::runtime_error("flip_bit: bit must be 0..7");
+  const std::uint8_t byte = read_byte(path, offset);
+  write_byte(path, offset,
+             static_cast<std::uint8_t>(byte ^ (1u << bit)));
+}
+
+}  // namespace dras::ckpt

@@ -1,0 +1,33 @@
+// Fault injection for crash-safety tests: deterministic file-level
+// corruption mimicking the failure modes checkpoints must survive —
+// short writes (truncation), bit rot (bit flips) and garbage data
+// (byte overwrite).  Test-support code; nothing in src links against
+// this at runtime.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+
+namespace dras::ckpt {
+
+class FaultInjector {
+ public:
+  /// Cut the file down to `new_size` bytes (a crashed / short write).
+  /// Throws std::runtime_error when the file is smaller than `new_size`.
+  static void truncate_file(const std::filesystem::path& path,
+                            std::size_t new_size);
+
+  /// Overwrite the byte at `offset` with `value` (garbage sector).
+  static void corrupt_byte(const std::filesystem::path& path,
+                           std::size_t offset, std::uint8_t value);
+
+  /// Flip bit `bit` (0..7) of the byte at `offset` (bit rot).
+  static void flip_bit(const std::filesystem::path& path, std::size_t offset,
+                       unsigned bit);
+
+  [[nodiscard]] static std::size_t file_size(
+      const std::filesystem::path& path);
+};
+
+}  // namespace dras::ckpt

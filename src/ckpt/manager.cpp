@@ -1,0 +1,123 @@
+#include "ckpt/manager.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/binio.h"
+#include "util/format.h"
+#include "util/fs.h"
+#include "util/logging.h"
+
+namespace dras::ckpt {
+
+namespace {
+
+constexpr std::string_view kPrefix = "ckpt-";
+constexpr int kEpisodeDigits = 8;
+
+}  // namespace
+
+CheckpointManager::CheckpointManager(CheckpointManagerOptions options)
+    : options_(std::move(options)) {
+  if (options_.dir.empty())
+    throw std::invalid_argument("CheckpointManager needs a directory");
+}
+
+bool CheckpointManager::should_save(
+    std::size_t episodes_done) const noexcept {
+  return options_.every != 0 && episodes_done != 0 &&
+         episodes_done % options_.every == 0;
+}
+
+std::filesystem::path CheckpointManager::path_for(std::size_t episode) const {
+  char name[64];
+  std::snprintf(name, sizeof(name), "%.*s%0*zu%.*s",
+                static_cast<int>(kPrefix.size()), kPrefix.data(),
+                kEpisodeDigits, episode, static_cast<int>(kExtension.size()),
+                kExtension.data());
+  return options_.dir / name;
+}
+
+std::optional<std::size_t> CheckpointManager::parse_episode(
+    const std::filesystem::path& path) {
+  const std::string name = path.filename().string();
+  if (name.size() <= kPrefix.size() + kExtension.size()) return std::nullopt;
+  if (name.compare(0, kPrefix.size(), kPrefix) != 0) return std::nullopt;
+  if (name.compare(name.size() - kExtension.size(), kExtension.size(),
+                   kExtension) != 0)
+    return std::nullopt;
+  const std::string digits = name.substr(
+      kPrefix.size(), name.size() - kPrefix.size() - kExtension.size());
+  if (digits.empty()) return std::nullopt;
+  std::size_t episode = 0;
+  for (const char c : digits) {
+    if (c < '0' || c > '9') return std::nullopt;
+    episode = episode * 10 + static_cast<std::size_t>(c - '0');
+  }
+  return episode;
+}
+
+std::vector<std::filesystem::path> CheckpointManager::list() const {
+  std::vector<std::filesystem::path> found;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(options_.dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    if (util::is_atomic_temp_file(entry.path())) continue;
+    if (parse_episode(entry.path())) found.push_back(entry.path());
+  }
+  std::sort(found.begin(), found.end(),
+            [](const auto& a, const auto& b) {
+              return *parse_episode(a) < *parse_episode(b);
+            });
+  return found;
+}
+
+std::filesystem::path CheckpointManager::save(const TrainingState& state,
+                                              std::size_t episode) {
+  const std::filesystem::path path = path_for(episode);
+  write_checkpoint_file(path, state);
+  last_saved_ = episode;
+  util::log_info("checkpoint written: {}", path.string());
+  prune();
+  return path;
+}
+
+void CheckpointManager::prune() {
+  if (options_.keep_last == 0) return;
+  std::vector<std::filesystem::path> files = list();
+  if (files.size() <= options_.keep_last) return;
+  const std::size_t excess = files.size() - options_.keep_last;
+  for (std::size_t i = 0; i < excess; ++i) {
+    std::error_code ec;
+    std::filesystem::remove(files[i], ec);
+    if (ec) {
+      util::log_warn("cannot prune checkpoint {}: {}", files[i].string(),
+                     ec.message());
+    }
+  }
+}
+
+std::optional<std::filesystem::path> CheckpointManager::restore_latest(
+    const TrainingState& state) {
+  std::vector<std::filesystem::path> files = list();
+  if (files.empty()) return std::nullopt;
+  std::string last_error;
+  for (auto it = files.rbegin(); it != files.rend(); ++it) {
+    try {
+      read_checkpoint_file(*it, state);
+      return *it;
+    } catch (const CheckpointError& e) {
+      last_error = e.what();
+    } catch (const util::SerializationError& e) {
+      last_error = e.what();
+    }
+    util::log_warn("skipping unusable checkpoint {}: {}", it->string(),
+                   last_error);
+  }
+  throw CheckpointError(util::format(
+      "all {} checkpoints in {} are unreadable (last error: {})",
+      files.size(), options_.dir.string(), last_error));
+}
+
+}  // namespace dras::ckpt

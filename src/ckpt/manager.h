@@ -1,0 +1,77 @@
+// Checkpoint directory management: cadence, naming, retention, and
+// fallback restore.
+//
+// Files are named "ckpt-<episode, zero-padded>.dras" so lexicographic
+// and episode order coincide; anything else in the directory (including
+// util::atomic_write_file temporaries from a crashed writer) is ignored.
+// restore_latest() walks checkpoints newest-first and skips any that
+// fail their checksum or decode, so a corrupted newest snapshot degrades
+// to the most recent valid one instead of killing the resume.
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <optional>
+#include <vector>
+
+#include "ckpt/checkpoint.h"
+
+namespace dras::ckpt {
+
+struct CheckpointManagerOptions {
+  std::filesystem::path dir;
+  /// Save after every N completed episodes; 0 = only the final flush.
+  std::size_t every = 1;
+  /// Retain at most this many checkpoint files (oldest pruned); 0 = all.
+  std::size_t keep_last = 3;
+};
+
+class CheckpointManager {
+ public:
+  explicit CheckpointManager(CheckpointManagerOptions options);
+
+  [[nodiscard]] const CheckpointManagerOptions& options() const noexcept {
+    return options_;
+  }
+
+  /// Should the trainer checkpoint after `episodes_done` episodes?
+  [[nodiscard]] bool should_save(std::size_t episodes_done) const noexcept;
+
+  /// Write `state` as the checkpoint for `episode`, then prune old files.
+  /// Returns the written path.
+  std::filesystem::path save(const TrainingState& state, std::size_t episode);
+
+  /// Restore from the newest valid checkpoint, skipping (with a logged
+  /// warning) any that fail checksum or decode.  Returns the restored
+  /// path, or nullopt when the directory holds no checkpoint at all.
+  /// Throws CheckpointError when checkpoints exist but every one is
+  /// unreadable — `state` may then be partially mutated and must not be
+  /// trained.
+  std::optional<std::filesystem::path> restore_latest(
+      const TrainingState& state);
+
+  /// Checkpoint files in the directory, ascending by episode.
+  [[nodiscard]] std::vector<std::filesystem::path> list() const;
+
+  /// Episode of the last save() this manager performed, if any.
+  [[nodiscard]] std::optional<std::size_t> last_saved_episode()
+      const noexcept {
+    return last_saved_;
+  }
+
+  /// Path save() would use for `episode`.
+  [[nodiscard]] std::filesystem::path path_for(std::size_t episode) const;
+
+  /// Episode number encoded in a checkpoint filename, or nullopt for
+  /// non-checkpoint files.
+  [[nodiscard]] static std::optional<std::size_t> parse_episode(
+      const std::filesystem::path& path);
+
+ private:
+  void prune();
+
+  CheckpointManagerOptions options_;
+  std::optional<std::size_t> last_saved_;
+};
+
+}  // namespace dras::ckpt

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/binio.h"
+
 namespace dras::core {
 
 DQLPolicy::DQLPolicy(const DQLConfig& config, std::uint64_t seed)
@@ -91,6 +93,52 @@ void DQLPolicy::update() {
 
   epsilon_ = std::max(config_.epsilon_min, epsilon_ * config_.epsilon_decay);
   ++updates_;
+}
+
+void DQLPolicy::save_state(util::BinaryWriter& out) const {
+  out.section("DQLP", 1);
+  network_.save_state(out);
+  optimizer_.save_state(out);
+  out.f64(epsilon_);
+  out.u64(updates_);
+  out.f64(last_loss_);
+  out.f64(last_grad_norm_);
+  out.u64(memory_.size());
+  for (const Transition& tr : memory_) {
+    out.u64(tr.candidates.size());
+    for (const auto& candidate : tr.candidates) out.f32_span(candidate);
+    out.u64(tr.action);
+    out.f64(tr.reward);
+  }
+}
+
+void DQLPolicy::load_state(util::BinaryReader& in) {
+  in.section("DQLP", 1);
+  network_.load_state(in);
+  optimizer_.load_state(in);
+  epsilon_ = in.f64();
+  if (!(epsilon_ >= 0.0 && epsilon_ <= 1.0))
+    throw util::SerializationError(
+        "DQL epsilon outside [0, 1] in checkpoint");
+  updates_ = in.u64();
+  last_loss_ = in.f64();
+  last_grad_norm_ = in.f64();
+  memory_.clear();
+  const std::uint64_t transitions = in.u64();
+  memory_.reserve(transitions);
+  for (std::uint64_t k = 0; k < transitions; ++k) {
+    Transition tr;
+    const std::uint64_t candidates = in.u64();
+    tr.candidates.reserve(candidates);
+    for (std::uint64_t c = 0; c < candidates; ++c)
+      tr.candidates.push_back(in.f32_vector());
+    tr.action = in.u64();
+    tr.reward = in.f64();
+    if (tr.candidates.empty() || tr.action >= tr.candidates.size())
+      throw util::SerializationError(
+          "DQL transition carries an out-of-range action in checkpoint");
+    memory_.push_back(std::move(tr));
+  }
 }
 
 }  // namespace dras::core

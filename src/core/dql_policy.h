@@ -72,6 +72,12 @@ class DQLPolicy {
 
   void discard_memory() { memory_.clear(); }
 
+  /// Checkpoint hooks ("DQLP" section): network parameters, optimiser
+  /// moments, the ε schedule position, update telemetry and any pending
+  /// transitions.  A restored policy continues bit-identically.
+  void save_state(util::BinaryWriter& out) const;
+  void load_state(util::BinaryReader& in);
+
  private:
   struct Transition {
     std::vector<std::vector<float>> candidates;

@@ -1,9 +1,12 @@
 #include "core/dras_agent.h"
 
 #include <cassert>
+#include <cstring>
 #include <stdexcept>
 
 #include "core/window.h"
+#include "util/binio.h"
+#include "util/format.h"
 
 namespace dras::core {
 
@@ -74,6 +77,110 @@ std::unique_ptr<DrasAgent> DrasAgent::clone_agent() const {
 
 std::unique_ptr<sim::Scheduler> DrasAgent::clone() const {
   return clone_agent();
+}
+
+namespace {
+/// Order-sensitive FNV-1a over the configuration fields that must match
+/// between the checkpointing agent and the restoring one.  A fingerprint
+/// (rather than field-by-field storage) keeps the format stable when
+/// DrasConfig grows: new fields extend the digest, old checkpoints are
+/// rejected with a clear error instead of being silently misread.
+std::uint64_t config_fingerprint(const DrasConfig& c) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (v >> (8 * byte)) & 0xFFu;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  const auto mix_f64 = [&mix](double v) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    mix(bits);
+  };
+  mix(static_cast<std::uint64_t>(c.kind));
+  mix(static_cast<std::uint64_t>(c.total_nodes));
+  mix(c.window);
+  mix(c.fc1);
+  mix(c.fc2);
+  mix_f64(c.time_scale);
+  mix(static_cast<std::uint64_t>(c.reward_kind));
+  mix_f64(c.reward_weights.w1);
+  mix_f64(c.reward_weights.w2);
+  mix_f64(c.reward_weights.w3);
+  mix(static_cast<std::uint64_t>(c.update_every));
+  mix_f64(c.adam.learning_rate);
+  mix_f64(c.adam.beta1);
+  mix_f64(c.adam.beta2);
+  mix_f64(c.adam.epsilon);
+  mix_f64(c.adam.max_grad_norm);
+  mix_f64(c.gamma);
+  mix_f64(c.epsilon_init);
+  mix_f64(c.epsilon_decay);
+  mix_f64(c.epsilon_min);
+  mix(c.seed);
+  return h;
+}
+}  // namespace
+
+void DrasAgent::save_state(util::BinaryWriter& out) const {
+  out.section("AGNT", 1);
+  out.u8(config_.kind == AgentKind::PG ? 0 : 1);
+  out.u64(config_fingerprint(config_));
+  if (pg_) pg_->save_state(out);
+  if (dql_) dql_->save_state(out);
+  for (const std::uint64_t word : rng_.state()) out.u64(word);
+  out.boolean(training_);
+  out.f64(episode_reward_);
+  out.u64(episode_actions_);
+  out.u64(instances_seen_);
+  out.boolean(staged_);
+  if (staged_) {
+    out.f32_span(staged_state_);
+    out.u64(staged_candidates_.size());
+    for (const auto& candidate : staged_candidates_)
+      out.f32_span(candidate);
+    out.u64(staged_valid_);
+    out.u64(staged_action_);
+  }
+}
+
+void DrasAgent::load_state(util::BinaryReader& in) {
+  in.section("AGNT", 1);
+  const std::uint8_t kind = in.u8();
+  if (kind != (config_.kind == AgentKind::PG ? 0 : 1))
+    throw util::SerializationError(util::format(
+        "checkpoint holds a {} agent, this agent is {}",
+        kind == 0 ? "DRAS-PG" : "DRAS-DQL", name_));
+  const std::uint64_t fingerprint = in.u64();
+  if (fingerprint != config_fingerprint(config_))
+    throw util::SerializationError(
+        "checkpoint was written with a different agent configuration "
+        "(topology, seed or hyper-parameters); refusing to restore");
+  if (pg_) pg_->load_state(in);
+  if (dql_) dql_->load_state(in);
+  std::array<std::uint64_t, 4> rng_state;
+  for (std::uint64_t& word : rng_state) word = in.u64();
+  rng_.set_state(rng_state);
+  training_ = in.boolean();
+  episode_reward_ = in.f64();
+  episode_actions_ = in.u64();
+  instances_seen_ = in.u64();
+  staged_ = in.boolean();
+  staged_state_.clear();
+  staged_candidates_.clear();
+  staged_valid_ = 0;
+  staged_action_ = 0;
+  if (staged_) {
+    staged_state_ = in.f32_vector();
+    const std::uint64_t candidates = in.u64();
+    staged_candidates_.reserve(candidates);
+    for (std::uint64_t c = 0; c < candidates; ++c)
+      staged_candidates_.push_back(in.f32_vector());
+    staged_valid_ = in.u64();
+    staged_action_ = in.u64();
+  }
 }
 
 nn::Network& DrasAgent::network() {

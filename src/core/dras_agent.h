@@ -30,6 +30,11 @@
 #include "sim/scheduler.h"
 #include "util/rng.h"
 
+namespace dras::util {
+class BinaryWriter;
+class BinaryReader;
+}  // namespace dras::util
+
 namespace dras::core {
 
 enum class AgentKind { PG, DQL };
@@ -103,6 +108,16 @@ class DrasAgent final : public sim::Scheduler {
   [[nodiscard]] double epsilon() const noexcept {
     return dql_ ? dql_->epsilon() : 0.0;
   }
+
+  /// Checkpoint hooks ("AGNT" section): configuration fingerprint, the
+  /// active policy head (parameters, Adam moments, ε schedule, baselines,
+  /// pending experience), the action-sampling RNG position, training
+  /// flag, episode accounting and staged experience.  load_state()
+  /// throws util::SerializationError when the checkpoint was written by
+  /// an agent with a different configuration (kind, topology, seed or
+  /// hyper-parameters) — restoring it would silently change the run.
+  void save_state(util::BinaryWriter& out) const;
+  void load_state(util::BinaryReader& in);
 
   [[nodiscard]] const DrasConfig& config() const noexcept { return config_; }
   [[nodiscard]] nn::Network& network();

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "nn/ops.h"
+#include "util/binio.h"
 
 namespace dras::core {
 
@@ -113,6 +114,56 @@ void PGPolicy::update() {
   network_.zero_gradients();
   memory_.clear();
   ++updates_;
+}
+
+void PGPolicy::save_state(util::BinaryWriter& out) const {
+  out.section("PGPO", 1);
+  network_.save_state(out);
+  optimizer_.save_state(out);
+  out.f64_span(baseline_sum_);
+  std::vector<std::uint64_t> counts(baseline_count_.begin(),
+                                    baseline_count_.end());
+  out.u64_span(counts);
+  out.u64(updates_);
+  out.f64(last_loss_);
+  out.f64(last_grad_norm_);
+  out.u64(memory_.size());
+  for (const Step& step : memory_) {
+    out.f32_span(step.state);
+    out.u64(step.valid);
+    out.u64(step.action);
+    out.f64(step.reward);
+  }
+}
+
+void PGPolicy::load_state(util::BinaryReader& in) {
+  in.section("PGPO", 1);
+  network_.load_state(in);
+  optimizer_.load_state(in);
+  baseline_sum_ = in.f64_vector();
+  const auto counts = in.u64_vector();
+  if (counts.size() != baseline_sum_.size())
+    throw util::SerializationError(
+        "PG baseline sum/count length mismatch in checkpoint");
+  baseline_count_.assign(counts.begin(), counts.end());
+  updates_ = in.u64();
+  last_loss_ = in.f64();
+  last_grad_norm_ = in.f64();
+  memory_.clear();
+  const std::uint64_t steps = in.u64();
+  memory_.reserve(steps);
+  for (std::uint64_t k = 0; k < steps; ++k) {
+    Step step;
+    step.state = in.f32_vector();
+    step.valid = in.u64();
+    step.action = in.u64();
+    step.reward = in.f64();
+    if (step.valid == 0 || step.valid > config_.net.outputs ||
+        step.action >= step.valid)
+      throw util::SerializationError(
+          "PG memory step carries an out-of-range action in checkpoint");
+    memory_.push_back(std::move(step));
+  }
 }
 
 }  // namespace dras::core

@@ -73,6 +73,12 @@ class PGPolicy {
   /// training to evaluation mid-run).
   void discard_memory() { memory_.clear(); }
 
+  /// Checkpoint hooks ("PGPO" section): network parameters, optimiser
+  /// moments, baseline statistics, update telemetry and any pending
+  /// on-policy memory.  A restored policy continues bit-identically.
+  void save_state(util::BinaryWriter& out) const;
+  void load_state(util::BinaryReader& in);
+
  private:
   struct Step {
     std::vector<float> state;

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/binio.h"
+#include "util/format.h"
+
 namespace dras::nn {
 
 Adam::Adam(std::size_t parameter_count, AdamConfig config)
@@ -56,6 +59,27 @@ void Adam::reset() {
   std::fill(m_.begin(), m_.end(), 0.0f);
   std::fill(v_.begin(), v_.end(), 0.0f);
   t_ = 0;
+}
+
+void Adam::save_state(util::BinaryWriter& out) const {
+  out.section("ADAM", 1);
+  out.u64(t_);
+  out.f32_span(m_);
+  out.f32_span(v_);
+}
+
+void Adam::load_state(util::BinaryReader& in) {
+  in.section("ADAM", 1);
+  const auto steps = in.u64();
+  const auto m = in.f32_vector();
+  const auto v = in.f32_vector();
+  if (m.size() != m_.size() || v.size() != v_.size())
+    throw util::SerializationError(util::format(
+        "Adam moment length mismatch: checkpoint has {}, expected {}",
+        m.size(), m_.size()));
+  std::copy(m.begin(), m.end(), m_.begin());
+  std::copy(v.begin(), v.end(), v_.begin());
+  t_ = steps;
 }
 
 }  // namespace dras::nn

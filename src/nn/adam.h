@@ -7,6 +7,11 @@
 #include <span>
 #include <vector>
 
+namespace dras::util {
+class BinaryWriter;
+class BinaryReader;
+}  // namespace dras::util
+
 namespace dras::nn {
 
 struct AdamConfig {
@@ -41,6 +46,12 @@ class Adam {
                std::size_t steps);
 
   void reset();
+
+  /// Checkpoint hooks ("ADAM" section): step counter + both moment
+  /// vectors.  load_state() throws util::SerializationError when the
+  /// stored moment length differs from this instance's.
+  void save_state(util::BinaryWriter& out) const;
+  void load_state(util::BinaryReader& in);
 
  private:
   AdamConfig config_;

@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "nn/ops.h"
+#include "util/binio.h"
+#include "util/format.h"
 
 namespace dras::nn {
 
@@ -137,6 +139,36 @@ void Network::backward(std::span<const float> grad_output) {
 
 void Network::zero_gradients() {
   std::fill(grads_.begin(), grads_.end(), 0.0f);
+}
+
+void Network::save_state(util::BinaryWriter& out) const {
+  out.section("NNET", 1);
+  out.u64(config_.input_rows);
+  out.u64(config_.fc1);
+  out.u64(config_.fc2);
+  out.u64(config_.outputs);
+  out.f32(config_.leaky_slope);
+  out.f32_span(params_);
+}
+
+void Network::load_state(util::BinaryReader& in) {
+  in.section("NNET", 1);
+  const auto input_rows = in.u64();
+  const auto fc1 = in.u64();
+  const auto fc2 = in.u64();
+  const auto outputs = in.u64();
+  const float leaky = in.f32();
+  if (input_rows != config_.input_rows || fc1 != config_.fc1 ||
+      fc2 != config_.fc2 || outputs != config_.outputs ||
+      leaky != config_.leaky_slope)
+    throw util::SerializationError(util::format(
+        "network shape mismatch: checkpoint has [{}x2 -> {} -> {} -> {}], "
+        "this network is [{}x2 -> {} -> {} -> {}]",
+        input_rows, fc1, fc2, outputs, config_.input_rows, config_.fc1,
+        config_.fc2, config_.outputs));
+  in.f32_into(params_);
+  zero_gradients();
+  has_forward_ = false;
 }
 
 }  // namespace dras::nn

@@ -23,6 +23,11 @@
 
 #include "util/rng.h"
 
+namespace dras::util {
+class BinaryWriter;
+class BinaryReader;
+}  // namespace dras::util
+
 namespace dras::nn {
 
 struct NetworkConfig {
@@ -82,6 +87,14 @@ class Network {
   [[nodiscard]] std::span<const float> gradients() const noexcept {
     return grads_;
   }
+
+  /// Checkpoint hooks ("NNET" section): config + flat parameters.
+  /// load_state() requires the stored config to match this instance's
+  /// (the checkpoint targets an identically shaped network) and throws
+  /// util::SerializationError otherwise.  Gradients are transient and
+  /// are zeroed on load.
+  void save_state(util::BinaryWriter& out) const;
+  void load_state(util::BinaryReader& in);
 
  private:
   // Offsets of each block within the flat parameter buffer.

@@ -3,8 +3,10 @@
 #include <cstring>
 #include "util/format.h"
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
 
+#include "util/fs.h"
 #include "util/rng.h"
 
 namespace dras::nn {
@@ -101,11 +103,11 @@ Network load_network(std::istream& in, std::optional<Adam>* optimizer) {
 
 void save_network_file(const std::filesystem::path& path,
                        const Network& network, const Adam* optimizer) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out)
-    throw std::runtime_error(
-        util::format("cannot open {} for writing", path.string()));
+  // Serialize in memory, then publish with tmp+fsync+rename so a crash
+  // mid-save can never leave a truncated snapshot at `path`.
+  std::ostringstream out(std::ios::binary);
   save_network(out, network, optimizer);
+  util::atomic_write_file(path, out.str());
 }
 
 Network load_network_file(const std::filesystem::path& path,

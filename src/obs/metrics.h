@@ -72,6 +72,11 @@ class Counter {
     return value_.load(std::memory_order_relaxed);
   }
   void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+  /// Overwrite the count (checkpoint restore); unconditional like reset(),
+  /// so restored telemetry survives a disabled→enabled toggle.
+  void restore(std::uint64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+  }
 
  private:
   std::atomic<std::uint64_t> value_{0};

@@ -52,34 +52,61 @@ std::string StringSink::str() const {
 // ---------------------------------------------------------------------------
 
 FileSink::FileSink(const std::filesystem::path& path,
-                   std::size_t buffer_capacity)
-    : path_(path), capacity_(buffer_capacity) {
+                   std::size_t buffer_capacity, bool atomic)
+    : path_(path), write_path_(path), capacity_(buffer_capacity),
+      atomic_(atomic) {
   if (path.has_parent_path()) {
     std::error_code ec;
     std::filesystem::create_directories(path.parent_path(), ec);
   }
-  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (atomic_) {
+    write_path_ = std::filesystem::path(
+        util::format("{}.tmp.{}", path.string(), ::getpid()));
+  }
+  fd_ = ::open(write_path_.c_str(),
+               O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
   if (fd_ < 0)
     throw std::runtime_error(util::format("cannot open '{}': {}",
-                                          path.string(),
+                                          write_path_.string(),
                                           std::strerror(errno)));
   buffer_.reserve(capacity_);
 }
 
-FileSink::~FileSink() {
-  flush();
-  if (fd_ >= 0) ::close(fd_);
-}
+FileSink::~FileSink() { close(); }
 
 void FileSink::write(std::string_view text) {
   const std::scoped_lock lock(mutex_);
+  if (closed_) return;
   buffer_.append(text);
   if (buffer_.size() >= capacity_) flush_locked();
 }
 
 void FileSink::flush() {
   const std::scoped_lock lock(mutex_);
+  if (closed_) return;
   flush_locked();
+}
+
+void FileSink::close() {
+  const std::scoped_lock lock(mutex_);
+  if (closed_) return;
+  closed_ = true;
+  flush_locked();
+  if (fd_ >= 0) {
+    ::fsync(fd_);
+    ::close(fd_);
+    fd_ = -1;
+  }
+  if (atomic_) {
+    // Publish: rename is atomic, so `path_` is either the old content
+    // or the complete new file, never a torn mix.
+    std::error_code ec;
+    std::filesystem::rename(write_path_, path_, ec);
+    if (ec) {
+      std::cerr << util::format("warning: cannot publish '{}': {}\n",
+                                path_.string(), ec.message());
+    }
+  }
 }
 
 void FileSink::flush_locked() {
@@ -97,9 +124,9 @@ void FileSink::flush_locked() {
   buffer_.clear();
 }
 
-std::unique_ptr<Sink> make_sink(const std::string& target) {
+std::unique_ptr<Sink> make_sink(const std::string& target, bool atomic) {
   if (target == "-") return std::make_unique<StderrSink>();
-  return std::make_unique<FileSink>(target);
+  return std::make_unique<FileSink>(target, std::size_t{1} << 18, atomic);
 }
 
 }  // namespace dras::obs

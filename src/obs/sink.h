@@ -25,6 +25,10 @@ class Sink {
   virtual void write(std::string_view text) = 0;
   /// Push buffered bytes to the destination.
   virtual void flush() {}
+  /// Finalize the destination; no writes may follow.  For most sinks
+  /// this is just flush(); an atomic FileSink publishes its temp file
+  /// here.  Idempotent.
+  virtual void close() { flush(); }
 };
 
 /// Discards everything.  Used to measure serialization cost in benches.
@@ -62,14 +66,22 @@ class StringSink final : public Sink {
 /// std::runtime_error when the file cannot be opened; the destructor
 /// flushes.  `buffer_capacity` bounds the internal buffer before a write
 /// to the OS happens.
+///
+/// In `atomic` mode the sink writes to "<path>.tmp.<pid>" and close()
+/// fsyncs + renames it over `path`, so readers never observe a partial
+/// file — a crash before close() leaves only the temp file behind.
 class FileSink final : public Sink {
  public:
   explicit FileSink(const std::filesystem::path& path,
-                    std::size_t buffer_capacity = 1 << 18);
+                    std::size_t buffer_capacity = 1 << 18,
+                    bool atomic = false);
   ~FileSink() override;
 
   void write(std::string_view text) override;
   void flush() override;
+  /// Flush, fsync and close the descriptor; in atomic mode, publish the
+  /// temp file at path().  Writes after close() are dropped.
+  void close() override;
 
   [[nodiscard]] const std::filesystem::path& path() const noexcept {
     return path_;
@@ -79,13 +91,18 @@ class FileSink final : public Sink {
   void flush_locked();
 
   std::filesystem::path path_;
+  std::filesystem::path write_path_;  ///< == path_ unless atomic.
   std::size_t capacity_;
+  bool atomic_ = false;
+  bool closed_ = false;
   std::mutex mutex_;
   std::string buffer_;
   int fd_ = -1;
 };
 
-/// Convenience factory: "-" means stderr, anything else a FileSink.
-[[nodiscard]] std::unique_ptr<Sink> make_sink(const std::string& target);
+/// Convenience factory: "-" means stderr, anything else a FileSink
+/// (atomic mode forwarded — see FileSink).
+[[nodiscard]] std::unique_ptr<Sink> make_sink(const std::string& target,
+                                              bool atomic = false);
 
 }  // namespace dras::obs

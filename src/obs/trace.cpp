@@ -153,7 +153,9 @@ void EventTracer::close() {
     sink_->write(buffer_);
     buffer_.clear();
   }
-  sink_->flush();
+  // close(), not flush(): an atomic FileSink publishes its temp file
+  // here, so a finalized trace is the only thing a reader can observe.
+  sink_->close();
 }
 
 void set_default_tracer(EventTracer* tracer) noexcept {

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "util/binio.h"
+
 namespace dras::train {
 
 ConvergenceMonitor::ConvergenceMonitor(ConvergenceOptions options)
@@ -46,6 +48,22 @@ void ConvergenceMonitor::reset() {
   rewards_.clear();
   converged_ = false;
   converged_at_.reset();
+}
+
+void ConvergenceMonitor::save_state(util::BinaryWriter& out) const {
+  out.section("CONV", 1);
+  out.f64_span(rewards_);
+  out.boolean(converged_);
+  out.boolean(converged_at_.has_value());
+  if (converged_at_) out.u64(*converged_at_);
+}
+
+void ConvergenceMonitor::load_state(util::BinaryReader& in) {
+  in.section("CONV", 1);
+  rewards_ = in.f64_vector();
+  converged_ = in.boolean();
+  converged_at_.reset();
+  if (in.boolean()) converged_at_ = in.u64();
 }
 
 }  // namespace dras::train

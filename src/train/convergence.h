@@ -13,6 +13,11 @@
 #include <optional>
 #include <vector>
 
+namespace dras::util {
+class BinaryWriter;
+class BinaryReader;
+}  // namespace dras::util
+
 namespace dras::train {
 
 struct ConvergenceOptions {
@@ -43,6 +48,12 @@ class ConvergenceMonitor {
   [[nodiscard]] double recent_average() const noexcept;
 
   void reset();
+
+  /// Checkpoint hooks ("CONV" section): the reward window and the
+  /// convergence verdict, so a resumed run declares convergence at the
+  /// same episode an uninterrupted one would.
+  void save_state(util::BinaryWriter& out) const;
+  void load_state(util::BinaryReader& in);
 
  private:
   ConvergenceOptions options_;

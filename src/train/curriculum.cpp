@@ -3,6 +3,7 @@
 #include "util/format.h"
 #include <stdexcept>
 
+#include "util/binio.h"
 #include "util/rng.h"
 #include "workload/jobset.h"
 #include "workload/synthetic.h"
@@ -74,6 +75,68 @@ std::vector<Jobset> build_curriculum(
     }
   }
   return curriculum;
+}
+
+Curriculum::Curriculum(std::vector<Jobset> jobsets)
+    : jobsets_(std::move(jobsets)) {}
+
+const Jobset& Curriculum::current() const {
+  if (done()) throw std::out_of_range("curriculum exhausted");
+  return jobsets_[next_];
+}
+
+void Curriculum::advance() {
+  if (done()) throw std::out_of_range("curriculum exhausted");
+  ++next_;
+}
+
+void Curriculum::seek(std::size_t position) {
+  if (position > jobsets_.size())
+    throw std::out_of_range(util::format(
+        "curriculum position {} past its {} jobsets", position,
+        jobsets_.size()));
+  next_ = position;
+}
+
+std::uint64_t Curriculum::fingerprint() const noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix_byte = [&h](unsigned char byte) {
+    h ^= byte;
+    h *= 0x100000001b3ULL;
+  };
+  const auto mix_u64 = [&mix_byte](std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte)
+      mix_byte(static_cast<unsigned char>((v >> (8 * byte)) & 0xFFu));
+  };
+  mix_u64(jobsets_.size());
+  for (const Jobset& set : jobsets_) {
+    for (const char c : set.name) mix_byte(static_cast<unsigned char>(c));
+    mix_byte(0);  // name terminator, so "ab"+"c" != "a"+"bc"
+    mix_u64(static_cast<std::uint64_t>(set.phase));
+    mix_u64(set.trace.size());
+  }
+  return h;
+}
+
+void Curriculum::save_state(util::BinaryWriter& out) const {
+  out.section("CURR", 1);
+  out.u64(fingerprint());
+  out.u64(next_);
+}
+
+void Curriculum::load_state(util::BinaryReader& in) {
+  in.section("CURR", 1);
+  const std::uint64_t stored = in.u64();
+  if (stored != fingerprint())
+    throw util::SerializationError(
+        "checkpoint was written against a different curriculum "
+        "(jobset names, phases or sizes differ); refusing to restore");
+  const std::uint64_t position = in.u64();
+  if (position > jobsets_.size())
+    throw util::SerializationError(util::format(
+        "checkpoint cursor {} past the curriculum's {} jobsets", position,
+        jobsets_.size()));
+  next_ = position;
 }
 
 }  // namespace dras::train

@@ -10,11 +10,17 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "sim/job.h"
 #include "workload/models.h"
+
+namespace dras::util {
+class BinaryWriter;
+class BinaryReader;
+}  // namespace dras::util
 
 namespace dras::train {
 
@@ -46,5 +52,45 @@ struct CurriculumOptions {
 [[nodiscard]] std::vector<Jobset> build_curriculum(
     const workload::WorkloadModel& model,
     const sim::Trace& real_training_trace, const CurriculumOptions& options);
+
+/// An ordered jobset sequence plus a resumable cursor — the unit the
+/// crash-safe trainer consumes.  Jobsets are regenerated from seeds on
+/// every process start (they are cheap and deterministic), so checkpoints
+/// persist only the cursor plus a fingerprint of the sequence; restoring
+/// against a curriculum built from different options fails loudly
+/// instead of silently training on the wrong slices.
+class Curriculum {
+ public:
+  Curriculum() = default;
+  explicit Curriculum(std::vector<Jobset> jobsets);
+
+  [[nodiscard]] std::size_t size() const noexcept { return jobsets_.size(); }
+  [[nodiscard]] std::span<const Jobset> jobsets() const noexcept {
+    return jobsets_;
+  }
+  /// Index of the next jobset to train on.
+  [[nodiscard]] std::size_t position() const noexcept { return next_; }
+  [[nodiscard]] bool done() const noexcept { return next_ >= jobsets_.size(); }
+  /// The next jobset; throws std::out_of_range when done().
+  [[nodiscard]] const Jobset& current() const;
+  void advance();
+  /// Jump the cursor (tests, manual resume).  Throws std::out_of_range
+  /// past size().
+  void seek(std::size_t position);
+
+  /// Order-sensitive fingerprint over (name, phase, job count) of every
+  /// jobset — the identity a checkpoint pins.
+  [[nodiscard]] std::uint64_t fingerprint() const noexcept;
+
+  /// Checkpoint hooks ("CURR" section): fingerprint + cursor.
+  /// load_state() throws util::SerializationError when the fingerprint
+  /// does not match this curriculum.
+  void save_state(util::BinaryWriter& out) const;
+  void load_state(util::BinaryReader& in);
+
+ private:
+  std::vector<Jobset> jobsets_;
+  std::size_t next_ = 0;
+};
 
 }  // namespace dras::train

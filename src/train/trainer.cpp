@@ -2,11 +2,14 @@
 
 #include <chrono>
 
+#include "ckpt/manager.h"
 #include "exec/parallel_runner.h"
 #include "nn/serialize.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/simulator.h"
+#include "train/convergence.h"
+#include "util/binio.h"
 #include "util/format.h"
 #include "util/logging.h"
 
@@ -178,6 +181,63 @@ std::vector<EpisodeResult> Trainer::run(std::span<const Jobset> curriculum) {
   for (const Jobset& jobset : curriculum)
     results.push_back(run_episode(jobset));
   return results;
+}
+
+std::vector<EpisodeResult> Trainer::run(Curriculum& curriculum,
+                                        const RunOptions& run_options) {
+  const auto stopped = [&run_options] {
+    return run_options.stop != nullptr &&
+           run_options.stop->load(std::memory_order_relaxed);
+  };
+  const auto save_checkpoint = [this, &run_options, &curriculum] {
+    ckpt::TrainingState state;
+    state.agent = &agent_;
+    state.trainer = this;
+    state.curriculum = &curriculum;
+    state.monitor = run_options.monitor;
+    const std::filesystem::path path =
+        run_options.checkpoints->save(state, episodes_done_);
+    if (run_options.on_checkpoint)
+      run_options.on_checkpoint(episodes_done_, path);
+  };
+
+  std::vector<EpisodeResult> results;
+  results.reserve(curriculum.size() - curriculum.position());
+  bool interrupted = false;
+  while (!curriculum.done()) {
+    if (stopped()) {
+      interrupted = true;
+      break;
+    }
+    EpisodeResult result = run_episode(curriculum.current());
+    curriculum.advance();
+    if (run_options.monitor != nullptr)
+      run_options.monitor->record(result.validation_reward);
+    results.push_back(std::move(result));
+    if (run_options.checkpoints != nullptr &&
+        run_options.checkpoints->should_save(episodes_done_)) {
+      save_checkpoint();
+    }
+  }
+  if (interrupted)
+    util::log_warn("training stopped after {} episodes; flushing checkpoint",
+                   episodes_done_);
+  // Final flush, unless the cadence already saved this exact boundary.
+  if (run_options.checkpoints != nullptr &&
+      run_options.checkpoints->last_saved_episode() != episodes_done_) {
+    save_checkpoint();
+  }
+  return results;
+}
+
+void Trainer::save_state(util::BinaryWriter& out) const {
+  out.section("TRNR", 1);
+  out.u64(episodes_done_);
+}
+
+void Trainer::load_state(util::BinaryReader& in) {
+  in.section("TRNR", 1);
+  episodes_done_ = in.u64();
 }
 
 }  // namespace dras::train

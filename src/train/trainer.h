@@ -12,7 +12,9 @@
 // total-reward sequence is the Fig. 4 / Fig. 5 learning curve.
 #pragma once
 
+#include <atomic>
 #include <filesystem>
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -24,7 +26,13 @@ namespace dras::obs {
 class EventTracer;
 }  // namespace dras::obs
 
+namespace dras::ckpt {
+class CheckpointManager;
+}  // namespace dras::ckpt
+
 namespace dras::train {
+
+class ConvergenceMonitor;
 
 struct EpisodeResult {
   std::size_t episode = 0;
@@ -56,6 +64,27 @@ struct TrainerOptions {
   std::size_t validation_jobs = 1;
 };
 
+/// Crash-safety knobs for Trainer::run(Curriculum&, ...).  All pointers
+/// are non-owning and may be null (feature off).
+struct RunOptions {
+  /// When set, a full training snapshot (agent + trainer + curriculum
+  /// cursor + convergence window + telemetry counters) is written at the
+  /// episode boundaries the manager's cadence selects, and once more
+  /// when the loop ends or is stopped.
+  ckpt::CheckpointManager* checkpoints = nullptr;
+  /// Fed each episode's validation reward; included in checkpoints.
+  ConvergenceMonitor* monitor = nullptr;
+  /// Polled at every episode boundary; when it reads true the loop
+  /// flushes a final checkpoint and returns early with the episodes run
+  /// so far (wire util::InterruptGuard::flag() here for SIGINT/SIGTERM).
+  const std::atomic<bool>* stop = nullptr;
+  /// Called after each checkpoint write with (episodes_done, path) —
+  /// the fault-injection hook the crash-resume tests kill the process
+  /// from.
+  std::function<void(std::size_t, const std::filesystem::path&)>
+      on_checkpoint;
+};
+
 class Trainer {
  public:
   /// `validation` may be empty when options.validate_each_episode is off.
@@ -67,6 +96,25 @@ class Trainer {
 
   /// Run a whole curriculum in order.
   std::vector<EpisodeResult> run(std::span<const Jobset> curriculum);
+
+  /// Crash-safe curriculum run: consumes `curriculum` from its cursor,
+  /// checkpointing and honouring the stop flag per `run_options`.  To
+  /// resume a killed run, restore agent/trainer/curriculum through
+  /// ckpt::CheckpointManager::restore_latest() first — the cursor then
+  /// starts past the completed episodes and the results vector covers
+  /// only the episodes this call ran.  Determinism contract: interrupt
+  /// at any episode boundary + restore + rerun produces byte-identical
+  /// final parameters to an uninterrupted run (see tests/ckpt).
+  std::vector<EpisodeResult> run(Curriculum& curriculum,
+                                 const RunOptions& run_options);
+
+  [[nodiscard]] std::size_t episodes_done() const noexcept {
+    return episodes_done_;
+  }
+
+  /// Checkpoint hooks ("TRNR" section): the episode counter.
+  void save_state(util::BinaryWriter& out) const;
+  void load_state(util::BinaryReader& in);
 
   /// Greedy evaluation on the validation trace (no learning, no
   /// exploration).  The agent's training flag is restored afterwards.

@@ -1,0 +1,112 @@
+#include "util/binio.h"
+
+#include <array>
+
+#include "util/format.h"
+
+namespace dras::util {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() noexcept {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit)
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data) noexcept {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const char ch : data)
+    crc = table[(crc ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (crc >> 8);
+  return crc ^ 0xFFFFFFFFu;
+}
+
+SerializationError BinaryReader::error(const std::string& what) const {
+  return SerializationError(
+      format("binary input at byte {}: {}", offset_, what));
+}
+
+void BinaryReader::raw(void* out, std::size_t n) {
+  if (n > remaining())
+    throw error(format("need {} bytes, {} left (truncated input)", n,
+                       remaining()));
+  if (n == 0) return;  // empty vectors hand us a null data() pointer
+  std::memcpy(out, data_.data() + offset_, n);
+  offset_ += n;
+}
+
+std::string BinaryReader::str() {
+  const std::uint64_t n = u64();
+  if (n > remaining())
+    throw error(format("string of {} bytes exceeds the {} remaining", n,
+                       remaining()));
+  std::string s(data_.substr(offset_, n));
+  offset_ += n;
+  return s;
+}
+
+// Divide instead of multiply: `n * sizeof(T)` could wrap for a corrupt
+// length prefix and sneak past the bound into a giant allocation.
+std::vector<float> BinaryReader::f32_vector() {
+  const std::uint64_t n = u64();
+  if (n > remaining() / sizeof(float))
+    throw error(format("float vector of {} entries exceeds input", n));
+  std::vector<float> v(n);
+  raw(v.data(), n * sizeof(float));
+  return v;
+}
+
+std::vector<double> BinaryReader::f64_vector() {
+  const std::uint64_t n = u64();
+  if (n > remaining() / sizeof(double))
+    throw error(format("double vector of {} entries exceeds input", n));
+  std::vector<double> v(n);
+  raw(v.data(), n * sizeof(double));
+  return v;
+}
+
+std::vector<std::uint64_t> BinaryReader::u64_vector() {
+  const std::uint64_t n = u64();
+  if (n > remaining() / sizeof(std::uint64_t))
+    throw error(format("u64 vector of {} entries exceeds input", n));
+  std::vector<std::uint64_t> v(n);
+  raw(v.data(), n * sizeof(std::uint64_t));
+  return v;
+}
+
+void BinaryReader::f32_into(std::span<float> out) {
+  const std::uint64_t n = u64();
+  if (n != out.size())
+    throw error(format("float vector length mismatch: stored {}, expected {}",
+                       n, out.size()));
+  raw(out.data(), n * sizeof(float));
+}
+
+std::uint32_t BinaryReader::section(std::string_view tag4,
+                                    std::uint32_t max_version) {
+  char tag[4];
+  raw(tag, sizeof(tag));
+  if (std::string_view(tag, 4) != tag4)
+    throw error(format("expected section '{}', found '{}'", tag4,
+                       std::string_view(tag, 4)));
+  const std::uint32_t version = u32();
+  if (version == 0 || version > max_version)
+    throw error(format("section '{}' has unsupported version {} (max {})",
+                       tag4, version, max_version));
+  return version;
+}
+
+void BinaryReader::expect_exhausted() const {
+  if (!exhausted())
+    throw error(format("{} trailing bytes after the last field", remaining()));
+}
+
+}  // namespace dras::util

@@ -1,0 +1,151 @@
+// Bounds-checked little-endian binary (de)serialisation primitives.
+//
+// BinaryWriter appends typed values to an in-memory buffer; BinaryReader
+// consumes the same layout and throws SerializationError the moment a
+// read would run past the end of the input — truncated or corrupted
+// payloads surface as structured errors, never as UB.  Both sides carry
+// 4-byte section tags + versions so composite formats (the src/ckpt
+// checkpoint above all) can validate that the components they expect are
+// present, in order, and at a version they understand.
+//
+// All multi-byte values are written little-endian via memcpy, so the
+// encoding is identical across the platforms we build for and safe on
+// any alignment.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dras::util {
+
+/// Malformed / truncated binary input.  What `what()` carries is a
+/// human-readable description including the reader's byte offset.
+class SerializationError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of `data`.
+/// crc32("123456789") == 0xCBF43926 — the standard check value, pinned
+/// by tests so the checkpoint checksum can never silently change.
+[[nodiscard]] std::uint32_t crc32(std::string_view data) noexcept;
+
+class BinaryWriter {
+ public:
+  void u8(std::uint8_t v) { buffer_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v) { raw(&v, sizeof(v)); }
+  void u64(std::uint64_t v) { raw(&v, sizeof(v)); }
+  void i64(std::int64_t v) { raw(&v, sizeof(v)); }
+  void f32(float v) { raw(&v, sizeof(v)); }
+  void f64(double v) { raw(&v, sizeof(v)); }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  /// Length-prefixed (u64) byte string.
+  void str(std::string_view s) {
+    u64(s.size());
+    buffer_.append(s.data(), s.size());
+  }
+  /// Length-prefixed (u64) float vector.
+  void f32_span(std::span<const float> v) {
+    u64(v.size());
+    raw(v.data(), v.size() * sizeof(float));
+  }
+  void f64_span(std::span<const double> v) {
+    u64(v.size());
+    raw(v.data(), v.size() * sizeof(double));
+  }
+  void u64_span(std::span<const std::uint64_t> v) {
+    u64(v.size());
+    raw(v.data(), v.size() * sizeof(std::uint64_t));
+  }
+
+  /// 4-character section tag + u32 version header.
+  void section(std::string_view tag4, std::uint32_t version) {
+    if (tag4.size() != 4)
+      throw SerializationError("section tag must be 4 characters");
+    buffer_.append(tag4.data(), 4);
+    u32(version);
+  }
+
+  [[nodiscard]] const std::string& buffer() const noexcept { return buffer_; }
+  [[nodiscard]] std::string take() noexcept { return std::move(buffer_); }
+  [[nodiscard]] std::size_t size() const noexcept { return buffer_.size(); }
+
+ private:
+  void raw(const void* data, std::size_t n) {
+    if (n == 0) return;  // empty spans hand us a null data() pointer
+    buffer_.append(static_cast<const char*>(data), n);
+  }
+
+  std::string buffer_;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view data) noexcept : data_(data) {}
+
+  [[nodiscard]] std::uint8_t u8() {
+    std::uint8_t v = 0;
+    raw(&v, sizeof(v));
+    return v;
+  }
+  [[nodiscard]] std::uint32_t u32() {
+    std::uint32_t v = 0;
+    raw(&v, sizeof(v));
+    return v;
+  }
+  [[nodiscard]] std::uint64_t u64() {
+    std::uint64_t v = 0;
+    raw(&v, sizeof(v));
+    return v;
+  }
+  [[nodiscard]] std::int64_t i64() {
+    std::int64_t v = 0;
+    raw(&v, sizeof(v));
+    return v;
+  }
+  [[nodiscard]] float f32() {
+    float v = 0;
+    raw(&v, sizeof(v));
+    return v;
+  }
+  [[nodiscard]] double f64() {
+    double v = 0;
+    raw(&v, sizeof(v));
+    return v;
+  }
+  [[nodiscard]] bool boolean() { return u8() != 0; }
+
+  [[nodiscard]] std::string str();
+  [[nodiscard]] std::vector<float> f32_vector();
+  [[nodiscard]] std::vector<double> f64_vector();
+  [[nodiscard]] std::vector<std::uint64_t> u64_vector();
+  /// Read a float vector into `out`; its length must match the stored one.
+  void f32_into(std::span<float> out);
+
+  /// Consume a section header; throws when the tag differs or the stored
+  /// version exceeds `max_version`.  Returns the stored version.
+  std::uint32_t section(std::string_view tag4, std::uint32_t max_version);
+
+  [[nodiscard]] std::size_t offset() const noexcept { return offset_; }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - offset_;
+  }
+  [[nodiscard]] bool exhausted() const noexcept { return remaining() == 0; }
+  /// Throws unless every input byte was consumed (trailing garbage check).
+  void expect_exhausted() const;
+
+ private:
+  void raw(void* out, std::size_t n);
+  [[nodiscard]] SerializationError error(const std::string& what) const;
+
+  std::string_view data_;
+  std::size_t offset_ = 0;
+};
+
+}  // namespace dras::util

@@ -1,0 +1,35 @@
+// Crash-safe filesystem helpers.
+//
+// atomic_write_file() implements the classic write-temp → fsync → rename
+// discipline: readers of the destination path either see the previous
+// complete file or the new complete file, never a truncated intermediate,
+// no matter where the process dies.  Every artifact the tools emit
+// (checkpoints, --metrics-out dumps, model files, bench CSV/JSON) goes
+// through it; a crash can at worst leave a stray "<name>.tmp.<pid>" file
+// behind, which writers ignore and a later successful write of the same
+// destination cleans up.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+
+namespace dras::util {
+
+/// Atomically replace `path` with `contents`.  Parent directories are
+/// created as needed.  Throws std::runtime_error (with errno context) on
+/// any failure; on failure the destination is left untouched.
+void atomic_write_file(const std::filesystem::path& path,
+                       std::string_view contents);
+
+/// Read a whole file into a string.  Throws std::runtime_error when the
+/// file cannot be opened or grows past `max_bytes` (default 1 GiB, a
+/// guard against mistakenly loading a device file as a checkpoint).
+[[nodiscard]] std::string read_file(const std::filesystem::path& path,
+                                    std::size_t max_bytes = 1ull << 30);
+
+/// True when `path` looks like an in-flight temporary left behind by
+/// atomic_write_file (".tmp." infix); directory scans skip these.
+[[nodiscard]] bool is_atomic_temp_file(const std::filesystem::path& path);
+
+}  // namespace dras::util

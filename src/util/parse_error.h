@@ -1,0 +1,31 @@
+// Structured parse failure carrying file:line context.
+//
+// Thrown by the input parsers (SWF above all) in strict mode so a bad
+// job record points at the exact offending line instead of surfacing as
+// a silent skip, a garbage job, or UB downstream.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+#include "util/format.h"
+
+namespace dras::util {
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::string file, std::size_t line, const std::string& message)
+      : std::runtime_error(format("{}:{}: {}", file, line, message)),
+        file_(std::move(file)),
+        line_(line) {}
+
+  [[nodiscard]] const std::string& file() const noexcept { return file_; }
+  [[nodiscard]] std::size_t line() const noexcept { return line_; }
+
+ private:
+  std::string file_;
+  std::size_t line_;
+};
+
+}  // namespace dras::util

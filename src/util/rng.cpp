@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <numbers>
+#include <stdexcept>
 
 namespace dras::util {
 
@@ -120,6 +121,12 @@ std::size_t Rng::weighted_index(const double* weights, std::size_t n) noexcept {
 
 Rng Rng::spawn(std::string_view stream) noexcept {
   return Rng(derive_seed(next(), stream));
+}
+
+void Rng::set_state(const std::array<std::uint64_t, 4>& state) {
+  if ((state[0] | state[1] | state[2] | state[3]) == 0)
+    throw std::invalid_argument("all-zero xoshiro256** state");
+  state_ = state;
 }
 
 }  // namespace dras::util

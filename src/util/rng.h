@@ -69,6 +69,17 @@ class Rng {
   /// Spawn an independent child generator for a named sub-stream.
   [[nodiscard]] Rng spawn(std::string_view stream) noexcept;
 
+  /// The full generator state, for checkpoint save/restore.  Restoring a
+  /// saved state resumes the stream at exactly the saved position.
+  [[nodiscard]] const std::array<std::uint64_t, 4>& state() const noexcept {
+    return state_;
+  }
+  /// Restore a previously captured state.  Throws std::invalid_argument
+  /// on the all-zero state (a xoshiro fixed point that would make the
+  /// generator emit zeros forever — only a corrupted checkpoint produces
+  /// it).
+  void set_state(const std::array<std::uint64_t, 4>& state);
+
  private:
   std::array<std::uint64_t, 4> state_;
 };

@@ -1,0 +1,63 @@
+#include "util/signal.h"
+
+#include <csignal>
+#include <stdexcept>
+
+namespace dras::util {
+
+namespace {
+
+std::atomic<bool> g_interrupted{false};
+std::atomic<int> g_signal{0};
+std::atomic<bool> g_guard_live{false};
+
+struct sigaction g_previous_int;
+struct sigaction g_previous_term;
+
+void handle_signal(int signo) {
+  // Async-signal-safe: lock-free atomic stores only.
+  g_interrupted.store(true, std::memory_order_relaxed);
+  g_signal.store(signo, std::memory_order_relaxed);
+  // Second signal → default disposition, so another ^C terminates.
+  std::signal(signo, SIG_DFL);
+}
+
+}  // namespace
+
+InterruptGuard::InterruptGuard() {
+  if (g_guard_live.exchange(true))
+    throw std::logic_error("only one InterruptGuard may be active");
+  g_interrupted.store(false, std::memory_order_relaxed);
+  g_signal.store(0, std::memory_order_relaxed);
+  struct sigaction action = {};
+  action.sa_handler = handle_signal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: interrupt blocking I/O promptly
+  ::sigaction(SIGINT, &action, &g_previous_int);
+  ::sigaction(SIGTERM, &action, &g_previous_term);
+}
+
+InterruptGuard::~InterruptGuard() {
+  ::sigaction(SIGINT, &g_previous_int, nullptr);
+  ::sigaction(SIGTERM, &g_previous_term, nullptr);
+  g_guard_live.store(false);
+}
+
+bool InterruptGuard::interrupted() noexcept {
+  return g_interrupted.load(std::memory_order_relaxed);
+}
+
+const std::atomic<bool>& InterruptGuard::flag() noexcept {
+  return g_interrupted;
+}
+
+void InterruptGuard::reset() noexcept {
+  g_interrupted.store(false, std::memory_order_relaxed);
+  g_signal.store(0, std::memory_order_relaxed);
+}
+
+int InterruptGuard::signal_received() noexcept {
+  return g_signal.load(std::memory_order_relaxed);
+}
+
+}  // namespace dras::util

@@ -1,0 +1,40 @@
+// Cooperative SIGINT/SIGTERM handling for long-running tools.
+//
+// Training a full curriculum takes hours; ^C or a scheduler-issued
+// SIGTERM must not discard the run.  InterruptGuard installs async-
+// signal-safe handlers that only set a lock-free flag; the training loop
+// polls the flag at episode boundaries, flushes a final checkpoint and
+// returns cleanly.  A second signal while the first is still being
+// handled restores the default disposition, so an impatient double-^C
+// still kills the process immediately.
+#pragma once
+
+#include <atomic>
+
+namespace dras::util {
+
+class InterruptGuard {
+ public:
+  /// Installs handlers for SIGINT and SIGTERM.  Only one guard may be
+  /// live at a time (enforced; throws std::logic_error otherwise).
+  InterruptGuard();
+  /// Restores the previous handlers.  The flag keeps its value.
+  ~InterruptGuard();
+
+  InterruptGuard(const InterruptGuard&) = delete;
+  InterruptGuard& operator=(const InterruptGuard&) = delete;
+
+  /// Has a SIGINT/SIGTERM arrived since construction (or the last reset)?
+  [[nodiscard]] static bool interrupted() noexcept;
+  /// The flag itself, for APIs that poll a stop token
+  /// (train::RunOptions::stop).
+  [[nodiscard]] static const std::atomic<bool>& flag() noexcept;
+  /// Clear the flag (tests; re-arming after a handled interruption).
+  static void reset() noexcept;
+
+  /// The signal number received, 0 when none.  For exit-code selection
+  /// (128 + signal, the shell convention).
+  [[nodiscard]] static int signal_received() noexcept;
+};
+
+}  // namespace dras::util

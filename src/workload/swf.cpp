@@ -1,25 +1,133 @@
 #include "workload/swf.h"
 
 #include <array>
-#include "util/format.h"
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
+#include <string_view>
+#include <unordered_map>
+
+#include "util/format.h"
+#include "util/logging.h"
+#include "util/parse_error.h"
 
 namespace dras::workload {
 
-sim::Trace read_swf(std::istream& in) {
-  sim::Trace trace;
+namespace {
+
+constexpr std::size_t kSwfFields = 18;
+constexpr std::size_t kMinFields = 9;
+
+/// Split on blanks/tabs; SWF never quotes.
+std::vector<std::string_view> split_fields(std::string_view line) {
+  std::vector<std::string_view> fields;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t' ||
+                               line[i] == '\r'))
+      ++i;
+    const std::size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t' &&
+           line[i] != '\r')
+      ++i;
+    if (i > start) fields.push_back(line.substr(start, i - start));
+  }
+  return fields;
+}
+
+/// Parse one SWF numeric field; the whole token must be consumed and the
+/// value finite.  Returns false with `error` set otherwise.
+bool parse_field(std::string_view token, std::size_t index, double& out,
+                 std::string& error) {
+  const std::string buf(token);  // strtod needs a terminator
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size() || buf.empty()) {
+    error = util::format("field {} ('{}') is not a number", index + 1, buf);
+    return false;
+  }
+  if (errno == ERANGE || !std::isfinite(v)) {
+    error = util::format("field {} ('{}') is out of range", index + 1, buf);
+    return false;
+  }
+  out = v;
+  return true;
+}
+
+/// Is `v` an integer representable in [lo, hi]?
+bool integral_in_range(double v, double lo, double hi) {
+  return v == std::floor(v) && v >= lo && v <= hi;
+}
+
+}  // namespace
+
+SwfParseResult parse_swf(std::istream& in, const SwfParseOptions& options) {
+  SwfParseResult result;
+  std::unordered_map<sim::JobId, std::size_t> first_line_of_id;
   std::string line;
+  std::size_t lineno = 0;
+
+  const auto fail = [&](std::size_t at, std::string message) {
+    if (options.strict)
+      throw util::ParseError(options.filename, at, message);
+    ++result.lines_malformed;
+    if (result.issues.size() < options.max_recorded_issues)
+      result.issues.push_back(SwfIssue{at, std::move(message)});
+  };
+
   while (std::getline(in, line)) {
+    ++lineno;
     if (line.empty() || line.front() == ';') continue;
-    std::istringstream fields(line);
-    std::array<double, 18> value;
+    const auto fields = split_fields(line);
+    if (fields.empty()) continue;  // whitespace-only
+    ++result.lines_total;
+
+    if (fields.size() < kMinFields) {
+      fail(lineno, util::format(
+                       "expected at least {} SWF fields, found {}",
+                       kMinFields, fields.size()));
+      continue;
+    }
+    if (fields.size() > kSwfFields) {
+      fail(lineno, util::format(
+                       "has {} fields; SWF defines at most {}",
+                       fields.size(), kSwfFields));
+      continue;
+    }
+
+    std::array<double, kSwfFields> value;
     value.fill(-1.0);
-    std::size_t count = 0;
-    double v = 0.0;
-    while (count < value.size() && fields >> v) value[count++] = v;
-    if (count < 9) continue;  // malformed line
+    std::string error;
+    bool ok = true;
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      if (!parse_field(fields[i], i, value[i], error)) {
+        fail(lineno, error);
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+
+    // Field-level range validation (indices are 0-based field numbers).
+    constexpr double kMaxId = 9.007199254740992e15;  // 2^53
+    if (!integral_in_range(value[0], 0.0, kMaxId)) {
+      fail(lineno, util::format(
+                       "job id {} is not a non-negative integer",
+                       value[0]));
+      continue;
+    }
+    constexpr double kMaxProcs = 2147483647.0;
+    if (!integral_in_range(value[4], -1.0, kMaxProcs) ||
+        !integral_in_range(value[7], -1.0, kMaxProcs)) {
+      fail(lineno, "allocated/requested processor counts must be "
+                   "integers in [-1, 2^31)");
+      continue;
+    }
 
     sim::Job job;
     job.id = static_cast<sim::JobId>(value[0]);
@@ -28,23 +136,63 @@ sim::Trace read_swf(std::istream& in) {
     const int allocated = static_cast<int>(value[4]);
     const int requested = static_cast<int>(value[7]);
     job.size = requested > 0 ? requested : allocated;
-    job.runtime_estimate =
-        value[8] > 0.0 ? value[8] : job.runtime_actual;
+    job.runtime_estimate = value[8] > 0.0 ? value[8] : job.runtime_actual;
+
+    const auto [it, inserted] =
+        first_line_of_id.try_emplace(job.id, lineno);
+    if (!inserted) {
+      fail(lineno, util::format(
+                       "duplicate job id {} (first seen on line {})",
+                       job.id, it->second));
+      continue;
+    }
+
+    if (job.submit_time < 0.0) {
+      fail(lineno, util::format("negative submit time {}",
+                                job.submit_time));
+      continue;
+    }
 
     if (job.size <= 0 || job.runtime_actual <= 0.0 ||
-        job.runtime_estimate <= 0.0 || job.submit_time < 0.0)
-      continue;  // cancelled / unusable entry
-    trace.push_back(std::move(job));
+        job.runtime_estimate <= 0.0) {
+      ++result.lines_unusable;  // cancelled entry; valid SWF, no issue
+      continue;
+    }
+    result.trace.push_back(std::move(job));
   }
-  return trace;
+  return result;
 }
 
-sim::Trace read_swf_file(const std::filesystem::path& path) {
+SwfParseResult parse_swf_file(const std::filesystem::path& path,
+                              SwfParseOptions options) {
   std::ifstream in(path);
   if (!in)
     throw std::runtime_error(
         util::format("cannot open SWF file {}", path.string()));
-  return read_swf(in);
+  if (options.filename == "<swf>") options.filename = path.string();
+  return parse_swf(in, options);
+}
+
+namespace {
+
+sim::Trace finish_lenient(SwfParseResult result, std::string_view source) {
+  if (result.lines_malformed > 0) {
+    util::log_warn(
+        "{}: skipped {} malformed SWF line(s) of {} (first: line {}: {})",
+        source, result.lines_malformed, result.lines_total,
+        result.issues.front().line, result.issues.front().message);
+  }
+  return std::move(result.trace);
+}
+
+}  // namespace
+
+sim::Trace read_swf(std::istream& in) {
+  return finish_lenient(parse_swf(in), "<swf>");
+}
+
+sim::Trace read_swf_file(const std::filesystem::path& path) {
+  return finish_lenient(parse_swf_file(path), path.string());
 }
 
 void write_swf(std::ostream& out, const sim::Trace& trace) {

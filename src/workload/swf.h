@@ -15,16 +15,63 @@
 //
 // Unknown/absent values are -1 per the SWF convention.  Jobs with
 // non-positive size or runtime are skipped (cancelled entries).
+//
+// The hardened entry point is parse_swf(): every field is validated
+// (numeric, finite, in range, no duplicate ids) and each defect is
+// reported with file:line context — thrown as util::ParseError in
+// strict mode, or collected as warnings while the bad line is skipped.
+// read_swf()/read_swf_file() keep their historical lenient behaviour
+// (skip + one summary warning) on top of parse_swf().
 #pragma once
 
+#include <cstddef>
 #include <filesystem>
 #include <iosfwd>
+#include <string>
+#include <vector>
 
 #include "sim/job.h"
 
 namespace dras::workload {
 
-/// Parse an SWF stream into a trace.  Comment lines start with ';'.
+struct SwfParseOptions {
+  /// Throw util::ParseError at the first malformed line instead of
+  /// skipping it.  Cancelled-but-well-formed entries (non-positive size
+  /// or runtime, the SWF convention for them) never throw; they are
+  /// counted in lines_unusable.
+  bool strict = false;
+  /// Cap on recorded issues (parsing continues past it; issues beyond
+  /// the cap are counted but dropped).
+  std::size_t max_recorded_issues = 32;
+  /// Name used in issue messages ("file:line: ...").
+  std::string filename = "<swf>";
+};
+
+/// One malformed line, with 1-based line number and explanation.
+struct SwfIssue {
+  std::size_t line = 0;
+  std::string message;
+};
+
+struct SwfParseResult {
+  sim::Trace trace;
+  std::vector<SwfIssue> issues;       ///< First max_recorded_issues defects.
+  std::size_t lines_total = 0;        ///< Non-comment, non-blank lines.
+  std::size_t lines_malformed = 0;    ///< Defective lines (== issue count).
+  std::size_t lines_unusable = 0;     ///< Well-formed but cancelled/empty.
+  [[nodiscard]] std::size_t lines_parsed() const noexcept {
+    return trace.size();
+  }
+};
+
+/// Parse an SWF stream with full validation (see SwfParseOptions).
+[[nodiscard]] SwfParseResult parse_swf(std::istream& in,
+                                       const SwfParseOptions& options = {});
+[[nodiscard]] SwfParseResult parse_swf_file(
+    const std::filesystem::path& path, SwfParseOptions options = {});
+
+/// Parse an SWF stream into a trace, skipping malformed lines with a
+/// logged summary warning.  Comment lines start with ';'.
 [[nodiscard]] sim::Trace read_swf(std::istream& in);
 [[nodiscard]] sim::Trace read_swf_file(const std::filesystem::path& path);
 

@@ -1,0 +1,78 @@
+// Shared fixtures for the checkpoint tests: tiny agent configs, tiny
+// synthetic jobsets, and a scratch-directory fixture.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/dras_agent.h"
+#include "train/curriculum.h"
+#include "workload/models.h"
+#include "workload/synthetic.h"
+
+namespace dras::ckpt::testing {
+
+inline core::DrasConfig tiny_agent_config(core::AgentKind kind,
+                                          std::uint64_t seed = 21) {
+  core::DrasConfig cfg;
+  cfg.kind = kind;
+  cfg.total_nodes = 16;
+  cfg.window = 4;
+  cfg.fc1 = 16;
+  cfg.fc2 = 8;
+  cfg.time_scale = 10000.0;
+  cfg.reward_kind = core::RewardKind::Capability;
+  cfg.seed = seed;
+  return cfg;
+}
+
+inline workload::WorkloadModel tiny_model() {
+  workload::WorkloadModel m = workload::theta_mini_workload();
+  m.system_nodes = 16;
+  m.size_mix = {{1, 0.4}, {2, 0.3}, {4, 0.2}, {8, 0.1}};
+  m.min_runtime = 60;
+  m.max_runtime = 600;
+  return m.with_load(0.8);
+}
+
+inline sim::Trace tiny_trace(std::size_t jobs, std::uint64_t seed) {
+  workload::GenerateOptions opt;
+  opt.num_jobs = jobs;
+  opt.seed = seed;
+  return workload::generate_trace(tiny_model(), opt);
+}
+
+/// `episodes` deterministic jobsets; identical for equal arguments, so
+/// two independently built curricula share a fingerprint.
+inline std::vector<train::Jobset> tiny_jobsets(std::size_t episodes,
+                                               std::size_t jobs = 40,
+                                               std::uint64_t seed = 500) {
+  std::vector<train::Jobset> sets;
+  for (std::size_t e = 0; e < episodes; ++e) {
+    sets.push_back(train::Jobset{"set-" + std::to_string(e),
+                                 train::JobsetPhase::Synthetic,
+                                 tiny_trace(jobs, seed + e)});
+  }
+  return sets;
+}
+
+/// Creates (and removes) a per-test scratch directory.
+class ScratchDirTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = std::filesystem::temp_directory_path() /
+           (std::string("dras-ckpt-") + info->test_suite_name() + "-" +
+            info->name());
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+};
+
+}  // namespace dras::ckpt::testing

@@ -1,0 +1,315 @@
+#include "ckpt/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "ckpt/fault.h"
+#include "ckpt_test_util.h"
+#include "obs/metrics.h"
+#include "train/convergence.h"
+#include "train/trainer.h"
+#include "util/binio.h"
+#include "util/fs.h"
+
+namespace dras::ckpt {
+namespace {
+
+using testing::ScratchDirTest;
+using testing::tiny_agent_config;
+using testing::tiny_jobsets;
+
+// ---------------------------------------------------------------------------
+// Container framing
+// ---------------------------------------------------------------------------
+
+// Golden file: the exact container bytes for payload "golden" at format
+// version 1.  If this test fails, the on-disk format changed — bump
+// kFormatVersion and add a migration path; never change the format
+// silently.
+TEST(CheckpointFraming, GoldenContainerBytes) {
+  const std::string expected =
+      std::string("DRASCKP1") +          // magic
+      std::string("\x01\x00\x00\x00", 4) +  // u32 version 1, little-endian
+      "golden" +                         // payload
+      std::string("\x0d\x93\x1b\x88", 4);   // CRC32, little-endian
+  EXPECT_EQ(frame_payload("golden"), expected);
+  EXPECT_EQ(unframe_payload(expected), "golden");
+}
+
+TEST(CheckpointFraming, RoundTripsArbitraryPayload) {
+  std::string payload;
+  for (int i = 0; i < 256; ++i) payload.push_back(static_cast<char>(i));
+  EXPECT_EQ(unframe_payload(frame_payload(payload)), payload);
+  EXPECT_EQ(unframe_payload(frame_payload("")), "");
+}
+
+TEST(CheckpointFraming, RejectsBadMagic) {
+  std::string bytes = frame_payload("x");
+  bytes[0] = 'X';
+  EXPECT_THROW((void)unframe_payload(bytes), CheckpointError);
+}
+
+TEST(CheckpointFraming, RejectsFutureAndZeroVersions) {
+  // Version is CRC-protected, so rebuild the frame around a bad version.
+  const auto with_version = [](std::uint32_t version) {
+    std::string bytes("DRASCKP1");
+    util::BinaryWriter w;
+    w.u32(version);
+    bytes += w.buffer();
+    bytes += "payload";
+    util::BinaryWriter crc;
+    crc.u32(util::crc32(bytes));
+    return bytes + crc.buffer();
+  };
+  EXPECT_THROW((void)unframe_payload(with_version(kFormatVersion + 1)),
+               CheckpointError);
+  EXPECT_THROW((void)unframe_payload(with_version(0)), CheckpointError);
+  EXPECT_NO_THROW((void)unframe_payload(with_version(kFormatVersion)));
+}
+
+TEST(CheckpointFraming, DetectsTruncationAtEveryLength) {
+  const std::string bytes = frame_payload("some checkpoint payload");
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    EXPECT_THROW((void)unframe_payload(bytes.substr(0, cut)),
+                 CheckpointError)
+        << "prefix " << cut;
+  }
+}
+
+TEST(CheckpointFraming, DetectsEverySingleBitFlip) {
+  const std::string bytes = frame_payload("bitrot target");
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    for (unsigned bit = 0; bit < 8; ++bit) {
+      std::string mutated = bytes;
+      mutated[i] = static_cast<char>(mutated[i] ^ (1 << bit));
+      EXPECT_THROW((void)unframe_payload(mutated), CheckpointError)
+          << "byte " << i << " bit " << bit;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Agent state round trips
+// ---------------------------------------------------------------------------
+
+void train_briefly(core::DrasAgent& agent, std::size_t episodes,
+                   std::uint64_t seed = 900) {
+  train::TrainerOptions options;
+  options.validate_each_episode = false;
+  train::Trainer trainer(agent, 16, {}, options);
+  for (const auto& jobset : tiny_jobsets(episodes, 40, seed))
+    (void)trainer.run_episode(jobset);
+}
+
+std::vector<float> params_of(const core::DrasAgent& agent) {
+  const auto p = agent.network().parameters();
+  return {p.begin(), p.end()};
+}
+
+class CheckpointRoundTrip
+    : public ::testing::TestWithParam<core::AgentKind> {};
+
+TEST_P(CheckpointRoundTrip, RestoredAgentIsBitIdentical) {
+  core::DrasAgent trained(tiny_agent_config(GetParam()));
+  train_briefly(trained, 3);
+
+  TrainingState save_state;
+  save_state.agent = &trained;
+  save_state.telemetry = false;
+  const std::string payload = encode_checkpoint(save_state);
+
+  core::DrasAgent restored(tiny_agent_config(GetParam()));
+  TrainingState load_state;
+  load_state.agent = &restored;
+  load_state.telemetry = false;
+  decode_checkpoint(payload, load_state);
+
+  EXPECT_EQ(params_of(restored), params_of(trained));
+  EXPECT_EQ(restored.epsilon(), trained.epsilon());
+  EXPECT_EQ(restored.training(), trained.training());
+
+  // The restored agent must CONTINUE identically, not just look equal:
+  // train both one more episode and compare parameters again.
+  train_briefly(trained, 1, 1234);
+  train_briefly(restored, 1, 1234);
+  EXPECT_EQ(params_of(restored), params_of(trained));
+}
+
+INSTANTIATE_TEST_SUITE_P(BothKinds, CheckpointRoundTrip,
+                         ::testing::Values(core::AgentKind::PG,
+                                           core::AgentKind::DQL));
+
+TEST(CheckpointGuards, RejectsConfigMismatch) {
+  core::DrasAgent trained(tiny_agent_config(core::AgentKind::PG));
+  TrainingState state;
+  state.agent = &trained;
+  state.telemetry = false;
+  const std::string payload = encode_checkpoint(state);
+
+  auto other_cfg = tiny_agent_config(core::AgentKind::PG);
+  other_cfg.fc1 = 32;  // different network shape
+  core::DrasAgent other(other_cfg);
+  TrainingState into_other;
+  into_other.agent = &other;
+  into_other.telemetry = false;
+  EXPECT_THROW(decode_checkpoint(payload, into_other),
+               util::SerializationError);
+
+  auto reseeded = tiny_agent_config(core::AgentKind::PG, /*seed=*/99);
+  core::DrasAgent reseeded_agent(reseeded);
+  TrainingState into_reseeded;
+  into_reseeded.agent = &reseeded_agent;
+  into_reseeded.telemetry = false;
+  EXPECT_THROW(decode_checkpoint(payload, into_reseeded),
+               util::SerializationError);
+}
+
+TEST(CheckpointGuards, RejectsAgentKindMismatch) {
+  core::DrasAgent pg(tiny_agent_config(core::AgentKind::PG));
+  TrainingState state;
+  state.agent = &pg;
+  state.telemetry = false;
+  const std::string payload = encode_checkpoint(state);
+
+  core::DrasAgent dql(tiny_agent_config(core::AgentKind::DQL));
+  TrainingState into_dql;
+  into_dql.agent = &dql;
+  into_dql.telemetry = false;
+  EXPECT_THROW(decode_checkpoint(payload, into_dql),
+               util::SerializationError);
+}
+
+TEST(CheckpointGuards, ComponentSetMustMatch) {
+  core::DrasAgent agent(tiny_agent_config(core::AgentKind::PG));
+  train::ConvergenceMonitor monitor;
+  TrainingState with_monitor;
+  with_monitor.agent = &agent;
+  with_monitor.monitor = &monitor;
+  with_monitor.telemetry = false;
+  const std::string payload = encode_checkpoint(with_monitor);
+
+  TrainingState without_monitor;
+  without_monitor.agent = &agent;
+  without_monitor.telemetry = false;
+  EXPECT_THROW(decode_checkpoint(payload, without_monitor), CheckpointError);
+}
+
+TEST(CheckpointGuards, AgentIsMandatory) {
+  TrainingState empty;
+  EXPECT_THROW((void)encode_checkpoint(empty), CheckpointError);
+  EXPECT_THROW(decode_checkpoint("", empty), CheckpointError);
+}
+
+TEST(CheckpointSections, CurriculumAndMonitorAndCountersRoundTrip) {
+  core::DrasAgent agent(tiny_agent_config(core::AgentKind::PG));
+  train::Curriculum curriculum(tiny_jobsets(4));
+  curriculum.seek(2);
+  train::ConvergenceMonitor monitor;
+  (void)monitor.record(1.0);
+  (void)monitor.record(2.5);
+  auto& counter = obs::Registry::global().counter("ckpt.test.counter");
+  counter.restore(41);
+
+  TrainingState state;
+  state.agent = &agent;
+  state.curriculum = &curriculum;
+  state.monitor = &monitor;
+  const std::string payload = encode_checkpoint(state);
+
+  core::DrasAgent agent2(tiny_agent_config(core::AgentKind::PG));
+  train::Curriculum curriculum2(tiny_jobsets(4));
+  train::ConvergenceMonitor monitor2;
+  counter.restore(0);
+
+  TrainingState restored;
+  restored.agent = &agent2;
+  restored.curriculum = &curriculum2;
+  restored.monitor = &monitor2;
+  decode_checkpoint(payload, restored);
+
+  EXPECT_EQ(curriculum2.position(), 2u);
+  ASSERT_EQ(monitor2.rewards().size(), 2u);
+  EXPECT_EQ(monitor2.rewards()[1], 2.5);
+  EXPECT_EQ(counter.value(), 41u);
+}
+
+// ---------------------------------------------------------------------------
+// File-level fault injection
+// ---------------------------------------------------------------------------
+
+class CheckpointFileTest : public ScratchDirTest {};
+
+TEST_F(CheckpointFileTest, WriteReadCycle) {
+  core::DrasAgent agent(tiny_agent_config(core::AgentKind::DQL));
+  train_briefly(agent, 2);
+  TrainingState state;
+  state.agent = &agent;
+  state.telemetry = false;
+  const auto path = dir_ / "snap.dras";
+  write_checkpoint_file(path, state);
+
+  core::DrasAgent restored(tiny_agent_config(core::AgentKind::DQL));
+  TrainingState into;
+  into.agent = &restored;
+  into.telemetry = false;
+  read_checkpoint_file(path, into);
+  EXPECT_EQ(params_of(restored), params_of(agent));
+}
+
+TEST_F(CheckpointFileTest, MissingFileIsCheckpointError) {
+  core::DrasAgent agent(tiny_agent_config(core::AgentKind::PG));
+  TrainingState state;
+  state.agent = &agent;
+  EXPECT_THROW(read_checkpoint_file(dir_ / "absent.dras", state),
+               CheckpointError);
+}
+
+TEST_F(CheckpointFileTest, InjectedFaultsAreAllDetected) {
+  core::DrasAgent agent(tiny_agent_config(core::AgentKind::PG));
+  train_briefly(agent, 1);
+  TrainingState state;
+  state.agent = &agent;
+  state.telemetry = false;
+  const auto path = dir_ / "snap.dras";
+  write_checkpoint_file(path, state);
+  const std::size_t size = FaultInjector::file_size(path);
+  const std::string pristine = util::read_file(path);
+
+  core::DrasAgent victim(tiny_agent_config(core::AgentKind::PG));
+  TrainingState into;
+  into.agent = &victim;
+  into.telemetry = false;
+
+  // Short write: every truncation point must be rejected by checksum.
+  for (const std::size_t cut :
+       {std::size_t{0}, std::size_t{7}, size / 2, size - 1}) {
+    FaultInjector::truncate_file(path, cut);
+    EXPECT_THROW(read_checkpoint_file(path, into), CheckpointError)
+        << "truncated to " << cut;
+    util::atomic_write_file(path, pristine);
+  }
+
+  // Bit rot across the whole file, including header and trailer.
+  for (std::size_t offset = 0; offset < size;
+       offset += std::max<std::size_t>(1, size / 64)) {
+    FaultInjector::flip_bit(path, offset, offset % 8);
+    EXPECT_THROW(read_checkpoint_file(path, into), CheckpointError)
+        << "bit flip at " << offset;
+    util::atomic_write_file(path, pristine);
+  }
+
+  // Garbage byte (inverted so it always differs from the original).
+  FaultInjector::corrupt_byte(
+      path, size / 3,
+      static_cast<std::uint8_t>(
+          ~static_cast<unsigned char>(pristine[size / 3])));
+  EXPECT_THROW(read_checkpoint_file(path, into), CheckpointError);
+  util::atomic_write_file(path, pristine);
+
+  // And the pristine file still restores.
+  EXPECT_NO_THROW(read_checkpoint_file(path, into));
+}
+
+}  // namespace
+}  // namespace dras::ckpt

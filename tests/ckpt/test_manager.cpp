@@ -1,0 +1,167 @@
+#include "ckpt/manager.h"
+
+#include <gtest/gtest.h>
+
+#include "ckpt/fault.h"
+#include "ckpt_test_util.h"
+#include "util/fs.h"
+
+namespace dras::ckpt {
+namespace {
+
+using testing::ScratchDirTest;
+using testing::tiny_agent_config;
+
+class ManagerTest : public ScratchDirTest {
+ protected:
+  CheckpointManager make_manager(std::size_t every = 1,
+                                 std::size_t keep = 3) {
+    CheckpointManagerOptions options;
+    options.dir = dir_;
+    options.every = every;
+    options.keep_last = keep;
+    return CheckpointManager(options);
+  }
+
+  TrainingState state_for(core::DrasAgent& agent) {
+    TrainingState state;
+    state.agent = &agent;
+    state.telemetry = false;
+    return state;
+  }
+};
+
+TEST_F(ManagerTest, CadenceRespectsEvery) {
+  const auto manager = make_manager(/*every=*/3);
+  EXPECT_FALSE(manager.should_save(0));
+  EXPECT_FALSE(manager.should_save(1));
+  EXPECT_FALSE(manager.should_save(2));
+  EXPECT_TRUE(manager.should_save(3));
+  EXPECT_TRUE(manager.should_save(6));
+  // every=0 disables periodic saves entirely (final flush only).
+  const auto never = make_manager(/*every=*/0);
+  EXPECT_FALSE(never.should_save(5));
+}
+
+TEST_F(ManagerTest, ParsesOwnFilenamesOnly) {
+  const auto manager = make_manager();
+  const auto path = manager.path_for(42);
+  EXPECT_EQ(path.filename().string(), "ckpt-00000042.dras");
+  EXPECT_EQ(CheckpointManager::parse_episode(path), 42u);
+  EXPECT_EQ(CheckpointManager::parse_episode("ckpt-00000042.dras.tmp.7"),
+            std::nullopt);
+  EXPECT_EQ(CheckpointManager::parse_episode("other.dras"), std::nullopt);
+  EXPECT_EQ(CheckpointManager::parse_episode("ckpt-abc.dras"), std::nullopt);
+  EXPECT_EQ(CheckpointManager::parse_episode("ckpt-.dras"), std::nullopt);
+}
+
+TEST_F(ManagerTest, RetentionKeepsNewestK) {
+  core::DrasAgent agent(tiny_agent_config(core::AgentKind::PG));
+  auto manager = make_manager(1, /*keep=*/2);
+  const auto state = state_for(agent);
+  for (std::size_t episode = 1; episode <= 5; ++episode)
+    (void)manager.save(state, episode);
+
+  const auto files = manager.list();
+  ASSERT_EQ(files.size(), 2u);
+  EXPECT_EQ(CheckpointManager::parse_episode(files[0]), 4u);
+  EXPECT_EQ(CheckpointManager::parse_episode(files[1]), 5u);
+  EXPECT_EQ(manager.last_saved_episode(), 5u);
+}
+
+TEST_F(ManagerTest, KeepZeroRetainsEverything) {
+  core::DrasAgent agent(tiny_agent_config(core::AgentKind::PG));
+  auto manager = make_manager(1, /*keep=*/0);
+  const auto state = state_for(agent);
+  for (std::size_t episode = 1; episode <= 4; ++episode)
+    (void)manager.save(state, episode);
+  EXPECT_EQ(manager.list().size(), 4u);
+}
+
+TEST_F(ManagerTest, ListIgnoresForeignAndTempFiles) {
+  core::DrasAgent agent(tiny_agent_config(core::AgentKind::PG));
+  auto manager = make_manager();
+  (void)manager.save(state_for(agent), 1);
+  util::atomic_write_file(dir_ / "notes.txt", "not a checkpoint");
+  util::atomic_write_file(dir_ / "ckpt-00000009.dras.tmp.321", "partial");
+  ASSERT_EQ(manager.list().size(), 1u);
+  EXPECT_EQ(CheckpointManager::parse_episode(manager.list()[0]), 1u);
+}
+
+TEST_F(ManagerTest, RestoreLatestPicksNewest) {
+  core::DrasAgent agent(tiny_agent_config(core::AgentKind::DQL));
+  auto manager = make_manager();
+  auto state = state_for(agent);
+  (void)manager.save(state, 1);
+  (void)manager.save(state, 2);
+
+  core::DrasAgent target(tiny_agent_config(core::AgentKind::DQL));
+  auto into = state_for(target);
+  const auto restored = manager.restore_latest(into);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(CheckpointManager::parse_episode(*restored), 2u);
+}
+
+TEST_F(ManagerTest, EmptyDirectoryRestoresNothing) {
+  core::DrasAgent agent(tiny_agent_config(core::AgentKind::PG));
+  auto manager = make_manager();
+  auto state = state_for(agent);
+  EXPECT_EQ(manager.restore_latest(state), std::nullopt);
+  // A missing directory behaves the same as an empty one.
+  CheckpointManagerOptions options;
+  options.dir = dir_ / "never-created";
+  CheckpointManager absent(options);
+  EXPECT_EQ(absent.restore_latest(state), std::nullopt);
+}
+
+TEST_F(ManagerTest, CorruptNewestFallsBackToOlderValidSnapshot) {
+  core::DrasAgent agent(tiny_agent_config(core::AgentKind::PG));
+  auto manager = make_manager();
+  auto state = state_for(agent);
+  (void)manager.save(state, 1);
+  const auto newest = manager.save(state, 2);
+  FaultInjector::flip_bit(newest, FaultInjector::file_size(newest) / 2, 3);
+
+  core::DrasAgent target(tiny_agent_config(core::AgentKind::PG));
+  auto into = state_for(target);
+  const auto restored = manager.restore_latest(into);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(CheckpointManager::parse_episode(*restored), 1u);
+}
+
+TEST_F(ManagerTest, TruncatedNewestFallsBackToo) {
+  core::DrasAgent agent(tiny_agent_config(core::AgentKind::PG));
+  auto manager = make_manager();
+  auto state = state_for(agent);
+  (void)manager.save(state, 1);
+  const auto newest = manager.save(state, 2);
+  FaultInjector::truncate_file(newest,
+                               FaultInjector::file_size(newest) / 3);
+
+  core::DrasAgent target(tiny_agent_config(core::AgentKind::PG));
+  auto into = state_for(target);
+  const auto restored = manager.restore_latest(into);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(CheckpointManager::parse_episode(*restored), 1u);
+}
+
+TEST_F(ManagerTest, AllCorruptThrowsLoudly) {
+  core::DrasAgent agent(tiny_agent_config(core::AgentKind::PG));
+  auto manager = make_manager();
+  auto state = state_for(agent);
+  for (std::size_t episode = 1; episode <= 2; ++episode) {
+    const auto path = manager.save(state, episode);
+    FaultInjector::truncate_file(path, 5);
+  }
+  core::DrasAgent target(tiny_agent_config(core::AgentKind::PG));
+  auto into = state_for(target);
+  EXPECT_THROW((void)manager.restore_latest(into), CheckpointError);
+}
+
+TEST_F(ManagerTest, RequiresDirectory) {
+  CheckpointManagerOptions options;  // dir left empty
+  EXPECT_THROW(CheckpointManager{options}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dras::ckpt

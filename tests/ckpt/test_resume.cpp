@@ -1,0 +1,161 @@
+// The headline crash-safety guarantee (ISSUE acceptance criterion):
+// kill training at ANY episode boundary, restore from the checkpoint
+// directory, finish the curriculum — and the final parameters are
+// byte-identical to an uninterrupted run, with identical validation
+// metrics.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "ckpt/manager.h"
+#include "ckpt_test_util.h"
+#include "train/convergence.h"
+#include "train/trainer.h"
+
+namespace dras::ckpt {
+namespace {
+
+using testing::ScratchDirTest;
+using testing::tiny_agent_config;
+using testing::tiny_jobsets;
+using testing::tiny_trace;
+
+constexpr std::size_t kEpisodes = 5;
+
+std::vector<float> params_of(const core::DrasAgent& agent) {
+  const auto p = agent.network().parameters();
+  return {p.begin(), p.end()};
+}
+
+struct RunArtifacts {
+  std::vector<float> params;
+  std::vector<double> validation_rewards;
+  double final_validation = 0.0;
+};
+
+/// Uninterrupted reference run over the whole curriculum.
+RunArtifacts baseline_run(core::AgentKind kind) {
+  core::DrasAgent agent(tiny_agent_config(kind));
+  train::Curriculum curriculum(tiny_jobsets(kEpisodes));
+  train::TrainerOptions options;
+  options.validate_each_episode = true;
+  train::Trainer trainer(agent, 16, tiny_trace(50, 7), options);
+  train::ConvergenceMonitor monitor;
+  train::RunOptions run_options;
+  run_options.monitor = &monitor;
+  (void)trainer.run(curriculum, run_options);
+
+  RunArtifacts artifacts;
+  artifacts.params = params_of(agent);
+  artifacts.validation_rewards = monitor.rewards();
+  artifacts.final_validation = trainer.validate().validation_reward;
+  return artifacts;
+}
+
+/// Train with per-episode checkpoints, stopping at `kill_after`
+/// episodes; then build FRESH objects (as a restarted process would),
+/// restore the newest checkpoint and finish the curriculum.
+RunArtifacts crashed_and_resumed_run(core::AgentKind kind,
+                                     std::size_t kill_after,
+                                     const std::filesystem::path& dir) {
+  CheckpointManagerOptions manager_options;
+  manager_options.dir = dir;
+  manager_options.every = 1;
+  manager_options.keep_last = 2;
+
+  {
+    // --- First life: killed at the `kill_after` episode boundary. ---
+    core::DrasAgent agent(tiny_agent_config(kind));
+    train::Curriculum curriculum(tiny_jobsets(kEpisodes));
+    train::TrainerOptions options;
+    options.validate_each_episode = true;
+    train::Trainer trainer(agent, 16, tiny_trace(50, 7), options);
+    train::ConvergenceMonitor monitor;
+    CheckpointManager manager(manager_options);
+
+    std::atomic<bool> stop{false};
+    train::RunOptions run_options;
+    run_options.checkpoints = &manager;
+    run_options.monitor = &monitor;
+    run_options.stop = &stop;
+    run_options.on_checkpoint = [&stop, kill_after](
+                                    std::size_t episode,
+                                    const std::filesystem::path&) {
+      if (episode >= kill_after) stop.store(true);
+    };
+    (void)trainer.run(curriculum, run_options);
+    EXPECT_EQ(trainer.episodes_done(), kill_after);
+    // The first life's objects are discarded here without any further
+    // flushing — only the checkpoint files survive, as in a real crash.
+  }
+
+  // --- Second life: fresh objects, restore, finish. ---
+  core::DrasAgent agent(tiny_agent_config(kind));
+  train::Curriculum curriculum(tiny_jobsets(kEpisodes));
+  train::TrainerOptions options;
+  options.validate_each_episode = true;
+  train::Trainer trainer(agent, 16, tiny_trace(50, 7), options);
+  train::ConvergenceMonitor monitor;
+  CheckpointManager manager(manager_options);
+
+  TrainingState state;
+  state.agent = &agent;
+  state.trainer = &trainer;
+  state.curriculum = &curriculum;
+  state.monitor = &monitor;
+  const auto restored = manager.restore_latest(state);
+  EXPECT_TRUE(restored.has_value());
+  EXPECT_EQ(trainer.episodes_done(), kill_after);
+  EXPECT_EQ(curriculum.position(), kill_after);
+
+  train::RunOptions run_options;
+  run_options.checkpoints = &manager;
+  run_options.monitor = &monitor;
+  const auto results = trainer.run(curriculum, run_options);
+  EXPECT_EQ(results.size(), kEpisodes - kill_after);
+
+  RunArtifacts artifacts;
+  artifacts.params = params_of(agent);
+  artifacts.validation_rewards = monitor.rewards();
+  artifacts.final_validation = trainer.validate().validation_reward;
+  return artifacts;
+}
+
+class ResumeTest : public ScratchDirTest,
+                   public ::testing::WithParamInterface<core::AgentKind> {};
+
+// Parameter name helper so failures read "PG kill_after=2" etc.
+std::string kind_name(core::AgentKind kind) {
+  return kind == core::AgentKind::PG ? "PG" : "DQL";
+}
+
+TEST_P(ResumeTest, KillAtEveryBoundaryResumesBitIdentical) {
+  const core::AgentKind kind = GetParam();
+  const RunArtifacts baseline = baseline_run(kind);
+  ASSERT_EQ(baseline.validation_rewards.size(), kEpisodes);
+
+  for (std::size_t kill_after = 1; kill_after < kEpisodes; ++kill_after) {
+    const auto subdir = dir_ / ("kill-" + std::to_string(kill_after));
+    std::filesystem::create_directories(subdir);
+    const RunArtifacts resumed =
+        crashed_and_resumed_run(kind, kill_after, subdir);
+
+    // Byte-identical parameters...
+    EXPECT_EQ(resumed.params, baseline.params)
+        << kind_name(kind) << " kill_after=" << kill_after;
+    // ...identical validation metrics at the end...
+    EXPECT_EQ(resumed.final_validation, baseline.final_validation)
+        << kind_name(kind) << " kill_after=" << kill_after;
+    // ...and the learning curve (crossing the crash) matches exactly.
+    EXPECT_EQ(resumed.validation_rewards, baseline.validation_rewards)
+        << kind_name(kind) << " kill_after=" << kill_after;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothKinds, ResumeTest,
+                         ::testing::Values(core::AgentKind::PG,
+                                           core::AgentKind::DQL));
+
+}  // namespace
+}  // namespace dras::ckpt

@@ -1,0 +1,91 @@
+#include "util/fs.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace dras::util {
+namespace {
+
+namespace fs = std::filesystem;
+
+class FsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("dras-fs-test-" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "-" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+};
+
+TEST_F(FsTest, WriteThenReadRoundTrip) {
+  const fs::path target = dir_ / "out.bin";
+  const std::string payload("binary\0payload", 14);
+  atomic_write_file(target, payload);
+  EXPECT_EQ(read_file(target), payload);
+}
+
+TEST_F(FsTest, OverwriteReplacesContentCompletely) {
+  const fs::path target = dir_ / "out.txt";
+  atomic_write_file(target, "a much longer first version of the file");
+  atomic_write_file(target, "short");
+  EXPECT_EQ(read_file(target), "short");
+}
+
+TEST_F(FsTest, CreatesMissingParentDirectories) {
+  const fs::path target = dir_ / "a" / "b" / "c.txt";
+  atomic_write_file(target, "nested");
+  EXPECT_EQ(read_file(target), "nested");
+}
+
+TEST_F(FsTest, LeavesNoTemporariesBehindOnSuccess) {
+  atomic_write_file(dir_ / "clean.txt", "x");
+  std::size_t entries = 0;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    (void)entry;
+    ++entries;
+  }
+  EXPECT_EQ(entries, 1u);
+}
+
+TEST_F(FsTest, FailureLeavesDestinationUntouched) {
+  const fs::path target = dir_ / "kept.txt";
+  atomic_write_file(target, "original");
+  // Writing *into* a path that is a directory must fail...
+  const fs::path blocked = dir_ / "kept.txt" / "impossible";
+  EXPECT_THROW(atomic_write_file(blocked, "new"), std::runtime_error);
+  // ...and the existing file is untouched.
+  EXPECT_EQ(read_file(target), "original");
+}
+
+TEST_F(FsTest, ReadFileMissingThrows) {
+  EXPECT_THROW((void)read_file(dir_ / "absent.bin"), std::runtime_error);
+}
+
+TEST_F(FsTest, ReadFileHonoursSizeCap) {
+  const fs::path target = dir_ / "big.bin";
+  atomic_write_file(target, std::string(1024, 'x'));
+  EXPECT_THROW((void)read_file(target, 512), std::runtime_error);
+  EXPECT_EQ(read_file(target, 1024).size(), 1024u);
+}
+
+TEST(AtomicTempFile, Recognition) {
+  EXPECT_TRUE(is_atomic_temp_file("out.json.tmp.1234"));
+  EXPECT_TRUE(is_atomic_temp_file("/a/b/ckpt-00000001.dras.tmp.42"));
+  EXPECT_FALSE(is_atomic_temp_file("out.json"));
+  EXPECT_FALSE(is_atomic_temp_file("ckpt-00000001.dras"));
+  EXPECT_FALSE(is_atomic_temp_file("tmp"));
+}
+
+}  // namespace
+}  // namespace dras::util

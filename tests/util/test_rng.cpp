@@ -176,5 +176,19 @@ TEST(Rng, SatisfiesUniformRandomBitGenerator) {
   SUCCEED();
 }
 
+TEST(Rng, StateRoundTripContinuesIdentically) {
+  Rng original(97);
+  for (int i = 0; i < 37; ++i) (void)original.next();  // mid-stream
+
+  Rng restored(1);  // different seed, fully overwritten below
+  restored.set_state(original.state());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(restored.next(), original.next());
+}
+
+TEST(Rng, SetStateRejectsAllZero) {
+  Rng rng(5);
+  EXPECT_THROW(rng.set_state({0, 0, 0, 0}), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace dras::util

@@ -1,0 +1,53 @@
+#include "util/signal.h"
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <stdexcept>
+
+namespace dras::util {
+namespace {
+
+TEST(InterruptGuard, StartsClear) {
+  InterruptGuard guard;
+  EXPECT_FALSE(InterruptGuard::interrupted());
+  EXPECT_EQ(InterruptGuard::signal_received(), 0);
+  EXPECT_FALSE(InterruptGuard::flag().load());
+}
+
+TEST(InterruptGuard, SigintSetsFlagAndRecordsSignal) {
+  InterruptGuard guard;
+  InterruptGuard::reset();
+  ASSERT_EQ(std::raise(SIGINT), 0);
+  EXPECT_TRUE(InterruptGuard::interrupted());
+  EXPECT_TRUE(InterruptGuard::flag().load());
+  EXPECT_EQ(InterruptGuard::signal_received(), SIGINT);
+  InterruptGuard::reset();
+  EXPECT_FALSE(InterruptGuard::interrupted());
+}
+
+TEST(InterruptGuard, SigtermSetsFlagToo) {
+  InterruptGuard guard;
+  InterruptGuard::reset();
+  ASSERT_EQ(std::raise(SIGTERM), 0);
+  EXPECT_TRUE(InterruptGuard::interrupted());
+  EXPECT_EQ(InterruptGuard::signal_received(), SIGTERM);
+  InterruptGuard::reset();
+}
+
+TEST(InterruptGuard, SingleInstanceEnforced) {
+  InterruptGuard guard;
+  EXPECT_THROW(InterruptGuard{}, std::logic_error);
+}
+
+TEST(InterruptGuard, ReinstallableAfterDestruction) {
+  {
+    InterruptGuard guard;
+  }
+  InterruptGuard again;  // must not throw
+  InterruptGuard::reset();
+  EXPECT_FALSE(InterruptGuard::interrupted());
+}
+
+}  // namespace
+}  // namespace dras::util

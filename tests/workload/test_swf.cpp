@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 
 #include "../test_helpers.h"
+#include "util/parse_error.h"
 
 namespace dras::workload {
 namespace {
@@ -91,6 +93,142 @@ TEST(Swf, FileRoundTrip) {
   ASSERT_EQ(loaded.size(), 1u);
   EXPECT_EQ(loaded[0].id, 7);
   std::filesystem::remove(path);
+}
+
+// ---------------------------------------------------------------------------
+// Hardened parser: parse_swf() validation, strict mode, issue reporting
+// ---------------------------------------------------------------------------
+
+constexpr const char* kGoodLine =
+    "1 0 -1 100 4 -1 -1 4 200 -1 1 -1 -1 -1 -1 -1 -1 -1\n";
+
+TEST(SwfHardened, LenientModeSkipsAndRecordsIssues) {
+  std::stringstream in(std::string("1 0 -1\n") + kGoodLine +
+                       "bogus line full of words x y z w v u t s r\n");
+  const auto result = parse_swf(in);
+  EXPECT_EQ(result.lines_parsed(), 1u);
+  EXPECT_EQ(result.lines_total, 3u);
+  EXPECT_EQ(result.lines_malformed, 2u);
+  ASSERT_EQ(result.issues.size(), 2u);
+  EXPECT_EQ(result.issues[0].line, 1u);
+  EXPECT_NE(result.issues[0].message.find("at least"), std::string::npos);
+  EXPECT_EQ(result.issues[1].line, 3u);
+  EXPECT_NE(result.issues[1].message.find("not a number"),
+            std::string::npos);
+}
+
+TEST(SwfHardened, StrictModeThrowsWithFileAndLine) {
+  std::stringstream in(std::string(kGoodLine) + "2 0 garbage\n");
+  SwfParseOptions options;
+  options.strict = true;
+  options.filename = "jobs.swf";
+  try {
+    (void)parse_swf(in, options);
+    FAIL() << "expected util::ParseError";
+  } catch (const util::ParseError& e) {
+    EXPECT_EQ(e.file(), "jobs.swf");
+    EXPECT_EQ(e.line(), 2u);
+    EXPECT_NE(std::string(e.what()).find("jobs.swf:2:"), std::string::npos);
+  }
+}
+
+TEST(SwfHardened, RejectsNonFiniteAndOverflowingFields) {
+  std::stringstream in(
+      "1 0 -1 inf 4 -1 -1 4 200 -1 1 -1 -1 -1 -1 -1 -1 -1\n"
+      "2 0 -1 100 nan -1 -1 4 200 -1 1 -1 -1 -1 -1 -1 -1 -1\n"
+      "3 0 -1 1e999 4 -1 -1 4 200 -1 1 -1 -1 -1 -1 -1 -1 -1\n");
+  const auto result = parse_swf(in);
+  EXPECT_TRUE(result.trace.empty());
+  EXPECT_EQ(result.lines_malformed, 3u);
+}
+
+TEST(SwfHardened, RejectsNonIntegralAndOutOfRangeCounts) {
+  std::stringstream in(
+      "1 0 -1 100 4.5 -1 -1 -1 200 -1 1 -1 -1 -1 -1 -1 -1 -1\n"
+      "2 0 -1 100 4 -1 -1 5000000000 200 -1 1 -1 -1 -1 -1 -1 -1 -1\n"
+      "1.5 0 -1 100 4 -1 -1 4 200 -1 1 -1 -1 -1 -1 -1 -1 -1\n");
+  const auto result = parse_swf(in);
+  EXPECT_TRUE(result.trace.empty());
+  EXPECT_EQ(result.lines_malformed, 3u);
+}
+
+TEST(SwfHardened, RejectsDuplicateJobIds) {
+  std::stringstream in(std::string(kGoodLine) +
+                       "1 5 -1 100 4 -1 -1 4 200 -1 1 -1 -1 -1 -1 -1 -1 "
+                       "-1\n");
+  const auto result = parse_swf(in);
+  EXPECT_EQ(result.lines_parsed(), 1u);
+  ASSERT_EQ(result.issues.size(), 1u);
+  EXPECT_NE(result.issues[0].message.find("duplicate job id"),
+            std::string::npos);
+  EXPECT_NE(result.issues[0].message.find("line 1"), std::string::npos);
+}
+
+TEST(SwfHardened, RejectsNegativeSubmitTimeAndTooManyFields) {
+  std::stringstream in(
+      "1 -7 -1 100 4 -1 -1 4 200 -1 1 -1 -1 -1 -1 -1 -1 -1\n"
+      "2 0 -1 100 4 -1 -1 4 200 -1 1 -1 -1 -1 -1 -1 -1 -1 99\n");
+  const auto result = parse_swf(in);
+  EXPECT_TRUE(result.trace.empty());
+  ASSERT_EQ(result.issues.size(), 2u);
+  EXPECT_NE(result.issues[0].message.find("negative submit time"),
+            std::string::npos);
+  EXPECT_NE(result.issues[1].message.find("at most"), std::string::npos);
+}
+
+TEST(SwfHardened, CancelledEntriesAreUnusableNotMalformed) {
+  std::stringstream in(
+      "1 0 -1 -1 4 -1 -1 4 200 -1 5 -1 -1 -1 -1 -1 -1 -1\n"   // no runtime
+      "2 0 -1 100 -1 -1 -1 -1 200 -1 5 -1 -1 -1 -1 -1 -1 -1\n");  // no size
+  SwfParseOptions strict;
+  strict.strict = true;  // cancelled entries must not throw even here
+  const auto result = parse_swf(in, strict);
+  EXPECT_TRUE(result.trace.empty());
+  EXPECT_EQ(result.lines_unusable, 2u);
+  EXPECT_EQ(result.lines_malformed, 0u);
+  EXPECT_TRUE(result.issues.empty());
+}
+
+TEST(SwfHardened, IssueRecordingIsCappedButCountingIsNot) {
+  std::stringstream in;
+  for (int i = 0; i < 10; ++i) in << "short line\n";
+  SwfParseOptions options;
+  options.max_recorded_issues = 3;
+  const auto result = parse_swf(in, options);
+  EXPECT_EQ(result.lines_malformed, 10u);
+  EXPECT_EQ(result.issues.size(), 3u);
+}
+
+TEST(SwfHardened, ParseFileUsesFilenameInStrictErrors) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "dras_bad_test.swf";
+  {
+    std::ofstream out(path);
+    out << "definitely not swf\n";
+  }
+  SwfParseOptions options;
+  options.strict = true;
+  try {
+    (void)parse_swf_file(path, options);
+    FAIL() << "expected util::ParseError";
+  } catch (const util::ParseError& e) {
+    EXPECT_EQ(e.file(), path.string());
+    EXPECT_EQ(e.line(), 1u);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(SwfHardened, WriterOutputParsesCleanlyInStrictMode) {
+  sim::Trace trace = {make_job(1, 100, 64, 3600, 7200),
+                      make_job(2, 200, 128, 1800, 3600)};
+  std::stringstream buffer;
+  write_swf(buffer, trace);
+  SwfParseOptions options;
+  options.strict = true;
+  const auto result = parse_swf(buffer, options);
+  EXPECT_EQ(result.lines_parsed(), 2u);
+  EXPECT_EQ(result.lines_malformed, 0u);
+  EXPECT_EQ(result.lines_unusable, 0u);
 }
 
 }  // namespace

@@ -11,14 +11,16 @@
 // Policies: fcfs, binpacking, random, optimization, decima-pg, sjf, ljf,
 //           wfp3, f1, dras-pg, dras-dql
 // Models:   theta, cori, theta-mini, cori-mini
-#include <fstream>
+#include <cstdlib>
 #include <iostream>
 #include <memory>
 
+#include "ckpt/manager.h"
 #include "core/dras_agent.h"
 #include "core/presets.h"
 #include "exec/parallel_evaluator.h"
 #include "metrics/report.h"
+#include "nn/serialize.h"
 #include "obs/metrics.h"
 #include "obs/sink.h"
 #include "obs/trace.h"
@@ -28,11 +30,14 @@
 #include "sched/knapsack_opt.h"
 #include "sched/priority_sched.h"
 #include "sched/random_policy.h"
+#include "train/convergence.h"
 #include "train/evaluator.h"
 #include "train/trainer.h"
 #include "util/args.h"
 #include "util/format.h"
+#include "util/fs.h"
 #include "util/logging.h"
+#include "util/signal.h"
 #include "workload/models.h"
 #include "workload/swf.h"
 #include "workload/synthetic.h"
@@ -51,6 +56,8 @@ int usage(const std::string& error = {}) {
       "  --model M           theta | cori | theta-mini | cori-mini\n"
       "                                               (default theta-mini)\n"
       "  --swf FILE          replay an SWF trace instead of the model\n"
+      "  --swf-strict        reject malformed SWF lines (file:line error)\n"
+      "                      instead of skipping them with a warning\n"
       "  --nodes N           machine size (default: model/preset size)\n"
       "  --jobs N            synthetic trace length (default 1000)\n"
       "  --seed S            master seed (default 1)\n"
@@ -70,7 +77,20 @@ int usage(const std::string& error = {}) {
       "  --trace-format F    chrome (default) | jsonl\n"
       "  --metrics-out FILE  dump the metrics registry on exit\n"
       "                      (.csv -> CSV, anything else -> JSON)\n"
-      "  --profile           print the metrics registry to stderr on exit\n";
+      "  --profile           print the metrics registry to stderr on exit\n"
+      "  --checkpoint-dir D  crash-safe training: write checksummed\n"
+      "                      snapshots of the full trainer state into D\n"
+      "  --checkpoint-every N  snapshot cadence in episodes (default 1)\n"
+      "  --checkpoint-keep K   retain the newest K snapshots (default 3,\n"
+      "                      0 = all)\n"
+      "  --resume            restore the newest valid checkpoint from\n"
+      "                      --checkpoint-dir before training; a resumed\n"
+      "                      run finishes bit-identical to an\n"
+      "                      uninterrupted one\n"
+      "  --save-model FILE   write the trained agent's network (atomic)\n"
+      "  --abort-after N     kill the process (exit 137, no cleanup)\n"
+      "                      right after the checkpoint for episode >= N\n"
+      "                      is written; crash-drill hook used by CI\n";
   return error.empty() ? 0 : 2;
 }
 
@@ -95,8 +115,9 @@ Setup pick_model(const std::string& name) {
 
 int main(int argc, char** argv) {
   try {
-    const dras::util::Args args(argc, argv,
-                                {"csv", "verbose", "help", "profile"});
+    const dras::util::Args args(
+        argc, argv,
+        {"csv", "verbose", "help", "profile", "resume", "swf-strict"});
     if (args.flag("help")) return usage();
     const bool csv_output = args.flag("csv");
     if (args.flag("verbose"))
@@ -112,13 +133,49 @@ int main(int argc, char** argv) {
     if (format_name != "chrome" && format_name != "jsonl")
       return usage(format("unknown trace format '{}'", format_name));
     if (args.has("trace-out")) {
+      // Atomic sink: the trace file appears only once finalized, so a
+      // crash mid-run never leaves truncated JSON at the target path.
       tracer = std::make_unique<dras::obs::EventTracer>(
-          dras::obs::make_sink(args.get("trace-out", "")),
+          dras::obs::make_sink(args.get("trace-out", ""), /*atomic=*/true),
           format_name == "jsonl" ? dras::obs::TraceFormat::Jsonl
                                  : dras::obs::TraceFormat::ChromeJson);
       dras::obs::set_default_tracer(tracer.get());
     }
     if (profile || !metrics_out.empty()) dras::obs::set_enabled(true);
+
+    // ^C / SIGTERM set a flag the training loop polls at episode
+    // boundaries; training flushes a final checkpoint and we exit with
+    // the shell convention code instead of losing the run.
+    dras::util::InterruptGuard interrupt_guard;
+
+    const auto flush_telemetry = [&]() -> bool {
+      if (tracer) {
+        tracer->close();
+        dras::obs::set_default_tracer(nullptr);
+        tracer.reset();
+      }
+      if (!metrics_out.empty()) {
+        const bool as_csv =
+            metrics_out.size() >= 4 &&
+            metrics_out.rfind(".csv") == metrics_out.size() - 4;
+        try {
+          dras::util::atomic_write_file(
+              metrics_out,
+              as_csv
+                  ? dras::obs::metrics_to_csv(dras::obs::Registry::global())
+                  : dras::obs::metrics_to_json(
+                        dras::obs::Registry::global()));
+        } catch (const std::exception& e) {
+          std::cerr << format("error: cannot write '{}': {}\n", metrics_out,
+                              e.what());
+          return false;
+        }
+      }
+      if (profile)
+        std::cerr << dras::obs::metrics_to_text(
+            dras::obs::Registry::global());
+      return true;
+    };
 
     const auto setup = pick_model(args.get("model", "theta-mini"));
     const auto policy_name = args.get("policy", "fcfs");
@@ -133,7 +190,15 @@ int main(int argc, char** argv) {
     dras::sim::Trace trace;
     int nodes = setup.preset.nodes;
     if (args.has("swf")) {
-      trace = dras::workload::read_swf_file(args.get("swf", ""));
+      if (args.flag("swf-strict")) {
+        dras::workload::SwfParseOptions swf_options;
+        swf_options.strict = true;
+        trace = dras::workload::parse_swf_file(args.get("swf", ""),
+                                               swf_options)
+                    .trace;
+      } else {
+        trace = dras::workload::read_swf_file(args.get("swf", ""));
+      }
       if (trace.empty()) return usage("SWF file contains no usable jobs");
       int max_size = 0;
       for (const auto& job : trace) max_size = std::max(max_size, job.size);
@@ -150,21 +215,84 @@ int main(int argc, char** argv) {
     // Policy.
     const dras::core::RewardFunction reward(setup.preset.reward);
     std::unique_ptr<dras::sim::Scheduler> owned;
+    dras::core::DrasAgent* trained_agent = nullptr;
     const auto train_episodes =
         static_cast<std::size_t>(args.get_int("train-episodes", 10));
 
+    const std::string checkpoint_dir = args.get("checkpoint-dir", "");
+    const auto checkpoint_every =
+        static_cast<std::size_t>(args.get_int("checkpoint-every", 1));
+    const auto checkpoint_keep =
+        static_cast<std::size_t>(args.get_int("checkpoint-keep", 3));
+    const bool resume = args.flag("resume");
+    const long long abort_after = args.get_int("abort-after", 0);
+    const std::string save_model = args.get("save-model", "");
+    if (resume && checkpoint_dir.empty())
+      return usage("--resume needs --checkpoint-dir");
+
     const auto train_agent = [&](dras::core::DrasAgent& agent) {
-      dras::train::TrainerOptions options;
-      options.validate_each_episode = false;
-      dras::train::Trainer trainer(agent, nodes, {}, options);
+      // Jobsets are regenerated from per-episode derived seeds, so they
+      // are identical on every start and a resumed run only moves the
+      // curriculum cursor forward.
+      std::vector<dras::train::Jobset> jobsets;
+      jobsets.reserve(train_episodes);
       for (std::size_t e = 0; e < train_episodes; ++e) {
         dras::workload::GenerateOptions gen;
         gen.num_jobs = 400;
         gen.seed = dras::util::derive_seed(seed, format("train-{}", e));
-        (void)trainer.run_episode(dras::train::Jobset{
+        jobsets.push_back(dras::train::Jobset{
             format("train-{}", e), dras::train::JobsetPhase::Synthetic,
             dras::workload::generate_trace(setup.model, gen)});
       }
+      dras::train::Curriculum curriculum(std::move(jobsets));
+
+      dras::train::TrainerOptions options;
+      options.validate_each_episode = false;
+      dras::train::Trainer trainer(agent, nodes, {}, options);
+
+      dras::train::RunOptions run_options;
+      run_options.stop = &dras::util::InterruptGuard::flag();
+      std::unique_ptr<dras::ckpt::CheckpointManager> manager;
+      if (!checkpoint_dir.empty()) {
+        dras::ckpt::CheckpointManagerOptions manager_options;
+        manager_options.dir = checkpoint_dir;
+        manager_options.every = checkpoint_every;
+        manager_options.keep_last = checkpoint_keep;
+        manager = std::make_unique<dras::ckpt::CheckpointManager>(
+            manager_options);
+        run_options.checkpoints = manager.get();
+        if (resume) {
+          dras::ckpt::TrainingState state;
+          state.agent = &agent;
+          state.trainer = &trainer;
+          state.curriculum = &curriculum;
+          const auto restored = manager->restore_latest(state);
+          if (restored) {
+            dras::util::log_info(
+                "resumed from {} (episode {} of {})", restored->string(),
+                trainer.episodes_done(), curriculum.size());
+          } else {
+            dras::util::log_info(
+                "no checkpoint in {}; starting from scratch",
+                checkpoint_dir);
+          }
+        }
+        if (abort_after > 0) {
+          run_options.on_checkpoint =
+              [abort_after](std::size_t episode,
+                            const std::filesystem::path& path) {
+                if (episode < static_cast<std::size_t>(abort_after)) return;
+                std::cerr << format(
+                    "abort-after: simulating crash after {} ({} episodes)\n",
+                    path.string(), episode);
+                // SIGKILL-equivalent: no destructors, no flushes — only
+                // the just-written checkpoint survives, which is exactly
+                // what the crash drill must prove sufficient.
+                std::_Exit(137);
+              };
+        }
+      }
+      (void)trainer.run(curriculum, run_options);
       agent.set_training(false);
     };
 
@@ -216,6 +344,7 @@ int main(int argc, char** argv) {
       cfg.total_nodes = nodes;
       auto agent = std::make_unique<dras::core::DrasAgent>(cfg);
       train_agent(*agent);
+      trained_agent = agent.get();
       owned = std::move(agent);
     } else {
       return usage(format("unknown policy '{}'", policy_name));
@@ -223,6 +352,19 @@ int main(int argc, char** argv) {
 
     if (const auto unread = args.unused(); !unread.empty())
       return usage(format("unknown option --{}", unread.front()));
+
+    if (dras::util::InterruptGuard::interrupted()) {
+      std::cerr << "interrupted; training state checkpointed, skipping "
+                   "evaluation\n";
+      flush_telemetry();
+      return 128 + dras::util::InterruptGuard::signal_received();
+    }
+
+    if (!save_model.empty()) {
+      if (trained_agent == nullptr)
+        return usage("--save-model needs a dras-pg or dras-dql policy");
+      dras::nn::save_network_file(save_model, trained_agent->network());
+    }
 
     // Run through the parallel evaluator.  dras_sim evaluates a single
     // (trace, policy) cell, so any --exec-jobs value takes the serial
@@ -240,22 +382,9 @@ int main(int argc, char** argv) {
     const auto& summary = evaluation.summary;
     const double total_reward = evaluation.total_reward;
 
-    // Telemetry epilogue: finalize the trace document and dump metrics.
-    if (tracer) {
-      tracer->close();
-      dras::obs::set_default_tracer(nullptr);
-    }
-    if (!metrics_out.empty()) {
-      std::ofstream out(metrics_out);
-      if (!out) return usage(format("cannot write '{}'", metrics_out));
-      const bool as_csv = metrics_out.size() >= 4 &&
-                          metrics_out.rfind(".csv") == metrics_out.size() - 4;
-      out << (as_csv
-                  ? dras::obs::metrics_to_csv(dras::obs::Registry::global())
-                  : dras::obs::metrics_to_json(dras::obs::Registry::global()));
-    }
-    if (profile)
-      std::cerr << dras::obs::metrics_to_text(dras::obs::Registry::global());
+    // Telemetry epilogue: finalize the trace document and dump metrics
+    // (both through atomic writers — see flush_telemetry above).
+    if (!flush_telemetry()) return 2;
 
     if (csv_output) {
       std::cout << "policy,nodes,depth,jobs,unfinished,avg_wait_s,max_wait_s,"
