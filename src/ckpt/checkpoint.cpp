@@ -55,6 +55,20 @@ void require(bool stored, bool supplied, std::string_view component) {
 
 }  // namespace
 
+void RecoveryState::save_state(util::BinaryWriter& out) const {
+  out.section("RCVR", 1);
+  out.u64(rollbacks);
+  out.f64(lr_scale);
+  out.u64(rng_nonce);
+}
+
+void RecoveryState::load_state(util::BinaryReader& in) {
+  in.section("RCVR", 1);
+  rollbacks = in.u64();
+  lr_scale = in.f64();
+  rng_nonce = in.u64();
+}
+
 std::string encode_checkpoint(const TrainingState& state) {
   if (state.agent == nullptr)
     throw CheckpointError("checkpoint state needs an agent");
@@ -68,12 +82,21 @@ std::string encode_checkpoint(const TrainingState& state) {
   if (state.monitor != nullptr) state.monitor->save_state(out);
   out.boolean(state.telemetry);
   if (state.telemetry) save_counters(out);
+  // v2 tail: self-healing recovery state.
+  out.boolean(state.recovery != nullptr);
+  if (state.recovery != nullptr) state.recovery->save_state(out);
   return out.take();
 }
 
-void decode_checkpoint(std::string_view payload, const TrainingState& state) {
+void decode_checkpoint(std::string_view payload, const TrainingState& state,
+                       std::uint32_t format_version) {
   if (state.agent == nullptr)
     throw CheckpointError("checkpoint state needs an agent");
+  if (format_version == 0 || format_version > kFormatVersion)
+    throw CheckpointError(util::format(
+        "cannot decode payload format version {} (this build reads "
+        "versions 1..{})",
+        format_version, kFormatVersion));
   util::BinaryReader in(payload);
   state.agent->load_state(in);
   require(in.boolean(), state.trainer != nullptr, "trainer");
@@ -83,6 +106,14 @@ void decode_checkpoint(std::string_view payload, const TrainingState& state) {
   require(in.boolean(), state.monitor != nullptr, "convergence-monitor");
   if (state.monitor != nullptr) state.monitor->load_state(in);
   if (in.boolean()) load_counters(in);
+  if (format_version >= 2) {
+    require(in.boolean(), state.recovery != nullptr, "recovery");
+    if (state.recovery != nullptr) state.recovery->load_state(in);
+  } else if (state.recovery != nullptr) {
+    // v1→v2 migration: the file predates self-healing, so the run it
+    // captures has absorbed no rollbacks and carries no LR backoff.
+    *state.recovery = RecoveryState{};
+  }
   in.expect_exhausted();
 }
 
@@ -101,7 +132,8 @@ std::string frame_payload(std::string_view payload) {
   return bytes;
 }
 
-std::string unframe_payload(std::string_view bytes) {
+std::string unframe_payload(std::string_view bytes,
+                            std::uint32_t* format_version) {
   constexpr std::size_t kHeader = 8 + sizeof(std::uint32_t);
   constexpr std::size_t kTrailer = sizeof(std::uint32_t);
   if (bytes.size() < kHeader + kTrailer)
@@ -130,6 +162,7 @@ std::string unframe_payload(std::string_view bytes) {
         "checkpoint format version {} unsupported (this build reads "
         "versions 1..{})",
         version, kFormatVersion));
+  if (format_version != nullptr) *format_version = version;
 
   return std::string(checked.substr(kHeader));
 }
@@ -149,7 +182,9 @@ void read_checkpoint_file(const std::filesystem::path& path,
         util::format("cannot read checkpoint {}: {}", path.string(),
                      e.what()));
   }
-  decode_checkpoint(unframe_payload(bytes), state);
+  std::uint32_t version = 0;
+  const std::string payload = unframe_payload(bytes, &version);
+  decode_checkpoint(payload, state, version);
 }
 
 }  // namespace dras::ckpt

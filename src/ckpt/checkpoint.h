@@ -18,6 +18,14 @@
 // Changing any section layout requires bumping that section's version;
 // changing the container framing requires bumping kFormatVersion.  Both
 // are pinned by golden-file tests in tests/ckpt.
+//
+// Format history:
+//   v1 — agent + optional trainer/curriculum/monitor + telemetry.
+//   v2 — v1 plus an optional trailing "RCVR" recovery-state section
+//        (self-healing training: rollback count, LR backoff, RNG nonce).
+//        v1 files are still read; they migrate by resetting any supplied
+//        RecoveryState to its defaults (tests/ckpt/test_migration.cpp
+//        restores a committed v1 golden through this path).
 #pragma once
 
 #include <cstdint>
@@ -25,6 +33,11 @@
 #include <stdexcept>
 #include <string>
 #include <string_view>
+
+namespace dras::util {
+class BinaryWriter;
+class BinaryReader;
+}  // namespace dras::util
 
 namespace dras::core {
 class DrasAgent;
@@ -41,7 +54,7 @@ namespace dras::ckpt {
 /// First 8 bytes of every checkpoint file.
 inline constexpr std::string_view kMagic = "DRASCKP1";
 /// Container format version (framing, not section layout).
-inline constexpr std::uint32_t kFormatVersion = 1;
+inline constexpr std::uint32_t kFormatVersion = 2;
 /// Checkpoint files written by CheckpointManager use this extension.
 inline constexpr std::string_view kExtension = ".dras";
 
@@ -50,6 +63,22 @@ inline constexpr std::string_view kExtension = ".dras";
 class CheckpointError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
+};
+
+/// Self-healing training state carried by format v2+ ("RCVR" section):
+/// how many divergence rollbacks the run has absorbed, the cumulative
+/// learning-rate backoff, and the RNG-perturbation nonce — persisted so
+/// a crash during recovery resumes with the same retry discipline.
+struct RecoveryState {
+  std::uint64_t rollbacks = 0;  ///< Divergence rollbacks absorbed so far.
+  double lr_scale = 1.0;        ///< Product of per-rollback LR backoffs.
+  std::uint64_t rng_nonce = 0;  ///< Perturbs the agent's episode stream.
+
+  void save_state(util::BinaryWriter& out) const;
+  void load_state(util::BinaryReader& in);
+
+  friend bool operator==(const RecoveryState&,
+                         const RecoveryState&) = default;
 };
 
 /// The set of live objects a checkpoint captures / restores.  All
@@ -62,26 +91,37 @@ struct TrainingState {
   train::Trainer* trainer = nullptr;
   train::Curriculum* curriculum = nullptr;
   train::ConvergenceMonitor* monitor = nullptr;
+  /// Self-healing recovery state (format v2).  Restoring a v1 checkpoint
+  /// with this supplied resets it to defaults — the v1→v2 migration.
+  RecoveryState* recovery = nullptr;
   /// Capture/restore the global obs::Registry counters ("OBSC" section)
   /// so resumed runs report cumulative telemetry.
   bool telemetry = true;
 };
 
-/// Serialize `state` into an unframed payload (section sequence).
+/// Serialize `state` into an unframed payload (section sequence) at the
+/// current format version.
 [[nodiscard]] std::string encode_checkpoint(const TrainingState& state);
 
 /// Decode a payload produced by encode_checkpoint() into the objects in
-/// `state`.  Throws CheckpointError when the payload's component set
-/// does not match `state`, and util::SerializationError on malformed or
-/// mismatched section content.
-void decode_checkpoint(std::string_view payload, const TrainingState& state);
+/// `state`.  `format_version` selects the payload layout (1..
+/// kFormatVersion); v1 payloads carry no recovery section, so a supplied
+/// `state.recovery` is reset to defaults — the v1→v2 migration.  Throws
+/// CheckpointError when the payload's component set does not match
+/// `state`, and util::SerializationError on malformed or mismatched
+/// section content.
+void decode_checkpoint(std::string_view payload, const TrainingState& state,
+                       std::uint32_t format_version = kFormatVersion);
 
 /// Wrap a payload in magic + version + CRC framing.
 [[nodiscard]] std::string frame_payload(std::string_view payload);
 
 /// Verify framing (magic, version, checksum) and return the payload.
-/// Throws CheckpointError on any framing defect.
-[[nodiscard]] std::string unframe_payload(std::string_view bytes);
+/// Accepts format versions 1..kFormatVersion; when `format_version` is
+/// non-null it receives the stored version so callers can decode
+/// version-appropriately.  Throws CheckpointError on any framing defect.
+[[nodiscard]] std::string unframe_payload(
+    std::string_view bytes, std::uint32_t* format_version = nullptr);
 
 /// encode + frame + util::atomic_write_file: the file either appears
 /// complete and checksummed at `path`, or not at all.

@@ -1,11 +1,32 @@
 #include "ckpt/fault.h"
 
 #include <fstream>
+#include <limits>
 #include <stdexcept>
 
 #include "util/format.h"
 
 namespace dras::ckpt {
+
+std::string_view to_string(NumericFault fault) noexcept {
+  switch (fault) {
+    case NumericFault::NanGrads:
+      return "nan-grads";
+    case NumericFault::LossSpike:
+      return "loss-spike";
+    case NumericFault::ParamBlowup:
+      return "param-blowup";
+  }
+  return "unknown";
+}
+
+std::optional<NumericFault> parse_numeric_fault(
+    std::string_view name) noexcept {
+  if (name == "nan-grads") return NumericFault::NanGrads;
+  if (name == "loss-spike") return NumericFault::LossSpike;
+  if (name == "param-blowup") return NumericFault::ParamBlowup;
+  return std::nullopt;
+}
 
 namespace {
 
@@ -75,6 +96,15 @@ void FaultInjector::flip_bit(const std::filesystem::path& path,
   const std::uint8_t byte = read_byte(path, offset);
   write_byte(path, offset,
              static_cast<std::uint8_t>(byte ^ (1u << bit)));
+}
+
+void FaultInjector::poison_with_nan(std::span<float> values) noexcept {
+  for (float& v : values) v = std::numeric_limits<float>::quiet_NaN();
+}
+
+void FaultInjector::scale_values(std::span<float> values,
+                                 float factor) noexcept {
+  for (float& v : values) v *= factor;
 }
 
 }  // namespace dras::ckpt

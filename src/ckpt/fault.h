@@ -1,15 +1,40 @@
-// Fault injection for crash-safety tests: deterministic file-level
-// corruption mimicking the failure modes checkpoints must survive —
-// short writes (truncation), bit rot (bit flips) and garbage data
-// (byte overwrite).  Test-support code; nothing in src links against
-// this at runtime.
+// Fault injection for crash-safety and self-healing drills.
+//
+// File-level faults (truncate / corrupt-byte / flip-bit) mimic the
+// storage failure modes checkpoints must survive; numeric faults
+// (NaN-poisoned gradients, loss spikes, parameter blow-ups) mimic the
+// training divergences src/robust must detect and roll back from.
+// Drill-support code; nothing in src links against this on a healthy
+// run's hot path.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <filesystem>
+#include <optional>
+#include <span>
+#include <string_view>
 
 namespace dras::ckpt {
+
+/// Numeric training faults for divergence-recovery drills
+/// (`dras_sim --inject-numeric-fault`, tests/robust).
+enum class NumericFault {
+  NanGrads,     ///< Poison the gradient pathway (grads + Adam moment) with NaN.
+  LossSpike,    ///< Report an absurdly large finite loss.
+  ParamBlowup,  ///< Scale the parameters past any sane norm ceiling.
+};
+
+[[nodiscard]] std::string_view to_string(NumericFault fault) noexcept;
+/// Parse "nan-grads" | "loss-spike" | "param-blowup"; nullopt otherwise.
+[[nodiscard]] std::optional<NumericFault> parse_numeric_fault(
+    std::string_view name) noexcept;
+
+/// The loss value LossSpike reports: finite, but far beyond any loss a
+/// healthy update produces, so a |loss| ceiling catches it.
+inline constexpr double kInjectedLossSpike = 1e12;
+/// The factor ParamBlowup multiplies parameters by.
+inline constexpr float kInjectedBlowupScale = 1e8f;
 
 class FaultInjector {
  public:
@@ -28,6 +53,15 @@ class FaultInjector {
 
   [[nodiscard]] static std::size_t file_size(
       const std::filesystem::path& path);
+
+  // --- Numeric faults (in-memory buffers, not files) ---
+
+  /// Overwrite every entry with quiet NaN (NumericFault::NanGrads).
+  static void poison_with_nan(std::span<float> values) noexcept;
+
+  /// Multiply every entry by `factor` (NumericFault::ParamBlowup uses
+  /// kInjectedBlowupScale).
+  static void scale_values(std::span<float> values, float factor) noexcept;
 };
 
 }  // namespace dras::ckpt

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "obs/metrics.h"
 #include "util/binio.h"
 #include "util/format.h"
 #include "util/fs.h"
@@ -14,6 +15,12 @@ namespace {
 
 constexpr std::string_view kPrefix = "ckpt-";
 constexpr int kEpisodeDigits = 8;
+
+obs::Counter& corrupt_skipped_counter() {
+  static obs::Counter& counter =
+      obs::Registry::global().counter("ckpt.corrupt_skipped");
+  return counter;
+}
 
 }  // namespace
 
@@ -103,18 +110,27 @@ std::optional<std::filesystem::path> CheckpointManager::restore_latest(
   std::vector<std::filesystem::path> files = list();
   if (files.empty()) return std::nullopt;
   std::string last_error;
+  // Counted, not just logged: recovery drills assert that skips actually
+  // happened.  The count is applied only after the winning restore (or
+  // the final failure) because a successful restore rewinds the
+  // telemetry registry ("OBSC" section) to the snapshot's values —
+  // per-skip increments made before it would be silently erased.
+  std::uint64_t skipped = 0;
   for (auto it = files.rbegin(); it != files.rend(); ++it) {
     try {
       read_checkpoint_file(*it, state);
+      if (skipped > 0) corrupt_skipped_counter().add(skipped);
       return *it;
     } catch (const CheckpointError& e) {
       last_error = e.what();
     } catch (const util::SerializationError& e) {
       last_error = e.what();
     }
+    ++skipped;
     util::log_warn("skipping unusable checkpoint {}: {}", it->string(),
                    last_error);
   }
+  corrupt_skipped_counter().add(skipped);
   throw CheckpointError(util::format(
       "all {} checkpoints in {} are unreadable (last error: {})",
       files.size(), options_.dir.string(), last_error));

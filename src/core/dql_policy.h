@@ -69,6 +69,9 @@ class DQLPolicy {
     return network_;
   }
   [[nodiscard]] nn::Adam& optimizer() noexcept { return optimizer_; }
+  [[nodiscard]] const nn::Adam& optimizer() const noexcept {
+    return optimizer_;
+  }
 
   void discard_memory() { memory_.clear(); }
 

@@ -72,7 +72,20 @@ std::unique_ptr<DrasAgent> DrasAgent::clone_agent() const {
   copy->episode_reward_ = episode_reward_;
   copy->episode_actions_ = episode_actions_;
   copy->instances_seen_ = instances_seen_;
+  copy->rng_nonce_ = rng_nonce_;
+  copy->recent_actions_ = recent_actions_;
+  copy->recent_actions_head_ = recent_actions_head_;
   return copy;
+}
+
+std::vector<std::uint32_t> DrasAgent::recent_actions() const {
+  std::vector<std::uint32_t> ordered;
+  ordered.reserve(recent_actions_.size());
+  for (std::size_t i = 0; i < recent_actions_.size(); ++i) {
+    ordered.push_back(
+        recent_actions_[(recent_actions_head_ + i) % recent_actions_.size()]);
+  }
+  return ordered;
 }
 
 std::unique_ptr<sim::Scheduler> DrasAgent::clone() const {
@@ -196,8 +209,15 @@ void DrasAgent::begin_episode() {
   staged_ = false;
   // Parameters persist across episodes: training is continual (§III-C).
   // The action-sampling stream restarts so that an episode's trajectory is
-  // a deterministic function of (parameters, trace, seed).
-  rng_ = util::Rng(util::derive_seed(config_.seed, "dras-agent"));
+  // a deterministic function of (parameters, trace, seed).  A non-zero
+  // recovery nonce swaps in a sibling stream so a rolled-back episode
+  // explores a different trajectory (still deterministic per nonce).
+  rng_ = util::Rng(
+      rng_nonce_ == 0
+          ? util::derive_seed(config_.seed, "dras-agent")
+          : util::derive_seed(
+                config_.seed,
+                util::format("dras-agent-recovery-{}", rng_nonce_)));
 }
 
 void DrasAgent::end_episode() {
@@ -245,6 +265,13 @@ void DrasAgent::commit_reward(double reward) {
   episode_reward_ += reward;
   ++episode_actions_;
   if (!staged_) return;
+  if (recent_actions_.size() < kRecentActionDepth) {
+    recent_actions_.push_back(static_cast<std::uint32_t>(staged_action_));
+  } else {
+    recent_actions_[recent_actions_head_] =
+        static_cast<std::uint32_t>(staged_action_);
+    recent_actions_head_ = (recent_actions_head_ + 1) % kRecentActionDepth;
+  }
   if (config_.kind == AgentKind::PG) {
     pg_->record(std::move(staged_state_), staged_valid_, staged_action_,
                 reward);

@@ -122,9 +122,31 @@ class DrasAgent final : public sim::Scheduler {
   [[nodiscard]] const DrasConfig& config() const noexcept { return config_; }
   [[nodiscard]] nn::Network& network();
   [[nodiscard]] const nn::Network& network() const;
+  /// The active policy head's Adam optimiser (LR backoff lives here).
+  [[nodiscard]] nn::Adam& optimizer() noexcept {
+    return pg_ ? pg_->optimizer() : dql_->optimizer();
+  }
+  [[nodiscard]] const nn::Adam& optimizer() const noexcept {
+    return pg_ ? pg_->optimizer() : dql_->optimizer();
+  }
   /// Non-null exactly when kind == PG / DQL respectively.
   [[nodiscard]] PGPolicy* pg() noexcept { return pg_.get(); }
   [[nodiscard]] DQLPolicy* dql() noexcept { return dql_.get(); }
+
+  /// Divergence-recovery stream perturbation.  Nonce 0 (the default)
+  /// reproduces the historical action-sampling stream exactly; a
+  /// non-zero nonce derives a fresh deterministic stream per value, so a
+  /// rolled-back episode does not replay the exact trajectory that
+  /// diverged.  Takes effect at the next begin_episode().
+  void set_rng_nonce(std::uint64_t nonce) noexcept { rng_nonce_ = nonce; }
+  [[nodiscard]] std::uint64_t rng_nonce() const noexcept {
+    return rng_nonce_;
+  }
+
+  /// The most recent window-slot selections (newest last, bounded
+  /// depth) — the "last actions" block of the divergence diagnostics
+  /// dump.  Survives episode boundaries; not checkpointed.
+  [[nodiscard]] std::vector<std::uint32_t> recent_actions() const;
 
  private:
   /// Select a job index within `window`; stages the experience so that
@@ -156,6 +178,11 @@ class DrasAgent final : public sim::Scheduler {
   std::size_t episode_actions_ = 0;
   std::size_t instances_seen_ = 0;
   std::vector<float> encode_scratch_;
+
+  std::uint64_t rng_nonce_ = 0;
+  static constexpr std::size_t kRecentActionDepth = 32;
+  std::vector<std::uint32_t> recent_actions_;  // ring, oldest at head_
+  std::size_t recent_actions_head_ = 0;
 };
 
 }  // namespace dras::core

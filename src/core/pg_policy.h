@@ -68,6 +68,9 @@ class PGPolicy {
     return network_;
   }
   [[nodiscard]] nn::Adam& optimizer() noexcept { return optimizer_; }
+  [[nodiscard]] const nn::Adam& optimizer() const noexcept {
+    return optimizer_;
+  }
 
   /// Drop recorded experience without updating (e.g. when switching from
   /// training to evaluation mid-run).

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "nn/ops.h"
 #include "util/binio.h"
 #include "util/format.h"
 
@@ -17,6 +18,8 @@ Adam::Adam(std::size_t parameter_count, AdamConfig config)
 void Adam::step(std::span<float> parameters, std::span<float> gradient) {
   assert(parameters.size() == m_.size());
   assert(gradient.size() == m_.size());
+
+  if (config_.scrub_non_finite) scrubbed_ += nn::scrub_non_finite(gradient);
 
   if (config_.max_grad_norm > 0.0) {
     double norm_sq = 0.0;
@@ -42,8 +45,16 @@ void Adam::step(std::span<float> parameters, std::span<float> gradient) {
     const double m_hat = m_[i] / bias1;
     const double v_hat = v_[i] / bias2;
     parameters[i] -= static_cast<float>(
-        config_.learning_rate * m_hat / (std::sqrt(v_hat) + config_.epsilon));
+        config_.learning_rate * lr_scale_ * m_hat /
+        (std::sqrt(v_hat) + config_.epsilon));
   }
+}
+
+void Adam::set_lr_scale(double scale) {
+  if (!(scale > 0.0) || !std::isfinite(scale))
+    throw std::invalid_argument(util::format(
+        "Adam lr_scale must be finite and positive, got {}", scale));
+  lr_scale_ = scale;
 }
 
 void Adam::restore(std::span<const float> m, std::span<const float> v,

@@ -21,19 +21,38 @@ struct AdamConfig {
   double epsilon = 1e-8;
   /// Optional global gradient-norm clip; <= 0 disables clipping.
   double max_grad_norm = 10.0;
+  /// Zero non-finite gradient entries before the update (last-resort
+  /// containment; the health monitor still reports them).  Off by
+  /// default: a silent NaN→0 would mask bugs the guardrails should see.
+  bool scrub_non_finite = false;
 };
 
 class Adam {
  public:
   Adam(std::size_t parameter_count, AdamConfig config = {});
 
-  /// One update: params -= lr · m̂ / (sqrt(v̂) + eps).  `gradient` is the
-  /// accumulated gradient of the loss to *minimise*; callers performing
-  /// gradient ascent negate before calling.
+  /// One update: params -= lr·lr_scale · m̂ / (sqrt(v̂) + eps).
+  /// `gradient` is the accumulated gradient of the loss to *minimise*;
+  /// callers performing gradient ascent negate before calling.
   void step(std::span<float> parameters, std::span<float> gradient);
 
   [[nodiscard]] const AdamConfig& config() const noexcept { return config_; }
   [[nodiscard]] std::size_t steps_taken() const noexcept { return t_; }
+
+  /// Learning-rate backoff multiplier applied on top of
+  /// config().learning_rate.  The default 1.0 leaves the update
+  /// bit-identical to an unscaled one (IEEE: x·1.0 == x); the recovery
+  /// policy halves it per divergence rollback.  Not serialized in the
+  /// "ADAM" section — it lives in ckpt::RecoveryState and is re-applied
+  /// after restore.
+  void set_lr_scale(double scale);
+  [[nodiscard]] double lr_scale() const noexcept { return lr_scale_; }
+
+  /// Non-finite gradient entries zeroed by scrub_non_finite across all
+  /// step() calls so far (always 0 with scrubbing off).
+  [[nodiscard]] std::size_t scrubbed_gradients() const noexcept {
+    return scrubbed_;
+  }
 
   // Moment access for serialisation.
   [[nodiscard]] std::span<const float> first_moment() const noexcept {
@@ -58,6 +77,8 @@ class Adam {
   std::vector<float> m_;
   std::vector<float> v_;
   std::size_t t_ = 0;
+  double lr_scale_ = 1.0;
+  std::size_t scrubbed_ = 0;
 };
 
 }  // namespace dras::nn

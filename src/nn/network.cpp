@@ -141,6 +141,18 @@ void Network::zero_gradients() {
   std::fill(grads_.begin(), grads_.end(), 0.0f);
 }
 
+double Network::parameter_norm() const noexcept { return l2_norm(params_); }
+
+double Network::gradient_norm() const noexcept { return l2_norm(grads_); }
+
+std::size_t Network::non_finite_parameters() const noexcept {
+  return span_stats(params_).non_finite;
+}
+
+std::size_t Network::scrub_gradients() noexcept {
+  return scrub_non_finite(grads_);
+}
+
 void Network::save_state(util::BinaryWriter& out) const {
   out.section("NNET", 1);
   out.u64(config_.input_rows);

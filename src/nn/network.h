@@ -88,6 +88,14 @@ class Network {
     return grads_;
   }
 
+  // Training-health probes (src/robust): one pass over the flat buffers.
+  [[nodiscard]] double parameter_norm() const noexcept;
+  [[nodiscard]] double gradient_norm() const noexcept;
+  /// NaN / ±inf entries in the parameter buffer.
+  [[nodiscard]] std::size_t non_finite_parameters() const noexcept;
+  /// Zero non-finite gradient entries; returns how many were scrubbed.
+  std::size_t scrub_gradients() noexcept;
+
   /// Checkpoint hooks ("NNET" section): config + flat parameters.
   /// load_state() requires the stored config to match this instance's
   /// (the checkpoint targets an identically shaped network) and throws

@@ -97,4 +97,51 @@ float dot(std::span<const float> a, std::span<const float> b) {
   return acc;
 }
 
+SpanStats span_stats(std::span<const float> values) noexcept {
+  SpanStats stats;
+  stats.count = values.size();
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  std::size_t finite = 0;
+  for (const float v : values) {
+    if (!std::isfinite(v)) {
+      ++stats.non_finite;
+      continue;
+    }
+    const double d = static_cast<double>(v);
+    sum += d;
+    sum_sq += d * d;
+    if (finite == 0) {
+      stats.min = v;
+      stats.max = v;
+    } else {
+      stats.min = std::min(stats.min, v);
+      stats.max = std::max(stats.max, v);
+    }
+    ++finite;
+  }
+  if (finite > 0) {
+    stats.l2_norm = std::sqrt(sum_sq);
+    stats.mean = sum / static_cast<double>(finite);
+  }
+  return stats;
+}
+
+double l2_norm(std::span<const float> values) noexcept {
+  double sum_sq = 0.0;
+  for (const float v : values)
+    sum_sq += static_cast<double>(v) * static_cast<double>(v);
+  return std::sqrt(sum_sq);
+}
+
+std::size_t scrub_non_finite(std::span<float> values) noexcept {
+  std::size_t scrubbed = 0;
+  for (float& v : values) {
+    if (std::isfinite(v)) continue;
+    v = 0.0f;
+    ++scrubbed;
+  }
+  return scrubbed;
+}
+
 }  // namespace dras::nn

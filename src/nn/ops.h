@@ -44,4 +44,29 @@ void softmax_masked(std::span<const float> logits, std::span<float> probs,
 /// Sum of elementwise products (dot product).
 [[nodiscard]] float dot(std::span<const float> a, std::span<const float> b);
 
+/// One-pass summary of a float buffer, used by the training health
+/// checks and the divergence diagnostics dump.  `l2_norm` and `mean`
+/// accumulate in double; non-finite entries are counted but excluded
+/// from min/max/mean/norm so a single NaN cannot hide the rest of the
+/// distribution.
+struct SpanStats {
+  std::size_t count = 0;       ///< Total entries inspected.
+  std::size_t non_finite = 0;  ///< NaN / ±inf entries.
+  double l2_norm = 0.0;        ///< Over the finite entries.
+  double mean = 0.0;
+  float min = 0.0f;            ///< 0 when no finite entry exists.
+  float max = 0.0f;
+
+  [[nodiscard]] bool all_finite() const noexcept { return non_finite == 0; }
+};
+
+[[nodiscard]] SpanStats span_stats(std::span<const float> values) noexcept;
+
+/// L2 norm (double accumulation).  NaN/inf entries propagate into the
+/// result — callers that need them separated use span_stats().
+[[nodiscard]] double l2_norm(std::span<const float> values) noexcept;
+
+/// Replace every non-finite entry with 0 and return how many were hit.
+std::size_t scrub_non_finite(std::span<float> values) noexcept;
+
 }  // namespace dras::nn

@@ -1,0 +1,146 @@
+#include "robust/health.h"
+
+#include <cmath>
+
+#include "core/dras_agent.h"
+#include "nn/adam.h"
+#include "nn/ops.h"
+#include "util/format.h"
+
+namespace dras::robust {
+
+std::string_view to_string(HealthFault fault) noexcept {
+  switch (fault) {
+    case HealthFault::None:
+      return "none";
+    case HealthFault::NonFiniteLoss:
+      return "non-finite-loss";
+    case HealthFault::LossCeiling:
+      return "loss-ceiling";
+    case HealthFault::NonFiniteReward:
+      return "non-finite-reward";
+    case HealthFault::NonFiniteGradNorm:
+      return "non-finite-grad-norm";
+    case HealthFault::GradNormCeiling:
+      return "grad-norm-ceiling";
+    case HealthFault::NonFiniteParams:
+      return "non-finite-params";
+    case HealthFault::ParamNormCeiling:
+      return "param-norm-ceiling";
+    case HealthFault::NonFiniteOptimizerState:
+      return "non-finite-optimizer-state";
+    case HealthFault::EpsilonOutOfBounds:
+      return "epsilon-out-of-bounds";
+  }
+  return "unknown";
+}
+
+HealthMonitor::HealthMonitor(HealthLimits limits) : limits_(limits) {}
+
+void HealthMonitor::note_loss(double loss) {
+  if (limits_.recent_loss_depth == 0) return;
+  if (losses_.size() < limits_.recent_loss_depth) {
+    losses_.push_back(loss);
+  } else {
+    losses_[head_] = loss;
+    head_ = (head_ + 1) % losses_.size();
+  }
+}
+
+std::vector<double> HealthMonitor::recent_losses() const {
+  std::vector<double> ordered;
+  ordered.reserve(losses_.size());
+  for (std::size_t i = 0; i < losses_.size(); ++i)
+    ordered.push_back(losses_[(head_ + i) % losses_.size()]);
+  return ordered;
+}
+
+HealthReport HealthMonitor::check(const core::DrasAgent& agent,
+                                  const train::EpisodeResult& result) {
+  ++checks_done_;
+  note_loss(result.loss);
+
+  HealthReport report;
+  report.episode = result.episode;
+  report.loss = result.loss;
+  report.grad_norm = result.grad_norm;
+  report.training_reward = result.training_reward;
+  report.epsilon = result.epsilon;
+
+  const nn::SpanStats params = nn::span_stats(agent.network().parameters());
+  report.param_norm = params.l2_norm;
+  report.non_finite_params = params.non_finite;
+
+  // The optimizer's moments are checkpointed alongside the parameters,
+  // so they are part of what a "good" snapshot certifies.
+  const nn::Adam& optimizer = agent.optimizer();
+  const std::size_t bad_moments =
+      nn::span_stats(optimizer.first_moment()).non_finite +
+      nn::span_stats(optimizer.second_moment()).non_finite;
+  report.non_finite_moments = bad_moments;
+
+  const auto trip = [&report](HealthFault fault, std::string detail) {
+    report.fault = fault;
+    report.detail = std::move(detail);
+    return report;
+  };
+
+  // Order: the unambiguous corruption signals first (non-finite values),
+  // then the magnitude ceilings, then the schedule invariant.
+  if (!std::isfinite(result.loss))
+    return trip(HealthFault::NonFiniteLoss,
+                util::format("episode {} update loss is {}", result.episode,
+                             result.loss));
+  if (!std::isfinite(result.training_reward))
+    return trip(HealthFault::NonFiniteReward,
+                util::format("episode {} training reward is {}",
+                             result.episode, result.training_reward));
+  if (!std::isfinite(result.grad_norm))
+    return trip(HealthFault::NonFiniteGradNorm,
+                util::format("episode {} update gradient norm is {}",
+                             result.episode, result.grad_norm));
+  if (params.non_finite > 0)
+    return trip(HealthFault::NonFiniteParams,
+                util::format("{} of {} network parameters are non-finite "
+                             "after episode {}",
+                             params.non_finite, params.count,
+                             result.episode));
+  if (bad_moments > 0)
+    return trip(HealthFault::NonFiniteOptimizerState,
+                util::format("{} Adam moment entries are non-finite after "
+                             "episode {}",
+                             bad_moments, result.episode));
+  if (limits_.max_loss > 0.0 && std::abs(result.loss) > limits_.max_loss)
+    return trip(HealthFault::LossCeiling,
+                util::format("episode {} |loss| {} exceeds ceiling {}",
+                             result.episode, std::abs(result.loss),
+                             limits_.max_loss));
+  if (limits_.max_grad_norm > 0.0 &&
+      result.grad_norm > limits_.max_grad_norm)
+    return trip(HealthFault::GradNormCeiling,
+                util::format("episode {} gradient norm {} exceeds ceiling {}",
+                             result.episode, result.grad_norm,
+                             limits_.max_grad_norm));
+  if (limits_.max_param_norm > 0.0 &&
+      params.l2_norm > limits_.max_param_norm)
+    return trip(HealthFault::ParamNormCeiling,
+                util::format("episode {} parameter norm {} exceeds "
+                             "ceiling {}",
+                             result.episode, params.l2_norm,
+                             limits_.max_param_norm));
+  if (limits_.check_epsilon && agent.config().kind == core::AgentKind::DQL) {
+    const double eps = agent.epsilon();
+    const double lo = std::min(agent.config().epsilon_min,
+                               agent.config().epsilon_init);
+    const double hi = std::max(agent.config().epsilon_min,
+                               agent.config().epsilon_init);
+    if (!std::isfinite(eps) || eps < lo || eps > hi)
+      return trip(HealthFault::EpsilonOutOfBounds,
+                  util::format("episode {} epsilon {} outside schedule "
+                               "bounds [{}, {}]",
+                               result.episode, eps, lo, hi));
+  }
+  return report;
+}
+
+}  // namespace dras::robust

@@ -1,0 +1,116 @@
+// Training health invariants (self-healing training, layer 1 of 2).
+//
+// A divergence — NaN loss, exploding gradients, parameters drifting to
+// infinity, a collapsed ε schedule — silently corrupts every episode
+// after it, and the three-phase curriculum (paper §V) makes that
+// especially costly: phase-2/3 fine-tuning inherits whatever phase 1
+// left behind.  HealthMonitor validates cheap per-episode invariants at
+// the same boundary the checkpoint cadence uses, so a tripped invariant
+// can be answered by rolling back to the last good snapshot (see
+// robust/recovery.h, layer 2).
+//
+// Cost discipline: every check is O(1) over already-computed episode
+// telemetry except the parameter and optimizer-moment scans, which are
+// one pass each over flat float buffers per episode — the same order of
+// work as the checkpoint serializer that runs at the same boundary.
+// The scans deliberately cover exactly what that serializer captures
+// (parameters + Adam moments): a snapshot certified "good" by a check
+// that skipped the moments could itself carry the corruption.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "train/trainer.h"
+
+namespace dras::core {
+class DrasAgent;
+}  // namespace dras::core
+
+namespace dras::robust {
+
+/// Invariant ceilings.  A limit <= 0 disables that ceiling; non-finite
+/// values always trip regardless of limits.
+struct HealthLimits {
+  /// |loss| ceiling for the episode's last update.
+  double max_loss = 1e9;
+  /// Gradient-L2-norm ceiling for the episode's last update.  Note the
+  /// optimiser clips at AdamConfig::max_grad_norm *before* the update,
+  /// so the reported norm is the pre-clip magnitude — this ceiling
+  /// should sit well above the clip threshold.
+  double max_grad_norm = 0.0;
+  /// Parameter-L2-norm ceiling (scanned on the live network).
+  double max_param_norm = 1e9;
+  /// Require the DQL ε to stay inside [epsilon_min, epsilon_init].
+  bool check_epsilon = true;
+  /// Depth of the recent-loss ring kept for the diagnostics dump.
+  std::size_t recent_loss_depth = 16;
+};
+
+enum class HealthFault {
+  None,
+  NonFiniteLoss,
+  LossCeiling,
+  NonFiniteReward,
+  NonFiniteGradNorm,
+  GradNormCeiling,
+  NonFiniteParams,
+  ParamNormCeiling,
+  NonFiniteOptimizerState,
+  EpsilonOutOfBounds,
+};
+
+[[nodiscard]] std::string_view to_string(HealthFault fault) noexcept;
+
+/// Outcome of one health check: which invariant tripped (if any) and
+/// the observed values, for logs, counters and the diagnostics dump.
+struct HealthReport {
+  HealthFault fault = HealthFault::None;
+  std::string detail;        ///< Human-readable "what tripped and by how much".
+  std::size_t episode = 0;   ///< EpisodeResult::episode of the checked episode.
+  double loss = 0.0;
+  double grad_norm = 0.0;
+  double param_norm = 0.0;
+  std::size_t non_finite_params = 0;
+  std::size_t non_finite_moments = 0;  ///< NaN/inf Adam moment entries.
+  double training_reward = 0.0;
+  double epsilon = 0.0;
+
+  [[nodiscard]] bool ok() const noexcept {
+    return fault == HealthFault::None;
+  }
+};
+
+/// Per-episode invariant validation.  Stateless apart from the
+/// recent-loss ring (diagnostics context); safe to reuse across runs.
+class HealthMonitor {
+ public:
+  explicit HealthMonitor(HealthLimits limits = {});
+
+  /// Validate `result` (and the live network behind `agent`) against
+  /// the limits.  Records the loss in the recent-loss ring either way.
+  [[nodiscard]] HealthReport check(const core::DrasAgent& agent,
+                                   const train::EpisodeResult& result);
+
+  [[nodiscard]] const HealthLimits& limits() const noexcept {
+    return limits_;
+  }
+  /// Losses of the most recently checked episodes, oldest first.
+  [[nodiscard]] std::vector<double> recent_losses() const;
+  /// Health checks performed so far.
+  [[nodiscard]] std::size_t checks_done() const noexcept {
+    return checks_done_;
+  }
+
+ private:
+  void note_loss(double loss);
+
+  HealthLimits limits_;
+  std::vector<double> losses_;  // ring, oldest at head_
+  std::size_t head_ = 0;
+  std::size_t checks_done_ = 0;
+};
+
+}  // namespace dras::robust

@@ -1,0 +1,198 @@
+#include "robust/recovery.h"
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "ckpt/manager.h"
+#include "core/dras_agent.h"
+#include "nn/ops.h"
+#include "obs/metrics.h"
+#include "util/format.h"
+#include "util/fs.h"
+#include "util/json.h"
+#include "util/logging.h"
+
+namespace dras::robust {
+
+namespace {
+
+struct RobustMetrics {
+  obs::Registry& reg = obs::Registry::global();
+  obs::Counter& rollbacks = reg.counter("robust.rollbacks");
+  obs::Counter& recovery_failures = reg.counter("robust.recovery_failures");
+
+  static RobustMetrics& get() {
+    static RobustMetrics metrics;
+    return metrics;
+  }
+};
+
+/// JSON number, with the non-finite values JSON cannot carry rendered
+/// as strings ("nan", "inf", "-inf") — diagnostics dumps exist exactly
+/// because these values show up.
+std::string json_number(double value) {
+  if (std::isfinite(value)) return util::format("{}", value);
+  if (std::isnan(value)) return "\"nan\"";
+  return value > 0 ? "\"inf\"" : "\"-inf\"";
+}
+
+}  // namespace
+
+RecoveryPolicy::RecoveryPolicy(RecoveryOptions options,
+                               ckpt::CheckpointManager& manager)
+    : options_(std::move(options)), manager_(manager) {
+  if (!(options_.lr_backoff > 0.0) || options_.lr_backoff > 1.0 ||
+      !std::isfinite(options_.lr_backoff))
+    throw std::invalid_argument(util::format(
+        "RecoveryPolicy lr_backoff must be in (0, 1], got {}",
+        options_.lr_backoff));
+}
+
+void RecoveryPolicy::apply(const ckpt::RecoveryState& state,
+                           core::DrasAgent& agent) {
+  agent.optimizer().set_lr_scale(state.lr_scale);
+  agent.set_rng_nonce(state.rng_nonce);
+}
+
+std::optional<std::filesystem::path> RecoveryPolicy::recover(
+    const HealthReport& report, const ckpt::TrainingState& training_state,
+    const HealthMonitor* monitor) {
+  if (training_state.agent == nullptr)
+    throw std::invalid_argument(
+        "RecoveryPolicy::recover needs an agent in the training state");
+  if (training_state.recovery != &state_)
+    throw std::invalid_argument(
+        "RecoveryPolicy::recover: training_state.recovery must reference "
+        "this policy's state()");
+  core::DrasAgent& agent = *training_state.agent;
+  RobustMetrics& m = RobustMetrics::get();
+
+  const auto give_up = [&](std::string_view why) {
+    m.recovery_failures.add();
+    const auto dump = write_diagnostics(report, agent, monitor);
+    util::log_warn("divergence unrecoverable ({}): {}{}", why, report.detail,
+                   dump ? util::format("; diagnostics at {}", dump->string())
+                        : std::string());
+  };
+
+  if (attempts_ >= options_.max_rollbacks) {
+    give_up(util::format("rollback budget of {} exhausted",
+                         options_.max_rollbacks));
+    return std::nullopt;
+  }
+
+  // The restore overwrites state_ (training_state.recovery points here)
+  // with the snapshot's own rollback history; we then advance it.
+  std::optional<std::filesystem::path> restored;
+  try {
+    restored = manager_.restore_latest(training_state);
+  } catch (const ckpt::CheckpointError& e) {
+    give_up(util::format("no restorable snapshot: {}", e.what()));
+    return std::nullopt;
+  }
+  if (!restored) {
+    give_up("checkpoint directory holds no snapshot to roll back to");
+    return std::nullopt;
+  }
+
+  ++attempts_;
+  state_.rollbacks += 1;
+  state_.lr_scale *= options_.lr_backoff;
+  // One fresh deterministic stream per rollback ever absorbed — the
+  // cumulative count, so a retried episode never reuses a nonce even
+  // across crash-resume.
+  state_.rng_nonce = state_.rollbacks;
+  apply(state_, agent);
+
+  m.rollbacks.add();
+  util::log_warn(
+      "divergence ({}): rolled back to {} — attempt {}/{}, lr_scale {}, "
+      "rng nonce {}",
+      to_string(report.fault), restored->string(), attempts_,
+      options_.max_rollbacks, state_.lr_scale, state_.rng_nonce);
+  return restored;
+}
+
+std::optional<std::filesystem::path> RecoveryPolicy::write_diagnostics(
+    const HealthReport& report, const core::DrasAgent& agent,
+    const HealthMonitor* monitor) const {
+  if (options_.diagnostics_path.empty()) return std::nullopt;
+
+  const nn::SpanStats params = nn::span_stats(agent.network().parameters());
+  std::ostringstream out;
+  out << "{\"fault\":" << util::json::quote(to_string(report.fault))
+      << ",\"detail\":" << util::json::quote(report.detail)
+      << ",\"episode\":" << report.episode
+      << ",\"rollbacks\":" << state_.rollbacks
+      << ",\"attempts\":" << attempts_
+      << ",\"max_rollbacks\":" << options_.max_rollbacks
+      << ",\"lr_scale\":" << json_number(state_.lr_scale)
+      << ",\"rng_nonce\":" << state_.rng_nonce
+      << ",\"loss\":" << json_number(report.loss)
+      << ",\"grad_norm\":" << json_number(report.grad_norm)
+      << ",\"training_reward\":" << json_number(report.training_reward)
+      << ",\"epsilon\":" << json_number(report.epsilon);
+  out << ",\"parameters\":{\"count\":" << params.count
+      << ",\"non_finite\":" << params.non_finite
+      << ",\"l2_norm\":" << json_number(params.l2_norm)
+      << ",\"mean\":" << json_number(params.mean)
+      << ",\"min\":" << json_number(params.min)
+      << ",\"max\":" << json_number(params.max) << '}';
+  out << ",\"recent_losses\":[";
+  if (monitor != nullptr) {
+    bool first = true;
+    for (const double loss : monitor->recent_losses()) {
+      if (!first) out << ',';
+      first = false;
+      out << json_number(loss);
+    }
+  }
+  out << "],\"recent_actions\":[";
+  bool first = true;
+  for (const std::uint32_t action : agent.recent_actions()) {
+    if (!first) out << ',';
+    first = false;
+    out << action;
+  }
+  out << "]}\n";
+
+  try {
+    util::atomic_write_file(options_.diagnostics_path, out.str());
+  } catch (const std::exception& e) {
+    util::log_warn("cannot write divergence diagnostics {}: {}",
+                   options_.diagnostics_path.string(), e.what());
+    return std::nullopt;
+  }
+  return options_.diagnostics_path;
+}
+
+void apply_numeric_fault(ckpt::NumericFault fault, core::DrasAgent& agent,
+                         train::EpisodeResult& result) {
+  switch (fault) {
+    case ckpt::NumericFault::NanGrads: {
+      // The live gradient buffer is transient — every policy update
+      // begins with zero_gradients() — so poisoning it alone would be a
+      // no-op.  What an unscrubbed NaN backward pass durably leaves
+      // behind is a poisoned optimiser: NaN moments turn every later
+      // parameter update into NaN.  Inject exactly that state.
+      ckpt::FaultInjector::poison_with_nan(agent.network().gradients());
+      nn::Adam& optimizer = agent.optimizer();
+      std::vector<float> moments(optimizer.first_moment().begin(),
+                                 optimizer.first_moment().end());
+      ckpt::FaultInjector::poison_with_nan(moments);
+      optimizer.restore(moments, optimizer.second_moment(),
+                        optimizer.steps_taken());
+      break;
+    }
+    case ckpt::NumericFault::LossSpike:
+      result.loss = ckpt::kInjectedLossSpike;
+      break;
+    case ckpt::NumericFault::ParamBlowup:
+      ckpt::FaultInjector::scale_values(agent.network().parameters(),
+                                        ckpt::kInjectedBlowupScale);
+      break;
+  }
+}
+
+}  // namespace dras::robust

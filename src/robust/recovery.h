@@ -1,0 +1,137 @@
+// Divergence recovery (self-healing training, layer 2 of 2).
+//
+// When a HealthMonitor invariant trips, RecoveryPolicy rolls the run
+// back instead of letting corruption compound:
+//
+//   1. restore the newest readable snapshot through
+//      ckpt::CheckpointManager::restore_latest() — the same machinery
+//      crash-resume uses, so rollback inherits its determinism contract;
+//   2. back off the learning rate (optimizer lr_scale *= lr_backoff),
+//      the standard divergence response — smaller steps around the
+//      region that blew up;
+//   3. perturb the agent's episode RNG stream (a fresh deterministic
+//      nonce per rollback) so the retried episode does not replay the
+//      exact trajectory that diverged;
+//   4. charge a bounded retry budget; when it is exhausted (or no
+//      snapshot survives) the policy writes a JSON diagnostics dump via
+//      util::atomic_write_file and gives up — the trainer then throws
+//      DivergenceError and dras_sim exits with kDivergenceExitCode.
+//
+// All three effects are recorded in ckpt::RecoveryState (checkpoint
+// format v2, "RCVR" section), so a crash *during* recovery resumes with
+// the same backoff and the same retry discipline.
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "ckpt/checkpoint.h"
+#include "ckpt/fault.h"
+#include "robust/health.h"
+
+namespace dras::ckpt {
+class CheckpointManager;
+}  // namespace dras::ckpt
+
+namespace dras::robust {
+
+/// dras_sim exit code for unrecoverable divergence (retry budget
+/// exhausted or no restorable snapshot) — distinct from usage errors
+/// (2), crash drills (137) and signal exits (128+signo).
+inline constexpr int kDivergenceExitCode = 86;
+
+/// Thrown when training diverged and recovery was impossible, declined
+/// (no policy wired) or out of budget.  `diagnostics()` names the dump
+/// written before giving up (empty when no policy was involved).
+class DivergenceError : public std::runtime_error {
+ public:
+  explicit DivergenceError(const std::string& what,
+                           std::filesystem::path diagnostics = {})
+      : std::runtime_error(what), diagnostics_(std::move(diagnostics)) {}
+
+  [[nodiscard]] const std::filesystem::path& diagnostics() const noexcept {
+    return diagnostics_;
+  }
+
+ private:
+  std::filesystem::path diagnostics_;
+};
+
+struct RecoveryOptions {
+  /// Rollbacks this policy instance may perform before giving up.
+  std::size_t max_rollbacks = 3;
+  /// Per-rollback learning-rate multiplier (exponential backoff).
+  double lr_backoff = 0.5;
+  /// Where the give-up diagnostics dump is written.  Empty = no dump.
+  std::filesystem::path diagnostics_path;
+};
+
+class RecoveryPolicy {
+ public:
+  /// `manager` supplies the snapshots rolled back to (non-owning; must
+  /// outlive the policy).
+  RecoveryPolicy(RecoveryOptions options, ckpt::CheckpointManager& manager);
+
+  [[nodiscard]] const RecoveryOptions& options() const noexcept {
+    return options_;
+  }
+  /// The persisted recovery slice: wire this into the TrainingState the
+  /// trainer saves/restores so rollback discipline survives crashes.
+  [[nodiscard]] ckpt::RecoveryState& state() noexcept { return state_; }
+  [[nodiscard]] const ckpt::RecoveryState& state() const noexcept {
+    return state_;
+  }
+  /// Rollbacks performed by this instance (the budget meter; the
+  /// cumulative count across resumes lives in state().rollbacks).
+  [[nodiscard]] std::size_t attempts() const noexcept { return attempts_; }
+
+  /// Respond to a tripped invariant: restore the newest readable
+  /// snapshot into `training_state`, bump the rollback counters, back
+  /// off the LR and perturb the agent's episode stream.  Returns the
+  /// restored snapshot's path, or nullopt when the budget is exhausted
+  /// or no snapshot could be restored — in which case the diagnostics
+  /// dump (if configured) has been written.
+  ///
+  /// `training_state.agent` must be set and `training_state.recovery`
+  /// must point at this policy's state() (the restore overwrites it
+  /// with the snapshot's own rollback history before it is advanced).
+  [[nodiscard]] std::optional<std::filesystem::path> recover(
+      const HealthReport& report, const ckpt::TrainingState& training_state,
+      const HealthMonitor* monitor);
+
+  /// Re-apply the persisted recovery effects to a freshly restored
+  /// agent: LR backoff onto its optimiser, RNG nonce onto its episode
+  /// stream.  Used after every restore — rollback and --resume alike —
+  /// because neither lives in the "ADAM"/"AGNT" sections.
+  static void apply(const ckpt::RecoveryState& state,
+                    core::DrasAgent& agent);
+
+  /// Write the give-up diagnostics dump (JSON, atomic): the tripped
+  /// invariant, rollback history, parameter statistics, recent losses
+  /// and the agent's last actions.  Returns the path written, or
+  /// nullopt when diagnostics_path is empty or the write failed.
+  std::optional<std::filesystem::path> write_diagnostics(
+      const HealthReport& report, const core::DrasAgent& agent,
+      const HealthMonitor* monitor) const;
+
+ private:
+  RecoveryOptions options_;
+  ckpt::CheckpointManager& manager_;
+  ckpt::RecoveryState state_;
+  std::size_t attempts_ = 0;
+};
+
+/// Apply a drill fault to live training state (the sabotage hook behind
+/// `dras_sim --inject-numeric-fault` and tests/robust): NanGrads poisons
+/// the gradient pathway (gradient buffer + the optimiser's first
+/// moment, the state an unscrubbed NaN backward pass leaves behind),
+/// ParamBlowup scales the network parameters by
+/// ckpt::kInjectedBlowupScale, LossSpike rewrites `result.loss` to
+/// ckpt::kInjectedLossSpike.
+void apply_numeric_fault(ckpt::NumericFault fault, core::DrasAgent& agent,
+                         train::EpisodeResult& result);
+
+}  // namespace dras::robust

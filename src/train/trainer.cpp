@@ -7,6 +7,8 @@
 #include "nn/serialize.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "robust/health.h"
+#include "robust/recovery.h"
 #include "sim/simulator.h"
 #include "train/convergence.h"
 #include "util/binio.h"
@@ -30,6 +32,7 @@ struct TrainMetrics {
       obs::Histogram::exponential_bounds(0.001, 4.0, 12));
   obs::Histogram& loss = reg.histogram(
       "train.loss", obs::Histogram::exponential_bounds(1e-4, 10.0, 10));
+  obs::Counter& divergence_events = reg.counter("robust.divergence_events");
 
   static TrainMetrics& get() {
     static TrainMetrics metrics;
@@ -185,22 +188,48 @@ std::vector<EpisodeResult> Trainer::run(std::span<const Jobset> curriculum) {
 
 std::vector<EpisodeResult> Trainer::run(Curriculum& curriculum,
                                         const RunOptions& run_options) {
+  if (run_options.recovery != nullptr) {
+    if (run_options.health == nullptr)
+      throw std::invalid_argument(
+          "RunOptions.recovery needs RunOptions.health to detect the "
+          "divergences it rolls back from");
+    if (run_options.checkpoints == nullptr)
+      throw std::invalid_argument(
+          "RunOptions.recovery needs RunOptions.checkpoints to supply "
+          "rollback targets");
+  }
   const auto stopped = [&run_options] {
     return run_options.stop != nullptr &&
            run_options.stop->load(std::memory_order_relaxed);
   };
-  const auto save_checkpoint = [this, &run_options, &curriculum] {
+  const auto make_state = [this, &run_options, &curriculum] {
     ckpt::TrainingState state;
     state.agent = &agent_;
     state.trainer = this;
     state.curriculum = &curriculum;
     state.monitor = run_options.monitor;
+    state.recovery = run_options.recovery != nullptr
+                         ? &run_options.recovery->state()
+                         : nullptr;
+    return state;
+  };
+  const auto save_checkpoint = [this, &run_options, &make_state] {
     const std::filesystem::path path =
-        run_options.checkpoints->save(state, episodes_done_);
+        run_options.checkpoints->save(make_state(), episodes_done_);
     if (run_options.on_checkpoint)
       run_options.on_checkpoint(episodes_done_, path);
   };
 
+  // A rollback needs somewhere to roll back *to*: guarantee a baseline
+  // snapshot before the first guarded episode runs.
+  if (run_options.recovery != nullptr &&
+      run_options.checkpoints->list().empty()) {
+    save_checkpoint();
+  }
+
+  obs::EventTracer* tracer =
+      options_.tracer != nullptr ? options_.tracer : obs::default_tracer();
+  const std::size_t start_episode = episodes_done_;
   std::vector<EpisodeResult> results;
   results.reserve(curriculum.size() - curriculum.position());
   bool interrupted = false;
@@ -210,6 +239,47 @@ std::vector<EpisodeResult> Trainer::run(Curriculum& curriculum,
       break;
     }
     EpisodeResult result = run_episode(curriculum.current());
+    if (run_options.sabotage) run_options.sabotage(agent_, result);
+    if (run_options.health != nullptr) {
+      const robust::HealthReport report =
+          run_options.health->check(agent_, result);
+      if (!report.ok()) {
+        if (tracer != nullptr) {
+          tracer->instant(
+              "divergence", tracer->wall_seconds(),
+              {obs::targ("fault", to_string(report.fault)),
+               obs::targ("episode",
+                         static_cast<std::uint64_t>(result.episode))},
+              obs::kTrainPid);
+        }
+        util::log_warn("health invariant tripped: {}", report.detail);
+        if (run_options.recovery == nullptr) {
+          TrainMetrics::get().divergence_events.add();
+          throw robust::DivergenceError(util::format(
+              "training diverged with no recovery policy wired: {}",
+              report.detail));
+        }
+        const auto restored = run_options.recovery->recover(
+            report, make_state(), run_options.health);
+        // Counted only after the rollback: a successful restore rewinds
+        // the telemetry registry ("OBSC" section) to the snapshot, so an
+        // increment made before recover() would be silently erased.
+        TrainMetrics::get().divergence_events.add();
+        if (!restored)
+          throw robust::DivergenceError(
+              util::format("training diverged and recovery gave up: {}",
+                           report.detail),
+              run_options.recovery->options().diagnostics_path);
+        // The restore rewound agent/trainer/curriculum/monitor; drop the
+        // results past the restored boundary so the vector matches what
+        // this call has (now) durably completed.
+        const std::size_t done = episodes_done_ > start_episode
+                                     ? episodes_done_ - start_episode
+                                     : 0;
+        if (results.size() > done) results.resize(done);
+        continue;  // retry from the restored cursor
+      }
+    }
     curriculum.advance();
     if (run_options.monitor != nullptr)
       run_options.monitor->record(result.validation_reward);

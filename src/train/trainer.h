@@ -30,6 +30,11 @@ namespace dras::ckpt {
 class CheckpointManager;
 }  // namespace dras::ckpt
 
+namespace dras::robust {
+class HealthMonitor;
+class RecoveryPolicy;
+}  // namespace dras::robust
+
 namespace dras::train {
 
 class ConvergenceMonitor;
@@ -83,6 +88,27 @@ struct RunOptions {
   /// from.
   std::function<void(std::size_t, const std::filesystem::path&)>
       on_checkpoint;
+
+  // --- Self-healing (src/robust) ---
+
+  /// When set, every episode's telemetry + the live network are checked
+  /// against the monitor's invariants at the episode boundary.  A
+  /// tripped invariant triggers `recovery` (below), or throws
+  /// robust::DivergenceError when no recovery policy is wired.  With
+  /// healthy training the guarded run is byte-identical to an unguarded
+  /// one (the checks only read).
+  robust::HealthMonitor* health = nullptr;
+  /// Divergence response: roll back to the newest snapshot, back off
+  /// the LR, perturb the episode RNG stream, retry within budget.
+  /// Requires `health` and `checkpoints`; a baseline snapshot is
+  /// written on entry when the checkpoint directory holds none, so the
+  /// very first episodes have a rollback target.  Throws
+  /// robust::DivergenceError when the policy gives up.
+  robust::RecoveryPolicy* recovery = nullptr;
+  /// Drill hook run right after each episode, before the health check —
+  /// `dras_sim --inject-numeric-fault` and tests/robust corrupt the
+  /// live state here (see robust::apply_numeric_fault).
+  std::function<void(core::DrasAgent&, EpisodeResult&)> sabotage;
 };
 
 class Trainer {

@@ -23,18 +23,33 @@ using testing::tiny_jobsets;
 // Container framing
 // ---------------------------------------------------------------------------
 
-// Golden file: the exact container bytes for payload "golden" at format
-// version 1.  If this test fails, the on-disk format changed — bump
-// kFormatVersion and add a migration path; never change the format
-// silently.
+// Golden file: the exact container bytes for payload "golden" at the
+// current format version (2).  If this test fails, the on-disk format
+// changed — bump kFormatVersion and add a migration path; never change
+// the format silently.
 TEST(CheckpointFraming, GoldenContainerBytes) {
   const std::string expected =
       std::string("DRASCKP1") +          // magic
-      std::string("\x01\x00\x00\x00", 4) +  // u32 version 1, little-endian
+      std::string("\x02\x00\x00\x00", 4) +  // u32 version 2, little-endian
       "golden" +                         // payload
-      std::string("\x0d\x93\x1b\x88", 4);   // CRC32, little-endian
+      std::string("\x0e\x28\x2c\x63", 4);   // CRC32, little-endian
   EXPECT_EQ(frame_payload("golden"), expected);
-  EXPECT_EQ(unframe_payload(expected), "golden");
+  std::uint32_t version = 0;
+  EXPECT_EQ(unframe_payload(expected, &version), "golden");
+  EXPECT_EQ(version, 2u);
+}
+
+// v1 framing (the previous golden bytes) must stay readable: the
+// migration path depends on it.
+TEST(CheckpointFraming, StillUnframesVersion1Containers) {
+  const std::string v1 =
+      std::string("DRASCKP1") +
+      std::string("\x01\x00\x00\x00", 4) +  // u32 version 1
+      "golden" +
+      std::string("\x0d\x93\x1b\x88", 4);   // CRC32 over the v1 header
+  std::uint32_t version = 0;
+  EXPECT_EQ(unframe_payload(v1, &version), "golden");
+  EXPECT_EQ(version, 1u);
 }
 
 TEST(CheckpointFraming, RoundTripsArbitraryPayload) {

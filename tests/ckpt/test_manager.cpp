@@ -4,6 +4,7 @@
 
 #include "ckpt/fault.h"
 #include "ckpt_test_util.h"
+#include "obs/metrics.h"
 #include "util/fs.h"
 
 namespace dras::ckpt {
@@ -156,6 +157,32 @@ TEST_F(ManagerTest, AllCorruptThrowsLoudly) {
   core::DrasAgent target(tiny_agent_config(core::AgentKind::PG));
   auto into = state_for(target);
   EXPECT_THROW((void)manager.restore_latest(into), CheckpointError);
+}
+
+TEST_F(ManagerTest, SkippedCorruptSnapshotsAreCounted) {
+  // Recovery drills assert on this counter: every unusable snapshot
+  // restore_latest() skips over bumps ckpt.corrupt_skipped exactly once.
+  obs::set_enabled(true);
+  auto& skipped = obs::Registry::global().counter("ckpt.corrupt_skipped");
+  const auto before = skipped.value();
+
+  core::DrasAgent agent(tiny_agent_config(core::AgentKind::PG));
+  auto manager = make_manager();
+  auto state = state_for(agent);
+  (void)manager.save(state, 1);
+  const auto second = manager.save(state, 2);
+  const auto third = manager.save(state, 3);
+  FaultInjector::truncate_file(second, 5);
+  FaultInjector::flip_bit(third, FaultInjector::file_size(third) / 2, 3);
+
+  core::DrasAgent target(tiny_agent_config(core::AgentKind::PG));
+  auto into = state_for(target);
+  const auto restored = manager.restore_latest(into);
+  obs::set_enabled(false);
+
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(CheckpointManager::parse_episode(*restored), 1u);
+  EXPECT_EQ(skipped.value() - before, 2u);
 }
 
 TEST_F(ManagerTest, RequiresDirectory) {

@@ -1,0 +1,175 @@
+// Checkpoint format v1 → v2 migration.
+//
+// tests/ckpt/data/golden-v1.dras is a REAL v1 checkpoint, written by
+// the pre-v2 serializer (PG agent from tiny_agent_config, Trainer with
+// tiny_trace(50, 7) validation, Curriculum over tiny_jobsets(5),
+// ConvergenceMonitor, killed at the episode-2 boundary) and committed
+// to the repository.  It pins three guarantees:
+//
+//   * v1 files written by released builds stay restorable forever;
+//   * restoring one through a v2 reader resets a supplied
+//     RecoveryState to defaults instead of failing (the migration);
+//   * the migrated state is *usable* — training continues from it and
+//     reproduces the exact parameters a never-upgraded run would have.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <vector>
+
+#include "ckpt/checkpoint.h"
+#include "ckpt_test_util.h"
+#include "train/convergence.h"
+#include "train/trainer.h"
+#include "util/fs.h"
+
+namespace dras::ckpt {
+namespace {
+
+using testing::tiny_agent_config;
+using testing::tiny_jobsets;
+using testing::tiny_trace;
+
+constexpr std::size_t kGoldenEpisodes = 2;  // episodes in the golden file
+constexpr std::size_t kCurriculumEpisodes = 5;
+
+std::filesystem::path golden_path() {
+  return std::filesystem::path(DRAS_TEST_DATA_DIR) / "ckpt" / "data" /
+         "golden-v1.dras";
+}
+
+/// The training objects the golden checkpoint was generated with.
+struct GoldenHarness {
+  GoldenHarness()
+      : agent(tiny_agent_config(core::AgentKind::PG)),
+        curriculum(tiny_jobsets(kCurriculumEpisodes)),
+        trainer(agent, 16, tiny_trace(50, 7), trainer_options()) {}
+
+  static train::TrainerOptions trainer_options() {
+    train::TrainerOptions options;
+    options.validate_each_episode = true;
+    return options;
+  }
+
+  TrainingState state(RecoveryState* recovery = nullptr) {
+    TrainingState s;
+    s.agent = &agent;
+    s.trainer = &trainer;
+    s.curriculum = &curriculum;
+    s.monitor = &monitor;
+    s.recovery = recovery;
+    return s;
+  }
+
+  core::DrasAgent agent;
+  train::Curriculum curriculum;
+  train::Trainer trainer;
+  train::ConvergenceMonitor monitor;
+};
+
+TEST(Migration, GoldenFileIsFormatV1) {
+  const std::string bytes = util::read_file(golden_path());
+  std::uint32_t version = 0;
+  (void)unframe_payload(bytes, &version);
+  EXPECT_EQ(version, 1u);
+}
+
+TEST(Migration, V1RestoreResetsSuppliedRecoveryState) {
+  GoldenHarness h;
+  RecoveryState recovery;
+  recovery.rollbacks = 7;  // junk that must not survive the restore
+  recovery.lr_scale = 0.25;
+  recovery.rng_nonce = 9;
+
+  read_checkpoint_file(golden_path(), h.state(&recovery));
+
+  EXPECT_EQ(h.trainer.episodes_done(), kGoldenEpisodes);
+  EXPECT_EQ(h.curriculum.position(), kGoldenEpisodes);
+  EXPECT_EQ(h.monitor.rewards().size(), kGoldenEpisodes);
+  // The migration: a v1 file carries no recovery history, so the
+  // supplied slice comes back as a fresh default, not as stale junk.
+  EXPECT_EQ(recovery, RecoveryState{});
+}
+
+TEST(Migration, V1RestoreWorksWithoutRecoveryStateToo) {
+  GoldenHarness h;
+  EXPECT_NO_THROW(read_checkpoint_file(golden_path(), h.state()));
+  EXPECT_EQ(h.trainer.episodes_done(), kGoldenEpisodes);
+}
+
+TEST(Migration, MigratedStateMatchesFreshRetrainExactly) {
+  // Replay the golden file's own generation recipe for the same two
+  // episodes; the restored parameters must be byte-identical.
+  GoldenHarness fresh;
+  for (std::size_t e = 0; e < kGoldenEpisodes; ++e) {
+    (void)fresh.trainer.run_episode(fresh.curriculum.current());
+    fresh.curriculum.advance();
+  }
+
+  GoldenHarness restored;
+  RecoveryState recovery;
+  read_checkpoint_file(golden_path(), restored.state(&recovery));
+
+  const auto expected = fresh.agent.network().parameters();
+  const auto actual = restored.agent.network().parameters();
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t i = 0; i < actual.size(); ++i)
+    EXPECT_EQ(actual[i], expected[i]) << "parameter " << i;
+}
+
+TEST(Migration, MigratedStateContinuesTrainingToCompletion) {
+  GoldenHarness h;
+  RecoveryState recovery;
+  read_checkpoint_file(golden_path(), h.state(&recovery));
+
+  train::RunOptions run_options;
+  run_options.monitor = &h.monitor;
+  const auto results = h.trainer.run(h.curriculum, run_options);
+  EXPECT_EQ(results.size(), kCurriculumEpisodes - kGoldenEpisodes);
+  EXPECT_EQ(h.trainer.episodes_done(), kCurriculumEpisodes);
+  EXPECT_EQ(h.monitor.rewards().size(), kCurriculumEpisodes);
+}
+
+TEST(Migration, V2RoundTripCarriesRecoveryState) {
+  GoldenHarness source;
+  RecoveryState recovery;
+  recovery.rollbacks = 3;
+  recovery.lr_scale = 0.125;
+  recovery.rng_nonce = 3;
+  const std::string payload = encode_checkpoint(source.state(&recovery));
+
+  GoldenHarness target;
+  RecoveryState restored;
+  decode_checkpoint(payload, target.state(&restored));
+  EXPECT_EQ(restored, recovery);
+  EXPECT_EQ(target.trainer.episodes_done(), source.trainer.episodes_done());
+}
+
+TEST(Migration, V2RecoveryPresenceMustMatchOnDecode) {
+  // Like every other component: a checkpoint written with recovery
+  // state can only be restored with a slice supplied, and vice versa —
+  // silently dropping rollback history would break the retry budget.
+  GoldenHarness source;
+  RecoveryState recovery;
+  const std::string with = encode_checkpoint(source.state(&recovery));
+  const std::string without = encode_checkpoint(source.state());
+
+  GoldenHarness target;
+  RecoveryState sink;
+  EXPECT_THROW(decode_checkpoint(with, target.state()), CheckpointError);
+  EXPECT_THROW(decode_checkpoint(without, target.state(&sink)),
+               CheckpointError);
+}
+
+TEST(Migration, RejectsUnknownFormatVersions) {
+  GoldenHarness source;
+  const std::string payload = encode_checkpoint(source.state());
+  GoldenHarness target;
+  EXPECT_THROW(decode_checkpoint(payload, target.state(), 0),
+               CheckpointError);
+  EXPECT_THROW(decode_checkpoint(payload, target.state(),
+                                 kFormatVersion + 1),
+               CheckpointError);
+}
+
+}  // namespace
+}  // namespace dras::ckpt

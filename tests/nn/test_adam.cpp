@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 namespace dras::nn {
@@ -101,6 +102,72 @@ TEST(Adam, RestoreRejectsSizeMismatch) {
   EXPECT_THROW(
       b.restore(a.first_moment(), a.second_moment(), a.steps_taken()),
       std::invalid_argument);
+}
+
+TEST(Adam, LrScaleShrinksTheStep) {
+  AdamConfig cfg;
+  cfg.learning_rate = 0.01;
+  cfg.max_grad_norm = 0.0;
+  Adam adam(1, cfg);
+  adam.set_lr_scale(0.5);
+  EXPECT_DOUBLE_EQ(adam.lr_scale(), 0.5);
+  std::vector<float> x = {0.0f};
+  std::vector<float> g = {123.0f};
+  adam.step(x, g);
+  // First bias-corrected step is ≈ lr · lr_scale · sign(g).
+  EXPECT_NEAR(x[0], -0.005f, 1e-5);
+}
+
+TEST(Adam, UnitLrScaleIsExactlyTheBaseline) {
+  // lr_scale = 1.0 must not perturb a single bit: the guarded-run
+  // byte-identity guarantee rides on x·1.0 == x.
+  AdamConfig cfg;
+  cfg.learning_rate = 0.003;
+  Adam a(2, cfg), b(2, cfg);
+  b.set_lr_scale(1.0);
+  std::vector<float> xa = {1.0f, -2.0f}, xb = {1.0f, -2.0f};
+  for (int i = 0; i < 50; ++i) {
+    std::vector<float> ga = {0.7f * xa[0], 0.3f * xa[1]};
+    std::vector<float> gb = {0.7f * xb[0], 0.3f * xb[1]};
+    a.step(xa, ga);
+    b.step(xb, gb);
+  }
+  EXPECT_EQ(xa[0], xb[0]);
+  EXPECT_EQ(xa[1], xb[1]);
+}
+
+TEST(Adam, RejectsNonPositiveOrNonFiniteLrScale) {
+  Adam adam(1);
+  EXPECT_THROW(adam.set_lr_scale(0.0), std::invalid_argument);
+  EXPECT_THROW(adam.set_lr_scale(-0.5), std::invalid_argument);
+  EXPECT_THROW(adam.set_lr_scale(std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
+  EXPECT_THROW(adam.set_lr_scale(std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+  EXPECT_DOUBLE_EQ(adam.lr_scale(), 1.0);  // unchanged by rejections
+}
+
+TEST(Adam, ScrubDropsNonFiniteGradientsBeforeTheUpdate) {
+  AdamConfig cfg;
+  cfg.scrub_non_finite = true;
+  Adam adam(2, cfg);
+  std::vector<float> x = {1.0f, 1.0f};
+  std::vector<float> g = {std::numeric_limits<float>::quiet_NaN(), 0.5f};
+  adam.step(x, g);
+  EXPECT_EQ(adam.scrubbed_gradients(), 1u);
+  // The poisoned coordinate saw a zero gradient; the other updated.
+  EXPECT_TRUE(std::isfinite(x[0]));
+  EXPECT_TRUE(std::isfinite(x[1]));
+  EXPECT_NE(x[1], 1.0f);
+}
+
+TEST(Adam, ScrubOffLetsNanThrough) {
+  Adam adam(1);  // scrub_non_finite defaults to false
+  std::vector<float> x = {1.0f};
+  std::vector<float> g = {std::numeric_limits<float>::quiet_NaN()};
+  adam.step(x, g);
+  EXPECT_EQ(adam.scrubbed_gradients(), 0u);
+  EXPECT_TRUE(std::isnan(x[0]));  // the health monitor's job to catch
 }
 
 TEST(Adam, ResetClearsState) {

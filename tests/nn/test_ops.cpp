@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <numeric>
 #include <vector>
 
@@ -123,6 +124,62 @@ TEST(Dot, BasicProduct) {
   const std::vector<float> a = {1, 2, 3};
   const std::vector<float> b = {4, -5, 6};
   EXPECT_FLOAT_EQ(dot(a, b), 4 - 10 + 18);
+}
+
+TEST(SpanStats, SummarisesFiniteBuffer) {
+  const std::vector<float> v = {3.0f, -4.0f, 0.0f};
+  const SpanStats stats = span_stats(v);
+  EXPECT_EQ(stats.count, 3u);
+  EXPECT_EQ(stats.non_finite, 0u);
+  EXPECT_TRUE(stats.all_finite());
+  EXPECT_NEAR(stats.l2_norm, 5.0, 1e-12);
+  EXPECT_NEAR(stats.mean, -1.0 / 3.0, 1e-7);
+  EXPECT_FLOAT_EQ(stats.min, -4.0f);
+  EXPECT_FLOAT_EQ(stats.max, 3.0f);
+}
+
+TEST(SpanStats, NonFiniteEntriesAreCountedButExcluded) {
+  // A single NaN must not blank out the rest of the distribution —
+  // the diagnostics dump needs both the damage count and the stats of
+  // what survived.
+  const std::vector<float> v = {std::numeric_limits<float>::quiet_NaN(),
+                                3.0f,
+                                -std::numeric_limits<float>::infinity(),
+                                -4.0f};
+  const SpanStats stats = span_stats(v);
+  EXPECT_EQ(stats.count, 4u);
+  EXPECT_EQ(stats.non_finite, 2u);
+  EXPECT_FALSE(stats.all_finite());
+  EXPECT_NEAR(stats.l2_norm, 5.0, 1e-12);
+  EXPECT_FLOAT_EQ(stats.min, -4.0f);
+  EXPECT_FLOAT_EQ(stats.max, 3.0f);
+}
+
+TEST(SpanStats, EmptyAndAllPoisonedBuffers) {
+  EXPECT_EQ(span_stats({}).count, 0u);
+  EXPECT_TRUE(span_stats({}).all_finite());
+  const std::vector<float> v(3, std::numeric_limits<float>::quiet_NaN());
+  const SpanStats stats = span_stats(v);
+  EXPECT_EQ(stats.non_finite, 3u);
+  EXPECT_EQ(stats.l2_norm, 0.0);
+  EXPECT_EQ(stats.min, 0.0f);
+  EXPECT_EQ(stats.max, 0.0f);
+}
+
+TEST(L2Norm, PropagatesNonFiniteUnlikeSpanStats) {
+  const std::vector<float> clean = {3.0f, 4.0f};
+  EXPECT_NEAR(l2_norm(clean), 5.0, 1e-12);
+  const std::vector<float> poisoned = {
+      3.0f, std::numeric_limits<float>::quiet_NaN()};
+  EXPECT_TRUE(std::isnan(l2_norm(poisoned)));
+}
+
+TEST(ScrubNonFinite, ZeroesOnlyThePoisonedEntries) {
+  std::vector<float> v = {1.0f, std::numeric_limits<float>::quiet_NaN(),
+                          -2.0f, std::numeric_limits<float>::infinity()};
+  EXPECT_EQ(scrub_non_finite(v), 2u);
+  EXPECT_EQ(v, (std::vector<float>{1.0f, 0.0f, -2.0f, 0.0f}));
+  EXPECT_EQ(scrub_non_finite(v), 0u);  // idempotent on a clean buffer
 }
 
 }  // namespace

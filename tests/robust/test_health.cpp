@@ -1,0 +1,219 @@
+// HealthMonitor invariants: each fault kind trips on the corruption it
+// guards against, ceilings can be disabled, non-finite signals outrank
+// magnitude ceilings, and the recent-loss ring keeps the newest losses
+// in order for the diagnostics dump.
+#include "robust/health.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "../ckpt/ckpt_test_util.h"
+#include "core/dras_agent.h"
+#include "nn/adam.h"
+#include "train/trainer.h"
+
+namespace dras::robust {
+namespace {
+
+using ckpt::testing::tiny_agent_config;
+using ckpt::testing::tiny_trace;
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+train::EpisodeResult clean_result(std::size_t episode = 0) {
+  train::EpisodeResult result;
+  result.episode = episode;
+  result.loss = 0.25;
+  result.grad_norm = 1.5;
+  result.training_reward = -3.0;
+  return result;
+}
+
+TEST(HealthMonitor, CleanEpisodePasses) {
+  core::DrasAgent agent(tiny_agent_config(core::AgentKind::PG));
+  HealthMonitor monitor;
+  const HealthReport report = monitor.check(agent, clean_result(4));
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.fault, HealthFault::None);
+  EXPECT_EQ(report.episode, 4u);
+  EXPECT_EQ(report.non_finite_params, 0u);
+  EXPECT_GT(report.param_norm, 0.0);
+  EXPECT_EQ(monitor.checks_done(), 1u);
+}
+
+TEST(HealthMonitor, NonFiniteLossTrips) {
+  core::DrasAgent agent(tiny_agent_config(core::AgentKind::PG));
+  HealthMonitor monitor;
+  auto result = clean_result();
+  result.loss = kNan;
+  const HealthReport report = monitor.check(agent, result);
+  EXPECT_EQ(report.fault, HealthFault::NonFiniteLoss);
+  EXPECT_NE(report.detail.find("loss"), std::string::npos);
+}
+
+TEST(HealthMonitor, NonFiniteRewardTrips) {
+  core::DrasAgent agent(tiny_agent_config(core::AgentKind::PG));
+  HealthMonitor monitor;
+  auto result = clean_result();
+  result.training_reward = -kInf;
+  EXPECT_EQ(monitor.check(agent, result).fault,
+            HealthFault::NonFiniteReward);
+}
+
+TEST(HealthMonitor, NonFiniteGradNormTrips) {
+  core::DrasAgent agent(tiny_agent_config(core::AgentKind::PG));
+  HealthMonitor monitor;
+  auto result = clean_result();
+  result.grad_norm = kNan;
+  EXPECT_EQ(monitor.check(agent, result).fault,
+            HealthFault::NonFiniteGradNorm);
+}
+
+TEST(HealthMonitor, LossCeilingTripsOnMagnitude) {
+  core::DrasAgent agent(tiny_agent_config(core::AgentKind::PG));
+  HealthLimits limits;
+  limits.max_loss = 1.0;
+  HealthMonitor monitor(limits);
+  auto result = clean_result();
+  result.loss = -5.0;  // |loss| matters, not the sign
+  const HealthReport report = monitor.check(agent, result);
+  EXPECT_EQ(report.fault, HealthFault::LossCeiling);
+  EXPECT_NE(report.detail.find("ceiling"), std::string::npos);
+}
+
+TEST(HealthMonitor, NonPositiveLimitDisablesCeiling) {
+  core::DrasAgent agent(tiny_agent_config(core::AgentKind::PG));
+  HealthLimits limits;
+  limits.max_loss = 0.0;
+  limits.max_param_norm = 0.0;
+  HealthMonitor monitor(limits);
+  auto result = clean_result();
+  result.loss = 1e30;  // huge but finite: no ceiling to trip
+  EXPECT_TRUE(monitor.check(agent, result).ok());
+}
+
+TEST(HealthMonitor, GradNormCeilingTrips) {
+  core::DrasAgent agent(tiny_agent_config(core::AgentKind::PG));
+  HealthLimits limits;
+  limits.max_grad_norm = 1.0;
+  HealthMonitor monitor(limits);
+  auto result = clean_result();
+  result.grad_norm = 2.0;
+  EXPECT_EQ(monitor.check(agent, result).fault,
+            HealthFault::GradNormCeiling);
+}
+
+TEST(HealthMonitor, PoisonedParametersTrip) {
+  core::DrasAgent agent(tiny_agent_config(core::AgentKind::PG));
+  agent.network().parameters()[0] = std::numeric_limits<float>::quiet_NaN();
+  HealthMonitor monitor;
+  const HealthReport report = monitor.check(agent, clean_result());
+  EXPECT_EQ(report.fault, HealthFault::NonFiniteParams);
+  EXPECT_EQ(report.non_finite_params, 1u);
+}
+
+TEST(HealthMonitor, PoisonedOptimizerMomentsTrip) {
+  // The Adam moments are checkpointed alongside the parameters, so a
+  // snapshot is only "good" if they are finite too — otherwise a
+  // rollback would restore the corruption it tries to escape.
+  core::DrasAgent agent(tiny_agent_config(core::AgentKind::PG));
+  nn::Adam& optimizer = agent.optimizer();
+  std::vector<float> moments(optimizer.first_moment().begin(),
+                             optimizer.first_moment().end());
+  moments[0] = std::numeric_limits<float>::quiet_NaN();
+  optimizer.restore(moments, optimizer.second_moment(),
+                    optimizer.steps_taken());
+
+  HealthMonitor monitor;
+  const HealthReport report = monitor.check(agent, clean_result());
+  EXPECT_EQ(report.fault, HealthFault::NonFiniteOptimizerState);
+  EXPECT_EQ(report.non_finite_moments, 1u);
+}
+
+TEST(HealthMonitor, ParamNormCeilingTrips) {
+  core::DrasAgent agent(tiny_agent_config(core::AgentKind::PG));
+  HealthLimits limits;
+  limits.max_param_norm = 1e-3;  // any initialised network exceeds this
+  HealthMonitor monitor(limits);
+  const HealthReport report = monitor.check(agent, clean_result());
+  EXPECT_EQ(report.fault, HealthFault::ParamNormCeiling);
+  EXPECT_GT(report.param_norm, limits.max_param_norm);
+}
+
+TEST(HealthMonitor, NonFiniteSignalsOutrankCeilings) {
+  core::DrasAgent agent(tiny_agent_config(core::AgentKind::PG));
+  HealthLimits limits;
+  limits.max_param_norm = 1e-3;  // would trip on its own
+  HealthMonitor monitor(limits);
+  auto result = clean_result();
+  result.loss = kNan;
+  EXPECT_EQ(monitor.check(agent, result).fault,
+            HealthFault::NonFiniteLoss);
+}
+
+TEST(HealthMonitor, EpsilonWithinScheduleBoundsPasses) {
+  core::DrasAgent agent(tiny_agent_config(core::AgentKind::DQL));
+  HealthMonitor monitor;
+  EXPECT_TRUE(monitor.check(agent, clean_result()).ok());
+}
+
+TEST(HealthMonitor, EpsilonOutOfBoundsTrips) {
+  // A growing ε (decay > 1) escapes [epsilon_min, epsilon_init] after
+  // the first update — the kind of schedule corruption the check
+  // exists for.  Run one real episode so updates actually happen.
+  auto cfg = tiny_agent_config(core::AgentKind::DQL);
+  cfg.epsilon_init = 0.5;
+  cfg.epsilon_min = 0.01;
+  cfg.epsilon_decay = 4.0;
+  core::DrasAgent agent(cfg);
+  train::TrainerOptions options;
+  options.validate_each_episode = false;
+  train::Trainer trainer(agent, 16, {}, options);
+  const auto result = trainer.run_episode(
+      {"set-0", train::JobsetPhase::Synthetic, tiny_trace(40, 11)});
+  ASSERT_GT(agent.epsilon(), cfg.epsilon_init);
+
+  HealthMonitor monitor;
+  const HealthReport report = monitor.check(agent, result);
+  EXPECT_EQ(report.fault, HealthFault::EpsilonOutOfBounds);
+  EXPECT_NE(report.detail.find("epsilon"), std::string::npos);
+}
+
+TEST(HealthMonitor, EpsilonCheckIgnoresPgAgents) {
+  core::DrasAgent agent(tiny_agent_config(core::AgentKind::PG));
+  HealthMonitor monitor;
+  auto result = clean_result();
+  result.epsilon = 42.0;  // PG reports 0, but even garbage is ignored
+  EXPECT_TRUE(monitor.check(agent, result).ok());
+}
+
+TEST(HealthMonitor, RecentLossRingKeepsNewestInOrder) {
+  core::DrasAgent agent(tiny_agent_config(core::AgentKind::PG));
+  HealthLimits limits;
+  limits.recent_loss_depth = 3;
+  HealthMonitor monitor(limits);
+  for (int i = 1; i <= 5; ++i) {
+    auto result = clean_result(static_cast<std::size_t>(i));
+    result.loss = static_cast<double>(i);
+    (void)monitor.check(agent, result);
+  }
+  EXPECT_EQ(monitor.recent_losses(), (std::vector<double>{3.0, 4.0, 5.0}));
+  EXPECT_EQ(monitor.checks_done(), 5u);
+}
+
+TEST(HealthMonitor, FaultNamesAreStable) {
+  // The CI drill and diagnostics consumers match on these strings.
+  EXPECT_EQ(to_string(HealthFault::None), "none");
+  EXPECT_EQ(to_string(HealthFault::NonFiniteLoss), "non-finite-loss");
+  EXPECT_EQ(to_string(HealthFault::LossCeiling), "loss-ceiling");
+  EXPECT_EQ(to_string(HealthFault::NonFiniteParams), "non-finite-params");
+  EXPECT_EQ(to_string(HealthFault::EpsilonOutOfBounds),
+            "epsilon-out-of-bounds");
+}
+
+}  // namespace
+}  // namespace dras::robust

@@ -1,0 +1,292 @@
+// Self-healing drills (ISSUE acceptance criteria): injected numeric
+// faults are detected at the next episode boundary, recovery rolls back
+// to the newest snapshot with LR backoff + a perturbed episode stream
+// and training completes; a healthy guarded run is byte-identical to an
+// unguarded one; an exhausted retry budget throws DivergenceError after
+// writing the diagnostics dump.
+#include "robust/recovery.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "../ckpt/ckpt_test_util.h"
+#include "ckpt/fault.h"
+#include "ckpt/manager.h"
+#include "obs/metrics.h"
+#include "robust/health.h"
+#include "train/trainer.h"
+
+namespace dras::robust {
+namespace {
+
+using ckpt::testing::ScratchDirTest;
+using ckpt::testing::tiny_agent_config;
+using ckpt::testing::tiny_jobsets;
+
+constexpr std::size_t kEpisodes = 4;
+
+std::vector<float> params_of(const core::DrasAgent& agent) {
+  const auto params = agent.network().parameters();
+  return {params.begin(), params.end()};
+}
+
+std::string slurp(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// The full set of training objects one guarded run needs, built fresh
+/// per test the way a real process would build them.
+struct Harness {
+  explicit Harness(const std::filesystem::path& dir,
+                   core::AgentKind kind = core::AgentKind::PG)
+      : agent(tiny_agent_config(kind)),
+        curriculum(tiny_jobsets(kEpisodes)),
+        trainer(agent, 16, {}, trainer_options()),
+        manager(manager_options(dir)) {}
+
+  static train::TrainerOptions trainer_options() {
+    train::TrainerOptions options;
+    options.validate_each_episode = false;
+    return options;
+  }
+
+  static ckpt::CheckpointManagerOptions manager_options(
+      const std::filesystem::path& dir) {
+    ckpt::CheckpointManagerOptions options;
+    options.dir = dir;
+    options.every = 1;
+    options.keep_last = 0;
+    return options;
+  }
+
+  core::DrasAgent agent;
+  train::Curriculum curriculum;
+  train::Trainer trainer;
+  ckpt::CheckpointManager manager;
+};
+
+class RecoveryTest : public ScratchDirTest {
+ protected:
+  void TearDown() override {
+    obs::set_enabled(false);
+    ScratchDirTest::TearDown();
+  }
+
+  RecoveryOptions recovery_options(std::size_t max_rollbacks = 3) {
+    RecoveryOptions options;
+    options.max_rollbacks = max_rollbacks;
+    options.lr_backoff = 0.5;
+    options.diagnostics_path = dir_ / "diagnostics.json";
+    return options;
+  }
+
+  /// One-shot sabotage: apply `fault` once, at the end of episode
+  /// `at_episode` (retries of that episode stay healthy).
+  static std::function<void(core::DrasAgent&, train::EpisodeResult&)>
+  one_shot(ckpt::NumericFault fault, std::size_t at_episode) {
+    return [fault, at_episode, fired = false](
+               core::DrasAgent& agent,
+               train::EpisodeResult& result) mutable {
+      if (fired || result.episode != at_episode) return;
+      fired = true;
+      apply_numeric_fault(fault, agent, result);
+    };
+  }
+
+  /// Run a full guarded curriculum with `sabotage` wired in; expects
+  /// training to complete and returns the policy's attempts.
+  void drill(ckpt::NumericFault fault, HealthLimits limits = {}) {
+    Harness h(dir_);
+    HealthMonitor health(limits);
+    RecoveryPolicy recovery(recovery_options(), h.manager);
+    train::RunOptions run_options;
+    run_options.checkpoints = &h.manager;
+    run_options.health = &health;
+    run_options.recovery = &recovery;
+    run_options.sabotage = one_shot(fault, 1);
+
+    const auto results = h.trainer.run(h.curriculum, run_options);
+
+    EXPECT_EQ(results.size(), kEpisodes);
+    EXPECT_EQ(h.trainer.episodes_done(), kEpisodes);
+    EXPECT_EQ(recovery.attempts(), 1u);
+    EXPECT_EQ(recovery.state().rollbacks, 1u);
+    EXPECT_DOUBLE_EQ(recovery.state().lr_scale, 0.5);
+    EXPECT_EQ(recovery.state().rng_nonce, 1u);
+    // The rollback's effects are live on the agent, not just recorded.
+    EXPECT_DOUBLE_EQ(h.agent.optimizer().lr_scale(), 0.5);
+    EXPECT_EQ(h.agent.rng_nonce(), 1u);
+    EXPECT_EQ(h.agent.network().non_finite_parameters(), 0u);
+    // Recovery succeeded, so no give-up dump was written.
+    EXPECT_FALSE(std::filesystem::exists(dir_ / "diagnostics.json"));
+  }
+};
+
+TEST_F(RecoveryTest, GuardedHealthyRunIsByteIdenticalToUnguarded) {
+  std::vector<float> unguarded;
+  {
+    core::DrasAgent agent(tiny_agent_config(core::AgentKind::PG));
+    train::Curriculum curriculum(tiny_jobsets(kEpisodes));
+    train::Trainer trainer(agent, 16, {}, Harness::trainer_options());
+    (void)trainer.run(curriculum, train::RunOptions{});
+    unguarded = params_of(agent);
+  }
+
+  Harness h(dir_);
+  HealthMonitor health;
+  RecoveryPolicy recovery(recovery_options(), h.manager);
+  train::RunOptions run_options;
+  run_options.checkpoints = &h.manager;
+  run_options.health = &health;
+  run_options.recovery = &recovery;
+  const auto results = h.trainer.run(h.curriculum, run_options);
+  EXPECT_EQ(results.size(), kEpisodes);
+  EXPECT_EQ(recovery.attempts(), 0u);
+  EXPECT_EQ(health.checks_done(), kEpisodes);
+
+  const std::vector<float> guarded = params_of(h.agent);
+  ASSERT_EQ(guarded.size(), unguarded.size());
+  for (std::size_t i = 0; i < guarded.size(); ++i)
+    EXPECT_EQ(guarded[i], unguarded[i]) << "parameter " << i;
+}
+
+TEST_F(RecoveryTest, LossSpikeRollsBackAndCompletes) {
+  obs::set_enabled(true);
+  auto& registry = obs::Registry::global();
+  const auto rollbacks_before =
+      registry.counter("robust.rollbacks").value();
+  const auto events_before =
+      registry.counter("robust.divergence_events").value();
+
+  drill(ckpt::NumericFault::LossSpike);
+
+  EXPECT_EQ(registry.counter("robust.rollbacks").value() - rollbacks_before,
+            1u);
+  EXPECT_EQ(registry.counter("robust.divergence_events").value() -
+                events_before,
+            1u);
+}
+
+TEST_F(RecoveryTest, NanGradientsRollBackAndComplete) {
+  // The optimizer-state invariant catches the poison at the injection
+  // boundary itself — crucially BEFORE the cadence checkpoint runs, so
+  // no poisoned "ADAM" section is ever written and the rollback target
+  // is genuinely clean (gradients are never serialized at all).
+  drill(ckpt::NumericFault::NanGrads);
+}
+
+TEST_F(RecoveryTest, ParamBlowupRollsBackAndCompletes) {
+  HealthLimits limits;
+  limits.max_param_norm = 1e6;  // the tiny net starts far below this
+  drill(ckpt::NumericFault::ParamBlowup, limits);
+}
+
+TEST_F(RecoveryTest, ExhaustedBudgetThrowsAndWritesDiagnostics) {
+  obs::set_enabled(true);
+  auto& registry = obs::Registry::global();
+  const auto failures_before =
+      registry.counter("robust.recovery_failures").value();
+
+  Harness h(dir_);
+  HealthMonitor health;
+  RecoveryPolicy recovery(recovery_options(/*max_rollbacks=*/1),
+                          h.manager);
+  train::RunOptions run_options;
+  run_options.checkpoints = &h.manager;
+  run_options.health = &health;
+  run_options.recovery = &recovery;
+  // Persistent sabotage: episode 1 diverges on every retry, so the
+  // single-rollback budget cannot save the run.
+  run_options.sabotage = [](core::DrasAgent& agent,
+                            train::EpisodeResult& result) {
+    if (result.episode == 1)
+      apply_numeric_fault(ckpt::NumericFault::LossSpike, agent, result);
+  };
+
+  try {
+    (void)h.trainer.run(h.curriculum, run_options);
+    FAIL() << "expected DivergenceError";
+  } catch (const DivergenceError& e) {
+    EXPECT_EQ(e.diagnostics(), dir_ / "diagnostics.json");
+    EXPECT_NE(std::string(e.what()).find("gave up"), std::string::npos);
+  }
+
+  EXPECT_EQ(recovery.attempts(), 1u);
+  EXPECT_EQ(registry.counter("robust.recovery_failures").value() -
+                failures_before,
+            1u);
+
+  // The give-up dump exists, was written atomically (no temp litter),
+  // and carries the tripped invariant plus the forensic context.
+  const auto dump_path = dir_ / "diagnostics.json";
+  ASSERT_TRUE(std::filesystem::exists(dump_path));
+  const std::string dump = slurp(dump_path);
+  EXPECT_NE(dump.find("\"fault\":\"loss-ceiling\""), std::string::npos);
+  EXPECT_NE(dump.find("\"max_rollbacks\":1"), std::string::npos);
+  EXPECT_NE(dump.find("\"parameters\":{\"count\":"), std::string::npos);
+  EXPECT_NE(dump.find("\"recent_losses\":["), std::string::npos);
+  EXPECT_NE(dump.find("\"recent_actions\":["), std::string::npos);
+}
+
+TEST_F(RecoveryTest, DivergenceWithoutRecoveryPolicyThrows) {
+  Harness h(dir_);
+  HealthMonitor health;
+  train::RunOptions run_options;
+  run_options.health = &health;  // guard only, no rollback response
+  run_options.sabotage = one_shot(ckpt::NumericFault::LossSpike, 0);
+  try {
+    (void)h.trainer.run(h.curriculum, run_options);
+    FAIL() << "expected DivergenceError";
+  } catch (const DivergenceError& e) {
+    EXPECT_TRUE(e.diagnostics().empty());
+    EXPECT_NE(std::string(e.what()).find("no recovery policy"),
+              std::string::npos);
+  }
+}
+
+TEST_F(RecoveryTest, RecoveryRequiresHealthAndCheckpoints) {
+  Harness h(dir_);
+  HealthMonitor health;
+  RecoveryPolicy recovery(recovery_options(), h.manager);
+
+  train::RunOptions no_health;
+  no_health.checkpoints = &h.manager;
+  no_health.recovery = &recovery;
+  EXPECT_THROW((void)h.trainer.run(h.curriculum, no_health),
+               std::invalid_argument);
+
+  train::RunOptions no_checkpoints;
+  no_checkpoints.health = &health;
+  no_checkpoints.recovery = &recovery;
+  EXPECT_THROW((void)h.trainer.run(h.curriculum, no_checkpoints),
+               std::invalid_argument);
+}
+
+TEST_F(RecoveryTest, RejectsOutOfRangeBackoff) {
+  Harness h(dir_);
+  RecoveryOptions zero = recovery_options();
+  zero.lr_backoff = 0.0;
+  EXPECT_THROW(RecoveryPolicy(zero, h.manager), std::invalid_argument);
+  RecoveryOptions above_one = recovery_options();
+  above_one.lr_backoff = 1.5;
+  EXPECT_THROW(RecoveryPolicy(above_one, h.manager),
+               std::invalid_argument);
+}
+
+TEST_F(RecoveryTest, DivergenceExitCodeIsDistinct) {
+  // dras_sim maps DivergenceError to this code; it must stay clear of
+  // usage errors (2), the crash-drill exit (137) and signal exits.
+  EXPECT_EQ(kDivergenceExitCode, 86);
+}
+
+}  // namespace
+}  // namespace dras::robust

@@ -231,5 +231,71 @@ TEST(SwfHardened, WriterOutputParsesCleanlyInStrictMode) {
   EXPECT_EQ(result.lines_unusable, 0u);
 }
 
+TEST(SwfHardened, IssueCapBoundaryRecordsExactlyCapIssues) {
+  // Exactly as many malformed lines as the cap: all of them recorded,
+  // none silently dropped — the cap truncates, it doesn't undercount.
+  std::stringstream at_cap;
+  for (int i = 0; i < 3; ++i) at_cap << "short line\n";
+  SwfParseOptions options;
+  options.max_recorded_issues = 3;
+  const auto exact = parse_swf(at_cap, options);
+  EXPECT_EQ(exact.lines_malformed, 3u);
+  EXPECT_EQ(exact.issues.size(), 3u);
+
+  // One past the cap: counting keeps going, recording stops.
+  std::stringstream over_cap;
+  for (int i = 0; i < 4; ++i) over_cap << "short line\n";
+  const auto over = parse_swf(over_cap, options);
+  EXPECT_EQ(over.lines_malformed, 4u);
+  EXPECT_EQ(over.issues.size(), 3u);
+}
+
+TEST(SwfHardened, OutOfRangeCountsOnDuplicateIdLineReportRangeFirst) {
+  // Lines that combine a duplicate id with an out-of-range processor
+  // count report the range violation (field validation runs before id
+  // bookkeeping), and a line rejected on a field error never registers
+  // its id — so a later well-formed line may still claim it.
+  std::stringstream in(
+      std::string(kGoodLine) +
+      "1 0 -1 100 4 -1 -1 5000000000 200 -1 1 -1 -1 -1 -1 -1 -1 -1\n"
+      "2 0 -1 100 4 -1 -1 9999999999 200 -1 1 -1 -1 -1 -1 -1 -1 -1\n"
+      "2 5 -1 100 4 -1 -1 4 200 -1 1 -1 -1 -1 -1 -1 -1 -1\n");
+  const auto result = parse_swf(in);
+  EXPECT_EQ(result.lines_parsed(), 2u);  // lines 1 and 4
+  EXPECT_EQ(result.lines_malformed, 2u);
+  ASSERT_EQ(result.issues.size(), 2u);
+  // Both rejected lines report the range violation, not the duplicate:
+  // field validation runs before id bookkeeping.
+  EXPECT_NE(result.issues[0].message.find("processor counts"),
+            std::string::npos);
+  EXPECT_NE(result.issues[1].message.find("processor counts"),
+            std::string::npos);
+  // Id 2 was NOT registered by the rejected line 3, so line 4 parsed.
+  ASSERT_EQ(result.trace.size(), 2u);
+  EXPECT_EQ(result.trace[1].id, 2);
+  EXPECT_DOUBLE_EQ(result.trace[1].submit_time, 5.0);
+}
+
+TEST(SwfHardened, ZeroJobFileParsesToEmptyTraceWithZeroCounters) {
+  std::stringstream in(
+      "; UNIX workload archive header\n"
+      "; MaxJobs: 0\n"
+      "\n"
+      "   \n");
+  const auto result = parse_swf(in);
+  EXPECT_TRUE(result.trace.empty());
+  EXPECT_EQ(result.lines_total, 0u);
+  EXPECT_EQ(result.lines_parsed(), 0u);
+  EXPECT_EQ(result.lines_malformed, 0u);
+  EXPECT_EQ(result.lines_unusable, 0u);
+  EXPECT_TRUE(result.issues.empty());
+
+  // Strict mode agrees: an empty file is valid, not an error.
+  std::stringstream strict_in("; only comments\n");
+  SwfParseOptions strict;
+  strict.strict = true;
+  EXPECT_TRUE(parse_swf(strict_in, strict).trace.empty());
+}
+
 }  // namespace
 }  // namespace dras::workload

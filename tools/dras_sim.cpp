@@ -14,7 +14,9 @@
 #include <cstdlib>
 #include <iostream>
 #include <memory>
+#include <optional>
 
+#include "ckpt/fault.h"
 #include "ckpt/manager.h"
 #include "core/dras_agent.h"
 #include "core/presets.h"
@@ -24,6 +26,8 @@
 #include "obs/metrics.h"
 #include "obs/sink.h"
 #include "obs/trace.h"
+#include "robust/health.h"
+#include "robust/recovery.h"
 #include "sched/bin_packing.h"
 #include "sched/decima_pg.h"
 #include "sched/fcfs_easy.h"
@@ -90,7 +94,28 @@ int usage(const std::string& error = {}) {
       "  --save-model FILE   write the trained agent's network (atomic)\n"
       "  --abort-after N     kill the process (exit 137, no cleanup)\n"
       "                      right after the checkpoint for episode >= N\n"
-      "                      is written; crash-drill hook used by CI\n";
+      "                      is written; crash-drill hook used by CI\n"
+      "  --guard             self-healing training: check per-episode\n"
+      "                      health invariants (finite loss/reward/params,\n"
+      "                      norm ceilings, epsilon bounds); a tripped\n"
+      "                      invariant rolls back to the newest snapshot\n"
+      "                      with LR backoff + a perturbed RNG stream.\n"
+      "                      Needs --checkpoint-dir; implied by the\n"
+      "                      --guard-*/--max-rollbacks/--inject-* flags\n"
+      "  --guard-loss X      |loss| ceiling (default 1e9; 0 = off)\n"
+      "  --guard-grad-norm X gradient-norm ceiling (default off)\n"
+      "  --guard-param-norm X parameter-norm ceiling (default 1e9; 0 = off)\n"
+      "  --max-rollbacks N   divergence retry budget before giving up\n"
+      "                      with exit code 86 + a diagnostics dump\n"
+      "                      (default 3)\n"
+      "  --lr-backoff F      per-rollback learning-rate multiplier\n"
+      "                      (default 0.5)\n"
+      "  --diagnostics-out FILE  where the give-up dump goes (default\n"
+      "                      <checkpoint-dir>/divergence-diagnostics.json)\n"
+      "  --inject-numeric-fault K  divergence drill: corrupt training at\n"
+      "                      --inject-at with K = nan-grads | loss-spike |\n"
+      "                      param-blowup, then prove recovery\n"
+      "  --inject-at N       episode index the drill corrupts (default 1)\n";
   return error.empty() ? 0 : 2;
 }
 
@@ -117,7 +142,8 @@ int main(int argc, char** argv) {
   try {
     const dras::util::Args args(
         argc, argv,
-        {"csv", "verbose", "help", "profile", "resume", "swf-strict"});
+        {"csv", "verbose", "help", "profile", "resume", "swf-strict",
+         "guard"});
     if (args.flag("help")) return usage();
     const bool csv_output = args.flag("csv");
     if (args.flag("verbose"))
@@ -230,6 +256,40 @@ int main(int argc, char** argv) {
     if (resume && checkpoint_dir.empty())
       return usage("--resume needs --checkpoint-dir");
 
+    // Self-healing guardrails: any guard/drill flag implies --guard.
+    const bool guarded = args.flag("guard") || args.has("guard-loss") ||
+                         args.has("guard-grad-norm") ||
+                         args.has("guard-param-norm") ||
+                         args.has("max-rollbacks") ||
+                         args.has("lr-backoff") ||
+                         args.has("inject-numeric-fault");
+    if (guarded && checkpoint_dir.empty())
+      return usage("--guard needs --checkpoint-dir (rollback targets)");
+    dras::robust::HealthLimits health_limits;
+    if (args.has("guard-loss"))
+      health_limits.max_loss = args.get_double("guard-loss", 0.0);
+    if (args.has("guard-grad-norm"))
+      health_limits.max_grad_norm = args.get_double("guard-grad-norm", 0.0);
+    if (args.has("guard-param-norm"))
+      health_limits.max_param_norm =
+          args.get_double("guard-param-norm", 0.0);
+    const auto max_rollbacks =
+        static_cast<std::size_t>(args.get_int("max-rollbacks", 3));
+    const double lr_backoff = args.get_double("lr-backoff", 0.5);
+    const std::string diagnostics_out = args.get("diagnostics-out", "");
+    std::optional<dras::ckpt::NumericFault> inject_fault;
+    if (args.has("inject-numeric-fault")) {
+      const std::string fault_name = args.get("inject-numeric-fault", "");
+      inject_fault = dras::ckpt::parse_numeric_fault(fault_name);
+      if (!inject_fault)
+        return usage(format(
+            "unknown numeric fault '{}' (nan-grads | loss-spike | "
+            "param-blowup)",
+            fault_name));
+    }
+    const auto inject_at =
+        static_cast<std::size_t>(args.get_int("inject-at", 1));
+
     const auto train_agent = [&](dras::core::DrasAgent& agent) {
       // Jobsets are regenerated from per-episode derived seeds, so they
       // are identical on every start and a resumed run only moves the
@@ -253,6 +313,8 @@ int main(int argc, char** argv) {
       dras::train::RunOptions run_options;
       run_options.stop = &dras::util::InterruptGuard::flag();
       std::unique_ptr<dras::ckpt::CheckpointManager> manager;
+      std::unique_ptr<dras::robust::HealthMonitor> health;
+      std::unique_ptr<dras::robust::RecoveryPolicy> recovery;
       if (!checkpoint_dir.empty()) {
         dras::ckpt::CheckpointManagerOptions manager_options;
         manager_options.dir = checkpoint_dir;
@@ -261,13 +323,50 @@ int main(int argc, char** argv) {
         manager = std::make_unique<dras::ckpt::CheckpointManager>(
             manager_options);
         run_options.checkpoints = manager.get();
+        if (guarded) {
+          health =
+              std::make_unique<dras::robust::HealthMonitor>(health_limits);
+          dras::robust::RecoveryOptions recovery_options;
+          recovery_options.max_rollbacks = max_rollbacks;
+          recovery_options.lr_backoff = lr_backoff;
+          recovery_options.diagnostics_path =
+              diagnostics_out.empty()
+                  ? std::filesystem::path(checkpoint_dir) /
+                        "divergence-diagnostics.json"
+                  : std::filesystem::path(diagnostics_out);
+          recovery = std::make_unique<dras::robust::RecoveryPolicy>(
+              recovery_options, *manager);
+          run_options.health = health.get();
+          run_options.recovery = recovery.get();
+        }
+        if (inject_fault) {
+          // One-shot sabotage: fire exactly once even when the rollback
+          // re-runs the corrupted episode — that is the recovery drill.
+          run_options.sabotage =
+              [fault = *inject_fault, inject_at, fired = false](
+                  dras::core::DrasAgent& drilled,
+                  dras::train::EpisodeResult& result) mutable {
+                if (fired || result.episode != inject_at) return;
+                fired = true;
+                dras::util::log_warn(
+                    "drill: injecting numeric fault {} at episode {}",
+                    dras::ckpt::to_string(fault), result.episode);
+                dras::robust::apply_numeric_fault(fault, drilled, result);
+              };
+        }
         if (resume) {
           dras::ckpt::TrainingState state;
           state.agent = &agent;
           state.trainer = &trainer;
           state.curriculum = &curriculum;
+          state.recovery =
+              recovery != nullptr ? &recovery->state() : nullptr;
           const auto restored = manager->restore_latest(state);
           if (restored) {
+            // LR backoff + RNG nonce live outside the agent sections;
+            // re-apply them so a resumed recovery keeps its discipline.
+            if (recovery != nullptr)
+              dras::robust::RecoveryPolicy::apply(recovery->state(), agent);
             dras::util::log_info(
                 "resumed from {} (episode {} of {})", restored->string(),
                 trainer.episodes_done(), curriculum.size());
@@ -415,6 +514,12 @@ int main(int argc, char** argv) {
            {"total reward", format("{:.2f}", total_reward)}});
     }
     return 0;
+  } catch (const dras::robust::DivergenceError& e) {
+    std::cerr << format("error: {}\n", e.what());
+    if (!e.diagnostics().empty())
+      std::cerr << format("diagnostics dump: {}\n",
+                          e.diagnostics().string());
+    return dras::robust::kDivergenceExitCode;
   } catch (const std::exception& e) {
     return usage(e.what());
   }
