@@ -106,9 +106,23 @@ void decode_checkpoint(std::string_view payload, const TrainingState& state,
   require(in.boolean(), state.monitor != nullptr, "convergence-monitor");
   if (state.monitor != nullptr) state.monitor->load_state(in);
   if (in.boolean()) load_counters(in);
+  // Recovery is deliberately looser than the require()d components
+  // above: toggling --guard between runs must not strand an existing
+  // checkpoint directory in either direction.
   if (format_version >= 2) {
-    require(in.boolean(), state.recovery != nullptr, "recovery");
-    if (state.recovery != nullptr) state.recovery->load_state(in);
+    const bool stored = in.boolean();
+    if (stored && state.recovery != nullptr) {
+      state.recovery->load_state(in);
+    } else if (stored) {
+      // Guarded checkpoint read by an unguarded run: decode and discard
+      // the "RCVR" section so the stream stays aligned.
+      RecoveryState discarded;
+      discarded.load_state(in);
+    } else if (state.recovery != nullptr) {
+      // Unguarded checkpoint read by a guarded run: the captured run
+      // absorbed no rollbacks — same reset as the v1 migration.
+      *state.recovery = RecoveryState{};
+    }
   } else if (state.recovery != nullptr) {
     // v1→v2 migration: the file predates self-healing, so the run it
     // captures has absorbed no rollbacks and carries no LR backoff.

@@ -83,16 +83,20 @@ struct RecoveryState {
 
 /// The set of live objects a checkpoint captures / restores.  All
 /// pointers are non-owning; `agent` is required, the rest are optional
-/// — but a checkpoint written with a component present can only be
-/// restored with that component supplied (and vice versa), so save and
-/// restore sites must agree.
+/// — but a checkpoint written with a trainer/curriculum/monitor present
+/// can only be restored with that component supplied (and vice versa),
+/// so save and restore sites must agree.  `recovery` is the deliberate
+/// exception: presence may differ between save and restore, so toggling
+/// --guard between runs never strands a checkpoint directory.
 struct TrainingState {
   core::DrasAgent* agent = nullptr;
   train::Trainer* trainer = nullptr;
   train::Curriculum* curriculum = nullptr;
   train::ConvergenceMonitor* monitor = nullptr;
-  /// Self-healing recovery state (format v2).  Restoring a v1 checkpoint
-  /// with this supplied resets it to defaults — the v1→v2 migration.
+  /// Self-healing recovery state (format v2).  Restoring a checkpoint
+  /// without a stored "RCVR" section (v1 file, or v2 written unguarded)
+  /// with this supplied resets it to defaults; a stored section with no
+  /// slice supplied is decoded and discarded.
   RecoveryState* recovery = nullptr;
   /// Capture/restore the global obs::Registry counters ("OBSC" section)
   /// so resumed runs report cumulative telemetry.
@@ -105,11 +109,12 @@ struct TrainingState {
 
 /// Decode a payload produced by encode_checkpoint() into the objects in
 /// `state`.  `format_version` selects the payload layout (1..
-/// kFormatVersion); v1 payloads carry no recovery section, so a supplied
-/// `state.recovery` is reset to defaults — the v1→v2 migration.  Throws
-/// CheckpointError when the payload's component set does not match
-/// `state`, and util::SerializationError on malformed or mismatched
-/// section content.
+/// kFormatVersion); a payload with no recovery section (v1, or v2
+/// written unguarded) resets a supplied `state.recovery` to defaults,
+/// and a stored recovery section with no slice supplied is decoded and
+/// discarded.  Throws CheckpointError when the payload's
+/// trainer/curriculum/monitor set does not match `state`, and
+/// util::SerializationError on malformed or mismatched section content.
 void decode_checkpoint(std::string_view payload, const TrainingState& state,
                        std::uint32_t format_version = kFormatVersion);
 

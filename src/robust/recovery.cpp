@@ -97,12 +97,21 @@ std::optional<std::filesystem::path> RecoveryPolicy::recover(
   }
 
   ++attempts_;
+  // The snapshot may predate a rollback this instance already performed
+  // (the trainer persists post-rollback, but a repeat divergence can
+  // land before that save or the save path may not be in play): never
+  // let the restored history rewind the advance, or the retry would be
+  // a bit-identical replay of the one that just diverged — same
+  // lr_scale, same nonce, the whole budget burned on guaranteed
+  // repeats.
+  if (applied_ && applied_->rollbacks > state_.rollbacks) state_ = *applied_;
   state_.rollbacks += 1;
   state_.lr_scale *= options_.lr_backoff;
   // One fresh deterministic stream per rollback ever absorbed — the
   // cumulative count, so a retried episode never reuses a nonce even
   // across crash-resume.
   state_.rng_nonce = state_.rollbacks;
+  applied_ = state_;
   apply(state_, agent);
 
   m.rollbacks.add();

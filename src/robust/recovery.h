@@ -98,6 +98,10 @@ class RecoveryPolicy {
   /// `training_state.agent` must be set and `training_state.recovery`
   /// must point at this policy's state() (the restore overwrites it
   /// with the snapshot's own rollback history before it is advanced).
+  /// The advance is monotonic across this instance's lifetime: when the
+  /// restored snapshot predates a rollback already performed (nothing
+  /// was saved in between), the backoff compounds from the in-memory
+  /// history instead of replaying the previous retry bit-for-bit.
   [[nodiscard]] std::optional<std::filesystem::path> recover(
       const HealthReport& report, const ckpt::TrainingState& training_state,
       const HealthMonitor* monitor);
@@ -121,6 +125,12 @@ class RecoveryPolicy {
   RecoveryOptions options_;
   ckpt::CheckpointManager& manager_;
   ckpt::RecoveryState state_;
+  /// The state the last rollback advanced to.  restore_latest()
+  /// overwrites state_ with the snapshot's history; when that snapshot
+  /// predates this record, the next advance continues from here so
+  /// consecutive divergences with no intervening save still compound
+  /// the backoff and never reuse a nonce.
+  std::optional<ckpt::RecoveryState> applied_;
   std::size_t attempts_ = 0;
 };
 

@@ -270,6 +270,11 @@ std::vector<EpisodeResult> Trainer::run(Curriculum& curriculum,
               util::format("training diverged and recovery gave up: {}",
                            report.detail),
               run_options.recovery->options().diagnostics_path);
+        // Persist the advanced rollback state (compounded LR backoff,
+        // fresh nonce) immediately: a crash — or a repeat divergence —
+        // before the next cadence save would otherwise restore the
+        // pre-rollback snapshot and resume with the stale discipline.
+        save_checkpoint();
         // The restore rewound agent/trainer/curriculum/monitor; drop the
         // results past the restored boundary so the vector matches what
         // this call has (now) durably completed.

@@ -144,20 +144,35 @@ TEST(Migration, V2RoundTripCarriesRecoveryState) {
   EXPECT_EQ(target.trainer.episodes_done(), source.trainer.episodes_done());
 }
 
-TEST(Migration, V2RecoveryPresenceMustMatchOnDecode) {
-  // Like every other component: a checkpoint written with recovery
-  // state can only be restored with a slice supplied, and vice versa —
-  // silently dropping rollback history would break the retry budget.
+TEST(Migration, V2GuardToggleStaysRestorableBothWays) {
+  // Unlike trainer/curriculum/monitor, recovery presence may differ
+  // between save and restore: toggling --guard between runs must not
+  // strand an existing checkpoint directory in either direction.
   GoldenHarness source;
   RecoveryState recovery;
+  recovery.rollbacks = 3;
+  recovery.lr_scale = 0.125;
+  recovery.rng_nonce = 3;
   const std::string with = encode_checkpoint(source.state(&recovery));
   const std::string without = encode_checkpoint(source.state());
 
-  GoldenHarness target;
+  // Guarded run resuming an unguarded v2 checkpoint: the supplied slice
+  // resets to defaults (same as the v1 migration), never stale junk.
+  GoldenHarness guarded;
   RecoveryState sink;
-  EXPECT_THROW(decode_checkpoint(with, target.state()), CheckpointError);
-  EXPECT_THROW(decode_checkpoint(without, target.state(&sink)),
-               CheckpointError);
+  sink.rollbacks = 7;  // junk that must not survive the restore
+  sink.lr_scale = 0.25;
+  sink.rng_nonce = 9;
+  decode_checkpoint(without, guarded.state(&sink));
+  EXPECT_EQ(sink, RecoveryState{});
+
+  // Unguarded run resuming a guarded checkpoint: the stored "RCVR"
+  // section is decoded and discarded, leaving the stream aligned — the
+  // rest of the state restores as usual.
+  GoldenHarness unguarded;
+  EXPECT_NO_THROW(decode_checkpoint(with, unguarded.state()));
+  EXPECT_EQ(unguarded.trainer.episodes_done(),
+            source.trainer.episodes_done());
 }
 
 TEST(Migration, RejectsUnknownFormatVersions) {

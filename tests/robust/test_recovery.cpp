@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <filesystem>
 #include <fstream>
 #include <optional>
@@ -188,6 +189,119 @@ TEST_F(RecoveryTest, ParamBlowupRollsBackAndCompletes) {
   HealthLimits limits;
   limits.max_param_norm = 1e6;  // the tiny net starts far below this
   drill(ckpt::NumericFault::ParamBlowup, limits);
+}
+
+TEST_F(RecoveryTest, ConsecutiveDivergencesCompoundWithoutCadenceSaves) {
+  // Two divergences of the same episode with NO cadence save in between
+  // (every = 0): each retry must differ from the one that just failed —
+  // compounded LR backoff, fresh nonce — not a bit-identical replay
+  // that burns the budget on guaranteed repeats.
+  core::DrasAgent agent(tiny_agent_config(core::AgentKind::PG));
+  train::Curriculum curriculum(tiny_jobsets(kEpisodes));
+  train::Trainer trainer(agent, 16, {}, Harness::trainer_options());
+  ckpt::CheckpointManagerOptions manager_options =
+      Harness::manager_options(dir_);
+  manager_options.every = 0;  // baseline + post-rollback persists only
+  ckpt::CheckpointManager manager(manager_options);
+  HealthMonitor health;
+  RecoveryPolicy recovery(recovery_options(), manager);
+  train::RunOptions run_options;
+  run_options.checkpoints = &manager;
+  run_options.health = &health;
+  run_options.recovery = &recovery;
+  run_options.sabotage = [count = 0](core::DrasAgent& sabotaged,
+                                     train::EpisodeResult& result) mutable {
+    if (result.episode == 1 && count < 2) {
+      ++count;
+      apply_numeric_fault(ckpt::NumericFault::LossSpike, sabotaged, result);
+    }
+  };
+
+  const auto results = trainer.run(curriculum, run_options);
+
+  EXPECT_EQ(results.size(), kEpisodes);
+  EXPECT_EQ(recovery.attempts(), 2u);
+  EXPECT_EQ(recovery.state().rollbacks, 2u);
+  EXPECT_DOUBLE_EQ(recovery.state().lr_scale, 0.25);
+  EXPECT_EQ(recovery.state().rng_nonce, 2u);
+  EXPECT_DOUBLE_EQ(agent.optimizer().lr_scale(), 0.25);
+  EXPECT_EQ(agent.rng_nonce(), 2u);
+}
+
+TEST_F(RecoveryTest, RecoverCompoundsWhenRestoredSnapshotIsStale) {
+  // Drive the policy directly: two recoveries from the SAME snapshot
+  // with no save in between.  restore_latest() rewinds state() to the
+  // snapshot's history each time; the advance must continue from the
+  // in-memory record, never replaying a spent lr_scale/nonce pair.
+  core::DrasAgent agent(tiny_agent_config(core::AgentKind::PG));
+  ckpt::CheckpointManager manager(Harness::manager_options(dir_));
+  RecoveryPolicy recovery(recovery_options(), manager);
+  ckpt::TrainingState state;
+  state.agent = &agent;
+  state.recovery = &recovery.state();
+  (void)manager.save(state, 0);
+
+  HealthReport report;
+  report.fault = HealthFault::LossCeiling;
+  report.detail = "stale-snapshot drill";
+
+  ASSERT_TRUE(recovery.recover(report, state, nullptr).has_value());
+  EXPECT_EQ(recovery.state().rollbacks, 1u);
+  EXPECT_DOUBLE_EQ(recovery.state().lr_scale, 0.5);
+  EXPECT_EQ(recovery.state().rng_nonce, 1u);
+
+  ASSERT_TRUE(recovery.recover(report, state, nullptr).has_value());
+  EXPECT_EQ(recovery.state().rollbacks, 2u);
+  EXPECT_DOUBLE_EQ(recovery.state().lr_scale, 0.25);
+  EXPECT_EQ(recovery.state().rng_nonce, 2u);
+  EXPECT_DOUBLE_EQ(agent.optimizer().lr_scale(), 0.25);
+  EXPECT_EQ(agent.rng_nonce(), 2u);
+}
+
+TEST_F(RecoveryTest, CrashAfterRollbackResumesWithAdvancedState) {
+  // A crash right after a rollback must resume with the advanced
+  // discipline: the trainer persists the post-rollback state
+  // immediately, so the newest snapshot never carries the pre-rollback
+  // history.
+  std::atomic<bool> stop{false};
+  {
+    core::DrasAgent agent(tiny_agent_config(core::AgentKind::PG));
+    train::Curriculum curriculum(tiny_jobsets(kEpisodes));
+    train::Trainer trainer(agent, 16, {}, Harness::trainer_options());
+    ckpt::CheckpointManagerOptions manager_options =
+        Harness::manager_options(dir_);
+    manager_options.every = 0;
+    ckpt::CheckpointManager manager(manager_options);
+    HealthMonitor health;
+    RecoveryPolicy recovery(recovery_options(), manager);
+    train::RunOptions run_options;
+    run_options.checkpoints = &manager;
+    run_options.health = &health;
+    run_options.recovery = &recovery;
+    run_options.stop = &stop;
+    run_options.sabotage = one_shot(ckpt::NumericFault::LossSpike, 1);
+    // "Crash" at the first checkpoint written after the rollback.
+    run_options.on_checkpoint = [&recovery, &stop](
+                                    std::size_t, const std::filesystem::path&) {
+      if (recovery.attempts() > 0) stop.store(true);
+    };
+    (void)trainer.run(curriculum, run_options);
+    ASSERT_EQ(recovery.attempts(), 1u);
+  }
+
+  // "Resume" in a fresh process: the restored recovery slice carries
+  // the rollback, its backoff and its nonce.
+  Harness resumed(dir_);
+  ckpt::RecoveryState slice;
+  ckpt::TrainingState state;
+  state.agent = &resumed.agent;
+  state.trainer = &resumed.trainer;
+  state.curriculum = &resumed.curriculum;
+  state.recovery = &slice;
+  ASSERT_TRUE(resumed.manager.restore_latest(state).has_value());
+  EXPECT_EQ(slice.rollbacks, 1u);
+  EXPECT_DOUBLE_EQ(slice.lr_scale, 0.5);
+  EXPECT_EQ(slice.rng_nonce, 1u);
 }
 
 TEST_F(RecoveryTest, ExhaustedBudgetThrowsAndWritesDiagnostics) {
