@@ -1,5 +1,6 @@
 #include "bench_common.h"
 
+#include "ckpt/manager.h"
 #include "exec/parallel_evaluator.h"
 #include "obs/metrics.h"
 #include "obs/sink.h"
@@ -27,6 +28,24 @@ ObsSession::ObsSession(int argc, const char* const* argv) {
   const long long jobs = args.get_int("jobs", 0);
   jobs_ = jobs <= 0 ? exec::default_concurrency()
                     : static_cast<std::size_t>(jobs);
+  rollout_requested_ =
+      args.has("rollout-workers") || args.has("rollout-batch");
+  rollout_workers_ =
+      static_cast<std::size_t>(args.get_int("rollout-workers", 1));
+  rollout_batch_ =
+      static_cast<std::size_t>(args.get_int("rollout-batch", 0));
+  warm_start_ = args.get("warm-start", "");
+  save_warm_start_ = args.get("save-warm-start", "");
+}
+
+std::unique_ptr<rollout::RolloutPool> ObsSession::make_rollout_pool()
+    const {
+  if (!rollout_requested_) return nullptr;
+  rollout::RolloutOptions options;
+  options.workers = rollout_workers_;
+  options.batch = rollout_batch_;
+  options.tracer = tracer_.get();
+  return std::make_unique<rollout::RolloutPool>(options);
 }
 
 ObsSession::~ObsSession() {
@@ -114,14 +133,43 @@ std::vector<train::Jobset> build_bench_curriculum(
 
 void train_dras_agent(core::DrasAgent& agent, const Scenario& scenario,
                       std::size_t episodes, std::size_t jobs_per_episode,
-                      std::uint64_t curriculum_seed) {
-  const auto curriculum = build_bench_curriculum(
-      scenario, episodes, jobs_per_episode, curriculum_seed);
+                      std::uint64_t curriculum_seed,
+                      rollout::RolloutPool* rollout) {
+  auto jobsets = build_bench_curriculum(scenario, episodes,
+                                        jobs_per_episode, curriculum_seed);
   train::TrainerOptions trainer_options;
   trainer_options.validate_each_episode = false;
   train::Trainer trainer(agent, scenario.preset.nodes, {}, trainer_options);
-  (void)trainer.run(curriculum);
+  if (rollout != nullptr) {
+    train::Curriculum curriculum(std::move(jobsets));
+    train::RunOptions run_options;
+    run_options.rollout = rollout;
+    (void)trainer.run(curriculum, run_options);
+  } else {
+    (void)trainer.run(jobsets);
+  }
   agent.set_training(false);
+}
+
+std::optional<std::filesystem::path> load_warm_start(
+    const std::filesystem::path& dir, core::DrasAgent& agent) {
+  const auto newest = ckpt::newest_checkpoint(dir / agent.name());
+  if (!newest) return std::nullopt;
+  ckpt::load_agent_from_checkpoint(*newest, agent);
+  return newest;
+}
+
+std::filesystem::path save_warm_start(const std::filesystem::path& dir,
+                                      core::DrasAgent& agent,
+                                      std::size_t episode) {
+  ckpt::CheckpointManagerOptions options;
+  options.dir = dir / agent.name();
+  std::filesystem::create_directories(options.dir);
+  ckpt::CheckpointManager manager(options);
+  ckpt::TrainingState state;
+  state.agent = &agent;
+  state.telemetry = false;  // a warm start adopts parameters, not counters
+  return manager.save(state, episode);
 }
 
 void MethodSet::train_agents(const Scenario& scenario, std::size_t episodes,

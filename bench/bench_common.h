@@ -6,14 +6,17 @@
 // prints both a human-readable table and machine-readable CSV rows.
 #pragma once
 
+#include <filesystem>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/dras_agent.h"
 #include "obs/trace.h"
 #include "core/presets.h"
+#include "rollout/rollout_pool.h"
 #include "sched/bin_packing.h"
 #include "sched/decima_pg.h"
 #include "sched/fcfs_easy.h"
@@ -81,7 +84,22 @@ class MethodSet {
 /// trains the same way.
 void train_dras_agent(core::DrasAgent& agent, const Scenario& scenario,
                       std::size_t episodes, std::size_t jobs_per_episode,
-                      std::uint64_t curriculum_seed = 0);
+                      std::uint64_t curriculum_seed = 0,
+                      rollout::RolloutPool* rollout = nullptr);
+
+/// Warm start: load the agent's parameters from the newest checkpoint
+/// under `<dir>/<agent-name>`.  Returns the checkpoint used, or nullopt
+/// when the directory holds none.  A checkpoint written with a different
+/// agent configuration is rejected (util::SerializationError) — the
+/// fingerprint guard, see ckpt::load_agent_from_checkpoint.
+std::optional<std::filesystem::path> load_warm_start(
+    const std::filesystem::path& dir, core::DrasAgent& agent);
+
+/// Save an agent-only checkpoint under `<dir>/<agent-name>` for a later
+/// --warm-start.  Returns the path written.
+std::filesystem::path save_warm_start(const std::filesystem::path& dir,
+                                      core::DrasAgent& agent,
+                                      std::size_t episode);
 
 /// Evaluate every method on the same trace; returns results in roster
 /// order.  Reward accounting uses the scenario's reward function.  With
@@ -105,7 +123,9 @@ void print_preamble(const std::string& experiment, const Scenario& scenario,
 
 /// Shared telemetry + execution plumbing for the bench harnesses.  Parses
 /// `--trace-out FILE`, `--trace-format chrome|jsonl`, `--metrics-out FILE`,
-/// `--profile` and `--jobs N` from argv; when requested, installs the
+/// `--profile`, `--jobs N`, `--rollout-workers N`, `--rollout-batch B`,
+/// `--warm-start DIR` and `--save-warm-start DIR` from argv; when
+/// requested, installs the
 /// process-default tracer (every Simulator the bench creates feeds it) and
 /// enables the metrics registry.  The destructor finalizes the trace,
 /// dumps metrics and prints the --profile table to stderr.  With none of
@@ -125,11 +145,36 @@ class ObsSession {
   /// concurrency.
   [[nodiscard]] std::size_t jobs() const noexcept { return jobs_; }
 
+  /// Data-parallel rollout pool from --rollout-workers/--rollout-batch,
+  /// or nullptr when neither flag was given (legacy serial training).
+  [[nodiscard]] std::unique_ptr<rollout::RolloutPool> make_rollout_pool()
+      const;
+
+  /// Checkpoint directory from --warm-start DIR; empty when absent.
+  /// Feed to load_warm_start() before training learned agents.
+  [[nodiscard]] const std::filesystem::path& warm_start() const noexcept {
+    return warm_start_;
+  }
+
+  /// Checkpoint directory from --save-warm-start DIR; empty when absent.
+  /// Feed to save_warm_start() after training learned agents — a later
+  /// run of the *same bench* consumes it via --warm-start (the config
+  /// fingerprint rejects checkpoints from a different bench setup).
+  [[nodiscard]] const std::filesystem::path& save_warm_start_dir()
+      const noexcept {
+    return save_warm_start_;
+  }
+
  private:
   std::unique_ptr<obs::EventTracer> tracer_;
   std::string metrics_out_;
   bool profile_ = false;
   std::size_t jobs_ = 1;
+  bool rollout_requested_ = false;
+  std::size_t rollout_workers_ = 1;
+  std::size_t rollout_batch_ = 0;
+  std::filesystem::path warm_start_;
+  std::filesystem::path save_warm_start_;
 };
 
 }  // namespace dras::benchx

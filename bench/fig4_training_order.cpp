@@ -6,6 +6,15 @@
 // from synthetic jobsets converges slowly.  This bench trains one agent
 // per ordering on identical jobset pools and prints the per-episode
 // validation reward curves.
+//
+// Extra knobs: --rollout-workers N / --rollout-batch B train each agent
+// through the data-parallel rollout engine (batch > 1 changes the math
+// from per-episode to per-round updates; workers never changes results
+// at a fixed batch), --warm-start DIR seeds each agent from the newest
+// checkpoint under DIR/<agent-name> before training, and
+// --save-warm-start DIR keeps the sampled-first agent (the paper's best
+// ordering) for a later --warm-start run.  All three orderings share
+// one agent config, so only one is saved — the dir stays unambiguous.
 #include <iostream>
 
 #include "bench_common.h"
@@ -39,6 +48,11 @@ int main(int argc, char** argv) {
        {JobsetPhase::Synthetic, JobsetPhase::Sampled, JobsetPhase::Real}},
   };
 
+  const auto rollout = obs_session.make_rollout_pool();
+  if (rollout != nullptr)
+    std::cout << format("# rollout: {} workers, batch {}\n",
+                        rollout->workers(), rollout->batch());
+
   std::cout << "csv:ordering,episode,phase,validation_reward,avg_wait_s\n";
   std::vector<double> final_rewards;
   for (const auto& ordering : orderings) {
@@ -50,17 +64,25 @@ int main(int argc, char** argv) {
     options.jobs_per_set = kJobsPerSet;
     options.seed = 77;  // identical pools; only the order differs
     options.order = ordering.order;
-    const auto curriculum =
-        dras::train::build_curriculum(scenario.model, real, options);
+    dras::train::Curriculum curriculum(
+        dras::train::build_curriculum(scenario.model, real, options));
 
     dras::core::DrasAgent agent(scenario.preset.agent_config(
         dras::core::AgentKind::PG, dras::util::derive_seed(1, "fig4")));
+    if (!obs_session.warm_start().empty()) {
+      const auto loaded =
+          benchx::load_warm_start(obs_session.warm_start(), agent);
+      std::cout << format("# warm start [{}]: {}\n", ordering.name,
+                          loaded ? loaded->string() : "no checkpoint found");
+    }
     dras::train::Trainer trainer(agent, scenario.preset.nodes, validation);
+    dras::train::RunOptions run_options;
+    run_options.rollout = rollout.get();
+    const auto results = trainer.run(curriculum, run_options);
     double last = 0.0;
-    for (const auto& jobset : curriculum) {
-      const auto result = trainer.run_episode(jobset);
+    for (const auto& result : results) {
       std::cout << format("csv:{},{},{},{:.3f},{:.1f}\n", ordering.name,
-                          result.episode, to_string(jobset.phase),
+                          result.episode, to_string(result.phase),
                           result.validation_reward,
                           result.validation_summary.avg_wait);
       last = result.validation_reward;
@@ -68,6 +90,13 @@ int main(int argc, char** argv) {
     final_rewards.push_back(last);
     std::cout << format("# {} final validation reward {:.3f}\n",
                         ordering.name, last);
+    if (!obs_session.save_warm_start_dir().empty() &&
+        &ordering == &orderings.front()) {
+      const auto saved = benchx::save_warm_start(
+          obs_session.save_warm_start_dir(), agent, results.size());
+      std::cout << format("# warm start saved [{}]: {}\n", ordering.name,
+                          saved.string());
+    }
   }
 
   std::cout << format(

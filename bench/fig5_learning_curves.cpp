@@ -6,7 +6,15 @@
 // static methods (FCFS, BinPacking, Random, Optimization) are horizontal
 // lines.  The paper's signature: DRAS starts near Random and climbs past
 // the heuristics as it converges.
+//
+// Extra knobs: --rollout-workers N / --rollout-batch B collect the DRAS
+// agents' training episodes through the data-parallel rollout engine
+// (one reduced update per per-episode round here, so curves stay
+// per-episode), --warm-start DIR seeds each DRAS agent from the
+// newest checkpoint under DIR/<agent-name>, and --save-warm-start DIR
+// writes the trained agents back out for a later --warm-start run.
 #include <iostream>
+#include <span>
 
 #include "bench_common.h"
 #include "util/format.h"
@@ -61,15 +69,35 @@ int main(int argc, char** argv) {
     for (std::size_t e = 0; e < kEpisodes; ++e)
       std::cout << format("csv:{},{},{:.3f}\n", name, e, value);
 
+  const auto rollout = obs_session.make_rollout_pool();
+  if (rollout != nullptr)
+    std::cout << format("# rollout: {} workers\n", rollout->workers());
+  if (!obs_session.warm_start().empty()) {
+    for (auto* agent : {&methods.dras_pg(), &methods.dras_dql()}) {
+      const auto loaded =
+          benchx::load_warm_start(obs_session.warm_start(), *agent);
+      std::cout << format("# warm start [{}]: {}\n", agent->name(),
+                          loaded ? loaded->string() : "no checkpoint found");
+    }
+  }
+
   // Learned methods: train one jobset per episode, evaluate frozen.
   double dras_pg_final = 0.0, random_line = static_lines[2].second;
   for (std::size_t e = 0; e < kEpisodes; ++e) {
     const auto& jobset = curriculum[e % curriculum.size()];
     for (auto* agent : {&methods.dras_pg(), &methods.dras_dql()}) {
-      agent->set_training(true);
-      dras::sim::Simulator sim(scenario.preset.nodes);
-      (void)sim.run(jobset.trace, *agent);
-      agent->set_training(false);
+      if (rollout != nullptr) {
+        // One-slot round through the rollout engine: clone, roll out,
+        // apply the reduced update — the frozen original never trains
+        // in place.
+        (void)rollout->collect(*agent, scenario.preset.nodes,
+                               std::span(&jobset, 1), e);
+      } else {
+        agent->set_training(true);
+        dras::sim::Simulator sim(scenario.preset.nodes);
+        (void)sim.run(jobset.trace, *agent);
+        agent->set_training(false);
+      }
       const double value = validation_reward(*agent);
       std::cout << format("csv:{},{},{:.3f}\n", agent->name(), e, value);
       if (agent->name() == "DRAS-PG") dras_pg_final = value;
@@ -82,6 +110,15 @@ int main(int argc, char** argv) {
     methods.decima().set_training(false);
     std::cout << format("csv:{},{},{:.3f}\n", methods.decima().name(), e,
                         validation_reward(methods.decima()));
+  }
+
+  if (!obs_session.save_warm_start_dir().empty()) {
+    for (auto* agent : {&methods.dras_pg(), &methods.dras_dql()}) {
+      const auto saved = benchx::save_warm_start(
+          obs_session.save_warm_start_dir(), *agent, kEpisodes);
+      std::cout << format("# warm start saved [{}]: {}\n", agent->name(),
+                          saved.string());
+    }
   }
 
   std::cout << format(

@@ -1,18 +1,29 @@
-// Micro-benchmark: parallel evaluation scaling.
+// Micro-benchmark: parallel evaluation + rollout-training scaling.
 //
-// Evaluates a fixed (8 traces x 1 policy) grid with the exec subsystem
-// at --jobs 1/2/4/8 and reports wall time and speedup per worker count.
-// Before timing, every parallel result is checked cell-by-cell against
-// the serial baseline; any divergence is a determinism bug and the bench
-// exits non-zero.  Emits one JSON line per configuration alongside the
-// human-readable table, matching the other micro benches' output style.
+// Part 1 evaluates a fixed (8 traces x 1 policy) grid with the exec
+// subsystem at --jobs 1/2/4/8 and reports wall time and speedup per
+// worker count.  Part 2 trains a small DRAS-PG agent through the
+// data-parallel rollout engine at --rollout-workers 1/2/4/8 with a fixed
+// round batch of 4, so every worker count computes identical math.
+// Before timing, every parallel result is checked against the serial
+// baseline — cell-by-cell for the evaluation grid, parameter-for-
+// parameter for the trained networks; any divergence is a determinism
+// bug and the bench exits non-zero.  Emits one JSON line per
+// configuration alongside the human-readable tables, matching the other
+// micro benches' output style.
 #include <chrono>
+#include <cstring>
 #include <iostream>
 #include <vector>
 
+#include "core/dras_agent.h"
+#include "core/presets.h"
 #include "exec/parallel_evaluator.h"
 #include "metrics/report.h"
+#include "rollout/rollout_pool.h"
 #include "sched/fcfs_easy.h"
+#include "train/curriculum.h"
+#include "train/trainer.h"
 #include "util/format.h"
 #include "util/rng.h"
 #include "workload/models.h"
@@ -114,11 +125,91 @@ int main() {
   dras::metrics::print_table(
       std::cout, {"jobs", "best seconds", "speedup", "identical"}, table);
 
+  // --- Part 2: rollout-training scaling. ---
+  constexpr std::size_t kTrainEpisodes = 8;
+  constexpr std::size_t kRolloutBatch = 4;
+  const auto preset = dras::core::theta_mini();
+  std::vector<dras::train::Jobset> jobsets;
+  for (std::size_t e = 0; e < kTrainEpisodes; ++e) {
+    dras::workload::GenerateOptions options;
+    options.num_jobs = 200;
+    options.seed = dras::util::derive_seed(7, format("rollout-train-{}", e));
+    jobsets.push_back(dras::train::Jobset{
+        format("rollout-train-{}", e), dras::train::JobsetPhase::Synthetic,
+        dras::workload::generate_trace(model, options)});
+  }
+
+  // Train from scratch through the rollout engine; returns the final
+  // parameters.  `workers` is a pure throughput knob — the batch (the
+  // math knob) stays fixed at kRolloutBatch.
+  const auto train_rollout = [&](std::size_t workers) {
+    dras::core::DrasAgent agent(preset.agent_config(
+        dras::core::AgentKind::PG,
+        dras::util::derive_seed(7, "rollout-scaling")));
+    dras::rollout::RolloutPool pool({.workers = workers,
+                                     .batch = kRolloutBatch});
+    dras::train::Curriculum curriculum(jobsets);
+    dras::train::TrainerOptions trainer_options;
+    trainer_options.validate_each_episode = false;
+    dras::train::Trainer trainer(agent, preset.nodes, {}, trainer_options);
+    dras::train::RunOptions run_options;
+    run_options.rollout = &pool;
+    (void)trainer.run(curriculum, run_options);
+    const auto params = agent.network().parameters();
+    return std::vector<float>(params.begin(), params.end());
+  };
+
+  std::cout << format(
+      "\nrollout training scaling: {} episodes, batch {}, best of {} "
+      "repetitions\n\n",
+      kTrainEpisodes, kRolloutBatch, kRepetitions);
+
+  const auto params_baseline = train_rollout(1);
+  bool all_params_identical = true;
+  double train_serial_best = 0.0;
+  std::vector<std::vector<std::string>> train_table;
+  for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
+    double best = 0.0;
+    bool identical = true;
+    for (int rep = 0; rep < kRepetitions; ++rep) {
+      const double start = now_seconds();
+      const auto params = train_rollout(workers);
+      const double elapsed = now_seconds() - start;
+      if (rep == 0 || elapsed < best) best = elapsed;
+      identical &= params.size() == params_baseline.size() &&
+                   std::memcmp(params.data(), params_baseline.data(),
+                               params.size() * sizeof(float)) == 0;
+    }
+    if (workers == 1) train_serial_best = best;
+    const double speedup = best > 0.0 ? train_serial_best / best : 0.0;
+    all_params_identical &= identical;
+    train_table.push_back({format("{}", workers), format("{:.3f}", best),
+                           format("{:.2f}x", speedup),
+                           identical ? "yes" : "NO"});
+    std::cout << format(
+        "{{\"name\":\"rollout_training/workers:{}\",\"episodes\":{},"
+        "\"batch\":{},\"workers\":{},\"best_seconds\":{:.6f},"
+        "\"speedup\":{:.3f},\"identical\":{}}}\n",
+        workers, kTrainEpisodes, kRolloutBatch, workers, best, speedup,
+        identical ? "true" : "false");
+  }
+
+  std::cout << "\n";
+  dras::metrics::print_table(
+      std::cout, {"workers", "best seconds", "speedup", "identical"},
+      train_table);
+
   if (!all_identical) {
     std::cerr << "\nFAIL: parallel results diverged from the serial "
                  "baseline\n";
     return 1;
   }
-  std::cout << "\nall parallel results bit-identical to --jobs 1\n";
+  if (!all_params_identical) {
+    std::cerr << "\nFAIL: rollout-trained parameters diverged from the "
+                 "single-worker baseline\n";
+    return 1;
+  }
+  std::cout << "\nall parallel results bit-identical to --jobs 1; all "
+               "rollout-trained parameters bit-identical to workers=1\n";
   return 0;
 }

@@ -56,17 +56,20 @@ void require(bool stored, bool supplied, std::string_view component) {
 }  // namespace
 
 void RecoveryState::save_state(util::BinaryWriter& out) const {
-  out.section("RCVR", 1);
+  out.section("RCVR", 2);
   out.u64(rollbacks);
   out.f64(lr_scale);
   out.u64(rng_nonce);
+  out.u64(healthy_streak);
 }
 
 void RecoveryState::load_state(util::BinaryReader& in) {
-  in.section("RCVR", 1);
+  const std::uint32_t version = in.section("RCVR", 2);
   rollbacks = in.u64();
   lr_scale = in.f64();
   rng_nonce = in.u64();
+  // v1 predates LR recovery decay: the captured run tracked no streak.
+  healthy_streak = version >= 2 ? in.u64() : 0;
 }
 
 std::string encode_checkpoint(const TrainingState& state) {

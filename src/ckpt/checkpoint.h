@@ -73,6 +73,10 @@ struct RecoveryState {
   std::uint64_t rollbacks = 0;  ///< Divergence rollbacks absorbed so far.
   double lr_scale = 1.0;        ///< Product of per-rollback LR backoffs.
   std::uint64_t rng_nonce = 0;  ///< Perturbs the agent's episode stream.
+  /// Consecutive healthy episodes since the last rollback (or the last
+  /// LR-recovery step) — feeds the geometric lr_scale decay back toward
+  /// 1.0.  "RCVR" section v2; v1 files read as 0.
+  std::uint64_t healthy_streak = 0;
 
   void save_state(util::BinaryWriter& out) const;
   void load_state(util::BinaryReader& in);

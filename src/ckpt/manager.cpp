@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "core/dras_agent.h"
 #include "obs/metrics.h"
 #include "util/binio.h"
 #include "util/format.h"
@@ -103,6 +104,32 @@ void CheckpointManager::prune() {
                      ec.message());
     }
   }
+}
+
+std::optional<std::filesystem::path> newest_checkpoint(
+    const std::filesystem::path& dir) {
+  CheckpointManager manager({.dir = dir});
+  std::vector<std::filesystem::path> files = manager.list();
+  if (files.empty()) return std::nullopt;
+  return files.back();
+}
+
+void load_agent_from_checkpoint(const std::filesystem::path& path,
+                                core::DrasAgent& agent) {
+  std::string bytes;
+  try {
+    bytes = util::read_file(path);
+  } catch (const std::exception& e) {
+    throw CheckpointError(util::format("cannot read checkpoint {}: {}",
+                                       path.string(), e.what()));
+  }
+  const std::string payload = unframe_payload(bytes);
+  util::BinaryReader in(payload);
+  // "AGNT" leads the payload in every format version; the sections after
+  // it (trainer cursor, telemetry, recovery, ...) are deliberately left
+  // unread — a warm start adopts the parameters, not the run.
+  agent.load_state(in);
+  util::log_info("warm start: loaded agent from {}", path.string());
 }
 
 std::optional<std::filesystem::path> CheckpointManager::restore_latest(

@@ -74,4 +74,20 @@ class CheckpointManager {
   std::optional<std::size_t> last_saved_;
 };
 
+/// Newest checkpoint file in `dir` by episode number, or nullopt when
+/// the directory holds none (or does not exist).  Same naming filter as
+/// CheckpointManager::list().
+[[nodiscard]] std::optional<std::filesystem::path> newest_checkpoint(
+    const std::filesystem::path& dir);
+
+/// Warm start: load only the agent slice of a checkpoint into `agent`,
+/// ignoring whatever trainer/curriculum/monitor/telemetry state the file
+/// also carries ("AGNT" is always the first payload section, so the
+/// trailing sections are simply never read).  The agent's configuration
+/// fingerprint still guards the load — a checkpoint written with a
+/// different topology, seed or hyper-parameters is rejected with
+/// util::SerializationError.  Framing defects throw CheckpointError.
+void load_agent_from_checkpoint(const std::filesystem::path& path,
+                                core::DrasAgent& agent);
+
 }  // namespace dras::ckpt

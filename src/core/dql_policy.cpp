@@ -87,12 +87,42 @@ void DQLPolicy::update() {
     grad_sq += static_cast<double>(g) * static_cast<double>(g);
   last_loss_ = loss_acc / static_cast<double>(memory_.size());
   last_grad_norm_ = std::sqrt(grad_sq);
-  optimizer_.step(network_.parameters(), network_.gradients());
+  if (sink_ != nullptr) {
+    // Deferred mode (data-parallel rollout): deposit the batch-mean
+    // gradient for the round's reduction; parameters stay frozen at
+    // their round-start values.  ε still decays — the schedule is per
+    // update consumed, and it steers the clone's own exploration.
+    sink_->add(network_.gradients(), last_loss_);
+  } else {
+    optimizer_.step(network_.parameters(), network_.gradients());
+  }
   network_.zero_gradients();
   memory_.clear();
 
   epsilon_ = std::max(config_.epsilon_min, epsilon_ * config_.epsilon_decay);
   ++updates_;
+}
+
+void DQLPolicy::apply_reduced_update(std::span<const float> gradient,
+                                     double mean_loss,
+                                     std::size_t update_count) {
+  if (update_count == 0) return;
+  const auto grads = network_.gradients();
+  if (gradient.size() != grads.size())
+    throw std::invalid_argument(
+        "DQLPolicy::apply_reduced_update: gradient length mismatch");
+  std::copy(gradient.begin(), gradient.end(), grads.begin());
+  double grad_sq = 0.0;
+  for (const float g : grads)
+    grad_sq += static_cast<double>(g) * static_cast<double>(g);
+  last_loss_ = mean_loss;
+  last_grad_norm_ = std::sqrt(grad_sq);
+  optimizer_.step(network_.parameters(), grads);
+  network_.zero_gradients();
+  for (std::size_t k = 0; k < update_count; ++k)
+    epsilon_ =
+        std::max(config_.epsilon_min, epsilon_ * config_.epsilon_decay);
+  updates_ += update_count;
 }
 
 void DQLPolicy::save_state(util::BinaryWriter& out) const {

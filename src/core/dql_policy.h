@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "nn/adam.h"
+#include "nn/grad_accumulator.h"
 #include "nn/network.h"
 #include "util/rng.h"
 
@@ -75,6 +76,28 @@ class DQLPolicy {
 
   void discard_memory() { memory_.clear(); }
 
+  // --- Data-parallel rollout hooks (src/rollout) ---
+
+  /// Divert updates into `sink`: update() computes the batch-mean TD
+  /// gradient and telemetry exactly as usual — including the per-update
+  /// ε decay, which drives the clone's own later exploration — but
+  /// deposits the gradient instead of stepping the optimiser.  Null
+  /// restores normal stepping.  Not owned, never serialized.
+  void set_gradient_sink(nn::GradientAccumulator* sink) noexcept {
+    sink_ = sink;
+  }
+  [[nodiscard]] nn::GradientAccumulator* gradient_sink() const noexcept {
+    return sink_;
+  }
+
+  /// One optimiser step with an externally reduced mean gradient
+  /// standing in for `update_count` deferred updates: ε decays once per
+  /// deferred update (the schedule is per update consumed, not per
+  /// optimiser step) and the update counter advances accordingly.
+  /// No-op when update_count is 0.
+  void apply_reduced_update(std::span<const float> gradient,
+                            double mean_loss, std::size_t update_count);
+
   /// Checkpoint hooks ("DQLP" section): network parameters, optimiser
   /// moments, the ε schedule position, update telemetry and any pending
   /// transitions.  A restored policy continues bit-identically.
@@ -98,6 +121,7 @@ class DQLPolicy {
   std::size_t updates_ = 0;
   double last_loss_ = 0.0;
   double last_grad_norm_ = 0.0;
+  nn::GradientAccumulator* sink_ = nullptr;  // transient, never serialized
 };
 
 }  // namespace dras::core

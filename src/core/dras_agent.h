@@ -148,6 +148,51 @@ class DrasAgent final : public sim::Scheduler {
   /// dump.  Survives episode boundaries; not checkpointed.
   [[nodiscard]] std::vector<std::uint32_t> recent_actions() const;
 
+  // --- Data-parallel rollout hooks (src/rollout) ---
+
+  /// Divert policy updates into `sink` (see the policy heads): the
+  /// rollout pool arms each clone with a per-slot accumulator so its
+  /// episode leaves the parameters untouched.  Null restores normal
+  /// in-place optimisation.  Not owned, never serialized or cloned as
+  /// an armed pointer (the original is always unarmed when cloned).
+  void set_gradient_sink(nn::GradientAccumulator* sink) noexcept {
+    if (pg_) pg_->set_gradient_sink(sink);
+    if (dql_) dql_->set_gradient_sink(sink);
+  }
+
+  /// One optimiser step with the round's reduced mean gradient standing
+  /// in for `update_count` deferred clone updates (forwards to the
+  /// active policy head).  No-op when update_count is 0.
+  void apply_reduced_update(std::span<const float> gradient,
+                            double mean_loss, std::size_t update_count) {
+    if (pg_) pg_->apply_reduced_update(gradient, mean_loss, update_count);
+    if (dql_) dql_->apply_reduced_update(gradient, mean_loss, update_count);
+  }
+
+  /// Scheduling instances consumed so far (the `update_every` cadence
+  /// phase, which carries across episodes and is checkpointed).
+  [[nodiscard]] std::size_t instances_seen() const noexcept {
+    return instances_seen_;
+  }
+  /// Advance the cadence phase by the instances a round's clones
+  /// consumed, so a later serial episode flushes on the same schedule a
+  /// legacy run would have.
+  void advance_instances(std::size_t delta) noexcept {
+    instances_seen_ += delta;
+  }
+
+  /// Adopt a finished clone's episode telemetry (episode reward/action
+  /// count and the recent-actions diagnostics ring).  Called per slot in
+  /// task-index order, so after a round the original reports the last
+  /// slot's episode — mirroring what the legacy loop's final episode
+  /// would have left behind.
+  void adopt_episode_telemetry(const DrasAgent& clone) {
+    episode_reward_ = clone.episode_reward_;
+    episode_actions_ = clone.episode_actions_;
+    recent_actions_ = clone.recent_actions_;
+    recent_actions_head_ = clone.recent_actions_head_;
+  }
+
  private:
   /// Select a job index within `window`; stages the experience so that
   /// `commit_reward` can attach the post-action reward.

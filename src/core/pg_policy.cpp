@@ -110,10 +110,51 @@ void PGPolicy::update() {
     grad_sq += static_cast<double>(g) * static_cast<double>(g);
   last_loss_ = loss_acc / static_cast<double>(k_total);
   last_grad_norm_ = std::sqrt(grad_sq);
-  optimizer_.step(network_.parameters(), network_.gradients());
+  if (sink_ != nullptr) {
+    // Deferred mode (data-parallel rollout): deposit the batch-mean
+    // gradient for the round's reduction; parameters stay frozen at
+    // their round-start values.
+    sink_->add(network_.gradients(), last_loss_);
+  } else {
+    optimizer_.step(network_.parameters(), network_.gradients());
+  }
   network_.zero_gradients();
   memory_.clear();
   ++updates_;
+}
+
+void PGPolicy::apply_reduced_update(std::span<const float> gradient,
+                                    double mean_loss,
+                                    std::size_t update_count) {
+  if (update_count == 0) return;
+  const auto grads = network_.gradients();
+  if (gradient.size() != grads.size())
+    throw std::invalid_argument(
+        "PGPolicy::apply_reduced_update: gradient length mismatch");
+  std::copy(gradient.begin(), gradient.end(), grads.begin());
+  double grad_sq = 0.0;
+  for (const float g : grads)
+    grad_sq += static_cast<double>(g) * static_cast<double>(g);
+  last_loss_ = mean_loss;
+  last_grad_norm_ = std::sqrt(grad_sq);
+  optimizer_.step(network_.parameters(), grads);
+  network_.zero_gradients();
+  updates_ += update_count;
+}
+
+void PGPolicy::merge_baseline_delta(const BaselineSnapshot& base,
+                                    const PGPolicy& updated) {
+  const std::size_t k_total = updated.baseline_sum_.size();
+  if (baseline_sum_.size() < k_total) {
+    baseline_sum_.resize(k_total, 0.0);
+    baseline_count_.resize(k_total, 0);
+  }
+  for (std::size_t k = 0; k < k_total; ++k) {
+    const double base_sum = k < base.sum.size() ? base.sum[k] : 0.0;
+    const std::size_t base_count = k < base.count.size() ? base.count[k] : 0;
+    baseline_sum_[k] += updated.baseline_sum_[k] - base_sum;
+    baseline_count_[k] += updated.baseline_count_[k] - base_count;
+  }
 }
 
 void PGPolicy::save_state(util::BinaryWriter& out) const {

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "nn/adam.h"
+#include "nn/grad_accumulator.h"
 #include "nn/network.h"
 #include "util/rng.h"
 
@@ -76,6 +77,44 @@ class PGPolicy {
   /// training to evaluation mid-run).
   void discard_memory() { memory_.clear(); }
 
+  // --- Data-parallel rollout hooks (src/rollout) ---
+
+  /// Divert updates into `sink`: update() computes the batch-mean
+  /// gradient, loss and baseline bookkeeping exactly as usual, but
+  /// deposits the gradient instead of stepping the optimiser, so the
+  /// parameters stay frozen at their round-start values.  Null restores
+  /// normal stepping.  The pointer is not owned and must outlive the
+  /// diverted updates; it is never serialized.
+  void set_gradient_sink(nn::GradientAccumulator* sink) noexcept {
+    sink_ = sink;
+  }
+  [[nodiscard]] nn::GradientAccumulator* gradient_sink() const noexcept {
+    return sink_;
+  }
+
+  /// One optimiser step with an externally reduced mean gradient
+  /// standing in for `update_count` deferred updates (telemetry — loss,
+  /// grad norm, update counter — advances accordingly).  No-op when
+  /// update_count is 0.
+  void apply_reduced_update(std::span<const float> gradient,
+                            double mean_loss, std::size_t update_count);
+
+  /// Copy of the running baseline statistics, taken at a round boundary
+  /// so merge_baseline_delta() can fold in what each clone learned.
+  struct BaselineSnapshot {
+    std::vector<double> sum;
+    std::vector<std::size_t> count;
+  };
+  [[nodiscard]] BaselineSnapshot baseline_snapshot() const {
+    return BaselineSnapshot{baseline_sum_, baseline_count_};
+  }
+  /// Fold the baseline changes `updated` made relative to `base` into
+  /// this policy.  Callers own the reduction-order contract: merge
+  /// clones in ascending task index so the double sums are bit-stable
+  /// for any worker count.
+  void merge_baseline_delta(const BaselineSnapshot& base,
+                            const PGPolicy& updated);
+
   /// Checkpoint hooks ("PGPO" section): network parameters, optimiser
   /// moments, baseline statistics, update telemetry and any pending
   /// on-policy memory.  A restored policy continues bit-identically.
@@ -101,6 +140,7 @@ class PGPolicy {
   double last_loss_ = 0.0;
   double last_grad_norm_ = 0.0;
   std::vector<float> probs_scratch_;
+  nn::GradientAccumulator* sink_ = nullptr;  // transient, never serialized
 };
 
 }  // namespace dras::core

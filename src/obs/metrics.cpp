@@ -13,6 +13,7 @@ namespace detail {
 #if DRAS_OBS_COMPILED
 std::atomic<bool> g_enabled{false};
 #endif
+thread_local MetricShard* t_shard = nullptr;
 }  // namespace detail
 
 void set_enabled(bool on) noexcept {
@@ -24,11 +25,98 @@ void set_enabled(bool on) noexcept {
 }
 
 // ---------------------------------------------------------------------------
+// MetricShard
+// ---------------------------------------------------------------------------
+
+void MetricShard::counter_add(Counter* counter, std::uint64_t n) {
+  for (CounterCell& cell : counters_) {
+    if (cell.counter == counter) {
+      cell.value += n;
+      return;
+    }
+  }
+  counters_.push_back(CounterCell{counter, n});
+}
+
+void MetricShard::gauge_set(Gauge* gauge, double v) {
+  for (GaugeCell& cell : gauges_) {
+    if (cell.gauge == gauge) {
+      cell.has_set = true;
+      cell.set_value = v;
+      cell.delta = 0.0;
+      return;
+    }
+  }
+  gauges_.push_back(GaugeCell{gauge, true, v, 0.0});
+}
+
+void MetricShard::gauge_add(Gauge* gauge, double delta) {
+  for (GaugeCell& cell : gauges_) {
+    if (cell.gauge == gauge) {
+      cell.delta += delta;
+      return;
+    }
+  }
+  gauges_.push_back(GaugeCell{gauge, false, 0.0, delta});
+}
+
+void MetricShard::histogram_observe(Histogram* histogram, double v) {
+  HistogramCell* cell = nullptr;
+  for (HistogramCell& candidate : histograms_) {
+    if (candidate.histogram == histogram) {
+      cell = &candidate;
+      break;
+    }
+  }
+  if (cell == nullptr) {
+    histograms_.push_back(HistogramCell{
+        histogram, std::vector<std::uint64_t>(histogram->bucket_count(), 0),
+        0, 0.0, std::numeric_limits<double>::infinity(),
+        -std::numeric_limits<double>::infinity()});
+    cell = &histograms_.back();
+  }
+  const auto& bounds = histogram->bounds();
+  const auto it = std::lower_bound(bounds.begin(), bounds.end(), v);
+  cell->buckets[static_cast<std::size_t>(it - bounds.begin())] += 1;
+  cell->count += 1;
+  cell->sum += v;
+  cell->min = std::min(cell->min, v);
+  cell->max = std::max(cell->max, v);
+}
+
+void MetricShard::merge() {
+  for (const CounterCell& cell : counters_) cell.counter->absorb(cell.value);
+  for (const GaugeCell& cell : gauges_) {
+    if (cell.has_set)
+      cell.gauge->absorb_set(cell.set_value + cell.delta);
+    else
+      cell.gauge->absorb_add(cell.delta);
+  }
+  for (const HistogramCell& cell : histograms_)
+    cell.histogram->absorb(cell.buckets, cell.count, cell.sum, cell.min,
+                           cell.max);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+// ---------------------------------------------------------------------------
 // Gauge
 // ---------------------------------------------------------------------------
 
 void Gauge::add(double delta) noexcept {
   if (!enabled()) return;
+  if (detail::t_shard != nullptr) {
+    detail::t_shard->gauge_add(this, delta);
+    return;
+  }
+  double current = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void Gauge::absorb_add(double delta) noexcept {
   double current = value_.load(std::memory_order_relaxed);
   while (!value_.compare_exchange_weak(current, current + delta,
                                        std::memory_order_relaxed)) {
@@ -47,6 +135,10 @@ Histogram::Histogram(std::vector<double> bounds)
 
 void Histogram::observe(double v) noexcept {
   if (!enabled()) return;
+  if (detail::t_shard != nullptr) {
+    detail::t_shard->histogram_observe(this, v);
+    return;
+  }
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
   const auto slot = static_cast<std::size_t>(it - bounds_.begin());
   buckets_[slot].fetch_add(1, std::memory_order_relaxed);
@@ -63,6 +155,28 @@ void Histogram::observe(double v) noexcept {
   double hi = max_.load(std::memory_order_relaxed);
   while (v > hi &&
          !max_.compare_exchange_weak(hi, v, std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::absorb(std::span<const std::uint64_t> buckets,
+                       std::uint64_t count, double sum, double min,
+                       double max) noexcept {
+  if (count == 0) return;
+  const std::size_t n = std::min(buckets.size(), buckets_.size());
+  for (std::size_t i = 0; i < n; ++i)
+    buckets_[i].fetch_add(buckets[i], std::memory_order_relaxed);
+  count_.fetch_add(count, std::memory_order_relaxed);
+  double current = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(current, current + sum,
+                                     std::memory_order_relaxed)) {
+  }
+  double lo = min_.load(std::memory_order_relaxed);
+  while (min < lo &&
+         !min_.compare_exchange_weak(lo, min, std::memory_order_relaxed)) {
+  }
+  double hi = max_.load(std::memory_order_relaxed);
+  while (max > hi &&
+         !max_.compare_exchange_weak(hi, max, std::memory_order_relaxed)) {
   }
 }
 

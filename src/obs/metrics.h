@@ -33,6 +33,7 @@
 #include <limits>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -43,11 +44,90 @@
 
 namespace dras::obs {
 
+class Counter;
+class Gauge;
+class Histogram;
+
+/// Thread-confined buffer of metric writes (the rollout engine's
+/// per-task telemetry shard).  While a ShardScope is active on a
+/// thread, every Counter::add / Gauge::set / Gauge::add /
+/// Histogram::observe on that thread lands here instead of in the
+/// shared atomics; merge() later folds the buffered writes into the
+/// real instruments in one deterministic, single-threaded pass.
+///
+/// Why: concurrent clones hammering shared CAS loops would make
+/// double-precision gauge/histogram sums depend on interleaving order,
+/// and a half-flushed registry could not be rewound cleanly on a
+/// divergence rollback.  Shards confine each task's writes until the
+/// round boundary; merging in ascending task index makes the registry
+/// content a pure function of the batch, not of scheduling.
+///
+/// Lookup is a linear scan in insertion order — deterministic, and
+/// cheap at the ~dozen instruments a rollout episode touches.
+class MetricShard {
+ public:
+  void counter_add(Counter* counter, std::uint64_t n);
+  void gauge_set(Gauge* gauge, double v);
+  void gauge_add(Gauge* gauge, double delta);
+  void histogram_observe(Histogram* histogram, double v);
+
+  /// Fold every buffered write into the real instruments, then clear.
+  /// Callers own the ordering contract: merge shards in ascending task
+  /// index (the obs half of the rollout reduction-order discipline).
+  void merge();
+
+  [[nodiscard]] bool empty() const noexcept {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+ private:
+  struct CounterCell {
+    Counter* counter;
+    std::uint64_t value;
+  };
+  struct GaugeCell {
+    Gauge* gauge;
+    bool has_set;      // a set() clobbers earlier deltas
+    double set_value;
+    double delta;      // adds since the last set (or since the start)
+  };
+  struct HistogramCell {
+    Histogram* histogram;
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t count;
+    double sum, min, max;
+  };
+
+  std::vector<CounterCell> counters_;
+  std::vector<GaugeCell> gauges_;
+  std::vector<HistogramCell> histograms_;
+};
+
 namespace detail {
 #if DRAS_OBS_COMPILED
 extern std::atomic<bool> g_enabled;
 #endif
+/// The active shard of the current thread (null = write through to the
+/// shared instruments).  Managed by ShardScope; checked only inside the
+/// enabled() branch, so the disabled fast path is untouched.
+extern thread_local MetricShard* t_shard;
 }  // namespace detail
+
+/// RAII: route the current thread's metric writes into `shard` for the
+/// scope's lifetime (nests; the previous target is restored on exit).
+class ShardScope {
+ public:
+  explicit ShardScope(MetricShard& shard) noexcept
+      : previous_(detail::t_shard) {
+    detail::t_shard = &shard;
+  }
+  ~ShardScope() { detail::t_shard = previous_; }
+  ShardScope(const ShardScope&) = delete;
+  ShardScope& operator=(const ShardScope&) = delete;
+
+ private:
+  MetricShard* previous_;
+};
 
 /// Runtime master switch; starts disabled.
 void set_enabled(bool on) noexcept;
@@ -66,7 +146,12 @@ void set_enabled(bool on) noexcept;
 class Counter {
  public:
   void add(std::uint64_t n = 1) noexcept {
-    if (enabled()) value_.fetch_add(n, std::memory_order_relaxed);
+    if (!enabled()) return;
+    if (detail::t_shard != nullptr) {
+      detail::t_shard->counter_add(this, n);
+      return;
+    }
+    value_.fetch_add(n, std::memory_order_relaxed);
   }
   [[nodiscard]] std::uint64_t value() const noexcept {
     return value_.load(std::memory_order_relaxed);
@@ -77,6 +162,11 @@ class Counter {
   void restore(std::uint64_t v) noexcept {
     value_.store(v, std::memory_order_relaxed);
   }
+  /// Unconditional fold-in (MetricShard::merge); not gated on enabled()
+  /// so a mid-round toggle cannot drop writes already buffered.
+  void absorb(std::uint64_t n) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
 
  private:
   std::atomic<std::uint64_t> value_{0};
@@ -86,13 +176,23 @@ class Counter {
 class Gauge {
  public:
   void set(double v) noexcept {
-    if (enabled()) value_.store(v, std::memory_order_relaxed);
+    if (!enabled()) return;
+    if (detail::t_shard != nullptr) {
+      detail::t_shard->gauge_set(this, v);
+      return;
+    }
+    value_.store(v, std::memory_order_relaxed);
   }
   void add(double delta) noexcept;
   [[nodiscard]] double value() const noexcept {
     return value_.load(std::memory_order_relaxed);
   }
   void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+  /// Unconditional fold-ins (MetricShard::merge).
+  void absorb_set(double v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void absorb_add(double delta) noexcept;
 
  private:
   std::atomic<double> value_{0.0};
@@ -135,6 +235,11 @@ class Histogram {
     return max_.load(std::memory_order_relaxed);
   }
   void reset() noexcept;
+
+  /// Unconditional fold-in of pre-bucketed observations
+  /// (MetricShard::merge).  `buckets` must have bucket_count() entries.
+  void absorb(std::span<const std::uint64_t> buckets, std::uint64_t count,
+              double sum, double min, double max) noexcept;
 
   /// `count` upper bounds starting at `start`, each ×`factor`:
   /// {start, start·f, start·f², ...}.

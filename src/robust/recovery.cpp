@@ -1,5 +1,6 @@
 #include "robust/recovery.h"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 #include <vector>
@@ -111,6 +112,7 @@ std::optional<std::filesystem::path> RecoveryPolicy::recover(
   // cumulative count, so a retried episode never reuses a nonce even
   // across crash-resume.
   state_.rng_nonce = state_.rollbacks;
+  state_.healthy_streak = 0;
   applied_ = state_;
   apply(state_, agent);
 
@@ -121,6 +123,26 @@ std::optional<std::filesystem::path> RecoveryPolicy::recover(
       to_string(report.fault), restored->string(), attempts_,
       options_.max_rollbacks, state_.lr_scale, state_.rng_nonce);
   return restored;
+}
+
+void RecoveryPolicy::note_healthy(core::DrasAgent& agent) {
+  if (options_.lr_recover_after == 0) return;
+  if (state_.lr_scale >= 1.0) {
+    state_.healthy_streak = 0;
+    return;
+  }
+  state_.healthy_streak += 1;
+  if (state_.healthy_streak < options_.lr_recover_after) return;
+  state_.healthy_streak = 0;
+  state_.lr_scale = std::min(1.0, state_.lr_scale / options_.lr_backoff);
+  // Keep the monotonic record current so a later rollback compounds
+  // from the recovered scale, not the stale post-backoff one.
+  if (applied_) applied_ = state_;
+  agent.optimizer().set_lr_scale(state_.lr_scale);
+  util::log_info(
+      "lr recovery: {} healthy episodes since last step, lr_scale back to "
+      "{}",
+      options_.lr_recover_after, state_.lr_scale);
 }
 
 std::optional<std::filesystem::path> RecoveryPolicy::write_diagnostics(
@@ -138,6 +160,7 @@ std::optional<std::filesystem::path> RecoveryPolicy::write_diagnostics(
       << ",\"max_rollbacks\":" << options_.max_rollbacks
       << ",\"lr_scale\":" << json_number(state_.lr_scale)
       << ",\"rng_nonce\":" << state_.rng_nonce
+      << ",\"healthy_streak\":" << state_.healthy_streak
       << ",\"loss\":" << json_number(report.loss)
       << ",\"grad_norm\":" << json_number(report.grad_norm)
       << ",\"training_reward\":" << json_number(report.training_reward)

@@ -65,6 +65,11 @@ struct RecoveryOptions {
   std::size_t max_rollbacks = 3;
   /// Per-rollback learning-rate multiplier (exponential backoff).
   double lr_backoff = 0.5;
+  /// Healthy episodes after a rollback before one geometric LR recovery
+  /// step (lr_scale /= lr_backoff, capped at 1.0).  0 disables recovery
+  /// decay: a backed-off LR then stays backed off for the rest of the
+  /// run, the pre-existing behaviour.
+  std::size_t lr_recover_after = 0;
   /// Where the give-up diagnostics dump is written.  Empty = no dump.
   std::filesystem::path diagnostics_path;
 };
@@ -105,6 +110,16 @@ class RecoveryPolicy {
   [[nodiscard]] std::optional<std::filesystem::path> recover(
       const HealthReport& report, const ckpt::TrainingState& training_state,
       const HealthMonitor* monitor);
+
+  /// Credit one healthy committed episode toward LR recovery.  After
+  /// options().lr_recover_after consecutive healthy episodes with
+  /// lr_scale below 1.0, one backoff step is undone geometrically
+  /// (lr_scale /= lr_backoff, capped at 1.0) and applied to `agent`'s
+  /// optimiser; the streak then restarts so full recovery from k
+  /// rollbacks takes k * lr_recover_after healthy episodes.  No-op when
+  /// lr_recover_after is 0 or lr_scale is already 1.0.  recover()
+  /// resets the streak.
+  void note_healthy(core::DrasAgent& agent);
 
   /// Re-apply the persisted recovery effects to a freshly restored
   /// agent: LR backoff onto its optimiser, RNG nonce onto its episode

@@ -9,6 +9,7 @@
 #include "obs/trace.h"
 #include "robust/health.h"
 #include "robust/recovery.h"
+#include "rollout/rollout_pool.h"
 #include "sim/simulator.h"
 #include "train/convergence.h"
 #include "util/binio.h"
@@ -230,6 +231,15 @@ std::vector<EpisodeResult> Trainer::run(Curriculum& curriculum,
   obs::EventTracer* tracer =
       options_.tracer != nullptr ? options_.tracer : obs::default_tracer();
   const std::size_t start_episode = episodes_done_;
+  // Episodes per round: 1 = the legacy per-episode loop; a rollout pool
+  // with batch() > 1 switches to batched parallel collection.  Rounds
+  // are atomic — checkpoints, health checks and rollback happen only at
+  // round boundaries, so every snapshot is a round boundary and a
+  // restored run re-derives identical rounds from the cursor.
+  const std::size_t round_size =
+      run_options.rollout != nullptr
+          ? std::max<std::size_t>(run_options.rollout->batch(), 1)
+          : 1;
   std::vector<EpisodeResult> results;
   results.reserve(curriculum.size() - curriculum.position());
   bool interrupted = false;
@@ -238,57 +248,100 @@ std::vector<EpisodeResult> Trainer::run(Curriculum& curriculum,
       interrupted = true;
       break;
     }
-    EpisodeResult result = run_episode(curriculum.current());
-    if (run_options.sabotage) run_options.sabotage(agent_, result);
-    if (run_options.health != nullptr) {
+    std::vector<EpisodeResult> batch;
+    if (round_size > 1) {
+      const std::size_t remaining =
+          curriculum.size() - curriculum.position();
+      const std::span<const Jobset> slots = curriculum.jobsets().subspan(
+          curriculum.position(), std::min(round_size, remaining));
+      rollout::RoundResult round = run_options.rollout->collect(
+          agent_, total_nodes_, slots, episodes_done_);
+      episodes_done_ += round.episodes.size();
+      batch = std::move(round.episodes);
+      if (options_.validate_each_episode && !validation_.empty()) {
+        // Every slot shares the post-round parameters: validate the
+        // frozen agent once and stamp the round with it.
+        const EpisodeResult validation = validate();
+        for (EpisodeResult& result : batch) {
+          result.validation_reward = validation.validation_reward;
+          result.validation_summary = validation.validation_summary;
+        }
+      }
+      TrainMetrics& m = TrainMetrics::get();
+      for (const EpisodeResult& result : batch) {
+        m.episodes.add();
+        m.episode_wall_s.observe(result.wall_seconds);
+        m.loss.observe(result.loss);
+        util::log_info(
+            "episode {} [{}] train reward {:.3f} validation {:.3f}",
+            result.episode, result.jobset, result.training_reward,
+            result.validation_reward);
+      }
+    } else {
+      batch.push_back(run_episode(curriculum.current()));
+    }
+    // Guardrails, per episode result in slot order.  The first tripped
+    // invariant rolls the whole round back (the batched update is one
+    // unit) and retries from the restored cursor.
+    bool rolled_back = false;
+    for (EpisodeResult& result : batch) {
+      if (run_options.sabotage) run_options.sabotage(agent_, result);
+      if (run_options.health == nullptr) continue;
       const robust::HealthReport report =
           run_options.health->check(agent_, result);
-      if (!report.ok()) {
-        if (tracer != nullptr) {
-          tracer->instant(
-              "divergence", tracer->wall_seconds(),
-              {obs::targ("fault", to_string(report.fault)),
-               obs::targ("episode",
-                         static_cast<std::uint64_t>(result.episode))},
-              obs::kTrainPid);
-        }
-        util::log_warn("health invariant tripped: {}", report.detail);
-        if (run_options.recovery == nullptr) {
-          TrainMetrics::get().divergence_events.add();
-          throw robust::DivergenceError(util::format(
-              "training diverged with no recovery policy wired: {}",
-              report.detail));
-        }
-        const auto restored = run_options.recovery->recover(
-            report, make_state(), run_options.health);
-        // Counted only after the rollback: a successful restore rewinds
-        // the telemetry registry ("OBSC" section) to the snapshot, so an
-        // increment made before recover() would be silently erased.
-        TrainMetrics::get().divergence_events.add();
-        if (!restored)
-          throw robust::DivergenceError(
-              util::format("training diverged and recovery gave up: {}",
-                           report.detail),
-              run_options.recovery->options().diagnostics_path);
-        // Persist the advanced rollback state (compounded LR backoff,
-        // fresh nonce) immediately: a crash — or a repeat divergence —
-        // before the next cadence save would otherwise restore the
-        // pre-rollback snapshot and resume with the stale discipline.
-        save_checkpoint();
-        // The restore rewound agent/trainer/curriculum/monitor; drop the
-        // results past the restored boundary so the vector matches what
-        // this call has (now) durably completed.
-        const std::size_t done = episodes_done_ > start_episode
-                                     ? episodes_done_ - start_episode
-                                     : 0;
-        if (results.size() > done) results.resize(done);
-        continue;  // retry from the restored cursor
+      if (report.ok()) continue;
+      if (tracer != nullptr) {
+        tracer->instant(
+            "divergence", tracer->wall_seconds(),
+            {obs::targ("fault", to_string(report.fault)),
+             obs::targ("episode",
+                       static_cast<std::uint64_t>(result.episode))},
+            obs::kTrainPid);
       }
+      util::log_warn("health invariant tripped: {}", report.detail);
+      if (run_options.recovery == nullptr) {
+        TrainMetrics::get().divergence_events.add();
+        throw robust::DivergenceError(util::format(
+            "training diverged with no recovery policy wired: {}",
+            report.detail));
+      }
+      const auto restored = run_options.recovery->recover(
+          report, make_state(), run_options.health);
+      // Counted only after the rollback: a successful restore rewinds
+      // the telemetry registry ("OBSC" section) to the snapshot, so an
+      // increment made before recover() would be silently erased.
+      TrainMetrics::get().divergence_events.add();
+      if (!restored)
+        throw robust::DivergenceError(
+            util::format("training diverged and recovery gave up: {}",
+                         report.detail),
+            run_options.recovery->options().diagnostics_path);
+      // Persist the advanced rollback state (compounded LR backoff,
+      // fresh nonce) immediately: a crash — or a repeat divergence —
+      // before the next cadence save would otherwise restore the
+      // pre-rollback snapshot and resume with the stale discipline.
+      save_checkpoint();
+      // The restore rewound agent/trainer/curriculum/monitor; drop the
+      // results past the restored boundary so the vector matches what
+      // this call has (now) durably completed.
+      const std::size_t done = episodes_done_ > start_episode
+                                   ? episodes_done_ - start_episode
+                                   : 0;
+      if (results.size() > done) results.resize(done);
+      rolled_back = true;
+      break;
     }
-    curriculum.advance();
-    if (run_options.monitor != nullptr)
-      run_options.monitor->record(result.validation_reward);
-    results.push_back(std::move(result));
+    if (rolled_back) continue;  // retry from the restored cursor
+    for (EpisodeResult& result : batch) {
+      curriculum.advance();
+      if (run_options.monitor != nullptr)
+        run_options.monitor->record(result.validation_reward);
+      // A healthy episode feeds the LR recovery streak (no-op unless a
+      // rollback left lr_scale < 1 and recovery is configured for it).
+      if (run_options.recovery != nullptr)
+        run_options.recovery->note_healthy(agent_);
+      results.push_back(std::move(result));
+    }
     if (run_options.checkpoints != nullptr &&
         run_options.checkpoints->should_save(episodes_done_)) {
       save_checkpoint();

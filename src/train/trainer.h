@@ -35,6 +35,10 @@ class HealthMonitor;
 class RecoveryPolicy;
 }  // namespace dras::robust
 
+namespace dras::rollout {
+class RolloutPool;
+}  // namespace dras::rollout
+
 namespace dras::train {
 
 class ConvergenceMonitor;
@@ -109,6 +113,19 @@ struct RunOptions {
   /// `dras_sim --inject-numeric-fault` and tests/robust corrupt the
   /// live state here (see robust::apply_numeric_fault).
   std::function<void(core::DrasAgent&, EpisodeResult&)> sabotage;
+
+  // --- Data-parallel rollout (src/rollout) ---
+
+  /// When set with batch() > 1, the loop consumes the curriculum in
+  /// rounds of batch() episodes collected on clones in parallel, with
+  /// one reduced update per round.  Rounds are atomic: checkpoints,
+  /// health checks, sabotage and rollback all happen at round
+  /// boundaries (per-slot results are checked in slot order; the first
+  /// tripped invariant rolls the whole round back).  Validation runs
+  /// once per round on the post-update parameters and is stamped into
+  /// every slot's result.  A pool with batch() <= 1 routes through the
+  /// legacy per-episode path, byte-identical to no pool at all.
+  rollout::RolloutPool* rollout = nullptr;
 };
 
 class Trainer {

@@ -135,6 +135,7 @@ TEST(Migration, V2RoundTripCarriesRecoveryState) {
   recovery.rollbacks = 3;
   recovery.lr_scale = 0.125;
   recovery.rng_nonce = 3;
+  recovery.healthy_streak = 5;  // "RCVR" v2 field
   const std::string payload = encode_checkpoint(source.state(&recovery));
 
   GoldenHarness target;

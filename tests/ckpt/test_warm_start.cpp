@@ -1,0 +1,124 @@
+// Checkpoint warm starts (--warm-start on the figure benches): load
+// only the agent slice out of a full training checkpoint, with the
+// config fingerprint still guarding against mismatched topology, seed
+// or hyper-parameters.
+#include "ckpt/manager.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "ckpt/fault.h"
+#include "ckpt_test_util.h"
+#include "train/trainer.h"
+#include "util/binio.h"
+#include "util/fs.h"
+
+namespace dras::ckpt {
+namespace {
+
+using testing::ScratchDirTest;
+using testing::tiny_agent_config;
+using testing::tiny_jobsets;
+
+class WarmStartTest : public ScratchDirTest {
+ protected:
+  CheckpointManager make_manager() {
+    CheckpointManagerOptions options;
+    options.dir = dir_;
+    options.every = 1;
+    options.keep_last = 0;
+    return CheckpointManager(options);
+  }
+
+  TrainingState agent_state(core::DrasAgent& agent) {
+    TrainingState state;
+    state.agent = &agent;
+    state.telemetry = false;
+    return state;
+  }
+};
+
+TEST_F(WarmStartTest, NewestCheckpointOfEmptyOrMissingDirIsNullopt) {
+  EXPECT_EQ(newest_checkpoint(dir_), std::nullopt);
+  EXPECT_EQ(newest_checkpoint(dir_ / "never-created"), std::nullopt);
+}
+
+TEST_F(WarmStartTest, NewestCheckpointPicksHighestEpisode) {
+  core::DrasAgent agent(tiny_agent_config(core::AgentKind::PG));
+  auto manager = make_manager();
+  const auto state = agent_state(agent);
+  (void)manager.save(state, 3);
+  (void)manager.save(state, 12);
+  (void)manager.save(state, 7);
+  util::atomic_write_file(dir_ / "notes.txt", "not a checkpoint");
+
+  const auto newest = newest_checkpoint(dir_);
+  ASSERT_TRUE(newest.has_value());
+  EXPECT_EQ(CheckpointManager::parse_episode(*newest), 12u);
+}
+
+TEST_F(WarmStartTest, LoadsAgentParametersFromFullTrainingCheckpoint) {
+  // Save a checkpoint that also carries trainer + curriculum sections;
+  // the warm-start load must restore the agent and simply never read
+  // the trailing state.
+  core::DrasAgent source(tiny_agent_config(core::AgentKind::PG));
+  FaultInjector::scale_values(source.network().parameters(), 1.5f);
+  train::Curriculum curriculum(tiny_jobsets(2));
+  train::TrainerOptions trainer_options;
+  trainer_options.validate_each_episode = false;
+  train::Trainer trainer(source, 16, {}, trainer_options);
+  auto manager = make_manager();
+  TrainingState state;
+  state.agent = &source;
+  state.trainer = &trainer;
+  state.curriculum = &curriculum;
+  state.telemetry = false;
+  const auto path = manager.save(state, 1);
+
+  core::DrasAgent target(tiny_agent_config(core::AgentKind::PG));
+  load_agent_from_checkpoint(path, target);
+
+  const auto expected = source.network().parameters();
+  const auto actual = target.network().parameters();
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t i = 0; i < actual.size(); ++i)
+    EXPECT_EQ(actual[i], expected[i]) << "parameter " << i;
+}
+
+TEST_F(WarmStartTest, RejectsMismatchedSeedOrTopology) {
+  core::DrasAgent source(tiny_agent_config(core::AgentKind::PG));
+  auto manager = make_manager();
+  const auto path = manager.save(agent_state(source), 1);
+
+  // Same topology, different seed: the fingerprint covers the seed, so
+  // the "same" network from a different stream is rejected too.
+  core::DrasAgent other_seed(
+      tiny_agent_config(core::AgentKind::PG, /*seed=*/22));
+  EXPECT_THROW(load_agent_from_checkpoint(path, other_seed),
+               util::SerializationError);
+
+  // Different agent kind (different head/topology).
+  core::DrasAgent other_kind(tiny_agent_config(core::AgentKind::DQL));
+  EXPECT_THROW(load_agent_from_checkpoint(path, other_kind),
+               util::SerializationError);
+}
+
+TEST_F(WarmStartTest, MissingFileThrowsCheckpointError) {
+  core::DrasAgent agent(tiny_agent_config(core::AgentKind::PG));
+  EXPECT_THROW(load_agent_from_checkpoint(dir_ / "absent.dras", agent),
+               CheckpointError);
+}
+
+TEST_F(WarmStartTest, CorruptFileThrowsCheckpointError) {
+  core::DrasAgent source(tiny_agent_config(core::AgentKind::PG));
+  auto manager = make_manager();
+  const auto path = manager.save(agent_state(source), 1);
+  FaultInjector::flip_bit(path, FaultInjector::file_size(path) / 2, 3);
+
+  core::DrasAgent target(tiny_agent_config(core::AgentKind::PG));
+  EXPECT_THROW(load_agent_from_checkpoint(path, target), CheckpointError);
+}
+
+}  // namespace
+}  // namespace dras::ckpt

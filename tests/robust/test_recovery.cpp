@@ -396,6 +396,137 @@ TEST_F(RecoveryTest, RejectsOutOfRangeBackoff) {
                std::invalid_argument);
 }
 
+TEST_F(RecoveryTest, LrRecoveryDecayRestoresScaleAfterHealthyStreak) {
+  // The standard drill with --lr-recover-after 2: after the rollback
+  // backs off to 0.5, two consecutive healthy committed episodes undo
+  // the backoff geometrically before the run ends.
+  Harness h(dir_);
+  HealthMonitor health;
+  RecoveryOptions options = recovery_options();
+  options.lr_recover_after = 2;
+  RecoveryPolicy recovery(options, h.manager);
+  train::RunOptions run_options;
+  run_options.checkpoints = &h.manager;
+  run_options.health = &health;
+  run_options.recovery = &recovery;
+  run_options.sabotage = one_shot(ckpt::NumericFault::LossSpike, 1);
+
+  const auto results = h.trainer.run(h.curriculum, run_options);
+
+  EXPECT_EQ(results.size(), kEpisodes);
+  EXPECT_EQ(recovery.attempts(), 1u);
+  EXPECT_EQ(recovery.state().rollbacks, 1u);
+  // Post-rollback episodes 1 and 2 were healthy -> one recovery step
+  // brings 0.5 back to 1.0; episode 3 then keeps the streak at zero.
+  EXPECT_DOUBLE_EQ(recovery.state().lr_scale, 1.0);
+  EXPECT_EQ(recovery.state().healthy_streak, 0u);
+  EXPECT_DOUBLE_EQ(h.agent.optimizer().lr_scale(), 1.0);
+  // The retry discipline is untouched: the nonce stays advanced.
+  EXPECT_EQ(recovery.state().rng_nonce, 1u);
+  EXPECT_EQ(h.agent.rng_nonce(), 1u);
+}
+
+TEST_F(RecoveryTest, NoteHealthyIsNoOpWhenRecoveryDecayDisabled) {
+  // lr_recover_after = 0 (the default) preserves the pre-existing
+  // behaviour: a backed-off LR stays backed off for the rest of the run
+  // no matter how many healthy episodes follow.
+  core::DrasAgent agent(tiny_agent_config(core::AgentKind::PG));
+  ckpt::CheckpointManager manager(Harness::manager_options(dir_));
+  RecoveryPolicy recovery(recovery_options(), manager);
+  ckpt::TrainingState state;
+  state.agent = &agent;
+  state.recovery = &recovery.state();
+  (void)manager.save(state, 0);
+
+  HealthReport report;
+  report.fault = HealthFault::LossCeiling;
+  ASSERT_TRUE(recovery.recover(report, state, nullptr).has_value());
+  for (int i = 0; i < 10; ++i) recovery.note_healthy(agent);
+
+  EXPECT_DOUBLE_EQ(recovery.state().lr_scale, 0.5);
+  EXPECT_EQ(recovery.state().healthy_streak, 0u);
+  EXPECT_DOUBLE_EQ(agent.optimizer().lr_scale(), 0.5);
+}
+
+TEST_F(RecoveryTest, LrRecoveryStepsAreGeometricAndRollbackResetsStreak) {
+  // Drive the policy directly: a partial streak is wiped by a new
+  // rollback, and full recovery from k rollbacks takes exactly
+  // k * lr_recover_after healthy episodes.
+  core::DrasAgent agent(tiny_agent_config(core::AgentKind::PG));
+  ckpt::CheckpointManager manager(Harness::manager_options(dir_));
+  RecoveryOptions options = recovery_options();
+  options.lr_recover_after = 3;
+  RecoveryPolicy recovery(options, manager);
+  ckpt::TrainingState state;
+  state.agent = &agent;
+  state.recovery = &recovery.state();
+  (void)manager.save(state, 0);
+
+  HealthReport report;
+  report.fault = HealthFault::LossCeiling;
+  report.detail = "lr-decay drill";
+
+  ASSERT_TRUE(recovery.recover(report, state, nullptr).has_value());
+  EXPECT_DOUBLE_EQ(recovery.state().lr_scale, 0.5);
+  recovery.note_healthy(agent);
+  recovery.note_healthy(agent);
+  EXPECT_EQ(recovery.state().healthy_streak, 2u);
+
+  // A second divergence wipes the partial streak and compounds the
+  // backoff from the in-memory record.
+  ASSERT_TRUE(recovery.recover(report, state, nullptr).has_value());
+  EXPECT_EQ(recovery.state().healthy_streak, 0u);
+  EXPECT_DOUBLE_EQ(recovery.state().lr_scale, 0.25);
+
+  // 3 healthy episodes -> one geometric step; 3 more -> fully recovered.
+  for (int i = 0; i < 3; ++i) recovery.note_healthy(agent);
+  EXPECT_DOUBLE_EQ(recovery.state().lr_scale, 0.5);
+  EXPECT_DOUBLE_EQ(agent.optimizer().lr_scale(), 0.5);
+  for (int i = 0; i < 3; ++i) recovery.note_healthy(agent);
+  EXPECT_DOUBLE_EQ(recovery.state().lr_scale, 1.0);
+  EXPECT_DOUBLE_EQ(agent.optimizer().lr_scale(), 1.0);
+
+  // At 1.0 further healthy episodes are no-ops (no overshoot).
+  recovery.note_healthy(agent);
+  EXPECT_DOUBLE_EQ(recovery.state().lr_scale, 1.0);
+  EXPECT_EQ(recovery.state().healthy_streak, 0u);
+}
+
+TEST_F(RecoveryTest, HealthyStreakSurvivesCheckpointRoundTrip) {
+  // The streak is part of the persisted recovery slice ("RCVR" section
+  // v2): a crash mid-streak resumes counting where it left off instead
+  // of restarting the clock.
+  core::DrasAgent agent(tiny_agent_config(core::AgentKind::PG));
+  ckpt::CheckpointManager manager(Harness::manager_options(dir_));
+  RecoveryOptions options = recovery_options();
+  options.lr_recover_after = 5;
+  RecoveryPolicy recovery(options, manager);
+  ckpt::TrainingState state;
+  state.agent = &agent;
+  state.recovery = &recovery.state();
+  (void)manager.save(state, 0);
+
+  HealthReport report;
+  report.fault = HealthFault::LossCeiling;
+  ASSERT_TRUE(recovery.recover(report, state, nullptr).has_value());
+  recovery.note_healthy(agent);
+  recovery.note_healthy(agent);
+  ASSERT_EQ(recovery.state().healthy_streak, 2u);
+  (void)manager.save(state, 1);
+
+  // "Resume" in a fresh process.
+  core::DrasAgent resumed_agent(tiny_agent_config(core::AgentKind::PG));
+  ckpt::CheckpointManager resumed_manager(Harness::manager_options(dir_));
+  ckpt::RecoveryState slice;
+  ckpt::TrainingState resumed_state;
+  resumed_state.agent = &resumed_agent;
+  resumed_state.recovery = &slice;
+  ASSERT_TRUE(resumed_manager.restore_latest(resumed_state).has_value());
+  EXPECT_EQ(slice.healthy_streak, 2u);
+  EXPECT_DOUBLE_EQ(slice.lr_scale, 0.5);
+  EXPECT_EQ(slice.rollbacks, 1u);
+}
+
 TEST_F(RecoveryTest, DivergenceExitCodeIsDistinct) {
   // dras_sim maps DivergenceError to this code; it must stay clear of
   // usage errors (2), the crash-drill exit (137) and signal exits.

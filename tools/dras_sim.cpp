@@ -28,6 +28,7 @@
 #include "obs/trace.h"
 #include "robust/health.h"
 #include "robust/recovery.h"
+#include "rollout/rollout_pool.h"
 #include "sched/bin_packing.h"
 #include "sched/decima_pg.h"
 #include "sched/fcfs_easy.h"
@@ -73,6 +74,15 @@ int usage(const std::string& error = {}) {
       "                      the trace length above)\n"
       "  --train-episodes E  episodes before evaluation for learned\n"
       "                      policies (default 10)\n"
+      "  --rollout-workers N data-parallel rollout: collect training\n"
+      "                      episodes on N concurrent agent clones with\n"
+      "                      one reduced update per round (0 = hardware\n"
+      "                      concurrency; default 1 = legacy serial loop).\n"
+      "                      Pure throughput knob — final parameters are\n"
+      "                      byte-identical for every N at a fixed batch\n"
+      "  --rollout-batch B   episodes per rollout round, the unit of the\n"
+      "                      batched update (default: the resolved worker\n"
+      "                      count; 1 = legacy per-episode math)\n"
       "  --csv               machine-readable output\n"
       "  --verbose           progress logging\n"
       "  --trace-out FILE    write a telemetry event trace (simulator\n"
@@ -110,6 +120,10 @@ int usage(const std::string& error = {}) {
       "                      (default 3)\n"
       "  --lr-backoff F      per-rollback learning-rate multiplier\n"
       "                      (default 0.5)\n"
+      "  --lr-recover-after N  undo one LR backoff step after N\n"
+      "                      consecutive healthy episodes (geometric\n"
+      "                      recovery toward lr_scale 1.0; default 0 =\n"
+      "                      backed-off LR stays for the rest of the run)\n"
       "  --diagnostics-out FILE  where the give-up dump goes (default\n"
       "                      <checkpoint-dir>/divergence-diagnostics.json)\n"
       "  --inject-numeric-fault K  divergence drill: corrupt training at\n"
@@ -276,6 +290,8 @@ int main(int argc, char** argv) {
     const auto max_rollbacks =
         static_cast<std::size_t>(args.get_int("max-rollbacks", 3));
     const double lr_backoff = args.get_double("lr-backoff", 0.5);
+    const auto lr_recover_after =
+        static_cast<std::size_t>(args.get_int("lr-recover-after", 0));
     const std::string diagnostics_out = args.get("diagnostics-out", "");
     std::optional<dras::ckpt::NumericFault> inject_fault;
     if (args.has("inject-numeric-fault")) {
@@ -312,6 +328,17 @@ int main(int argc, char** argv) {
 
       dras::train::RunOptions run_options;
       run_options.stop = &dras::util::InterruptGuard::flag();
+      std::unique_ptr<dras::rollout::RolloutPool> rollout;
+      if (args.has("rollout-workers") || args.has("rollout-batch")) {
+        dras::rollout::RolloutOptions rollout_options;
+        rollout_options.workers =
+            static_cast<std::size_t>(args.get_int("rollout-workers", 1));
+        rollout_options.batch =
+            static_cast<std::size_t>(args.get_int("rollout-batch", 0));
+        rollout =
+            std::make_unique<dras::rollout::RolloutPool>(rollout_options);
+        run_options.rollout = rollout.get();
+      }
       std::unique_ptr<dras::ckpt::CheckpointManager> manager;
       std::unique_ptr<dras::robust::HealthMonitor> health;
       std::unique_ptr<dras::robust::RecoveryPolicy> recovery;
@@ -329,6 +356,7 @@ int main(int argc, char** argv) {
           dras::robust::RecoveryOptions recovery_options;
           recovery_options.max_rollbacks = max_rollbacks;
           recovery_options.lr_backoff = lr_backoff;
+          recovery_options.lr_recover_after = lr_recover_after;
           recovery_options.diagnostics_path =
               diagnostics_out.empty()
                   ? std::filesystem::path(checkpoint_dir) /
