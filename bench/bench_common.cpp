@@ -1,16 +1,44 @@
 #include "bench_common.h"
 
+#include <cstdio>
+
 #include "ckpt/manager.h"
 #include "exec/parallel_evaluator.h"
 #include "obs/metrics.h"
 #include "obs/sink.h"
 #include "util/args.h"
+#include "util/binio.h"
 #include "util/format.h"
 #include "util/fs.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
 namespace dras::benchx {
+
+namespace {
+
+/// Fingerprint the bench invocation: every flag except --run-dir (the
+/// output location) and the parallelism knobs, whose values do not
+/// change results (see the exec/rollout determinism contracts).
+std::string bench_fingerprint(int argc, const char* const* argv) {
+  std::string canonical;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg == "--run-dir" || arg == "--jobs" ||
+        arg == "--rollout-workers") {
+      ++i;  // skip the flag's value too
+      continue;
+    }
+    canonical += arg;
+    canonical += ';';
+  }
+  char fingerprint[16];
+  std::snprintf(fingerprint, sizeof(fingerprint), "%08x",
+                util::crc32(canonical));
+  return fingerprint;
+}
+
+}  // namespace
 
 ObsSession::ObsSession(int argc, const char* const* argv) {
   const util::Args args(argc, argv, {"profile"});
@@ -24,7 +52,23 @@ ObsSession::ObsSession(int argc, const char* const* argv) {
         obs::make_sink(args.get("trace-out", ""), /*atomic=*/true), format);
     obs::set_default_tracer(tracer_.get());
   }
-  if (profile_ || !metrics_out_.empty()) obs::set_enabled(true);
+  if (args.has("run-dir")) {
+    obs::RunInfo info;
+    info.tool = argc > 0 ? std::filesystem::path(argv[0]).filename().string()
+                         : "bench";
+    info.argv.assign(argv, argv + argc);
+    info.config_fingerprint = bench_fingerprint(argc, argv);
+    recorder_ = std::make_unique<obs::RunRecorder>(args.get("run-dir", ""),
+                                                   std::move(info));
+    if (!tracer_) {
+      tracer_ = std::make_unique<obs::EventTracer>(
+          std::make_unique<obs::FileSink>(recorder_->trace_path()),
+          obs::TraceFormat::ChromeJson);
+      obs::set_default_tracer(tracer_.get());
+    }
+  }
+  if (profile_ || !metrics_out_.empty() || recorder_ != nullptr)
+    obs::set_enabled(true);
   const long long jobs = args.get_int("jobs", 0);
   jobs_ = jobs <= 0 ? exec::default_concurrency()
                     : static_cast<std::size_t>(jobs);
@@ -49,6 +93,16 @@ std::unique_ptr<rollout::RolloutPool> ObsSession::make_rollout_pool()
 }
 
 ObsSession::~ObsSession() {
+  if (recorder_) {
+    try {
+      util::atomic_write_file(recorder_->metrics_path(),
+                              obs::metrics_to_json(obs::Registry::global()));
+    } catch (const std::exception& e) {
+      util::log_warn("cannot write metrics to {}: {}",
+                     recorder_->metrics_path().string(), e.what());
+    }
+    recorder_->finish(0);
+  }
   if (tracer_) {
     obs::set_default_tracer(nullptr);
     tracer_->close();
@@ -134,16 +188,18 @@ std::vector<train::Jobset> build_bench_curriculum(
 void train_dras_agent(core::DrasAgent& agent, const Scenario& scenario,
                       std::size_t episodes, std::size_t jobs_per_episode,
                       std::uint64_t curriculum_seed,
-                      rollout::RolloutPool* rollout) {
+                      rollout::RolloutPool* rollout,
+                      obs::RunRecorder* recorder) {
   auto jobsets = build_bench_curriculum(scenario, episodes,
                                         jobs_per_episode, curriculum_seed);
   train::TrainerOptions trainer_options;
   trainer_options.validate_each_episode = false;
   train::Trainer trainer(agent, scenario.preset.nodes, {}, trainer_options);
-  if (rollout != nullptr) {
+  if (rollout != nullptr || recorder != nullptr) {
     train::Curriculum curriculum(std::move(jobsets));
     train::RunOptions run_options;
     run_options.rollout = rollout;
+    run_options.run = recorder;
     (void)trainer.run(curriculum, run_options);
   } else {
     (void)trainer.run(jobsets);

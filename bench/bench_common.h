@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/dras_agent.h"
+#include "obs/run_manifest.h"
 #include "obs/trace.h"
 #include "core/presets.h"
 #include "rollout/rollout_pool.h"
@@ -81,11 +82,14 @@ class MethodSet {
 /// Train one DRAS agent on a short three-phase curriculum (§III-C) built
 /// from the scenario's stand-in real trace, then freeze it.  Shared by
 /// MethodSet::train_agents and the ablation benches so every experiment
-/// trains the same way.
+/// trains the same way.  A non-null `recorder` (ObsSession::run_recorder)
+/// gets every committed round appended to its rounds.jsonl — purely
+/// observational, results are unchanged.
 void train_dras_agent(core::DrasAgent& agent, const Scenario& scenario,
                       std::size_t episodes, std::size_t jobs_per_episode,
                       std::uint64_t curriculum_seed = 0,
-                      rollout::RolloutPool* rollout = nullptr);
+                      rollout::RolloutPool* rollout = nullptr,
+                      obs::RunRecorder* recorder = nullptr);
 
 /// Warm start: load the agent's parameters from the newest checkpoint
 /// under `<dir>/<agent-name>`.  Returns the checkpoint used, or nullopt
@@ -123,11 +127,15 @@ void print_preamble(const std::string& experiment, const Scenario& scenario,
 
 /// Shared telemetry + execution plumbing for the bench harnesses.  Parses
 /// `--trace-out FILE`, `--trace-format chrome|jsonl`, `--metrics-out FILE`,
-/// `--profile`, `--jobs N`, `--rollout-workers N`, `--rollout-batch B`,
+/// `--profile`, `--run-dir DIR`, `--jobs N`, `--rollout-workers N`,
+/// `--rollout-batch B`,
 /// `--warm-start DIR` and `--save-warm-start DIR` from argv; when
 /// requested, installs the
 /// process-default tracer (every Simulator the bench creates feeds it) and
-/// enables the metrics registry.  The destructor finalizes the trace,
+/// enables the metrics registry.  `--run-dir DIR` turns on the full
+/// observatory: run.json manifest + rounds.jsonl + trace.json +
+/// metrics.json in DIR, consumable by tools/dras_report.  The destructor
+/// finalizes the trace,
 /// dumps metrics and prints the --profile table to stderr.  With none of
 /// the flags present this is a no-op (and jobs() defaults to hardware
 /// concurrency).
@@ -140,6 +148,12 @@ class ObsSession {
 
   [[nodiscard]] obs::EventTracer* tracer() const noexcept {
     return tracer_.get();
+  }
+  /// Run recorder from --run-dir, or nullptr.  Wire into
+  /// train::RunOptions::run (and call set_final_score / note) to fill
+  /// the manifest; the destructor finishes it.
+  [[nodiscard]] obs::RunRecorder* run_recorder() const noexcept {
+    return recorder_.get();
   }
   /// Worker budget from --jobs N (N >= 1); --jobs 0 or absent = hardware
   /// concurrency.
@@ -167,6 +181,7 @@ class ObsSession {
 
  private:
   std::unique_ptr<obs::EventTracer> tracer_;
+  std::unique_ptr<obs::RunRecorder> recorder_;
   std::string metrics_out_;
   bool profile_ = false;
   std::size_t jobs_ = 1;

@@ -11,6 +11,12 @@
 // bug and the bench exits non-zero.  Emits one JSON line per
 // configuration alongside the human-readable tables, matching the other
 // micro benches' output style.
+//
+// Telemetry stays enabled throughout so the exec/rollout HDR histograms
+// fill in: each configuration also reports the p50/p99 per-task wall
+// time (evaluation cells from eval.task_wall_s, rollout slots from
+// rollout.slot_wall_s), making tail latency per worker count visible
+// next to the aggregate speedup.
 #include <chrono>
 #include <cstring>
 #include <iostream>
@@ -20,6 +26,7 @@
 #include "core/presets.h"
 #include "exec/parallel_evaluator.h"
 #include "metrics/report.h"
+#include "obs/metrics.h"
 #include "rollout/rollout_pool.h"
 #include "sched/fcfs_easy.h"
 #include "train/curriculum.h"
@@ -64,6 +71,14 @@ bool same_evaluation(const dras::train::Evaluation& a,
 int main() {
   constexpr std::size_t kGrid = 8;
   constexpr int kRepetitions = 3;
+  // Per-task wall-time percentiles come from the registry's HDR
+  // histograms; reset between worker counts so each row reports only
+  // its own tasks.
+  dras::obs::set_enabled(true);
+  auto& eval_task_hdr =
+      dras::obs::Registry::global().hdr("eval.task_wall_s");
+  auto& rollout_slot_hdr =
+      dras::obs::Registry::global().hdr("rollout.slot_wall_s");
   const auto model = dras::workload::theta_mini_workload();
   const int nodes = model.system_nodes;
 
@@ -97,6 +112,7 @@ int main() {
   for (const std::size_t jobs : {1u, 2u, 4u, 8u}) {
     double best = 0.0;
     bool identical = true;
+    eval_task_hdr.reset();
     for (int rep = 0; rep < kRepetitions; ++rep) {
       const double start = now_seconds();
       const auto evaluations = run_grid(jobs);
@@ -111,19 +127,28 @@ int main() {
     }
     if (jobs == 1) serial_best = best;
     const double speedup = best > 0.0 ? serial_best / best : 0.0;
+    const double task_p50_ms = eval_task_hdr.percentile(50.0) * 1e3;
+    const double task_p99_ms = eval_task_hdr.percentile(99.0) * 1e3;
     all_identical &= identical;
     table.push_back({format("{}", jobs), format("{:.3f}", best),
                      format("{:.2f}x", speedup),
+                     format("{:.2f}", task_p50_ms),
+                     format("{:.2f}", task_p99_ms),
                      identical ? "yes" : "NO"});
     std::cout << format(
         "{{\"name\":\"parallel_eval_grid/jobs:{}\",\"grid\":{},\"jobs\":{},"
-        "\"best_seconds\":{:.6f},\"speedup\":{:.3f},\"identical\":{}}}\n",
-        jobs, kGrid, jobs, best, speedup, identical ? "true" : "false");
+        "\"best_seconds\":{:.6f},\"speedup\":{:.3f},\"task_p50_ms\":{:.3f},"
+        "\"task_p99_ms\":{:.3f},\"identical\":{}}}\n",
+        jobs, kGrid, jobs, best, speedup, task_p50_ms, task_p99_ms,
+        identical ? "true" : "false");
   }
 
   std::cout << "\n";
   dras::metrics::print_table(
-      std::cout, {"jobs", "best seconds", "speedup", "identical"}, table);
+      std::cout,
+      {"jobs", "best seconds", "speedup", "p50 task ms", "p99 task ms",
+       "identical"},
+      table);
 
   // --- Part 2: rollout-training scaling. ---
   constexpr std::size_t kTrainEpisodes = 8;
@@ -171,6 +196,7 @@ int main() {
   for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
     double best = 0.0;
     bool identical = true;
+    rollout_slot_hdr.reset();
     for (int rep = 0; rep < kRepetitions; ++rep) {
       const double start = now_seconds();
       const auto params = train_rollout(workers);
@@ -182,21 +208,28 @@ int main() {
     }
     if (workers == 1) train_serial_best = best;
     const double speedup = best > 0.0 ? train_serial_best / best : 0.0;
+    const double slot_p50_ms = rollout_slot_hdr.percentile(50.0) * 1e3;
+    const double slot_p99_ms = rollout_slot_hdr.percentile(99.0) * 1e3;
     all_params_identical &= identical;
     train_table.push_back({format("{}", workers), format("{:.3f}", best),
                            format("{:.2f}x", speedup),
+                           format("{:.2f}", slot_p50_ms),
+                           format("{:.2f}", slot_p99_ms),
                            identical ? "yes" : "NO"});
     std::cout << format(
         "{{\"name\":\"rollout_training/workers:{}\",\"episodes\":{},"
         "\"batch\":{},\"workers\":{},\"best_seconds\":{:.6f},"
-        "\"speedup\":{:.3f},\"identical\":{}}}\n",
+        "\"speedup\":{:.3f},\"slot_p50_ms\":{:.3f},\"slot_p99_ms\":{:.3f},"
+        "\"identical\":{}}}\n",
         workers, kTrainEpisodes, kRolloutBatch, workers, best, speedup,
-        identical ? "true" : "false");
+        slot_p50_ms, slot_p99_ms, identical ? "true" : "false");
   }
 
   std::cout << "\n";
   dras::metrics::print_table(
-      std::cout, {"workers", "best seconds", "speedup", "identical"},
+      std::cout,
+      {"workers", "best seconds", "speedup", "p50 slot ms", "p99 slot ms",
+       "identical"},
       train_table);
 
   if (!all_identical) {

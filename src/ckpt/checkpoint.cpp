@@ -14,7 +14,7 @@ namespace dras::ckpt {
 namespace {
 
 void save_counters(util::BinaryWriter& out) {
-  out.section("OBSC", 1);
+  out.section("OBSC", 2);
   std::vector<std::pair<std::string, std::uint64_t>> counters;
   for (const obs::MetricSnapshot& metric : obs::Registry::global().snapshot()) {
     if (metric.kind != obs::MetricKind::Counter) continue;
@@ -26,16 +26,34 @@ void save_counters(util::BinaryWriter& out) {
     out.str(name);
     out.u64(value);
   }
+  // v2 tail: hdr histograms, so restored runs keep their latency
+  // percentiles (and a divergence rollback rewinds them with the rest
+  // of the registry).  hdr_names() is dump order — sorted, stable.
+  obs::Registry& reg = obs::Registry::global();
+  const std::vector<std::string> hdrs = reg.hdr_names();
+  out.u64(hdrs.size());
+  for (const std::string& name : hdrs) {
+    out.str(name);
+    reg.hdr(name).save_state(out);
+  }
 }
 
 void load_counters(util::BinaryReader& in) {
-  in.section("OBSC", 1);
+  const std::uint32_t version = in.section("OBSC", 2);
   const std::uint64_t count = in.u64();
   obs::Registry& reg = obs::Registry::global();
   for (std::uint64_t i = 0; i < count; ++i) {
     const std::string name = in.str();
     const std::uint64_t value = in.u64();
     reg.counter(name).restore(value);
+  }
+  if (version < 2) return;  // v1 predates hdr histograms
+  const std::uint64_t hdr_count = in.u64();
+  for (std::uint64_t i = 0; i < hdr_count; ++i) {
+    const std::string name = in.str();
+    // load_state adopts the stored config, so a registry that created
+    // the metric with different bucketing still restores exactly.
+    reg.hdr(name).load_state(in);
   }
 }
 

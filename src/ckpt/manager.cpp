@@ -5,6 +5,7 @@
 
 #include "core/dras_agent.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "util/binio.h"
 #include "util/format.h"
 #include "util/fs.h"
@@ -21,6 +22,12 @@ obs::Counter& corrupt_skipped_counter() {
   static obs::Counter& counter =
       obs::Registry::global().counter("ckpt.corrupt_skipped");
   return counter;
+}
+
+/// Full checkpoint write latency (serialize + atomic rename + prune).
+obs::HdrHistogram& write_us_hdr() {
+  static obs::HdrHistogram& hdr = obs::Registry::global().hdr("ckpt.write_us");
+  return hdr;
 }
 
 }  // namespace
@@ -83,6 +90,9 @@ std::vector<std::filesystem::path> CheckpointManager::list() const {
 
 std::filesystem::path CheckpointManager::save(const TrainingState& state,
                                               std::size_t episode) {
+  obs::Span save_span(
+      "ckpt.save", {obs::targ("episode", static_cast<std::uint64_t>(episode))},
+      &write_us_hdr());
   const std::filesystem::path path = path_for(episode);
   write_checkpoint_file(path, state);
   last_saved_ = episode;

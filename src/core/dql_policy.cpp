@@ -5,9 +5,21 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "util/binio.h"
 
 namespace dras::core {
+
+namespace {
+/// Wall time of one policy update (TD pass + Adam step, or gradient
+/// deposit in deferred mode).  Shared name with PGPolicy: a run trains
+/// one policy kind, and the span/metric describes "the NN update".
+obs::HdrHistogram& update_us_hdr() {
+  static obs::HdrHistogram& hdr = obs::Registry::global().hdr("nn.update_us");
+  return hdr;
+}
+}  // namespace
 
 DQLPolicy::DQLPolicy(const DQLConfig& config, std::uint64_t seed)
     : config_(config),
@@ -58,6 +70,10 @@ double DQLPolicy::max_q(const std::vector<std::vector<float>>& states) {
 
 void DQLPolicy::update() {
   if (memory_.empty()) return;
+  obs::Span update_span(
+      "nn.update",
+      {obs::targ("steps", static_cast<std::uint64_t>(memory_.size()))},
+      &update_us_hdr());
 
   // Bootstrap targets first (they query the network with current θ).
   std::vector<double> targets(memory_.size());

@@ -6,9 +6,20 @@
 #include <stdexcept>
 
 #include "nn/ops.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "util/binio.h"
 
 namespace dras::core {
+
+namespace {
+/// Wall time of one policy update (batch REINFORCE pass + Adam step,
+/// or gradient deposit in deferred mode).
+obs::HdrHistogram& update_us_hdr() {
+  static obs::HdrHistogram& hdr = obs::Registry::global().hdr("nn.update_us");
+  return hdr;
+}
+}  // namespace
 
 PGPolicy::PGPolicy(const PGConfig& config, std::uint64_t seed)
     : config_(config),
@@ -59,6 +70,9 @@ void PGPolicy::record(std::vector<float> state, std::size_t valid,
 void PGPolicy::update() {
   if (memory_.empty()) return;
   const std::size_t k_total = memory_.size();
+  obs::Span update_span(
+      "nn.update", {obs::targ("steps", static_cast<std::uint64_t>(k_total))},
+      &update_us_hdr());
 
   // Returns-to-go: G_k = sum_{k' >= k} r_{k'} (Eq. 3, undiscounted).
   std::vector<double> returns(k_total);

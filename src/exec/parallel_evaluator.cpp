@@ -1,12 +1,27 @@
 #include "exec/parallel_evaluator.h"
 
+#include <chrono>
 #include <memory>
 #include <stdexcept>
 #include <string>
 
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "util/format.h"
 
 namespace dras::exec {
+
+namespace {
+
+/// Wall time of a single evaluation cell (one trace × one policy),
+/// regardless of whether it ran serially or on the pool.
+obs::HdrHistogram& eval_task_wall_s() {
+  static obs::HdrHistogram& hdr =
+      obs::Registry::global().hdr("eval.task_wall_s");
+  return hdr;
+}
+
+}  // namespace
 
 std::vector<train::Evaluation> ParallelEvaluator::evaluate_grid(
     int total_nodes, std::span<const sim::Trace* const> traces,
@@ -15,13 +30,26 @@ std::vector<train::Evaluation> ParallelEvaluator::evaluate_grid(
   const std::size_t cells = traces.size() * policies.size();
   if (cells == 0) return {};
 
+  // Caller's enclosing span; cell spans parent to it with the cell
+  // index as the stable child ordinal, so span ids are independent of
+  // the degree of parallelism.
+  const obs::SpanContext parent = obs::Span::current();
+
   if (runner_.jobs() <= 1 || cells <= 1) {
     std::vector<train::Evaluation> results;
     results.reserve(cells);
+    std::size_t cell = 0;
     for (const sim::Trace* trace : traces)
-      for (sim::Scheduler* policy : policies)
+      for (sim::Scheduler* policy : policies) {
+        obs::Span cell_span("eval.cell", parent, cell++);
+        const auto start = std::chrono::steady_clock::now();
         results.push_back(
             train::evaluate(total_nodes, *trace, *policy, options));
+        eval_task_wall_s().observe(
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start)
+                .count());
+      }
     return results;
   }
 
@@ -30,6 +58,11 @@ std::vector<train::Evaluation> ParallelEvaluator::evaluate_grid(
       [&](std::size_t cell) {
         const std::size_t t = cell / policies.size();
         const std::size_t p = cell % policies.size();
+        obs::Span cell_span(
+            "eval.cell", parent, cell,
+            {obs::targ("trace", static_cast<std::uint64_t>(t)),
+             obs::targ("policy", static_cast<std::uint64_t>(p))});
+        const auto start = std::chrono::steady_clock::now();
         const sim::Scheduler& original = *policies[p];
         // Clone inside the task so the (potentially expensive) network
         // copy also parallelises across cells.
@@ -39,7 +72,13 @@ std::vector<train::Evaluation> ParallelEvaluator::evaluate_grid(
               "policy '{}' is not cloneable; clone() is required for "
               "parallel evaluation (run with --jobs 1)",
               original.name()));
-        return train::evaluate(total_nodes, *traces[t], *copy, options);
+        train::Evaluation result =
+            train::evaluate(total_nodes, *traces[t], *copy, options);
+        eval_task_wall_s().observe(
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start)
+                .count());
+        return result;
       },
       "evaluate");
 }

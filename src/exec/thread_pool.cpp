@@ -19,8 +19,13 @@ struct ExecMetrics {
   obs::Gauge& queue_depth;
   obs::Gauge& workers;
   obs::Gauge& worker_utilization;
-  obs::Histogram& task_wait_us;
-  obs::Histogram& task_run_us;
+  // Log-bucketed percentile histograms (p50/p90/p99/p999 in snapshots);
+  // mergeable across shards and serialized with run telemetry.
+  obs::HdrHistogram& task_wait_us;
+  obs::HdrHistogram& task_run_us;
+  /// Queue depth sampled at every enqueue/dequeue edge — the depth
+  /// *distribution*, complementing the instantaneous gauge above.
+  obs::HdrHistogram& pool_queue_depth;
 
   static ExecMetrics& get() {
     static ExecMetrics metrics = [] {
@@ -32,10 +37,9 @@ struct ExecMetrics {
           registry.gauge("exec.queue_depth"),
           registry.gauge("exec.workers"),
           registry.gauge("exec.worker_utilization"),
-          registry.histogram("exec.task_wait_us",
-                             obs::Histogram::exponential_bounds(1.0, 4.0, 14)),
-          registry.histogram("exec.task_run_us",
-                             obs::Histogram::exponential_bounds(1.0, 4.0, 16)),
+          registry.hdr("exec.task_wait_us"),
+          registry.hdr("exec.task_run_us"),
+          registry.hdr("exec.pool.queue_depth"),
       };
     }();
     return metrics;
@@ -107,6 +111,7 @@ void ThreadPool::enqueue(Task task) {
     task.enqueued = std::chrono::steady_clock::now();
     queue_.push_back(std::move(task));
     metrics.queue_depth.set(static_cast<double>(queue_.size()));
+    metrics.pool_queue_depth.observe(static_cast<double>(queue_.size()));
   }
   submitted_.fetch_add(1, std::memory_order_relaxed);
   metrics.tasks_submitted.add();
@@ -115,6 +120,10 @@ void ThreadPool::enqueue(Task task) {
 
 void ThreadPool::worker_loop(std::size_t worker_index) {
   auto& metrics = ExecMetrics::get();
+  // One swim-lane per worker on the exec pid: spans opened inside tasks
+  // (e.g. rollout slot spans) inherit this lane automatically.
+  obs::set_thread_trace_lane(
+      {obs::kExecPid, static_cast<int>(worker_index) + 1});
   for (;;) {
     Task task;
     {
@@ -124,6 +133,7 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
       task = std::move(queue_.front());
       queue_.pop_front();
       metrics.queue_depth.set(static_cast<double>(queue_.size()));
+      metrics.pool_queue_depth.observe(static_cast<double>(queue_.size()));
     }
     space_ready_.notify_one();
 

@@ -1,16 +1,44 @@
 #include "nn/network.h"
 
 #include <cassert>
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
 
 #include "nn/ops.h"
+#include "obs/metrics.h"
 #include "util/binio.h"
 #include "util/format.h"
 
 namespace dras::nn {
 
 namespace {
+
+/// Per-call latency distributions for the two hot network entry points.
+/// Clock reads are gated on obs::enabled(); per-slot shards buffer the
+/// observes during parallel rollout, so the registry stays a pure
+/// function of the slot-order merge.
+struct NetMetrics {
+  obs::HdrHistogram& forward_us;
+  obs::HdrHistogram& backward_us;
+
+  static NetMetrics& get() {
+    static NetMetrics metrics = [] {
+      auto& registry = obs::Registry::global();
+      return NetMetrics{
+          registry.hdr("nn.forward_us"),
+          registry.hdr("nn.backward_us"),
+      };
+    }();
+    return metrics;
+  }
+};
+
+double micros_since(std::chrono::steady_clock::time_point start) noexcept {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
 /// Xavier-uniform fill: U(-limit, limit), limit = sqrt(6 / (fan_in+fan_out)).
 void xavier_fill(std::span<float> block, std::size_t fan_in,
                  std::size_t fan_out, util::Rng& rng) {
@@ -64,6 +92,9 @@ Network::Network(const NetworkConfig& config, util::Rng& init_rng)
 std::span<const float> Network::forward(std::span<const float> input) {
   if (input.size() != config_.input_size())
     throw std::invalid_argument("network input has the wrong length");
+  const bool timed = obs::enabled();
+  const auto start = timed ? std::chrono::steady_clock::now()
+                           : std::chrono::steady_clock::time_point{};
   const std::size_t r = config_.input_rows;
   const std::size_t h1 = config_.fc1;
   const std::size_t h2 = config_.fc2;
@@ -91,6 +122,7 @@ std::span<const float> Network::forward(std::span<const float> input) {
     output_[i] += params_[layout_.b3 + i];
 
   has_forward_ = true;
+  if (timed) NetMetrics::get().forward_us.observe(micros_since(start));
   return output_;
 }
 
@@ -99,6 +131,9 @@ void Network::backward(std::span<const float> grad_output) {
     throw std::logic_error("backward() without a preceding forward()");
   if (grad_output.size() != config_.outputs)
     throw std::invalid_argument("grad_output has the wrong length");
+  const bool timed = obs::enabled();
+  const auto start = timed ? std::chrono::steady_clock::now()
+                           : std::chrono::steady_clock::time_point{};
   const std::size_t r = config_.input_rows;
   const std::size_t h1 = config_.fc1;
   const std::size_t h2 = config_.fc2;
@@ -135,6 +170,7 @@ void Network::backward(std::span<const float> grad_output) {
   grads_[layout_.conv] += gw0;
   grads_[layout_.conv + 1] += gw1;
   grads_[layout_.conv + 2] += gb;
+  if (timed) NetMetrics::get().backward_us.observe(micros_since(start));
 }
 
 void Network::zero_gradients() {

@@ -1,0 +1,230 @@
+#include "obs/hdr_histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+#include "obs/metrics.h"
+#include "util/binio.h"
+
+namespace dras::obs {
+
+namespace {
+
+constexpr std::uint32_t kMaxPrecisionBits = 16;
+
+std::uint64_t raw_index(double v, std::uint32_t precision_bits) noexcept {
+  // Positive normal doubles order the same as their bit patterns, so
+  // dropping the low mantissa bits yields a monotone log-linear index.
+  return std::bit_cast<std::uint64_t>(v) >> (52 - precision_bits);
+}
+
+void cas_add(std::atomic<double>& target, double delta) noexcept {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void cas_min(std::atomic<double>& target, double v) noexcept {
+  double lo = target.load(std::memory_order_relaxed);
+  while (v < lo &&
+         !target.compare_exchange_weak(lo, v, std::memory_order_relaxed)) {
+  }
+}
+
+void cas_max(std::atomic<double>& target, double v) noexcept {
+  double hi = target.load(std::memory_order_relaxed);
+  while (v > hi &&
+         !target.compare_exchange_weak(hi, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+HdrHistogram::HdrHistogram(HdrConfig config) { configure(config); }
+
+void HdrHistogram::configure(HdrConfig config) {
+  if (!(config.lowest >= std::numeric_limits<double>::min()) ||
+      !std::isfinite(config.highest) || !(config.highest > config.lowest))
+    throw std::invalid_argument(
+        "HdrConfig: need normal 0 < lowest < highest < inf");
+  if (config.precision_bits == 0 || config.precision_bits > kMaxPrecisionBits)
+    throw std::invalid_argument("HdrConfig: precision_bits out of range");
+  config_ = config;
+  base_ = raw_index(config.lowest, config.precision_bits);
+  const std::uint64_t top = raw_index(config.highest, config.precision_bits);
+  buckets_ = std::vector<std::atomic<std::uint64_t>>(top - base_ + 1);
+  reset();
+}
+
+HdrHistogram::HdrHistogram(const HdrHistogram& other) {
+  configure(other.config_);
+  copy_from(other);
+}
+
+HdrHistogram& HdrHistogram::operator=(const HdrHistogram& other) {
+  if (this == &other) return *this;
+  if (config_ != other.config_) configure(other.config_);
+  copy_from(other);
+  return *this;
+}
+
+void HdrHistogram::copy_from(const HdrHistogram& other) noexcept {
+  for (std::size_t i = 0; i < buckets_.size(); ++i)
+    buckets_[i].store(other.buckets_[i].load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+  count_.store(other.count(), std::memory_order_relaxed);
+  sum_.store(other.sum(), std::memory_order_relaxed);
+  min_.store(other.min(), std::memory_order_relaxed);
+  max_.store(other.max(), std::memory_order_relaxed);
+}
+
+std::size_t HdrHistogram::index_of(double v) const noexcept {
+  // NaN fails both comparisons and clamps to lowest, like any
+  // out-of-range value; aggregates only ever see clamped values.
+  double clamped = v;
+  if (!(clamped > config_.lowest))
+    clamped = config_.lowest;
+  else if (clamped > config_.highest)
+    clamped = config_.highest;
+  return static_cast<std::size_t>(raw_index(clamped, config_.precision_bits) -
+                                  base_);
+}
+
+double HdrHistogram::bucket_value(std::size_t i) const noexcept {
+  const std::uint64_t shifted =
+      (base_ + static_cast<std::uint64_t>(i)) << (52 - config_.precision_bits);
+  const double lower = std::bit_cast<double>(shifted);
+  const double upper = std::min(
+      config_.highest,
+      std::bit_cast<double>(shifted +
+                            (std::uint64_t{1} << (52 - config_.precision_bits))));
+  return lower + (upper - lower) / 2.0;
+}
+
+void HdrHistogram::record_direct(double v) noexcept {
+  const std::size_t slot = index_of(v);
+  double clamped = std::isnan(v) ? config_.lowest
+                                 : std::clamp(v, config_.lowest, config_.highest);
+  buckets_[slot].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  cas_add(sum_, clamped);
+  cas_min(min_, clamped);
+  cas_max(max_, clamped);
+}
+
+void HdrHistogram::record(double v) noexcept { record_direct(v); }
+
+void HdrHistogram::observe(double v) noexcept {
+  if (!enabled()) return;
+  if (detail::t_shard != nullptr) {
+    detail::t_shard->hdr_observe(this, v);
+    return;
+  }
+  record_direct(v);
+}
+
+void HdrHistogram::merge(const HdrHistogram& other) noexcept {
+  const std::uint64_t n = other.count();
+  if (n == 0) return;
+  if (other.config_ == config_) {
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      const std::uint64_t c = other.buckets_[i].load(std::memory_order_relaxed);
+      if (c != 0) buckets_[i].fetch_add(c, std::memory_order_relaxed);
+    }
+    count_.fetch_add(n, std::memory_order_relaxed);
+    cas_add(sum_, other.sum());
+  } else {
+    // Rare path (config drift across versions): re-bucket representatives.
+    for (std::size_t i = 0; i < other.buckets_.size(); ++i) {
+      const std::uint64_t c = other.buckets_[i].load(std::memory_order_relaxed);
+      if (c == 0) continue;
+      const double v = other.bucket_value(i);
+      const std::size_t slot = index_of(v);
+      buckets_[slot].fetch_add(c, std::memory_order_relaxed);
+      cas_add(sum_, v * static_cast<double>(c));
+    }
+    count_.fetch_add(n, std::memory_order_relaxed);
+  }
+  cas_min(min_, other.min());
+  cas_max(max_, other.max());
+}
+
+double HdrHistogram::percentile(double q) const noexcept {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  if (!(q > 0.0)) return min();
+  if (q >= 100.0) return max();
+  const auto rank = std::min<std::uint64_t>(
+      n, std::max<std::uint64_t>(
+             1, static_cast<std::uint64_t>(
+                    std::ceil(q / 100.0 * static_cast<double>(n)))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    cumulative += buckets_[i].load(std::memory_order_relaxed);
+    if (cumulative >= rank)
+      return std::clamp(bucket_value(i), min(), max());
+  }
+  return max();
+}
+
+void HdrHistogram::reset() noexcept {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+void HdrHistogram::save_state(util::BinaryWriter& out) const {
+  out.section("HDRH", 1);
+  out.f64(config_.lowest);
+  out.f64(config_.highest);
+  out.u32(config_.precision_bits);
+  out.u64(count());
+  out.f64(sum());
+  out.f64(min());
+  out.f64(max());
+  std::uint64_t nonzero = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i)
+    if (buckets_[i].load(std::memory_order_relaxed) != 0) ++nonzero;
+  out.u64(nonzero);
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const std::uint64_t c = buckets_[i].load(std::memory_order_relaxed);
+    if (c == 0) continue;
+    out.u64(static_cast<std::uint64_t>(i));
+    out.u64(c);
+  }
+}
+
+void HdrHistogram::load_state(util::BinaryReader& in) {
+  in.section("HDRH", 1);
+  HdrConfig config;
+  config.lowest = in.f64();
+  config.highest = in.f64();
+  config.precision_bits = in.u32();
+  try {
+    if (config != config_) configure(config);
+  } catch (const std::invalid_argument& e) {
+    throw util::SerializationError(e.what());
+  }
+  reset();
+  count_.store(in.u64(), std::memory_order_relaxed);
+  sum_.store(in.f64(), std::memory_order_relaxed);
+  min_.store(in.f64(), std::memory_order_relaxed);
+  max_.store(in.f64(), std::memory_order_relaxed);
+  const std::uint64_t nonzero = in.u64();
+  for (std::uint64_t k = 0; k < nonzero; ++k) {
+    const std::uint64_t index = in.u64();
+    const std::uint64_t c = in.u64();
+    if (index >= buckets_.size())
+      throw util::SerializationError("HDRH: bucket index out of range");
+    buckets_[index].store(c, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace dras::obs

@@ -84,7 +84,46 @@ void MetricShard::histogram_observe(Histogram* histogram, double v) {
   cell->max = std::max(cell->max, v);
 }
 
+void MetricShard::hdr_observe(HdrHistogram* hdr, double v) {
+  for (HdrCell& cell : hdrs_) {
+    if (cell.target == hdr) {
+      cell.local->record(v);
+      return;
+    }
+  }
+  hdrs_.push_back(
+      HdrCell{hdr, std::make_unique<HdrHistogram>(hdr->config())});
+  hdrs_.back().local->record(v);
+}
+
+namespace {
+/// Shard-merge visibility (satellite: obs.shard.merge counters).  The
+/// instruments live in the global registry like every other built-in;
+/// merge_us only reads the clock when telemetry is enabled.
+struct ShardMergeMetrics {
+  Counter& merges;
+  Counter& merged_writes;
+  HdrHistogram& merge_us;
+
+  static ShardMergeMetrics& get() {
+    static ShardMergeMetrics m = [] {
+      auto& reg = Registry::global();
+      return ShardMergeMetrics{reg.counter("obs.shard.merges"),
+                               reg.counter("obs.shard.merged_writes"),
+                               reg.hdr("obs.shard.merge_us")};
+    }();
+    return m;
+  }
+};
+}  // namespace
+
 void MetricShard::merge() {
+  if (empty()) return;
+  const bool timed = enabled();
+  const auto start = timed ? std::chrono::steady_clock::now()
+                           : std::chrono::steady_clock::time_point{};
+  std::uint64_t writes =
+      counters_.size() + gauges_.size() + histograms_.size() + hdrs_.size();
   for (const CounterCell& cell : counters_) cell.counter->absorb(cell.value);
   for (const GaugeCell& cell : gauges_) {
     if (cell.has_set)
@@ -95,9 +134,22 @@ void MetricShard::merge() {
   for (const HistogramCell& cell : histograms_)
     cell.histogram->absorb(cell.buckets, cell.count, cell.sum, cell.min,
                            cell.max);
+  for (const HdrCell& cell : hdrs_) cell.target->merge(*cell.local);
   counters_.clear();
   gauges_.clear();
   histograms_.clear();
+  hdrs_.clear();
+  // Count the merge itself after folding, through the unconditional
+  // absorb path, so a mid-round enable/disable toggle cannot lose it —
+  // same discipline as the cells above.
+  ShardMergeMetrics& m = ShardMergeMetrics::get();
+  m.merges.absorb(1);
+  m.merged_writes.absorb(writes);
+  if (timed) {
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    m.merge_us.record(
+        std::chrono::duration<double, std::micro>(elapsed).count());
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -283,6 +335,25 @@ Histogram& Registry::histogram(std::string_view name,
   return *entry.histogram;
 }
 
+HdrHistogram& Registry::hdr(std::string_view name, HdrConfig config) {
+  const std::scoped_lock lock(mutex_);
+  if (Entry* existing = find_locked(name)) {
+    if (existing->kind != MetricKind::Hdr) kind_clash(name);
+    return *existing->hdr;
+  }
+  Entry& entry = emplace_locked(name, MetricKind::Hdr);
+  entry.hdr = std::make_unique<HdrHistogram>(config);
+  return *entry.hdr;
+}
+
+std::vector<std::string> Registry::hdr_names() const {
+  const std::scoped_lock lock(mutex_);
+  std::vector<std::string> names;
+  for (const auto& [name, entry] : entries_)
+    if (entry.kind == MetricKind::Hdr) names.push_back(name);
+  return names;
+}
+
 bool Registry::contains(std::string_view name) const {
   const std::scoped_lock lock(mutex_);
   const auto it = std::lower_bound(
@@ -305,6 +376,7 @@ void Registry::reset_values() {
       case MetricKind::Counter: entry.counter->reset(); break;
       case MetricKind::Gauge: entry.gauge->reset(); break;
       case MetricKind::Histogram: entry.histogram->reset(); break;
+      case MetricKind::Hdr: entry.hdr->reset(); break;
     }
   }
 }
@@ -342,6 +414,19 @@ std::vector<MetricSnapshot> Registry::snapshot() const {
           snap.buckets.push_back(h.bucket(i));
         break;
       }
+      case MetricKind::Hdr: {
+        const HdrHistogram& h = *entry.hdr;
+        snap.value = h.sum();
+        snap.count = h.count();
+        snap.min = h.count() > 0 ? h.min() : 0.0;
+        snap.max = h.count() > 0 ? h.max() : 0.0;
+        snap.mean = h.mean();
+        snap.p50 = h.percentile(50.0);
+        snap.p90 = h.percentile(90.0);
+        snap.p99 = h.percentile(99.0);
+        snap.p999 = h.percentile(99.9);
+        break;
+      }
     }
     out.push_back(std::move(snap));
   }
@@ -359,6 +444,7 @@ std::string_view kind_name(MetricKind kind) noexcept {
     case MetricKind::Counter: return "counter";
     case MetricKind::Gauge: return "gauge";
     case MetricKind::Histogram: return "histogram";
+    case MetricKind::Hdr: return "hdr";
   }
   return "?";
 }
@@ -385,6 +471,12 @@ std::string metrics_to_json(const Registry& registry) {
       for (std::size_t i = 0; i < m.buckets.size(); ++i)
         out << (i ? "," : "") << m.buckets[i];
       out << ']';
+    } else if (m.kind == MetricKind::Hdr) {
+      out << util::format(
+          ",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},"
+          "\"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{}",
+          m.count, m.value, m.min, m.max, m.mean, m.p50, m.p90, m.p99,
+          m.p999);
     } else {
       out << util::format(",\"value\":{}", m.value);
     }
@@ -396,10 +488,11 @@ std::string metrics_to_json(const Registry& registry) {
 
 std::string metrics_to_csv(const Registry& registry) {
   std::ostringstream out;
-  out << "name,kind,value,count,min,max,mean\n";
+  out << "name,kind,value,count,min,max,mean,p50,p90,p99,p999\n";
   for (const MetricSnapshot& m : registry.snapshot()) {
-    out << util::format("{},{},{},{},{},{},{}\n", m.name, kind_name(m.kind),
-                        m.value, m.count, m.min, m.max, m.mean);
+    out << util::format("{},{},{},{},{},{},{},{},{},{},{}\n", m.name,
+                        kind_name(m.kind), m.value, m.count, m.min, m.max,
+                        m.mean, m.p50, m.p90, m.p99, m.p999);
   }
   return out.str();
 }
@@ -413,6 +506,11 @@ std::string metrics_to_text(const Registry& registry) {
       out << util::format(
           "{} n={} mean={:.2f} min={:.2f} max={:.2f} sum={:.2f}\n", name,
           m.count, m.mean, m.min, m.max, m.value);
+    } else if (m.kind == MetricKind::Hdr) {
+      out << util::format(
+          "{} n={} mean={:.2f} p50={:.2f} p90={:.2f} p99={:.2f} "
+          "p999={:.2f} max={:.2f}\n",
+          name, m.count, m.mean, m.p50, m.p90, m.p99, m.p999, m.max);
     } else {
       out << util::format("{} {}\n", name, m.value);
     }

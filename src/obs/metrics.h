@@ -38,6 +38,8 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/hdr_histogram.h"
+
 #ifndef DRAS_OBS_COMPILED
 #define DRAS_OBS_COMPILED 1
 #endif
@@ -70,6 +72,7 @@ class MetricShard {
   void gauge_set(Gauge* gauge, double v);
   void gauge_add(Gauge* gauge, double delta);
   void histogram_observe(Histogram* histogram, double v);
+  void hdr_observe(HdrHistogram* hdr, double v);
 
   /// Fold every buffered write into the real instruments, then clear.
   /// Callers own the ordering contract: merge shards in ascending task
@@ -77,7 +80,8 @@ class MetricShard {
   void merge();
 
   [[nodiscard]] bool empty() const noexcept {
-    return counters_.empty() && gauges_.empty() && histograms_.empty();
+    return counters_.empty() && gauges_.empty() && histograms_.empty() &&
+           hdrs_.empty();
   }
 
  private:
@@ -97,10 +101,17 @@ class MetricShard {
     std::uint64_t count;
     double sum, min, max;
   };
+  struct HdrCell {
+    HdrHistogram* target;
+    // Heap cell: HdrHistogram holds atomics and cannot be moved with
+    // the vector; the local copy shares the target's config.
+    std::unique_ptr<HdrHistogram> local;
+  };
 
   std::vector<CounterCell> counters_;
   std::vector<GaugeCell> gauges_;
   std::vector<HistogramCell> histograms_;
+  std::vector<HdrCell> hdrs_;
 };
 
 namespace detail {
@@ -282,7 +293,7 @@ class ScopedTimer {
   std::chrono::steady_clock::time_point start_;
 };
 
-enum class MetricKind { Counter, Gauge, Histogram };
+enum class MetricKind { Counter, Gauge, Histogram, Hdr };
 
 /// Point-in-time copy of one metric, for dumps and tests.
 struct MetricSnapshot {
@@ -291,8 +302,9 @@ struct MetricSnapshot {
   double value = 0.0;           ///< counter / gauge value; histogram sum.
   std::uint64_t count = 0;      ///< histogram observation count.
   double min = 0.0, max = 0.0, mean = 0.0;  ///< histogram only.
-  std::vector<double> bounds;               ///< histogram only.
-  std::vector<std::uint64_t> buckets;       ///< histogram only.
+  std::vector<double> bounds;               ///< fixed-bucket histogram only.
+  std::vector<std::uint64_t> buckets;       ///< fixed-bucket histogram only.
+  double p50 = 0.0, p90 = 0.0, p99 = 0.0, p999 = 0.0;  ///< hdr only.
 };
 
 /// Name → metric registry.  Lookup creates on first use; names are
@@ -308,6 +320,14 @@ class Registry {
   /// `bounds` is consulted only on first registration.
   [[nodiscard]] Histogram& histogram(std::string_view name,
                                      std::vector<double> bounds);
+  /// Log-bucketed percentile histogram; `config` is consulted only on
+  /// first registration.
+  [[nodiscard]] HdrHistogram& hdr(std::string_view name,
+                                  HdrConfig config = {});
+
+  /// Names of every hdr-kind metric, in dump order (checkpoint
+  /// telemetry serialization).
+  [[nodiscard]] std::vector<std::string> hdr_names() const;
 
   [[nodiscard]] bool contains(std::string_view name) const;
   [[nodiscard]] std::size_t size() const;
@@ -325,6 +345,7 @@ class Registry {
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<Histogram> histogram;
+    std::unique_ptr<HdrHistogram> hdr;
   };
 
   mutable std::mutex mutex_;

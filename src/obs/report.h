@@ -1,0 +1,112 @@
+// Offline run analysis: the library behind tools/dras_report.
+//
+// Loads the artifacts a RunRecorder leaves in a run directory —
+// run.json (required), rounds.jsonl and metrics.json (optional) — and
+// turns them into percentile summary tables and A/B comparisons with
+// relative-delta thresholds.  Lives in the library (not the tool) so
+// tests can drive every path without spawning processes, and so a
+// future serving layer can reuse the regression gate in-process.
+//
+// Comparable metric names:
+//   round_time_p50 / p90 / p99 / p999 / mean
+//       exact quantiles over the per-round wall_s series in
+//       rounds.jsonl (nearest-rank on the sorted series); falls back to
+//       the manifest's cumulative round_wall_s block when the series is
+//       missing.  Higher is worse.
+//   final_score          manifest "final_score".  Lower is worse.
+//   wall_seconds         manifest total.  Higher is worse.
+//   episodes / rounds    manifest totals.  Lower is worse (a run that
+//                        silently did less work is a regression too).
+//   hdr:<name>:<stat>    any hdr metric from metrics.json, <stat> one of
+//                        p50/p90/p99/p999/mean/max/count.  Higher is
+//                        worse.
+//
+// A comparison regresses when candidate B is worse than baseline A by
+// more than the threshold's relative fraction (0.10 = 10%).  A metric
+// listed in a threshold but missing from either run is reported as
+// missing and fails the comparison — a gate that silently skips its
+// metric is not a gate.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace dras::obs::report {
+
+/// Exact order statistics of a small series (nearest-rank quantiles).
+struct SeriesStats {
+  std::uint64_t count = 0;
+  double mean = 0.0, min = 0.0, max = 0.0;
+  double p50 = 0.0, p90 = 0.0, p99 = 0.0, p999 = 0.0;
+};
+
+[[nodiscard]] SeriesStats exact_stats(std::vector<double> values);
+
+/// One loaded run directory.
+struct RunData {
+  std::filesystem::path dir;
+  util::json::Value manifest;               ///< run.json.
+  std::vector<util::json::Value> rounds;    ///< parsed rounds.jsonl lines.
+  util::json::Value metrics;                ///< metrics.json or Null.
+  std::vector<double> round_wall_s;         ///< wall_s series, run order.
+};
+
+/// Throws std::runtime_error when run.json is missing or malformed.
+/// rounds.jsonl is read tolerantly: unparseable lines (the torn tail of
+/// a crashed run) are skipped.
+[[nodiscard]] RunData load_run(const std::filesystem::path& dir);
+
+/// Value of a comparable metric (see file comment); nullopt when the
+/// run does not carry it.
+[[nodiscard]] std::optional<double> metric_value(const RunData& run,
+                                                 const std::string& name);
+
+/// Does a larger value of `metric` mean a worse run?
+[[nodiscard]] bool higher_is_worse(const std::string& metric);
+
+struct Threshold {
+  std::string metric;
+  double relative = 0.10;  ///< allowed relative slack before regression.
+};
+
+/// The CI gate defaults: round-time p99 and final validation score,
+/// both at 10%.
+[[nodiscard]] std::vector<Threshold> default_thresholds();
+
+/// Parse "metric=0.15" (fraction) — the --threshold CLI syntax.
+/// Throws std::invalid_argument on malformed specs.
+[[nodiscard]] Threshold parse_threshold(const std::string& spec);
+
+struct CompareRow {
+  std::string metric;
+  std::optional<double> baseline, candidate;
+  double delta = 0.0;  ///< (candidate - baseline) / |baseline|.
+  double allowed = 0.0;
+  bool regressed = false;
+  bool missing = false;
+};
+
+struct CompareResult {
+  std::vector<CompareRow> rows;
+  bool fingerprint_mismatch = false;
+  bool regressed = false;  ///< any row regressed or missing.
+};
+
+[[nodiscard]] CompareResult compare_runs(
+    const RunData& baseline, const RunData& candidate,
+    const std::vector<Threshold>& thresholds);
+
+/// Rendering.  `summary_json` emits a self-contained document (not a
+/// re-dump of the inputs); `compare_markdown` includes the verdict line.
+[[nodiscard]] std::string summary_markdown(const RunData& run);
+[[nodiscard]] std::string summary_json(const RunData& run);
+[[nodiscard]] std::string compare_markdown(const RunData& baseline,
+                                           const RunData& candidate,
+                                           const CompareResult& result);
+
+}  // namespace dras::obs::report

@@ -1,0 +1,145 @@
+// Run manifests: the durable, machine-readable record of one training
+// or bench run.
+//
+// A RunRecorder owns a run directory and writes two artifacts into it:
+//
+//   run.json     — the manifest: tool, full argv, seed, config
+//                  fingerprint, build info, wall time, round/episode
+//                  totals, cumulative round-duration percentiles and the
+//                  final validation score.  Written atomically (temp +
+//                  fsync + rename) at every flush, so readers only ever
+//                  see a complete document.
+//   rounds.jsonl — one JSON object per committed training round: loss,
+//                  reward, epsilon, LR scale, rollback count, round wall
+//                  time and the cumulative p50/p90/p99 so far.  Written
+//                  through a plain (non-atomic) FileSink on purpose: a
+//                  crash or SIGKILL loses at most the buffered tail and
+//                  every prior line stays salvageable, which is exactly
+//                  what a time series wants.
+//
+// The recorder keeps its own private HdrHistogram of round wall times —
+// independent of the global registry and of obs::set_enabled — so the
+// manifest's percentiles are always present, even for runs that never
+// turned the metrics subsystem on.  tools/dras_report consumes these
+// files; ci's telemetry-regression job diffs them across runs.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/hdr_histogram.h"
+#include "obs/sink.h"
+
+namespace dras::obs {
+
+/// Immutable facts about the run, captured at construction.
+struct RunInfo {
+  std::string tool;               ///< e.g. "dras_sim".
+  std::vector<std::string> argv;  ///< full command line, argv[0] included.
+  std::uint64_t seed = 0;
+  /// Hex fingerprint of the effective configuration (CRC-32 of the
+  /// canonical flag/config string); lets dras_report refuse to compare
+  /// apples to oranges loudly instead of silently.
+  std::string config_fingerprint;
+};
+
+/// One committed training round (see train::Trainer::run).
+struct RoundRecord {
+  std::uint64_t round = 0;          ///< 0-based, this process's run.
+  std::uint64_t first_episode = 0;  ///< global episode index of slot 0.
+  std::uint64_t episodes = 0;       ///< batch size of the round.
+  double mean_loss = 0.0;
+  double mean_training_reward = 0.0;
+  double validation_reward = 0.0;
+  double epsilon = 0.0;
+  double lr_scale = 1.0;
+  std::uint64_t rollbacks = 0;  ///< cumulative divergence rollbacks.
+  double wall_seconds = 0.0;    ///< wall-clock cost of the round.
+};
+
+class RunRecorder {
+ public:
+  /// Creates `dir` (parents included) and opens rounds.jsonl.  Throws
+  /// std::runtime_error when the directory or file cannot be created.
+  RunRecorder(std::filesystem::path dir, RunInfo info);
+  /// Finalizes the manifest if finish() was never called (recorded as
+  /// completed=false, so an aborted run is distinguishable).
+  ~RunRecorder();
+
+  RunRecorder(const RunRecorder&) = delete;
+  RunRecorder& operator=(const RunRecorder&) = delete;
+
+  /// Append one round to rounds.jsonl and fold it into the cumulative
+  /// percentiles.  Thread-safe.
+  void record_round(const RoundRecord& record);
+
+  /// The run's headline result (dras_sim: greedy validation total
+  /// reward).  Shows up as "final_score" in the manifest.
+  void set_final_score(double score);
+
+  /// Attach a free-form string fact to the manifest's "notes" object
+  /// (policy name, model file, jobset label, ...).
+  void note(std::string_view key, std::string_view value);
+
+  /// Record that the run is being interrupted by `signal`; the manifest
+  /// gains "interrupted": true.  Called from the InterruptGuard flush
+  /// hook before flush().
+  void mark_interrupted(int signal);
+
+  /// Drain rounds.jsonl to disk and write an interim manifest.  Safe to
+  /// call from the signal-flush watcher thread and at any point mid-run.
+  void flush();
+
+  /// Write the final manifest (completed=true) and close rounds.jsonl.
+  /// Idempotent; later calls win on exit_code.
+  void finish(int exit_code);
+
+  [[nodiscard]] const std::filesystem::path& dir() const noexcept {
+    return dir_;
+  }
+  /// Conventional sibling artifact paths inside the run directory.
+  [[nodiscard]] std::filesystem::path manifest_path() const {
+    return dir_ / "run.json";
+  }
+  [[nodiscard]] std::filesystem::path rounds_path() const {
+    return dir_ / "rounds.jsonl";
+  }
+  [[nodiscard]] std::filesystem::path trace_path() const {
+    return dir_ / "trace.json";
+  }
+  [[nodiscard]] std::filesystem::path metrics_path() const {
+    return dir_ / "metrics.json";
+  }
+
+  [[nodiscard]] std::uint64_t rounds_recorded() const;
+
+ private:
+  [[nodiscard]] std::string manifest_json_locked(bool completed) const;
+  void write_manifest_locked(bool completed) const;
+
+  std::filesystem::path dir_;
+  RunInfo info_;
+  mutable std::mutex mutex_;
+  std::unique_ptr<FileSink> rounds_sink_;
+  HdrHistogram round_wall_s_;  ///< private; independent of obs::enabled().
+  std::uint64_t rounds_ = 0;
+  std::uint64_t episodes_ = 0;
+  std::uint64_t rollbacks_ = 0;
+  std::optional<double> final_score_;
+  std::map<std::string, std::string> notes_;
+  bool interrupted_ = false;
+  int signal_ = 0;
+  bool finished_ = false;
+  int exit_code_ = 0;
+  double started_unix_ = 0.0;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace dras::obs

@@ -1,0 +1,121 @@
+#include "obs/span.h"
+
+#include "obs/metrics.h"
+
+namespace dras::obs {
+
+namespace {
+
+thread_local Span* t_current = nullptr;
+/// Ordinal for root spans opened on this thread (keeps sibling roots —
+/// successive rounds — distinct and reproducible).
+thread_local std::uint64_t t_root_seq = 0;
+
+std::uint64_t fnv1a(std::string_view text) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+namespace detail {
+
+std::uint64_t span_id(std::uint64_t parent_id, std::string_view name,
+                      std::uint64_t seq) noexcept {
+  const std::uint64_t id =
+      splitmix64(parent_id ^ fnv1a(name) ^
+                 (seq + 1) * 0x9e3779b97f4a7c15ull);
+  return id == 0 ? 1 : id;  // 0 is the "no parent" sentinel
+}
+
+}  // namespace detail
+
+Span::Span(std::string_view name, std::vector<TraceArg> args,
+           HdrHistogram* latency_us) {
+  Span* parent = t_current;
+  EventTracer* tracer =
+      parent != nullptr ? parent->tracer_ : default_tracer();
+  const std::uint64_t parent_id = parent != nullptr ? parent->id_ : 0;
+  const std::uint64_t seq =
+      parent != nullptr ? parent->child_seq_++ : t_root_seq++;
+  parent_lane_ = parent != nullptr ? parent->lane_ : thread_trace_lane();
+  open(name, parent_id, tracer, seq, std::move(args), latency_us);
+}
+
+Span::Span(std::string_view name, const SpanContext& parent,
+           std::uint64_t child_seq, std::vector<TraceArg> args,
+           HdrHistogram* latency_us) {
+  parent_lane_ = parent.lane;
+  open(name, parent.id, parent.tracer, child_seq, std::move(args),
+       latency_us);
+}
+
+void Span::open(std::string_view name, std::uint64_t parent_id,
+                EventTracer* tracer, std::uint64_t seq,
+                std::vector<TraceArg>&& args, HdrHistogram* latency_us) {
+  traced_ = tracer != nullptr;
+  hdr_ = (latency_us != nullptr && enabled()) ? latency_us : nullptr;
+  parent_id_ = parent_id;
+  id_ = detail::span_id(parent_id, name, seq);
+  lane_ = thread_trace_lane();
+  cross_lane_ = traced_ && parent_id_ != 0 && !(parent_lane_ == lane_);
+  previous_ = t_current;
+  t_current = this;
+  if (!active()) return;
+  name_ = name;
+  if (traced_) {
+    tracer_ = tracer;
+    args_ = std::move(args);
+    start_wall_ = tracer_->wall_seconds();
+  }
+  if (hdr_ != nullptr || traced_)
+    start_steady_ = std::chrono::steady_clock::now();
+}
+
+Span::~Span() {
+  t_current = previous_;
+  if (!active()) return;
+  const auto elapsed = std::chrono::steady_clock::now() - start_steady_;
+  if (hdr_ != nullptr)
+    hdr_->observe(
+        std::chrono::duration<double, std::micro>(elapsed).count());
+  if (!traced_) return;
+  const double dur = std::chrono::duration<double>(elapsed).count();
+  args_.push_back(targ("span", id_));
+  if (parent_id_ != 0) args_.push_back(targ("parent", parent_id_));
+  tracer_->complete(name_, start_wall_, dur, args_, lane_.pid, lane_.tid);
+  if (cross_lane_) {
+    // Arrow from the parent's row to this span's start.
+    tracer_->flow(name_, start_wall_, id_, /*start=*/true, parent_lane_.pid,
+                  parent_lane_.tid);
+    tracer_->flow(name_, start_wall_, id_, /*start=*/false, lane_.pid,
+                  lane_.tid);
+  }
+}
+
+void Span::arg(TraceArg arg) {
+  if (!traced_) return;
+  args_.push_back(std::move(arg));
+}
+
+SpanContext Span::context() const noexcept {
+  return SpanContext{id_, tracer_, lane_};
+}
+
+SpanContext Span::current() noexcept {
+  if (t_current == nullptr) return SpanContext{};
+  return t_current->context();
+}
+
+}  // namespace dras::obs

@@ -1,0 +1,116 @@
+// Hierarchical RAII spans with stable ids and cross-thread causality.
+//
+// A Span measures one unit of work (a training round, a rollout slot, an
+// NN update, a checkpoint write) and knows its parent: spans opened on
+// the same thread nest automatically through a thread-local stack, and a
+// span can be parented across threads by capturing the parent's
+// SpanContext before handing work to a pool.  On destruction a span
+// emits an 'X' complete event carrying its own id and its parent's id,
+// plus a flow-event pair ('s'/'f') when parent and child render on
+// different trace rows — chrome://tracing then draws the round → slot
+// causality arrows that make a round's critical path visible.
+//
+// Ids are deterministic, not random: id = mix(parent_id, name, seq)
+// where `seq` is the parent's child ordinal (or an explicit slot index
+// for cross-thread children).  Two runs of the same workload produce
+// the same span ids, so traces diff cleanly and tests can pin them.
+// Nothing here reads /dev/urandom or the wall clock beyond the tracer's
+// own monotonic timebase — spans cannot perturb training determinism.
+//
+// A span is *active* when it resolved a tracer (explicit parent's, the
+// innermost enclosing span's, or obs::default_tracer()) or when it was
+// given an HdrHistogram latency target while telemetry is enabled.
+// Inactive spans skip the clock reads and string copies entirely; the
+// latency target records through HdrHistogram::observe, so worker
+// threads buffer into their MetricShard and the registry stays a pure
+// function of the batch.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/hdr_histogram.h"
+#include "obs/trace.h"
+
+namespace dras::obs {
+
+/// A span's identity as seen by its children: enough to parent a new
+/// span from another thread and to draw the flow arrow back to the
+/// parent's trace row.  Default-constructed = "no parent, no tracer".
+struct SpanContext {
+  std::uint64_t id = 0;
+  EventTracer* tracer = nullptr;
+  TraceLane lane{};
+
+  [[nodiscard]] bool traced() const noexcept { return tracer != nullptr; }
+};
+
+namespace detail {
+/// mix(parent, name, seq) — the deterministic span-id function (FNV-1a
+/// over the name, splitmix64 finalizer).  Exposed for tests.
+[[nodiscard]] std::uint64_t span_id(std::uint64_t parent_id,
+                                    std::string_view name,
+                                    std::uint64_t seq) noexcept;
+}  // namespace detail
+
+class Span {
+ public:
+  /// Child of the innermost span on this thread (or a root span when
+  /// there is none), on the tracer that span resolved — falling back to
+  /// obs::default_tracer().  `latency_us` optionally records the span's
+  /// duration (µs) through HdrHistogram::observe.
+  explicit Span(std::string_view name, std::vector<TraceArg> args = {},
+                HdrHistogram* latency_us = nullptr);
+
+  /// Child of `parent` (captured on another thread before the handoff).
+  /// `child_seq` must be stable across scheduling — the rollout engine
+  /// passes the slot index — so the span id is reproducible.  Emits a
+  /// flow-event pair when the parent renders on a different trace row.
+  Span(std::string_view name, const SpanContext& parent,
+       std::uint64_t child_seq, std::vector<TraceArg> args = {},
+       HdrHistogram* latency_us = nullptr);
+
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Append an arg visible on the emitted slice (results known only at
+  /// the end of the work, e.g. a round's loss).  No-op when inactive.
+  void arg(TraceArg arg);
+
+  [[nodiscard]] bool active() const noexcept { return traced_ || hdr_ != nullptr; }
+  [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+
+  /// This span's identity, for parenting work handed to another thread.
+  [[nodiscard]] SpanContext context() const noexcept;
+
+  /// The innermost span on the calling thread (a default SpanContext
+  /// when none is open).
+  [[nodiscard]] static SpanContext current() noexcept;
+
+ private:
+  void open(std::string_view name, std::uint64_t parent_id,
+            EventTracer* tracer, std::uint64_t seq,
+            std::vector<TraceArg>&& args, HdrHistogram* latency_us);
+
+  std::string name_;
+  std::vector<TraceArg> args_;
+  EventTracer* tracer_ = nullptr;
+  HdrHistogram* hdr_ = nullptr;
+  std::uint64_t id_ = 0;
+  std::uint64_t parent_id_ = 0;
+  std::uint64_t child_seq_ = 0;  ///< next same-thread child ordinal.
+  TraceLane lane_{};
+  TraceLane parent_lane_{};
+  bool traced_ = false;
+  bool cross_lane_ = false;
+  double start_wall_ = 0.0;      ///< tracer timebase (flow/X events).
+  std::chrono::steady_clock::time_point start_steady_{};
+  Span* previous_ = nullptr;     ///< enclosing span on this thread.
+};
+
+}  // namespace dras::obs

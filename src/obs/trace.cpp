@@ -124,6 +124,19 @@ void EventTracer::counter(std::string_view name, double ts_seconds,
   append_locked(std::move(event));
 }
 
+void EventTracer::flow(std::string_view name, double ts_seconds,
+                       std::uint64_t flow_id, bool start, int pid, int tid) {
+  // "bp":"e" on the finish side binds the arrow to the enclosing slice
+  // instead of the next one, which is what nested spans want.
+  std::string event = util::format(
+      "{{\"name\":{},\"cat\":\"flow\",\"ph\":\"{}\"{},\"id\":{},"
+      "\"ts\":{:.3f},\"pid\":{},\"tid\":{}}}",
+      util::json::quote(name), start ? 's' : 'f',
+      start ? "" : ",\"bp\":\"e\"", flow_id, ts_seconds * 1e6, pid, tid);
+  const std::scoped_lock lock(mutex_);
+  append_locked(std::move(event));
+}
+
 double EventTracer::wall_seconds() const noexcept {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        epoch_)
@@ -157,6 +170,14 @@ void EventTracer::close() {
   // here, so a finalized trace is the only thing a reader can observe.
   sink_->close();
 }
+
+namespace {
+thread_local TraceLane t_lane{};
+}  // namespace
+
+void set_thread_trace_lane(TraceLane lane) noexcept { t_lane = lane; }
+
+TraceLane thread_trace_lane() noexcept { return t_lane; }
 
 void set_default_tracer(EventTracer* tracer) noexcept {
   g_default_tracer.store(tracer, std::memory_order_release);

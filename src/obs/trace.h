@@ -52,6 +52,35 @@ inline constexpr int kTrainPid = 2;  ///< Wall-time (trainer) lane.
 inline constexpr int kExecPid = 3;   ///< Wall-time (thread pool) lane;
                                      ///< tid = worker index + 1.
 
+/// The (pid, tid) trace row wall-time events from the current thread
+/// belong on.  Defaults to the trainer lane; exec::ThreadPool workers
+/// switch themselves to (kExecPid, worker + 1) so spans opened inside a
+/// pool task land on the worker's own row.
+struct TraceLane {
+  int pid = kTrainPid;
+  int tid = 1;
+
+  friend bool operator==(const TraceLane&, const TraceLane&) = default;
+};
+
+void set_thread_trace_lane(TraceLane lane) noexcept;
+[[nodiscard]] TraceLane thread_trace_lane() noexcept;
+
+/// RAII lane override (pool workers; tests).
+class TraceLaneScope {
+ public:
+  explicit TraceLaneScope(TraceLane lane) noexcept
+      : previous_(thread_trace_lane()) {
+    set_thread_trace_lane(lane);
+  }
+  ~TraceLaneScope() { set_thread_trace_lane(previous_); }
+  TraceLaneScope(const TraceLaneScope&) = delete;
+  TraceLaneScope& operator=(const TraceLaneScope&) = delete;
+
+ private:
+  TraceLane previous_;
+};
+
 class EventTracer {
  public:
   /// Takes ownership of `sink`.  Emits process-name metadata up front.
@@ -73,6 +102,12 @@ class EventTracer {
   /// 'C' counter sample; renders as a counter track.
   void counter(std::string_view name, double ts_seconds, double value,
                int pid = kSimPid);
+  /// Flow event: 's' (start) / 'f' (finish, binding to the enclosing
+  /// slice) with a shared `flow_id` draws a causality arrow between two
+  /// slices — used by obs::Span to connect a cross-thread child to its
+  /// parent's lane.
+  void flow(std::string_view name, double ts_seconds, std::uint64_t flow_id,
+            bool start, int pid, int tid);
 
   /// Wall-clock seconds since this tracer was constructed (monotonic);
   /// the timestamp source for wall-time lanes.

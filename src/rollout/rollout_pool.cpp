@@ -10,6 +10,7 @@
 #include "exec/thread_pool.h"
 #include "nn/grad_accumulator.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 #include "sim/simulator.h"
 #include "util/format.h"
@@ -24,9 +25,8 @@ struct RolloutMetrics {
   obs::Counter& rounds = reg.counter("rollout.rounds");
   obs::Counter& episodes = reg.counter("rollout.episodes");
   obs::Counter& updates_reduced = reg.counter("rollout.updates_reduced");
-  obs::Histogram& round_wall_s = reg.histogram(
-      "rollout.round_wall_s",
-      obs::Histogram::exponential_bounds(0.001, 4.0, 12));
+  obs::HdrHistogram& round_wall_s = reg.hdr("rollout.round_wall_s");
+  obs::HdrHistogram& slot_wall_s = reg.hdr("rollout.slot_wall_s");
 
   static RolloutMetrics& get() {
     static RolloutMetrics metrics;
@@ -71,6 +71,10 @@ RoundResult RolloutPool::collect(core::DrasAgent& agent, int total_nodes,
   std::optional<core::PGPolicy::BaselineSnapshot> baseline;
   if (agent.pg() != nullptr) baseline = agent.pg()->baseline_snapshot();
 
+  // The enclosing round span (Trainer::run) on the submitting thread;
+  // slot spans parent to it across the pool with the slot index as the
+  // stable child ordinal, so span ids are identical at any worker count.
+  const obs::SpanContext round_ctx = obs::Span::current();
   std::vector<SlotOutcome> outcomes(slots.size());
   const auto run_slot = [&](std::size_t i) {
     SlotOutcome& slot = outcomes[i];
@@ -79,6 +83,10 @@ RoundResult RolloutPool::collect(core::DrasAgent& agent, int total_nodes,
     // Everything the episode emits is buffered per slot and merged in
     // slot order at the round boundary.
     obs::ShardScope shard_scope(slot.shard);
+    obs::Span slot_span(
+        "slot", round_ctx, i,
+        {obs::targ("episode", static_cast<std::uint64_t>(first_episode + i)),
+         obs::targ("jobset", slots[i].name)});
     slot.clone = agent.clone_agent();
     // One stream per global episode index, derived from the recovery
     // nonce: stable across worker counts, and a rolled-back round
@@ -106,6 +114,9 @@ RoundResult RolloutPool::collect(core::DrasAgent& agent, int total_nodes,
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       slot_start)
             .count();
+    // Buffered in this slot's shard; merged in slot order below, so the
+    // registry content stays independent of worker count.
+    RolloutMetrics::get().slot_wall_s.observe(result.wall_seconds);
   };
 
   if (workers_ <= 1 || slots.size() <= 1) {

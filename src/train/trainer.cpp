@@ -6,6 +6,8 @@
 #include "exec/parallel_runner.h"
 #include "nn/serialize.h"
 #include "obs/metrics.h"
+#include "obs/run_manifest.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 #include "robust/health.h"
 #include "robust/recovery.h"
@@ -25,12 +27,13 @@ struct TrainMetrics {
   obs::Counter& episodes = reg.counter("train.episodes");
   obs::Counter& snapshots = reg.counter("train.snapshots");
   obs::Counter& validations = reg.counter("train.validations");
-  obs::Histogram& episode_wall_s = reg.histogram(
-      "train.episode_wall_s",
-      obs::Histogram::exponential_bounds(0.001, 4.0, 12));
-  obs::Histogram& validation_wall_s = reg.histogram(
-      "train.validation_wall_s",
-      obs::Histogram::exponential_bounds(0.001, 4.0, 12));
+  // Wall-time distributions are hdr histograms: p50/p90/p99/p999 with
+  // ~0.4% relative error, mergeable across rollout shards.
+  obs::HdrHistogram& episode_wall_s = reg.hdr("train.episode_wall_s");
+  obs::HdrHistogram& validation_wall_s = reg.hdr("train.validation_wall_s");
+  obs::HdrHistogram& round_wall_s = reg.hdr("train.round_wall_s");
+  // Loss keeps the fixed-bucket histogram: it can be negative, which
+  // the log-bucketed hdr kind would clamp away.
   obs::Histogram& loss = reg.histogram(
       "train.loss", obs::Histogram::exponential_bounds(1e-4, 10.0, 10));
   obs::Counter& divergence_events = reg.counter("robust.divergence_events");
@@ -100,9 +103,17 @@ std::vector<EpisodeResult> Trainer::validate_many(
   // Each task validates a private clone: validation is greedy and
   // mutates only transient episode state, and the clone starts
   // bit-identical to the live agent, so results match the serial path.
+  // Per-task spans parent to the caller's span (cross-thread, seq = the
+  // stable trace index) so --jobs N fan-out is visible in the trace;
+  // validate_on records each task's duration into the
+  // train.validation_wall_s hdr histogram.
+  const obs::SpanContext parent = obs::Span::current();
   return runner.map(
       traces.size(),
       [&](std::size_t i) {
+        obs::Span task_span(
+            "validate.task", parent, i,
+            {obs::targ("trace", static_cast<std::uint64_t>(i))});
         const auto clone = agent_.clone_agent();
         return validate_on(traces[i], *clone);
       },
@@ -243,11 +254,22 @@ std::vector<EpisodeResult> Trainer::run(Curriculum& curriculum,
   std::vector<EpisodeResult> results;
   results.reserve(curriculum.size() - curriculum.position());
   bool interrupted = false;
+  std::uint64_t rounds_committed = 0;
   while (!curriculum.done()) {
     if (stopped()) {
       interrupted = true;
       break;
     }
+    const auto round_start = std::chrono::steady_clock::now();
+    const std::size_t first_episode = episodes_done_;
+    // The round span covers collection, validation, guardrails and the
+    // boundary checkpoint — the full critical path of one round.  Slot
+    // spans opened by the rollout pool parent themselves here via
+    // obs::Span::current().
+    obs::Span round_span(
+        "round",
+        {obs::targ("first_episode",
+                   static_cast<std::uint64_t>(first_episode))});
     std::vector<EpisodeResult> batch;
     if (round_size > 1) {
       const std::size_t remaining =
@@ -332,6 +354,22 @@ std::vector<EpisodeResult> Trainer::run(Curriculum& curriculum,
       break;
     }
     if (rolled_back) continue;  // retry from the restored cursor
+    // Round aggregates, captured before the results are moved out.
+    obs::RoundRecord round_record;
+    round_record.round = rounds_committed;
+    round_record.first_episode = first_episode;
+    round_record.episodes = batch.size();
+    for (const EpisodeResult& result : batch) {
+      round_record.mean_loss += result.loss;
+      round_record.mean_training_reward += result.training_reward;
+      round_record.validation_reward = result.validation_reward;
+      round_record.epsilon = result.epsilon;
+    }
+    if (!batch.empty()) {
+      round_record.mean_loss /= static_cast<double>(batch.size());
+      round_record.mean_training_reward /=
+          static_cast<double>(batch.size());
+    }
     for (EpisodeResult& result : batch) {
       curriculum.advance();
       if (run_options.monitor != nullptr)
@@ -346,6 +384,24 @@ std::vector<EpisodeResult> Trainer::run(Curriculum& curriculum,
         run_options.checkpoints->should_save(episodes_done_)) {
       save_checkpoint();
     }
+    ++rounds_committed;
+    round_record.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      round_start)
+            .count();
+    if (run_options.recovery != nullptr) {
+      const ckpt::RecoveryState& recovery_state =
+          run_options.recovery->state();
+      round_record.lr_scale = recovery_state.lr_scale;
+      round_record.rollbacks = recovery_state.rollbacks;
+    }
+    TrainMetrics::get().round_wall_s.observe(round_record.wall_seconds);
+    round_span.arg(obs::targ("loss", round_record.mean_loss));
+    round_span.arg(
+        obs::targ("episodes",
+                  static_cast<std::uint64_t>(round_record.episodes)));
+    if (run_options.run != nullptr)
+      run_options.run->record_round(round_record);
   }
   if (interrupted)
     util::log_warn("training stopped after {} episodes; flushing checkpoint",

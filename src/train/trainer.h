@@ -24,6 +24,7 @@
 
 namespace dras::obs {
 class EventTracer;
+class RunRecorder;
 }  // namespace dras::obs
 
 namespace dras::ckpt {
@@ -126,6 +127,15 @@ struct RunOptions {
   /// every slot's result.  A pool with batch() <= 1 routes through the
   /// legacy per-episode path, byte-identical to no pool at all.
   rollout::RolloutPool* rollout = nullptr;
+
+  // --- Run manifests (src/obs) ---
+
+  /// When set, every committed round is appended to the recorder's
+  /// rounds.jsonl time series (loss, reward, epsilon, LR scale,
+  /// rollbacks, round wall time).  Purely observational: recording
+  /// reads results after the round commits and changes no trained
+  /// parameter (see the rollout determinism contract).
+  obs::RunRecorder* run = nullptr;
 };
 
 class Trainer {

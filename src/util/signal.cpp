@@ -1,7 +1,14 @@
 #include "util/signal.h"
 
+#include <unistd.h>
+
+#include <cerrno>
 #include <csignal>
+#include <mutex>
 #include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
 
 namespace dras::util {
 
@@ -14,12 +21,58 @@ std::atomic<bool> g_guard_live{false};
 struct sigaction g_previous_int;
 struct sigaction g_previous_term;
 
+// Self-pipe: the handler writes one byte, the watcher thread (started by
+// the guard constructor) wakes up and runs the flush hooks in ordinary
+// thread context.  -1 when no guard is live or pipe() failed.
+std::atomic<int> g_pipe_write{-1};
+int g_pipe_read = -1;
+std::thread g_watcher;
+
+std::mutex g_hooks_mutex;
+std::vector<std::function<void()>> g_hooks;
+
+/// Move the registered hooks out (so each runs at most once) and run
+/// them.  Safe to race between the watcher and a clean-shutdown caller:
+/// whoever takes the mutex first consumes them.
+void consume_hooks() noexcept {
+  std::vector<std::function<void()>> hooks;
+  {
+    std::lock_guard<std::mutex> lock(g_hooks_mutex);
+    hooks.swap(g_hooks);
+  }
+  for (auto& hook : hooks) {
+    try {
+      hook();
+    } catch (...) {
+      // A failing flush must not take down the interrupt path.
+    }
+  }
+}
+
 void handle_signal(int signo) {
-  // Async-signal-safe: lock-free atomic stores only.
+  // Async-signal-safe: lock-free atomic stores and one write().
   g_interrupted.store(true, std::memory_order_relaxed);
   g_signal.store(signo, std::memory_order_relaxed);
+  const int fd = g_pipe_write.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char byte = 0;
+    [[maybe_unused]] const ssize_t n = ::write(fd, &byte, 1);
+  }
   // Second signal → default disposition, so another ^C terminates.
   std::signal(signo, SIG_DFL);
+}
+
+void watch_pipe(int read_fd) {
+  for (;;) {
+    char byte = 0;
+    const ssize_t n = ::read(read_fd, &byte, 1);
+    if (n == 1) {
+      consume_hooks();
+      continue;  // drain further wakeups until the write end closes
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return;  // EOF (guard destroyed) or unrecoverable error
+  }
 }
 
 }  // namespace
@@ -29,6 +82,14 @@ InterruptGuard::InterruptGuard() {
     throw std::logic_error("only one InterruptGuard may be active");
   g_interrupted.store(false, std::memory_order_relaxed);
   g_signal.store(0, std::memory_order_relaxed);
+  int fds[2] = {-1, -1};
+  if (::pipe(fds) == 0) {
+    g_pipe_read = fds[0];
+    g_pipe_write.store(fds[1], std::memory_order_relaxed);
+    g_watcher = std::thread(watch_pipe, g_pipe_read);
+  }
+  // pipe() failure is survivable: the flag still works, hooks just only
+  // run through run_flush_hooks().
   struct sigaction action = {};
   action.sa_handler = handle_signal;
   sigemptyset(&action.sa_mask);
@@ -40,6 +101,14 @@ InterruptGuard::InterruptGuard() {
 InterruptGuard::~InterruptGuard() {
   ::sigaction(SIGINT, &g_previous_int, nullptr);
   ::sigaction(SIGTERM, &g_previous_term, nullptr);
+  const int write_fd = g_pipe_write.exchange(-1, std::memory_order_relaxed);
+  if (write_fd >= 0) ::close(write_fd);  // EOF wakes the watcher
+  if (g_watcher.joinable()) g_watcher.join();
+  if (g_pipe_read >= 0) {
+    ::close(g_pipe_read);
+    g_pipe_read = -1;
+  }
+  clear_flush_hooks();
   g_guard_live.store(false);
 }
 
@@ -58,6 +127,18 @@ void InterruptGuard::reset() noexcept {
 
 int InterruptGuard::signal_received() noexcept {
   return g_signal.load(std::memory_order_relaxed);
+}
+
+void InterruptGuard::add_flush_hook(std::function<void()> hook) {
+  std::lock_guard<std::mutex> lock(g_hooks_mutex);
+  g_hooks.push_back(std::move(hook));
+}
+
+void InterruptGuard::run_flush_hooks() noexcept { consume_hooks(); }
+
+void InterruptGuard::clear_flush_hooks() noexcept {
+  std::lock_guard<std::mutex> lock(g_hooks_mutex);
+  g_hooks.clear();
 }
 
 }  // namespace dras::util

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <atomic>
+#include <functional>
 
 namespace dras::util {
 
@@ -18,7 +19,8 @@ class InterruptGuard {
   /// Installs handlers for SIGINT and SIGTERM.  Only one guard may be
   /// live at a time (enforced; throws std::logic_error otherwise).
   InterruptGuard();
-  /// Restores the previous handlers.  The flag keeps its value.
+  /// Restores the previous handlers and drops all flush hooks.  The
+  /// flag keeps its value.
   ~InterruptGuard();
 
   InterruptGuard(const InterruptGuard&) = delete;
@@ -35,6 +37,29 @@ class InterruptGuard {
   /// The signal number received, 0 when none.  For exit-code selection
   /// (128 + signal, the shell convention).
   [[nodiscard]] static int signal_received() noexcept;
+
+  // --- Telemetry flush hooks (src/obs integration) ---
+  //
+  // A signal handler may only touch async-signal-safe state, but an
+  // interrupted run should still keep its partial telemetry (trace
+  // buffer, run manifest, metric dumps).  The guard therefore uses the
+  // classic self-pipe: the handler write()s one byte, a watcher thread
+  // blocks on the read end and runs the registered hooks in ordinary
+  // thread context.  Hooks must be thread-safe against the main loop
+  // (EventTracer::flush / RunRecorder::flush are) and tolerate running
+  // while training continues — the cooperative loop still exits through
+  // its normal checkpoint-and-return path afterwards.
+
+  /// Register a hook to run (once) after the first SIGINT/SIGTERM.
+  /// Hooks run on the watcher thread in registration order.  They are
+  /// cleared when the live guard is destroyed.
+  static void add_flush_hook(std::function<void()> hook);
+  /// Run all registered hooks now, on the calling thread.  For clean
+  /// shutdown paths and tests; hooks already consumed by a signal are
+  /// not run twice.
+  static void run_flush_hooks() noexcept;
+  /// Drop all hooks (tests).
+  static void clear_flush_hooks() noexcept;
 };
 
 }  // namespace dras::util

@@ -98,8 +98,9 @@ TEST(ThreadPool, RecordsExecMetricsWhenEnabled) {
   EXPECT_EQ(submitted.value() - base_submitted, 11u);
   EXPECT_EQ(completed.value() - base_completed, 11u);
   EXPECT_EQ(failed.value() - base_failed, 1u);
-  EXPECT_GE(
-      registry.histogram("exec.task_run_us", {}).count(), 11u);
+  EXPECT_GE(registry.hdr("exec.task_run_us").count(), 11u);
+  // Queue depth is sampled on every enqueue and dequeue edge.
+  EXPECT_GE(registry.hdr("exec.pool.queue_depth").count(), 22u);
 }
 
 }  // namespace

@@ -1,0 +1,270 @@
+#include "obs/hdr_histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "ckpt/checkpoint.h"
+#include "core/dras_agent.h"
+#include "obs/metrics.h"
+#include "util/binio.h"
+#include "util/rng.h"
+
+namespace dras::obs {
+namespace {
+
+/// Log-uniform samples spanning six decades — the value shape the hdr
+/// bucketing is built for (latencies from ns to minutes).
+std::vector<double> log_uniform_samples(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> values(n);
+  for (auto& v : values) v = std::pow(10.0, rng.uniform(-3.0, 3.0));
+  return values;
+}
+
+double exact_quantile(std::vector<double> values, double q) {
+  std::sort(values.begin(), values.end());
+  const auto rank = std::min<std::size_t>(
+      values.size(),
+      std::max<std::size_t>(
+          1, static_cast<std::size_t>(std::ceil(
+                 q / 100.0 * static_cast<double>(values.size())))));
+  return values[rank - 1];
+}
+
+/// Integer-state equality: config, counts and every bucket.  The
+/// double `sum` is checked separately where ordering allows it.
+void expect_same_integer_state(const HdrHistogram& a, const HdrHistogram& b) {
+  ASSERT_EQ(a.config(), b.config());
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.min(), b.min());
+  EXPECT_EQ(a.max(), b.max());
+  ASSERT_EQ(a.bucket_count(), b.bucket_count());
+  for (std::size_t i = 0; i < a.bucket_count(); ++i)
+    EXPECT_EQ(a.bucket(i), b.bucket(i)) << "bucket " << i;
+}
+
+TEST(HdrHistogram, EmptyReportsZeros) {
+  HdrHistogram hdr;
+  EXPECT_EQ(hdr.count(), 0u);
+  EXPECT_EQ(hdr.sum(), 0.0);
+  EXPECT_EQ(hdr.mean(), 0.0);
+  EXPECT_EQ(hdr.percentile(50.0), 0.0);
+  EXPECT_EQ(hdr.percentile(99.0), 0.0);
+  EXPECT_TRUE(std::isinf(hdr.min()));
+  EXPECT_TRUE(std::isinf(hdr.max()));
+}
+
+TEST(HdrHistogram, BucketIndexIsMonotone) {
+  HdrHistogram hdr;
+  double previous = 1e-9;
+  std::size_t previous_index = hdr.index_of(previous);
+  for (double v = 2e-9; v < 1e9; v *= 1.37) {
+    const std::size_t index = hdr.index_of(v);
+    EXPECT_GE(index, previous_index) << "at value " << v;
+    previous_index = index;
+  }
+}
+
+TEST(HdrHistogram, PercentilesTrackExactQuantiles) {
+  const auto values = log_uniform_samples(20'000, 77);
+  HdrHistogram hdr;
+  for (const double v : values) hdr.record(v);
+  ASSERT_EQ(hdr.count(), values.size());
+  // 7 precision bits → relative bucket width 2^-7; the geometric-
+  // midpoint representative is within ~2^-8 ≈ 0.4% of any value in the
+  // bucket.  1% gives slack for the rank landing one bucket over.
+  for (const double q : {50.0, 90.0, 99.0, 99.9}) {
+    const double exact = exact_quantile(values, q);
+    const double approx = hdr.percentile(q);
+    EXPECT_NEAR(approx, exact, exact * 0.01) << "q=" << q;
+  }
+  EXPECT_EQ(hdr.min(), *std::min_element(values.begin(), values.end()));
+  EXPECT_EQ(hdr.max(), *std::max_element(values.begin(), values.end()));
+}
+
+TEST(HdrHistogram, PercentileClampedToObservedRange) {
+  HdrHistogram hdr;
+  hdr.record(3.0);
+  hdr.record(3.0);
+  // A single-value series must report that value at every quantile, not
+  // the bucket's geometric midpoint.
+  EXPECT_EQ(hdr.percentile(50.0), 3.0);
+  EXPECT_EQ(hdr.percentile(99.9), 3.0);
+}
+
+TEST(HdrHistogram, OutOfRangeValuesAreClamped) {
+  const HdrConfig config{1e-3, 1e3, 7};
+  HdrHistogram hdr(config);
+  hdr.record(-42.0);                 // below range (and negative)
+  hdr.record(0.0);                   // unrepresentable in log buckets
+  hdr.record(1e12);                  // above range
+  hdr.record(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(hdr.count(), 4u);
+  EXPECT_EQ(hdr.min(), config.lowest);
+  EXPECT_EQ(hdr.max(), config.highest);
+  EXPECT_GE(hdr.percentile(50.0), config.lowest);
+  EXPECT_LE(hdr.percentile(99.0), config.highest);
+}
+
+TEST(HdrHistogram, MergeEqualsCombinedRecording) {
+  const auto values = log_uniform_samples(4'000, 5);
+  HdrHistogram combined, left, right;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    combined.record(values[i]);
+    (i % 2 == 0 ? left : right).record(values[i]);
+  }
+  HdrHistogram merged(left);
+  merged.merge(right);
+  expect_same_integer_state(merged, combined);
+  EXPECT_NEAR(merged.sum(), combined.sum(), combined.sum() * 1e-12);
+}
+
+TEST(HdrHistogram, MergeIsCommutativeAndAssociative) {
+  HdrHistogram a, b, c;
+  for (const double v : log_uniform_samples(1'000, 11)) a.record(v);
+  for (const double v : log_uniform_samples(1'000, 13)) b.record(v);
+  for (const double v : log_uniform_samples(1'000, 17)) c.record(v);
+
+  HdrHistogram ab(a), ba(b);
+  ab.merge(b);
+  ba.merge(a);
+  expect_same_integer_state(ab, ba);
+  EXPECT_EQ(ab.percentile(99.0), ba.percentile(99.0));
+
+  HdrHistogram ab_c(ab), bc(b);
+  ab_c.merge(c);
+  bc.merge(c);
+  HdrHistogram a_bc(a);
+  a_bc.merge(bc);
+  expect_same_integer_state(ab_c, a_bc);
+  for (const double q : {50.0, 90.0, 99.0, 99.9})
+    EXPECT_EQ(ab_c.percentile(q), a_bc.percentile(q)) << "q=" << q;
+}
+
+TEST(HdrHistogram, MergeReBucketsMismatchedConfig) {
+  HdrHistogram coarse(HdrConfig{1e-3, 1e3, 4});
+  HdrHistogram fine;  // default config
+  fine.record(0.25);
+  fine.record(40.0);
+  coarse.merge(fine);
+  EXPECT_EQ(coarse.count(), 2u);
+  EXPECT_EQ(coarse.min(), 0.25);
+  EXPECT_EQ(coarse.max(), 40.0);
+  // Representatives survive at the coarse config's resolution (2^-4).
+  EXPECT_NEAR(coarse.percentile(1.0), 0.25, 0.25 * 0.1);
+  EXPECT_NEAR(coarse.percentile(99.0), 40.0, 40.0 * 0.1);
+}
+
+// The rollout determinism contract, in miniature: shard-buffered
+// observations merged in ascending slot order give the same registry
+// state no matter which worker thread ran which slot, because the
+// integer bucket state is order-independent and the slot order fixes
+// the double-sum order.
+TEST(HdrHistogram, ShardSlotOrderMergeIsScheduleInvariant) {
+  const auto values = log_uniform_samples(900, 23);
+  constexpr std::size_t kSlots = 6;
+
+  const auto run_schedule = [&](bool reversed_recording) {
+    // Slot cells record their own values (order within a slot is the
+    // slot's program order; *which thread* does it must not matter).
+    std::vector<HdrHistogram> cells(kSlots);
+    for (std::size_t slot = 0; slot < kSlots; ++slot) {
+      const std::size_t s = reversed_recording ? kSlots - 1 - slot : slot;
+      for (std::size_t i = s; i < values.size(); i += kSlots)
+        cells[s].record(values[i]);
+    }
+    HdrHistogram target;
+    for (std::size_t slot = 0; slot < kSlots; ++slot)  // ascending, always
+      target.merge(cells[slot]);
+    return target;
+  };
+
+  const HdrHistogram forward = run_schedule(false);
+  const HdrHistogram backward = run_schedule(true);
+  expect_same_integer_state(forward, backward);
+  EXPECT_EQ(forward.sum(), backward.sum());  // identical fold order
+  for (const double q : {50.0, 99.0})
+    EXPECT_EQ(forward.percentile(q), backward.percentile(q));
+}
+
+TEST(HdrHistogram, ObserveRoutesThroughActiveShard) {
+  set_enabled(true);
+  auto& target = Registry::global().hdr("test.hdr.shard_route");
+  target.reset();
+  MetricShard shard;
+  {
+    ShardScope scope(shard);
+    target.observe(2.5);
+    target.observe(7.5);
+    // Buffered in the shard, not yet visible on the shared instrument.
+    EXPECT_EQ(target.count(), 0u);
+  }
+  shard.merge();
+  set_enabled(false);
+  EXPECT_EQ(target.count(), 2u);
+  EXPECT_EQ(target.min(), 2.5);
+  EXPECT_EQ(target.max(), 7.5);
+}
+
+TEST(HdrHistogram, SaveLoadRoundTripsExactly) {
+  HdrHistogram original(HdrConfig{1e-6, 1e6, 5});
+  for (const double v : log_uniform_samples(2'000, 31)) original.record(v);
+
+  util::BinaryWriter out;
+  original.save_state(out);
+  const std::string bytes = out.take();
+
+  // load_state adopts the stored config: start from a different one.
+  HdrHistogram restored;  // default config, not {1e-6, 1e6, 5}
+  util::BinaryReader in(bytes);
+  restored.load_state(in);
+
+  expect_same_integer_state(restored, original);
+  EXPECT_EQ(restored.sum(), original.sum());
+  for (const double q : {50.0, 90.0, 99.0, 99.9})
+    EXPECT_EQ(restored.percentile(q), original.percentile(q));
+}
+
+// Registry hdr metrics ride the checkpoint's OBSC v2 telemetry section:
+// encode with telemetry on, wipe, decode, and the percentile state is
+// back — the piece a divergence rollback relies on to rewind latency
+// metrics together with everything else.
+TEST(HdrHistogram, CheckpointTelemetrySectionRoundTrips) {
+  core::DrasAgent agent([] {
+    core::DrasConfig cfg;
+    cfg.kind = core::AgentKind::PG;
+    cfg.total_nodes = 16;
+    cfg.window = 4;
+    cfg.fc1 = 16;
+    cfg.fc2 = 8;
+    cfg.time_scale = 10000.0;
+    cfg.reward_kind = core::RewardKind::Capability;
+    cfg.seed = 21;
+    return cfg;
+  }());
+
+  auto& hdr = Registry::global().hdr("test.hdr.checkpoint");
+  hdr.reset();
+  for (const double v : log_uniform_samples(500, 41)) hdr.record(v);
+  const HdrHistogram before(hdr);
+
+  ckpt::TrainingState state;
+  state.agent = &agent;
+  state.telemetry = true;
+  const std::string payload = ckpt::encode_checkpoint(state);
+
+  hdr.reset();
+  ASSERT_EQ(hdr.count(), 0u);
+  ckpt::decode_checkpoint(payload, state, ckpt::kFormatVersion);
+
+  expect_same_integer_state(hdr, before);
+  EXPECT_EQ(hdr.sum(), before.sum());
+  EXPECT_EQ(hdr.percentile(99.0), before.percentile(99.0));
+}
+
+}  // namespace
+}  // namespace dras::obs

@@ -1,0 +1,249 @@
+#include "obs/report.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/format.h"
+
+namespace dras::obs::report {
+namespace {
+
+namespace fs = std::filesystem;
+
+void write_file(const fs::path& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  out << content;
+}
+
+class ReportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    root_ = fs::temp_directory_path() /
+            (std::string("dras-report-") + info->name());
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  /// A synthetic run directory: manifest + per-round wall_s series.
+  fs::path make_run(const std::string& name,
+                    const std::vector<double>& wall_s, double final_score,
+                    const std::string& fingerprint = "cafef00d") {
+    const fs::path dir = root_ / name;
+    fs::create_directories(dir);
+    write_file(dir / "run.json",
+               util::format("{{\"tool\":\"test\",\"seed\":1,"
+                            "\"config_fingerprint\":\"{}\",\"rounds\":{},"
+                            "\"episodes\":{},\"wall_seconds\":12.5,"
+                            "\"final_score\":{},\"completed\":true}}",
+                            fingerprint, wall_s.size(), wall_s.size() * 4,
+                            final_score));
+    std::string rounds;
+    for (std::size_t i = 0; i < wall_s.size(); ++i)
+      rounds += util::format("{{\"round\":{},\"episodes\":4,\"wall_s\":{}}}\n",
+                             i, wall_s[i]);
+    write_file(dir / "rounds.jsonl", rounds);
+    return dir;
+  }
+
+  fs::path root_;
+};
+
+std::vector<double> ramp(std::size_t n, double scale) {
+  std::vector<double> values(n);
+  for (std::size_t i = 0; i < n; ++i)
+    values[i] = scale * static_cast<double>(i + 1);
+  return values;
+}
+
+TEST_F(ReportTest, ExactStatsUseNearestRankQuantiles) {
+  const SeriesStats stats = exact_stats(ramp(100, 1.0));  // 1..100
+  EXPECT_EQ(stats.count, 100u);
+  EXPECT_EQ(stats.min, 1.0);
+  EXPECT_EQ(stats.max, 100.0);
+  EXPECT_EQ(stats.mean, 50.5);
+  EXPECT_EQ(stats.p50, 50.0);
+  EXPECT_EQ(stats.p90, 90.0);
+  EXPECT_EQ(stats.p99, 99.0);
+  EXPECT_EQ(stats.p999, 100.0);
+}
+
+TEST_F(ReportTest, LoadRunRequiresManifest) {
+  EXPECT_THROW(load_run(root_ / "missing"), std::runtime_error);
+  const fs::path dir = root_ / "broken";
+  fs::create_directories(dir);
+  write_file(dir / "run.json", "{not json");
+  EXPECT_THROW(load_run(dir), std::runtime_error);
+}
+
+TEST_F(ReportTest, LoadRunSkipsTornRoundsTail) {
+  const fs::path dir = make_run("torn", {0.5, 0.6}, 10.0);
+  // Simulate a crash mid-append: a torn, unparseable final line.
+  std::ofstream out(dir / "rounds.jsonl", std::ios::app | std::ios::binary);
+  out << "{\"round\":2,\"wall_s\":0.7";  // no closing brace, no newline
+  out.close();
+  const RunData run = load_run(dir);
+  EXPECT_EQ(run.rounds.size(), 2u);
+  EXPECT_EQ(run.round_wall_s.size(), 2u);
+}
+
+TEST_F(ReportTest, MetricValuesComeFromSeriesAndManifest) {
+  const RunData run = load_run(make_run("metrics", ramp(10, 0.1), 33.0));
+  EXPECT_NEAR(metric_value(run, "round_time_p50").value(), 0.5, 1e-9);
+  EXPECT_NEAR(metric_value(run, "round_time_p99").value(), 1.0, 1e-9);
+  EXPECT_NEAR(metric_value(run, "round_time_mean").value(), 0.55, 1e-9);
+  EXPECT_EQ(metric_value(run, "final_score").value(), 33.0);
+  EXPECT_EQ(metric_value(run, "episodes").value(), 40.0);
+  EXPECT_EQ(metric_value(run, "rounds").value(), 10.0);
+  EXPECT_EQ(metric_value(run, "wall_seconds").value(), 12.5);
+  EXPECT_FALSE(metric_value(run, "no_such_metric").has_value());
+}
+
+TEST_F(ReportTest, RoundTimeFallsBackToManifestBlock) {
+  const fs::path dir = root_ / "no-series";
+  fs::create_directories(dir);
+  write_file(dir / "run.json",
+             "{\"tool\":\"test\",\"round_wall_s\":{\"count\":3,"
+             "\"p50\":0.2,\"p99\":0.4,\"mean\":0.25}}");
+  const RunData run = load_run(dir);
+  EXPECT_TRUE(run.round_wall_s.empty());
+  EXPECT_EQ(metric_value(run, "round_time_p99").value(), 0.4);
+  EXPECT_EQ(metric_value(run, "round_time_p50").value(), 0.2);
+}
+
+TEST_F(ReportTest, HdrMetricValuesComeFromMetricsJson) {
+  const fs::path dir = make_run("hdr", {0.5}, 1.0);
+  write_file(dir / "metrics.json",
+             "{\"metrics\":[{\"name\":\"nn.forward_us\",\"kind\":\"hdr\","
+             "\"count\":100,\"mean\":12.0,\"min\":5.0,\"max\":80.0,"
+             "\"p50\":10.0,\"p90\":20.0,\"p99\":50.0,\"p999\":75.0},"
+             "{\"name\":\"sim.jobs\",\"kind\":\"counter\",\"value\":7}]}");
+  const RunData run = load_run(dir);
+  EXPECT_EQ(metric_value(run, "hdr:nn.forward_us:p99").value(), 50.0);
+  EXPECT_EQ(metric_value(run, "hdr:nn.forward_us:mean").value(), 12.0);
+  EXPECT_EQ(metric_value(run, "hdr:nn.forward_us:count").value(), 100.0);
+  // Non-hdr entries and unknown names stay invisible.
+  EXPECT_FALSE(metric_value(run, "hdr:sim.jobs:p99").has_value());
+  EXPECT_FALSE(metric_value(run, "hdr:absent:p99").has_value());
+}
+
+TEST_F(ReportTest, CompareFlagsRoundTimeRegression) {
+  const RunData baseline = load_run(make_run("base", ramp(20, 0.1), 50.0));
+  const RunData slower = load_run(make_run("slow", ramp(20, 0.125), 50.0));
+  const CompareResult result =
+      compare_runs(baseline, slower, default_thresholds());
+  ASSERT_EQ(result.rows.size(), 2u);
+  EXPECT_TRUE(result.regressed);
+  EXPECT_EQ(result.rows[0].metric, "round_time_p99");
+  EXPECT_TRUE(result.rows[0].regressed);   // +25% > 10% allowed
+  EXPECT_NEAR(result.rows[0].delta, 0.25, 1e-9);
+  EXPECT_FALSE(result.rows[1].regressed);  // final_score unchanged
+}
+
+TEST_F(ReportTest, CompareWithinThresholdPasses) {
+  const RunData baseline = load_run(make_run("base", ramp(20, 0.1), 50.0));
+  const RunData close = load_run(make_run("close", ramp(20, 0.105), 49.0));
+  const CompareResult result =
+      compare_runs(baseline, close, default_thresholds());
+  EXPECT_FALSE(result.regressed);
+}
+
+TEST_F(ReportTest, LowerFinalScoreRegressesFasterRoundsDoNot) {
+  const RunData baseline = load_run(make_run("base", ramp(20, 0.1), 50.0));
+  // Much faster AND much worse score: only the score is a regression.
+  const RunData candidate = load_run(make_run("cand", ramp(20, 0.05), 40.0));
+  const CompareResult result =
+      compare_runs(baseline, candidate, default_thresholds());
+  EXPECT_TRUE(result.regressed);
+  EXPECT_FALSE(result.rows[0].regressed);  // round time improved
+  EXPECT_TRUE(result.rows[1].regressed);   // score dropped 20% > 10%
+  EXPECT_NEAR(result.rows[1].delta, -0.2, 1e-9);
+}
+
+TEST_F(ReportTest, MissingMetricFailsTheGate) {
+  const RunData baseline = load_run(make_run("base", ramp(5, 0.1), 50.0));
+  const fs::path bare = root_ / "bare";
+  fs::create_directories(bare);
+  write_file(bare / "run.json", "{\"tool\":\"test\"}");  // no score, rounds
+  const RunData candidate = load_run(bare);
+  const CompareResult result =
+      compare_runs(baseline, candidate, default_thresholds());
+  EXPECT_TRUE(result.regressed);
+  for (const CompareRow& row : result.rows) EXPECT_TRUE(row.missing);
+}
+
+TEST_F(ReportTest, ZeroBaselineRegressesOnAnyIncrease) {
+  const fs::path a = root_ / "zero-a";
+  const fs::path b = root_ / "zero-b";
+  fs::create_directories(a);
+  fs::create_directories(b);
+  write_file(a / "run.json", "{\"wall_seconds\":0}");
+  write_file(b / "run.json", "{\"wall_seconds\":5.0}");
+  const CompareResult result =
+      compare_runs(load_run(a), load_run(b), {{"wall_seconds", 0.10}});
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_TRUE(std::isinf(result.rows[0].delta));
+  EXPECT_TRUE(result.rows[0].regressed);
+}
+
+TEST_F(ReportTest, FingerprintMismatchIsFlaggedNotFailed) {
+  const RunData a = load_run(make_run("fp-a", ramp(5, 0.1), 50.0, "aaaa"));
+  const RunData b = load_run(make_run("fp-b", ramp(5, 0.1), 50.0, "bbbb"));
+  const CompareResult result = compare_runs(a, b, default_thresholds());
+  EXPECT_TRUE(result.fingerprint_mismatch);
+  EXPECT_FALSE(result.regressed);
+  EXPECT_NE(compare_markdown(a, b, result).find("WARNING"),
+            std::string::npos);
+}
+
+TEST_F(ReportTest, ParseThresholdAcceptsNameEqualsFraction) {
+  const Threshold t = parse_threshold("round_time_p99=0.15");
+  EXPECT_EQ(t.metric, "round_time_p99");
+  EXPECT_EQ(t.relative, 0.15);
+  EXPECT_THROW(parse_threshold("no-equals"), std::invalid_argument);
+  EXPECT_THROW(parse_threshold("=0.1"), std::invalid_argument);
+  EXPECT_THROW(parse_threshold("x=frac"), std::invalid_argument);
+  EXPECT_THROW(parse_threshold("x=-0.5"), std::invalid_argument);
+}
+
+TEST_F(ReportTest, HigherIsWorseExceptScoresAndWorkTotals) {
+  EXPECT_TRUE(higher_is_worse("round_time_p99"));
+  EXPECT_TRUE(higher_is_worse("wall_seconds"));
+  EXPECT_TRUE(higher_is_worse("hdr:nn.forward_us:p99"));
+  EXPECT_FALSE(higher_is_worse("final_score"));
+  EXPECT_FALSE(higher_is_worse("episodes"));
+  EXPECT_FALSE(higher_is_worse("rounds"));
+}
+
+TEST_F(ReportTest, SummariesRenderPercentileTables) {
+  const fs::path dir = make_run("render", ramp(10, 0.1), 33.0);
+  write_file(dir / "metrics.json",
+             "{\"metrics\":[{\"name\":\"nn.forward_us\",\"kind\":\"hdr\","
+             "\"count\":10,\"mean\":12.0,\"min\":5.0,\"max\":80.0,"
+             "\"p50\":10.0,\"p90\":20.0,\"p99\":50.0,\"p999\":75.0}]}");
+  const RunData run = load_run(dir);
+  const std::string md = summary_markdown(run);
+  EXPECT_NE(md.find("| p50 | p90 | p99 |"), std::string::npos);
+  EXPECT_NE(md.find("round_wall_s (exact)"), std::string::npos);
+  EXPECT_NE(md.find("nn.forward_us"), std::string::npos);
+  const std::string json = summary_json(run);
+  EXPECT_NE(json.find("\"round_time\":"), std::string::npos);
+  EXPECT_NE(json.find("\"nn.forward_us\":"), std::string::npos);
+
+  const CompareResult regressed = compare_runs(
+      run, load_run(make_run("worse", ramp(10, 0.2), 33.0)),
+      default_thresholds());
+  const std::string compare = compare_markdown(
+      run, load_run(make_run("worse2", ramp(10, 0.2), 33.0)), regressed);
+  EXPECT_NE(compare.find("verdict: REGRESSED"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dras::obs::report

@@ -1,0 +1,171 @@
+#include "obs/run_manifest.h"
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace dras::obs {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+RunInfo test_info() {
+  RunInfo info;
+  info.tool = "dras_test";
+  info.argv = {"dras_test", "--policy", "pg", "--seed", "9"};
+  info.seed = 9;
+  info.config_fingerprint = "deadbeef";
+  return info;
+}
+
+RoundRecord round_record(std::uint64_t round, double wall_s) {
+  RoundRecord record;
+  record.round = round;
+  record.first_episode = round * 4;
+  record.episodes = 4;
+  record.mean_loss = 0.25;
+  record.mean_training_reward = 1.5;
+  record.validation_reward = 2.0;
+  record.epsilon = 0.1;
+  record.lr_scale = 1.0;
+  record.rollbacks = 0;
+  record.wall_seconds = wall_s;
+  return record;
+}
+
+class RunRecorderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::temp_directory_path() /
+           (std::string("dras-manifest-") + info->name());
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+};
+
+TEST_F(RunRecorderTest, CreatesDirectoryAndWritesManifestOnFinish) {
+  {
+    RunRecorder recorder(dir_, test_info());
+    recorder.set_final_score(42.5);
+    recorder.note("policy", "pg");
+    recorder.finish(0);
+  }
+  const auto manifest = util::json::parse(read_file(dir_ / "run.json"));
+  ASSERT_TRUE(manifest.is_object());
+  EXPECT_EQ(manifest.find("tool")->as_string(), "dras_test");
+  EXPECT_EQ(manifest.find("seed")->as_number(), 9.0);
+  EXPECT_EQ(manifest.find("config_fingerprint")->as_string(), "deadbeef");
+  EXPECT_TRUE(manifest.find("completed")->as_bool());
+  EXPECT_EQ(manifest.find("exit_code")->as_number(), 0.0);
+  EXPECT_EQ(manifest.find("final_score")->as_number(), 42.5);
+  ASSERT_TRUE(manifest.contains("argv"));
+  EXPECT_EQ(manifest.find("argv")->as_array().size(), 5u);
+  ASSERT_TRUE(manifest.contains("notes"));
+  EXPECT_EQ(manifest.find("notes")->find("policy")->as_string(), "pg");
+}
+
+TEST_F(RunRecorderTest, RecordsRoundsAsJsonlAndAggregates) {
+  RunRecorder recorder(dir_, test_info());
+  for (std::uint64_t r = 0; r < 5; ++r)
+    recorder.record_round(round_record(r, 0.1 * static_cast<double>(r + 1)));
+  EXPECT_EQ(recorder.rounds_recorded(), 5u);
+  recorder.finish(0);
+
+  std::ifstream rounds(dir_ / "rounds.jsonl");
+  std::string line;
+  std::vector<util::json::Value> parsed;
+  while (std::getline(rounds, line)) {
+    if (line.empty()) continue;
+    parsed.push_back(util::json::parse(line));
+  }
+  ASSERT_EQ(parsed.size(), 5u);
+  EXPECT_EQ(parsed[0].find("round")->as_number(), 0.0);
+  EXPECT_EQ(parsed[4].find("round")->as_number(), 4.0);
+  EXPECT_EQ(parsed[2].find("episodes")->as_number(), 4.0);
+  EXPECT_NEAR(parsed[2].find("wall_s")->as_number(), 0.3, 1e-9);
+
+  const auto manifest = util::json::parse(read_file(dir_ / "run.json"));
+  EXPECT_EQ(manifest.find("rounds")->as_number(), 5.0);
+  EXPECT_EQ(manifest.find("episodes")->as_number(), 20.0);
+  // The cumulative percentile block is always present — it comes from
+  // the recorder's private histogram, independent of obs::enabled().
+  const util::json::Value* block = manifest.find("round_wall_s");
+  ASSERT_NE(block, nullptr);
+  EXPECT_EQ(block->find("count")->as_number(), 5.0);
+  EXPECT_NEAR(block->find("p50")->as_number(), 0.3, 0.3 * 0.02);
+  EXPECT_NEAR(block->find("max")->as_number(), 0.5, 1e-9);
+}
+
+TEST_F(RunRecorderTest, DestructorWithoutFinishMarksIncomplete) {
+  { RunRecorder recorder(dir_, test_info()); }
+  const auto manifest = util::json::parse(read_file(dir_ / "run.json"));
+  EXPECT_FALSE(manifest.find("completed")->as_bool());
+}
+
+TEST_F(RunRecorderTest, FinishIsIdempotentAndLastExitCodeWins) {
+  RunRecorder recorder(dir_, test_info());
+  recorder.finish(0);
+  recorder.finish(3);
+  const auto manifest = util::json::parse(read_file(dir_ / "run.json"));
+  EXPECT_TRUE(manifest.find("completed")->as_bool());
+  EXPECT_EQ(manifest.find("exit_code")->as_number(), 3.0);
+}
+
+TEST_F(RunRecorderTest, MarkInterruptedSurfacesInManifest) {
+  RunRecorder recorder(dir_, test_info());
+  recorder.record_round(round_record(0, 0.2));
+  recorder.mark_interrupted(SIGINT);
+  recorder.flush();
+  // The interim manifest (pre-finish) already reports the interrupt —
+  // this is what the signal flush hook publishes before the process
+  // re-raises and dies.
+  const auto interim = util::json::parse(read_file(dir_ / "run.json"));
+  EXPECT_TRUE(interim.find("interrupted")->as_bool());
+  EXPECT_FALSE(interim.find("completed")->as_bool());
+  EXPECT_EQ(interim.find("signal")->as_number(),
+            static_cast<double>(SIGINT));
+  // And the flushed rounds.jsonl tail is already on disk.
+  EXPECT_NE(read_file(dir_ / "rounds.jsonl").find("\"round\":0"),
+            std::string::npos);
+}
+
+TEST_F(RunRecorderTest, ManifestIsValidJsonAfterEveryFlush) {
+  RunRecorder recorder(dir_, test_info());
+  for (std::uint64_t r = 0; r < 3; ++r) {
+    recorder.record_round(round_record(r, 0.05));
+    recorder.flush();
+    const auto manifest = util::json::parse(read_file(dir_ / "run.json"));
+    EXPECT_EQ(manifest.find("rounds")->as_number(),
+              static_cast<double>(r + 1));
+  }
+}
+
+TEST_F(RunRecorderTest, SiblingArtifactPathsAreConventional) {
+  RunRecorder recorder(dir_, test_info());
+  EXPECT_EQ(recorder.manifest_path(), dir_ / "run.json");
+  EXPECT_EQ(recorder.rounds_path(), dir_ / "rounds.jsonl");
+  EXPECT_EQ(recorder.trace_path(), dir_ / "trace.json");
+  EXPECT_EQ(recorder.metrics_path(), dir_ / "metrics.json");
+  recorder.finish(0);
+}
+
+}  // namespace
+}  // namespace dras::obs

@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <csignal>
 #include <stdexcept>
+#include <thread>
+#include <vector>
 
 namespace dras::util {
 namespace {
@@ -47,6 +51,62 @@ TEST(InterruptGuard, ReinstallableAfterDestruction) {
   InterruptGuard again;  // must not throw
   InterruptGuard::reset();
   EXPECT_FALSE(InterruptGuard::interrupted());
+}
+
+TEST(InterruptGuard, FlushHooksRunOnceOnSignal) {
+  InterruptGuard guard;
+  InterruptGuard::reset();
+  std::atomic<int> runs{0};
+  InterruptGuard::add_flush_hook([&runs] { runs.fetch_add(1); });
+  ASSERT_EQ(std::raise(SIGINT), 0);
+  // The watcher thread consumes the self-pipe wakeup asynchronously.
+  for (int i = 0; i < 400 && runs.load() == 0; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(runs.load(), 1);
+  // The signal consumed the hooks; a later explicit flush is a no-op.
+  InterruptGuard::run_flush_hooks();
+  EXPECT_EQ(runs.load(), 1);
+  InterruptGuard::reset();
+}
+
+TEST(InterruptGuard, RunFlushHooksConsumesWithoutSignal) {
+  InterruptGuard guard;
+  int runs = 0;
+  InterruptGuard::add_flush_hook([&runs] { ++runs; });
+  InterruptGuard::run_flush_hooks();
+  EXPECT_EQ(runs, 1);
+  InterruptGuard::run_flush_hooks();  // hooks run at most once
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(InterruptGuard, HooksRunInRegistrationOrder) {
+  InterruptGuard guard;
+  std::vector<int> order;
+  InterruptGuard::add_flush_hook([&order] { order.push_back(1); });
+  InterruptGuard::add_flush_hook([&order] { order.push_back(2); });
+  InterruptGuard::run_flush_hooks();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 2);
+}
+
+TEST(InterruptGuard, ThrowingHookDoesNotBlockLaterHooks) {
+  InterruptGuard guard;
+  bool second_ran = false;
+  InterruptGuard::add_flush_hook([] { throw std::runtime_error("flush"); });
+  InterruptGuard::add_flush_hook([&second_ran] { second_ran = true; });
+  InterruptGuard::run_flush_hooks();  // must not propagate
+  EXPECT_TRUE(second_ran);
+}
+
+TEST(InterruptGuard, DestructionDropsRegisteredHooks) {
+  int runs = 0;
+  {
+    InterruptGuard guard;
+    InterruptGuard::add_flush_hook([&runs] { ++runs; });
+  }  // hooks cleared here — a dangling flush must be impossible
+  InterruptGuard::run_flush_hooks();
+  EXPECT_EQ(runs, 0);
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 // Policies: fcfs, binpacking, random, optimization, decima-pg, sjf, ljf,
 //           wfp3, f1, dras-pg, dras-dql
 // Models:   theta, cori, theta-mini, cori-mini
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <memory>
@@ -24,6 +25,7 @@
 #include "metrics/report.h"
 #include "nn/serialize.h"
 #include "obs/metrics.h"
+#include "obs/run_manifest.h"
 #include "obs/sink.h"
 #include "obs/trace.h"
 #include "robust/health.h"
@@ -39,6 +41,7 @@
 #include "train/evaluator.h"
 #include "train/trainer.h"
 #include "util/args.h"
+#include "util/binio.h"
 #include "util/format.h"
 #include "util/fs.h"
 #include "util/logging.h"
@@ -91,6 +94,11 @@ int usage(const std::string& error = {}) {
       "  --trace-format F    chrome (default) | jsonl\n"
       "  --metrics-out FILE  dump the metrics registry on exit\n"
       "                      (.csv -> CSV, anything else -> JSON)\n"
+      "  --run-dir DIR       full observatory: write run.json (manifest),\n"
+      "                      rounds.jsonl (per-round time series),\n"
+      "                      trace.json (nested round/slot/NN spans) and\n"
+      "                      metrics.json (registry dump with percentile\n"
+      "                      tables) into DIR; analyze with dras_report\n"
       "  --profile           print the metrics registry to stderr on exit\n"
       "  --checkpoint-dir D  crash-safe training: write checksummed\n"
       "                      snapshots of the full trainer state into D\n"
@@ -168,7 +176,11 @@ int main(int argc, char** argv) {
     // feeds it; metrics collection turns on for --metrics-out/--profile.
     const bool profile = args.flag("profile");
     const std::string metrics_out = args.get("metrics-out", "");
+    const std::string run_dir = args.get("run-dir", "");
     std::unique_ptr<dras::obs::EventTracer> tracer;
+    // Declared before the InterruptGuard below so the guard's destructor
+    // (which drops the signal-flush hooks referencing these) runs first.
+    std::unique_ptr<dras::obs::RunRecorder> run_recorder;
     const auto format_name = args.get("trace-format", "chrome");
     if (format_name != "chrome" && format_name != "jsonl")
       return usage(format("unknown trace format '{}'", format_name));
@@ -181,7 +193,8 @@ int main(int argc, char** argv) {
                                  : dras::obs::TraceFormat::ChromeJson);
       dras::obs::set_default_tracer(tracer.get());
     }
-    if (profile || !metrics_out.empty()) dras::obs::set_enabled(true);
+    if (profile || !metrics_out.empty() || !run_dir.empty())
+      dras::obs::set_enabled(true);
 
     // ^C / SIGTERM set a flag the training loop polls at episode
     // boundaries; training flushes a final checkpoint and we exit with
@@ -189,6 +202,21 @@ int main(int argc, char** argv) {
     dras::util::InterruptGuard interrupt_guard;
 
     const auto flush_telemetry = [&]() -> bool {
+      // Normal shutdown owns the flush from here on; drop the signal
+      // hooks so the watcher cannot race the teardown below.
+      dras::util::InterruptGuard::clear_flush_hooks();
+      if (run_recorder) {
+        try {
+          dras::util::atomic_write_file(
+              run_recorder->metrics_path(),
+              dras::obs::metrics_to_json(dras::obs::Registry::global()));
+        } catch (const std::exception& e) {
+          std::cerr << format("error: cannot write '{}': {}\n",
+                              run_recorder->metrics_path().string(),
+                              e.what());
+          return false;
+        }
+      }
       if (tracer) {
         tracer->close();
         dras::obs::set_default_tracer(nullptr);
@@ -306,6 +334,55 @@ int main(int argc, char** argv) {
     const auto inject_at =
         static_cast<std::size_t>(args.get_int("inject-at", 1));
 
+    if (!run_dir.empty()) {
+      // Fingerprint the *result-relevant* configuration: everything
+      // that changes the trained parameters or the evaluated workload.
+      // Worker counts are deliberately excluded — results are
+      // byte-identical across --rollout-workers/--exec-jobs, so runs
+      // differing only in parallelism stay comparable in dras_report.
+      const std::string canonical = format(
+          "policy={};model={};swf={};nodes={};jobs={};seed={};load={};"
+          "depth={};train_episodes={};rollout_batch={}",
+          policy_name, args.get("model", "theta-mini"), args.get("swf", ""),
+          nodes, trace.size(), seed, args.get_double("load", 1.0), depth,
+          train_episodes, args.get_int("rollout-batch", 0));
+      char fingerprint[16];
+      std::snprintf(fingerprint, sizeof(fingerprint), "%08x",
+                    dras::util::crc32(canonical));
+      dras::obs::RunInfo info;
+      info.tool = "dras_sim";
+      info.argv.assign(argv, argv + argc);
+      info.seed = seed;
+      info.config_fingerprint = fingerprint;
+      run_recorder =
+          std::make_unique<dras::obs::RunRecorder>(run_dir, std::move(info));
+      run_recorder->note("policy", policy_name);
+      run_recorder->note("model", args.has("swf") ? args.get("swf", "")
+                                                  : args.get("model",
+                                                             "theta-mini"));
+      if (!tracer) {
+        // Plain (non-atomic) sink: the signal-flush hook below drains
+        // partial traces on ^C, and a crash leaves a salvageable prefix
+        // instead of nothing.  --trace-out keeps its atomic contract.
+        tracer = std::make_unique<dras::obs::EventTracer>(
+            std::make_unique<dras::obs::FileSink>(run_recorder->trace_path()),
+            format_name == "jsonl" ? dras::obs::TraceFormat::Jsonl
+                                   : dras::obs::TraceFormat::ChromeJson);
+        dras::obs::set_default_tracer(tracer.get());
+      }
+      // Interrupted runs keep their partial telemetry: the guard's
+      // watcher thread flushes the recorder + tracer from ordinary
+      // thread context after the first SIGINT/SIGTERM.
+      dras::util::InterruptGuard::add_flush_hook([&tracer, &run_recorder] {
+        if (run_recorder) {
+          run_recorder->mark_interrupted(
+              dras::util::InterruptGuard::signal_received());
+          run_recorder->flush();
+        }
+        if (tracer) tracer->flush();
+      });
+    }
+
     const auto train_agent = [&](dras::core::DrasAgent& agent) {
       // Jobsets are regenerated from per-episode derived seeds, so they
       // are identical on every start and a resumed run only moves the
@@ -328,6 +405,7 @@ int main(int argc, char** argv) {
 
       dras::train::RunOptions run_options;
       run_options.stop = &dras::util::InterruptGuard::flag();
+      run_options.run = run_recorder.get();
       std::unique_ptr<dras::rollout::RolloutPool> rollout;
       if (args.has("rollout-workers") || args.has("rollout-batch")) {
         dras::rollout::RolloutOptions rollout_options;
@@ -483,8 +561,13 @@ int main(int argc, char** argv) {
     if (dras::util::InterruptGuard::interrupted()) {
       std::cerr << "interrupted; training state checkpointed, skipping "
                    "evaluation\n";
+      const int code = 128 + dras::util::InterruptGuard::signal_received();
+      if (run_recorder)
+        run_recorder->mark_interrupted(
+            dras::util::InterruptGuard::signal_received());
       flush_telemetry();
-      return 128 + dras::util::InterruptGuard::signal_received();
+      if (run_recorder) run_recorder->finish(code);
+      return code;
     }
 
     if (!save_model.empty()) {
@@ -511,7 +594,9 @@ int main(int argc, char** argv) {
 
     // Telemetry epilogue: finalize the trace document and dump metrics
     // (both through atomic writers — see flush_telemetry above).
+    if (run_recorder) run_recorder->set_final_score(total_reward);
     if (!flush_telemetry()) return 2;
+    if (run_recorder) run_recorder->finish(0);
 
     if (csv_output) {
       std::cout << "policy,nodes,depth,jobs,unfinished,avg_wait_s,max_wait_s,"
