@@ -1,0 +1,359 @@
+// Micro-benchmark: serving throughput and hot-swap under load.
+//
+// Part 1 measures the decision service's micro-batching win.  A
+// bandwidth-bound PG network (weights well past L2, so per-sample gemv
+// re-reads the full matrices from memory while gemm_batch reuses each
+// weight row across the whole batch) is served to a fixed request set
+// at max_batch 1 / 8 / 32 under 1 and 4 client threads, closed over a
+// precomputed oracle: every response must equal the reference decision
+// computed on the same snapshot through the trainer-side greedy path.
+// The bench fails unless batched throughput reaches >= 3x the
+// max_batch=1 baseline at equal threads (the ISSUE acceptance bar),
+// and reports decisions/sec with client-observed p50/p99 per cell.
+//
+// Part 2 drives a live hot-swap drill: four closed-loop clients hammer
+// the service while the main thread lands five more checkpoints in the
+// watched directory.  The bench fails on any failed or stalled request
+// (> 1 s), any decision not attributable to a written snapshot
+// version, any sampled decision that mismatches its snapshot's
+// reference decision, or fewer than five live swaps.
+//
+// Emits one JSON line per configuration plus human-readable tables,
+// and supports the shared bench plumbing (--run-dir writes a manifest
+// whose stats block carries serve_best_decisions_per_sec and
+// serve_batch_speedup for dras_report --compare).
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <future>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "bench_common.h"
+#include "ckpt/manager.h"
+#include "metrics/report.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "serve/decision_service.h"
+#include "serve/model_watcher.h"
+#include "util/format.h"
+#include "util/rng.h"
+
+namespace {
+
+using dras::util::format;
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Write the agent-only checkpoint for `episode` and return its path.
+std::filesystem::path write_snapshot(const std::filesystem::path& dir,
+                                     const dras::core::DrasConfig& config,
+                                     std::size_t episode) {
+  dras::core::DrasAgent agent(config);
+  dras::ckpt::CheckpointManagerOptions options;
+  options.dir = dir;
+  options.keep_last = 0;
+  dras::ckpt::CheckpointManager manager(options);
+  dras::ckpt::TrainingState state;
+  state.agent = &agent;
+  state.telemetry = false;
+  return manager.save(state, episode);
+}
+
+struct Cell {
+  std::size_t clients = 0;
+  std::size_t max_batch = 0;
+  double decisions_per_sec = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double batch_mean = 0.0;
+  bool identical = true;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dras::benchx::ObsSession obs(argc, argv);
+  dras::obs::set_enabled(true);
+  const auto scratch =
+      std::filesystem::temp_directory_path() /
+      format("dras-serve-bench-{}", static_cast<std::uint64_t>(::getpid()));
+  std::filesystem::remove_all(scratch);
+  bool failed = false;
+
+  // --- Part 1: micro-batching throughput. ---
+  //
+  // Mid-size capability system: ~23 MB of weights per forward, so the
+  // per-sample path is memory-bandwidth-bound and batching has real
+  // physics behind it, while one cell still finishes in under a second.
+  auto preset = dras::core::theta();
+  preset.nodes = 1024;
+  preset.fc1 = 3000;
+  preset.fc2 = 800;
+  auto config = preset.agent_config(dras::core::AgentKind::PG, 7);
+  config.total_nodes = preset.nodes;
+  const auto throughput_ckpt =
+      write_snapshot(scratch / "throughput", config, 1);
+  const auto snapshot = dras::serve::ModelSnapshot::load(throughput_ckpt,
+                                                         config);
+
+  constexpr std::size_t kRequests = 256;
+  constexpr int kRepetitions = 2;
+  std::vector<dras::serve::DecisionRequest> requests;
+  std::vector<std::size_t> expected;
+  {
+    dras::util::Rng rng(dras::util::derive_seed(7, "serve-bench"));
+    const auto replica = snapshot->make_replica();
+    for (std::size_t r = 0; r < kRequests; ++r) {
+      requests.push_back(dras::serve::make_synthetic_request(config, rng));
+      expected.push_back(
+          dras::serve::reference_decision(*replica, requests.back()));
+    }
+  }
+
+  std::cout << format(
+      "serve throughput: {} requests, {} nodes, fc {}x{}, best of {} "
+      "repetitions\n\n",
+      kRequests, preset.nodes, preset.fc1, preset.fc2, kRepetitions);
+
+  // One measured run of the full request set: `clients` submitter
+  // threads push their shares open-loop, then resolve futures and check
+  // each decision against the precomputed oracle.
+  const auto run_cell = [&](std::size_t clients, std::size_t max_batch,
+                            Cell& cell) {
+    dras::serve::ServiceOptions options;
+    options.policy.max_batch = max_batch;
+    options.policy.max_wait = std::chrono::microseconds(500);
+    options.workers = 1;
+    dras::serve::DecisionService service(options);
+    service.install(snapshot);
+    std::vector<double> latencies;
+    std::vector<double> batch_sizes;
+    latencies.reserve(kRequests);
+    const double start = now_seconds();
+    std::vector<std::thread> threads;
+    std::vector<std::vector<std::pair<std::size_t,
+                                      std::future<dras::serve::Decision>>>>
+        futures(clients);
+    for (std::size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        for (std::size_t r = c; r < kRequests; r += clients)
+          futures[c].emplace_back(r, service.submit(requests[r]));
+      });
+    }
+    for (auto& thread : threads) thread.join();
+    bool identical = true;
+    for (auto& per_client : futures) {
+      for (auto& [index, future] : per_client) {
+        const auto decision = future.get();
+        identical &= decision.job_index == expected[index];
+        latencies.push_back(decision.latency_us);
+        batch_sizes.push_back(static_cast<double>(decision.batch_size));
+      }
+    }
+    const double elapsed = now_seconds() - start;
+    const auto latency = dras::obs::report::exact_stats(latencies);
+    const auto batch = dras::obs::report::exact_stats(batch_sizes);
+    const double throughput =
+        elapsed > 0.0 ? static_cast<double>(kRequests) / elapsed : 0.0;
+    cell.identical &= identical;
+    if (throughput > cell.decisions_per_sec) {
+      cell.decisions_per_sec = throughput;
+      cell.p50_us = latency.p50;
+      cell.p99_us = latency.p99;
+      cell.batch_mean = batch.mean;
+    }
+  };
+
+  std::vector<Cell> cells;
+  std::vector<std::vector<std::string>> table;
+  double best_throughput = 0.0;
+  double worst_speedup = 0.0;
+  bool speedup_ok = true;
+  for (const std::size_t clients : {1u, 4u}) {
+    double baseline = 0.0;  // max_batch=1 at this thread count
+    double best_batched = 0.0;
+    for (const std::size_t max_batch : {1u, 8u, 32u}) {
+      Cell cell;
+      cell.clients = clients;
+      cell.max_batch = max_batch;
+      for (int rep = 0; rep < kRepetitions; ++rep)
+        run_cell(clients, max_batch, cell);
+      if (max_batch == 1)
+        baseline = cell.decisions_per_sec;
+      else
+        best_batched = std::max(best_batched, cell.decisions_per_sec);
+      best_throughput = std::max(best_throughput, cell.decisions_per_sec);
+      failed |= !cell.identical;
+      cells.push_back(cell);
+      table.push_back({format("{}", clients), format("{}", max_batch),
+                       format("{:.0f}", cell.decisions_per_sec),
+                       format("{:.0f}", cell.p50_us),
+                       format("{:.0f}", cell.p99_us),
+                       format("{:.2f}", cell.batch_mean),
+                       cell.identical ? "yes" : "NO"});
+      std::cout << format(
+          "{{\"name\":\"serve_throughput/clients:{}/batch:{}\","
+          "\"clients\":{},\"max_batch\":{},\"decisions_per_sec\":{:.1f},"
+          "\"p50_us\":{:.1f},\"p99_us\":{:.1f},\"batch_mean\":{:.2f},"
+          "\"identical\":{}}}\n",
+          clients, max_batch, clients, max_batch, cell.decisions_per_sec,
+          cell.p50_us, cell.p99_us, cell.batch_mean,
+          cell.identical ? "true" : "false");
+    }
+    const double speedup =
+        baseline > 0.0 ? best_batched / baseline : 0.0;
+    if (worst_speedup == 0.0 || speedup < worst_speedup)
+      worst_speedup = speedup;
+    std::cout << format(
+        "{{\"name\":\"serve_batching_speedup/clients:{}\",\"clients\":{},"
+        "\"speedup\":{:.2f}}}\n",
+        clients, clients, speedup);
+    if (speedup < 3.0) {
+      speedup_ok = false;
+      std::cerr << format(
+          "FAIL: batched throughput only {:.2f}x max_batch=1 at {} "
+          "clients (needs >= 3x)\n",
+          speedup, clients);
+    }
+  }
+  failed |= !speedup_ok;
+
+  std::cout << "\n";
+  dras::metrics::print_table(
+      std::cout,
+      {"clients", "max batch", "decisions/s", "p50 us", "p99 us",
+       "mean batch", "identical"},
+      table);
+
+  // --- Part 2: hot swap under load. ---
+  constexpr std::uint64_t kLiveSwaps = 5;
+  const auto mini = dras::core::theta_mini();
+  auto swap_config = mini.agent_config(dras::core::AgentKind::PG, 11);
+  swap_config.total_nodes = mini.nodes;
+  const auto swap_dir = scratch / "swap";
+  write_snapshot(swap_dir, swap_config, 1);
+
+  dras::serve::ServiceOptions swap_service_options;
+  swap_service_options.policy.max_batch = 16;
+  swap_service_options.policy.max_wait = std::chrono::microseconds(100);
+  swap_service_options.workers = 2;
+  dras::serve::DecisionService swap_service(swap_service_options);
+  dras::serve::WatcherOptions watcher_options;
+  watcher_options.dir = swap_dir;
+  watcher_options.config = swap_config;
+  watcher_options.poll = std::chrono::milliseconds(2);
+  dras::serve::ModelWatcher watcher(watcher_options, swap_service);
+  watcher.start();
+
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> answered{0}, client_failures{0}, stalled{0},
+      unattributed{0}, verified{0}, mismatches{0};
+  std::vector<std::thread> swap_clients;
+  for (std::size_t c = 0; c < 4; ++c) {
+    swap_clients.emplace_back([&, c] {
+      dras::util::Rng rng(
+          dras::util::derive_seed(11, format("swap-client-{}", c)));
+      std::map<std::uint64_t, std::unique_ptr<dras::core::DrasAgent>>
+          replicas;
+      std::uint64_t sent = 0;
+      while (!done.load(std::memory_order_relaxed)) {
+        auto request = dras::serve::make_synthetic_request(swap_config, rng);
+        const bool sampled = (sent++ % 64) == 0;
+        auto before = sampled ? swap_service.current_snapshot() : nullptr;
+        try {
+          const auto decision = swap_service.submit(request).get();
+          answered.fetch_add(1, std::memory_order_relaxed);
+          if (decision.latency_us > 1e6)
+            stalled.fetch_add(1, std::memory_order_relaxed);
+          if (decision.model_version < 1 ||
+              decision.model_version > 1 + kLiveSwaps)
+            unattributed.fetch_add(1, std::memory_order_relaxed);
+          if (before != nullptr &&
+              decision.model_version == before->version()) {
+            auto& replica = replicas[before->version()];
+            if (!replica) replica = before->make_replica();
+            verified.fetch_add(1, std::memory_order_relaxed);
+            if (dras::serve::reference_decision(*replica, request) !=
+                decision.job_index)
+              mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        } catch (const std::exception&) {
+          client_failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  // Land five more snapshots while the clients hammer the service, then
+  // wait until the watcher has installed all of them.
+  for (std::size_t episode = 2; episode <= 1 + kLiveSwaps; ++episode) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    write_snapshot(swap_dir, swap_config, episode);
+  }
+  const double swap_deadline = now_seconds() + 10.0;
+  while (watcher.swaps_installed() < 1 + kLiveSwaps &&
+         now_seconds() < swap_deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  done.store(true, std::memory_order_relaxed);
+  for (auto& thread : swap_clients) thread.join();
+  watcher.stop();
+  swap_service.stop();
+
+  const auto swap_stats = swap_service.stats();
+  std::cout << format(
+      "\n{{\"name\":\"serve_hot_swap\",\"answered\":{},\"failures\":{},"
+      "\"stalled\":{},\"swaps\":{},\"unattributed\":{},\"verified\":{},"
+      "\"mismatches\":{}}}\n",
+      answered.load(), client_failures.load() + swap_stats.failures,
+      stalled.load(), watcher.swaps_installed(), unattributed.load(),
+      verified.load(), mismatches.load());
+  if (client_failures.load() != 0 || swap_stats.failures != 0) {
+    failed = true;
+    std::cerr << "FAIL: requests failed during hot swap\n";
+  }
+  if (stalled.load() != 0) {
+    failed = true;
+    std::cerr << "FAIL: requests stalled (> 1 s) during hot swap\n";
+  }
+  if (watcher.swaps_installed() < 1 + kLiveSwaps) {
+    failed = true;
+    std::cerr << format("FAIL: only {} snapshot installs (need {})\n",
+                        watcher.swaps_installed(), 1 + kLiveSwaps);
+  }
+  if (unattributed.load() != 0) {
+    failed = true;
+    std::cerr << "FAIL: decisions not attributable to a written snapshot\n";
+  }
+  if (mismatches.load() != 0) {
+    failed = true;
+    std::cerr << "FAIL: served decisions mismatched the reference\n";
+  }
+
+  if (auto* recorder = obs.run_recorder()) {
+    recorder->set_stat("serve_best_decisions_per_sec", best_throughput);
+    recorder->set_stat("serve_batch_speedup", worst_speedup);
+    recorder->set_stat("serve_swaps",
+                       static_cast<double>(watcher.swaps_installed()));
+  }
+  std::filesystem::remove_all(scratch);
+
+  if (failed) return 1;
+  std::cout << format(
+      "\nall served decisions bit-identical to the in-trainer reference; "
+      "batched throughput >= 3x max_batch=1; {} live swaps with zero "
+      "failed or stalled requests\n",
+      kLiveSwaps);
+  return 0;
+}

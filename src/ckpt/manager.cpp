@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "core/dras_agent.h"
+#include "exec/async_writer.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "util/binio.h"
@@ -36,6 +37,12 @@ CheckpointManager::CheckpointManager(CheckpointManagerOptions options)
     : options_(std::move(options)) {
   if (options_.dir.empty())
     throw std::invalid_argument("CheckpointManager needs a directory");
+}
+
+CheckpointManager::~CheckpointManager() {
+  // Pending async jobs capture `this` (for the pointer update + prune);
+  // drain them before the members they touch go away.
+  if (options_.writer != nullptr) options_.writer->wait_idle();
 }
 
 bool CheckpointManager::should_save(
@@ -94,11 +101,41 @@ std::filesystem::path CheckpointManager::save(const TrainingState& state,
       "ckpt.save", {obs::targ("episode", static_cast<std::uint64_t>(episode))},
       &write_us_hdr());
   const std::filesystem::path path = path_for(episode);
-  write_checkpoint_file(path, state);
+  if (options_.writer == nullptr) {
+    write_checkpoint_file(path, state);
+    write_latest_pointer(path);
+    last_saved_ = episode;
+    util::log_info("checkpoint written: {}", path.string());
+    prune();
+    return path;
+  }
+  // Background checkpointing: serialize *here*, on the trainer thread —
+  // the bytes capture the state at this exact episode boundary, so the
+  // file is byte-identical to a synchronous save.  Only the durability
+  // work (atomic write, pointer update, prune) rides the writer thread,
+  // and jobs run in submission order so the pointer can never get ahead
+  // of its checkpoint.
+  std::string framed = frame_payload(encode_checkpoint(state));
   last_saved_ = episode;
-  util::log_info("checkpoint written: {}", path.string());
-  prune();
+  options_.writer->submit(
+      util::format("ckpt {}", path.string()),
+      [this, path, bytes = std::move(framed)] {
+        util::atomic_write_file(path, bytes);
+        write_latest_pointer(path);
+        util::log_info("checkpoint written (async): {}", path.string());
+        prune();
+      });
   return path;
+}
+
+void CheckpointManager::write_latest_pointer(
+    const std::filesystem::path& just_written) {
+  // Strictly after the snapshot is fully on disk, so a reader that
+  // follows the pointer can never open a partially-renamed checkpoint.
+  // The pointer itself is atomic_write_file'd: it reads as either the
+  // old name or the new one, never a torn mix.
+  util::atomic_write_file(options_.dir / kLatestPointerName,
+                          just_written.filename().string() + "\n");
 }
 
 void CheckpointManager::prune() {
@@ -124,6 +161,28 @@ std::optional<std::filesystem::path> newest_checkpoint(
   return files.back();
 }
 
+std::optional<std::filesystem::path> read_latest_pointer(
+    const std::filesystem::path& dir) {
+  std::string contents;
+  try {
+    contents = util::read_file(dir / kLatestPointerName);
+  } catch (const std::exception&) {
+    return std::nullopt;  // no pointer yet (or unreadable): fall back
+  }
+  // First line, trimmed — the writer appends a newline.
+  const std::size_t end = contents.find_first_of("\r\n");
+  std::string name =
+      end == std::string::npos ? contents : contents.substr(0, end);
+  while (!name.empty() && (name.back() == ' ' || name.back() == '\t'))
+    name.pop_back();
+  if (name.empty()) return std::nullopt;
+  const std::filesystem::path path = dir / name;
+  if (!CheckpointManager::parse_episode(path)) return std::nullopt;
+  std::error_code ec;
+  if (!std::filesystem::is_regular_file(path, ec)) return std::nullopt;
+  return path;
+}
+
 void load_agent_from_checkpoint(const std::filesystem::path& path,
                                 core::DrasAgent& agent) {
   std::string bytes;
@@ -144,6 +203,10 @@ void load_agent_from_checkpoint(const std::filesystem::path& path,
 
 std::optional<std::filesystem::path> CheckpointManager::restore_latest(
     const TrainingState& state) {
+  // With background checkpointing an in-process rollback must not race
+  // a write that is still in the writer's queue: quiesce first so the
+  // directory reflects every save() this manager has issued.
+  if (options_.writer != nullptr) options_.writer->wait_idle();
   std::vector<std::filesystem::path> files = list();
   if (files.empty()) return std::nullopt;
   std::string last_error;

@@ -16,7 +16,19 @@
 
 #include "ckpt/checkpoint.h"
 
+namespace dras::exec {
+class AsyncWriter;
+}  // namespace dras::exec
+
 namespace dras::ckpt {
+
+/// Atomic pointer file (`<dir>/latest`) naming the most recently
+/// *completed* checkpoint.  Written with util::atomic_write_file after
+/// the snapshot itself has fully landed, so a reader following the
+/// pointer can never open a partially-renamed checkpoint.  The name
+/// never parses as a checkpoint (parse_episode rejects it), so list()
+/// and restore_latest() ignore it.
+inline constexpr std::string_view kLatestPointerName = "latest";
 
 struct CheckpointManagerOptions {
   std::filesystem::path dir;
@@ -24,11 +36,22 @@ struct CheckpointManagerOptions {
   std::size_t every = 1;
   /// Retain at most this many checkpoint files (oldest pruned); 0 = all.
   std::size_t keep_last = 3;
+  /// Background checkpointing: when set, save() serializes the state on
+  /// the calling (trainer) thread — so the bytes are identical to a
+  /// synchronous save — and hands the fsync+rename, `latest` pointer
+  /// update and prune to this writer thread.  Not owned; must outlive
+  /// the manager's last save.  restore_latest() waits for the writer to
+  /// go idle first, so in-process rollback never races a pending write.
+  exec::AsyncWriter* writer = nullptr;
 };
 
 class CheckpointManager {
  public:
   explicit CheckpointManager(CheckpointManagerOptions options);
+
+  /// Quiesces the async writer (when one is configured): queued save()
+  /// jobs reference this manager, so it must not die before they land.
+  ~CheckpointManager();
 
   [[nodiscard]] const CheckpointManagerOptions& options() const noexcept {
     return options_;
@@ -37,8 +60,12 @@ class CheckpointManager {
   /// Should the trainer checkpoint after `episodes_done` episodes?
   [[nodiscard]] bool should_save(std::size_t episodes_done) const noexcept;
 
-  /// Write `state` as the checkpoint for `episode`, then prune old files.
-  /// Returns the written path.
+  /// Write `state` as the checkpoint for `episode`, update the `latest`
+  /// pointer, then prune old files.  Returns the written path.  With an
+  /// async writer configured the serialization still happens here, on
+  /// the calling thread; the disk work is queued and the path returned
+  /// immediately (it may not be durable yet — wait_idle() the writer
+  /// before depending on it).
   std::filesystem::path save(const TrainingState& state, std::size_t episode);
 
   /// Restore from the newest valid checkpoint, skipping (with a logged
@@ -69,6 +96,7 @@ class CheckpointManager {
 
  private:
   void prune();
+  void write_latest_pointer(const std::filesystem::path& just_written);
 
   CheckpointManagerOptions options_;
   std::optional<std::size_t> last_saved_;
@@ -78,6 +106,14 @@ class CheckpointManager {
 /// the directory holds none (or does not exist).  Same naming filter as
 /// CheckpointManager::list().
 [[nodiscard]] std::optional<std::filesystem::path> newest_checkpoint(
+    const std::filesystem::path& dir);
+
+/// The checkpoint named by `<dir>/latest`, when the pointer file exists,
+/// names a managed checkpoint (ckpt-<episode>.dras) and that file is
+/// still present.  A missing, malformed or stale pointer (e.g. naming a
+/// pruned file) resolves to nullopt — callers fall back to
+/// newest_checkpoint().
+[[nodiscard]] std::optional<std::filesystem::path> read_latest_pointer(
     const std::filesystem::path& dir);
 
 /// Warm start: load only the agent slice of a checkpoint into `agent`,

@@ -1,0 +1,124 @@
+#include "exec/async_writer.h"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace dras::exec {
+
+namespace {
+struct WriterMetrics {
+  obs::Counter& jobs;
+  obs::Counter& failures;
+  obs::HdrHistogram& job_us;
+
+  static WriterMetrics& get() {
+    static WriterMetrics metrics = [] {
+      auto& registry = obs::Registry::global();
+      return WriterMetrics{
+          registry.counter("exec.async_writer.jobs"),
+          registry.counter("exec.async_writer.failures"),
+          registry.hdr("exec.async_writer.job_us"),
+      };
+    }();
+    return metrics;
+  }
+};
+}  // namespace
+
+AsyncWriter::AsyncWriter() : thread_([this] { thread_loop(); }) {
+  // Register the metrics now, on the constructing thread, so the
+  // registry's contents do not depend on when the first job finishes
+  // (checkpoints capture the registry — racy registration would leak
+  // into their bytes).  With telemetry disabled nothing is registered
+  // at all, keeping sync and async checkpoint runs byte-identical.
+  if (obs::enabled()) (void)WriterMetrics::get();
+}
+
+AsyncWriter::~AsyncWriter() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void AsyncWriter::submit(std::string label, std::function<void()> job) {
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_)
+      throw std::logic_error("AsyncWriter::submit after shutdown began");
+    queue_.push_back(Job{std::move(label), std::move(job)});
+  }
+  cv_.notify_one();
+}
+
+void AsyncWriter::wait_idle() {
+  std::unique_lock lock(mutex_);
+  idle_cv_.wait(lock, [&] { return queue_.empty() && !busy_; });
+}
+
+std::size_t AsyncWriter::pending() const {
+  std::lock_guard lock(mutex_);
+  return queue_.size() + (busy_ ? 1 : 0);
+}
+
+std::string AsyncWriter::last_error() const {
+  std::lock_guard lock(mutex_);
+  return last_error_;
+}
+
+void AsyncWriter::thread_loop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      // Drain-before-exit: stop only once the queue is empty, so every
+      // submitted write reaches the disk even during shutdown.
+      if (queue_.empty()) return;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      busy_ = true;
+    }
+    const bool timed = obs::enabled();
+    const auto start = timed ? std::chrono::steady_clock::now()
+                             : std::chrono::steady_clock::time_point{};
+    bool ok = true;
+    std::string error;
+    try {
+      job.work();
+    } catch (const std::exception& e) {
+      ok = false;
+      error = e.what();
+    } catch (...) {
+      ok = false;
+      error = "unknown exception";
+    }
+    if (timed) {
+      auto& metrics = WriterMetrics::get();
+      metrics.job_us.observe(std::chrono::duration<double, std::micro>(
+                                 std::chrono::steady_clock::now() - start)
+                                 .count());
+      metrics.jobs.add(1);
+      if (!ok) metrics.failures.add(1);
+    }
+    if (ok) {
+      completed_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      failed_.fetch_add(1, std::memory_order_relaxed);
+      util::log_warn("async writer job '{}' failed: {}", job.label, error);
+    }
+    {
+      std::lock_guard lock(mutex_);
+      busy_ = false;
+      if (!ok) last_error_ = error;
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+}  // namespace dras::exec

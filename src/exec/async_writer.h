@@ -1,0 +1,73 @@
+// A single background writer thread for durability work (fsync+rename)
+// that must not block the producer.
+//
+// The checkpoint pipeline splits in two: serialization stays on the
+// trainer thread (the encoded bytes are a pure function of the state at
+// the episode boundary, so what lands on disk is byte-identical to a
+// synchronous save), while the atomic write — temp file, fsync, rename,
+// pointer update, prune — runs here.  Jobs execute strictly in
+// submission order on one thread, so directory mutations never race
+// each other; readers that must observe a quiesced directory (e.g.
+// CheckpointManager::restore_latest) call wait_idle() first.
+//
+// A job that throws is counted and logged, never rethrown — a failed
+// background write degrades durability by one snapshot, it does not
+// kill training.  The destructor drains the queue before joining.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace dras::exec {
+
+class AsyncWriter {
+ public:
+  AsyncWriter();
+  ~AsyncWriter();  ///< Drains all pending jobs, then joins.
+
+  AsyncWriter(const AsyncWriter&) = delete;
+  AsyncWriter& operator=(const AsyncWriter&) = delete;
+
+  /// Enqueue `job` (FIFO).  `label` names the job in failure logs.
+  void submit(std::string label, std::function<void()> job);
+
+  /// Block until every job submitted so far has finished.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t pending() const;
+  [[nodiscard]] std::uint64_t completed() const noexcept {
+    return completed_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t failed() const noexcept {
+    return failed_.load(std::memory_order_relaxed);
+  }
+  /// what() of the most recent failed job ("" when none failed).
+  [[nodiscard]] std::string last_error() const;
+
+ private:
+  struct Job {
+    std::string label;
+    std::function<void()> work;
+  };
+
+  void thread_loop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;       ///< Wakes the writer.
+  std::condition_variable idle_cv_;  ///< Wakes wait_idle() callers.
+  std::deque<Job> queue_;
+  bool stopping_ = false;
+  bool busy_ = false;                ///< A job is executing right now.
+  std::string last_error_;
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> failed_{0};
+  std::thread thread_;
+};
+
+}  // namespace dras::exec

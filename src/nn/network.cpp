@@ -21,6 +21,7 @@ namespace {
 struct NetMetrics {
   obs::HdrHistogram& forward_us;
   obs::HdrHistogram& backward_us;
+  obs::HdrHistogram& batch_forward_us;
 
   static NetMetrics& get() {
     static NetMetrics metrics = [] {
@@ -28,6 +29,7 @@ struct NetMetrics {
       return NetMetrics{
           registry.hdr("nn.forward_us"),
           registry.hdr("nn.backward_us"),
+          registry.hdr("nn.batch_forward_us"),
       };
     }();
     return metrics;
@@ -124,6 +126,59 @@ std::span<const float> Network::forward(std::span<const float> input) {
   has_forward_ = true;
   if (timed) NetMetrics::get().forward_us.observe(micros_since(start));
   return output_;
+}
+
+void Network::forward_batch(std::span<const float> inputs, std::size_t batch,
+                            std::span<float> outputs) {
+  if (batch == 0) return;
+  if (inputs.size() != batch * config_.input_size())
+    throw std::invalid_argument("forward_batch inputs have the wrong length");
+  if (outputs.size() != batch * config_.outputs)
+    throw std::invalid_argument("forward_batch outputs have the wrong length");
+  const bool timed = obs::enabled();
+  const auto start = timed ? std::chrono::steady_clock::now()
+                           : std::chrono::steady_clock::time_point{};
+  const std::size_t r = config_.input_rows;
+  const std::size_t h1 = config_.fc1;
+  const std::size_t h2 = config_.fc2;
+  const std::size_t out = config_.outputs;
+
+  // Activations are held sample-minor ([feature][batch]) between layers
+  // — the layout gemm_batch wants (see ops.h).  Only this function sees
+  // it; inputs and outputs stay sample-major.
+  batch_conv_.resize(batch * r);
+  batch_fc1_.resize(batch * h1);
+  batch_fc2_.resize(batch * h2);
+  batch_out_.resize(batch * out);
+
+  // 1×2 convolution, per sample — same per-element expression as
+  // forward() — stored transposed for the first gemm.
+  const float w0 = params_[layout_.conv];
+  const float w1 = params_[layout_.conv + 1];
+  const float cb = params_[layout_.conv + 2];
+  for (std::size_t b = 0; b < batch; ++b) {
+    const float* x = inputs.data() + b * 2 * r;
+    float* c = batch_conv_.data() + b;
+    for (std::size_t i = 0; i < r; ++i)
+      c[i * batch] = w0 * x[2 * i] + w1 * x[2 * i + 1] + cb;
+  }
+
+  gemm_batch(cblock(layout_.w1, h1 * r), batch_conv_, batch_fc1_, h1, r,
+             batch);
+  leaky_relu(batch_fc1_, config_.leaky_slope);
+
+  gemm_batch(cblock(layout_.w2, h2 * h1), batch_fc1_, batch_fc2_, h2, h1,
+             batch);
+  leaky_relu(batch_fc2_, config_.leaky_slope);
+
+  gemm_batch(cblock(layout_.w3, out * h2), batch_fc2_, batch_out_, out, h2,
+             batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    float* y = outputs.data() + b * out;
+    for (std::size_t i = 0; i < out; ++i)
+      y[i] = batch_out_[i * batch + b] + params_[layout_.b3 + i];
+  }
+  if (timed) NetMetrics::get().batch_forward_us.observe(micros_since(start));
 }
 
 void Network::backward(std::span<const float> grad_output) {

@@ -71,6 +71,16 @@ class Network {
   /// valid until the next forward().  Caches activations for backward().
   std::span<const float> forward(std::span<const float> input);
 
+  /// Batched forward over B states packed sample-major in `inputs`
+  /// (B × input_size() floats).  Writes B × outputs() floats into `outputs`
+  /// (sample-major) and returns nothing else.  Row b is bit-identical to
+  /// forward(inputs[b]) — the batch dimension only reorders loops so each
+  /// weight row is streamed once per batch (see ops::gemm_batch).  Uses
+  /// dedicated scratch buffers: it does NOT touch the activation caches,
+  /// so an in-flight forward()/backward() pair is unaffected.
+  void forward_batch(std::span<const float> inputs, std::size_t batch,
+                     std::span<float> outputs);
+
   /// Accumulate parameter gradients for d(loss)/d(outputs) = `grad_output`
   /// against the most recent forward pass.  May be called repeatedly to
   /// accumulate over a batch; call zero_gradients() between updates.
@@ -143,6 +153,10 @@ class Network {
   // Backward scratch.
   std::vector<float> g_fc2_post_, g_fc2_pre_, g_fc1_post_, g_fc1_pre_,
       g_conv_;
+  // forward_batch scratch (grown on demand, never shrunk); kept separate
+  // from the training caches above so batched inference can interleave
+  // with a forward()/backward() pair.
+  std::vector<float> batch_conv_, batch_fc1_, batch_fc2_, batch_out_;
   bool has_forward_ = false;
 };
 

@@ -23,6 +23,56 @@ void gemv(std::span<const float> w, std::span<const float> x,
   }
 }
 
+void gemm_batch(std::span<const float> w, std::span<const float> xs,
+                std::span<float> ys, std::size_t rows, std::size_t cols,
+                std::size_t batch) {
+  assert(w.size() == rows * cols);
+  assert(xs.size() == batch * cols);
+  assert(ys.size() == batch * rows);
+  // A one-sample "batch" in sample-minor layout is just a gemv; the
+  // blocked path below would only add per-column loop overhead.
+  if (batch == 1) {
+    gemv(w, xs, ys, rows, cols);
+    return;
+  }
+  const float* wp = w.data();
+  const float* xp = xs.data();
+  float* yp = ys.data();
+  // Sample-minor layout: lane b's accumulation visits features in the
+  // same sequential order as gemv, so each lane is bit-identical to the
+  // per-sample path — but the lanes are independent chains over
+  // contiguous memory, which breaks gemv's loop-carried FP dependence
+  // and lets the compiler vectorize across the batch.  Lanes are
+  // processed in fixed-width blocks so the accumulators live in
+  // registers.
+  constexpr std::size_t kLanes = 16;
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t r = 0; r < static_cast<std::ptrdiff_t>(rows); ++r) {
+    const float* row = wp + static_cast<std::size_t>(r) * cols;
+    float* y = yp + static_cast<std::size_t>(r) * batch;
+    std::size_t b0 = 0;
+    for (; b0 + kLanes <= batch; b0 += kLanes) {
+      float acc[kLanes] = {};
+      for (std::size_t c = 0; c < cols; ++c) {
+        const float w_rc = row[c];
+        const float* x = xp + c * batch + b0;
+        for (std::size_t l = 0; l < kLanes; ++l) acc[l] += w_rc * x[l];
+      }
+      for (std::size_t l = 0; l < kLanes; ++l) y[b0 + l] = acc[l];
+    }
+    if (b0 < batch) {
+      const std::size_t lanes = batch - b0;
+      float acc[kLanes] = {};
+      for (std::size_t c = 0; c < cols; ++c) {
+        const float w_rc = row[c];
+        const float* x = xp + c * batch + b0;
+        for (std::size_t l = 0; l < lanes; ++l) acc[l] += w_rc * x[l];
+      }
+      for (std::size_t l = 0; l < lanes; ++l) y[b0 + l] = acc[l];
+    }
+  }
+}
+
 void gemv_transpose_acc(std::span<const float> w,
                         std::span<const float> grad_y,
                         std::span<float> grad_x, std::size_t rows,

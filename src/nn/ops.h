@@ -16,6 +16,20 @@ namespace dras::nn {
 void gemv(std::span<const float> w, std::span<const float> x,
           std::span<float> y, std::size_t rows, std::size_t cols);
 
+/// Batched y = W·x over B samples in *transposed* (sample-minor)
+/// layout: `xs` is cols×batch (xs[c*batch + b] = sample b's feature c),
+/// `ys` is rows×batch.  Lane b accumulates its dot product in exactly
+/// gemv()'s sequential order, so column b of the result is bit-identical
+/// to gemv(w, x_b) — strict-FP semantics per sample are preserved.  The
+/// throughput win is structural: with samples adjacent in memory the
+/// inner loop runs independent accumulator lanes (SIMD-friendly,
+/// chain-dependence free across lanes) and each weight row is streamed
+/// once per batch instead of once per sample.  Network::forward_batch
+/// owns the transposes; its public layout stays sample-major.
+void gemm_batch(std::span<const float> w, std::span<const float> xs,
+                std::span<float> ys, std::size_t rows, std::size_t cols,
+                std::size_t batch);
+
 /// grad_x += Wᵀ·grad_y  (backprop through y = W·x w.r.t. x).
 void gemv_transpose_acc(std::span<const float> w,
                         std::span<const float> grad_y,

@@ -155,13 +155,20 @@ std::optional<double> metric_value(const RunData& run,
     if (entry == nullptr) return std::nullopt;
     return number_field(*entry, rest.substr(colon + 1));
   }
+  // Fallback: a key in the manifest's "stats" object (RunRecorder::
+  // set_stat) — e.g. dras_serve's decisions_per_sec.
+  if (const util::json::Value* stats = run.manifest.find("stats"))
+    if (const auto value = number_field(*stats, name)) return value;
   return std::nullopt;
 }
 
 bool higher_is_worse(const std::string& metric) {
-  // Scores and work totals regress downward; times regress upward.
+  // Scores, work totals and rates regress downward; times regress upward.
+  const bool is_rate =
+      metric.size() >= 8 &&
+      metric.compare(metric.size() - 8, 8, "_per_sec") == 0;
   return !(metric == "final_score" || metric == "episodes" ||
-           metric == "rounds");
+           metric == "rounds" || is_rate);
 }
 
 std::vector<Threshold> default_thresholds() {
@@ -337,6 +344,13 @@ std::string summary_markdown(const RunData& run) {
   if (!hdrs.empty()) {
     out << "\n## latency metrics (metrics.json, hdr)\n\n" << kStatsHeader;
     for (const auto& [name, stats] : hdrs) append_stats_row(out, name, stats);
+  }
+  if (const util::json::Value* stats = run.manifest.find("stats");
+      stats != nullptr && stats->is_object() && !stats->as_object().empty()) {
+    out << "\n## stats\n\n| stat | value |\n|---|---|\n";
+    for (const auto& [name, value] : stats->as_object())
+      if (value.is_number())
+        out << "| " << name << " | " << fmt_num(value.as_number()) << " |\n";
   }
   return out.str();
 }

@@ -20,6 +20,11 @@
 //   hdr:<name>:<stat>    any hdr metric from metrics.json, <stat> one of
 //                        p50/p90/p99/p999/mean/max/count.  Higher is
 //                        worse.
+//   <stats key>          any numeric key in the manifest's "stats"
+//                        object (RunRecorder::set_stat), e.g.
+//                        dras_serve's decisions_per_sec.  Higher is
+//                        worse unless the name ends in "_per_sec"
+//                        (rates regress downward).
 //
 // A comparison regresses when candidate B is worse than baseline A by
 // more than the threshold's relative fraction (0.10 = 10%).  A metric

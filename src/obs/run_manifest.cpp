@@ -89,6 +89,11 @@ void RunRecorder::note(std::string_view key, std::string_view value) {
   notes_[std::string(key)] = std::string(value);
 }
 
+void RunRecorder::set_stat(std::string_view name, double value) {
+  const std::scoped_lock lock(mutex_);
+  stats_[std::string(name)] = value;
+}
+
 void RunRecorder::mark_interrupted(int signal) {
   const std::scoped_lock lock(mutex_);
   interrupted_ = true;
@@ -147,6 +152,14 @@ std::string RunRecorder::manifest_json_locked(bool completed) const {
   out << util::format(",\"exit_code\":{}", exit_code_);
   out << ",\"interrupted\":" << (interrupted_ ? "true" : "false");
   if (interrupted_) out << util::format(",\"signal\":{}", signal_);
+  out << ",\"stats\":{";
+  bool first_stat = true;
+  for (const auto& [key, value] : stats_) {
+    if (!first_stat) out << ',';
+    first_stat = false;
+    out << util::json::quote(key) << ':' << util::format("{}", value);
+  }
+  out << '}';
   out << ",\"notes\":{";
   bool first = true;
   for (const auto& [key, value] : notes_) {

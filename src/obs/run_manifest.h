@@ -88,6 +88,12 @@ class RunRecorder {
   /// (policy name, model file, jobset label, ...).
   void note(std::string_view key, std::string_view value);
 
+  /// Attach a numeric result to the manifest's "stats" object
+  /// (decisions_per_sec, swap counts, ...).  Unlike notes these are
+  /// comparable: dras_report resolves any stats key as a metric name,
+  /// so a stat can gate a CI comparison.  Last write per key wins.
+  void set_stat(std::string_view name, double value);
+
   /// Record that the run is being interrupted by `signal`; the manifest
   /// gains "interrupted": true.  Called from the InterruptGuard flush
   /// hook before flush().
@@ -134,6 +140,7 @@ class RunRecorder {
   std::uint64_t rollbacks_ = 0;
   std::optional<double> final_score_;
   std::map<std::string, std::string> notes_;
+  std::map<std::string, double> stats_;
   bool interrupted_ = false;
   int signal_ = 0;
   bool finished_ = false;

@@ -1,0 +1,372 @@
+#include "serve/decision_service.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "nn/ops.h"
+#include "obs/metrics.h"
+#include "util/format.h"
+
+namespace dras::serve {
+
+namespace {
+
+struct ServeMetrics {
+  obs::Counter& requests;
+  obs::Counter& batches;
+  obs::Counter& swaps;
+  obs::Counter& failures;
+  obs::Gauge& queue_depth;
+  obs::HdrHistogram& request_latency_us;
+  obs::HdrHistogram& batch_size;
+  obs::HdrHistogram& batch_forward_us;
+
+  static ServeMetrics& get() {
+    static ServeMetrics metrics = [] {
+      auto& registry = obs::Registry::global();
+      return ServeMetrics{
+          registry.counter("serve.requests"),
+          registry.counter("serve.batches"),
+          registry.counter("serve.swaps"),
+          registry.counter("serve.failures"),
+          registry.gauge("serve.queue_depth"),
+          registry.hdr("serve.request.latency_us"),
+          registry.hdr("serve.batch.size"),
+          registry.hdr("serve.batch.forward_us"),
+      };
+    }();
+    return metrics;
+  }
+};
+
+double micros_since(std::chrono::steady_clock::time_point start) noexcept {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Throws std::invalid_argument when `request` does not fit the
+/// network `agent` serves.
+void validate_request(const core::DrasAgent& agent,
+                      const DecisionRequest& request) {
+  const nn::NetworkConfig& net = agent.network().config();
+  if (request.valid == 0)
+    throw std::invalid_argument("decision request has no valid actions");
+  if (agent.config().kind == core::AgentKind::PG) {
+    if (request.valid > net.outputs)
+      throw std::invalid_argument(util::format(
+          "decision request has {} valid slots, window is {}", request.valid,
+          net.outputs));
+    if (request.state.size() != net.input_size())
+      throw std::invalid_argument(util::format(
+          "PG decision request state has {} floats, expected {}",
+          request.state.size(), net.input_size()));
+  } else {
+    if (request.state.size() != request.valid * net.input_size())
+      throw std::invalid_argument(util::format(
+          "DQL decision request state has {} floats, expected {}x{}",
+          request.state.size(), request.valid, net.input_size()));
+  }
+}
+
+/// Batched PG head: one forward_batch over all window states, then per
+/// request the exact greedy_action math — softmax_masked over the full
+/// logit row, argmax (first-max-wins) over the first `valid` probs.
+void decide_pg(core::DrasAgent& agent,
+               std::span<const DecisionRequest* const> requests,
+               std::span<std::size_t> picks) {
+  nn::Network& net = agent.network();
+  const std::size_t in = net.config().input_size();
+  const std::size_t out = net.config().outputs;
+  const std::size_t batch = requests.size();
+  std::vector<float> inputs(batch * in);
+  for (std::size_t b = 0; b < batch; ++b)
+    std::copy(requests[b]->state.begin(), requests[b]->state.end(),
+              inputs.begin() + static_cast<std::ptrdiff_t>(b * in));
+  std::vector<float> logits(batch * out);
+  net.forward_batch(inputs, batch, logits);
+  std::vector<float> probs(out);
+  for (std::size_t b = 0; b < batch; ++b) {
+    const std::span<const float> row =
+        std::span<const float>(logits).subspan(b * out, out);
+    nn::softmax_masked(row, probs, requests[b]->valid);
+    picks[b] = static_cast<std::size_t>(
+        std::max_element(probs.begin(),
+                         probs.begin() +
+                             static_cast<std::ptrdiff_t>(requests[b]->valid)) -
+        probs.begin());
+  }
+}
+
+/// Batched DQL head: every candidate of every request becomes one row
+/// of a single forward_batch; per request the argmax uses the exact
+/// select_action(explore=false) comparison — double-cast Q, strict >,
+/// first-wins.
+void decide_dql(core::DrasAgent& agent,
+                std::span<const DecisionRequest* const> requests,
+                std::span<std::size_t> picks) {
+  nn::Network& net = agent.network();
+  const std::size_t in = net.config().input_size();
+  std::size_t total = 0;
+  for (const DecisionRequest* r : requests) total += r->valid;
+  std::vector<float> inputs;
+  inputs.reserve(total * in);
+  for (const DecisionRequest* r : requests)
+    inputs.insert(inputs.end(), r->state.begin(), r->state.end());
+  std::vector<float> q(total);
+  net.forward_batch(inputs, total, q);
+  std::size_t offset = 0;
+  for (std::size_t b = 0; b < requests.size(); ++b) {
+    const std::size_t n = requests[b]->valid;
+    std::size_t best = 0;
+    double best_q = static_cast<double>(q[offset]);
+    for (std::size_t i = 1; i < n; ++i) {
+      const double qi = static_cast<double>(q[offset + i]);
+      if (qi > best_q) {
+        best_q = qi;
+        best = i;
+      }
+    }
+    picks[b] = best;
+    offset += n;
+  }
+}
+
+}  // namespace
+
+DecisionService::DecisionService(ServiceOptions options)
+    : options_(options) {
+  if (options_.policy.max_batch == 0)
+    throw std::invalid_argument("BatchPolicy.max_batch must be >= 1");
+  if (options_.workers == 0)
+    throw std::invalid_argument("DecisionService needs >= 1 worker");
+  workers_.reserve(options_.workers);
+  for (std::size_t i = 0; i < options_.workers; ++i)
+    workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+DecisionService::~DecisionService() { stop(); }
+
+std::future<Decision> DecisionService::submit(DecisionRequest request) {
+  obs::Span request_span("serve.request");
+  Pending pending;
+  pending.request = std::move(request);
+  pending.enqueued = std::chrono::steady_clock::now();
+  pending.span = request_span.context();
+  std::future<Decision> future = pending.promise.get_future();
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_) {
+      pending.promise.set_exception(std::make_exception_ptr(
+          std::runtime_error("decision service stopped")));
+      failures_.fetch_add(1, std::memory_order_relaxed);
+      ServeMetrics::get().failures.add(1);
+      return future;
+    }
+    queue_.push_back(std::move(pending));
+    ServeMetrics::get().queue_depth.set(static_cast<double>(queue_.size()));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void DecisionService::install(std::shared_ptr<const ModelSnapshot> snapshot) {
+  if (!snapshot) throw std::invalid_argument("install(nullptr)");
+  {
+    // The swap is an O(1) pointer assignment under the queue mutex —
+    // submitters and batch-closers contend on the same lock for
+    // microseconds, never on a model load (which happened before this
+    // call, off the serving path).
+    std::lock_guard lock(mutex_);
+    model_ = std::move(snapshot);
+  }
+  swaps_.fetch_add(1, std::memory_order_relaxed);
+  ServeMetrics::get().swaps.add(1);
+  cv_.notify_all();
+}
+
+std::shared_ptr<const ModelSnapshot> DecisionService::current_snapshot()
+    const {
+  std::lock_guard lock(mutex_);
+  return model_;
+}
+
+void DecisionService::stop() {
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_ && workers_.empty()) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_)
+    if (worker.joinable()) worker.join();
+  workers_.clear();
+}
+
+DecisionService::Stats DecisionService::stats() const {
+  return Stats{
+      requests_.load(std::memory_order_relaxed),
+      batches_.load(std::memory_order_relaxed),
+      swaps_.load(std::memory_order_relaxed),
+      failures_.load(std::memory_order_relaxed),
+      max_batch_.load(std::memory_order_relaxed),
+  };
+}
+
+void DecisionService::worker_loop(std::size_t /*worker_index*/) {
+  // Per-worker model replica: cloned from the installed snapshot the
+  // first time this worker sees it, then reused until the pointer
+  // changes.  Cloning happens outside the lock, so a swap never stalls
+  // the queue.
+  std::unique_ptr<core::DrasAgent> replica;
+  const ModelSnapshot* replica_source = nullptr;
+  std::vector<Pending> batch;
+  for (;;) {
+    std::shared_ptr<const ModelSnapshot> snapshot;
+    std::uint64_t batch_id = 0;
+    std::size_t left_behind = 0;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [&] {
+        return stopping_ || (!queue_.empty() && model_ != nullptr);
+      });
+      if (queue_.empty() && stopping_) return;
+      if (model_ == nullptr) {
+        // Stopping with requests that never saw a model: fail them.
+        while (!queue_.empty()) {
+          queue_.front().promise.set_exception(std::make_exception_ptr(
+              std::runtime_error("decision service stopped before a model "
+                                 "was installed")));
+          queue_.pop_front();
+          failures_.fetch_add(1, std::memory_order_relaxed);
+          ServeMetrics::get().failures.add(1);
+        }
+        return;
+      }
+      // Coalesce: close the batch at max_batch requests or when the
+      // oldest request's max_wait expires (immediately when stopping).
+      if (queue_.size() < options_.policy.max_batch && !stopping_) {
+        const auto deadline =
+            queue_.front().enqueued + options_.policy.max_wait;
+        cv_.wait_until(lock, deadline, [&] {
+          return stopping_ || queue_.size() >= options_.policy.max_batch;
+        });
+      }
+      if (queue_.empty()) continue;  // another worker drained it
+      const std::size_t take =
+          std::min(queue_.size(), options_.policy.max_batch);
+      batch.clear();
+      batch.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      snapshot = model_;
+      batch_id = next_batch_id_++;
+      left_behind = queue_.size();
+      ServeMetrics::get().queue_depth.set(static_cast<double>(left_behind));
+    }
+    if (left_behind > 0) cv_.notify_one();
+    if (replica_source != snapshot.get()) {
+      replica = snapshot->make_replica();
+      replica_source = snapshot.get();
+    }
+    serve_batch(batch, *snapshot, *replica, batch_id);
+  }
+}
+
+void DecisionService::serve_batch(std::vector<Pending>& batch,
+                                  const ModelSnapshot& snapshot,
+                                  core::DrasAgent& replica,
+                                  std::uint64_t batch_id) {
+  ServeMetrics& metrics = ServeMetrics::get();
+  obs::Span batch_span(
+      "serve.batch", batch.front().span, batch_id,
+      {obs::targ("batch_size", static_cast<std::uint64_t>(batch.size())),
+       obs::targ("version", snapshot.version())});
+
+  // Validate first: a malformed request fails alone, it cannot poison
+  // the batch it rode in with.
+  std::vector<const DecisionRequest*> valid_requests;
+  std::vector<std::size_t> valid_slots;
+  valid_requests.reserve(batch.size());
+  valid_slots.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    try {
+      validate_request(replica, batch[i].request);
+      valid_requests.push_back(&batch[i].request);
+      valid_slots.push_back(i);
+    } catch (const std::exception&) {
+      batch[i].promise.set_exception(std::current_exception());
+      failures_.fetch_add(1, std::memory_order_relaxed);
+      metrics.failures.add(1);
+    }
+  }
+
+  std::vector<std::size_t> picks(valid_requests.size());
+  if (!valid_requests.empty()) {
+    obs::Span forward_span(
+        "serve.forward",
+        {obs::targ("rows", static_cast<std::uint64_t>(valid_requests.size()))},
+        &metrics.batch_forward_us);
+    if (replica.config().kind == core::AgentKind::PG)
+      decide_pg(replica, valid_requests, picks);
+    else
+      decide_dql(replica, valid_requests, picks);
+  }
+
+  for (std::size_t i = 0; i < valid_requests.size(); ++i) {
+    Pending& pending = batch[valid_slots[i]];
+    Decision decision;
+    decision.job_index = picks[i];
+    decision.model_version = snapshot.version();
+    decision.batch_id = batch_id;
+    decision.batch_size = static_cast<std::uint32_t>(batch.size());
+    decision.latency_us = micros_since(pending.enqueued);
+    metrics.request_latency_us.observe(decision.latency_us);
+    pending.promise.set_value(decision);
+  }
+  metrics.batch_size.observe(static_cast<double>(batch.size()));
+  metrics.requests.add(valid_requests.size());
+  metrics.batches.add(1);
+  requests_.fetch_add(valid_requests.size(), std::memory_order_relaxed);
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t seen = max_batch_.load(std::memory_order_relaxed);
+  while (seen < batch.size() &&
+         !max_batch_.compare_exchange_weak(
+             seen, batch.size(), std::memory_order_relaxed)) {
+  }
+}
+
+std::size_t reference_decision(core::DrasAgent& agent,
+                               const DecisionRequest& request) {
+  if (agent.pg() != nullptr)
+    return agent.pg()->greedy_action(request.state, request.valid);
+  const std::size_t in = agent.network().config().input_size();
+  std::vector<std::vector<float>> candidates(request.valid);
+  for (std::size_t i = 0; i < request.valid; ++i)
+    candidates[i].assign(
+        request.state.begin() + static_cast<std::ptrdiff_t>(i * in),
+        request.state.begin() + static_cast<std::ptrdiff_t>((i + 1) * in));
+  util::Rng rng(0);  // unused: explore=false never draws
+  return agent.dql()->select_action(candidates, rng, /*explore=*/false);
+}
+
+DecisionRequest make_synthetic_request(const core::DrasConfig& config,
+                                       util::Rng& rng) {
+  const nn::NetworkConfig net = config.network_config();
+  DecisionRequest request;
+  if (config.kind == core::AgentKind::PG) {
+    request.valid = 1 + static_cast<std::size_t>(
+                            rng.uniform_index(config.window));
+    request.state.resize(net.input_size());
+  } else {
+    request.valid = 1 + static_cast<std::size_t>(rng.uniform_index(8));
+    request.state.resize(request.valid * net.input_size());
+  }
+  for (float& v : request.state)
+    v = static_cast<float>(rng.uniform(0.0, 1.0));
+  return request;
+}
+
+}  // namespace dras::serve

@@ -1,0 +1,108 @@
+#include "serve/model_watcher.h"
+
+#include <vector>
+
+#include "ckpt/manager.h"
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace dras::serve {
+
+namespace {
+struct WatcherMetrics {
+  obs::Counter& installs;
+  obs::Counter& load_failures;
+
+  static WatcherMetrics& get() {
+    static WatcherMetrics metrics = [] {
+      auto& registry = obs::Registry::global();
+      return WatcherMetrics{
+          registry.counter("serve.watcher.installs"),
+          registry.counter("serve.watcher.load_failures"),
+      };
+    }();
+    return metrics;
+  }
+};
+}  // namespace
+
+ModelWatcher::ModelWatcher(WatcherOptions options, DecisionService& service)
+    : options_(std::move(options)), service_(service) {
+  if (options_.dir.empty())
+    throw std::invalid_argument("ModelWatcher needs a directory");
+}
+
+ModelWatcher::~ModelWatcher() { stop(); }
+
+bool ModelWatcher::poll_once() {
+  std::lock_guard lock(poll_mutex_);
+  // Candidates newest-first, with the trainer's `latest` pointer target
+  // preferred: the pointer is written only after a snapshot fully
+  // landed, so following it can never open a partially-renamed file.
+  std::vector<std::filesystem::path> candidates;
+  const std::optional<std::filesystem::path> pointer =
+      ckpt::read_latest_pointer(options_.dir);
+  if (pointer) candidates.push_back(*pointer);
+  ckpt::CheckpointManager manager({.dir = options_.dir});
+  const std::vector<std::filesystem::path> files = manager.list();
+  for (auto it = files.rbegin(); it != files.rend(); ++it)
+    if (!pointer || *it != *pointer) candidates.push_back(*it);
+
+  for (const std::filesystem::path& path : candidates) {
+    if (has_current_ && path == current_path_)
+      return false;  // best available is already serving
+    try {
+      std::shared_ptr<const ModelSnapshot> snapshot =
+          ModelSnapshot::load(path, options_.config);
+      service_.install(snapshot);
+      current_path_ = path;
+      has_current_ = true;
+      current_version_.store(snapshot->version(), std::memory_order_relaxed);
+      installed_.fetch_add(1, std::memory_order_relaxed);
+      WatcherMetrics::get().installs.add(1);
+      util::log_info("serving model v{} from {}", snapshot->version(),
+                     path.string());
+      return true;
+    } catch (const std::exception& e) {
+      // Torn write that slipped past the pointer, checksum mismatch,
+      // fingerprint mismatch: keep serving the old model, try older.
+      load_failures_.fetch_add(1, std::memory_order_relaxed);
+      WatcherMetrics::get().load_failures.add(1);
+      util::log_warn("cannot load checkpoint {}: {}", path.string(),
+                     e.what());
+    }
+  }
+  return false;
+}
+
+void ModelWatcher::start() {
+  {
+    std::lock_guard lock(stop_mutex_);
+    if (thread_.joinable()) return;  // already running
+    stopping_ = false;
+  }
+  poll_once();  // serve immediately when a checkpoint already exists
+  thread_ = std::thread([this] { thread_loop(); });
+}
+
+void ModelWatcher::stop() {
+  {
+    std::lock_guard lock(stop_mutex_);
+    stopping_ = true;
+  }
+  stop_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void ModelWatcher::thread_loop() {
+  for (;;) {
+    {
+      std::unique_lock lock(stop_mutex_);
+      if (stop_cv_.wait_for(lock, options_.poll, [&] { return stopping_; }))
+        return;
+    }
+    poll_once();
+  }
+}
+
+}  // namespace dras::serve

@@ -1,0 +1,89 @@
+// Background checkpoint-directory watcher: the consumer half of the
+// training → serving hot-swap loop.
+//
+// A ModelWatcher polls a checkpoint directory on its own thread.  Each
+// poll resolves the best candidate — the file named by the trainer's
+// atomic `latest` pointer when present and readable, otherwise the
+// newest checkpoint by episode number — and, when it differs from what
+// is currently serving, loads it into a ModelSnapshot and install()s it
+// on the DecisionService.  A load failure (torn write that slipped past
+// the pointer, checksum mismatch, fingerprint mismatch) is counted and
+// the watcher falls back to the next-older checkpoint, so the service
+// keeps serving the last good model; the `latest` pointer written by
+// CheckpointManager after each *successful* snapshot makes that path
+// rare (the pointer never names a partially-renamed file).
+//
+// poll_once() is public so tests drive the protocol deterministically
+// without the thread.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <filesystem>
+#include <mutex>
+#include <thread>
+
+#include "core/dras_agent.h"
+#include "serve/decision_service.h"
+
+namespace dras::serve {
+
+struct WatcherOptions {
+  std::filesystem::path dir;      ///< Checkpoint directory to watch.
+  core::DrasConfig config;        ///< Agent shape the checkpoints must match.
+  std::chrono::milliseconds poll{50};
+};
+
+class ModelWatcher {
+ public:
+  ModelWatcher(WatcherOptions options, DecisionService& service);
+  ~ModelWatcher();
+
+  ModelWatcher(const ModelWatcher&) = delete;
+  ModelWatcher& operator=(const ModelWatcher&) = delete;
+
+  /// One poll of the directory: returns true when a new snapshot was
+  /// installed.  Thread-safe with respect to the background thread (an
+  /// internal mutex serializes polls).
+  bool poll_once();
+
+  /// Start / stop the background polling thread.  start() polls once
+  /// synchronously first so a directory that already holds a checkpoint
+  /// serves immediately.
+  void start();
+  void stop();
+
+  [[nodiscard]] std::uint64_t swaps_installed() const noexcept {
+    return installed_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t load_failures() const noexcept {
+    return load_failures_.load(std::memory_order_relaxed);
+  }
+  /// Version currently installed by this watcher (0 before the first).
+  [[nodiscard]] std::uint64_t current_version() const noexcept {
+    return current_version_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void thread_loop();
+
+  WatcherOptions options_;
+  DecisionService& service_;
+
+  std::mutex poll_mutex_;                 ///< Serializes poll_once().
+  std::filesystem::path current_path_;    ///< Guarded by poll_mutex_.
+  bool has_current_ = false;              ///< Guarded by poll_mutex_.
+
+  std::mutex stop_mutex_;
+  std::condition_variable stop_cv_;
+  bool stopping_ = false;
+  std::thread thread_;
+
+  std::atomic<std::uint64_t> installed_{0};
+  std::atomic<std::uint64_t> load_failures_{0};
+  std::atomic<std::uint64_t> current_version_{0};
+};
+
+}  // namespace dras::serve

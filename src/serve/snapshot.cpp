@@ -1,0 +1,18 @@
+#include "serve/snapshot.h"
+
+#include "ckpt/manager.h"
+
+namespace dras::serve {
+
+std::shared_ptr<const ModelSnapshot> ModelSnapshot::load(
+    const std::filesystem::path& path, const core::DrasConfig& config) {
+  auto agent = std::make_unique<core::DrasAgent>(config);
+  ckpt::load_agent_from_checkpoint(path, *agent);
+  agent->set_training(false);
+  const std::uint64_t version =
+      ckpt::CheckpointManager::parse_episode(path).value_or(0);
+  return std::shared_ptr<const ModelSnapshot>(
+      new ModelSnapshot(config, path, version, std::move(agent)));
+}
+
+}  // namespace dras::serve

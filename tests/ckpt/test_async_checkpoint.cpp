@@ -1,0 +1,127 @@
+// Background checkpointing: serialization on the trainer thread, the
+// durability work (atomic write, `latest` pointer, prune) on the
+// exec::AsyncWriter thread.  The invariants under test: the bytes on
+// disk are identical to a synchronous save, readers that must see a
+// quiesced directory wait for the writer, and teardown never drops a
+// queued snapshot.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "ckpt/manager.h"
+#include "ckpt_test_util.h"
+#include "exec/async_writer.h"
+#include "util/fs.h"
+
+namespace dras::ckpt {
+namespace {
+
+using testing::ScratchDirTest;
+using testing::tiny_agent_config;
+
+class AsyncCheckpointTest : public ScratchDirTest {
+ protected:
+  TrainingState state_for(core::DrasAgent& agent) {
+    TrainingState state;
+    state.agent = &agent;
+    state.telemetry = false;
+    return state;
+  }
+};
+
+TEST_F(AsyncCheckpointTest, AsyncSaveIsByteIdenticalToSync) {
+  core::DrasAgent agent(tiny_agent_config(core::AgentKind::PG));
+  const auto state = state_for(agent);
+
+  const auto sync_dir = dir_ / "sync";
+  const auto async_dir = dir_ / "async";
+  std::filesystem::create_directories(sync_dir);
+  std::filesystem::create_directories(async_dir);
+
+  CheckpointManager sync_manager({.dir = sync_dir});
+  const auto sync_path = sync_manager.save(state, 1);
+
+  exec::AsyncWriter writer;
+  CheckpointManager async_manager({.dir = async_dir, .writer = &writer});
+  const auto async_path = async_manager.save(state, 1);
+  writer.wait_idle();
+
+  EXPECT_EQ(util::read_file(sync_path), util::read_file(async_path));
+  EXPECT_EQ(sync_path.filename(), async_path.filename());
+}
+
+TEST_F(AsyncCheckpointTest, ManagerDestructorDrainsQueuedSaves) {
+  // A trainer that saves and promptly tears the manager down (normal
+  // end of training) must still land every snapshot: the queued jobs
+  // capture the manager for the pointer update and prune, so the
+  // destructor quiesces the writer first.
+  core::DrasAgent agent(tiny_agent_config(core::AgentKind::PG));
+  exec::AsyncWriter writer;
+  {
+    CheckpointManager manager(
+        {.dir = dir_, .keep_last = 2, .writer = &writer});
+    const auto state = state_for(agent);
+    for (std::size_t episode = 1; episode <= 5; ++episode)
+      (void)manager.save(state, episode);
+  }
+  EXPECT_EQ(writer.failed(), 0u) << writer.last_error();
+
+  CheckpointManager reader({.dir = dir_});
+  const auto files = reader.list();
+  ASSERT_EQ(files.size(), 2u);  // prune ran for every save
+  EXPECT_EQ(CheckpointManager::parse_episode(files.back()), 5u);
+  const auto pointer = read_latest_pointer(dir_);
+  ASSERT_TRUE(pointer.has_value());
+  EXPECT_EQ(CheckpointManager::parse_episode(*pointer), 5u);
+}
+
+TEST_F(AsyncCheckpointTest, RestoreLatestWaitsForPendingWrites) {
+  core::DrasAgent agent(tiny_agent_config(core::AgentKind::DQL));
+  exec::AsyncWriter writer;
+  CheckpointManager manager({.dir = dir_, .writer = &writer});
+  const auto state = state_for(agent);
+  for (std::size_t episode = 1; episode <= 3; ++episode)
+    (void)manager.save(state, episode);
+
+  // No explicit wait_idle: restore_latest must quiesce the writer
+  // itself, or it could miss (or half-read) the newest snapshot.
+  core::DrasAgent target(tiny_agent_config(core::AgentKind::DQL));
+  auto into = state_for(target);
+  const auto restored = manager.restore_latest(into);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(CheckpointManager::parse_episode(*restored), 3u);
+}
+
+TEST_F(AsyncCheckpointTest, PointerNeverGetsAheadOfItsCheckpoint) {
+  // Jobs run in submission order on one thread: after quiescing at any
+  // point, the pointer names a file that exists and decodes.
+  core::DrasAgent agent(tiny_agent_config(core::AgentKind::PG));
+  exec::AsyncWriter writer;
+  CheckpointManager manager({.dir = dir_, .keep_last = 0, .writer = &writer});
+  const auto state = state_for(agent);
+  for (std::size_t episode = 1; episode <= 4; ++episode) {
+    (void)manager.save(state, episode);
+    writer.wait_idle();
+    const auto pointer = read_latest_pointer(dir_);
+    ASSERT_TRUE(pointer.has_value());
+    EXPECT_EQ(CheckpointManager::parse_episode(*pointer), episode);
+    core::DrasAgent probe(tiny_agent_config(core::AgentKind::PG));
+    EXPECT_NO_THROW(load_agent_from_checkpoint(*pointer, probe));
+  }
+}
+
+TEST_F(AsyncCheckpointTest, SaveReturnsImmediatelyWhileWriterWorks) {
+  // The trainer-facing contract: save() costs serialization only; the
+  // path it returns becomes durable once the writer drains.
+  core::DrasAgent agent(tiny_agent_config(core::AgentKind::PG));
+  exec::AsyncWriter writer;
+  CheckpointManager manager({.dir = dir_, .writer = &writer});
+  const auto path = manager.save(state_for(agent), 7);
+  EXPECT_EQ(manager.last_saved_episode(), 7u);
+  writer.wait_idle();
+  EXPECT_TRUE(std::filesystem::is_regular_file(path));
+}
+
+}  // namespace
+}  // namespace dras::ckpt

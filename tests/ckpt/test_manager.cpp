@@ -185,6 +185,68 @@ TEST_F(ManagerTest, SkippedCorruptSnapshotsAreCounted) {
   EXPECT_EQ(skipped.value() - before, 2u);
 }
 
+TEST_F(ManagerTest, LatestPointerTracksTheNewestSave) {
+  core::DrasAgent agent(tiny_agent_config(core::AgentKind::PG));
+  auto manager = make_manager();
+  const auto state = state_for(agent);
+  for (std::size_t episode = 1; episode <= 3; ++episode) {
+    (void)manager.save(state, episode);
+    const auto pointer = read_latest_pointer(dir_);
+    ASSERT_TRUE(pointer.has_value());
+    EXPECT_EQ(CheckpointManager::parse_episode(*pointer), episode);
+  }
+  // Exact on-disk form: the bare filename plus a newline.
+  EXPECT_EQ(util::read_file(dir_ / kLatestPointerName),
+            "ckpt-00000003.dras\n");
+}
+
+TEST_F(ManagerTest, PointerFileIsNotMistakenForACheckpoint) {
+  core::DrasAgent agent(tiny_agent_config(core::AgentKind::PG));
+  auto manager = make_manager();
+  (void)manager.save(state_for(agent), 1);
+  EXPECT_EQ(CheckpointManager::parse_episode(dir_ / kLatestPointerName),
+            std::nullopt);
+  ASSERT_EQ(manager.list().size(), 1u);  // `latest` itself is ignored
+  EXPECT_EQ(CheckpointManager::parse_episode(manager.list()[0]), 1u);
+}
+
+TEST_F(ManagerTest, MissingOrMalformedPointerResolvesToNothing) {
+  EXPECT_EQ(read_latest_pointer(dir_), std::nullopt);  // no pointer yet
+  util::atomic_write_file(dir_ / kLatestPointerName, "not-a-checkpoint\n");
+  EXPECT_EQ(read_latest_pointer(dir_), std::nullopt);
+  util::atomic_write_file(dir_ / kLatestPointerName, "\n");
+  EXPECT_EQ(read_latest_pointer(dir_), std::nullopt);
+}
+
+TEST_F(ManagerTest, StalePointerNamingAMissingFileResolvesToNothing) {
+  core::DrasAgent agent(tiny_agent_config(core::AgentKind::PG));
+  auto manager = make_manager();
+  (void)manager.save(state_for(agent), 1);
+  // Well-formed name, but the file it names is gone (e.g. pruned by
+  // another process): callers must fall back to the scan.
+  util::atomic_write_file(dir_ / kLatestPointerName,
+                          "ckpt-00000009.dras\n");
+  EXPECT_EQ(read_latest_pointer(dir_), std::nullopt);
+  const auto newest = newest_checkpoint(dir_);
+  ASSERT_TRUE(newest.has_value());
+  EXPECT_EQ(CheckpointManager::parse_episode(*newest), 1u);
+}
+
+TEST_F(ManagerTest, TornPointerWriteFallsBackToTheScan) {
+  core::DrasAgent agent(tiny_agent_config(core::AgentKind::PG));
+  auto manager = make_manager();
+  const auto state = state_for(agent);
+  (void)manager.save(state, 1);
+  (void)manager.save(state, 2);
+  // A torn pointer — the first bytes of a filename — must never parse;
+  // the checkpoints themselves are unaffected.
+  FaultInjector::truncate_file(dir_ / kLatestPointerName, 4);
+  EXPECT_EQ(read_latest_pointer(dir_), std::nullopt);
+  const auto newest = newest_checkpoint(dir_);
+  ASSERT_TRUE(newest.has_value());
+  EXPECT_EQ(CheckpointManager::parse_episode(*newest), 2u);
+}
+
 TEST_F(ManagerTest, RequiresDirectory) {
   CheckpointManagerOptions options;  // dir left empty
   EXPECT_THROW(CheckpointManager{options}, std::invalid_argument);

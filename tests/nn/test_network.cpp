@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "core/presets.h"
@@ -193,6 +195,74 @@ INSTANTIATE_TEST_SUITE_P(
                       GradCheckParam{7, 12, 4, 5, 17},
                       GradCheckParam{16, 10, 6, 2, 19},
                       GradCheckParam{3, 3, 3, 3, 29}));
+
+// Serving rides on this: every row of a batched forward is bit-identical
+// to the per-sample forward, so a batched decision equals the trainer's.
+TEST(Network, ForwardBatchBitIdenticalToPerSampleForward) {
+  const NetworkConfig cfg = small_config();
+  util::Rng rng(51);
+  Network net(cfg, rng);
+  // 9 samples: one partial lane block in gemm_batch plus the transpose
+  // round trip at both ends.
+  constexpr std::size_t batch = 9;
+  std::vector<float> inputs(batch * cfg.input_size());
+  for (float& v : inputs) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+
+  std::vector<float> outputs(batch * cfg.outputs);
+  net.forward_batch(inputs, batch, outputs);
+
+  for (std::size_t b = 0; b < batch; ++b) {
+    const auto row = std::span<const float>(inputs).subspan(
+        b * cfg.input_size(), cfg.input_size());
+    const std::span<const float> expected = net.forward(row);
+    for (std::size_t i = 0; i < cfg.outputs; ++i)
+      EXPECT_EQ(outputs[b * cfg.outputs + i], expected[i])
+          << "sample " << b << " output " << i;
+  }
+}
+
+TEST(Network, ForwardBatchDoesNotDisturbTrainingCaches) {
+  const NetworkConfig cfg = small_config();
+  util::Rng rng(52);
+  Network net(cfg, rng);
+  std::vector<float> x(cfg.input_size()), grad(cfg.outputs, 1.0f);
+  for (float& v : x) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+
+  // Reference gradients: plain forward/backward.
+  net.forward(x);
+  net.backward(grad);
+  const std::vector<float> expected(net.gradients().begin(),
+                                    net.gradients().end());
+
+  // Same pair with a batched inference wedged in between: backward()
+  // must still see the forward() activations, untouched.
+  net.zero_gradients();
+  net.forward(x);
+  std::vector<float> batch_in(4 * cfg.input_size());
+  for (float& v : batch_in) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  std::vector<float> batch_out(4 * cfg.outputs);
+  net.forward_batch(batch_in, 4, batch_out);
+  net.backward(grad);
+  const std::span<const float> actual = net.gradients();
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    EXPECT_EQ(actual[i], expected[i]) << "gradient " << i;
+}
+
+TEST(Network, ForwardBatchValidatesBufferLengths) {
+  const NetworkConfig cfg = small_config();
+  util::Rng rng(53);
+  Network net(cfg, rng);
+  std::vector<float> inputs(2 * cfg.input_size());
+  std::vector<float> outputs(2 * cfg.outputs);
+  EXPECT_THROW(net.forward_batch(inputs, 3, outputs), std::invalid_argument);
+  std::vector<float> short_out(cfg.outputs);
+  EXPECT_THROW(net.forward_batch(inputs, 2, short_out),
+               std::invalid_argument);
+  // Batch 0 is a no-op, not an error.
+  std::vector<float> empty;
+  EXPECT_NO_THROW(net.forward_batch(empty, 0, empty));
+}
 
 }  // namespace
 }  // namespace dras::nn

@@ -182,5 +182,42 @@ TEST(ScrubNonFinite, ZeroesOnlyThePoisonedEntries) {
   EXPECT_EQ(scrub_non_finite(v), 0u);  // idempotent on a clean buffer
 }
 
+// gemm_batch's contract is bitwise, not approximate: each lane of the
+// sample-minor batch visits the features in gemv's exact sequential
+// order, so the serving path inherits the trainer's float-for-float
+// results.  Batch 19 exercises one full 16-lane register block plus a
+// 3-lane tail.
+TEST(GemmBatch, EveryLaneBitIdenticalToGemv) {
+  constexpr std::size_t rows = 5, cols = 37, batch = 19;
+  util::Rng rng(42);
+  std::vector<float> w(rows * cols);
+  for (float& v : w) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  std::vector<float> xs(cols * batch);  // sample-minor: xs[c*batch + b]
+  for (float& v : xs) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+
+  std::vector<float> ys(rows * batch);
+  gemm_batch(w, xs, ys, rows, cols, batch);
+
+  std::vector<float> x(cols), y(rows);
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t c = 0; c < cols; ++c) x[c] = xs[c * batch + b];
+    gemv(w, x, y, rows, cols);
+    for (std::size_t r = 0; r < rows; ++r)
+      EXPECT_EQ(ys[r * batch + b], y[r]) << "lane " << b << " row " << r;
+  }
+}
+
+TEST(GemmBatch, BatchOfOneEqualsGemvExactly) {
+  constexpr std::size_t rows = 7, cols = 23;
+  util::Rng rng(43);
+  std::vector<float> w(rows * cols), x(cols);
+  for (float& v : w) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  for (float& v : x) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  std::vector<float> y_batch(rows), y_ref(rows);
+  gemm_batch(w, x, y_batch, rows, cols, 1);
+  gemv(w, x, y_ref, rows, cols);
+  EXPECT_EQ(y_batch, y_ref);
+}
+
 }  // namespace
 }  // namespace dras::nn

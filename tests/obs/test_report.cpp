@@ -245,5 +245,54 @@ TEST_F(ReportTest, SummariesRenderPercentileTables) {
   EXPECT_NE(compare.find("verdict: REGRESSED"), std::string::npos);
 }
 
+TEST_F(ReportTest, StatsKeysResolveAsMetrics) {
+  const fs::path dir = root_ / "serve";
+  fs::create_directories(dir);
+  write_file(dir / "run.json",
+             "{\"tool\":\"dras_serve\",\"seed\":1,"
+             "\"config_fingerprint\":\"cafef00d\",\"completed\":true,"
+             "\"stats\":{\"decisions_per_sec\":57000.5,"
+             "\"requests_failed\":0}}");
+  const RunData run = load_run(dir);
+  const auto dps = metric_value(run, "decisions_per_sec");
+  ASSERT_TRUE(dps.has_value());
+  EXPECT_NEAR(*dps, 57000.5, 1e-9);
+  EXPECT_EQ(metric_value(run, "requests_failed"), 0.0);
+  EXPECT_EQ(metric_value(run, "swaps_never_recorded"), std::nullopt);
+  // Rates regress downward; plain counts regress upward.
+  EXPECT_FALSE(higher_is_worse("decisions_per_sec"));
+  EXPECT_TRUE(higher_is_worse("requests_failed"));
+}
+
+TEST_F(ReportTest, CompareGatesOnStatsMetrics) {
+  const auto make_serve_run = [&](const std::string& name, double dps) {
+    const fs::path dir = root_ / name;
+    fs::create_directories(dir);
+    write_file(dir / "run.json",
+               util::format("{{\"tool\":\"dras_serve\",\"seed\":1,"
+                            "\"config_fingerprint\":\"cafef00d\","
+                            "\"completed\":true,"
+                            "\"stats\":{{\"decisions_per_sec\":{}}}}}",
+                            dps));
+    return load_run(dir);
+  };
+  const RunData baseline = make_serve_run("base", 1000.0);
+  const std::vector<Threshold> gate = {
+      parse_threshold("decisions_per_sec=0.25")};
+
+  // A 30% throughput drop regresses (rates compare inverted)...
+  const CompareResult slow =
+      compare_runs(baseline, make_serve_run("slow", 700.0), gate);
+  ASSERT_EQ(slow.rows.size(), 1u);
+  EXPECT_TRUE(slow.regressed);
+  EXPECT_NEAR(slow.rows[0].delta, -0.3, 1e-9);
+
+  // ... a 10% drop is within the allowance, and faster never regresses.
+  EXPECT_FALSE(
+      compare_runs(baseline, make_serve_run("ok", 900.0), gate).regressed);
+  EXPECT_FALSE(
+      compare_runs(baseline, make_serve_run("fast", 2000.0), gate).regressed);
+}
+
 }  // namespace
 }  // namespace dras::obs::report

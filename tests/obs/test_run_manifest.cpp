@@ -82,6 +82,21 @@ TEST_F(RunRecorderTest, CreatesDirectoryAndWritesManifestOnFinish) {
   EXPECT_EQ(manifest.find("notes")->find("policy")->as_string(), "pg");
 }
 
+TEST_F(RunRecorderTest, SetStatSurfacesInTheManifestStatsObject) {
+  {
+    RunRecorder recorder(dir_, test_info());
+    recorder.set_stat("decisions_per_sec", 123.5);
+    recorder.set_stat("requests_failed", 1.0);
+    recorder.set_stat("requests_failed", 0.0);  // last write per key wins
+    recorder.finish(0);
+  }
+  const auto manifest = util::json::parse(read_file(dir_ / "run.json"));
+  const util::json::Value* stats = manifest.find("stats");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->find("decisions_per_sec")->as_number(), 123.5);
+  EXPECT_EQ(stats->find("requests_failed")->as_number(), 0.0);
+}
+
 TEST_F(RunRecorderTest, RecordsRoundsAsJsonlAndAggregates) {
   RunRecorder recorder(dir_, test_info());
   for (std::uint64_t r = 0; r < 5; ++r)

@@ -1,0 +1,71 @@
+// Shared fixtures for the serving tests: tiny agent configs, snapshot
+// files written through the real checkpoint pipeline, and a
+// scratch-directory fixture.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "ckpt/manager.h"
+#include "core/dras_agent.h"
+#include "serve/snapshot.h"
+#include "util/rng.h"
+
+namespace dras::serve::testing {
+
+inline core::DrasConfig tiny_serve_config(core::AgentKind kind,
+                                          std::uint64_t seed = 77) {
+  core::DrasConfig cfg;
+  cfg.kind = kind;
+  cfg.total_nodes = 16;
+  cfg.window = 4;
+  cfg.fc1 = 16;
+  cfg.fc2 = 8;
+  cfg.time_scale = 10000.0;
+  cfg.reward_kind = core::RewardKind::Capability;
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// Write `agent` as ckpt-<episode>.dras through the real manager, so
+/// the file (and the `latest` pointer) is exactly what a trainer
+/// produces.  keep_last=0: tests control retention themselves.
+inline std::filesystem::path write_snapshot(const std::filesystem::path& dir,
+                                            core::DrasAgent& agent,
+                                            std::size_t episode) {
+  ckpt::CheckpointManager manager({.dir = dir, .every = 1, .keep_last = 0});
+  ckpt::TrainingState state;
+  state.agent = &agent;
+  state.telemetry = false;
+  return manager.save(state, episode);
+}
+
+/// Nudge every parameter so successive snapshots decide differently —
+/// the hot-swap tests need "post-swap decisions match the NEW snapshot"
+/// to be a real assertion, not a tautology over identical weights.
+inline void perturb_parameters(core::DrasAgent& agent, std::uint64_t seed) {
+  util::Rng rng(seed);
+  for (float& p : agent.network().parameters())
+    p += static_cast<float>(rng.uniform(-0.1, 0.1));
+}
+
+/// Creates (and removes) a per-test scratch directory.
+class ServeScratchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = std::filesystem::temp_directory_path() /
+           (std::string("dras-serve-") + info->test_suite_name() + "-" +
+            info->name());
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+};
+
+}  // namespace dras::serve::testing

@@ -1,0 +1,156 @@
+#include "serve/model_watcher.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "ckpt/fault.h"
+#include "ckpt/manager.h"
+#include "serve/decision_service.h"
+#include "serve_test_util.h"
+#include "util/fs.h"
+
+namespace dras::serve {
+namespace {
+
+using testing::ServeScratchTest;
+using testing::perturb_parameters;
+using testing::tiny_serve_config;
+using testing::write_snapshot;
+
+class ModelWatcherTest : public ServeScratchTest {
+ protected:
+  ModelWatcherTest()
+      : config_(tiny_serve_config(core::AgentKind::PG)),
+        agent_(config_),
+        service_({.policy = {.max_batch = 4}, .workers = 1}) {}
+
+  std::filesystem::path land_snapshot(std::size_t episode) {
+    perturb_parameters(agent_, 2000 + episode);
+    return write_snapshot(dir_, agent_, episode);
+  }
+
+  ModelWatcher make_watcher(std::chrono::milliseconds poll =
+                                std::chrono::milliseconds(50)) {
+    return ModelWatcher({.dir = dir_, .config = config_, .poll = poll},
+                        service_);
+  }
+
+  core::DrasConfig config_;
+  core::DrasAgent agent_;
+  DecisionService service_;
+};
+
+TEST_F(ModelWatcherTest, EmptyDirectoryInstallsNothing) {
+  auto watcher = make_watcher();
+  EXPECT_FALSE(watcher.poll_once());
+  EXPECT_EQ(watcher.swaps_installed(), 0u);
+  EXPECT_EQ(watcher.current_version(), 0u);
+  EXPECT_EQ(service_.current_snapshot(), nullptr);
+}
+
+TEST_F(ModelWatcherTest, InstallsNewestAndIsIdempotent) {
+  land_snapshot(1);
+  land_snapshot(2);
+  auto watcher = make_watcher();
+  EXPECT_TRUE(watcher.poll_once());
+  EXPECT_EQ(watcher.current_version(), 2u);
+  ASSERT_NE(service_.current_snapshot(), nullptr);
+  EXPECT_EQ(service_.current_snapshot()->version(), 2u);
+  // Nothing new: the second poll must not reinstall.
+  EXPECT_FALSE(watcher.poll_once());
+  EXPECT_EQ(watcher.swaps_installed(), 1u);
+  EXPECT_EQ(service_.stats().swaps, 1u);
+}
+
+TEST_F(ModelWatcherTest, PrefersTheLatestPointerOverTheNewestScan) {
+  const auto first = land_snapshot(1);
+  land_snapshot(2);
+  // A trainer mid-write could leave the pointer one snapshot behind;
+  // the watcher must honor the pointer (it is the only name guaranteed
+  // fully landed), not the raw directory scan.
+  util::atomic_write_file(dir_ / ckpt::kLatestPointerName,
+                          first.filename().string() + "\n");
+  auto watcher = make_watcher();
+  EXPECT_TRUE(watcher.poll_once());
+  EXPECT_EQ(watcher.current_version(), 1u);
+}
+
+TEST_F(ModelWatcherTest, CorruptNewestFallsBackToOlderAndCounts) {
+  land_snapshot(1);
+  const auto newest = land_snapshot(2);
+  ckpt::FaultInjector::truncate_file(
+      newest, ckpt::FaultInjector::file_size(newest) / 3);
+
+  auto watcher = make_watcher();
+  EXPECT_TRUE(watcher.poll_once());
+  EXPECT_EQ(watcher.current_version(), 1u);
+  EXPECT_EQ(watcher.load_failures(), 1u);
+}
+
+TEST_F(ModelWatcherTest, TornPointerFallsBackToDirectoryScan) {
+  land_snapshot(1);
+  // Simulated torn pointer write: a few bytes of the filename.  It no
+  // longer parses as a checkpoint name, so the scan takes over.
+  ckpt::FaultInjector::truncate_file(dir_ / ckpt::kLatestPointerName, 3);
+  auto watcher = make_watcher();
+  EXPECT_TRUE(watcher.poll_once());
+  EXPECT_EQ(watcher.current_version(), 1u);
+  EXPECT_EQ(watcher.load_failures(), 0u);
+}
+
+TEST_F(ModelWatcherTest, MismatchedCheckpointKeepsServingNothing) {
+  // A checkpoint from a differently configured agent must be rejected
+  // by the fingerprint guard, counted, and not installed.
+  core::DrasAgent other(tiny_serve_config(core::AgentKind::DQL));
+  write_snapshot(dir_, other, 1);
+  auto watcher = make_watcher();
+  EXPECT_FALSE(watcher.poll_once());
+  EXPECT_EQ(watcher.swaps_installed(), 0u);
+  EXPECT_EQ(watcher.load_failures(), 1u);
+  EXPECT_EQ(service_.current_snapshot(), nullptr);
+}
+
+TEST_F(ModelWatcherTest, KeepsServingOldModelWhenNewestTurnsCorrupt) {
+  land_snapshot(1);
+  auto watcher = make_watcher();
+  ASSERT_TRUE(watcher.poll_once());
+  const auto newest = land_snapshot(2);
+  ckpt::FaultInjector::flip_bit(newest,
+                                ckpt::FaultInjector::file_size(newest) / 2, 1);
+  // Poll sees the corrupt v2, fails its load, falls back to v1 — which
+  // is already serving, so no reinstall happens.
+  EXPECT_FALSE(watcher.poll_once());
+  EXPECT_EQ(watcher.current_version(), 1u);
+  EXPECT_EQ(watcher.load_failures(), 1u);
+  ASSERT_NE(service_.current_snapshot(), nullptr);
+  EXPECT_EQ(service_.current_snapshot()->version(), 1u);
+}
+
+TEST_F(ModelWatcherTest, BackgroundThreadPicksUpNewSnapshots) {
+  land_snapshot(1);
+  auto watcher = make_watcher(std::chrono::milliseconds(2));
+  watcher.start();  // polls once synchronously: v1 serves immediately
+  EXPECT_GE(watcher.swaps_installed(), 1u);
+  EXPECT_EQ(watcher.current_version(), 1u);
+
+  land_snapshot(2);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (watcher.current_version() < 2 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  watcher.stop();
+  EXPECT_EQ(watcher.current_version(), 2u);
+  EXPECT_EQ(watcher.swaps_installed(), 2u);
+}
+
+TEST_F(ModelWatcherTest, RequiresDirectory) {
+  EXPECT_THROW(ModelWatcher({.dir = {}, .config = config_}, service_),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dras::serve

@@ -37,7 +37,9 @@ void usage() {
       "exits 1 when any thresholded metric regresses (default thresholds:\n"
       "round_time_p99=0.10,final_score=0.10).  Metric names: round_time_p50/\n"
       "p90/p99/p999/mean, final_score, wall_seconds, episodes, rounds, and\n"
-      "hdr:<metric>:<stat> for any hdr metric in metrics.json.\n",
+      "hdr:<metric>:<stat> for any hdr metric in metrics.json, plus any\n"
+      "key in the manifest's \"stats\" object (e.g. dras_serve's\n"
+      "decisions_per_sec; *_per_sec rates regress downward).\n",
       stderr);
 }
 

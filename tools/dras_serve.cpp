@@ -1,0 +1,459 @@
+// dras_serve — synthetic open-loop load generator for the serving layer.
+//
+// Points a DecisionService + ModelWatcher at a checkpoint directory
+// (typically one a dras_sim training run is writing into live), drives
+// it from N concurrent client threads at a fixed per-client arrival
+// rate, and reports decisions/sec, request-latency percentiles, batch
+// sizes and hot-swap counts.  The run fails (exit 3) when any request
+// fails or stalls, when a sampled decision mismatches the in-trainer
+// reference decision from the same snapshot (the determinism oracle),
+// or when fewer than --min-swaps snapshots were installed — so CI can
+// gate "zero stalled requests across live swaps" directly on the exit
+// code.
+//
+//   dras_serve --checkpoint-dir ckpts --policy dras-pg --clients 4
+//              --requests 2000 --rate 5000 --min-swaps 5 --run-dir out
+//
+// With --run-dir the standard observatory artifacts land in DIR
+// (run.json manifest with a "stats" block, metrics.json with the
+// serve.* histograms) and dras_report can gate decisions_per_sec and
+// hdr:serve.request.latency_us:p99 via --compare.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "ckpt/manager.h"
+#include "core/presets.h"
+#include "util/binio.h"
+#include "metrics/report.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/run_manifest.h"
+#include "serve/decision_service.h"
+#include "serve/model_watcher.h"
+#include "util/args.h"
+#include "util/format.h"
+#include "util/fs.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "workload/models.h"
+
+namespace {
+
+using dras::util::format;
+
+int usage(const std::string& error = {}) {
+  if (!error.empty()) std::cerr << "error: " << error << "\n\n";
+  std::cerr <<
+      "usage: dras_serve --checkpoint-dir DIR [options]\n"
+      "  --checkpoint-dir D  directory of trainer checkpoints to serve\n"
+      "                      from; watched live, new snapshots hot-swap\n"
+      "                      in without stalling requests (required)\n"
+      "  --policy P          dras-pg | dras-dql (default dras-pg); must\n"
+      "                      match the policy that wrote the checkpoints\n"
+      "  --model M           theta | cori | theta-mini | cori-mini\n"
+      "                      (default theta-mini); must match training\n"
+      "  --nodes N           machine size (default: model preset size);\n"
+      "                      must match training\n"
+      "  --seed S            master seed for training config + synthetic\n"
+      "                      request streams (default 1); must match the\n"
+      "                      training seed (config fingerprint guard)\n"
+      "  --clients N         concurrent client threads (default 4)\n"
+      "  --workers N         inference worker threads (default 1)\n"
+      "  --requests N        requests per client (default 2000)\n"
+      "  --rate R            open-loop arrival rate per client in\n"
+      "                      requests/sec; 0 = closed loop, send as fast\n"
+      "                      as responses allow (default 0)\n"
+      "  --max-batch B       micro-batch: close a batch at B requests\n"
+      "                      (default 32; 1 = no coalescing)\n"
+      "  --max-wait-us U     ... or when the oldest queued request has\n"
+      "                      waited U microseconds (default 200)\n"
+      "  --poll-ms P         watcher poll interval (default 20)\n"
+      "  --wait-model-ms T   how long to wait for the first checkpoint to\n"
+      "                      appear before giving up (default 10000)\n"
+      "  --stall-ms S        a request slower than this counts as stalled\n"
+      "                      and fails the run (default 1000)\n"
+      "  --min-swaps N       fail unless at least N snapshots were\n"
+      "                      installed during the run, the initial load\n"
+      "                      included (default 1)\n"
+      "  --verify-every K    determinism oracle: re-decide every Kth\n"
+      "                      request on the snapshot that served it and\n"
+      "                      require a bit-identical index (default 64;\n"
+      "                      0 = off)\n"
+      "  --csv               machine-readable one-line summary\n"
+      "  --verbose           progress logging\n"
+      "  --run-dir DIR       observatory: run.json manifest (with\n"
+      "                      decisions_per_sec etc. in its stats block)\n"
+      "                      and metrics.json (serve.* histograms) into\n"
+      "                      DIR; gate with dras_report --compare\n"
+      "  --metrics-out FILE  dump the metrics registry on exit\n"
+      "                      (.csv -> CSV, anything else -> JSON)\n"
+      "  --profile           print the metrics registry to stderr\n";
+  return error.empty() ? 0 : 2;
+}
+
+dras::core::SystemPreset pick_preset(const std::string& name) {
+  if (name == "theta") return dras::core::theta();
+  if (name == "cori") return dras::core::cori();
+  if (name == "theta-mini") return dras::core::theta_mini();
+  if (name == "cori-mini") return dras::core::cori_mini();
+  throw std::invalid_argument(format("unknown model '{}'", name));
+}
+
+/// Everything one client thread records about one sampled request, kept
+/// so the post-run oracle can re-decide it on the exact snapshot that
+/// served it.
+struct VerifySample {
+  dras::serve::DecisionRequest request;
+  std::shared_ptr<const dras::serve::ModelSnapshot> snapshot;
+  std::size_t future_index = 0;
+};
+
+struct ClientResult {
+  std::vector<double> latencies_us;
+  std::vector<std::uint32_t> batch_sizes;
+  std::uint64_t answered = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t verified = 0;
+  std::uint64_t verify_skipped = 0;  ///< Swap raced the sample; no oracle.
+  std::uint64_t mismatches = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const dras::util::Args args(
+        argc, argv, {"csv", "verbose", "help", "profile"});
+    if (args.flag("help")) return usage();
+    if (args.flag("verbose"))
+      dras::util::set_log_level(dras::util::LogLevel::Info);
+    const bool csv_output = args.flag("csv");
+    const bool profile = args.flag("profile");
+    const std::string metrics_out = args.get("metrics-out", "");
+    const std::string run_dir = args.get("run-dir", "");
+    if (profile || !metrics_out.empty() || !run_dir.empty())
+      dras::obs::set_enabled(true);
+
+    const std::string checkpoint_dir = args.get("checkpoint-dir", "");
+    if (checkpoint_dir.empty()) return usage("--checkpoint-dir is required");
+    const std::string policy_name = args.get("policy", "dras-pg");
+    if (policy_name != "dras-pg" && policy_name != "dras-dql")
+      return usage(format("unknown policy '{}' (dras-pg | dras-dql)",
+                          policy_name));
+    const std::string model_name = args.get("model", "theta-mini");
+    const auto preset = pick_preset(model_name);
+    const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    const int nodes =
+        static_cast<int>(args.get_int("nodes", preset.nodes));
+    const auto clients =
+        static_cast<std::size_t>(std::max(1LL, args.get_int("clients", 4)));
+    const auto workers =
+        static_cast<std::size_t>(std::max(1LL, args.get_int("workers", 1)));
+    const auto requests_per_client = static_cast<std::size_t>(
+        std::max(1LL, args.get_int("requests", 2000)));
+    const double rate = args.get_double("rate", 0.0);
+    const auto max_batch = static_cast<std::size_t>(
+        std::max(1LL, args.get_int("max-batch", 32)));
+    const auto max_wait =
+        std::chrono::microseconds(args.get_int("max-wait-us", 200));
+    const auto poll =
+        std::chrono::milliseconds(std::max(1LL, args.get_int("poll-ms", 20)));
+    const auto wait_model =
+        std::chrono::milliseconds(args.get_int("wait-model-ms", 10000));
+    const double stall_ms = args.get_double("stall-ms", 1000.0);
+    const auto min_swaps =
+        static_cast<std::uint64_t>(std::max(0LL, args.get_int("min-swaps", 1)));
+    const auto verify_every = static_cast<std::size_t>(
+        std::max(0LL, args.get_int("verify-every", 64)));
+    if (const auto unread = args.unused(); !unread.empty())
+      return usage(format("unknown option --{}", unread.front()));
+
+    auto config = preset.agent_config(policy_name == "dras-pg"
+                                          ? dras::core::AgentKind::PG
+                                          : dras::core::AgentKind::DQL,
+                                      seed);
+    config.total_nodes = nodes;
+
+    std::unique_ptr<dras::obs::RunRecorder> run_recorder;
+    if (!run_dir.empty()) {
+      // Fingerprint what changes the decisions or the load shape; the
+      // batch policy and thread counts are included because this tool's
+      // job is comparing exactly those knobs.
+      const std::string canonical = format(
+          "policy={};model={};nodes={};seed={};clients={};workers={};"
+          "requests={};rate={};max_batch={};max_wait_us={}",
+          policy_name, model_name, nodes, seed, clients, workers,
+          requests_per_client, rate, max_batch, max_wait.count());
+      char fingerprint[16];
+      std::snprintf(fingerprint, sizeof(fingerprint), "%08x",
+                    dras::util::crc32(canonical));
+      dras::obs::RunInfo info;
+      info.tool = "dras_serve";
+      info.argv.assign(argv, argv + argc);
+      info.seed = seed;
+      info.config_fingerprint = fingerprint;
+      run_recorder =
+          std::make_unique<dras::obs::RunRecorder>(run_dir, std::move(info));
+      run_recorder->note("policy", policy_name);
+      run_recorder->note("model", model_name);
+      run_recorder->note("checkpoint_dir", checkpoint_dir);
+    }
+
+    dras::serve::ServiceOptions service_options;
+    service_options.policy.max_batch = max_batch;
+    service_options.policy.max_wait = max_wait;
+    service_options.workers = workers;
+    dras::serve::DecisionService service(service_options);
+
+    dras::serve::WatcherOptions watcher_options;
+    watcher_options.dir = checkpoint_dir;
+    watcher_options.config = config;
+    watcher_options.poll = poll;
+    dras::serve::ModelWatcher watcher(watcher_options, service);
+    watcher.start();
+
+    // Wait for the first snapshot — when serving against a live training
+    // run the directory may still be empty.
+    const auto wait_deadline = std::chrono::steady_clock::now() + wait_model;
+    while (service.current_snapshot() == nullptr) {
+      if (std::chrono::steady_clock::now() >= wait_deadline) {
+        std::cerr << format(
+            "error: no loadable checkpoint appeared in '{}' within {} ms\n",
+            checkpoint_dir, wait_model.count());
+        return 3;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    dras::util::log_info("serving {} from {} (version {})", policy_name,
+                         checkpoint_dir,
+                         service.current_snapshot()->version());
+
+    // Client threads: open-loop senders.  Futures are collected and
+    // resolved after the send loop so a slow response never throttles
+    // the arrival process (that is what "open loop" means).
+    std::vector<ClientResult> results(clients);
+    std::vector<std::thread> client_threads;
+    client_threads.reserve(clients);
+    const auto load_start = std::chrono::steady_clock::now();
+    for (std::size_t c = 0; c < clients; ++c) {
+      client_threads.emplace_back([&, c] {
+        ClientResult& out = results[c];
+        dras::util::Rng rng(
+            dras::util::derive_seed(seed, format("serve-client-{}", c)));
+        std::vector<std::future<dras::serve::Decision>> futures;
+        futures.reserve(requests_per_client);
+        std::vector<VerifySample> samples;
+        const auto period =
+            rate > 0.0 ? std::chrono::duration_cast<
+                             std::chrono::steady_clock::duration>(
+                             std::chrono::duration<double>(1.0 / rate))
+                       : std::chrono::steady_clock::duration::zero();
+        auto next_send = std::chrono::steady_clock::now();
+        for (std::size_t r = 0; r < requests_per_client; ++r) {
+          if (rate > 0.0) {
+            std::this_thread::sleep_until(next_send);
+            next_send += period;
+          }
+          auto request = dras::serve::make_synthetic_request(config, rng);
+          const bool sampled =
+              verify_every > 0 && (r % verify_every) == 0;
+          if (sampled) {
+            // Snapshot *before* submit: if no swap lands in between, the
+            // decision must be bit-identical to this snapshot's greedy
+            // decision.  A racing swap is detected by the version stamp
+            // and the sample is skipped, not failed.
+            samples.push_back(VerifySample{request,
+                                           service.current_snapshot(),
+                                           futures.size()});
+          }
+          futures.push_back(service.submit(std::move(request)));
+        }
+        std::vector<dras::serve::Decision> decisions(futures.size());
+        std::vector<bool> ok(futures.size(), false);
+        for (std::size_t i = 0; i < futures.size(); ++i) {
+          try {
+            decisions[i] = futures[i].get();
+            ok[i] = true;
+            out.answered += 1;
+            out.latencies_us.push_back(decisions[i].latency_us);
+            out.batch_sizes.push_back(decisions[i].batch_size);
+          } catch (const std::exception& e) {
+            out.failed += 1;
+            dras::util::log_warn("client {}: request {} failed: {}", c, i,
+                                 e.what());
+          }
+        }
+        // Determinism oracle, off the hot path: one replica per distinct
+        // snapshot version, reference decision per sampled request.
+        std::map<std::uint64_t, std::unique_ptr<dras::core::DrasAgent>>
+            replicas;
+        for (const auto& sample : samples) {
+          if (!ok[sample.future_index] || sample.snapshot == nullptr)
+            continue;
+          const auto& decision = decisions[sample.future_index];
+          if (decision.model_version != sample.snapshot->version()) {
+            out.verify_skipped += 1;  // a hot swap raced this sample
+            continue;
+          }
+          auto& replica = replicas[sample.snapshot->version()];
+          if (!replica) replica = sample.snapshot->make_replica();
+          const std::size_t expected =
+              dras::serve::reference_decision(*replica, sample.request);
+          out.verified += 1;
+          if (expected != decision.job_index) {
+            out.mismatches += 1;
+            dras::util::log_warn(
+                "client {}: decision mismatch at request {}: served {} but "
+                "reference says {} (version {})",
+                c, sample.future_index, decision.job_index, expected,
+                decision.model_version);
+          }
+        }
+      });
+    }
+    for (auto& thread : client_threads) thread.join();
+    const double load_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      load_start)
+            .count();
+    watcher.stop();
+    service.stop();
+
+    // Aggregate.
+    ClientResult total;
+    std::vector<double> batch_sizes_d;
+    for (const auto& r : results) {
+      total.answered += r.answered;
+      total.failed += r.failed;
+      total.verified += r.verified;
+      total.verify_skipped += r.verify_skipped;
+      total.mismatches += r.mismatches;
+      total.latencies_us.insert(total.latencies_us.end(),
+                                r.latencies_us.begin(),
+                                r.latencies_us.end());
+      for (const auto b : r.batch_sizes)
+        batch_sizes_d.push_back(static_cast<double>(b));
+    }
+    std::uint64_t stalled = 0;
+    for (const double us : total.latencies_us)
+      if (us > stall_ms * 1000.0) stalled += 1;
+    const auto latency = dras::obs::report::exact_stats(total.latencies_us);
+    const auto batch = dras::obs::report::exact_stats(batch_sizes_d);
+    const double decisions_per_sec =
+        load_seconds > 0.0 ? static_cast<double>(total.answered) /
+                                 load_seconds
+                           : 0.0;
+    const std::uint64_t swaps = watcher.swaps_installed();
+    const auto service_stats = service.stats();
+
+    if (run_recorder) {
+      run_recorder->set_stat("decisions_per_sec", decisions_per_sec);
+      run_recorder->set_stat("requests_answered",
+                             static_cast<double>(total.answered));
+      run_recorder->set_stat("requests_failed",
+                             static_cast<double>(total.failed));
+      run_recorder->set_stat("requests_stalled",
+                             static_cast<double>(stalled));
+      run_recorder->set_stat("swaps_installed",
+                             static_cast<double>(swaps));
+      run_recorder->set_stat("watcher_load_failures",
+                             static_cast<double>(watcher.load_failures()));
+      run_recorder->set_stat("decisions_verified",
+                             static_cast<double>(total.verified));
+      run_recorder->set_stat("decision_mismatches",
+                             static_cast<double>(total.mismatches));
+      run_recorder->set_stat("batch_mean", batch.mean);
+      run_recorder->set_stat("latency_p99_us", latency.p99);
+    }
+
+    const auto flush_telemetry = [&]() {
+      if (run_recorder)
+        dras::util::atomic_write_file(
+            run_recorder->metrics_path(),
+            dras::obs::metrics_to_json(dras::obs::Registry::global()));
+      if (!metrics_out.empty()) {
+        const bool as_csv =
+            metrics_out.size() >= 4 &&
+            metrics_out.rfind(".csv") == metrics_out.size() - 4;
+        dras::util::atomic_write_file(
+            metrics_out,
+            as_csv ? dras::obs::metrics_to_csv(dras::obs::Registry::global())
+                   : dras::obs::metrics_to_json(
+                         dras::obs::Registry::global()));
+      }
+      if (profile)
+        std::cerr << dras::obs::metrics_to_text(
+            dras::obs::Registry::global());
+    };
+    flush_telemetry();
+
+    if (csv_output) {
+      std::cout << "policy,clients,workers,max_batch,max_wait_us,answered,"
+                   "failed,stalled,decisions_per_sec,p50_us,p99_us,"
+                   "batch_mean,batch_max,swaps,verified,mismatches\n";
+      std::cout << format(
+          "{},{},{},{},{},{},{},{},{:.1f},{:.1f},{:.1f},{:.2f},{},{},{},{}\n",
+          policy_name, clients, workers, max_batch, max_wait.count(),
+          total.answered, total.failed, stalled, decisions_per_sec,
+          latency.p50, latency.p99, batch.mean,
+          static_cast<std::uint64_t>(batch.max), swaps, total.verified,
+          total.mismatches);
+    } else {
+      dras::metrics::print_table(
+          std::cout, {"metric", "value"},
+          {{"policy", policy_name},
+           {"load", format("{} clients x {} requests, rate {}/s", clients,
+                           requests_per_client,
+                           rate > 0.0 ? format("{:.0f}", rate)
+                                      : std::string("max"))},
+           {"service", format("{} workers, batch <= {}, wait <= {} us",
+                              workers, max_batch, max_wait.count())},
+           {"answered", format("{}", total.answered)},
+           {"failed", format("{}", total.failed)},
+           {"stalled", format("{} (> {:.0f} ms)", stalled, stall_ms)},
+           {"decisions/sec", format("{:.0f}", decisions_per_sec)},
+           {"latency p50", format("{:.1f} us", latency.p50)},
+           {"latency p99", format("{:.1f} us", latency.p99)},
+           {"batch mean/max",
+            format("{:.2f} / {}", batch.mean,
+                   static_cast<std::uint64_t>(batch.max))},
+           {"snapshots installed", format("{}", swaps)},
+           {"batches served", format("{}", service_stats.batches)},
+           {"oracle", format("{} verified, {} skipped, {} mismatches",
+                             total.verified, total.verify_skipped,
+                             total.mismatches)}});
+    }
+
+    bool gate_failed = false;
+    const auto gate = [&](bool bad, const std::string& what) {
+      if (!bad) return;
+      gate_failed = true;
+      std::cerr << format("GATE FAIL: {}\n", what);
+    };
+    gate(total.failed > 0, format("{} requests failed", total.failed));
+    gate(stalled > 0,
+         format("{} requests stalled past {:.0f} ms", stalled, stall_ms));
+    gate(total.mismatches > 0,
+         format("{} served decisions mismatched the in-trainer reference",
+                total.mismatches));
+    gate(swaps < min_swaps,
+         format("only {} snapshot installs, {} required", swaps, min_swaps));
+    gate(total.answered !=
+             static_cast<std::uint64_t>(clients * requests_per_client) -
+                 total.failed,
+         "answered + failed != submitted");
+
+    const int code = gate_failed ? 3 : 0;
+    if (run_recorder) run_recorder->finish(code);
+    return code;
+  } catch (const std::exception& e) {
+    return usage(e.what());
+  }
+}

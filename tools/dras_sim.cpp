@@ -21,6 +21,7 @@
 #include "ckpt/manager.h"
 #include "core/dras_agent.h"
 #include "core/presets.h"
+#include "exec/async_writer.h"
 #include "exec/parallel_evaluator.h"
 #include "metrics/report.h"
 #include "nn/serialize.h"
@@ -105,6 +106,11 @@ int usage(const std::string& error = {}) {
       "  --checkpoint-every N  snapshot cadence in episodes (default 1)\n"
       "  --checkpoint-keep K   retain the newest K snapshots (default 3,\n"
       "                      0 = all)\n"
+      "  --checkpoint-async  background checkpointing: serialize on the\n"
+      "                      trainer thread (bytes identical to sync\n"
+      "                      saves), hand fsync+rename+prune and the\n"
+      "                      'latest' pointer update to a writer thread\n"
+      "                      so training never blocks on the disk\n"
       "  --resume            restore the newest valid checkpoint from\n"
       "                      --checkpoint-dir before training; a resumed\n"
       "                      run finishes bit-identical to an\n"
@@ -165,7 +171,7 @@ int main(int argc, char** argv) {
     const dras::util::Args args(
         argc, argv,
         {"csv", "verbose", "help", "profile", "resume", "swf-strict",
-         "guard"});
+         "guard", "checkpoint-async"});
     if (args.flag("help")) return usage();
     const bool csv_output = args.flag("csv");
     if (args.flag("verbose"))
@@ -293,6 +299,12 @@ int main(int argc, char** argv) {
     const auto checkpoint_keep =
         static_cast<std::size_t>(args.get_int("checkpoint-keep", 3));
     const bool resume = args.flag("resume");
+    const bool checkpoint_async = args.flag("checkpoint-async");
+    // Outlives the manager created in train_agent; its destructor drains
+    // the queue, so every issued snapshot is durable before exit.
+    std::unique_ptr<dras::exec::AsyncWriter> checkpoint_writer;
+    if (checkpoint_async && checkpoint_dir.empty())
+      return usage("--checkpoint-async needs --checkpoint-dir");
     const long long abort_after = args.get_int("abort-after", 0);
     const std::string save_model = args.get("save-model", "");
     if (resume && checkpoint_dir.empty())
@@ -425,6 +437,10 @@ int main(int argc, char** argv) {
         manager_options.dir = checkpoint_dir;
         manager_options.every = checkpoint_every;
         manager_options.keep_last = checkpoint_keep;
+        if (checkpoint_async) {
+          checkpoint_writer = std::make_unique<dras::exec::AsyncWriter>();
+          manager_options.writer = checkpoint_writer.get();
+        }
         manager = std::make_unique<dras::ckpt::CheckpointManager>(
             manager_options);
         run_options.checkpoints = manager.get();
@@ -484,9 +500,13 @@ int main(int argc, char** argv) {
         }
         if (abort_after > 0) {
           run_options.on_checkpoint =
-              [abort_after](std::size_t episode,
-                            const std::filesystem::path& path) {
+              [abort_after, &checkpoint_writer](
+                  std::size_t episode, const std::filesystem::path& path) {
                 if (episode < static_cast<std::size_t>(abort_after)) return;
+                // The drill proves the just-written checkpoint alone
+                // suffices; with --checkpoint-async that write may still
+                // be queued, so make it durable before "crashing".
+                if (checkpoint_writer) checkpoint_writer->wait_idle();
                 std::cerr << format(
                     "abort-after: simulating crash after {} ({} episodes)\n",
                     path.string(), episode);
