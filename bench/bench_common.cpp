@@ -189,11 +189,13 @@ void train_dras_agent(core::DrasAgent& agent, const Scenario& scenario,
                       std::size_t episodes, std::size_t jobs_per_episode,
                       std::uint64_t curriculum_seed,
                       rollout::RolloutPool* rollout,
-                      obs::RunRecorder* recorder) {
+                      obs::RunRecorder* recorder,
+                      const sim::FaultConfig* faults) {
   auto jobsets = build_bench_curriculum(scenario, episodes,
                                         jobs_per_episode, curriculum_seed);
   train::TrainerOptions trainer_options;
   trainer_options.validate_each_episode = false;
+  if (faults != nullptr) trainer_options.faults = *faults;
   train::Trainer trainer(agent, scenario.preset.nodes, {}, trainer_options);
   if (rollout != nullptr || recorder != nullptr) {
     train::Curriculum curriculum(std::move(jobsets));
@@ -257,9 +259,16 @@ std::vector<train::Evaluation> evaluate_roster(
     const std::vector<sim::Scheduler*>& roster, int total_nodes,
     const sim::Trace& trace, const core::RewardFunction* reward,
     std::size_t jobs) {
-  const sim::Trace* traces[] = {&trace};
   train::EvalOptions options;
   options.reward = reward;
+  return evaluate_roster(roster, total_nodes, trace, options, jobs);
+}
+
+std::vector<train::Evaluation> evaluate_roster(
+    const std::vector<sim::Scheduler*>& roster, int total_nodes,
+    const sim::Trace& trace, const train::EvalOptions& options,
+    std::size_t jobs) {
+  const sim::Trace* traces[] = {&trace};
   return exec::ParallelEvaluator(jobs).evaluate_grid(
       total_nodes, traces, std::span<sim::Scheduler* const>(roster),
       options);

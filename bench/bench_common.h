@@ -84,12 +84,17 @@ class MethodSet {
 /// MethodSet::train_agents and the ablation benches so every experiment
 /// trains the same way.  A non-null `recorder` (ObsSession::run_recorder)
 /// gets every committed round appended to its rounds.jsonl — purely
-/// observational, results are unchanged.
+/// observational, results are unchanged.  A non-null `faults` trains the
+/// agent under injected node failures (sim/fault.h; per-episode streams
+/// derived from faults->seed) — pass rollout = nullptr with it, or build
+/// the pool with the same RolloutOptions::faults, since an existing
+/// pool's fault config cannot be changed here.
 void train_dras_agent(core::DrasAgent& agent, const Scenario& scenario,
                       std::size_t episodes, std::size_t jobs_per_episode,
                       std::uint64_t curriculum_seed = 0,
                       rollout::RolloutPool* rollout = nullptr,
-                      obs::RunRecorder* recorder = nullptr);
+                      obs::RunRecorder* recorder = nullptr,
+                      const sim::FaultConfig* faults = nullptr);
 
 /// Warm start: load the agent's parameters from the newest checkpoint
 /// under `<dir>/<agent-name>`.  Returns the checkpoint used, or nullopt
@@ -119,6 +124,13 @@ std::filesystem::path save_warm_start(const std::filesystem::path& dir,
 [[nodiscard]] std::vector<train::Evaluation> evaluate_roster(
     const std::vector<sim::Scheduler*>& roster, int total_nodes,
     const sim::Trace& trace, const core::RewardFunction* reward,
+    std::size_t jobs);
+
+/// Same, with full evaluation options — the failure benches use this to
+/// inject a sim::FaultConfig per fault-rate cell.
+[[nodiscard]] std::vector<train::Evaluation> evaluate_roster(
+    const std::vector<sim::Scheduler*>& roster, int total_nodes,
+    const sim::Trace& trace, const train::EvalOptions& options,
     std::size_t jobs);
 
 /// Print the standard bench preamble (config echo, per DESIGN.md §4).

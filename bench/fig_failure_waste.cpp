@@ -1,0 +1,118 @@
+// Failure-aware scheduling: wasted node-hours under rising fault rates.
+//
+// Not a paper figure — the robustness extension's headline experiment.
+// Every method schedules the same test trace on the same machine while
+// the simulator injects exponential per-node failures (sim/fault.h):
+// the per-node MTBF sweeps from off through 2000 h, 500 h and 125 h
+// (on 272 nodes that is one machine-level failure every ~7.4 h, ~1.8 h
+// and ~28 min), jobs checkpoint every 15 compute-minutes over a shared
+// I/O channel, and killed jobs are requeued.  The rates are chosen so
+// the largest (256-node) jobs can still bank checkpoints between hits;
+// much past the highest rate the workload livelocks — jobs are killed
+// faster than they can reach a checkpoint boundary and the trace never
+// drains.  Reported per method x fault rate: node failures observed,
+// job kills, requeues, wasted node-hours (work destroyed between the
+// last durable checkpoint and the kill), mean slowdown and utilization.
+// The failure stream is seeded identically for every cell of a rate, so
+// methods face the same failure process; which jobs die depends on each
+// scheduler's own packing.
+//
+// Gate (consumed by the CI failure-drill job): at the highest fault
+// rate, the better DRAS agent must not destroy more work than the
+// median heuristic — a learned scheduler that buys throughput by piling
+// work onto soon-to-fail capacity would show up here.
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "util/format.h"
+#include "util/rng.h"
+
+int main(int argc, char** argv) {
+  const dras::benchx::ObsSession obs_session(argc, argv);
+  using dras::util::format;
+  namespace benchx = dras::benchx;
+
+  const auto scenario = benchx::Scenario::theta_mini(13);
+  constexpr std::size_t kTestJobs = 900;
+
+  benchx::print_preamble(
+      "Failure waste: DRAS vs heuristics under node faults", scenario,
+      kTestJobs);
+
+  const auto test_trace = scenario.trace(kTestJobs, 424242);
+
+  benchx::MethodSet methods(scenario);
+  methods.train_agents(scenario, 24, 400);
+
+  const auto reward = scenario.reward();
+  // Per-node MTBF sweep, hours; 0 = fault injection off (the fault-free
+  // column doubles as a live check that --mtbf 0 changes nothing).
+  const std::vector<double> mtbf_hours = {0.0, 2000.0, 500.0, 125.0};
+
+  struct Cell {
+    std::string method;
+    std::uint64_t failures = 0;
+    double waste_h = 0.0;
+  };
+  std::vector<Cell> highest;  // cells of the highest fault rate
+
+  std::cout << "csv:method,mtbf_h,failures,kills,requeues,"
+               "wasted_node_hours,avg_slowdown,utilization\n";
+  for (const double mtbf_h : mtbf_hours) {
+    dras::train::EvalOptions options;
+    options.reward = &reward;
+    if (mtbf_h > 0.0) {
+      options.faults.mtbf = mtbf_h * 3600.0;
+      options.faults.repair_time = 1800.0;
+      options.faults.ckpt_interval = 900.0;
+      options.faults.requeue = dras::sim::RequeuePolicy::Requeue;
+      options.faults.seed =
+          dras::util::derive_seed(scenario.seed, "bench-fault");
+    }
+    const auto evaluations = benchx::evaluate_roster(
+        methods.all(), scenario.preset.nodes, test_trace, options,
+        obs_session.jobs());
+    for (const auto& evaluation : evaluations) {
+      const auto& faults = evaluation.result.faults;
+      const double waste_h = faults.wasted_node_seconds / 3600.0;
+      std::cout << format(
+          "csv:{},{:.0f},{},{},{},{:.2f},{:.2f},{:.3f}\n",
+          evaluation.method, mtbf_h, faults.node_failures, faults.job_kills,
+          faults.requeues, waste_h, evaluation.summary.avg_slowdown,
+          evaluation.summary.utilization);
+      if (mtbf_h == mtbf_hours.back())
+        highest.push_back({evaluation.method, faults.node_failures, waste_h});
+    }
+  }
+
+  // Roster order is fixed (MethodSet::all): five heuristics, then
+  // DRAS-PG and DRAS-DQL.
+  std::vector<double> heuristic_waste;
+  for (std::size_t i = 0; i + 2 < highest.size(); ++i)
+    heuristic_waste.push_back(highest[i].waste_h);
+  std::sort(heuristic_waste.begin(), heuristic_waste.end());
+  const double heuristic_median =
+      heuristic_waste[heuristic_waste.size() / 2];
+  const Cell& pg = highest[highest.size() - 2];
+  const Cell& dql = highest[highest.size() - 1];
+  const Cell& best_dras = pg.waste_h <= dql.waste_h ? pg : dql;
+  const bool ok = best_dras.waste_h <= heuristic_median;
+  std::cout << format(
+      "\ngate: failure-waste at mtbf {:.0f}h — dras {} wasted {:.2f} "
+      "node-hours, heuristic median {:.2f} — {}\n",
+      mtbf_hours.back(), best_dras.method, best_dras.waste_h,
+      heuristic_median, ok ? "ok" : "VIOLATED");
+
+  if (auto* recorder = obs_session.run_recorder()) {
+    // First-class failure metrics for dras_report --compare (both
+    // regress upward; see obs/report.h).
+    recorder->set_stat("wasted_node_hours", best_dras.waste_h);
+    recorder->set_stat("failures",
+                       static_cast<double>(best_dras.failures));
+    recorder->set_final_score(-best_dras.waste_h);
+  }
+  return 0;
+}

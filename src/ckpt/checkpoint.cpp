@@ -2,6 +2,7 @@
 
 #include "core/dras_agent.h"
 #include "obs/metrics.h"
+#include "sim/fault.h"
 #include "train/convergence.h"
 #include "train/curriculum.h"
 #include "train/trainer.h"
@@ -57,6 +58,63 @@ void load_counters(util::BinaryReader& in) {
   }
 }
 
+void save_fault_scenario(util::BinaryWriter& out,
+                         const sim::FaultScenario& scenario) {
+  out.section("FALT", 1);
+  const sim::FaultConfig& c = scenario.config;
+  out.f64(c.mtbf);
+  out.f64(c.repair_time);
+  out.u32(static_cast<std::uint32_t>(c.requeue));
+  out.f64(c.ckpt_interval);
+  out.f64(c.ckpt_seconds_per_node);
+  out.f64(c.io_bandwidth);
+  out.f64(c.feature_window);
+  out.u64(c.seed);
+  out.u64(c.groups.size());
+  for (const sim::FaultNodeGroup& group : c.groups) {
+    out.i64(group.nodes);
+    out.f64(group.mtbf);
+  }
+  const sim::FaultStats& s = scenario.stats;
+  out.u64(s.node_failures);
+  out.u64(s.job_kills);
+  out.u64(s.requeues);
+  out.u64(s.checkpoints);
+  out.f64(s.wasted_node_seconds);
+}
+
+void load_fault_scenario(util::BinaryReader& in,
+                         sim::FaultScenario& scenario) {
+  in.section("FALT", 1);
+  sim::FaultConfig c;
+  c.mtbf = in.f64();
+  c.repair_time = in.f64();
+  const std::uint32_t requeue = in.u32();
+  if (requeue > static_cast<std::uint32_t>(sim::RequeuePolicy::Drop))
+    throw CheckpointError(util::format(
+        "checkpoint FALT section names unknown requeue policy {}", requeue));
+  c.requeue = static_cast<sim::RequeuePolicy>(requeue);
+  c.ckpt_interval = in.f64();
+  c.ckpt_seconds_per_node = in.f64();
+  c.io_bandwidth = in.f64();
+  c.feature_window = in.f64();
+  c.seed = in.u64();
+  const std::uint64_t group_count = in.u64();
+  c.groups.resize(group_count);
+  for (sim::FaultNodeGroup& group : c.groups) {
+    group.nodes = static_cast<int>(in.i64());
+    group.mtbf = in.f64();
+  }
+  sim::FaultStats s;
+  s.node_failures = in.u64();
+  s.job_kills = in.u64();
+  s.requeues = in.u64();
+  s.checkpoints = in.u64();
+  s.wasted_node_seconds = in.f64();
+  scenario.config = std::move(c);
+  scenario.stats = s;
+}
+
 void require(bool stored, bool supplied, std::string_view component) {
   if (stored == supplied) return;
   throw CheckpointError(
@@ -106,6 +164,9 @@ std::string encode_checkpoint(const TrainingState& state) {
   // v2 tail: self-healing recovery state.
   out.boolean(state.recovery != nullptr);
   if (state.recovery != nullptr) state.recovery->save_state(out);
+  // v3 tail: failure-scenario config + cumulative waste statistics.
+  out.boolean(state.faults != nullptr);
+  if (state.faults != nullptr) save_fault_scenario(out, *state.faults);
   return out.take();
 }
 
@@ -148,6 +209,26 @@ void decode_checkpoint(std::string_view payload, const TrainingState& state,
     // v1→v2 migration: the file predates self-healing, so the run it
     // captures has absorbed no rollbacks and carries no LR backoff.
     *state.recovery = RecoveryState{};
+  }
+  // Failure scenario ("FALT", v3) — as loose as recovery: toggling fault
+  // injection between runs must not strand a checkpoint directory.
+  if (format_version >= 3) {
+    const bool stored = in.boolean();
+    if (stored && state.faults != nullptr) {
+      load_fault_scenario(in, *state.faults);
+    } else if (stored) {
+      // Faulty checkpoint read by a fault-free run: decode and discard
+      // the section so the stream stays aligned.
+      sim::FaultScenario discarded;
+      load_fault_scenario(in, discarded);
+    } else if (state.faults != nullptr) {
+      // Fault-free checkpoint read by a faulty run: the captured run
+      // accumulated no waste; keep the caller's config.
+      state.faults->stats = sim::FaultStats{};
+    }
+  } else if (state.faults != nullptr) {
+    // v1/v2 migration: the file predates fault injection.
+    state.faults->stats = sim::FaultStats{};
   }
   in.expect_exhausted();
 }

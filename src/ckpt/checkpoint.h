@@ -26,6 +26,12 @@
 //        v1 files are still read; they migrate by resetting any supplied
 //        RecoveryState to its defaults (tests/ckpt/test_migration.cpp
 //        restores a committed v1 golden through this path).
+//   v3 — v2 plus an optional trailing "FALT" failure-scenario section
+//        (sim/fault.h: the injected fault configuration + cumulative
+//        failure/waste statistics), so a crash-resumed faulty run keeps
+//        exact waste accounting and re-derives the same failure streams.
+//        v1/v2 files migrate by zeroing a supplied scenario's statistics
+//        while leaving its (caller-supplied) configuration untouched.
 #pragma once
 
 #include <cstdint>
@@ -49,12 +55,16 @@ class Curriculum;
 class ConvergenceMonitor;
 }  // namespace dras::train
 
+namespace dras::sim {
+struct FaultScenario;
+}  // namespace dras::sim
+
 namespace dras::ckpt {
 
 /// First 8 bytes of every checkpoint file.
 inline constexpr std::string_view kMagic = "DRASCKP1";
 /// Container format version (framing, not section layout).
-inline constexpr std::uint32_t kFormatVersion = 2;
+inline constexpr std::uint32_t kFormatVersion = 3;
 /// Checkpoint files written by CheckpointManager use this extension.
 inline constexpr std::string_view kExtension = ".dras";
 
@@ -102,6 +112,14 @@ struct TrainingState {
   /// with this supplied resets it to defaults; a stored section with no
   /// slice supplied is decoded and discarded.
   RecoveryState* recovery = nullptr;
+  /// Failure-scenario state (format v3, "FALT" section): the injected
+  /// fault configuration plus cumulative failure/waste statistics.  As
+  /// loose as `recovery`: presence may differ between save and restore.
+  /// Restoring a stored section overwrites both config and stats (the
+  /// resumed run continues the captured scenario even if flags changed);
+  /// restoring a file without one zeroes the supplied scenario's stats
+  /// but keeps its caller-supplied config.  Non-owning.
+  sim::FaultScenario* faults = nullptr;
   /// Capture/restore the global obs::Registry counters ("OBSC" section)
   /// so resumed runs report cumulative telemetry.
   bool telemetry = true;

@@ -25,6 +25,7 @@ nn::NetworkConfig DrasConfig::network_config() const {
     net.input_rows = 2 + static_cast<std::size_t>(total_nodes);
     net.outputs = 1;
   }
+  if (failure_features) net.input_rows += StateEncoder::kFailureRows;
   return net;
 }
 
@@ -32,7 +33,8 @@ DrasAgent::DrasAgent(const DrasConfig& config)
     : config_(config),
       name_(to_string(config.kind)),
       reward_(config.reward_kind, config.reward_weights),
-      encoder_(config.total_nodes, config.time_scale),
+      encoder_(config.total_nodes, config.time_scale,
+               config.failure_features),
       rng_(util::derive_seed(config.seed, "dras-agent")) {
   if (config.total_nodes <= 0)
     throw std::invalid_argument("agent needs a positive node count");
@@ -133,6 +135,9 @@ std::uint64_t config_fingerprint(const DrasConfig& c) noexcept {
   mix_f64(c.epsilon_decay);
   mix_f64(c.epsilon_min);
   mix(c.seed);
+  // Mixed only when enabled so every pre-existing fault-free checkpoint
+  // keeps its historical fingerprint.
+  if (c.failure_features) mix(0xFA17FEA7u);
   return h;
 }
 }  // namespace

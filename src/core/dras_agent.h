@@ -57,6 +57,11 @@ struct DrasConfig {
   double epsilon_decay = 0.995;
   double epsilon_min = 0.01;
   std::uint64_t seed = 1;
+  /// Append failure/recovery features to the state vector (recent fault
+  /// rate, fraction of nodes down, requeued-work backlog; sim/fault.h).
+  /// Adds two input rows to the network.  Off by default so fault-free
+  /// agents keep their historical topology and checkpoint fingerprint.
+  bool failure_features = false;
 
   [[nodiscard]] nn::NetworkConfig network_config() const;
 };

@@ -6,8 +6,11 @@
 
 namespace dras::core {
 
-StateEncoder::StateEncoder(int total_nodes, double time_scale)
-    : total_nodes_(total_nodes), time_scale_(time_scale) {
+StateEncoder::StateEncoder(int total_nodes, double time_scale,
+                           bool failure_features)
+    : total_nodes_(total_nodes),
+      time_scale_(time_scale),
+      failure_features_(failure_features) {
   if (total_nodes <= 0 || time_scale <= 0.0)
     throw std::invalid_argument("encoder needs positive nodes/time scale");
 }
@@ -35,6 +38,19 @@ void StateEncoder::append_nodes(const sim::SchedulingContext& ctx,
   }
 }
 
+void StateEncoder::append_failure_rows(const sim::SchedulingContext& ctx,
+                                       float* out) const noexcept {
+  // Row 1: recent fault rate (failures per node in the feature window),
+  //        fraction of machine nodes currently down.
+  out[0] = static_cast<float>(ctx.recent_fault_rate());
+  out[1] = static_cast<float>(ctx.fraction_down());
+  // Row 2: requeued-work backlog in machine-time_scale units; padding.
+  out[2] = static_cast<float>(
+      ctx.requeued_backlog() /
+      (static_cast<double>(total_nodes_) * time_scale_));
+  out[3] = 0.0f;
+}
+
 void StateEncoder::encode_window(const sim::SchedulingContext& ctx,
                                  std::span<const sim::Job* const> window,
                                  std::size_t window_slots,
@@ -50,6 +66,9 @@ void StateEncoder::encode_window(const sim::SchedulingContext& ctx,
   // Remaining slots stay zero (invalid actions are masked downstream).
   cursor = out.data() + 4 * window_slots;
   append_nodes(ctx, cursor);
+  if (failure_features_)
+    append_failure_rows(
+        ctx, cursor + 2 * static_cast<std::size_t>(total_nodes_));
 }
 
 void StateEncoder::encode_job(const sim::SchedulingContext& ctx,
@@ -58,6 +77,9 @@ void StateEncoder::encode_job(const sim::SchedulingContext& ctx,
   out.assign(dql_input_size(), 0.0f);
   write_job_block(job, ctx.now(), out.data());
   append_nodes(ctx, out.data() + 4);
+  if (failure_features_)
+    append_failure_rows(
+        ctx, out.data() + 4 + 2 * static_cast<std::size_t>(total_nodes_));
 }
 
 }  // namespace dras::core

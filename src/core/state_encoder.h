@@ -10,6 +10,14 @@
 // window) with the N node rows → input [2W+N, 2].
 // DRAS-DQL concatenates one job block with the node rows → input [2+N, 2].
 //
+// With failure features enabled (sim/fault.h) two extra rows describe the
+// fault state of the machine:
+//     [ recent fault rate  , fraction of nodes down ]
+//     [ requeued backlog   , 0                      ]
+// so a fault-aware agent sees degraded capacity and the killed-work debt
+// it is scheduling against.  Off by default — the fault-free encoding is
+// bit-identical to the historical one.
+//
 // The paper feeds raw values; we additionally scale sizes by the machine
 // size and times by a per-system time scale so the network inputs stay
 // O(1) — a standard conditioning detail that does not change what the
@@ -26,21 +34,30 @@ namespace dras::core {
 
 class StateEncoder {
  public:
+  /// Extra input rows appended when failure features are enabled.
+  static constexpr std::size_t kFailureRows = 2;
+
   /// `time_scale` is the characteristic time (seconds) used to normalise
   /// runtimes, queued times and release deltas (e.g. the system's maximum
   /// walltime).
-  StateEncoder(int total_nodes, double time_scale);
+  StateEncoder(int total_nodes, double time_scale,
+               bool failure_features = false);
 
   [[nodiscard]] int total_nodes() const noexcept { return total_nodes_; }
   [[nodiscard]] double time_scale() const noexcept { return time_scale_; }
+  [[nodiscard]] bool failure_features() const noexcept {
+    return failure_features_;
+  }
 
   /// Flat input length for a PG network over a W-job window.
   [[nodiscard]] std::size_t pg_input_size(std::size_t window) const noexcept {
-    return 2 * (2 * window + static_cast<std::size_t>(total_nodes_));
+    return 2 * (2 * window + static_cast<std::size_t>(total_nodes_) +
+                (failure_features_ ? kFailureRows : 0));
   }
   /// Flat input length for a DQL network (one job).
   [[nodiscard]] std::size_t dql_input_size() const noexcept {
-    return 2 * (2 + static_cast<std::size_t>(total_nodes_));
+    return 2 * (2 + static_cast<std::size_t>(total_nodes_) +
+                (failure_features_ ? kFailureRows : 0));
   }
 
   /// Encode a W-slot window (PG).  `window` holds the jobs actually present
@@ -59,9 +76,12 @@ class StateEncoder {
   void write_job_block(const sim::Job& job, sim::Time now,
                        float* out) const noexcept;
   void append_nodes(const sim::SchedulingContext& ctx, float* out) const;
+  void append_failure_rows(const sim::SchedulingContext& ctx,
+                           float* out) const noexcept;
 
   int total_nodes_;
   double time_scale_;
+  bool failure_features_;
   mutable std::vector<sim::NodeRow> node_scratch_;
 };
 

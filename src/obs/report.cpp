@@ -155,6 +155,15 @@ std::optional<double> metric_value(const RunData& run,
     if (entry == nullptr) return std::nullopt;
     return number_field(*entry, rest.substr(colon + 1));
   }
+  // First-class failure metrics (see the file comment): they live in
+  // the manifest's "stats" object like any other set_stat key, but are
+  // named here so the failure-drill gate can rely on them never being
+  // shadowed by a future manifest field.
+  if (name == "wasted_node_hours" || name == "failures") {
+    const util::json::Value* stats = run.manifest.find("stats");
+    if (stats == nullptr) return std::nullopt;
+    return number_field(*stats, name);
+  }
   // Fallback: a key in the manifest's "stats" object (RunRecorder::
   // set_stat) — e.g. dras_serve's decisions_per_sec.
   if (const util::json::Value* stats = run.manifest.find("stats"))
@@ -163,7 +172,8 @@ std::optional<double> metric_value(const RunData& run,
 }
 
 bool higher_is_worse(const std::string& metric) {
-  // Scores, work totals and rates regress downward; times regress upward.
+  // Scores, work totals and rates regress downward; times — and the
+  // failure metrics wasted_node_hours / failures — regress upward.
   const bool is_rate =
       metric.size() >= 8 &&
       metric.compare(metric.size() - 8, 8, "_per_sec") == 0;

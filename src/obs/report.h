@@ -20,6 +20,15 @@
 //   hdr:<name>:<stat>    any hdr metric from metrics.json, <stat> one of
 //                        p50/p90/p99/p999/mean/max/count.  Higher is
 //                        worse.
+//   wasted_node_hours    manifest "stats": node-hours of completed work
+//                        destroyed by injected node failures
+//                        (sim/fault.h; stamped by the failure benches).
+//                        Higher is worse — a scheduler that exposes more
+//                        work to faults regresses upward.
+//   failures             manifest "stats": injected node failures the
+//                        run observed.  Higher is worse (at a fixed
+//                        fault config it catches a run that silently
+//                        simulated less).
 //   <stats key>          any numeric key in the manifest's "stats"
 //                        object (RunRecorder::set_stat), e.g.
 //                        dras_serve's decisions_per_sec.  Higher is

@@ -1,5 +1,6 @@
 #include "robust/health.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "core/dras_agent.h"
@@ -47,6 +48,41 @@ void HealthMonitor::note_loss(double loss) {
   }
 }
 
+void HealthMonitor::note_metric(std::vector<double>& window, double value) {
+  if (!limits_.adaptive || limits_.adaptive_window == 0) return;
+  if (window.size() >= limits_.adaptive_window)
+    window.erase(window.begin());
+  window.push_back(value);
+}
+
+double HealthMonitor::derived_ceiling(
+    const std::vector<double>& window) const {
+  if (!limits_.adaptive || window.size() < limits_.adaptive_warmup ||
+      window.empty())
+    return 0.0;
+  // median + k * MAD — both order statistics, so one corrupt spike in
+  // the window barely moves the ceiling it is judged against.
+  std::vector<double> scratch = window;
+  const auto mid = scratch.begin() + scratch.size() / 2;
+  std::nth_element(scratch.begin(), mid, scratch.end());
+  const double median = *mid;
+  for (double& v : scratch) v = std::abs(v - median);
+  std::nth_element(scratch.begin(), mid, scratch.end());
+  // Floor the MAD so a flat warmup (constant losses) still yields a
+  // usable band instead of a zero-width one.
+  const double mad =
+      std::max(*mid, 0.05 * std::abs(median) + 1e-9);
+  return median + limits_.adaptive_k_mad * mad;
+}
+
+double HealthMonitor::adaptive_loss_ceiling() const {
+  return limits_.max_loss > 0.0 ? 0.0 : derived_ceiling(loss_window_);
+}
+
+double HealthMonitor::adaptive_grad_ceiling() const {
+  return limits_.max_grad_norm > 0.0 ? 0.0 : derived_ceiling(grad_window_);
+}
+
 std::vector<double> HealthMonitor::recent_losses() const {
   std::vector<double> ordered;
   ordered.reserve(losses_.size());
@@ -59,6 +95,14 @@ HealthReport HealthMonitor::check(const core::DrasAgent& agent,
                                   const train::EpisodeResult& result) {
   ++checks_done_;
   note_loss(result.loss);
+  // Ceilings derive from *prior* history, then the current observation
+  // joins the window — a spike never raises the bar it is judged by.
+  const double adaptive_loss = adaptive_loss_ceiling();
+  const double adaptive_grad = adaptive_grad_ceiling();
+  if (std::isfinite(result.loss))
+    note_metric(loss_window_, std::abs(result.loss));
+  if (std::isfinite(result.grad_norm))
+    note_metric(grad_window_, result.grad_norm);
 
   HealthReport report;
   report.episode = result.episode;
@@ -110,17 +154,26 @@ HealthReport HealthMonitor::check(const core::DrasAgent& agent,
                 util::format("{} Adam moment entries are non-finite after "
                              "episode {}",
                              bad_moments, result.episode));
-  if (limits_.max_loss > 0.0 && std::abs(result.loss) > limits_.max_loss)
+  // A static limit > 0 wins; a disabled one falls back to the derived
+  // (median + k*MAD) ceiling, which is 0 until adaptive mode has warmed
+  // up — 0 keeps the check off either way.
+  const double loss_ceiling =
+      limits_.max_loss > 0.0 ? limits_.max_loss : adaptive_loss;
+  const double grad_ceiling =
+      limits_.max_grad_norm > 0.0 ? limits_.max_grad_norm : adaptive_grad;
+  if (loss_ceiling > 0.0 && std::abs(result.loss) > loss_ceiling)
     return trip(HealthFault::LossCeiling,
-                util::format("episode {} |loss| {} exceeds ceiling {}",
+                util::format("episode {} |loss| {} exceeds {}ceiling {}",
                              result.episode, std::abs(result.loss),
-                             limits_.max_loss));
-  if (limits_.max_grad_norm > 0.0 &&
-      result.grad_norm > limits_.max_grad_norm)
+                             limits_.max_loss > 0.0 ? "" : "adaptive ",
+                             loss_ceiling));
+  if (grad_ceiling > 0.0 && result.grad_norm > grad_ceiling)
     return trip(HealthFault::GradNormCeiling,
-                util::format("episode {} gradient norm {} exceeds ceiling {}",
+                util::format("episode {} gradient norm {} exceeds {}ceiling "
+                             "{}",
                              result.episode, result.grad_norm,
-                             limits_.max_grad_norm));
+                             limits_.max_grad_norm > 0.0 ? "" : "adaptive ",
+                             grad_ceiling));
   if (limits_.max_param_norm > 0.0 &&
       params.l2_norm > limits_.max_param_norm)
     return trip(HealthFault::ParamNormCeiling,

@@ -47,6 +47,31 @@ struct HealthLimits {
   bool check_epsilon = true;
   /// Depth of the recent-loss ring kept for the diagnostics dump.
   std::size_t recent_loss_depth = 16;
+
+  // --- Adaptive ceilings ---
+  //
+  // Fixed ceilings are brittle under failure injection: killed and
+  // requeued jobs legitimately shift the loss/gradient scale, so a
+  // limit tuned on fault-free runs either fires spuriously or never.
+  // With `adaptive` set, any magnitude ceiling left disabled (<= 0)
+  // is instead derived from the run's own recent telemetry as
+  //
+  //     median + adaptive_k_mad * MAD
+  //
+  // over the last `adaptive_window` observations (MAD = median absolute
+  // deviation — both robust to the very outliers being hunted).  The
+  // derived ceiling only engages once `adaptive_warmup` observations
+  // have accumulated; a static limit > 0 always wins over the derived
+  // one, so explicit --guard-* flags keep their meaning.
+
+  /// Derive disabled |loss| / gradient-norm ceilings from history.
+  bool adaptive = false;
+  /// Observations required before a derived ceiling engages.
+  std::size_t adaptive_warmup = 16;
+  /// Rolling history depth per metric.
+  std::size_t adaptive_window = 64;
+  /// Ceiling = median + adaptive_k_mad * MAD.
+  double adaptive_k_mad = 8.0;
 };
 
 enum class HealthFault {
@@ -104,13 +129,26 @@ class HealthMonitor {
     return checks_done_;
   }
 
+  /// Derived |loss| / gradient-norm ceiling currently in force (0 while
+  /// adaptive mode is off, the metric's static limit is set, or the
+  /// warmup has not completed).  Exposed for logs and tests.
+  [[nodiscard]] double adaptive_loss_ceiling() const;
+  [[nodiscard]] double adaptive_grad_ceiling() const;
+
  private:
   void note_loss(double loss);
+  void note_metric(std::vector<double>& window, double value);
+  [[nodiscard]] double derived_ceiling(
+      const std::vector<double>& window) const;
 
   HealthLimits limits_;
   std::vector<double> losses_;  // ring, oldest at head_
   std::size_t head_ = 0;
   std::size_t checks_done_ = 0;
+  // Adaptive-ceiling history: finite observations only, bounded at
+  // adaptive_window, oldest first.
+  std::vector<double> loss_window_;  // |loss|
+  std::vector<double> grad_window_;  // gradient L2 norm
 };
 
 }  // namespace dras::robust

@@ -9,6 +9,7 @@
 #include "core/dras_agent.h"
 #include "nn/ops.h"
 #include "obs/metrics.h"
+#include "util/binio.h"
 #include "util/format.h"
 #include "util/fs.h"
 #include "util/json.h"
@@ -39,6 +40,23 @@ std::string json_number(double value) {
 }
 
 }  // namespace
+
+std::string_view to_string(RollbackScope scope) noexcept {
+  switch (scope) {
+    case RollbackScope::Full:
+      return "full";
+    case RollbackScope::Params:
+      return "params";
+  }
+  return "unknown";
+}
+
+RollbackScope parse_rollback_scope(std::string_view text) {
+  if (text == "full") return RollbackScope::Full;
+  if (text == "params") return RollbackScope::Params;
+  throw std::invalid_argument(util::format(
+      "unknown rollback scope \"{}\" (expected full or params)", text));
+}
 
 RecoveryPolicy::RecoveryPolicy(RecoveryOptions options,
                                ckpt::CheckpointManager& manager)
@@ -83,11 +101,15 @@ std::optional<std::filesystem::path> RecoveryPolicy::recover(
     return std::nullopt;
   }
 
-  // The restore overwrites state_ (training_state.recovery points here)
-  // with the snapshot's own rollback history; we then advance it.
+  // The full restore overwrites state_ (training_state.recovery points
+  // here) with the snapshot's own rollback history; we then advance it.
+  // A params-scope restore touches only the agent, so state_ keeps its
+  // live history and the trainer/curriculum move on.
   std::optional<std::filesystem::path> restored;
   try {
-    restored = manager_.restore_latest(training_state);
+    restored = options_.scope == RollbackScope::Params
+                   ? restore_params_only(agent)
+                   : manager_.restore_latest(training_state);
   } catch (const ckpt::CheckpointError& e) {
     give_up(util::format("no restorable snapshot: {}", e.what()));
     return std::nullopt;
@@ -118,11 +140,33 @@ std::optional<std::filesystem::path> RecoveryPolicy::recover(
 
   m.rollbacks.add();
   util::log_warn(
-      "divergence ({}): rolled back to {} — attempt {}/{}, lr_scale {}, "
-      "rng nonce {}",
-      to_string(report.fault), restored->string(), attempts_,
-      options_.max_rollbacks, state_.lr_scale, state_.rng_nonce);
+      "divergence ({}): rolled back ({}) to {} — attempt {}/{}, lr_scale "
+      "{}, rng nonce {}",
+      to_string(report.fault), to_string(options_.scope),
+      restored->string(), attempts_, options_.max_rollbacks,
+      state_.lr_scale, state_.rng_nonce);
   return restored;
+}
+
+std::optional<std::filesystem::path> RecoveryPolicy::restore_params_only(
+    core::DrasAgent& agent) {
+  const std::vector<std::filesystem::path> checkpoints = manager_.list();
+  if (checkpoints.empty()) return std::nullopt;
+  for (auto it = checkpoints.rbegin(); it != checkpoints.rend(); ++it) {
+    try {
+      ckpt::load_agent_from_checkpoint(*it, agent);
+      return *it;
+    } catch (const ckpt::CheckpointError& e) {
+      util::log_warn("skipping unreadable checkpoint {}: {}", it->string(),
+                     e.what());
+    } catch (const util::SerializationError& e) {
+      util::log_warn("skipping undecodable checkpoint {}: {}", it->string(),
+                     e.what());
+    }
+  }
+  throw ckpt::CheckpointError(util::format(
+      "all {} checkpoints in {} failed to restore an agent slice",
+      checkpoints.size(), manager_.options().dir.string()));
 }
 
 void RecoveryPolicy::note_healthy(core::DrasAgent& agent) {

@@ -60,9 +60,34 @@ class DivergenceError : public std::runtime_error {
   std::filesystem::path diagnostics_;
 };
 
+/// What a divergence rollback restores.
+enum class RollbackScope {
+  /// The full training state: agent, trainer, curriculum cursor,
+  /// convergence window and telemetry all rewind to the snapshot, and
+  /// the diverged round is replayed (with a fresh RNG nonce).
+  Full,
+  /// Parameters only: just the agent slice (network parameters, Adam
+  /// moments, exploration schedule) is restored from the newest
+  /// readable snapshot; trainer episode accounting, curriculum cursor,
+  /// convergence window and telemetry keep their live state.  The
+  /// diverged round is still retried (its cursor never committed), but
+  /// nothing else rewinds — the snapshot may be several rounds old, and
+  /// full scope would discard all of them.  Trades rewind fidelity for
+  /// forward progress — useful when divergences are expected noise
+  /// (e.g. training under heavy fault injection) rather than rare
+  /// catastrophes.
+  Params,
+};
+
+[[nodiscard]] std::string_view to_string(RollbackScope scope) noexcept;
+/// Parse "full" / "params"; throws std::invalid_argument otherwise.
+[[nodiscard]] RollbackScope parse_rollback_scope(std::string_view text);
+
 struct RecoveryOptions {
   /// Rollbacks this policy instance may perform before giving up.
   std::size_t max_rollbacks = 3;
+  /// How much state a rollback restores (--rollback-scope).
+  RollbackScope scope = RollbackScope::Full;
   /// Per-rollback learning-rate multiplier (exponential backoff).
   double lr_backoff = 0.5;
   /// Healthy episodes after a rollback before one geometric LR recovery
@@ -137,6 +162,14 @@ class RecoveryPolicy {
       const HealthMonitor* monitor) const;
 
  private:
+  /// Params-scope restore: walk the manager's checkpoints newest-first
+  /// and load only the agent slice of the first readable one.  Mirrors
+  /// restore_latest()'s degradation contract (skip unreadable files,
+  /// throw when checkpoints exist but none loads, nullopt when the
+  /// directory is empty).
+  std::optional<std::filesystem::path> restore_params_only(
+      core::DrasAgent& agent);
+
   RecoveryOptions options_;
   ckpt::CheckpointManager& manager_;
   ckpt::RecoveryState state_;

@@ -99,10 +99,21 @@ RoundResult RolloutPool::collect(core::DrasAgent& agent, int total_nodes,
     slot.clone->set_training(true);
     slot.clone->set_gradient_sink(&slot.grads);
     sim::Simulator simulator(total_nodes);
-    simulator.run(slots[i].trace, *slot.clone);
+    if (options_.faults.enabled()) {
+      // One failure stream per global episode index — the serial
+      // trainer path derives the identical stream for this episode, so
+      // worker count never changes which nodes fail when.
+      sim::FaultConfig faults = options_.faults;
+      faults.seed =
+          exec::task_seed(options_.faults.seed, "fault", first_episode + i);
+      simulator.set_fault_config(faults);
+    }
+    const sim::SimulationResult sim_result =
+        simulator.run(slots[i].trace, *slot.clone);
     slot.clone->set_gradient_sink(nullptr);
 
     train::EpisodeResult& result = slot.result;
+    result.faults = sim_result.faults;
     result.episode = first_episode + i;
     result.jobset = slots[i].name;
     result.phase = slots[i].phase;

@@ -40,6 +40,7 @@
 #include <span>
 #include <vector>
 
+#include "sim/fault.h"
 #include "train/trainer.h"
 
 namespace dras::exec {
@@ -64,6 +65,13 @@ struct RolloutOptions {
   /// Round events land here (non-owning); obs::default_tracer() when
   /// null.
   obs::EventTracer* tracer = nullptr;
+  /// Failure scenario for the rolled-out episodes (sim/fault.h).  Slot i
+  /// of a round starting at global episode E derives its failure stream
+  /// as exec::task_seed(faults.seed, "fault", E + i) — the same
+  /// derivation the serial trainer path uses for episode E + i — so
+  /// fault runs stay byte-identical at any worker count.  Keep this in
+  /// sync with TrainerOptions::faults.  Disabled by default.
+  sim::FaultConfig faults;
 };
 
 /// What one round produced: per-slot episode results (slot order) plus

@@ -48,14 +48,29 @@ const RunningJob* Cluster::find_running(JobId id) const noexcept {
   return it == running_.end() ? nullptr : &it->second;
 }
 
+void Cluster::fail_free_node(Time repair_end) {
+  assert(free_nodes_ > 0);
+  --free_nodes_;
+  down_.insert(std::upper_bound(down_.begin(), down_.end(), repair_end),
+               repair_end);
+}
+
+void Cluster::repair_node() {
+  assert(!down_.empty());
+  down_.erase(down_.begin());
+  ++free_nodes_;
+  assert(free_nodes_ <= total_nodes_);
+}
+
 Time Cluster::earliest_start(int size, Time now) const {
   if (size > total_nodes_)
     throw std::invalid_argument("job larger than the whole machine");
   if (fits(size)) return now;
   std::vector<std::pair<Time, int>> releases;  // (estimated end, size)
-  releases.reserve(running_.size());
+  releases.reserve(running_.size() + down_.size());
   for (const auto& [id, rec] : running_)
     releases.emplace_back(rec.estimated_end, rec.size);
+  for (const Time repair : down_) releases.emplace_back(repair, 1);
   std::sort(releases.begin(), releases.end());
   int available = free_nodes_;
   for (const auto& [when, n] : releases) {
@@ -71,6 +86,8 @@ int Cluster::released_by(Time when) const noexcept {
   int released = 0;
   for (const auto& [id, rec] : running_)
     if (rec.estimated_end <= when) released += rec.size;
+  for (const Time repair : down_)
+    if (repair <= when) ++released;
   return released;
 }
 
@@ -89,6 +106,10 @@ void Cluster::encode_nodes(Time now, std::vector<NodeRow>& out) const {
     for (int i = 0; i < rec.size; ++i)
       out.push_back(NodeRow{0.0f, delta});
   }
+  // Down nodes look like busy nodes releasing at their repair time, so
+  // the agent sees failed capacity exactly as temporarily-claimed nodes.
+  for (const Time repair : down_)
+    out.push_back(NodeRow{0.0f, static_cast<float>(std::max(0.0, repair - now))});
   const auto busy = out.size();
   for (std::size_t i = busy; i < static_cast<std::size_t>(total_nodes_); ++i)
     out.push_back(NodeRow{1.0f, 0.0f});
@@ -96,6 +117,7 @@ void Cluster::encode_nodes(Time now, std::vector<NodeRow>& out) const {
 
 void Cluster::clear() {
   running_.clear();
+  down_.clear();
   free_nodes_ = total_nodes_;
 }
 

@@ -45,8 +45,11 @@ class Cluster {
 
   [[nodiscard]] int total_nodes() const noexcept { return total_nodes_; }
   [[nodiscard]] int free_nodes() const noexcept { return free_nodes_; }
+  [[nodiscard]] int down_nodes() const noexcept {
+    return static_cast<int>(down_.size());
+  }
   [[nodiscard]] int used_nodes() const noexcept {
-    return total_nodes_ - free_nodes_;
+    return total_nodes_ - free_nodes_ - down_nodes();
   }
   [[nodiscard]] double utilization() const noexcept {
     return static_cast<double>(used_nodes()) / total_nodes_;
@@ -72,6 +75,22 @@ class Cluster {
   /// Look up one running job.
   [[nodiscard]] const RunningJob* find_running(JobId id) const noexcept;
 
+  /// Take one *free* node out of service until `repair_end` (node
+  /// failure; see sim/fault.h).  Requires free_nodes() > 0.  A down node
+  /// is neither free nor used: it cannot be allocated and does not count
+  /// toward utilization.
+  void fail_free_node(Time repair_end);
+
+  /// Return the earliest-due down node to service.  Requires
+  /// down_nodes() > 0.  Repairs complete in repair-end order, so the
+  /// NodeRepair event stream and this FIFO always agree.
+  void repair_node();
+
+  /// Repair-end times of down nodes, ascending.
+  [[nodiscard]] const std::vector<Time>& down_until() const noexcept {
+    return down_;
+  }
+
   /// Earliest time at which `size` nodes are simultaneously free, assuming
   /// running jobs end at their *estimated* ends.  Returns `now` when the
   /// job already fits.  Requires size <= total_nodes().
@@ -93,6 +112,8 @@ class Cluster {
   int total_nodes_;
   int free_nodes_;
   std::unordered_map<JobId, RunningJob> running_;
+  std::vector<Time> down_;  // repair-end times, ascending
+
 };
 
 }  // namespace dras::sim

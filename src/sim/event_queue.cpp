@@ -5,7 +5,8 @@ namespace dras::sim {
 bool event_after(const Event& a, const Event& b) noexcept {
   if (a.time != b.time) return a.time > b.time;
   if (a.type != b.type) return a.type > b.type;
-  return a.job > b.job;
+  if (a.job != b.job) return a.job > b.job;
+  return a.aux > b.aux;
 }
 
 Event EventQueue::pop() {

@@ -1,11 +1,13 @@
 // Discrete-event queue for the scheduling simulator.
 //
-// Three event kinds drive the simulation: job submission (from the trace),
-// job completion (clock advance by the effective runtime), and the arrival
-// of a reservation's start time.  Events with equal timestamps are ordered
-// deterministically — completions first, so resources freed at time t are
-// visible to decisions taken at time t, then reservation triggers, then
-// submissions — and ties within a kind break on job id.
+// Three event kinds drive the fault-free simulation: job submission (from
+// the trace), job completion (clock advance by the effective runtime), and
+// the arrival of a reservation's start time.  Fault-aware runs add node
+// failure / repair events and per-job checkpoint I/O phases (sim/fault.h).
+// Events with equal timestamps are ordered deterministically — completions
+// first, so resources freed at time t are visible to decisions taken at
+// time t, then reservation triggers, then submissions, then fault events —
+// and ties within a kind break on job id, then on the aux payload.
 #pragma once
 
 #include <cstdint>
@@ -20,12 +22,20 @@ enum class EventType : std::uint8_t {
   JobEnd = 0,            ///< A running job completes.
   ReservationReady = 1,  ///< A reservation's start time arrives.
   JobSubmit = 2,         ///< A job enters the system from the trace.
+  NodeFailure = 3,       ///< A node fails (aux = fault-group index).
+  NodeRepair = 4,        ///< A failed node returns to service.
+  CkptStart = 5,         ///< A job reaches a checkpoint boundary.
+  CkptDone = 6,          ///< A job's checkpoint I/O completes.
 };
 
 struct Event {
   Time time = 0.0;
   EventType type = EventType::JobSubmit;
   JobId job = kInvalidJob;
+  /// Event-kind payload: the job's incarnation for JobEnd / CkptStart /
+  /// CkptDone (stale events from a killed incarnation are ignored), the
+  /// fault-group index for NodeFailure.  Always 0 in fault-free runs.
+  std::int64_t aux = 0;
 
   friend bool operator==(const Event&, const Event&) = default;
 };

@@ -1,0 +1,40 @@
+#include "sim/fault.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace dras::sim {
+
+std::string_view to_string(RequeuePolicy policy) noexcept {
+  switch (policy) {
+    case RequeuePolicy::Requeue: return "requeue";
+    case RequeuePolicy::Resubmit: return "resubmit";
+    case RequeuePolicy::Drop: return "drop";
+  }
+  return "requeue";
+}
+
+RequeuePolicy parse_requeue_policy(std::string_view text) {
+  if (text == "requeue") return RequeuePolicy::Requeue;
+  if (text == "resubmit") return RequeuePolicy::Resubmit;
+  if (text == "drop") return RequeuePolicy::Drop;
+  throw std::invalid_argument("unknown requeue policy: " + std::string(text) +
+                              " (expected requeue|resubmit|drop)");
+}
+
+bool FaultConfig::failures_active() const noexcept {
+  if (groups.empty()) return mtbf > 0.0;
+  for (const FaultNodeGroup& group : groups)
+    if (group.nodes > 0 && group.mtbf > 0.0) return true;
+  return false;
+}
+
+void FaultStats::merge(const FaultStats& other) noexcept {
+  node_failures += other.node_failures;
+  job_kills += other.job_kills;
+  requeues += other.requeues;
+  checkpoints += other.checkpoints;
+  wasted_node_seconds += other.wasted_node_seconds;
+}
+
+}  // namespace dras::sim

@@ -1,0 +1,103 @@
+// Failure model for the simulated system.
+//
+// Production HPC machines are not fault-free: nodes fail (roughly
+// exponentially, per node-group MTBF), take a repair time to return,
+// kill whatever job they were running, and applications defend
+// themselves with periodic checkpoints whose I/O contends for a shared
+// bandwidth budget (interfering checkpoints stretch effective runtime).
+// This header describes that scenario; the engine lives in
+// sim::Simulator and activates only when FaultConfig::enabled() — a
+// default-constructed config leaves the simulator byte-identical to the
+// historical fault-free behaviour.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace dras::sim {
+
+/// What happens to a job killed by a node failure.
+enum class RequeuePolicy : std::uint8_t {
+  Requeue = 0,   ///< Back of the wait queue, original submit time kept
+                 ///< (waits accumulate across incarnations).
+  Resubmit = 1,  ///< Back of the queue as if newly submitted now.
+  Drop = 2,      ///< Gone; counted as unfinished.
+};
+
+[[nodiscard]] std::string_view to_string(RequeuePolicy policy) noexcept;
+/// Parse "requeue" / "resubmit" / "drop"; throws std::invalid_argument.
+[[nodiscard]] RequeuePolicy parse_requeue_policy(std::string_view text);
+
+/// One node-group's failure process: `nodes` nodes failing with the
+/// given per-node MTBF contribute an independent Poisson stream of rate
+/// nodes / mtbf.  Which node a failure strikes is drawn uniformly over
+/// the whole (interchangeable) machine.
+struct FaultNodeGroup {
+  int nodes = 0;
+  double mtbf = 0.0;  ///< Seconds; <= 0 disables the group.
+
+  friend bool operator==(const FaultNodeGroup&,
+                         const FaultNodeGroup&) = default;
+};
+
+/// Fault-scenario knobs.  All-defaults == fault-free.
+struct FaultConfig {
+  /// Per-node mean time between failures, seconds; 0 disables failures.
+  /// Ignored when `groups` is non-empty.
+  double mtbf = 0.0;
+  /// Seconds a failed node stays down before repair returns it.
+  double repair_time = 1800.0;
+  RequeuePolicy requeue = RequeuePolicy::Requeue;
+  /// Compute-seconds of progress between application checkpoints;
+  /// 0 disables checkpointing (a killed job then restarts from zero).
+  double ckpt_interval = 0.0;
+  /// Channel-seconds of checkpoint I/O per allocated node.
+  double ckpt_seconds_per_node = 2.0;
+  /// Shared checkpoint-channel speed multiplier (> 0).  Transfers are
+  /// serialized: concurrent checkpoints queue and stretch runtime.
+  double io_bandwidth = 1.0;
+  /// Window for the recent-fault-rate state feature, seconds.
+  double feature_window = 4.0 * 3600.0;
+  /// Seed for the failure stream ("sim-fault" derived stream).
+  std::uint64_t seed = 0;
+  /// Heterogeneous failure processes; empty = one group of the whole
+  /// machine at `mtbf`.
+  std::vector<FaultNodeGroup> groups;
+
+  [[nodiscard]] bool failures_active() const noexcept;
+  [[nodiscard]] bool checkpoints_active() const noexcept {
+    return ckpt_interval > 0.0 && ckpt_seconds_per_node > 0.0 &&
+           io_bandwidth > 0.0;
+  }
+  /// Anything at all to simulate?  When false the simulator takes the
+  /// exact legacy code path.
+  [[nodiscard]] bool enabled() const noexcept {
+    return failures_active() || checkpoints_active();
+  }
+
+  friend bool operator==(const FaultConfig&, const FaultConfig&) = default;
+};
+
+/// Cumulative fault accounting (one episode, or merged across a run).
+struct FaultStats {
+  std::uint64_t node_failures = 0;  ///< Failure events (incl. absorbed).
+  std::uint64_t job_kills = 0;      ///< Jobs killed by a node failure.
+  std::uint64_t requeues = 0;       ///< Kills that re-entered the queue.
+  std::uint64_t checkpoints = 0;    ///< Completed checkpoint writes.
+  double wasted_node_seconds = 0.0;  ///< Lost (non-durable) work.
+
+  void merge(const FaultStats& other) noexcept;
+
+  friend bool operator==(const FaultStats&, const FaultStats&) = default;
+};
+
+/// Cross-episode fault scenario: the configuration plus cumulative
+/// counters.  Serialized into the checkpoint container (section "FALT")
+/// so crash-resume under faults reports identical totals.
+struct FaultScenario {
+  FaultConfig config;
+  FaultStats stats;
+};
+
+}  // namespace dras::sim

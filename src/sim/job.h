@@ -47,6 +47,12 @@ struct Job {
   Time end_time = kUnsetTime;
   ExecMode mode = ExecMode::None;
 
+  // --- Fault-model bookkeeping (sim/fault.h; untouched when fault-free) ---
+  std::int64_t incarnation = 0;  ///< Bumped on each kill; stale events ignored.
+  int requeues = 0;              ///< Times killed and re-entered the queue.
+  Time progress_saved = 0.0;     ///< Compute-seconds durably checkpointed.
+  double wasted_node_seconds = 0.0;  ///< Lost work across kills.
+
   /// Runtime the simulator will charge: the actual runtime capped at the
   /// estimate (jobs exceeding their request are killed, §II-A).
   [[nodiscard]] Time effective_runtime() const noexcept {

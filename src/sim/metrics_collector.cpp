@@ -23,6 +23,8 @@ void MetricsCollector::record_completion(const Job& job) {
   rec.start = job.start_time;
   rec.end = job.end_time;
   rec.mode = job.mode;
+  rec.requeues = job.requeues;
+  rec.wasted_node_seconds = job.wasted_node_seconds;
   records_.push_back(rec);
 }
 
@@ -36,6 +38,7 @@ void MetricsCollector::clear() {
   used_node_seconds_ = 0.0;
   elapsed_node_seconds_ = 0.0;
   records_.clear();
+  faults_ = FaultStats{};
 }
 
 }  // namespace dras::sim

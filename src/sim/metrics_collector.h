@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/fault.h"
 #include "sim/job.h"
 
 namespace dras::sim {
@@ -19,9 +20,11 @@ struct JobRecord {
   int size = 0;
   int priority = 0;
   Time submit = 0.0;
-  Time start = 0.0;
+  Time start = 0.0;  ///< Start of the completing incarnation.
   Time end = 0.0;
   ExecMode mode = ExecMode::None;
+  int requeues = 0;  ///< Fault kills survived before completing.
+  double wasted_node_seconds = 0.0;  ///< Lost work across those kills.
 
   [[nodiscard]] Time wait() const noexcept { return start - submit; }
   [[nodiscard]] Time response() const noexcept { return end - submit; }
@@ -56,6 +59,18 @@ class MetricsCollector {
   /// Ratio of useful node-hours to elapsed node-hours (§IV-E).
   [[nodiscard]] double utilization() const noexcept;
 
+  // --- Fault accounting (sim/fault.h) ---
+  void record_failure() noexcept { ++faults_.node_failures; }
+  /// A job was killed by a node failure, losing `wasted_node_seconds`
+  /// of non-checkpointed work.
+  void record_kill(double wasted_node_seconds) noexcept {
+    ++faults_.job_kills;
+    faults_.wasted_node_seconds += wasted_node_seconds;
+  }
+  void record_requeue() noexcept { ++faults_.requeues; }
+  void record_checkpoint() noexcept { ++faults_.checkpoints; }
+  [[nodiscard]] const FaultStats& faults() const noexcept { return faults_; }
+
   void clear();
 
  private:
@@ -63,6 +78,7 @@ class MetricsCollector {
   double used_node_seconds_ = 0.0;
   double elapsed_node_seconds_ = 0.0;
   std::vector<JobRecord> records_;
+  FaultStats faults_;
 };
 
 }  // namespace dras::sim

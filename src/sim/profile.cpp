@@ -16,6 +16,9 @@ AvailabilityProfile::AvailabilityProfile(
     const Time release = std::max(rec.estimated_end, now);
     deltas[release] += rec.size;
   }
+  // Down nodes (sim/fault.h) come back at their repair times.
+  for (const Time repair : cluster.down_until())
+    deltas[std::max(repair, now)] += 1;
   for (const Reservation& r : reservations) {
     const Time start = std::max(r.start, now);
     deltas[start] -= r.size;

@@ -41,6 +41,14 @@ class SchedulingContext {
   /// Longest wait among queued jobs (used by reward Eq. 1's t_max).
   [[nodiscard]] Time max_queued_time() const noexcept;
 
+  // --- Fault observation (sim/fault.h; all zero in fault-free runs) ---
+  /// Fraction of machine nodes currently down for repair.
+  [[nodiscard]] double fraction_down() const noexcept;
+  /// Node failures within the configured feature window, per node.
+  [[nodiscard]] double recent_fault_rate() const noexcept;
+  /// Node-seconds of killed-and-requeued work waiting in the queue.
+  [[nodiscard]] double requeued_backlog() const noexcept;
+
   // --- Actions ---
   /// Start `id` immediately (execution mode Ready unless the job held a
   /// reservation earlier, then Reserved).  Fails if it does not fit or is

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <stdexcept>
 
 #include "obs/metrics.h"
@@ -24,6 +25,10 @@ struct SimMetrics {
   obs::Counter& reservations = reg.counter("sim.reservations");
   obs::Counter& kills = reg.counter("sim.jobs.killed_walltime");
   obs::Counter& runs = reg.counter("sim.runs");
+  obs::Counter& node_failures = reg.counter("sim.node_failures");
+  obs::Counter& fault_kills = reg.counter("sim.jobs.killed_fault");
+  obs::Counter& requeues = reg.counter("sim.jobs.requeued");
+  obs::Counter& checkpoints = reg.counter("sim.checkpoints");
   obs::Histogram& wait_s = reg.histogram(
       "sim.job_wait_s", obs::Histogram::exponential_bounds(1.0, 4.0, 10));
   obs::Histogram& queue_depth = reg.histogram(
@@ -67,6 +72,18 @@ std::size_t SchedulingContext::instance() const noexcept {
 
 Time SchedulingContext::max_queued_time() const noexcept {
   return sim_.queue_.max_queued_time(sim_.now_);
+}
+
+double SchedulingContext::fraction_down() const noexcept {
+  return sim_.fraction_down();
+}
+
+double SchedulingContext::recent_fault_rate() const noexcept {
+  return sim_.recent_fault_rate();
+}
+
+double SchedulingContext::requeued_backlog() const noexcept {
+  return sim_.requeued_backlog();
 }
 
 bool SchedulingContext::start_now(JobId id) {
@@ -230,10 +247,25 @@ void Simulator::start_job(Job& job, ExecMode mode) {
   assert(allocated);
   (void)allocated;
   job.start_time = now_;
-  job.end_time = now_ + job.effective_runtime();
   job.mode = mode;
   ++started_jobs_;
-  events_.push(Event{job.end_time, EventType::JobEnd, job.id});
+  if (!faults_enabled_) {
+    job.end_time = now_ + job.effective_runtime();
+    events_.push(Event{job.end_time, EventType::JobEnd, job.id});
+  } else {
+    // Restarted work leaves the requeued backlog as it starts.
+    if (job.incarnation > 0) {
+      requeued_backlog_ -= static_cast<double>(job.size) *
+                           (job.effective_runtime() - job.progress_saved);
+      if (requeued_backlog_ < 0.0) requeued_backlog_ = 0.0;
+    }
+    JobRun& run = runstate_[job.id];
+    run = JobRun{};
+    run.segment_start = now_;
+    run.progress_at_segment = job.progress_saved;
+    run.initial_progress = job.progress_saved;
+    schedule_next_phase(job, run);
+  }
 
   SimMetrics& m = SimMetrics::get();
   switch (mode) {
@@ -255,14 +287,20 @@ void Simulator::handle_event(const Event& event) {
     case EventType::JobSubmit: {
       Job& job = jobs_[index_.at(event.job)];
       queue_.submit(&job);
+      if (submits_pending_ > 0) --submits_pending_;
       SimMetrics::get().submits.add();
       break;
     }
     case EventType::JobEnd: {
       Job& job = jobs_[index_.at(event.job)];
+      // A kill bumps the incarnation; completion events scheduled for a
+      // dead incarnation are stale and ignored (always 0 == 0 when
+      // fault-free).
+      if (event.aux != job.incarnation) break;
       const auto rec = cluster_.release(job.id);
       assert(rec.has_value());
       (void)rec;
+      runstate_.erase(job.id);
       metrics_.record_completion(job);
       queue_.on_job_finished(job.id);
       last_end_ = std::max(last_end_, job.end_time);
@@ -285,7 +323,209 @@ void Simulator::handle_event(const Event& event) {
     case EventType::ReservationReady:
       // Pure trigger: forces a scheduling instance at the reserved start.
       break;
+    case EventType::NodeFailure:
+      handle_node_failure(event);
+      break;
+    case EventType::NodeRepair:
+      cluster_.repair_node();
+      break;
+    case EventType::CkptStart: {
+      Job& job = jobs_[index_.at(event.job)];
+      if (event.aux != job.incarnation) break;
+      handle_ckpt_start(job);
+      break;
+    }
+    case EventType::CkptDone: {
+      Job& job = jobs_[index_.at(event.job)];
+      if (event.aux != job.incarnation) break;
+      handle_ckpt_done(job);
+      break;
+    }
   }
+}
+
+void Simulator::schedule_next_phase(Job& job, JobRun& run) {
+  const Time total = job.effective_runtime();
+  const Time progress = run.progress_at_segment;
+  Time boundary = total;
+  if (faults_.checkpoints_active()) {
+    // Progress is accumulated as differences of absolute event times, so
+    // a segment that ends on a checkpoint boundary can land a hair below
+    // it (e.g. 799.999999999998 for boundary 800).  Both callers reach
+    // here with any boundary at or within that hair already banked, so a
+    // relative tolerance of 1e-6 intervals snaps to the NEXT boundary —
+    // without it the job re-checkpoints the same boundary forever,
+    // advancing by one float ulp per write.
+    const double k =
+        std::floor(progress / faults_.ckpt_interval + 1e-6) + 1.0;
+    boundary = k * faults_.ckpt_interval;
+  }
+  if (boundary >= total) {
+    job.end_time = now_ + std::max(0.0, total - progress);
+    events_.push(
+        Event{job.end_time, EventType::JobEnd, job.id, job.incarnation});
+  } else {
+    events_.push(Event{now_ + (boundary - progress), EventType::CkptStart,
+                       job.id, job.incarnation});
+  }
+}
+
+void Simulator::handle_ckpt_start(Job& job) {
+  JobRun& run = runstate_.at(job.id);
+  // Compute reached the checkpoint boundary; I/O now queues on the
+  // shared channel, during which no compute progress is made.
+  run.progress_at_segment += now_ - run.segment_start;
+  run.segment_start = now_;
+  run.in_ckpt = true;
+  run.pending_saved = run.progress_at_segment;
+  const double duration = static_cast<double>(job.size) *
+                          faults_.ckpt_seconds_per_node /
+                          faults_.io_bandwidth;
+  const Time io_start = std::max(now_, io_busy_until_);
+  io_busy_until_ = io_start + duration;
+  events_.push(
+      Event{io_busy_until_, EventType::CkptDone, job.id, job.incarnation});
+  if (tracer_ != nullptr) {
+    tracer_->instant("ckpt_start", now_,
+                     {obs::targ("job", job.id),
+                      obs::targ("io_wait_s", io_start - now_),
+                      obs::targ("io_s", duration)});
+  }
+}
+
+void Simulator::handle_ckpt_done(Job& job) {
+  JobRun& run = runstate_.at(job.id);
+  run.in_ckpt = false;
+  job.progress_saved = run.pending_saved;
+  run.segment_start = now_;
+  metrics_.record_checkpoint();
+  SimMetrics::get().checkpoints.add();
+  schedule_next_phase(job, run);
+}
+
+void Simulator::schedule_group_failure(std::size_t group) {
+  if (!job_progress_possible()) return;  // nothing left to disturb
+  const FaultNodeGroup& g = fault_groups_[group];
+  const double rate = static_cast<double>(g.nodes) / g.mtbf;
+  const Time when = now_ + fault_rng_.exponential(rate);
+  events_.push(Event{when, EventType::NodeFailure, kInvalidJob,
+                     static_cast<std::int64_t>(group)});
+}
+
+void Simulator::handle_node_failure(const Event& event) {
+  // Constant-rate chain: drawing the group's next failure first keeps
+  // the stream independent of what this failure does below.
+  schedule_group_failure(static_cast<std::size_t>(event.aux));
+  metrics_.record_failure();
+  SimMetrics::get().node_failures.add();
+  recent_failures_.push_back(now_);
+  // Trim entries that fell out of the feature window.
+  const Time horizon = now_ - faults_.feature_window;
+  std::size_t stale = 0;
+  while (stale < recent_failures_.size() && recent_failures_[stale] < horizon)
+    ++stale;
+  if (stale > 0)
+    recent_failures_.erase(recent_failures_.begin(),
+                           recent_failures_.begin() + stale);
+
+  // The struck node is uniform over the (interchangeable) machine:
+  // [0, down) already-down nodes absorb the hit, [down, down+free) free
+  // nodes go down quietly, the rest kill the owning job.
+  const int down = cluster_.down_nodes();
+  const int free = cluster_.free_nodes();
+  const int victim = static_cast<int>(fault_rng_.uniform_index(
+      static_cast<std::uint64_t>(cluster_.total_nodes())));
+  if (victim < down) return;
+  if (victim >= down + free) {
+    auto running = cluster_.running_jobs();
+    std::sort(running.begin(), running.end(),
+              [](const RunningJob& a, const RunningJob& b) {
+                return a.id < b.id;
+              });
+    int cursor = down + free;
+    Job* owner = nullptr;
+    for (const RunningJob& rec : running) {
+      if (victim < cursor + rec.size) {
+        owner = &jobs_[index_.at(rec.id)];
+        break;
+      }
+      cursor += rec.size;
+    }
+    assert(owner != nullptr);
+    kill_running_job(*owner);
+  }
+  cluster_.fail_free_node(now_ + faults_.repair_time);
+  events_.push(Event{now_ + faults_.repair_time, EventType::NodeRepair,
+                     kInvalidJob, 0});
+  if (tracer_ != nullptr) {
+    tracer_->instant("node_failure", now_,
+                     {obs::targ("down_nodes", cluster_.down_nodes())});
+  }
+}
+
+void Simulator::kill_running_job(Job& job) {
+  const auto rec = cluster_.release(job.id);
+  assert(rec.has_value());
+  (void)rec;
+  const JobRun run = runstate_.at(job.id);
+  runstate_.erase(job.id);
+  // Everything this incarnation computed beyond its last durable
+  // checkpoint is lost; the wall time it occupied nodes minus the
+  // durable progress it banked is the waste.
+  const double durable_gain = job.progress_saved - run.initial_progress;
+  const double waste =
+      static_cast<double>(job.size) *
+      std::max(0.0, (now_ - job.start_time) - durable_gain);
+  job.wasted_node_seconds += waste;
+  job.incarnation += 1;
+  job.start_time = kUnsetTime;
+  job.end_time = kUnsetTime;
+  job.mode = ExecMode::None;
+  metrics_.record_kill(waste);
+  SimMetrics::get().fault_kills.add();
+  if (tracer_ != nullptr) {
+    tracer_->instant("kill_node_failure", now_,
+                     {obs::targ("job", job.id), obs::targ("size", job.size),
+                      obs::targ("wasted_node_s", waste)});
+  }
+  switch (faults_.requeue) {
+    case RequeuePolicy::Resubmit:
+      job.submit_time = now_;
+      [[fallthrough]];
+    case RequeuePolicy::Requeue:
+      ++job.requeues;
+      requeued_backlog_ += static_cast<double>(job.size) *
+                           (job.effective_runtime() - job.progress_saved);
+      metrics_.record_requeue();
+      SimMetrics::get().requeues.add();
+      queue_.submit(&job);
+      break;
+    case RequeuePolicy::Drop:
+      break;  // counted as unfinished at the end of the run
+  }
+}
+
+bool Simulator::job_progress_possible() const noexcept {
+  return submits_pending_ > 0 || cluster_.running_count() > 0 ||
+         queue_.visible_count() > 0;
+}
+
+double Simulator::fraction_down() const noexcept {
+  return static_cast<double>(cluster_.down_nodes()) /
+         static_cast<double>(cluster_.total_nodes());
+}
+
+double Simulator::recent_fault_rate() const noexcept {
+  if (recent_failures_.empty()) return 0.0;
+  const Time horizon = now_ - faults_.feature_window;
+  std::size_t count = 0;
+  for (auto it = recent_failures_.rbegin(); it != recent_failures_.rend();
+       ++it) {
+    if (*it < horizon) break;
+    ++count;
+  }
+  return static_cast<double>(count) /
+         static_cast<double>(cluster_.total_nodes());
 }
 
 void Simulator::reset(const Trace& trace) {
@@ -303,6 +543,10 @@ void Simulator::reset(const Trace& trace) {
     job.start_time = kUnsetTime;
     job.end_time = kUnsetTime;
     job.mode = ExecMode::None;
+    job.incarnation = 0;
+    job.requeues = 0;
+    job.progress_saved = 0.0;
+    job.wasted_node_seconds = 0.0;
     if (!index_.emplace(job.id, i).second)
       throw std::invalid_argument(
           util::format("duplicate job id {} in trace", job.id));
@@ -325,6 +569,28 @@ void Simulator::reset(const Trace& trace) {
   started_jobs_ = 0;
   for (const Job& job : jobs_)
     events_.push(Event{job.submit_time, EventType::JobSubmit, job.id});
+
+  // Fault engine state (all dormant when the config is fault-free).
+  faults_enabled_ = faults_.enabled();
+  runstate_.clear();
+  io_busy_until_ = 0.0;
+  recent_failures_.clear();
+  requeued_backlog_ = 0.0;
+  submits_pending_ = jobs_.size();
+  fault_groups_.clear();
+  if (faults_.failures_active()) {
+    fault_rng_ = util::Rng(util::derive_seed(faults_.seed, "sim-fault"));
+    if (faults_.groups.empty()) {
+      fault_groups_.push_back(
+          FaultNodeGroup{cluster_.total_nodes(), faults_.mtbf});
+    } else {
+      for (const FaultNodeGroup& group : faults_.groups)
+        if (group.nodes > 0 && group.mtbf > 0.0)
+          fault_groups_.push_back(group);
+    }
+    for (std::size_t i = 0; i < fault_groups_.size(); ++i)
+      schedule_group_failure(i);
+  }
 }
 
 SimulationResult Simulator::run(const Trace& trace, Scheduler& policy) {
@@ -339,6 +605,9 @@ SimulationResult Simulator::run(const Trace& trace, Scheduler& policy) {
 
   SchedulingContext ctx(*this);
   while (!events_.empty()) {
+    // Under faults the failure/repair chain can outlive the workload;
+    // once no job can ever make progress again the run is over.
+    if (faults_enabled_ && !job_progress_possible()) break;
     const Time batch_time = events_.top().time;
     metrics_.advance(now_, batch_time, cluster_.used_nodes());
     now_ = batch_time;
@@ -393,6 +662,7 @@ SimulationResult Simulator::run(const Trace& trace, Scheduler& policy) {
   result.utilization = metrics_.utilization();
   result.makespan = last_end_ - first_submit_;
   result.scheduling_instances = instances_;
+  result.faults = metrics_.faults();
   return result;
 }
 

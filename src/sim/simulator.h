@@ -19,12 +19,14 @@
 
 #include "sim/cluster.h"
 #include "sim/event_queue.h"
+#include "sim/fault.h"
 #include "sim/job.h"
 #include "sim/metrics_collector.h"
 #include "sim/profile.h"
 #include "sim/reservation.h"
 #include "sim/scheduler.h"
 #include "sim/wait_queue.h"
+#include "util/rng.h"
 
 namespace dras::obs {
 class EventTracer;
@@ -42,6 +44,7 @@ struct SimulationResult {
   double utilization = 0.0;           ///< §IV-E system-level metric.
   Time makespan = 0.0;                ///< First submit to last completion.
   std::size_t scheduling_instances = 0;
+  FaultStats faults;                  ///< All zero in fault-free runs.
 };
 
 class Simulator {
@@ -59,6 +62,16 @@ class Simulator {
 
   [[nodiscard]] int total_nodes() const noexcept {
     return cluster_.total_nodes();
+  }
+
+  /// Install the failure / checkpoint-I/O scenario for subsequent runs
+  /// (sim/fault.h).  A config with enabled() == false — the default —
+  /// leaves every code path byte-identical to the fault-free simulator.
+  /// The failure stream derives from config.seed, so a given (config,
+  /// trace, policy) triple is reproducible at any parallelism.
+  void set_fault_config(FaultConfig config) { faults_ = std::move(config); }
+  [[nodiscard]] const FaultConfig& fault_config() const noexcept {
+    return faults_;
   }
 
   /// Invoked after every successful start / reserve / backfill action with
@@ -108,6 +121,40 @@ class Simulator {
   void reset(const Trace& trace);
   void notify_observers(const SchedulingContext& ctx, const Job& job);
 
+  // --- Fault engine (active only when faults_.enabled()) ---
+  /// Per-running-job compute/checkpoint phase state.
+  struct JobRun {
+    Time segment_start = 0.0;       ///< Wall time compute last resumed.
+    Time progress_at_segment = 0.0; ///< Compute-seconds done at that point.
+    Time initial_progress = 0.0;    ///< progress_saved when this
+                                    ///< incarnation started.
+    Time pending_saved = 0.0;       ///< Progress a CkptDone will commit.
+    bool in_ckpt = false;           ///< Currently writing a checkpoint.
+  };
+  /// Schedule the next phase boundary (CkptStart or final JobEnd) for a
+  /// job whose compute just (re)started at now_.
+  void schedule_next_phase(Job& job, JobRun& run);
+  /// Push the next failure event of fault group `group` (constant-rate
+  /// exponential chain), unless no job progress is possible any more.
+  void schedule_group_failure(std::size_t group);
+  void handle_node_failure(const Event& event);
+  void handle_ckpt_start(Job& job);
+  void handle_ckpt_done(Job& job);
+  /// Kill `job` (node failure), account the lost work, and apply the
+  /// configured requeue policy.
+  void kill_running_job(Job& job);
+  /// Can any job still make progress?  False once every trace job has
+  /// been submitted and nothing is visible or running — the run-loop
+  /// exit that keeps an infinite failure chain from spinning forever.
+  [[nodiscard]] bool job_progress_possible() const noexcept;
+
+  // --- Fault state-feature accessors (SchedulingContext backing) ---
+  [[nodiscard]] double fraction_down() const noexcept;
+  [[nodiscard]] double recent_fault_rate() const noexcept;
+  [[nodiscard]] double requeued_backlog() const noexcept {
+    return requeued_backlog_;
+  }
+
   Cluster cluster_;
   EventQueue events_;
   WaitQueue queue_;
@@ -124,6 +171,16 @@ class Simulator {
   std::size_t started_jobs_ = 0;
   std::vector<ActionObserver> observers_;
   obs::EventTracer* tracer_ = nullptr;
+
+  FaultConfig faults_;
+  bool faults_enabled_ = false;               // cached per run
+  util::Rng fault_rng_{1};
+  std::vector<FaultNodeGroup> fault_groups_;  // resolved at reset
+  std::unordered_map<JobId, JobRun> runstate_;
+  Time io_busy_until_ = 0.0;     // shared checkpoint channel
+  std::vector<Time> recent_failures_;
+  double requeued_backlog_ = 0.0;  // node-seconds of killed work queued
+  std::size_t submits_pending_ = 0;
 };
 
 }  // namespace dras::sim

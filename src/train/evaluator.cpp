@@ -5,6 +5,7 @@ namespace dras::train {
 Evaluation evaluate(int total_nodes, const sim::Trace& trace,
                     sim::Scheduler& policy, const EvalOptions& options) {
   sim::Simulator simulator(total_nodes, options.reservation_depth);
+  simulator.set_fault_config(options.faults);
   Evaluation evaluation;
   evaluation.method = std::string(policy.name());
   if (options.reward != nullptr) {

@@ -27,6 +27,10 @@ struct EvalOptions {
   /// Simulator reservation depth (how many reservations a policy may hold
   /// concurrently); 1 matches the paper's EASY-style baseline.
   int reservation_depth = 1;
+  /// Failure scenario injected into the simulator (sim/fault.h).  The
+  /// default is disabled, which leaves the simulation bit-identical to a
+  /// fault-free run.
+  sim::FaultConfig faults;
 };
 
 /// Run `policy` on `trace` with a machine of `total_nodes` nodes.  Reward

@@ -134,7 +134,17 @@ EpisodeResult Trainer::run_episode(const Jobset& jobset) {
 
   agent_.set_training(true);
   sim::Simulator simulator(total_nodes_);
-  simulator.run(jobset.trace, agent_);
+  if (options_.faults.enabled()) {
+    // One failure stream per global episode index, matching the rollout
+    // pool's per-slot derivation, so serial and batched collection see
+    // identical failures for the same episode.
+    sim::FaultConfig faults = options_.faults;
+    faults.seed =
+        exec::task_seed(options_.faults.seed, "fault", episodes_done_);
+    simulator.set_fault_config(faults);
+  }
+  const sim::SimulationResult sim_result = simulator.run(jobset.trace, agent_);
+  result.faults = sim_result.faults;
   result.training_reward = agent_.episode_reward();
   result.loss = agent_.last_update_loss();
   result.grad_norm = agent_.last_update_grad_norm();
@@ -223,6 +233,7 @@ std::vector<EpisodeResult> Trainer::run(Curriculum& curriculum,
     state.recovery = run_options.recovery != nullptr
                          ? &run_options.recovery->state()
                          : nullptr;
+    state.faults = run_options.fault_scenario;
     return state;
   };
   const auto save_checkpoint = [this, &run_options, &make_state] {
@@ -372,6 +383,11 @@ std::vector<EpisodeResult> Trainer::run(Curriculum& curriculum,
     }
     for (EpisodeResult& result : batch) {
       curriculum.advance();
+      // Fault statistics commit with the round: a rolled-back round's
+      // failures never land here, and the checkpoint restore above
+      // rewinds the scenario's "FALT" section to match.
+      if (run_options.fault_scenario != nullptr)
+        run_options.fault_scenario->stats.merge(result.faults);
       if (run_options.monitor != nullptr)
         run_options.monitor->record(result.validation_reward);
       // A healthy episode feeds the LR recovery streak (no-op unless a

@@ -20,6 +20,7 @@
 
 #include "core/dras_agent.h"
 #include "metrics/stats.h"
+#include "sim/fault.h"
 #include "train/curriculum.h"
 
 namespace dras::obs {
@@ -56,6 +57,9 @@ struct EpisodeResult {
   double grad_norm = 0.0;     ///< Gradient L2 norm of the last update.
   double epsilon = 0.0;       ///< DQL exploration rate (0 for PG).
   double wall_seconds = 0.0;  ///< Wall-clock cost of the training episode.
+  /// Failure/requeue accounting of the training episode's simulation
+  /// (all zero when TrainerOptions::faults is disabled).
+  sim::FaultStats faults;
 };
 
 struct TrainerOptions {
@@ -72,6 +76,14 @@ struct TrainerOptions {
   /// clone of the agent per trace, so results are bit-identical to the
   /// serial path (see exec::ParallelRunner's determinism contract).
   std::size_t validation_jobs = 1;
+  /// Failure scenario injected into every *training* episode's simulator
+  /// (sim/fault.h).  Episode k derives its own failure stream as
+  /// exec::task_seed(faults.seed, "fault", k) — the same derivation the
+  /// rollout pool uses per slot — so fault runs stay byte-identical at
+  /// any worker count.  Validation always runs fault-free (the learning
+  /// curve measures scheduling quality, not luck with failures).
+  /// Disabled by default.
+  sim::FaultConfig faults;
 };
 
 /// Crash-safety knobs for Trainer::run(Curriculum&, ...).  All pointers
@@ -136,6 +148,16 @@ struct RunOptions {
   /// reads results after the round commits and changes no trained
   /// parameter (see the rollout determinism contract).
   obs::RunRecorder* run = nullptr;
+
+  // --- Failure accounting (sim/fault.h) ---
+
+  /// When set, each committed round's fault statistics (node failures,
+  /// kills, requeues, wasted node-seconds) are merged into
+  /// scenario->stats, and the scenario rides in checkpoints as the
+  /// "FALT" section — so crash-resume keeps cumulative waste accounting
+  /// exact and a rolled-back round's failures are un-counted along with
+  /// its update.  Non-owning.
+  sim::FaultScenario* fault_scenario = nullptr;
 };
 
 class Trainer {

@@ -24,23 +24,23 @@ using testing::tiny_jobsets;
 // ---------------------------------------------------------------------------
 
 // Golden file: the exact container bytes for payload "golden" at the
-// current format version (2).  If this test fails, the on-disk format
+// current format version (3).  If this test fails, the on-disk format
 // changed — bump kFormatVersion and add a migration path; never change
 // the format silently.
 TEST(CheckpointFraming, GoldenContainerBytes) {
   const std::string expected =
       std::string("DRASCKP1") +          // magic
-      std::string("\x02\x00\x00\x00", 4) +  // u32 version 2, little-endian
+      std::string("\x03\x00\x00\x00", 4) +  // u32 version 3, little-endian
       "golden" +                         // payload
-      std::string("\x0e\x28\x2c\x63", 4);   // CRC32, little-endian
+      std::string("\x30\x43\xee\x8c", 4);   // CRC32, little-endian
   EXPECT_EQ(frame_payload("golden"), expected);
   std::uint32_t version = 0;
   EXPECT_EQ(unframe_payload(expected, &version), "golden");
-  EXPECT_EQ(version, 2u);
+  EXPECT_EQ(version, 3u);
 }
 
-// v1 framing (the previous golden bytes) must stay readable: the
-// migration path depends on it.
+// Earlier framings (the previous golden bytes) must stay readable: the
+// migration paths depend on them.
 TEST(CheckpointFraming, StillUnframesVersion1Containers) {
   const std::string v1 =
       std::string("DRASCKP1") +
@@ -50,6 +50,17 @@ TEST(CheckpointFraming, StillUnframesVersion1Containers) {
   std::uint32_t version = 0;
   EXPECT_EQ(unframe_payload(v1, &version), "golden");
   EXPECT_EQ(version, 1u);
+}
+
+TEST(CheckpointFraming, StillUnframesVersion2Containers) {
+  const std::string v2 =
+      std::string("DRASCKP1") +
+      std::string("\x02\x00\x00\x00", 4) +  // u32 version 2
+      "golden" +
+      std::string("\x0e\x28\x2c\x63", 4);   // CRC32 over the v2 header
+  std::uint32_t version = 0;
+  EXPECT_EQ(unframe_payload(v2, &version), "golden");
+  EXPECT_EQ(version, 2u);
 }
 
 TEST(CheckpointFraming, RoundTripsArbitraryPayload) {

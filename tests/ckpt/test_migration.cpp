@@ -18,6 +18,7 @@
 
 #include "ckpt/checkpoint.h"
 #include "ckpt_test_util.h"
+#include "sim/fault.h"
 #include "train/convergence.h"
 #include "train/trainer.h"
 #include "util/fs.h"
@@ -174,6 +175,80 @@ TEST(Migration, V2GuardToggleStaysRestorableBothWays) {
   EXPECT_NO_THROW(decode_checkpoint(with, unguarded.state()));
   EXPECT_EQ(unguarded.trainer.episodes_done(),
             source.trainer.episodes_done());
+}
+
+TEST(Migration, V3RoundTripCarriesFaultScenario) {
+  GoldenHarness source;
+  sim::FaultScenario scenario;
+  scenario.config.mtbf = 86400.0;
+  scenario.config.repair_time = 900.0;
+  scenario.config.requeue = sim::RequeuePolicy::Resubmit;
+  scenario.config.ckpt_interval = 3600.0;
+  scenario.config.io_bandwidth = 2.0;
+  scenario.config.seed = 77;
+  scenario.config.groups = {{8, 43200.0}, {8, 86400.0}};
+  scenario.stats.node_failures = 11;
+  scenario.stats.job_kills = 5;
+  scenario.stats.requeues = 4;
+  scenario.stats.checkpoints = 30;
+  scenario.stats.wasted_node_seconds = 1234.5;
+  auto state = source.state();
+  state.faults = &scenario;
+  const std::string payload = encode_checkpoint(state);
+
+  GoldenHarness target;
+  sim::FaultScenario restored;
+  auto into = target.state();
+  into.faults = &restored;
+  decode_checkpoint(payload, into);
+  EXPECT_EQ(restored.config, scenario.config);
+  EXPECT_EQ(restored.stats, scenario.stats);
+}
+
+TEST(Migration, V3FaultToggleStaysRestorableBothWays) {
+  // Like the --guard toggle above: fault-scenario presence may differ
+  // between save and restore without stranding a checkpoint directory.
+  GoldenHarness source;
+  sim::FaultScenario scenario;
+  scenario.config.mtbf = 86400.0;
+  scenario.stats.node_failures = 3;
+  scenario.stats.wasted_node_seconds = 99.0;
+  auto with_state = source.state();
+  with_state.faults = &scenario;
+  const std::string with = encode_checkpoint(with_state);
+  const std::string without = encode_checkpoint(source.state());
+
+  // Faulty run resuming a fault-free checkpoint: stats reset to zero,
+  // the caller-supplied config (the new CLI flags) is kept.
+  GoldenHarness faulty;
+  sim::FaultScenario sink;
+  sink.config.mtbf = 7200.0;  // caller config, must survive
+  sink.stats.node_failures = 42;  // junk that must not survive
+  sink.stats.wasted_node_seconds = 1.0;
+  auto into_faulty = faulty.state();
+  into_faulty.faults = &sink;
+  decode_checkpoint(without, into_faulty);
+  EXPECT_EQ(sink.stats, sim::FaultStats{});
+  EXPECT_EQ(sink.config.mtbf, 7200.0);
+
+  // Fault-free run resuming a faulty checkpoint: the stored "FALT"
+  // section is decoded and discarded, stream stays aligned.
+  GoldenHarness clean;
+  EXPECT_NO_THROW(decode_checkpoint(with, clean.state()));
+  EXPECT_EQ(clean.trainer.episodes_done(), source.trainer.episodes_done());
+}
+
+TEST(Migration, V1RestoreZeroesSuppliedFaultStats) {
+  GoldenHarness h;
+  sim::FaultScenario scenario;
+  scenario.config.mtbf = 3600.0;  // caller config, must survive
+  scenario.stats.job_kills = 9;   // junk that must not survive
+  auto state = h.state();
+  state.faults = &scenario;
+  read_checkpoint_file(golden_path(), state);
+  EXPECT_EQ(h.trainer.episodes_done(), kGoldenEpisodes);
+  EXPECT_EQ(scenario.stats, sim::FaultStats{});
+  EXPECT_EQ(scenario.config.mtbf, 3600.0);
 }
 
 TEST(Migration, RejectsUnknownFormatVersions) {

@@ -294,5 +294,55 @@ TEST_F(ReportTest, CompareGatesOnStatsMetrics) {
       compare_runs(baseline, make_serve_run("fast", 2000.0), gate).regressed);
 }
 
+TEST_F(ReportTest, FailureMetricsAreFirstClassAndRegressUpward) {
+  const fs::path dir = root_ / "faulty";
+  fs::create_directories(dir);
+  write_file(dir / "run.json",
+             "{\"tool\":\"fig_failure_waste\",\"seed\":13,"
+             "\"config_fingerprint\":\"cafef00d\",\"completed\":true,"
+             "\"stats\":{\"wasted_node_hours\":812.25,\"failures\":42}}");
+  const RunData run = load_run(dir);
+  EXPECT_NEAR(metric_value(run, "wasted_node_hours").value(), 812.25, 1e-9);
+  EXPECT_EQ(metric_value(run, "failures").value(), 42.0);
+  // Destroyed work and failure counts regress upward, like times.
+  EXPECT_TRUE(higher_is_worse("wasted_node_hours"));
+  EXPECT_TRUE(higher_is_worse("failures"));
+  // A run without fault injection simply lacks the stats.
+  const RunData clean = load_run(make_run("clean", ramp(5, 0.1), 1.0));
+  EXPECT_FALSE(metric_value(clean, "wasted_node_hours").has_value());
+  EXPECT_FALSE(metric_value(clean, "failures").has_value());
+}
+
+TEST_F(ReportTest, CompareGatesOnFailureMetrics) {
+  const auto make_fault_run = [&](const std::string& name, double waste) {
+    const fs::path dir = root_ / name;
+    fs::create_directories(dir);
+    write_file(dir / "run.json",
+               util::format("{{\"tool\":\"fig_failure_waste\",\"seed\":13,"
+                            "\"config_fingerprint\":\"cafef00d\","
+                            "\"completed\":true,"
+                            "\"stats\":{{\"wasted_node_hours\":{}}}}}",
+                            waste));
+    return load_run(dir);
+  };
+  const RunData baseline = make_fault_run("base", 800.0);
+  const std::vector<Threshold> gate = {
+      parse_threshold("wasted_node_hours=0.10")};
+
+  // 25% more destroyed work regresses...
+  const CompareResult worse =
+      compare_runs(baseline, make_fault_run("worse", 1000.0), gate);
+  ASSERT_EQ(worse.rows.size(), 1u);
+  EXPECT_TRUE(worse.regressed);
+  EXPECT_NEAR(worse.rows[0].delta, 0.25, 1e-9);
+
+  // ... 5% more is within the allowance, and less waste never regresses.
+  EXPECT_FALSE(
+      compare_runs(baseline, make_fault_run("near", 840.0), gate).regressed);
+  EXPECT_FALSE(
+      compare_runs(baseline, make_fault_run("better", 400.0), gate)
+          .regressed);
+}
+
 }  // namespace
 }  // namespace dras::obs::report

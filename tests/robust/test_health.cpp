@@ -205,6 +205,135 @@ TEST(HealthMonitor, RecentLossRingKeepsNewestInOrder) {
   EXPECT_EQ(monitor.checks_done(), 5u);
 }
 
+// --- Adaptive ceilings (failure-aware guard rails) ---
+
+HealthLimits adaptive_limits(std::size_t warmup = 4) {
+  HealthLimits limits;
+  limits.max_loss = 0.0;       // disabled: adaptive takes over
+  limits.max_grad_norm = 0.0;  // disabled: adaptive takes over
+  limits.adaptive = true;
+  limits.adaptive_warmup = warmup;
+  limits.adaptive_window = 8;
+  return limits;
+}
+
+TEST(HealthMonitorAdaptive, NoCeilingDuringWarmup) {
+  core::DrasAgent agent(tiny_agent_config(core::AgentKind::PG));
+  HealthMonitor monitor(adaptive_limits(4));
+  for (int i = 0; i < 3; ++i) {
+    auto result = clean_result();
+    result.loss = 1e20;  // enormous but finite: nothing to judge it by
+    EXPECT_TRUE(monitor.check(agent, result).ok()) << i;
+  }
+  EXPECT_EQ(monitor.adaptive_loss_ceiling(), 0.0);
+}
+
+TEST(HealthMonitorAdaptive, DerivedCeilingTripsOnOutlier) {
+  core::DrasAgent agent(tiny_agent_config(core::AgentKind::PG));
+  HealthMonitor monitor(adaptive_limits(4));
+  for (int i = 0; i < 4; ++i) {
+    auto result = clean_result();
+    result.loss = 1.0;
+    result.grad_norm = 1.0;
+    ASSERT_TRUE(monitor.check(agent, result).ok()) << i;
+  }
+  // Warmup complete: median 1.0, MAD floored at 0.05 * |median|, so the
+  // derived ceiling is 1.0 + 8 * 0.05 = 1.4 (plus the tie-break epsilon).
+  EXPECT_NEAR(monitor.adaptive_loss_ceiling(), 1.4, 1e-6);
+
+  auto fine = clean_result();
+  fine.loss = 1.3;  // inside the derived band
+  fine.grad_norm = 1.0;
+  EXPECT_TRUE(monitor.check(agent, fine).ok());
+
+  auto spiked = clean_result();
+  spiked.loss = 100.0;
+  spiked.grad_norm = 1.0;
+  const HealthReport report = monitor.check(agent, spiked);
+  EXPECT_EQ(report.fault, HealthFault::LossCeiling);
+  EXPECT_NE(report.detail.find("adaptive"), std::string::npos);
+}
+
+TEST(HealthMonitorAdaptive, SpikeIsJudgedByPriorHistoryOnly) {
+  // The ceiling a spike is checked against must come from the history
+  // BEFORE the spike — otherwise the outlier raises its own bar.
+  core::DrasAgent agent(tiny_agent_config(core::AgentKind::PG));
+  HealthMonitor monitor(adaptive_limits(4));
+  for (int i = 0; i < 4; ++i) {
+    auto result = clean_result();
+    result.loss = 1.0;
+    result.grad_norm = 1.0;
+    ASSERT_TRUE(monitor.check(agent, result).ok());
+  }
+  auto spiked = clean_result();
+  spiked.loss = 1000.0;
+  spiked.grad_norm = 1.0;
+  EXPECT_EQ(monitor.check(agent, spiked).fault, HealthFault::LossCeiling);
+  // The retried episode after a rollback faces the same clean ceiling.
+  auto retry = clean_result();
+  retry.loss = 1.1;
+  retry.grad_norm = 1.0;
+  EXPECT_TRUE(monitor.check(agent, retry).ok());
+}
+
+TEST(HealthMonitorAdaptive, GradNormCeilingDerivesToo) {
+  core::DrasAgent agent(tiny_agent_config(core::AgentKind::PG));
+  HealthMonitor monitor(adaptive_limits(4));
+  for (int i = 0; i < 4; ++i) {
+    auto result = clean_result();
+    result.loss = 1.0;
+    result.grad_norm = 2.0;
+    ASSERT_TRUE(monitor.check(agent, result).ok());
+  }
+  EXPECT_NEAR(monitor.adaptive_grad_ceiling(), 2.0 + 8 * 0.1, 1e-6);
+  auto spiked = clean_result();
+  spiked.loss = 1.0;
+  spiked.grad_norm = 500.0;
+  EXPECT_EQ(monitor.check(agent, spiked).fault,
+            HealthFault::GradNormCeiling);
+}
+
+TEST(HealthMonitorAdaptive, ExplicitStaticLimitWins) {
+  // An explicit --guard-loss keeps its meaning even under --guard-adaptive:
+  // the static ceiling is enforced and no derived one is computed for it.
+  core::DrasAgent agent(tiny_agent_config(core::AgentKind::PG));
+  HealthLimits limits = adaptive_limits(2);
+  limits.max_loss = 50.0;  // static override
+  HealthMonitor monitor(limits);
+  for (int i = 0; i < 4; ++i) {
+    auto result = clean_result();
+    result.loss = 1.0;
+    ASSERT_TRUE(monitor.check(agent, result).ok());
+  }
+  EXPECT_EQ(monitor.adaptive_loss_ceiling(), 0.0);
+  auto high = clean_result();
+  high.loss = 40.0;  // far outside the adaptive band, inside the static
+  EXPECT_TRUE(monitor.check(agent, high).ok());
+  auto over = clean_result();
+  over.loss = 60.0;
+  EXPECT_EQ(monitor.check(agent, over).fault, HealthFault::LossCeiling);
+}
+
+TEST(HealthMonitorAdaptive, NonFiniteObservationsAreNotRecorded) {
+  core::DrasAgent agent(tiny_agent_config(core::AgentKind::PG));
+  HealthMonitor monitor(adaptive_limits(4));
+  for (int i = 0; i < 3; ++i) {
+    auto result = clean_result();
+    result.loss = 1.0;
+    ASSERT_TRUE(monitor.check(agent, result).ok());
+  }
+  auto poisoned = clean_result();
+  poisoned.loss = kNan;
+  EXPECT_EQ(monitor.check(agent, poisoned).fault,
+            HealthFault::NonFiniteLoss);
+  // The NaN must not count toward the warmup.
+  EXPECT_EQ(monitor.adaptive_loss_ceiling(), 0.0);
+  auto fourth = clean_result();
+  fourth.loss = 1.0;
+  EXPECT_TRUE(monitor.check(agent, fourth).ok());
+  EXPECT_GT(monitor.adaptive_loss_ceiling(), 0.0);
+}
+
 TEST(HealthMonitor, FaultNamesAreStable) {
   // The CI drill and diagnostics consumers match on these strings.
   EXPECT_EQ(to_string(HealthFault::None), "none");

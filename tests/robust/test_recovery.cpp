@@ -527,6 +527,141 @@ TEST_F(RecoveryTest, HealthyStreakSurvivesCheckpointRoundTrip) {
   EXPECT_EQ(slice.rollbacks, 1u);
 }
 
+TEST(RollbackScopeNames, RoundTripAndParseErrors) {
+  EXPECT_EQ(to_string(RollbackScope::Full), "full");
+  EXPECT_EQ(to_string(RollbackScope::Params), "params");
+  EXPECT_EQ(parse_rollback_scope("full"), RollbackScope::Full);
+  EXPECT_EQ(parse_rollback_scope("params"), RollbackScope::Params);
+  EXPECT_THROW((void)parse_rollback_scope("agent"), std::invalid_argument);
+}
+
+TEST_F(RecoveryTest, ParamsScopeDrillRecoversAndCompletes) {
+  // The standard loss-spike drill under --rollback-scope params: the
+  // retry discipline (budget, backoff, nonce) is identical to full
+  // scope, only the restore is narrower.
+  Harness h(dir_);
+  HealthMonitor health;
+  RecoveryOptions options = recovery_options();
+  options.scope = RollbackScope::Params;
+  RecoveryPolicy recovery(options, h.manager);
+  train::RunOptions run_options;
+  run_options.checkpoints = &h.manager;
+  run_options.health = &health;
+  run_options.recovery = &recovery;
+  run_options.sabotage = one_shot(ckpt::NumericFault::LossSpike, 1);
+
+  const auto results = h.trainer.run(h.curriculum, run_options);
+
+  EXPECT_EQ(results.size(), kEpisodes);
+  // Params scope does not rewind the episode counter, so the diverged
+  // attempt stays counted: episodes RUN, not episodes committed (the
+  // curriculum cursor below is the committed one).
+  EXPECT_EQ(h.trainer.episodes_done(), kEpisodes + 1);
+  EXPECT_EQ(h.curriculum.position(), kEpisodes);
+  EXPECT_EQ(recovery.attempts(), 1u);
+  EXPECT_EQ(recovery.state().rollbacks, 1u);
+  EXPECT_DOUBLE_EQ(h.agent.optimizer().lr_scale(), 0.5);
+  EXPECT_EQ(h.agent.rng_nonce(), 1u);
+  EXPECT_EQ(h.agent.network().non_finite_parameters(), 0u);
+  EXPECT_FALSE(std::filesystem::exists(dir_ / "diagnostics.json"));
+}
+
+TEST_F(RecoveryTest, ParamsScopeRestoresAgentButNotTrainerAccounting) {
+  // Drive the policy directly with a snapshot that is deliberately
+  // stale: params scope must rewind the agent slice to it while the
+  // trainer / curriculum accounting keeps its live position.
+  Harness h(dir_);
+  RecoveryOptions options = recovery_options();
+  options.scope = RollbackScope::Params;
+  RecoveryPolicy recovery(options, h.manager);
+  ckpt::TrainingState state;
+  state.agent = &h.agent;
+  state.trainer = &h.trainer;
+  state.curriculum = &h.curriculum;
+  state.recovery = &recovery.state();
+  const std::vector<float> snapshot = params_of(h.agent);
+  (void)h.manager.save(state, 0);
+
+  // Train past the snapshot so the live state visibly diverges from it.
+  (void)h.trainer.run(h.curriculum, train::RunOptions{});
+  ASSERT_EQ(h.trainer.episodes_done(), kEpisodes);
+  ASSERT_NE(params_of(h.agent), snapshot);
+
+  HealthReport report;
+  report.fault = HealthFault::LossCeiling;
+  report.detail = "params-scope drill";
+  ASSERT_TRUE(recovery.recover(report, state, nullptr).has_value());
+
+  EXPECT_EQ(params_of(h.agent), snapshot);
+  EXPECT_EQ(h.trainer.episodes_done(), kEpisodes);   // NOT rewound
+  EXPECT_EQ(h.curriculum.position(), kEpisodes);     // NOT rewound
+  EXPECT_DOUBLE_EQ(h.agent.optimizer().lr_scale(), 0.5);
+  EXPECT_EQ(h.agent.rng_nonce(), 1u);
+}
+
+TEST_F(RecoveryTest, ParamsScopeSkipsUnreadableNewestSnapshot) {
+  // restore_params_only mirrors restore_latest()'s degradation
+  // contract: a corrupted newest snapshot degrades to the most recent
+  // readable one instead of killing the rollback.
+  Harness h(dir_);
+  RecoveryOptions options = recovery_options();
+  options.scope = RollbackScope::Params;
+  RecoveryPolicy recovery(options, h.manager);
+  ckpt::TrainingState state;
+  state.agent = &h.agent;
+  state.recovery = &recovery.state();
+  const std::vector<float> old_params = params_of(h.agent);
+  const std::filesystem::path older = h.manager.save(state, 0);
+
+  ckpt::FaultInjector::scale_values(h.agent.network().parameters(), 2.0f);
+  const std::filesystem::path newer = h.manager.save(state, 1);
+  ckpt::FaultInjector::truncate_file(
+      newer, ckpt::FaultInjector::file_size(newer) / 2);
+
+  HealthReport report;
+  report.fault = HealthFault::LossCeiling;
+  const auto restored = recovery.recover(report, state, nullptr);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(*restored, older);
+  EXPECT_EQ(params_of(h.agent), old_params);
+}
+
+TEST_F(RecoveryTest, ParamsScopeGivesUpWhenNoSnapshotIsReadable) {
+  // All checkpoints unreadable -> the policy gives up exactly like full
+  // scope: nullopt plus the diagnostics dump, never a throw to the
+  // caller.
+  Harness h(dir_);
+  RecoveryOptions options = recovery_options();
+  options.scope = RollbackScope::Params;
+  RecoveryPolicy recovery(options, h.manager);
+  ckpt::TrainingState state;
+  state.agent = &h.agent;
+  state.recovery = &recovery.state();
+  const std::filesystem::path only = h.manager.save(state, 0);
+  ckpt::FaultInjector::truncate_file(only, 4);
+
+  HealthReport report;
+  report.fault = HealthFault::LossCeiling;
+  EXPECT_FALSE(recovery.recover(report, state, nullptr).has_value());
+  EXPECT_EQ(recovery.attempts(), 0u);
+  EXPECT_TRUE(std::filesystem::exists(dir_ / "diagnostics.json"));
+}
+
+TEST_F(RecoveryTest, ParamsScopeEmptyDirectoryIsNotRecoverable) {
+  Harness h(dir_);
+  RecoveryOptions options = recovery_options();
+  options.scope = RollbackScope::Params;
+  RecoveryPolicy recovery(options, h.manager);
+  ckpt::TrainingState state;
+  state.agent = &h.agent;
+  state.recovery = &recovery.state();
+
+  HealthReport report;
+  report.fault = HealthFault::LossCeiling;
+  EXPECT_FALSE(recovery.recover(report, state, nullptr).has_value());
+  EXPECT_EQ(recovery.attempts(), 0u);
+}
+
 TEST_F(RecoveryTest, DivergenceExitCodeIsDistinct) {
   // dras_sim maps DivergenceError to this code; it must stay clear of
   // usage errors (2), the crash-drill exit (137) and signal exits.

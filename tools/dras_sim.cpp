@@ -23,6 +23,7 @@
 #include "core/presets.h"
 #include "exec/async_writer.h"
 #include "exec/parallel_evaluator.h"
+#include "exec/parallel_runner.h"
 #include "metrics/report.h"
 #include "nn/serialize.h"
 #include "obs/metrics.h"
@@ -38,6 +39,7 @@
 #include "sched/knapsack_opt.h"
 #include "sched/priority_sched.h"
 #include "sched/random_policy.h"
+#include "sim/fault.h"
 #include "train/convergence.h"
 #include "train/evaluator.h"
 #include "train/trainer.h"
@@ -72,6 +74,29 @@ int usage(const std::string& error = {}) {
       "  --seed S            master seed (default 1)\n"
       "  --load L            arrival-rate multiplier (default 1.0)\n"
       "  --depth D           reservation depth, 1 = EASY (default 1)\n"
+      "  --mtbf S            failure injection: per-node mean time between\n"
+      "                      failures, seconds (default 0 = fault-free).\n"
+      "                      Failures kill the running job on the struck\n"
+      "                      node; --mtbf 0 is byte-identical to the\n"
+      "                      fault-free simulator\n"
+      "  --repair-time S     seconds a failed node stays down (default 1800)\n"
+      "  --requeue-policy P  what happens to a killed job: requeue (back of\n"
+      "                      the queue, original submit time) | resubmit\n"
+      "                      (submit restamped at the kill) | drop (counted\n"
+      "                      unfinished)               (default requeue)\n"
+      "  --ckpt-interval S   application checkpoint every S compute-seconds\n"
+      "                      (default 0 = off); a killed job restarts from\n"
+      "                      its last completed checkpoint\n"
+      "  --ckpt-cost S       checkpoint I/O cost, channel-seconds per\n"
+      "                      allocated node (default 2)\n"
+      "  --io-bandwidth X    shared checkpoint-channel speed multiplier\n"
+      "                      (default 1); concurrent checkpoint writes\n"
+      "                      queue on the channel and stretch runtime\n"
+      "  --failure-features  append the failure-state rows (recent fault\n"
+      "                      rate, nodes down, requeued backlog) to the\n"
+      "                      DRAS agent's state encoding; changes the\n"
+      "                      model/checkpoint fingerprint, so off by\n"
+      "                      default\n"
       "  --exec-jobs N       worker threads for the evaluation grid\n"
       "                      (0 = hardware concurrency; default 1; output\n"
       "                      is identical for every N; --jobs is taken by\n"
@@ -129,6 +154,16 @@ int usage(const std::string& error = {}) {
       "  --guard-loss X      |loss| ceiling (default 1e9; 0 = off)\n"
       "  --guard-grad-norm X gradient-norm ceiling (default off)\n"
       "  --guard-param-norm X parameter-norm ceiling (default 1e9; 0 = off)\n"
+      "  --guard-adaptive    derive the loss/grad-norm ceilings from the\n"
+      "                      run's own history (rolling median + k*MAD)\n"
+      "                      instead of fixed values; an explicit\n"
+      "                      --guard-loss/--guard-grad-norm still wins\n"
+      "  --rollback-scope S  what a divergence rollback restores: full\n"
+      "                      (agent + trainer + curriculum + telemetry,\n"
+      "                      the default) | params (agent slice only;\n"
+      "                      episode accounting keeps its live state —\n"
+      "                      forward progress under expected divergences,\n"
+      "                      e.g. training with heavy fault injection)\n"
       "  --max-rollbacks N   divergence retry budget before giving up\n"
       "                      with exit code 86 + a diagnostics dump\n"
       "                      (default 3)\n"
@@ -171,7 +206,8 @@ int main(int argc, char** argv) {
     const dras::util::Args args(
         argc, argv,
         {"csv", "verbose", "help", "profile", "resume", "swf-strict",
-         "guard", "checkpoint-async"});
+         "guard", "checkpoint-async", "guard-adaptive",
+         "failure-features"});
     if (args.flag("help")) return usage();
     const bool csv_output = args.flag("csv");
     if (args.flag("verbose"))
@@ -260,6 +296,27 @@ int main(int argc, char** argv) {
         exec_jobs_raw <= 0 ? dras::exec::default_concurrency()
                            : static_cast<std::size_t>(exec_jobs_raw);
 
+    // Failure scenario (sim/fault.h).  All-defaults leaves every code
+    // path byte-identical to the fault-free simulator; the seed is
+    // derived from the master seed so --mtbf runs are reproducible
+    // without a separate flag.
+    dras::sim::FaultConfig fault_config;
+    fault_config.mtbf = args.get_double("mtbf", 0.0);
+    fault_config.repair_time = args.get_double("repair-time", 1800.0);
+    if (args.has("requeue-policy"))
+      fault_config.requeue = dras::sim::parse_requeue_policy(
+          args.get("requeue-policy", "requeue"));
+    fault_config.ckpt_interval = args.get_double("ckpt-interval", 0.0);
+    fault_config.ckpt_seconds_per_node = args.get_double("ckpt-cost", 2.0);
+    fault_config.io_bandwidth = args.get_double("io-bandwidth", 1.0);
+    fault_config.seed = dras::util::derive_seed(seed, "sim-fault");
+    const bool faults_enabled = fault_config.enabled();
+    // Cross-episode fault accounting; serialized into checkpoints
+    // ("FALT") only when the scenario is active, so fault-free
+    // checkpoint bytes stay identical to historical ones.
+    dras::sim::FaultScenario fault_scenario;
+    fault_scenario.config = fault_config;
+
     // Workload.
     dras::sim::Trace trace;
     int nodes = setup.preset.nodes;
@@ -314,6 +371,8 @@ int main(int argc, char** argv) {
     const bool guarded = args.flag("guard") || args.has("guard-loss") ||
                          args.has("guard-grad-norm") ||
                          args.has("guard-param-norm") ||
+                         args.flag("guard-adaptive") ||
+                         args.has("rollback-scope") ||
                          args.has("max-rollbacks") ||
                          args.has("lr-backoff") ||
                          args.has("inject-numeric-fault");
@@ -327,6 +386,9 @@ int main(int argc, char** argv) {
     if (args.has("guard-param-norm"))
       health_limits.max_param_norm =
           args.get_double("guard-param-norm", 0.0);
+    health_limits.adaptive = args.flag("guard-adaptive");
+    const auto rollback_scope = dras::robust::parse_rollback_scope(
+        args.get("rollback-scope", "full"));
     const auto max_rollbacks =
         static_cast<std::size_t>(args.get_int("max-rollbacks", 3));
     const double lr_backoff = args.get_double("lr-backoff", 0.5);
@@ -352,12 +414,25 @@ int main(int argc, char** argv) {
       // Worker counts are deliberately excluded — results are
       // byte-identical across --rollout-workers/--exec-jobs, so runs
       // differing only in parallelism stay comparable in dras_report.
-      const std::string canonical = format(
+      std::string canonical = format(
           "policy={};model={};swf={};nodes={};jobs={};seed={};load={};"
           "depth={};train_episodes={};rollout_batch={}",
           policy_name, args.get("model", "theta-mini"), args.get("swf", ""),
           nodes, trace.size(), seed, args.get_double("load", 1.0), depth,
           train_episodes, args.get_int("rollout-batch", 0));
+      if (faults_enabled) {
+        // Appended only when fault injection is on, so fault-free runs
+        // keep their historical fingerprints and stay comparable across
+        // this change.
+        canonical += format(
+            ";mtbf={};repair={};requeue={};ckpt_interval={};ckpt_cost={};"
+            "io_bw={};failure_features={}",
+            fault_config.mtbf, fault_config.repair_time,
+            dras::sim::to_string(fault_config.requeue),
+            fault_config.ckpt_interval, fault_config.ckpt_seconds_per_node,
+            fault_config.io_bandwidth,
+            args.flag("failure-features") ? 1 : 0);
+      }
       char fingerprint[16];
       std::snprintf(fingerprint, sizeof(fingerprint), "%08x",
                     dras::util::crc32(canonical));
@@ -413,11 +488,14 @@ int main(int argc, char** argv) {
 
       dras::train::TrainerOptions options;
       options.validate_each_episode = false;
+      options.faults = fault_config;
       dras::train::Trainer trainer(agent, nodes, {}, options);
 
       dras::train::RunOptions run_options;
       run_options.stop = &dras::util::InterruptGuard::flag();
       run_options.run = run_recorder.get();
+      run_options.fault_scenario =
+          faults_enabled ? &fault_scenario : nullptr;
       std::unique_ptr<dras::rollout::RolloutPool> rollout;
       if (args.has("rollout-workers") || args.has("rollout-batch")) {
         dras::rollout::RolloutOptions rollout_options;
@@ -425,6 +503,7 @@ int main(int argc, char** argv) {
             static_cast<std::size_t>(args.get_int("rollout-workers", 1));
         rollout_options.batch =
             static_cast<std::size_t>(args.get_int("rollout-batch", 0));
+        rollout_options.faults = fault_config;
         rollout =
             std::make_unique<dras::rollout::RolloutPool>(rollout_options);
         run_options.rollout = rollout.get();
@@ -451,6 +530,7 @@ int main(int argc, char** argv) {
           recovery_options.max_rollbacks = max_rollbacks;
           recovery_options.lr_backoff = lr_backoff;
           recovery_options.lr_recover_after = lr_recover_after;
+          recovery_options.scope = rollback_scope;
           recovery_options.diagnostics_path =
               diagnostics_out.empty()
                   ? std::filesystem::path(checkpoint_dir) /
@@ -483,6 +563,7 @@ int main(int argc, char** argv) {
           state.curriculum = &curriculum;
           state.recovery =
               recovery != nullptr ? &recovery->state() : nullptr;
+          state.faults = faults_enabled ? &fault_scenario : nullptr;
           const auto restored = manager->restore_latest(state);
           if (restored) {
             // LR backoff + RNG nonce live outside the agent sections;
@@ -556,6 +637,14 @@ int main(int argc, char** argv) {
         gen.num_jobs = 400;
         gen.seed = dras::util::derive_seed(seed, format("train-{}", e));
         dras::sim::Simulator sim(nodes);
+        if (faults_enabled) {
+          // Same per-episode fault-stream derivation as the Trainer so
+          // decima training faces the failure process DRAS trains under.
+          auto episode_faults = fault_config;
+          episode_faults.seed =
+              dras::exec::task_seed(fault_config.seed, "fault", e);
+          sim.set_fault_config(std::move(episode_faults));
+        }
         (void)sim.run(dras::workload::generate_trace(setup.model, gen),
                       *decima);
       }
@@ -567,6 +656,7 @@ int main(int argc, char** argv) {
                                    : dras::core::AgentKind::DQL,
           seed);
       cfg.total_nodes = nodes;
+      cfg.failure_features = args.flag("failure-features");
       auto agent = std::make_unique<dras::core::DrasAgent>(cfg);
       train_agent(*agent);
       trained_agent = agent.get();
@@ -602,6 +692,7 @@ int main(int argc, char** argv) {
     dras::train::EvalOptions eval_options;
     eval_options.reward = &reward;
     eval_options.reservation_depth = depth;
+    eval_options.faults = fault_config;
     const dras::sim::Trace* traces[] = {&trace};
     dras::sim::Scheduler* policies[] = {owned.get()};
     const auto evaluations = dras::exec::ParallelEvaluator(exec_jobs)
