@@ -1,9 +1,12 @@
 #include "bench_common.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 #include "ckpt/manager.h"
 #include "exec/parallel_evaluator.h"
+#include "exec/parallel_runner.h"
 #include "obs/metrics.h"
 #include "obs/sink.h"
 #include "util/args.h"
@@ -41,7 +44,7 @@ std::string bench_fingerprint(int argc, const char* const* argv) {
 }  // namespace
 
 ObsSession::ObsSession(int argc, const char* const* argv) {
-  const util::Args args(argc, argv, {"profile"});
+  const util::Args args(argc, argv, {"profile", "warm-start-relaxed"});
   profile_ = args.flag("profile");
   metrics_out_ = args.get("metrics-out", "");
   if (args.has("trace-out")) {
@@ -72,6 +75,7 @@ ObsSession::ObsSession(int argc, const char* const* argv) {
   const long long jobs = args.get_int("jobs", 0);
   jobs_ = jobs <= 0 ? exec::default_concurrency()
                     : static_cast<std::size_t>(jobs);
+  seeds_ = static_cast<std::size_t>(std::max(1LL, args.get_int("seeds", 1)));
   rollout_requested_ =
       args.has("rollout-workers") || args.has("rollout-batch");
   rollout_workers_ =
@@ -79,6 +83,7 @@ ObsSession::ObsSession(int argc, const char* const* argv) {
   rollout_batch_ =
       static_cast<std::size_t>(args.get_int("rollout-batch", 0));
   warm_start_ = args.get("warm-start", "");
+  warm_start_relaxed_ = args.flag("warm-start-relaxed");
   save_warm_start_ = args.get("save-warm-start", "");
 }
 
@@ -210,10 +215,11 @@ void train_dras_agent(core::DrasAgent& agent, const Scenario& scenario,
 }
 
 std::optional<std::filesystem::path> load_warm_start(
-    const std::filesystem::path& dir, core::DrasAgent& agent) {
+    const std::filesystem::path& dir, core::DrasAgent& agent,
+    bool relaxed) {
   const auto newest = ckpt::newest_checkpoint(dir / agent.name());
   if (!newest) return std::nullopt;
-  ckpt::load_agent_from_checkpoint(*newest, agent);
+  ckpt::load_agent_from_checkpoint(*newest, agent, relaxed);
   return newest;
 }
 
@@ -292,6 +298,72 @@ void print_preamble(const std::string& experiment, const Scenario& scenario,
       core::to_string(scenario.preset.reward), trace_jobs, scenario.seed);
   std::cout << "# (scaled-down model per DESIGN.md; shapes, not absolute "
                "values, are the reproduction target)\n";
+}
+
+std::vector<SweepCell> seed_sweep_grid(
+    const std::vector<Scenario>& scenarios, std::size_t seeds,
+    std::uint64_t base_trace_seed) {
+  std::vector<SweepCell> grid;
+  grid.reserve(scenarios.size() * std::max<std::size_t>(seeds, 1));
+  for (std::size_t s = 0; s < scenarios.size(); ++s) {
+    for (std::size_t r = 0; r < std::max<std::size_t>(seeds, 1); ++r) {
+      SweepCell cell;
+      cell.scenario_index = s;
+      cell.seed_index = r;
+      cell.scenario = scenarios[s];
+      if (r == 0) {
+        cell.trace_seed = base_trace_seed;
+      } else {
+        // Derive both seeds from the scenario's own: repetitions of
+        // different scenarios never share a stream even at equal r.
+        cell.scenario.seed =
+            exec::task_seed(scenarios[s].seed, "seed-sweep-train", r);
+        cell.trace_seed =
+            exec::task_seed(scenarios[s].seed ^ base_trace_seed,
+                            "seed-sweep-trace", r);
+      }
+      grid.push_back(std::move(cell));
+    }
+  }
+  return grid;
+}
+
+std::vector<MethodBands> evaluation_bands(
+    const std::vector<std::vector<train::Evaluation>>& per_seed) {
+  std::vector<MethodBands> bands;
+  if (per_seed.empty()) return bands;
+  const std::size_t methods = per_seed.front().size();
+  const auto band_of = [&](const auto& metric_of) {
+    MetricBand band;
+    const double n = static_cast<double>(per_seed.size());
+    for (const auto& evaluations : per_seed) band.mean += metric_of(evaluations);
+    band.mean /= n;
+    if (per_seed.size() > 1) {
+      double ss = 0.0;
+      for (const auto& evaluations : per_seed) {
+        const double d = metric_of(evaluations) - band.mean;
+        ss += d * d;
+      }
+      band.stddev = std::sqrt(ss / (n - 1.0));  // sample stddev
+    }
+    return band;
+  };
+  for (std::size_t m = 0; m < methods; ++m) {
+    MethodBands method_bands;
+    method_bands.method = per_seed.front()[m].method;
+    method_bands.avg_wait = band_of(
+        [m](const auto& e) { return e[m].summary.avg_wait; });
+    method_bands.max_wait = band_of(
+        [m](const auto& e) { return e[m].summary.max_wait; });
+    method_bands.avg_slowdown = band_of(
+        [m](const auto& e) { return e[m].summary.avg_slowdown; });
+    method_bands.avg_response = band_of(
+        [m](const auto& e) { return e[m].summary.avg_response; });
+    method_bands.utilization = band_of(
+        [m](const auto& e) { return e[m].summary.utilization; });
+    bands.push_back(std::move(method_bands));
+  }
+  return bands;
 }
 
 }  // namespace dras::benchx

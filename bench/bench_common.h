@@ -100,9 +100,12 @@ void train_dras_agent(core::DrasAgent& agent, const Scenario& scenario,
 /// under `<dir>/<agent-name>`.  Returns the checkpoint used, or nullopt
 /// when the directory holds none.  A checkpoint written with a different
 /// agent configuration is rejected (util::SerializationError) — the
-/// fingerprint guard, see ckpt::load_agent_from_checkpoint.
+/// fingerprint guard, see ckpt::load_agent_from_checkpoint.  With
+/// `relaxed` (--warm-start-relaxed) a same-topology checkpoint from a
+/// different preset loads anyway, with the fingerprint diff logged.
 std::optional<std::filesystem::path> load_warm_start(
-    const std::filesystem::path& dir, core::DrasAgent& agent);
+    const std::filesystem::path& dir, core::DrasAgent& agent,
+    bool relaxed = false);
 
 /// Save an agent-only checkpoint under `<dir>/<agent-name>` for a later
 /// --warm-start.  Returns the path written.
@@ -136,6 +139,48 @@ std::filesystem::path save_warm_start(const std::filesystem::path& dir,
 /// Print the standard bench preamble (config echo, per DESIGN.md §4).
 void print_preamble(const std::string& experiment, const Scenario& scenario,
                     std::size_t trace_jobs);
+
+/// One cell of a (scenario x seed) sweep: a scenario whose training seed
+/// has been re-derived for `seed_index`, plus the matching test-trace
+/// seed.  Cells are independent by construction — each draws its
+/// curriculum and workload from streams derived via exec::task_seed — so
+/// they can run concurrently under ParallelRunner with output identical
+/// to a serial loop.
+struct SweepCell {
+  std::size_t scenario_index = 0;
+  std::size_t seed_index = 0;
+  Scenario scenario;
+  std::uint64_t trace_seed = 0;
+};
+
+/// Build the (scenario x seed) grid, scenario-major.  seed_index 0 keeps
+/// each scenario's original training seed and `base_trace_seed`
+/// unchanged, so the first repetition of a sweep reproduces the
+/// single-seed run bit-for-bit; further repetitions derive decorrelated
+/// seed streams from the scenario seed.
+[[nodiscard]] std::vector<SweepCell> seed_sweep_grid(
+    const std::vector<Scenario>& scenarios, std::size_t seeds,
+    std::uint64_t base_trace_seed);
+
+/// Mean and sample standard deviation of one metric across seeds (the
+/// error bar; stddev is 0 with a single seed).
+struct MetricBand {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+/// Per-method §IV-E metric bands across the seed repetitions of one
+/// scenario.
+struct MethodBands {
+  std::string method;
+  MetricBand avg_wait, max_wait, avg_slowdown, avg_response, utilization;
+};
+
+/// Aggregate one scenario's per-seed evaluation vectors (roster order
+/// must match across seeds — evaluate_all guarantees it) into mean ±
+/// stddev bands per method.
+[[nodiscard]] std::vector<MethodBands> evaluation_bands(
+    const std::vector<std::vector<train::Evaluation>>& per_seed);
 
 /// Shared telemetry + execution plumbing for the bench harnesses.  Parses
 /// `--trace-out FILE`, `--trace-format chrome|jsonl`, `--metrics-out FILE`,
@@ -171,6 +216,12 @@ class ObsSession {
   /// concurrency.
   [[nodiscard]] std::size_t jobs() const noexcept { return jobs_; }
 
+  /// Seed repetitions from --seeds N (default 1).  Benches that support
+  /// sweeps run their (scenario x seed) grid over a ParallelRunner and
+  /// report mean ± stddev error bars; --seeds 1 is the byte-identical
+  /// single-run path.
+  [[nodiscard]] std::size_t seeds() const noexcept { return seeds_; }
+
   /// Data-parallel rollout pool from --rollout-workers/--rollout-batch,
   /// or nullptr when neither flag was given (legacy serial training).
   [[nodiscard]] std::unique_ptr<rollout::RolloutPool> make_rollout_pool()
@@ -180,6 +231,13 @@ class ObsSession {
   /// Feed to load_warm_start() before training learned agents.
   [[nodiscard]] const std::filesystem::path& warm_start() const noexcept {
     return warm_start_;
+  }
+
+  /// --warm-start-relaxed: accept a same-topology checkpoint whose
+  /// config fingerprint differs (cross-preset transfer); the diff is
+  /// logged.  Pass to load_warm_start()'s `relaxed` parameter.
+  [[nodiscard]] bool warm_start_relaxed() const noexcept {
+    return warm_start_relaxed_;
   }
 
   /// Checkpoint directory from --save-warm-start DIR; empty when absent.
@@ -197,10 +255,12 @@ class ObsSession {
   std::string metrics_out_;
   bool profile_ = false;
   std::size_t jobs_ = 1;
+  std::size_t seeds_ = 1;
   bool rollout_requested_ = false;
   std::size_t rollout_workers_ = 1;
   std::size_t rollout_batch_ = 0;
   std::filesystem::path warm_start_;
+  bool warm_start_relaxed_ = false;
   std::filesystem::path save_warm_start_;
 };
 

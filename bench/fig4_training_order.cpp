@@ -71,7 +71,8 @@ int main(int argc, char** argv) {
         dras::core::AgentKind::PG, dras::util::derive_seed(1, "fig4")));
     if (!obs_session.warm_start().empty()) {
       const auto loaded =
-          benchx::load_warm_start(obs_session.warm_start(), agent);
+          benchx::load_warm_start(obs_session.warm_start(), agent,
+                                  obs_session.warm_start_relaxed());
       std::cout << format("# warm start [{}]: {}\n", ordering.name,
                           loaded ? loaded->string() : "no checkpoint found");
     }

@@ -75,7 +75,8 @@ int main(int argc, char** argv) {
   if (!obs_session.warm_start().empty()) {
     for (auto* agent : {&methods.dras_pg(), &methods.dras_dql()}) {
       const auto loaded =
-          benchx::load_warm_start(obs_session.warm_start(), *agent);
+          benchx::load_warm_start(obs_session.warm_start(), *agent,
+                                  obs_session.warm_start_relaxed());
       std::cout << format("# warm start [{}]: {}\n", agent->name(),
                           loaded ? loaded->string() : "no checkpoint found");
     }

@@ -6,9 +6,18 @@
 // methods).  Paper signature: DRAS agents have the largest area; FCFS
 // wins max-wait but loses average wait; BinPacking/Random are worst
 // overall.
+//
+// With --seeds N (N > 1) the whole (scenario x seed) grid — each cell a
+// full train-and-evaluate with its own derived curriculum and test-trace
+// seeds — runs concurrently over exec::ParallelRunner and the tables
+// carry mean ± stddev error bars across the repetitions.  --seeds 1 is
+// the original single-run path, byte-identical to before the sweep
+// existed.
 #include <iostream>
+#include <vector>
 
 #include "bench_common.h"
+#include "exec/parallel_runner.h"
 #include "metrics/kiviat.h"
 #include "metrics/report.h"
 #include "util/format.h"
@@ -79,11 +88,94 @@ void run_scenario(const dras::benchx::Scenario& scenario,
   std::cout << "\n";
 }
 
+constexpr std::size_t kSweepTrainEpisodes = 30;
+constexpr std::size_t kSweepTrainJobs = 500;
+constexpr std::size_t kSweepTestJobs = 1200;
+constexpr std::uint64_t kTestTraceSeed = 616161;
+
+/// Multi-seed path: the full (scenario x seed) grid over a
+/// ParallelRunner, then per-scenario mean ± stddev tables.
+void run_sweep(const std::vector<dras::benchx::Scenario>& scenarios,
+               std::size_t seeds, std::size_t jobs) {
+  using dras::util::format;
+  const auto grid =
+      dras::benchx::seed_sweep_grid(scenarios, seeds, kTestTraceSeed);
+  dras::exec::ParallelRunner runner(jobs);
+  // Each cell trains its own MethodSet and evaluates serially inside;
+  // the runner owns all the parallelism, so a cell's results cannot
+  // depend on how many others run beside it.
+  const auto cell_results = runner.map(
+      grid.size(),
+      [&](std::size_t i) {
+        const auto& cell = grid[i];
+        dras::benchx::MethodSet methods(cell.scenario);
+        methods.train_agents(cell.scenario, kSweepTrainEpisodes,
+                             kSweepTrainJobs);
+        const auto trace =
+            cell.scenario.trace(kSweepTestJobs, cell.trace_seed);
+        return dras::benchx::evaluate_all(methods, cell.scenario, trace,
+                                          /*jobs=*/1);
+      },
+      "fig6-sweep");
+
+  for (std::size_t s = 0; s < scenarios.size(); ++s) {
+    dras::benchx::print_preamble(
+        format("Fig. 6 ({}): overall performance, {} seeds",
+               scenarios[s].preset.name, seeds),
+        scenarios[s], kSweepTestJobs);
+    std::vector<std::vector<dras::train::Evaluation>> per_seed;
+    for (std::size_t i = 0; i < grid.size(); ++i)
+      if (grid[i].scenario_index == s) per_seed.push_back(cell_results[i]);
+    const auto bands = dras::benchx::evaluation_bands(per_seed);
+
+    std::cout << format(
+        "csv:scenario,method,seeds,avg_wait_s,avg_wait_std,max_wait_s,"
+        "max_wait_std,avg_slowdown,avg_slowdown_std,avg_response_s,"
+        "avg_response_std,utilization,utilization_std\n");
+    std::vector<std::vector<std::string>> table;
+    for (const auto& band : bands) {
+      table.push_back(
+          {band.method,
+           format("{:.0f} ± {:.0f}", band.avg_wait.mean,
+                  band.avg_wait.stddev),
+           format("{:.0f} ± {:.0f}", band.max_wait.mean,
+                  band.max_wait.stddev),
+           format("{:.2f} ± {:.2f}", band.avg_slowdown.mean,
+                  band.avg_slowdown.stddev),
+           format("{:.0f} ± {:.0f}", band.avg_response.mean,
+                  band.avg_response.stddev),
+           format("{:.3f} ± {:.3f}", band.utilization.mean,
+                  band.utilization.stddev)});
+      std::cout << format(
+          "csv:{},{},{},{:.1f},{:.1f},{:.1f},{:.1f},{:.3f},{:.3f},{:.1f},"
+          "{:.1f},{:.4f},{:.4f}\n",
+          scenarios[s].preset.name, band.method, seeds, band.avg_wait.mean,
+          band.avg_wait.stddev, band.max_wait.mean, band.max_wait.stddev,
+          band.avg_slowdown.mean, band.avg_slowdown.stddev,
+          band.avg_response.mean, band.avg_response.stddev,
+          band.utilization.mean, band.utilization.stddev);
+    }
+    dras::metrics::print_table(
+        std::cout,
+        {"method", "avg wait (s)", "max wait (s)", "avg slowdown",
+         "avg response (s)", "utilization"},
+        table);
+    std::cout << "\n";
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const dras::benchx::ObsSession obs_session(argc, argv);
-  run_scenario(dras::benchx::Scenario::theta_mini(6), obs_session.jobs());
-  run_scenario(dras::benchx::Scenario::cori_mini(6), obs_session.jobs());
+  const std::vector<dras::benchx::Scenario> scenarios = {
+      dras::benchx::Scenario::theta_mini(6),
+      dras::benchx::Scenario::cori_mini(6)};
+  if (obs_session.seeds() > 1) {
+    run_sweep(scenarios, obs_session.seeds(), obs_session.jobs());
+    return 0;
+  }
+  for (const auto& scenario : scenarios)
+    run_scenario(scenario, obs_session.jobs());
   return 0;
 }

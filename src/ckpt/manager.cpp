@@ -184,7 +184,7 @@ std::optional<std::filesystem::path> read_latest_pointer(
 }
 
 void load_agent_from_checkpoint(const std::filesystem::path& path,
-                                core::DrasAgent& agent) {
+                                core::DrasAgent& agent, bool relaxed) {
   std::string bytes;
   try {
     bytes = util::read_file(path);
@@ -197,7 +197,7 @@ void load_agent_from_checkpoint(const std::filesystem::path& path,
   // "AGNT" leads the payload in every format version; the sections after
   // it (trainer cursor, telemetry, recovery, ...) are deliberately left
   // unread — a warm start adopts the parameters, not the run.
-  agent.load_state(in);
+  agent.load_state(in, relaxed);
   util::log_info("warm start: loaded agent from {}", path.string());
 }
 

@@ -123,7 +123,11 @@ class CheckpointManager {
 /// fingerprint still guards the load — a checkpoint written with a
 /// different topology, seed or hyper-parameters is rejected with
 /// util::SerializationError.  Framing defects throw CheckpointError.
+/// With `relaxed` the fingerprint mismatch is logged instead (see
+/// core::DrasAgent::load_state) so same-topology parameters transfer
+/// across presets; a real topology mismatch still throws.
 void load_agent_from_checkpoint(const std::filesystem::path& path,
-                                core::DrasAgent& agent);
+                                core::DrasAgent& agent,
+                                bool relaxed = false);
 
 }  // namespace dras::ckpt

@@ -1,12 +1,14 @@
 #include "core/dras_agent.h"
 
 #include <cassert>
+#include <cstdio>
 #include <cstring>
 #include <stdexcept>
 
 #include "core/window.h"
 #include "util/binio.h"
 #include "util/format.h"
+#include "util/logging.h"
 
 namespace dras::core {
 
@@ -164,7 +166,7 @@ void DrasAgent::save_state(util::BinaryWriter& out) const {
   }
 }
 
-void DrasAgent::load_state(util::BinaryReader& in) {
+void DrasAgent::load_state(util::BinaryReader& in, bool relaxed) {
   in.section("AGNT", 1);
   const std::uint8_t kind = in.u8();
   if (kind != (config_.kind == AgentKind::PG ? 0 : 1))
@@ -172,10 +174,33 @@ void DrasAgent::load_state(util::BinaryReader& in) {
         "checkpoint holds a {} agent, this agent is {}",
         kind == 0 ? "DRAS-PG" : "DRAS-DQL", name_));
   const std::uint64_t fingerprint = in.u64();
-  if (fingerprint != config_fingerprint(config_))
-    throw util::SerializationError(
-        "checkpoint was written with a different agent configuration "
-        "(topology, seed or hyper-parameters); refusing to restore");
+  if (fingerprint != config_fingerprint(config_)) {
+    if (!relaxed)
+      throw util::SerializationError(
+          "checkpoint was written with a different agent configuration "
+          "(topology, seed or hyper-parameters); refusing to restore "
+          "(pass the relaxed/--warm-start-relaxed path to transfer "
+          "same-topology parameters across presets)");
+    // Relaxed transfer: the checkpoint stores only the digest, so the
+    // diff we can log is the hash pair plus this agent's structural
+    // summary — enough to audit what the transfer target looked like.
+    // Anything structurally incompatible still fails below, where the
+    // parameter tensors carry their own shape checks.
+    char stored_hex[17];
+    char local_hex[17];
+    std::snprintf(stored_hex, sizeof(stored_hex), "%016llx",
+                  static_cast<unsigned long long>(fingerprint));
+    std::snprintf(local_hex, sizeof(local_hex), "%016llx",
+                  static_cast<unsigned long long>(
+                      config_fingerprint(config_)));
+    util::log_warn(
+        "relaxed warm start: checkpoint fingerprint {} != local {}; "
+        "adopting parameters into local config (kind={} nodes={} "
+        "window={} fc1={} fc2={} time_scale={} reward={} seed={})",
+        stored_hex, local_hex, name_, config_.total_nodes, config_.window,
+        config_.fc1, config_.fc2, config_.time_scale,
+        to_string(config_.reward_kind), config_.seed);
+  }
   if (pg_) pg_->load_state(in);
   if (dql_) dql_->load_state(in);
   std::array<std::uint64_t, 4> rng_state;

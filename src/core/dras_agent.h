@@ -121,8 +121,13 @@ class DrasAgent final : public sim::Scheduler {
   /// throws util::SerializationError when the checkpoint was written by
   /// an agent with a different configuration (kind, topology, seed or
   /// hyper-parameters) — restoring it would silently change the run.
+  /// With `relaxed` a fingerprint mismatch is logged (stored vs local
+  /// hash plus the local structural summary) and the load proceeds —
+  /// cross-preset transfer for same-topology agents; the parameter
+  /// shape checks below still reject a genuinely different topology,
+  /// and a kind mismatch (PG vs DQL) always throws.
   void save_state(util::BinaryWriter& out) const;
-  void load_state(util::BinaryReader& in);
+  void load_state(util::BinaryReader& in, bool relaxed = false);
 
   [[nodiscard]] const DrasConfig& config() const noexcept { return config_; }
   [[nodiscard]] nn::Network& network();

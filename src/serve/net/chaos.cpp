@@ -1,0 +1,209 @@
+#include "serve/net/chaos.h"
+
+#include <string>
+#include <utility>
+
+#include "util/format.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace dras::serve::net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr std::chrono::milliseconds kPollTick{20};
+constexpr std::chrono::milliseconds kForwardBudget{2000};
+
+}  // namespace
+
+struct ChaosProxy::Connection {
+  util::Socket client;
+  util::Socket upstream;
+  std::uint64_t id = 0;
+  std::thread to_upstream;
+  std::thread to_client;
+  std::atomic<bool> dead{false};
+
+  void kill() {
+    dead.store(true, std::memory_order_relaxed);
+    client.shutdown();
+    upstream.shutdown();
+  }
+};
+
+ChaosProxy::ChaosProxy(util::SocketAddress listen_address,
+                       util::SocketAddress upstream_address,
+                       ChaosConfig config)
+    : listen_address_(std::move(listen_address)),
+      upstream_address_(std::move(upstream_address)),
+      config_(config) {}
+
+ChaosProxy::~ChaosProxy() { stop(); }
+
+void ChaosProxy::start() {
+  if (started_.exchange(true)) return;
+  listener_ = util::Listener::bind_and_listen(listen_address_);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  util::log_info("chaos: proxy {} -> {} (drop={} corrupt={} delay={} "
+                 "truncate={} reorder={} kill={} seed={})",
+                 listener_.local_address().describe(),
+                 upstream_address_.describe(), config_.drop, config_.corrupt,
+                 config_.delay, config_.truncate, config_.reorder,
+                 config_.kill, config_.seed);
+}
+
+void ChaosProxy::stop() {
+  if (!started_.load() || stopping_.exchange(true)) return;
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.close();
+  std::vector<std::unique_ptr<Connection>> connections;
+  {
+    std::lock_guard lock(connections_mutex_);
+    connections.swap(connections_);
+  }
+  for (auto& connection : connections) {
+    connection->kill();
+  }
+  for (auto& connection : connections) {
+    if (connection->to_upstream.joinable()) connection->to_upstream.join();
+    if (connection->to_client.joinable()) connection->to_client.join();
+  }
+}
+
+util::SocketAddress ChaosProxy::bound_address() const {
+  return listener_.local_address();
+}
+
+ChaosProxy::Stats ChaosProxy::stats() const {
+  Stats stats;
+  stats.connections = connections_count_.load();
+  stats.forwarded_chunks = forwarded_chunks_.load();
+  stats.forwarded_bytes = forwarded_bytes_.load();
+  stats.dropped = dropped_.load();
+  stats.corrupted = corrupted_.load();
+  stats.delayed = delayed_.load();
+  stats.truncated = truncated_.load();
+  stats.reordered = reordered_.load();
+  stats.killed = killed_.load();
+  return stats;
+}
+
+void ChaosProxy::accept_loop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    std::optional<util::Socket> accepted;
+    try {
+      accepted = listener_.accept(kPollTick);
+    } catch (const util::SocketError&) {
+      if (stopping_.load()) break;
+      continue;
+    }
+    if (!accepted) continue;
+
+    util::Socket upstream;
+    try {
+      upstream = util::connect_socket(upstream_address_,
+                                      std::chrono::milliseconds(500));
+    } catch (const util::SocketError& error) {
+      // Upstream down (e.g. the kill+restart drill): drop the client,
+      // it will retry and reconnect.
+      util::log_debug("chaos: upstream connect failed: {}", error.what());
+      accepted->close();
+      continue;
+    }
+
+    connections_count_.fetch_add(1, std::memory_order_relaxed);
+    auto connection = std::make_unique<Connection>();
+    connection->client = std::move(*accepted);
+    connection->upstream = std::move(upstream);
+    connection->id = next_connection_id_++;
+    Connection* raw = connection.get();
+    connection->to_upstream = std::thread([this, raw] { pump(*raw, true); });
+    connection->to_client = std::thread([this, raw] { pump(*raw, false); });
+
+    std::lock_guard lock(connections_mutex_);
+    // Reap finished connections so a long chaos run does not accumulate
+    // dead threads.
+    for (auto it = connections_.begin(); it != connections_.end();) {
+      if ((*it)->dead.load(std::memory_order_relaxed)) {
+        if ((*it)->to_upstream.joinable()) (*it)->to_upstream.join();
+        if ((*it)->to_client.joinable()) (*it)->to_client.join();
+        it = connections_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    connections_.push_back(std::move(connection));
+  }
+}
+
+void ChaosProxy::pump(Connection& connection, bool client_to_server) {
+  util::Socket& from = client_to_server ? connection.client
+                                        : connection.upstream;
+  util::Socket& to = client_to_server ? connection.upstream
+                                      : connection.client;
+  util::Rng rng(util::derive_seed(
+      config_.seed, util::format("chaos-{}-{}", connection.id,
+                                 client_to_server ? "c2s" : "s2c")));
+  std::string held;  // reordered chunk waiting for its successor
+  char buffer[2048];
+
+  auto forward = [&](std::string_view chunk) {
+    to.send_all(chunk, Clock::now() + kForwardBudget);
+    forwarded_chunks_.fetch_add(1, std::memory_order_relaxed);
+    forwarded_bytes_.fetch_add(chunk.size(), std::memory_order_relaxed);
+  };
+
+  try {
+    while (!stopping_.load(std::memory_order_relaxed) &&
+           !connection.dead.load(std::memory_order_relaxed)) {
+      std::size_t n = 0;
+      try {
+        n = from.recv_some(buffer, sizeof(buffer), Clock::now() + kPollTick);
+      } catch (const util::SocketTimeout&) {
+        continue;
+      }
+      if (n == 0) break;  // side closed: tear the pipe down
+      std::string chunk(buffer, n);
+
+      if (config_.kill > 0 && rng.bernoulli(config_.kill)) {
+        killed_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+      if (config_.drop > 0 && rng.bernoulli(config_.drop)) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      if (config_.truncate > 0 && rng.bernoulli(config_.truncate)) {
+        truncated_.fetch_add(1, std::memory_order_relaxed);
+        forward(std::string_view(chunk).substr(0, chunk.size() / 2));
+        break;  // mid-frame EOF at the receiver
+      }
+      if (config_.corrupt > 0 && rng.bernoulli(config_.corrupt)) {
+        corrupted_.fetch_add(1, std::memory_order_relaxed);
+        const std::size_t at = rng.uniform_index(chunk.size());
+        chunk[at] = static_cast<char>(chunk[at] ^ 0x5A);
+      }
+      if (config_.delay > 0 && rng.bernoulli(config_.delay)) {
+        delayed_.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::sleep_for(config_.delay_for);
+      }
+      if (config_.reorder > 0 && held.empty() &&
+          rng.bernoulli(config_.reorder)) {
+        reordered_.fetch_add(1, std::memory_order_relaxed);
+        held = std::move(chunk);
+        continue;  // forwarded after the NEXT chunk
+      }
+      forward(chunk);
+      if (!held.empty()) {
+        forward(held);
+        held.clear();
+      }
+    }
+  } catch (const util::SocketError&) {
+    // Either side vanished mid-forward; normal under chaos.
+  }
+  connection.kill();  // mirror the teardown to the other pump
+}
+
+}  // namespace dras::serve::net

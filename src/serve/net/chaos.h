@@ -1,0 +1,114 @@
+// ChaosProxy: a byte-level fault injector between DecisionClient and
+// DecisionServer — PR 8's fault-injection discipline applied to the
+// serving transport.
+//
+// The proxy accepts connections, opens a matching upstream connection,
+// and pumps bytes both ways.  Per forwarded chunk it draws faults from
+// a deterministic per-connection-per-direction RNG stream
+// (derive_seed(seed, "chaos-<conn>-<dir>")), so a chaos run replays
+// exactly under the same seed:
+//
+//   drop      chunk silently discarded (client sees a stall -> timeout)
+//   delay     chunk forwarded after `delay` (latency spike)
+//   corrupt   one byte flipped (client/server detect via frame CRC)
+//   truncate  half the chunk forwarded, then the connection is killed
+//             (mid-frame EOF)
+//   reorder   chunk held and sent after the next one (stream desync ->
+//             CRC/magic errors at the receiver)
+//   kill      connection killed outright mid-request
+//
+// The proxy never parses frames: every fault lands on raw bytes, which
+// is exactly the adversary the CRC framing claims to survive.  With all
+// probabilities zero the proxy is a transparent byte pipe (the
+// `--chaos off` acceptance path).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/socket.h"
+
+namespace dras::serve::net {
+
+struct ChaosConfig {
+  double drop = 0.0;      ///< P(discard chunk).
+  double corrupt = 0.0;   ///< P(flip one byte).
+  double delay = 0.0;     ///< P(sleep `delay_for` before forwarding).
+  double truncate = 0.0;  ///< P(forward half chunk, then kill).
+  double reorder = 0.0;   ///< P(hold chunk until after the next one).
+  double kill = 0.0;      ///< P(kill the connection outright).
+  std::chrono::milliseconds delay_for{20};
+  std::uint64_t seed = 1;
+
+  [[nodiscard]] bool any() const noexcept {
+    return drop > 0 || corrupt > 0 || delay > 0 || truncate > 0 ||
+           reorder > 0 || kill > 0;
+  }
+};
+
+class ChaosProxy {
+ public:
+  ChaosProxy(util::SocketAddress listen_address,
+             util::SocketAddress upstream_address, ChaosConfig config);
+  ~ChaosProxy();
+
+  ChaosProxy(const ChaosProxy&) = delete;
+  ChaosProxy& operator=(const ChaosProxy&) = delete;
+
+  /// Bind + launch the accept loop.  Throws util::SocketError on bind
+  /// failure.
+  void start();
+  /// Kill every pumped connection and join.  Idempotent.
+  void stop();
+
+  [[nodiscard]] util::SocketAddress bound_address() const;
+
+  struct Stats {
+    std::uint64_t connections = 0;
+    std::uint64_t forwarded_chunks = 0;
+    std::uint64_t forwarded_bytes = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t corrupted = 0;
+    std::uint64_t delayed = 0;
+    std::uint64_t truncated = 0;
+    std::uint64_t reordered = 0;
+    std::uint64_t killed = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct Connection;
+
+  void accept_loop();
+  void pump(Connection& connection, bool client_to_server);
+
+  util::SocketAddress listen_address_;
+  util::SocketAddress upstream_address_;
+  ChaosConfig config_;
+
+  util::Listener listener_;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> started_{false};
+  std::uint64_t next_connection_id_ = 0;
+
+  std::mutex connections_mutex_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+
+  std::atomic<std::uint64_t> connections_count_{0};
+  std::atomic<std::uint64_t> forwarded_chunks_{0};
+  std::atomic<std::uint64_t> forwarded_bytes_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> corrupted_{0};
+  std::atomic<std::uint64_t> delayed_{0};
+  std::atomic<std::uint64_t> truncated_{0};
+  std::atomic<std::uint64_t> reordered_{0};
+  std::atomic<std::uint64_t> killed_{0};
+};
+
+}  // namespace dras::serve::net

@@ -1,0 +1,320 @@
+#include "serve/net/server.h"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "util/format.h"
+#include "util/logging.h"
+
+namespace dras::serve::net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct ServerMetrics {
+  obs::Counter& connections;
+  obs::Counter& connections_shed;
+  obs::Counter& requests_ok;
+  obs::Counter& requests_shed;
+  obs::Counter& requests_bad;
+  obs::Counter& requests_deadline;
+  obs::Counter& frame_errors;
+  obs::Gauge& active_connections;
+  obs::HdrHistogram& request_us;
+
+  static ServerMetrics& get() {
+    static ServerMetrics metrics = [] {
+      auto& registry = obs::Registry::global();
+      return ServerMetrics{
+          registry.counter("serve.net.server.connections"),
+          registry.counter("serve.net.server.connections_shed"),
+          registry.counter("serve.net.server.requests_ok"),
+          registry.counter("serve.net.server.requests_shed"),
+          registry.counter("serve.net.server.requests_bad"),
+          registry.counter("serve.net.server.requests_deadline"),
+          registry.counter("serve.net.server.frame_errors"),
+          registry.gauge("serve.net.server.active_connections"),
+          registry.hdr("serve.net.server.request_us"),
+      };
+    }();
+    return metrics;
+  }
+};
+
+double micros_since(Clock::time_point start) noexcept {
+  return std::chrono::duration<double, std::micro>(Clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+DecisionServer::DecisionServer(ServerOptions options, DecisionService& service)
+    : options_(std::move(options)), service_(service) {
+  if (options_.io_workers == 0) options_.io_workers = 1;
+  if (options_.max_connections == 0)
+    options_.max_connections = options_.io_workers;
+}
+
+DecisionServer::~DecisionServer() { stop(); }
+
+void DecisionServer::start() {
+  if (started_.exchange(true)) return;
+  listener_ = util::Listener::bind_and_listen(options_.address);
+  // Queue capacity covers every admissible connection so a handler task
+  // is never rejected by the pool itself.
+  pool_ = std::make_unique<exec::ThreadPool>(exec::ThreadPool::Options{
+      options_.io_workers, options_.max_connections + 1});
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  util::log_info("serve.net: listening on {}",
+                 listener_.local_address().describe());
+}
+
+void DecisionServer::stop() {
+  if (!started_.load() || stopping_.exchange(true)) {
+    if (accept_thread_.joinable()) accept_thread_.join();
+    return;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.close();
+  pool_.reset();  // drains queued handlers (they observe stopping_), joins
+  util::log_info("serve.net: server drained and stopped");
+}
+
+util::SocketAddress DecisionServer::bound_address() const {
+  return listener_.local_address();
+}
+
+DecisionServer::Stats DecisionServer::stats() const {
+  Stats stats;
+  stats.connections_accepted = connections_accepted_.load();
+  stats.connections_shed = connections_shed_.load();
+  stats.connections_closed = connections_closed_.load();
+  stats.requests_ok = requests_ok_.load();
+  stats.requests_shed = requests_shed_.load();
+  stats.requests_unavailable = requests_unavailable_.load();
+  stats.requests_deadline = requests_deadline_.load();
+  stats.requests_bad = requests_bad_.load();
+  stats.frame_errors = frame_errors_.load();
+  return stats;
+}
+
+void DecisionServer::accept_loop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    std::optional<util::Socket> accepted;
+    try {
+      accepted = listener_.accept(options_.poll_tick);
+    } catch (const util::SocketError& error) {
+      if (stopping_.load()) break;
+      util::log_warn("serve.net: accept failed: {}", error.what());
+      continue;
+    }
+    if (!accepted) continue;
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    ServerMetrics::get().connections.add();
+
+    if (active_connections_.load(std::memory_order_relaxed) >=
+        options_.max_connections) {
+      // All handler workers are occupied: an accepted-but-unread
+      // connection would just time out client-side.  Shed explicitly.
+      connections_shed_.fetch_add(1, std::memory_order_relaxed);
+      ServerMetrics::get().connections_shed.add();
+      try {
+        accepted->send_all(
+            encode_goodbye(Status::Overloaded, "server at connection limit"),
+            Clock::now() + options_.poll_tick);
+      } catch (const util::SocketError&) {
+        // Best effort; the close below is the real signal.
+      }
+      accepted->close();
+      continue;
+    }
+
+    active_connections_.fetch_add(1, std::memory_order_relaxed);
+    ServerMetrics::get().active_connections.add(1.0);
+    auto shared = std::make_shared<util::Socket>(std::move(*accepted));
+    try {
+      (void)pool_->submit(
+          [this, shared]() mutable { handle_connection(std::move(*shared)); },
+          "serve.net.connection");
+    } catch (const std::exception&) {
+      // Pool already shutting down: drop the connection.
+      active_connections_.fetch_sub(1, std::memory_order_relaxed);
+      ServerMetrics::get().active_connections.add(-1.0);
+    }
+  }
+}
+
+void DecisionServer::handle_connection(util::Socket socket) {
+  FrameDecoder decoder;
+  char buffer[4096];
+  try {
+    // Greet with the wire version and current model version so the
+    // client can log skew before sending anything.
+    auto snapshot = service_.current_snapshot();
+    HelloMsg hello;
+    hello.model_version = snapshot ? snapshot->version() : 0;
+    socket.send_all(encode_hello(hello),
+                    Clock::now() + options_.request_deadline);
+
+    while (!stopping_.load(std::memory_order_relaxed)) {
+      std::size_t n = 0;
+      try {
+        n = socket.recv_some(buffer, sizeof(buffer),
+                             Clock::now() + options_.poll_tick);
+      } catch (const util::SocketTimeout&) {
+        continue;  // idle tick: re-check the stop flag
+      }
+      if (n == 0) {
+        // Peer closed.  A partial frame left behind is a truncation.
+        decoder.on_eof();
+        break;
+      }
+      decoder.feed(std::string_view(buffer, n));
+      std::optional<Frame> frame;
+      while ((frame = decoder.next())) {
+        handle_frame(socket, *frame);
+      }
+    }
+    if (stopping_.load(std::memory_order_relaxed)) {
+      try {
+        socket.send_all(encode_goodbye(Status::ShuttingDown, "server drain"),
+                        Clock::now() + options_.poll_tick);
+      } catch (const util::SocketError&) {
+      }
+    }
+  } catch (const WireError& error) {
+    // Stream-level fault: this connection's byte stream is unusable, so
+    // close it — but ONLY it.  Other connections are untouched.
+    frame_errors_.fetch_add(1, std::memory_order_relaxed);
+    ServerMetrics::get().frame_errors.add();
+    util::log_warn("serve.net: closing connection after frame error [{}]: {}",
+                   to_string(error.reason()), error.what());
+    try {
+      socket.send_all(encode_goodbye(Status::BadRequest, error.what()),
+                      Clock::now() + options_.poll_tick);
+    } catch (const util::SocketError&) {
+    }
+  } catch (const util::SocketError&) {
+    // Peer vanished (reset / mid-write close).  Normal under chaos.
+  } catch (const std::exception& error) {
+    util::log_warn("serve.net: connection handler error: {}", error.what());
+  }
+  socket.close();
+  connections_closed_.fetch_add(1, std::memory_order_relaxed);
+  active_connections_.fetch_sub(1, std::memory_order_relaxed);
+  ServerMetrics::get().active_connections.add(-1.0);
+}
+
+void DecisionServer::handle_frame(util::Socket& socket, const Frame& frame) {
+  switch (frame.type) {
+    case FrameType::Ping:
+      socket.send_all(encode_pong(decode_ping(frame)),
+                      Clock::now() + options_.request_deadline);
+      return;
+    case FrameType::Pong:
+    case FrameType::Hello:
+    case FrameType::Goodbye:
+      return;  // tolerated no-ops from a client
+    case FrameType::Response:
+      // A client must not send responses; treat as a protocol breach.
+      throw WireError(WireError::Reason::BadType,
+                      "client sent a Response frame");
+    case FrameType::Request:
+      break;
+  }
+
+  const auto started = Clock::now();
+  RequestMsg msg;
+  try {
+    msg = decode_request(frame);
+  } catch (const WireError& error) {
+    // Framing was intact (CRC passed) but the body is malformed: fail
+    // exactly this request when we can still correlate it.
+    if (auto id = salvage_request_id(frame)) {
+      requests_bad_.fetch_add(1, std::memory_order_relaxed);
+      ServerMetrics::get().requests_bad.add();
+      ResponseMsg response;
+      response.request_id = *id;
+      response.status = Status::BadRequest;
+      response.message = error.what();
+      respond(socket, response);
+      return;
+    }
+    throw;  // not even an id to answer: connection-level fault
+  }
+
+  ResponseMsg response;
+  response.request_id = msg.request_id;
+
+  if (stopping_.load(std::memory_order_relaxed)) {
+    response.status = Status::ShuttingDown;
+    response.message = "server draining";
+    respond(socket, response);
+    return;
+  }
+  if (service_.current_snapshot() == nullptr) {
+    requests_unavailable_.fetch_add(1, std::memory_order_relaxed);
+    response.status = Status::Unavailable;
+    response.message = "no model installed";
+    respond(socket, response);
+    return;
+  }
+  if (inflight_requests_.fetch_add(1, std::memory_order_relaxed) >=
+      options_.admission_capacity) {
+    inflight_requests_.fetch_sub(1, std::memory_order_relaxed);
+    requests_shed_.fetch_add(1, std::memory_order_relaxed);
+    ServerMetrics::get().requests_shed.add();
+    response.status = Status::Overloaded;
+    response.message = "admission queue full";
+    respond(socket, response);
+    return;
+  }
+
+  try {
+    std::future<Decision> future = service_.submit(std::move(msg.request));
+    if (future.wait_until(started + options_.request_deadline) !=
+        std::future_status::ready) {
+      // Abandon the future (the service will still complete it; the
+      // shared state keeps it alive) and tell the client to retry.
+      inflight_requests_.fetch_sub(1, std::memory_order_relaxed);
+      requests_deadline_.fetch_add(1, std::memory_order_relaxed);
+      ServerMetrics::get().requests_deadline.add();
+      response.status = Status::DeadlineExceeded;
+      response.message = "server deadline exceeded";
+      respond(socket, response);
+      return;
+    }
+    Decision decision = future.get();
+    inflight_requests_.fetch_sub(1, std::memory_order_relaxed);
+    response.status = Status::Ok;
+    response.model_version = decision.model_version;
+    response.job_index = decision.job_index;
+    response.batch_size = decision.batch_size;
+    response.server_latency_us = decision.latency_us;
+    requests_ok_.fetch_add(1, std::memory_order_relaxed);
+    ServerMetrics::get().requests_ok.add();
+    ServerMetrics::get().request_us.observe(micros_since(started));
+  } catch (const std::invalid_argument& error) {
+    // DecisionService validation: deterministic per-request failure.
+    inflight_requests_.fetch_sub(1, std::memory_order_relaxed);
+    requests_bad_.fetch_add(1, std::memory_order_relaxed);
+    ServerMetrics::get().requests_bad.add();
+    response.status = Status::BadRequest;
+    response.message = error.what();
+  } catch (const std::exception& error) {
+    inflight_requests_.fetch_sub(1, std::memory_order_relaxed);
+    response.status = stopping_.load() ? Status::ShuttingDown
+                                       : Status::InternalError;
+    response.message = error.what();
+  }
+  respond(socket, response);
+}
+
+void DecisionServer::respond(util::Socket& socket, const ResponseMsg& msg) {
+  socket.send_all(encode_response(msg),
+                  Clock::now() + options_.request_deadline);
+}
+
+}  // namespace dras::serve::net

@@ -1,0 +1,123 @@
+// DecisionServer: the accept loop that puts a serve::DecisionService on
+// a socket (Unix domain or localhost TCP — see util::SocketAddress).
+//
+// Failure-domain contract, in decreasing blast radius:
+//   * Process: never.  No client input can crash or wedge the server.
+//   * Connection: a stream-level framing fault (bad magic, CRC mismatch,
+//     version skew, truncation) means the byte stream has lost sync —
+//     the server sends a best-effort Goodbye and closes THAT connection;
+//     every other connection keeps serving.
+//   * Request: a Request frame that passes framing but fails payload
+//     decoding or DecisionService validation fails exactly that request
+//     with a correlated BadRequest response; the connection keeps going
+//     (PR 7's per-request containment, extended over the wire).
+//
+// Overload: connections beyond `max_connections` are turned away with a
+// Goodbye{Overloaded} at accept; requests beyond `admission_capacity`
+// in-flight decisions are shed with Response{Overloaded}.  Both are
+// explicit signals the client's retry/backoff logic understands, never
+// silent queue growth.
+//
+// Shutdown: stop() is drain-then-close — the listener closes first (no
+// new connections), each connection handler finishes the request it is
+// executing, answers ShuttingDown to anything newly read, and exits.
+// Wiring stop() to util::InterruptGuard gives SIGINT/SIGTERM graceful
+// drain (tools/dras_serve --listen does exactly that).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <thread>
+
+#include "exec/thread_pool.h"
+#include "serve/decision_service.h"
+#include "serve/net/wire.h"
+#include "util/socket.h"
+
+namespace dras::serve::net {
+
+struct ServerOptions {
+  util::SocketAddress address;
+  /// Connection-handler threads; one handler occupies one worker for
+  /// the connection's lifetime.
+  std::size_t io_workers = 4;
+  /// Concurrent connections before accept-time shedding.
+  /// 0 = io_workers (a connection beyond that could not be read anyway).
+  std::size_t max_connections = 0;
+  /// In-flight decision requests before request-level shedding.
+  std::size_t admission_capacity = 256;
+  /// Server-side wall budget per request (submit → decision).
+  std::chrono::milliseconds request_deadline{2000};
+  /// Poll tick for accept/read loops — the stop-flag reaction latency.
+  std::chrono::milliseconds poll_tick{20};
+};
+
+class DecisionServer {
+ public:
+  /// `service` must outlive the server.
+  DecisionServer(ServerOptions options, DecisionService& service);
+  ~DecisionServer();
+
+  DecisionServer(const DecisionServer&) = delete;
+  DecisionServer& operator=(const DecisionServer&) = delete;
+
+  /// Bind, listen and launch the accept loop.  Throws util::SocketError
+  /// when the address cannot be bound.
+  void start();
+
+  /// Drain-then-close: stop accepting, let in-flight requests finish,
+  /// join everything.  Idempotent; the destructor calls it.
+  void stop();
+
+  /// The listening address (TCP port 0 resolved to the real port).
+  [[nodiscard]] util::SocketAddress bound_address() const;
+
+  struct Stats {
+    std::uint64_t connections_accepted = 0;
+    std::uint64_t connections_shed = 0;    ///< Goodbye{Overloaded} at accept.
+    std::uint64_t connections_closed = 0;  ///< Handler exits (any reason).
+    std::uint64_t requests_ok = 0;
+    std::uint64_t requests_shed = 0;        ///< Response{Overloaded}.
+    std::uint64_t requests_unavailable = 0; ///< No model installed.
+    std::uint64_t requests_deadline = 0;    ///< Response{DeadlineExceeded}.
+    std::uint64_t requests_bad = 0;         ///< Response{BadRequest}.
+    std::uint64_t frame_errors = 0;         ///< Stream-level WireErrors.
+  };
+  [[nodiscard]] Stats stats() const;
+
+  [[nodiscard]] std::size_t active_connections() const noexcept {
+    return active_connections_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void accept_loop();
+  void handle_connection(util::Socket socket);
+  void handle_frame(util::Socket& socket, const Frame& frame);
+  void respond(util::Socket& socket, const ResponseMsg& msg);
+
+  ServerOptions options_;
+  DecisionService& service_;
+
+  util::Listener listener_;
+  std::thread accept_thread_;
+  std::unique_ptr<exec::ThreadPool> pool_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> started_{false};
+
+  std::atomic<std::size_t> active_connections_{0};
+  std::atomic<std::size_t> inflight_requests_{0};
+
+  std::atomic<std::uint64_t> connections_accepted_{0};
+  std::atomic<std::uint64_t> connections_shed_{0};
+  std::atomic<std::uint64_t> connections_closed_{0};
+  std::atomic<std::uint64_t> requests_ok_{0};
+  std::atomic<std::uint64_t> requests_shed_{0};
+  std::atomic<std::uint64_t> requests_unavailable_{0};
+  std::atomic<std::uint64_t> requests_deadline_{0};
+  std::atomic<std::uint64_t> requests_bad_{0};
+  std::atomic<std::uint64_t> frame_errors_{0};
+};
+
+}  // namespace dras::serve::net

@@ -1,0 +1,284 @@
+#include "serve/net/wire.h"
+
+#include <cstring>
+
+namespace dras::serve::net {
+namespace {
+
+bool known_frame_type(std::uint8_t type) {
+  return type >= static_cast<std::uint8_t>(FrameType::Hello) &&
+         type <= static_cast<std::uint8_t>(FrameType::Goodbye);
+}
+
+/// Map a BinaryReader over-read inside a payload decoder to BadPayload.
+template <typename Fn>
+auto decode_payload(const Frame& frame, std::string_view what, Fn&& fn) {
+  try {
+    util::BinaryReader reader(frame.payload);
+    auto result = fn(reader);
+    reader.expect_exhausted();
+    return result;
+  } catch (const WireError&) {
+    throw;
+  } catch (const util::SerializationError& error) {
+    throw WireError(WireError::Reason::BadPayload,
+                    std::string(what) + " payload malformed: " + error.what());
+  }
+}
+
+}  // namespace
+
+std::string_view to_string(WireError::Reason reason) noexcept {
+  switch (reason) {
+    case WireError::Reason::BadMagic: return "bad-magic";
+    case WireError::Reason::VersionSkew: return "version-skew";
+    case WireError::Reason::BadType: return "bad-type";
+    case WireError::Reason::Oversized: return "oversized";
+    case WireError::Reason::CrcMismatch: return "crc-mismatch";
+    case WireError::Reason::Truncated: return "truncated";
+    case WireError::Reason::BadPayload: return "bad-payload";
+  }
+  return "unknown";
+}
+
+std::string encode_frame(FrameType type, std::string_view payload) {
+  if (payload.size() > kMaxFramePayload) {
+    throw WireError(WireError::Reason::Oversized,
+                    "frame payload too large: " +
+                        std::to_string(payload.size()) + " > " +
+                        std::to_string(kMaxFramePayload));
+  }
+  util::BinaryWriter writer;
+  writer.u32(kFrameMagic);
+  writer.u8(kWireVersion);
+  writer.u8(static_cast<std::uint8_t>(type));
+  writer.u8(0);  // reserved
+  writer.u8(0);  // reserved
+  writer.u32(static_cast<std::uint32_t>(payload.size()));
+  writer.u32(util::crc32(payload));
+  std::string frame = writer.take();
+  frame.append(payload.data(), payload.size());
+  return frame;
+}
+
+void FrameDecoder::feed(std::string_view bytes) {
+  // Compact lazily: drop consumed prefix once it dominates the buffer so
+  // a long-lived connection does not grow its buffer without bound.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(bytes.data(), bytes.size());
+}
+
+std::optional<Frame> FrameDecoder::next() {
+  const std::string_view view =
+      std::string_view(buffer_).substr(consumed_);
+  if (view.size() < kFrameHeaderSize) return std::nullopt;
+
+  util::BinaryReader header(view.substr(0, kFrameHeaderSize));
+  const std::uint32_t magic = header.u32();
+  if (magic != kFrameMagic) {
+    throw WireError(WireError::Reason::BadMagic,
+                    "frame magic mismatch (stream desynced or not DRNF)");
+  }
+  const std::uint8_t version = header.u8();
+  if (version != kWireVersion) {
+    throw WireError(WireError::Reason::VersionSkew,
+                    "peer wire version " + std::to_string(version) +
+                        ", expected " + std::to_string(kWireVersion));
+  }
+  const std::uint8_t type = header.u8();
+  if (!known_frame_type(type)) {
+    throw WireError(WireError::Reason::BadType,
+                    "unknown frame type " + std::to_string(type));
+  }
+  (void)header.u8();  // reserved
+  (void)header.u8();  // reserved
+  const std::uint32_t length = header.u32();
+  if (length > kMaxFramePayload) {
+    throw WireError(WireError::Reason::Oversized,
+                    "declared payload length " + std::to_string(length) +
+                        " exceeds cap " + std::to_string(kMaxFramePayload));
+  }
+  const std::uint32_t crc = header.u32();
+
+  if (view.size() < kFrameHeaderSize + length) return std::nullopt;
+
+  Frame frame;
+  frame.type = static_cast<FrameType>(type);
+  frame.payload.assign(view.data() + kFrameHeaderSize, length);
+  if (util::crc32(frame.payload) != crc) {
+    throw WireError(WireError::Reason::CrcMismatch,
+                    "payload CRC mismatch on " + std::to_string(length) +
+                        "-byte frame");
+  }
+  consumed_ += kFrameHeaderSize + length;
+  ++frames_decoded_;
+  return frame;
+}
+
+void FrameDecoder::on_eof() const {
+  if (pending() > 0) {
+    throw WireError(WireError::Reason::Truncated,
+                    "connection closed mid-frame with " +
+                        std::to_string(pending()) + " bytes buffered");
+  }
+}
+
+void FrameDecoder::reset() {
+  buffer_.clear();
+  consumed_ = 0;
+}
+
+bool status_retryable(Status status) noexcept {
+  switch (status) {
+    case Status::Overloaded:
+    case Status::Unavailable:
+    case Status::DeadlineExceeded:
+    case Status::ShuttingDown:
+      return true;
+    case Status::Ok:
+    case Status::BadRequest:
+    case Status::InternalError:
+      return false;
+  }
+  return false;
+}
+
+std::string_view to_string(Status status) noexcept {
+  switch (status) {
+    case Status::Ok: return "ok";
+    case Status::Overloaded: return "overloaded";
+    case Status::BadRequest: return "bad-request";
+    case Status::Unavailable: return "unavailable";
+    case Status::DeadlineExceeded: return "deadline-exceeded";
+    case Status::ShuttingDown: return "shutting-down";
+    case Status::InternalError: return "internal-error";
+  }
+  return "unknown";
+}
+
+std::string encode_hello(const HelloMsg& msg) {
+  util::BinaryWriter writer;
+  writer.u8(msg.wire_version);
+  writer.u64(msg.model_version);
+  return encode_frame(FrameType::Hello, writer.buffer());
+}
+
+std::string encode_request(const RequestMsg& msg) {
+  util::BinaryWriter writer;
+  writer.u64(msg.request_id);
+  writer.u64(msg.request.valid);
+  writer.f32_span(msg.request.state);
+  return encode_frame(FrameType::Request, writer.buffer());
+}
+
+std::string encode_response(const ResponseMsg& msg) {
+  util::BinaryWriter writer;
+  writer.u64(msg.request_id);
+  writer.u8(static_cast<std::uint8_t>(msg.status));
+  writer.u64(msg.model_version);
+  writer.u64(msg.job_index);
+  writer.u32(msg.batch_size);
+  writer.f64(msg.server_latency_us);
+  writer.str(msg.message);
+  return encode_frame(FrameType::Response, writer.buffer());
+}
+
+std::string encode_ping(std::uint64_t nonce) {
+  util::BinaryWriter writer;
+  writer.u64(nonce);
+  return encode_frame(FrameType::Ping, writer.buffer());
+}
+
+std::string encode_pong(std::uint64_t nonce) {
+  util::BinaryWriter writer;
+  writer.u64(nonce);
+  return encode_frame(FrameType::Pong, writer.buffer());
+}
+
+std::string encode_goodbye(Status status, std::string_view message) {
+  util::BinaryWriter writer;
+  writer.u64(0);  // no request correlation for connection-level notices
+  writer.u8(static_cast<std::uint8_t>(status));
+  writer.u64(0);
+  writer.u64(0);
+  writer.u32(0);
+  writer.f64(0.0);
+  writer.str(message);
+  return encode_frame(FrameType::Goodbye, writer.buffer());
+}
+
+namespace {
+
+ResponseMsg decode_response_body(util::BinaryReader& reader,
+                                 std::string_view what) {
+  ResponseMsg msg;
+  msg.request_id = reader.u64();
+  const std::uint8_t status = reader.u8();
+  if (status > static_cast<std::uint8_t>(Status::InternalError)) {
+    throw WireError(WireError::Reason::BadPayload,
+                    std::string(what) + " carries unknown status " +
+                        std::to_string(status));
+  }
+  msg.status = static_cast<Status>(status);
+  msg.model_version = reader.u64();
+  msg.job_index = reader.u64();
+  msg.batch_size = reader.u32();
+  msg.server_latency_us = reader.f64();
+  msg.message = reader.str();
+  return msg;
+}
+
+}  // namespace
+
+HelloMsg decode_hello(const Frame& frame) {
+  return decode_payload(frame, "hello", [](util::BinaryReader& reader) {
+    HelloMsg msg;
+    msg.wire_version = reader.u8();
+    msg.model_version = reader.u64();
+    return msg;
+  });
+}
+
+RequestMsg decode_request(const Frame& frame) {
+  return decode_payload(frame, "request", [](util::BinaryReader& reader) {
+    RequestMsg msg;
+    msg.request_id = reader.u64();
+    msg.request.valid = reader.u64();
+    msg.request.state = reader.f32_vector();
+    return msg;
+  });
+}
+
+ResponseMsg decode_response(const Frame& frame) {
+  return decode_payload(frame, "response", [](util::BinaryReader& reader) {
+    return decode_response_body(reader, "response");
+  });
+}
+
+std::uint64_t decode_ping(const Frame& frame) {
+  return decode_payload(frame, "ping",
+                        [](util::BinaryReader& reader) { return reader.u64(); });
+}
+
+std::uint64_t decode_pong(const Frame& frame) {
+  return decode_payload(frame, "pong",
+                        [](util::BinaryReader& reader) { return reader.u64(); });
+}
+
+ResponseMsg decode_goodbye(const Frame& frame) {
+  return decode_payload(frame, "goodbye", [](util::BinaryReader& reader) {
+    return decode_response_body(reader, "goodbye");
+  });
+}
+
+std::optional<std::uint64_t> salvage_request_id(const Frame& frame) noexcept {
+  if (frame.payload.size() < sizeof(std::uint64_t)) return std::nullopt;
+  std::uint64_t id = 0;
+  std::memcpy(&id, frame.payload.data(), sizeof(id));
+  return id;
+}
+
+}  // namespace dras::serve::net

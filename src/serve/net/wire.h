@@ -1,0 +1,187 @@
+// Wire protocol for the out-of-process decision service.
+//
+// Every message travels inside a fixed 16-byte frame header followed by
+// the payload:
+//
+//   offset  size  field
+//   0       4     magic   "DRNF" (0x464E5244 little-endian)
+//   4       1     wire version (kWireVersion)
+//   5       1     frame type (FrameType)
+//   6       2     reserved (zero)
+//   8       4     payload length (bytes, <= kMaxFramePayload)
+//   12      4     CRC-32 of the payload (util::crc32)
+//
+// Payloads are util::BinaryWriter layouts, so the framing and the body
+// share one serialisation idiom with the checkpoint container.  The
+// CRC makes corruption *detectable*: a flipped byte anywhere in the
+// payload surfaces as WireError{CrcMismatch} at the receiver instead of
+// a silently wrong decision — the property the chaos drill gates on.
+//
+// Decoding is incremental and adversarial-input-safe: FrameDecoder
+// buffers raw bytes from the socket and yields complete frames; every
+// malformed input (bad magic, version skew, oversized declared length,
+// CRC mismatch, unknown type, truncation at EOF) throws a typed
+// WireError and never reads out of bounds (the adversarial parser suite
+// runs the lot under ASan/UBSan).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "serve/decision_service.h"
+#include "util/binio.h"
+
+namespace dras::serve::net {
+
+inline constexpr std::uint32_t kFrameMagic = 0x464E5244u;  // "DRNF" LE
+inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::size_t kFrameHeaderSize = 16;
+/// Hard payload cap: a corrupted length field cannot make the receiver
+/// buffer gigabytes.  4 MiB is ~500x the largest real request (a Cori
+/// PG window is ~48 KiB of state floats).
+inline constexpr std::size_t kMaxFramePayload = 4u << 20;
+
+enum class FrameType : std::uint8_t {
+  Hello = 1,     ///< Server -> client on accept: wire version, model version.
+  Request = 2,   ///< Client -> server: one DecisionRequest.
+  Response = 3,  ///< Server -> client: decision or typed failure status.
+  Ping = 4,      ///< Liveness probe (either direction).
+  Pong = 5,      ///< Ping echo.
+  Goodbye = 6,   ///< Connection-level rejection/termination notice.
+};
+
+/// Typed framing/parsing failure.  Derives from SerializationError so
+/// callers that already handle malformed binary input catch it too.
+class WireError : public util::SerializationError {
+ public:
+  enum class Reason {
+    BadMagic,     ///< Header magic mismatch — not our protocol / desynced.
+    VersionSkew,  ///< Peer speaks a wire version we do not.
+    BadType,      ///< Frame type byte outside the known range.
+    Oversized,    ///< Declared payload length exceeds kMaxFramePayload.
+    CrcMismatch,  ///< Payload CRC-32 does not match the header.
+    Truncated,    ///< EOF with a partial frame buffered.
+    BadPayload,   ///< Frame intact but the payload failed to decode.
+  };
+
+  WireError(Reason reason, const std::string& what)
+      : util::SerializationError(what), reason_(reason) {}
+
+  [[nodiscard]] Reason reason() const noexcept { return reason_; }
+
+ private:
+  Reason reason_;
+};
+
+[[nodiscard]] std::string_view to_string(WireError::Reason reason) noexcept;
+
+struct Frame {
+  FrameType type = FrameType::Ping;
+  std::string payload;
+};
+
+/// Frame `payload` with header + CRC; the result is ready to send.
+/// Throws WireError{Oversized} when the payload exceeds the cap.
+[[nodiscard]] std::string encode_frame(FrameType type,
+                                       std::string_view payload);
+
+/// Incremental frame decoder.  feed() raw socket bytes, then call
+/// next() until it returns nullopt (more bytes needed).  Malformed
+/// input throws WireError; the decoder is then poisoned (the stream has
+/// lost sync) and the connection should be dropped.
+class FrameDecoder {
+ public:
+  void feed(std::string_view bytes);
+
+  /// The next complete frame, or nullopt when more input is needed.
+  [[nodiscard]] std::optional<Frame> next();
+
+  /// Bytes buffered but not yet yielded as frames.  Nonzero at EOF
+  /// means the peer died mid-frame: call on_eof() to turn that into a
+  /// typed Truncated error.
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return buffer_.size() - consumed_;
+  }
+
+  /// Throws WireError{Truncated} when a partial frame is buffered.
+  void on_eof() const;
+
+  void reset();
+
+  [[nodiscard]] std::uint64_t frames_decoded() const noexcept {
+    return frames_decoded_;
+  }
+
+ private:
+  std::string buffer_;
+  std::size_t consumed_ = 0;
+  std::uint64_t frames_decoded_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Message bodies.
+
+/// Response status.  Retryable statuses are server-side transients where
+/// the request was *not* served (safe to retry because decision requests
+/// are idempotent reads); BadRequest is deterministic and never retried.
+enum class Status : std::uint8_t {
+  Ok = 0,
+  Overloaded = 1,        ///< Admission queue full — shed.
+  BadRequest = 2,        ///< Malformed / failed validation. Not retryable.
+  Unavailable = 3,       ///< No model installed yet.
+  DeadlineExceeded = 4,  ///< Server-side deadline passed before a decision.
+  ShuttingDown = 5,      ///< Server draining; connection closing.
+  InternalError = 6,     ///< Unexpected server-side failure.
+};
+
+[[nodiscard]] bool status_retryable(Status status) noexcept;
+[[nodiscard]] std::string_view to_string(Status status) noexcept;
+
+struct HelloMsg {
+  std::uint8_t wire_version = kWireVersion;
+  std::uint64_t model_version = 0;  ///< 0 = no model installed yet.
+};
+
+struct RequestMsg {
+  std::uint64_t request_id = 0;
+  DecisionRequest request;
+};
+
+struct ResponseMsg {
+  std::uint64_t request_id = 0;
+  Status status = Status::Ok;
+  std::uint64_t model_version = 0;
+  std::uint64_t job_index = 0;
+  std::uint32_t batch_size = 0;
+  double server_latency_us = 0.0;
+  std::string message;  ///< Diagnostic for non-Ok statuses.
+};
+
+// Encoders return a complete frame (header + payload), ready to send.
+[[nodiscard]] std::string encode_hello(const HelloMsg& msg);
+[[nodiscard]] std::string encode_request(const RequestMsg& msg);
+[[nodiscard]] std::string encode_response(const ResponseMsg& msg);
+[[nodiscard]] std::string encode_ping(std::uint64_t nonce);
+[[nodiscard]] std::string encode_pong(std::uint64_t nonce);
+[[nodiscard]] std::string encode_goodbye(Status status,
+                                         std::string_view message);
+
+// Decoders take a frame already validated by FrameDecoder (type + CRC)
+// and throw WireError{BadPayload} when the body does not parse.
+[[nodiscard]] HelloMsg decode_hello(const Frame& frame);
+[[nodiscard]] RequestMsg decode_request(const Frame& frame);
+[[nodiscard]] ResponseMsg decode_response(const Frame& frame);
+[[nodiscard]] std::uint64_t decode_ping(const Frame& frame);
+[[nodiscard]] std::uint64_t decode_pong(const Frame& frame);
+[[nodiscard]] ResponseMsg decode_goodbye(const Frame& frame);
+
+/// Best-effort request-id salvage from a Request frame whose payload
+/// failed to decode: lets the server fail exactly that request with a
+/// correlated BadRequest response instead of dropping the connection.
+/// nullopt when even the id bytes are missing.
+[[nodiscard]] std::optional<std::uint64_t> salvage_request_id(
+    const Frame& frame) noexcept;
+
+}  // namespace dras::serve::net

@@ -1,0 +1,339 @@
+#include "util/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace dras::util {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw SocketError(what + ": " + std::strerror(errno));
+}
+
+void set_nonblocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw_errno("fcntl(O_NONBLOCK)");
+  }
+}
+
+/// Poll `fd` for `events` until `deadline`.  Returns true when ready,
+/// false when the deadline expired.  EINTR retries with the remaining
+/// budget.
+bool wait_fd(int fd, short events, Clock::time_point deadline) {
+  for (;;) {
+    auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - Clock::now());
+    if (remaining.count() < 0) remaining = std::chrono::milliseconds(0);
+    struct pollfd pfd {};
+    pfd.fd = fd;
+    pfd.events = events;
+    int rc = ::poll(&pfd, 1, static_cast<int>(remaining.count()));
+    if (rc > 0) return true;
+    if (rc == 0) return false;
+    if (errno == EINTR) continue;
+    throw_errno("poll");
+  }
+}
+
+struct sockaddr_un make_unix_addr(const std::string& path) {
+  struct sockaddr_un addr {};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    throw SocketError("unix socket path invalid or too long (" +
+                      std::to_string(path.size()) + " bytes, max " +
+                      std::to_string(sizeof(addr.sun_path) - 1) + "): " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+struct sockaddr_in make_tcp_addr(const std::string& host, std::uint16_t port) {
+  struct sockaddr_in addr {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string resolved = (host == "localhost" || host.empty())
+                                   ? std::string("127.0.0.1")
+                                   : host;
+  if (::inet_pton(AF_INET, resolved.c_str(), &addr.sin_addr) != 1) {
+    throw SocketError("cannot parse IPv4 host: " + host);
+  }
+  return addr;
+}
+
+int open_socket(SocketAddress::Kind kind) {
+  int domain = kind == SocketAddress::Kind::Unix ? AF_UNIX : AF_INET;
+  int fd = ::socket(domain, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
+  if (fd < 0) throw_errno("socket");
+  return fd;
+}
+
+}  // namespace
+
+SocketAddress SocketAddress::unix_path(std::string path) {
+  SocketAddress address;
+  address.kind = Kind::Unix;
+  address.path = std::move(path);
+  return address;
+}
+
+SocketAddress SocketAddress::tcp(std::string host, std::uint16_t port) {
+  SocketAddress address;
+  address.kind = Kind::Tcp;
+  address.host = std::move(host);
+  address.port = port;
+  return address;
+}
+
+SocketAddress SocketAddress::parse(std::string_view spec) {
+  if (spec.rfind("unix:", 0) == 0) {
+    return unix_path(std::string(spec.substr(5)));
+  }
+  if (spec.rfind("tcp:", 0) == 0) {
+    const std::string_view rest = spec.substr(4);
+    const std::size_t colon = rest.rfind(':');
+    if (colon == std::string_view::npos || colon + 1 >= rest.size()) {
+      throw std::invalid_argument("tcp address needs HOST:PORT: " +
+                                  std::string(spec));
+    }
+    const std::string port_text(rest.substr(colon + 1));
+    unsigned long port = 0;
+    try {
+      port = std::stoul(port_text);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("bad tcp port: " + std::string(spec));
+    }
+    if (port > 65535) {
+      throw std::invalid_argument("tcp port out of range: " + std::string(spec));
+    }
+    return tcp(std::string(rest.substr(0, colon)),
+               static_cast<std::uint16_t>(port));
+  }
+  if (spec.empty()) {
+    throw std::invalid_argument("empty socket address");
+  }
+  // Bare path: treat as a unix socket (covers "serve.sock", "/tmp/x.sock").
+  return unix_path(std::string(spec));
+}
+
+std::string SocketAddress::describe() const {
+  if (kind == Kind::Unix) return "unix:" + path;
+  return "tcp:" + host + ":" + std::to_string(port);
+}
+
+Socket::Socket(int fd) : fd_(fd) {
+  if (fd_ >= 0) set_nonblocking(fd_);
+}
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::shutdown() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::send_all(std::string_view data, Clock::time_point deadline) {
+  if (fd_ < 0) throw SocketError("send on closed socket");
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!wait_fd(fd_, POLLOUT, deadline)) {
+        throw SocketTimeout("send timed out after " +
+                            std::to_string(sent) + "/" +
+                            std::to_string(data.size()) + " bytes");
+      }
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EPIPE || errno == ECONNRESET)) {
+      throw SocketClosed("peer closed connection during send");
+    }
+    throw_errno("send");
+  }
+}
+
+std::size_t Socket::recv_some(char* buffer, std::size_t capacity,
+                              Clock::time_point deadline) {
+  if (fd_ < 0) throw SocketError("recv on closed socket");
+  for (;;) {
+    ssize_t n = ::recv(fd_, buffer, capacity, 0);
+    if (n > 0) return static_cast<std::size_t>(n);
+    if (n == 0) return 0;  // orderly EOF
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (!wait_fd(fd_, POLLIN, deadline)) {
+        throw SocketTimeout("recv timed out");
+      }
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == ECONNRESET) {
+      throw SocketClosed("connection reset during recv");
+    }
+    throw_errno("recv");
+  }
+}
+
+Listener::~Listener() { close(); }
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_(other.fd_), address_(std::move(other.address_)) {
+  other.fd_ = -1;
+}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    address_ = std::move(other.address_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Listener Listener::bind_and_listen(const SocketAddress& address, int backlog) {
+  Listener listener;
+  listener.fd_ = open_socket(address.kind);
+  listener.address_ = address;
+  try {
+    if (address.kind == SocketAddress::Kind::Unix) {
+      // A stale socket file from a crashed server would fail the bind.
+      ::unlink(address.path.c_str());
+      auto addr = make_unix_addr(address.path);
+      if (::bind(listener.fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                 sizeof(addr)) < 0) {
+        throw_errno("bind " + address.describe());
+      }
+    } else {
+      int one = 1;
+      ::setsockopt(listener.fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+      auto addr = make_tcp_addr(address.host, address.port);
+      if (::bind(listener.fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                 sizeof(addr)) < 0) {
+        throw_errno("bind " + address.describe());
+      }
+    }
+    if (::listen(listener.fd_, backlog) < 0) {
+      throw_errno("listen " + address.describe());
+    }
+  } catch (...) {
+    listener.close();
+    throw;
+  }
+  return listener;
+}
+
+std::optional<Socket> Listener::accept(std::chrono::milliseconds wait) {
+  if (fd_ < 0) throw SocketClosed("accept on closed listener");
+  if (!wait_fd(fd_, POLLIN, Clock::now() + wait)) return std::nullopt;
+  int fd = ::accept4(fd_, nullptr, nullptr, SOCK_CLOEXEC | SOCK_NONBLOCK);
+  if (fd < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR ||
+        errno == ECONNABORTED) {
+      return std::nullopt;
+    }
+    throw_errno("accept");
+  }
+  Socket socket(fd);
+  if (address_.kind == SocketAddress::Kind::Tcp) {
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  return socket;
+}
+
+SocketAddress Listener::local_address() const {
+  if (address_.kind == SocketAddress::Kind::Unix || fd_ < 0) return address_;
+  struct sockaddr_in addr {};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<struct sockaddr*>(&addr), &len) < 0) {
+    return address_;
+  }
+  SocketAddress resolved = address_;
+  resolved.port = ntohs(addr.sin_port);
+  return resolved;
+}
+
+void Listener::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+    if (address_.kind == SocketAddress::Kind::Unix && !address_.path.empty()) {
+      ::unlink(address_.path.c_str());
+    }
+  }
+}
+
+Socket connect_socket(const SocketAddress& address,
+                      std::chrono::milliseconds timeout) {
+  Socket socket(open_socket(address.kind));
+  const auto deadline = Clock::now() + timeout;
+  int rc = 0;
+  if (address.kind == SocketAddress::Kind::Unix) {
+    auto addr = make_unix_addr(address.path);
+    rc = ::connect(socket.fd(), reinterpret_cast<struct sockaddr*>(&addr),
+                   sizeof(addr));
+  } else {
+    auto addr = make_tcp_addr(address.host, address.port);
+    rc = ::connect(socket.fd(), reinterpret_cast<struct sockaddr*>(&addr),
+                   sizeof(addr));
+  }
+  if (rc < 0) {
+    if (errno != EINPROGRESS && errno != EAGAIN) {
+      throw_errno("connect " + address.describe());
+    }
+    if (!wait_fd(socket.fd(), POLLOUT, deadline)) {
+      throw SocketTimeout("connect timed out: " + address.describe());
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(socket.fd(), SOL_SOCKET, SO_ERROR, &err, &len) < 0) {
+      throw_errno("getsockopt(SO_ERROR)");
+    }
+    if (err != 0) {
+      throw SocketError("connect " + address.describe() + ": " +
+                        std::strerror(err));
+    }
+  }
+  if (address.kind == SocketAddress::Kind::Tcp) {
+    int one = 1;
+    ::setsockopt(socket.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  return socket;
+}
+
+}  // namespace dras::util

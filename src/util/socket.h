@@ -1,0 +1,141 @@
+// Deadline-driven POSIX socket primitives for the serving transport.
+//
+// Everything here is poll()-based and non-blocking underneath: every
+// receive and send takes an explicit deadline, so a wedged peer surfaces
+// as a SocketTimeout at a time the caller chose instead of a thread
+// parked forever inside the kernel.  Unix-domain sockets and localhost
+// TCP sit behind the same SocketAddress interface — the serving stack is
+// written once and tested against both.
+//
+// Error taxonomy (all derive from SocketError):
+//   SocketTimeout — the deadline expired before the operation completed.
+//   SocketClosed  — the peer closed the connection (orderly EOF on read,
+//                   EPIPE/ECONNRESET on write).
+// Plain SocketError carries errno context for everything else.  None of
+// these are ever fatal to the process; the transport layer above maps
+// them to retries, failover, or clean per-request failures.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace dras::util {
+
+class SocketError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Deadline expired before the operation completed.
+class SocketTimeout : public SocketError {
+ public:
+  using SocketError::SocketError;
+};
+
+/// Orderly peer close (EOF) or a write onto a reset connection.
+class SocketClosed : public SocketError {
+ public:
+  using SocketError::SocketError;
+};
+
+/// A Unix-domain path or a TCP host:port, behind one interface.
+struct SocketAddress {
+  enum class Kind { Unix, Tcp };
+
+  Kind kind = Kind::Unix;
+  std::string path;            ///< Unix: filesystem path of the socket.
+  std::string host;            ///< TCP: dotted quad or "localhost".
+  std::uint16_t port = 0;      ///< TCP: port; 0 = ephemeral (bind only).
+
+  [[nodiscard]] static SocketAddress unix_path(std::string path);
+  [[nodiscard]] static SocketAddress tcp(std::string host, std::uint16_t port);
+
+  /// Parse "unix:PATH", "tcp:HOST:PORT", or a bare filesystem path
+  /// (treated as unix).  Throws std::invalid_argument on anything else.
+  [[nodiscard]] static SocketAddress parse(std::string_view spec);
+
+  /// Human-readable form, re-parseable by parse().
+  [[nodiscard]] std::string describe() const;
+};
+
+/// RAII wrapper over one connected (or accepted) socket fd.  Move-only;
+/// the destructor closes.  All I/O is deadline-bounded.
+class Socket {
+ public:
+  Socket() = default;
+  /// Adopt an fd (sets non-blocking).
+  explicit Socket(int fd);
+  ~Socket();
+
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+  void close() noexcept;
+  /// shutdown(SHUT_RDWR): unblocks a peer (or another thread) waiting in
+  /// poll on this fd without racing the close of the descriptor itself.
+  void shutdown() noexcept;
+
+  /// Send all of `data` before `deadline`.  Throws SocketTimeout when
+  /// the deadline passes first, SocketClosed when the peer is gone.
+  void send_all(std::string_view data,
+                std::chrono::steady_clock::time_point deadline);
+
+  /// Receive up to `capacity` bytes into `buffer`.  Returns 0 on orderly
+  /// EOF, otherwise the number of bytes read (>= 1).  Throws
+  /// SocketTimeout when nothing arrived before `deadline`.
+  [[nodiscard]] std::size_t recv_some(
+      char* buffer, std::size_t capacity,
+      std::chrono::steady_clock::time_point deadline);
+
+ private:
+  int fd_ = -1;
+};
+
+/// A bound, listening socket.  For TCP with port 0 the kernel-assigned
+/// port is recoverable through local_address().
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener();
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Bind + listen.  Unix: an existing socket file at the path is
+  /// unlinked first (stale leftover from a crashed server); the file is
+  /// unlinked again on close.  Throws SocketError on any failure.
+  [[nodiscard]] static Listener bind_and_listen(const SocketAddress& address,
+                                                int backlog = 16);
+
+  /// Wait up to `wait` for one connection.  nullopt on timeout — the
+  /// accept loop's stop-flag poll tick.  Throws SocketError on failure,
+  /// SocketClosed once close() was called.
+  [[nodiscard]] std::optional<Socket> accept(std::chrono::milliseconds wait);
+
+  /// The bound address; for TCP this resolves an ephemeral port to the
+  /// real one.
+  [[nodiscard]] SocketAddress local_address() const;
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+  SocketAddress address_;
+};
+
+/// Connect to `address` within `timeout` (non-blocking connect + poll).
+/// Throws SocketTimeout / SocketError (e.g. connection refused).
+[[nodiscard]] Socket connect_socket(const SocketAddress& address,
+                                    std::chrono::milliseconds timeout);
+
+}  // namespace dras::util

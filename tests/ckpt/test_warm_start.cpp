@@ -104,6 +104,60 @@ TEST_F(WarmStartTest, RejectsMismatchedSeedOrTopology) {
                util::SerializationError);
 }
 
+TEST_F(WarmStartTest, RelaxedLoadTransfersAcrossPresetFingerprints) {
+  // --warm-start-relaxed: same topology, different preset knobs (seed,
+  // time scale, reward).  The strict load refuses; the relaxed load
+  // adopts the parameters bit-for-bit.
+  core::DrasAgent source(tiny_agent_config(core::AgentKind::PG));
+  FaultInjector::scale_values(source.network().parameters(), 1.5f);
+  auto manager = make_manager();
+  const auto path = manager.save(agent_state(source), 1);
+
+  core::DrasConfig other = tiny_agent_config(core::AgentKind::PG);
+  other.seed = 99;
+  other.time_scale = 5000.0;
+  other.reward_kind = core::RewardKind::Capacity;
+  core::DrasAgent target(other);
+  EXPECT_THROW(load_agent_from_checkpoint(path, target),
+               util::SerializationError);
+  load_agent_from_checkpoint(path, target, /*relaxed=*/true);
+
+  const auto expected = source.network().parameters();
+  const auto actual = target.network().parameters();
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t i = 0; i < actual.size(); ++i)
+    EXPECT_EQ(actual[i], expected[i]) << "parameter " << i;
+}
+
+TEST_F(WarmStartTest, RelaxedLoadStillRejectsDifferentTopology) {
+  core::DrasAgent source(tiny_agent_config(core::AgentKind::PG));
+  auto manager = make_manager();
+  const auto path = manager.save(agent_state(source), 1);
+
+  // Different layer widths: the parameter tensors cannot line up, so
+  // even the relaxed path must refuse.
+  core::DrasConfig wider = tiny_agent_config(core::AgentKind::PG);
+  wider.fc1 = 32;
+  core::DrasAgent wide_target(wider);
+  EXPECT_THROW(
+      load_agent_from_checkpoint(path, wide_target, /*relaxed=*/true),
+      util::SerializationError);
+
+  // Different window changes the input layer shape.
+  core::DrasConfig windowed = tiny_agent_config(core::AgentKind::PG);
+  windowed.window = 8;
+  core::DrasAgent window_target(windowed);
+  EXPECT_THROW(
+      load_agent_from_checkpoint(path, window_target, /*relaxed=*/true),
+      util::SerializationError);
+
+  // Different head (agent kind) is never transferable.
+  core::DrasAgent other_kind(tiny_agent_config(core::AgentKind::DQL));
+  EXPECT_THROW(
+      load_agent_from_checkpoint(path, other_kind, /*relaxed=*/true),
+      util::SerializationError);
+}
+
 TEST_F(WarmStartTest, MissingFileThrowsCheckpointError) {
   core::DrasAgent agent(tiny_agent_config(core::AgentKind::PG));
   EXPECT_THROW(load_agent_from_checkpoint(dir_ / "absent.dras", agent),

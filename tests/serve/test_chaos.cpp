@@ -1,0 +1,193 @@
+// ChaosProxy drills: with faults off the proxy is a transparent pipe
+// (decisions bit-identical to direct serving); with faults on, every
+// corruption is detected by the CRC framing and the client finishes its
+// workload with zero wrong decisions and zero crashes.
+#include "serve/net/chaos.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "serve/net/client.h"
+#include "serve/net/server.h"
+#include "serve_test_util.h"
+#include "util/rng.h"
+
+namespace dras::serve::net {
+namespace {
+
+using namespace std::chrono_literals;
+using serve::testing::ServeScratchTest;
+using serve::testing::tiny_serve_config;
+using serve::testing::write_snapshot;
+
+class ChaosTest : public ServeScratchTest {
+ protected:
+  void SetUp() override {
+    ServeScratchTest::SetUp();
+    config_ = tiny_serve_config(core::AgentKind::PG);
+    core::DrasAgent agent(config_);
+    snapshot_ = ModelSnapshot::load(write_snapshot(dir_, agent, 8), config_);
+    service_ = std::make_unique<DecisionService>(ServiceOptions{});
+    service_->install(snapshot_);
+    ServerOptions options;
+    options.address =
+        util::SocketAddress::unix_path((dir_ / "server.sock").string());
+    server_ = std::make_unique<DecisionServer>(options, *service_);
+    server_->start();
+  }
+
+  void TearDown() override {
+    proxy_.reset();
+    server_.reset();
+    service_.reset();
+    ServeScratchTest::TearDown();
+  }
+
+  void start_proxy(ChaosConfig config) {
+    proxy_ = std::make_unique<ChaosProxy>(
+        util::SocketAddress::unix_path((dir_ / "proxy.sock").string()),
+        server_->bound_address(), config);
+    proxy_->start();
+  }
+
+  [[nodiscard]] ClientOptions through_proxy() const {
+    ClientOptions options;
+    options.address = proxy_->bound_address();
+    options.connect_timeout = 300ms;
+    options.request_timeout = 400ms;  // short: dropped frames stall
+    options.max_attempts = 5;
+    options.breaker_threshold = 3;
+    options.breaker_cooldown = 200ms;
+    options.seed = 4242;
+    return options;
+  }
+
+  core::DrasConfig config_;
+  std::shared_ptr<const ModelSnapshot> snapshot_;
+  std::unique_ptr<DecisionService> service_;
+  std::unique_ptr<DecisionServer> server_;
+  std::unique_ptr<ChaosProxy> proxy_;
+};
+
+TEST_F(ChaosTest, FaultFreeProxyIsTransparent) {
+  start_proxy(ChaosConfig{});  // every probability zero
+  DecisionClient client(through_proxy());
+  auto oracle = snapshot_->make_replica();
+  util::Rng rng(1);
+  for (int i = 0; i < 40; ++i) {
+    const auto request = make_synthetic_request(config_, rng);
+    const auto decision = client.decide(request);
+    EXPECT_FALSE(decision.degraded);
+    EXPECT_EQ(decision.model_version, snapshot_->version());
+    EXPECT_EQ(decision.job_index, reference_decision(*oracle, request));
+  }
+  const auto stats = proxy_->stats();
+  EXPECT_GT(stats.forwarded_chunks, 0u);
+  EXPECT_EQ(stats.dropped + stats.corrupted + stats.delayed +
+                stats.truncated + stats.reordered + stats.killed,
+            0u);
+  EXPECT_EQ(client.stats().retries, 0u);
+}
+
+TEST_F(ChaosTest, CorruptionIsAlwaysDetectedNeverServedWrong) {
+  ChaosConfig chaos;
+  chaos.corrupt = 0.25;
+  chaos.seed = 7;
+  start_proxy(chaos);
+  DecisionClient client(through_proxy());
+  client.set_fallback(snapshot_);
+  auto oracle = snapshot_->make_replica();
+  util::Rng rng(2);
+
+  for (int i = 0; i < 60; ++i) {
+    const auto request = make_synthetic_request(config_, rng);
+    const auto decision = client.decide(request);  // must never throw
+    // Served or degraded, the decision is ALWAYS the oracle's: a
+    // corrupted frame may cost a retry or a failover, never a wrong
+    // answer.
+    EXPECT_EQ(decision.job_index, reference_decision(*oracle, request));
+  }
+  EXPECT_GT(proxy_->stats().corrupted, 0u);
+  // Corruptions were detected somewhere: client-side wire errors or
+  // server-side frame errors (direction depends on the RNG draws).
+  EXPECT_GT(client.stats().transport_errors + server_->stats().frame_errors,
+            0u);
+}
+
+TEST_F(ChaosTest, FullFaultMixCompletesWorkloadWithZeroWrongDecisions) {
+  ChaosConfig chaos;
+  chaos.drop = 0.05;
+  chaos.corrupt = 0.08;
+  chaos.delay = 0.05;
+  chaos.delay_for = 10ms;
+  chaos.truncate = 0.04;
+  chaos.reorder = 0.05;
+  chaos.kill = 0.03;
+  chaos.seed = 99;
+  start_proxy(chaos);
+  DecisionClient client(through_proxy());
+  client.set_fallback(snapshot_);
+  auto oracle = snapshot_->make_replica();
+  util::Rng rng(3);
+
+  std::size_t degraded = 0;
+  for (int i = 0; i < 60; ++i) {
+    const auto request = make_synthetic_request(config_, rng);
+    const auto decision = client.decide(request);
+    degraded += decision.degraded ? 1 : 0;
+    EXPECT_EQ(decision.job_index, reference_decision(*oracle, request));
+  }
+  const auto stats = proxy_->stats();
+  EXPECT_GT(stats.dropped + stats.corrupted + stats.truncated +
+                stats.reordered + stats.killed,
+            0u);
+  // The workload finished: 60 decisions, every one oracle-correct.
+  EXPECT_EQ(client.stats().requests, 60u);
+  EXPECT_EQ(client.stats().served + client.stats().degraded, 60u);
+}
+
+TEST_F(ChaosTest, ProxySurvivesUpstreamRestart) {
+  ChaosConfig chaos;  // transparent: this drill is about reconnects
+  start_proxy(chaos);
+  DecisionClient client(through_proxy());
+  client.set_fallback(snapshot_);
+  auto oracle = snapshot_->make_replica();
+  util::Rng rng(4);
+
+  EXPECT_FALSE(client.decide(make_synthetic_request(config_, rng)).degraded);
+
+  // Kill and restart the upstream server mid-run.
+  const auto address = server_->bound_address();
+  server_.reset();
+  bool saw_degraded = false;
+  for (int i = 0; i < 3; ++i) {
+    const auto request = make_synthetic_request(config_, rng);
+    const auto decision = client.decide(request);
+    saw_degraded = saw_degraded || decision.degraded;
+    EXPECT_EQ(decision.job_index, reference_decision(*oracle, request));
+  }
+  EXPECT_TRUE(saw_degraded);
+
+  ServerOptions options;
+  options.address = address;
+  server_ = std::make_unique<DecisionServer>(options, *service_);
+  server_->start();
+  std::this_thread::sleep_for(250ms);  // breaker cooldown
+
+  bool failed_back = false;
+  for (int i = 0; i < 5 && !failed_back; ++i) {
+    const auto request = make_synthetic_request(config_, rng);
+    const auto decision = client.decide(request);
+    EXPECT_EQ(decision.job_index, reference_decision(*oracle, request));
+    failed_back = !decision.degraded;
+    if (!failed_back) std::this_thread::sleep_for(100ms);
+  }
+  EXPECT_TRUE(failed_back);
+  EXPECT_GE(client.stats().breaker_closes, 1u);
+}
+
+}  // namespace
+}  // namespace dras::serve::net

@@ -1,0 +1,304 @@
+// DecisionServer behaviour over real sockets: bit-identity with the
+// in-process service, per-request containment of poisoned frames,
+// overload shedding, and drain-then-close shutdown.
+#include "serve/net/server.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/net/client.h"
+#include "serve_test_util.h"
+#include "util/rng.h"
+
+namespace dras::serve::net {
+namespace {
+
+using namespace std::chrono_literals;
+using Clock = std::chrono::steady_clock;
+using serve::testing::ServeScratchTest;
+using serve::testing::tiny_serve_config;
+using serve::testing::write_snapshot;
+
+class NetServerTest : public ServeScratchTest {
+ protected:
+  /// Service with one installed snapshot + server listening on a UDS
+  /// inside the scratch dir.
+  void start_stack(core::AgentKind kind, ServerOptions options = {}) {
+    config_ = tiny_serve_config(kind);
+    core::DrasAgent agent(config_);
+    const auto path = write_snapshot(dir_, agent, /*episode=*/5);
+    snapshot_ = ModelSnapshot::load(path, config_);
+    service_ = std::make_unique<DecisionService>(ServiceOptions{});
+    service_->install(snapshot_);
+    options.address = server_address();
+    server_ = std::make_unique<DecisionServer>(options, *service_);
+    server_->start();
+  }
+
+  [[nodiscard]] util::SocketAddress server_address() const {
+    return util::SocketAddress::unix_path((dir_ / "server.sock").string());
+  }
+
+  [[nodiscard]] ClientOptions client_options() const {
+    ClientOptions options;
+    options.address = server_address();
+    options.connect_timeout = 500ms;
+    options.request_timeout = 1000ms;
+    return options;
+  }
+
+  void TearDown() override {
+    server_.reset();
+    service_.reset();
+    ServeScratchTest::TearDown();
+  }
+
+  core::DrasConfig config_;
+  std::shared_ptr<const ModelSnapshot> snapshot_;
+  std::unique_ptr<DecisionService> service_;
+  std::unique_ptr<DecisionServer> server_;
+};
+
+/// Raw frame-level connection for tests that need to speak the wire
+/// protocol directly (malformed frames, status inspection).
+class RawConnection {
+ public:
+  explicit RawConnection(const util::SocketAddress& address)
+      : socket_(util::connect_socket(address, 500ms)) {}
+
+  void send(std::string_view bytes) {
+    socket_.send_all(bytes, Clock::now() + 1s);
+  }
+
+  /// Next frame of `type`, skipping others.  Throws on timeout/EOF.
+  Frame await(FrameType type) {
+    char buffer[4096];
+    const auto deadline = Clock::now() + 2s;
+    for (;;) {
+      std::optional<Frame> frame;
+      while ((frame = decoder_.next())) {
+        if (frame->type == type) return *frame;
+      }
+      const std::size_t n =
+          socket_.recv_some(buffer, sizeof(buffer), deadline);
+      if (n == 0) throw util::SocketClosed("EOF awaiting frame");
+      decoder_.feed(std::string_view(buffer, n));
+    }
+  }
+
+  /// True when the server closes the connection within the deadline.
+  bool closed_by_peer() {
+    char buffer[4096];
+    try {
+      for (;;) {
+        const std::size_t n =
+            socket_.recv_some(buffer, sizeof(buffer), Clock::now() + 2s);
+        if (n == 0) return true;
+        decoder_.feed(std::string_view(buffer, n));
+        while (decoder_.next()) {
+        }
+      }
+    } catch (const util::SocketTimeout&) {
+      return false;  // still open: the server did NOT close us
+    } catch (const util::SocketError&) {
+      return true;
+    }
+  }
+
+  util::Socket socket_;
+  FrameDecoder decoder_;
+};
+
+TEST_F(NetServerTest, SocketDecisionsBitIdenticalToInProcessService) {
+  for (const auto kind : {core::AgentKind::PG, core::AgentKind::DQL}) {
+    start_stack(kind);
+    DecisionClient client(client_options());
+    auto oracle = snapshot_->make_replica();
+    util::Rng rng(2024);
+    for (int i = 0; i < 48; ++i) {
+      const DecisionRequest request = make_synthetic_request(config_, rng);
+      const NetDecision decision = client.decide(request);
+      EXPECT_FALSE(decision.degraded);
+      EXPECT_EQ(decision.model_version, snapshot_->version());
+      // The oracle: trainer-side greedy decision on the same snapshot.
+      EXPECT_EQ(decision.job_index, reference_decision(*oracle, request));
+    }
+    EXPECT_EQ(server_->stats().requests_ok, 48u);
+    server_.reset();
+    service_.reset();
+  }
+}
+
+TEST_F(NetServerTest, ServesOverTcpWithEphemeralPort) {
+  config_ = tiny_serve_config(core::AgentKind::PG);
+  core::DrasAgent agent(config_);
+  snapshot_ = ModelSnapshot::load(write_snapshot(dir_, agent, 3), config_);
+  service_ = std::make_unique<DecisionService>(ServiceOptions{});
+  service_->install(snapshot_);
+  ServerOptions options;
+  options.address = util::SocketAddress::tcp("127.0.0.1", 0);
+  server_ = std::make_unique<DecisionServer>(options, *service_);
+  server_->start();
+
+  ClientOptions copts;
+  copts.address = server_->bound_address();
+  ASSERT_GT(copts.address.port, 0);
+  DecisionClient client(copts);
+  auto oracle = snapshot_->make_replica();
+  util::Rng rng(7);
+  for (int i = 0; i < 16; ++i) {
+    const DecisionRequest request = make_synthetic_request(config_, rng);
+    EXPECT_EQ(client.decide(request).job_index,
+              reference_decision(*oracle, request));
+  }
+}
+
+TEST_F(NetServerTest, PoisonedPayloadFailsExactlyThatRequest) {
+  start_stack(core::AgentKind::PG);
+  RawConnection raw(server_address());
+  (void)raw.await(FrameType::Hello);
+
+  // Frame passes CRC but its body lies about the float count.
+  util::BinaryWriter bad;
+  bad.u64(501);        // request id
+  bad.u64(2);          // valid
+  bad.u64(1'000'000);  // declared floats
+  bad.f64(0.0);        // ...8 bytes present
+  raw.send(encode_frame(FrameType::Request, bad.buffer()));
+
+  const ResponseMsg poisoned = decode_response(raw.await(FrameType::Response));
+  EXPECT_EQ(poisoned.request_id, 501u);
+  EXPECT_EQ(poisoned.status, Status::BadRequest);
+
+  // The SAME connection keeps serving: a well-formed request succeeds.
+  util::Rng rng(11);
+  RequestMsg good;
+  good.request_id = 502;
+  good.request = make_synthetic_request(config_, rng);
+  raw.send(encode_request(good));
+  const ResponseMsg ok = decode_response(raw.await(FrameType::Response));
+  EXPECT_EQ(ok.request_id, 502u);
+  EXPECT_EQ(ok.status, Status::Ok);
+
+  EXPECT_EQ(server_->stats().requests_bad, 1u);
+  EXPECT_EQ(server_->stats().frame_errors, 0u);
+}
+
+TEST_F(NetServerTest, ValidationFailureIsBadRequestAndContained) {
+  start_stack(core::AgentKind::PG);
+  RawConnection raw(server_address());
+  RequestMsg invalid;
+  invalid.request_id = 9;
+  invalid.request.valid = 0;  // DecisionService validation rejects this
+  invalid.request.state.resize(4, 0.0f);
+  raw.send(encode_request(invalid));
+  const ResponseMsg response = decode_response(raw.await(FrameType::Response));
+  EXPECT_EQ(response.request_id, 9u);
+  EXPECT_EQ(response.status, Status::BadRequest);
+
+  util::Rng rng(3);
+  RequestMsg good;
+  good.request_id = 10;
+  good.request = make_synthetic_request(config_, rng);
+  raw.send(encode_request(good));
+  EXPECT_EQ(decode_response(raw.await(FrameType::Response)).status,
+            Status::Ok);
+}
+
+TEST_F(NetServerTest, StreamFaultClosesOnlyThatConnection) {
+  start_stack(core::AgentKind::PG, [] {
+    ServerOptions options;
+    options.io_workers = 2;
+    return options;
+  }());
+  RawConnection healthy(server_address());
+  RawConnection victim(server_address());
+
+  victim.send("this is definitely not a DRNF frame header....");
+  EXPECT_TRUE(victim.closed_by_peer());
+
+  // The other connection is untouched.
+  util::Rng rng(5);
+  RequestMsg request;
+  request.request_id = 77;
+  request.request = make_synthetic_request(config_, rng);
+  healthy.send(encode_request(request));
+  EXPECT_EQ(decode_response(healthy.await(FrameType::Response)).status,
+            Status::Ok);
+  EXPECT_GE(server_->stats().frame_errors, 1u);
+}
+
+TEST_F(NetServerTest, NoModelMeansUnavailableStatus) {
+  config_ = tiny_serve_config(core::AgentKind::PG);
+  service_ = std::make_unique<DecisionService>(ServiceOptions{});
+  ServerOptions options;
+  options.address = server_address();
+  server_ = std::make_unique<DecisionServer>(options, *service_);
+  server_->start();
+
+  RawConnection raw(server_address());
+  RequestMsg request;
+  request.request_id = 1;
+  request.request.valid = 1;
+  request.request.state.resize(4, 0.5f);
+  raw.send(encode_request(request));
+  const ResponseMsg response = decode_response(raw.await(FrameType::Response));
+  EXPECT_EQ(response.status, Status::Unavailable);
+  EXPECT_EQ(server_->stats().requests_unavailable, 1u);
+}
+
+TEST_F(NetServerTest, ConnectionsBeyondLimitAreShedWithGoodbye) {
+  start_stack(core::AgentKind::PG, [] {
+    ServerOptions options;
+    options.io_workers = 1;
+    options.max_connections = 1;
+    return options;
+  }());
+  RawConnection first(server_address());
+  (void)first.await(FrameType::Hello);  // handler definitely attached
+
+  RawConnection second(server_address());
+  const ResponseMsg goodbye = decode_goodbye(second.await(FrameType::Goodbye));
+  EXPECT_EQ(goodbye.status, Status::Overloaded);
+  EXPECT_TRUE(second.closed_by_peer());
+  EXPECT_EQ(server_->stats().connections_shed, 1u);
+}
+
+TEST_F(NetServerTest, HelloCarriesModelVersion) {
+  start_stack(core::AgentKind::PG);
+  RawConnection raw(server_address());
+  const HelloMsg hello = decode_hello(raw.await(FrameType::Hello));
+  EXPECT_EQ(hello.wire_version, kWireVersion);
+  EXPECT_EQ(hello.model_version, snapshot_->version());
+}
+
+TEST_F(NetServerTest, PingPongRoundTrip) {
+  start_stack(core::AgentKind::PG);
+  RawConnection raw(server_address());
+  raw.send(encode_ping(4242));
+  EXPECT_EQ(decode_pong(raw.await(FrameType::Pong)), 4242u);
+}
+
+TEST_F(NetServerTest, StopDrainsAndClosesConnections) {
+  start_stack(core::AgentKind::PG);
+  DecisionClient client(client_options());
+  util::Rng rng(1);
+  (void)client.decide(make_synthetic_request(config_, rng));
+
+  const auto begun = Clock::now();
+  server_->stop();
+  EXPECT_LT(Clock::now() - begun, 5s);  // never hangs
+  EXPECT_EQ(server_->active_connections(), 0u);
+
+  // Stopped server: client transport errors out (no fallback installed).
+  EXPECT_THROW((void)client.decide(make_synthetic_request(config_, rng)),
+               TransportError);
+}
+
+}  // namespace
+}  // namespace dras::serve::net

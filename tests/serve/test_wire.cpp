@@ -1,0 +1,288 @@
+// Adversarial frame-parser suite: every malformed input the chaos proxy
+// (or a hostile peer) can produce must surface as a typed WireError —
+// never a crash, never an out-of-bounds read (this file runs under
+// ASan/UBSan in CI), never a silently wrong message.
+#include "serve/net/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace dras::serve::net {
+namespace {
+
+WireError::Reason reason_of(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const WireError& error) {
+    return error.reason();
+  }
+  ADD_FAILURE() << "expected a WireError";
+  return WireError::Reason::BadPayload;
+}
+
+std::string valid_ping_frame() { return encode_ping(42); }
+
+TEST(Wire, FrameRoundTrip) {
+  FrameDecoder decoder;
+  decoder.feed(encode_frame(FrameType::Request, "payload-bytes"));
+  const auto frame = decoder.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, FrameType::Request);
+  EXPECT_EQ(frame->payload, "payload-bytes");
+  EXPECT_EQ(decoder.pending(), 0u);
+  EXPECT_FALSE(decoder.next().has_value());
+}
+
+TEST(Wire, EmptyPayloadFrameRoundTrips) {
+  FrameDecoder decoder;
+  decoder.feed(encode_frame(FrameType::Goodbye, ""));
+  const auto frame = decoder.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_TRUE(frame->payload.empty());
+}
+
+TEST(Wire, ByteAtATimeDecodingYieldsIdenticalFrames) {
+  const std::string wire = encode_request(
+      RequestMsg{77, DecisionRequest{{0.25f, 0.5f, 0.75f}, 2}});
+  FrameDecoder decoder;
+  std::optional<Frame> frame;
+  for (char byte : wire) {
+    EXPECT_FALSE(frame.has_value());
+    decoder.feed(std::string_view(&byte, 1));
+    frame = decoder.next();
+  }
+  ASSERT_TRUE(frame.has_value());
+  const RequestMsg msg = decode_request(*frame);
+  EXPECT_EQ(msg.request_id, 77u);
+  EXPECT_EQ(msg.request.valid, 2u);
+  EXPECT_EQ(msg.request.state,
+            (std::vector<float>{0.25f, 0.5f, 0.75f}));
+}
+
+TEST(Wire, MultipleFramesInOneFeed) {
+  FrameDecoder decoder;
+  decoder.feed(encode_ping(1) + encode_ping(2) + encode_ping(3));
+  for (std::uint64_t expected : {1u, 2u, 3u}) {
+    const auto frame = decoder.next();
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(decode_ping(*frame), expected);
+  }
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_EQ(decoder.frames_decoded(), 3u);
+}
+
+// --- The adversarial cases -------------------------------------------------
+
+TEST(Wire, TruncatedLengthPrefixIsIncompleteThenTruncatedAtEof) {
+  // Only 10 of the 16 header bytes: next() must wait, EOF must type it.
+  FrameDecoder decoder;
+  decoder.feed(std::string_view(valid_ping_frame()).substr(0, 10));
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_GT(decoder.pending(), 0u);
+  EXPECT_EQ(reason_of([&] { decoder.on_eof(); }),
+            WireError::Reason::Truncated);
+}
+
+TEST(Wire, MidFrameEofIsTruncated) {
+  const std::string wire = valid_ping_frame();
+  FrameDecoder decoder;
+  decoder.feed(std::string_view(wire).substr(0, wire.size() - 3));
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_EQ(reason_of([&] { decoder.on_eof(); }),
+            WireError::Reason::Truncated);
+}
+
+TEST(Wire, ZeroByteInputIsSimplyIncomplete) {
+  FrameDecoder decoder;
+  decoder.feed("");
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_EQ(decoder.pending(), 0u);
+  EXPECT_NO_THROW(decoder.on_eof());  // clean EOF between frames is fine
+}
+
+TEST(Wire, CrcMismatchIsDetected) {
+  std::string wire = valid_ping_frame();
+  wire[kFrameHeaderSize + 2] ^= 0x01;  // flip one payload byte
+  FrameDecoder decoder;
+  decoder.feed(wire);
+  EXPECT_EQ(reason_of([&] { (void)decoder.next(); }),
+            WireError::Reason::CrcMismatch);
+}
+
+TEST(Wire, CorruptedHeaderCrcFieldIsDetected) {
+  std::string wire = valid_ping_frame();
+  wire[12] ^= 0x80;  // flip a bit in the stored CRC itself
+  FrameDecoder decoder;
+  decoder.feed(wire);
+  EXPECT_EQ(reason_of([&] { (void)decoder.next(); }),
+            WireError::Reason::CrcMismatch);
+}
+
+TEST(Wire, OversizedDeclaredLengthRejectedBeforeBuffering) {
+  std::string wire = valid_ping_frame();
+  const std::uint32_t huge = kMaxFramePayload + 1;
+  std::memcpy(wire.data() + 8, &huge, sizeof(huge));
+  FrameDecoder decoder;
+  decoder.feed(wire);
+  // Rejected from the header alone — no waiting for 4 MiB that will
+  // never arrive.
+  EXPECT_EQ(reason_of([&] { (void)decoder.next(); }),
+            WireError::Reason::Oversized);
+}
+
+TEST(Wire, VersionSkewRejected) {
+  std::string wire = valid_ping_frame();
+  wire[4] = static_cast<char>(kWireVersion + 1);
+  FrameDecoder decoder;
+  decoder.feed(wire);
+  EXPECT_EQ(reason_of([&] { (void)decoder.next(); }),
+            WireError::Reason::VersionSkew);
+}
+
+TEST(Wire, BadMagicRejected) {
+  std::string wire = valid_ping_frame();
+  wire[0] = 'X';
+  FrameDecoder decoder;
+  decoder.feed(wire);
+  EXPECT_EQ(reason_of([&] { (void)decoder.next(); }),
+            WireError::Reason::BadMagic);
+}
+
+TEST(Wire, UnknownFrameTypeRejected) {
+  std::string wire = valid_ping_frame();
+  wire[5] = static_cast<char>(99);
+  FrameDecoder decoder;
+  decoder.feed(wire);
+  EXPECT_EQ(reason_of([&] { (void)decoder.next(); }),
+            WireError::Reason::BadType);
+}
+
+TEST(Wire, EncodeRejectsOversizedPayload) {
+  const std::string big(kMaxFramePayload + 1, 'x');
+  EXPECT_EQ(reason_of([&] { (void)encode_frame(FrameType::Request, big); }),
+            WireError::Reason::Oversized);
+}
+
+TEST(Wire, RequestPayloadDeclaringMoreFloatsThanPresentIsBadPayload) {
+  // Body claims 1M floats but carries 8 bytes: BinaryReader must refuse
+  // to over-read and the decoder must type it BadPayload.
+  util::BinaryWriter writer;
+  writer.u64(7);                       // request id
+  writer.u64(3);                       // valid
+  writer.u64(1'000'000);               // state length — a lie
+  writer.f64(0.0);                     // only 8 bytes of "floats"
+  FrameDecoder decoder;
+  decoder.feed(encode_frame(FrameType::Request, writer.buffer()));
+  const auto frame = decoder.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(reason_of([&] { (void)decode_request(*frame); }),
+            WireError::Reason::BadPayload);
+  // The request id is still salvageable for a correlated BadRequest.
+  EXPECT_EQ(salvage_request_id(*frame), 7u);
+}
+
+TEST(Wire, TrailingGarbageAfterPayloadBodyIsBadPayload) {
+  util::BinaryWriter writer;
+  writer.u64(1);
+  writer.u64(1);
+  writer.f32_span(std::vector<float>{1.0f});
+  writer.u32(0xDEADBEEF);  // trailing garbage the decoder must notice
+  FrameDecoder decoder;
+  decoder.feed(encode_frame(FrameType::Request, writer.buffer()));
+  const auto frame = decoder.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(reason_of([&] { (void)decode_request(*frame); }),
+            WireError::Reason::BadPayload);
+}
+
+TEST(Wire, SalvageRequestIdNeedsEightBytes) {
+  Frame frame;
+  frame.type = FrameType::Request;
+  frame.payload = "1234567";  // 7 bytes: not enough
+  EXPECT_FALSE(salvage_request_id(frame).has_value());
+}
+
+// --- Message round trips ---------------------------------------------------
+
+TEST(Wire, HelloRoundTrip) {
+  FrameDecoder decoder;
+  decoder.feed(encode_hello(HelloMsg{kWireVersion, 31}));
+  const auto frame = decoder.next();
+  ASSERT_TRUE(frame.has_value());
+  const HelloMsg msg = decode_hello(*frame);
+  EXPECT_EQ(msg.wire_version, kWireVersion);
+  EXPECT_EQ(msg.model_version, 31u);
+}
+
+TEST(Wire, ResponseRoundTripPreservesEveryField) {
+  ResponseMsg out;
+  out.request_id = 991;
+  out.status = Status::DeadlineExceeded;
+  out.model_version = 12;
+  out.job_index = 3;
+  out.batch_size = 16;
+  out.server_latency_us = 123.5;
+  out.message = "too slow";
+  FrameDecoder decoder;
+  decoder.feed(encode_response(out));
+  const auto frame = decoder.next();
+  ASSERT_TRUE(frame.has_value());
+  const ResponseMsg in = decode_response(*frame);
+  EXPECT_EQ(in.request_id, out.request_id);
+  EXPECT_EQ(in.status, out.status);
+  EXPECT_EQ(in.model_version, out.model_version);
+  EXPECT_EQ(in.job_index, out.job_index);
+  EXPECT_EQ(in.batch_size, out.batch_size);
+  EXPECT_EQ(in.server_latency_us, out.server_latency_us);
+  EXPECT_EQ(in.message, out.message);
+}
+
+TEST(Wire, ResponseWithUnknownStatusIsBadPayload) {
+  util::BinaryWriter writer;
+  writer.u64(1);
+  writer.u8(99);  // no such Status
+  writer.u64(0);
+  writer.u64(0);
+  writer.u32(0);
+  writer.f64(0.0);
+  writer.str("");
+  FrameDecoder decoder;
+  decoder.feed(encode_frame(FrameType::Response, writer.buffer()));
+  const auto frame = decoder.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(reason_of([&] { (void)decode_response(*frame); }),
+            WireError::Reason::BadPayload);
+}
+
+TEST(Wire, RetryablePolicyMatchesIdempotencyContract) {
+  // Retry only when the server did NOT serve the request and the
+  // failure is transient; BadRequest retries would loop forever and
+  // InternalError cannot promise the request was not applied.
+  EXPECT_FALSE(status_retryable(Status::Ok));
+  EXPECT_TRUE(status_retryable(Status::Overloaded));
+  EXPECT_FALSE(status_retryable(Status::BadRequest));
+  EXPECT_TRUE(status_retryable(Status::Unavailable));
+  EXPECT_TRUE(status_retryable(Status::DeadlineExceeded));
+  EXPECT_TRUE(status_retryable(Status::ShuttingDown));
+  EXPECT_FALSE(status_retryable(Status::InternalError));
+}
+
+TEST(Wire, DecoderCompactionKeepsStreamIntact) {
+  // Many small frames through one decoder: the lazy buffer compaction
+  // must never corrupt or resplit the stream.
+  FrameDecoder decoder;
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    decoder.feed(encode_ping(i));
+    const auto frame = decoder.next();
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(decode_ping(*frame), i);
+  }
+  EXPECT_EQ(decoder.pending(), 0u);
+}
+
+}  // namespace
+}  // namespace dras::serve::net
