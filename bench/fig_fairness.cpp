@@ -1,0 +1,191 @@
+// Fairness/utilization frontier: multi-tenant scheduling under a skewed
+// (Zipf) user mix on the Theta-style scenario.
+//
+// Roster: FCFS (the unfair baseline), the three fair-share heuristics
+// (User-RR, DRR, WFQ — src/sched/fair_share.h), DRAS-PG, and DRAS-PG
+// trained with the fairness reward term + fairness feature rows
+// (DESIGN.md §12).  For every policy we report Jain's fairness index over
+// per-user service and over per-user slowdowns, the worst per-user mean
+// slowdown, and the classic §IV-E metrics — the frontier being how much
+// utilization/wait each policy gives up for its fairness.
+//
+// Expected shape: FCFS sits bottom-right (high utilization, low Jain
+// under a flooding user); the fair-share heuristics raise Jain at a small
+// utilization cost; the fairness-shaped DRAS agent lands between its
+// unshaped twin and the heuristics.
+//
+// Every repetition of --seeds N (default 1) is a full train-and-evaluate
+// over a (seed-derived) curriculum and test trace, run concurrently over
+// exec::ParallelRunner; tables carry mean ± stddev across repetitions.
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "exec/parallel_runner.h"
+#include "metrics/fairness.h"
+#include "metrics/report.h"
+#include "sched/fair_share.h"
+#include "util/format.h"
+#include "util/rng.h"
+
+namespace {
+
+namespace benchx = dras::benchx;
+using dras::util::format;
+
+constexpr std::size_t kTrainEpisodes = 24;
+constexpr std::size_t kTrainJobs = 400;
+constexpr std::size_t kTestJobs = 1200;
+constexpr std::uint64_t kTestTraceSeed = 424242;
+constexpr int kUsers = 8;
+constexpr double kUserZipf = 1.2;
+constexpr double kFairnessWeight = 0.5;
+
+struct PolicyPoint {
+  std::string method;
+  double jain_service = 0.0;
+  double jain_slowdown = 0.0;
+  double max_user_slowdown = 0.0;
+  double avg_wait = 0.0;
+  double utilization = 0.0;
+};
+
+/// One full repetition: train both DRAS-PG variants on the multi-user
+/// scenario, then evaluate the whole roster on the same test trace.
+std::vector<PolicyPoint> run_cell(const benchx::Scenario& scenario,
+                                  std::uint64_t trace_seed) {
+  const auto test_trace = scenario.trace(kTestJobs, trace_seed);
+  const auto reward = scenario.reward();
+
+  auto plain_cfg = scenario.preset.agent_config(
+      dras::core::AgentKind::PG, dras::util::derive_seed(scenario.seed, "pg"));
+  dras::core::DrasAgent dras_pg(plain_cfg);
+  benchx::train_dras_agent(dras_pg, scenario, kTrainEpisodes, kTrainJobs);
+
+  auto fair_cfg = scenario.preset.agent_config(
+      dras::core::AgentKind::PG,
+      dras::util::derive_seed(scenario.seed, "pg-fair"));
+  fair_cfg.reward_weights.fairness = kFairnessWeight;
+  fair_cfg.fairness_features = true;
+  dras::core::DrasAgent dras_fair(fair_cfg);
+  benchx::train_dras_agent(dras_fair, scenario, kTrainEpisodes, kTrainJobs);
+
+  dras::sched::FcfsEasy fcfs;
+  dras::sched::UserRoundRobin user_rr;
+  dras::sched::DeficitRoundRobin drr;
+  dras::sched::WeightedFairQueuing wfq;
+  const std::vector<std::pair<std::string, dras::sim::Scheduler*>> roster = {
+      {"FCFS", &fcfs},           {"User-RR", &user_rr},
+      {"DRR", &drr},             {"WFQ", &wfq},
+      {"DRAS-PG", &dras_pg},     {"DRAS-PG+fair", &dras_fair}};
+
+  std::vector<PolicyPoint> points;
+  for (const auto& [name, policy] : roster) {
+    const auto evaluation = dras::train::evaluate(
+        scenario.preset.nodes, test_trace, *policy, &reward);
+    const auto fairness =
+        dras::metrics::fairness_summary(evaluation.result.jobs);
+    points.push_back({name, fairness.jain_service, fairness.jain_slowdown,
+                      fairness.max_user_slowdown, evaluation.summary.avg_wait,
+                      evaluation.summary.utilization});
+  }
+  return points;
+}
+
+struct Band {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+Band band_of(const std::vector<std::vector<PolicyPoint>>& per_seed,
+             std::size_t method, double PolicyPoint::*field) {
+  Band band;
+  const auto n = static_cast<double>(per_seed.size());
+  for (const auto& seed_points : per_seed)
+    band.mean += seed_points[method].*field;
+  band.mean /= n;
+  if (per_seed.size() > 1) {
+    double ss = 0.0;
+    for (const auto& seed_points : per_seed) {
+      const double d = seed_points[method].*field - band.mean;
+      ss += d * d;
+    }
+    band.stddev = std::sqrt(ss / (n - 1.0));
+  }
+  return band;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const dras::benchx::ObsSession obs_session(argc, argv);
+
+  auto base = benchx::Scenario::theta_mini(12);
+  base.model = base.model.with_users(kUsers, kUserZipf);
+
+  benchx::print_preamble(
+      format("Fairness/utilization frontier ({} users, zipf {}, {} seeds)",
+             kUsers, kUserZipf, obs_session.seeds()),
+      base, kTestJobs);
+
+  // Seed grid over the single scenario: repetition 0 keeps the original
+  // seeds (so --seeds 1 is the canonical single run), further
+  // repetitions derive decorrelated curriculum + trace streams.
+  const auto grid =
+      benchx::seed_sweep_grid({base}, obs_session.seeds(), kTestTraceSeed);
+  dras::exec::ParallelRunner runner(obs_session.jobs());
+  const auto per_seed = runner.map(
+      grid.size(),
+      [&](std::size_t i) {
+        return run_cell(grid[i].scenario, grid[i].trace_seed);
+      },
+      "fig-fairness");
+
+  std::cout << "csv:method,seeds,jain_service,jain_service_std,"
+               "jain_slowdown,jain_slowdown_std,max_user_slowdown,"
+               "max_user_slowdown_std,avg_wait_s,avg_wait_std,utilization,"
+               "utilization_std\n";
+  std::vector<std::vector<std::string>> table;
+  const std::size_t methods = per_seed.front().size();
+  for (std::size_t m = 0; m < methods; ++m) {
+    const std::string& name = per_seed.front()[m].method;
+    const Band jain = band_of(per_seed, m, &PolicyPoint::jain_service);
+    const Band jain_sd = band_of(per_seed, m, &PolicyPoint::jain_slowdown);
+    const Band worst = band_of(per_seed, m, &PolicyPoint::max_user_slowdown);
+    const Band wait = band_of(per_seed, m, &PolicyPoint::avg_wait);
+    const Band util = band_of(per_seed, m, &PolicyPoint::utilization);
+    table.push_back(
+        {name, format("{:.3f} ± {:.3f}", jain.mean, jain.stddev),
+         format("{:.3f} ± {:.3f}", jain_sd.mean, jain_sd.stddev),
+         format("{:.2f} ± {:.2f}", worst.mean, worst.stddev),
+         format("{:.0f} ± {:.0f}", wait.mean, wait.stddev),
+         format("{:.3f} ± {:.3f}", util.mean, util.stddev)});
+    std::cout << format(
+        "csv:{},{},{:.4f},{:.4f},{:.4f},{:.4f},{:.3f},{:.3f},{:.1f},{:.1f},"
+        "{:.4f},{:.4f}\n",
+        name, obs_session.seeds(), jain.mean, jain.stddev, jain_sd.mean,
+        jain_sd.stddev, worst.mean, worst.stddev, wait.mean, wait.stddev,
+        util.mean, util.stddev);
+  }
+  dras::metrics::print_table(
+      std::cout,
+      {"method", "jain (service)", "jain (slowdown)", "max user slowdown",
+       "avg wait (s)", "utilization"},
+      table);
+
+  // The frontier, one line per policy: fairness gained vs utilization
+  // given up relative to FCFS (roster position 0).
+  const Band fcfs_jain = band_of(per_seed, 0, &PolicyPoint::jain_slowdown);
+  const Band fcfs_util = band_of(per_seed, 0, &PolicyPoint::utilization);
+  std::cout << "\nfrontier (vs FCFS):\n";
+  for (std::size_t m = 1; m < methods; ++m) {
+    const Band jain_sd = band_of(per_seed, m, &PolicyPoint::jain_slowdown);
+    const Band util = band_of(per_seed, m, &PolicyPoint::utilization);
+    std::cout << format("  {}: jain {:+.3f}, utilization {:+.3f}\n",
+                        per_seed.front()[m].method,
+                        jain_sd.mean - fcfs_jain.mean,
+                        util.mean - fcfs_util.mean);
+  }
+  return 0;
+}

@@ -16,7 +16,10 @@
 // fill in: each configuration also reports the p50/p99 per-task wall
 // time (evaluation cells from eval.task_wall_s, rollout slots from
 // rollout.slot_wall_s), making tail latency per worker count visible
-// next to the aggregate speedup.
+// next to the aggregate speedup.  Part 3 measures the batched network
+// forward (nn::Network::forward_batch, the kernel under the batched PG
+// update and the serving path) against a serial forward loop, with the
+// same bit-identity check per batched row.
 #include <chrono>
 #include <cstring>
 #include <iostream>
@@ -26,6 +29,7 @@
 #include "core/presets.h"
 #include "exec/parallel_evaluator.h"
 #include "metrics/report.h"
+#include "nn/network.h"
 #include "obs/metrics.h"
 #include "rollout/rollout_pool.h"
 #include "sched/fcfs_easy.h"
@@ -232,6 +236,86 @@ int main() {
        "identical"},
       train_table);
 
+  // --- Part 3: batched network forward. ---
+  // The PG update and the serving path both route multi-sample windows
+  // through nn::Network::forward_batch (gemm_batch) instead of a serial
+  // forward loop.  Measure the speedup per batch size and verify the
+  // batched outputs stay bit-identical to per-sample forward() — the
+  // guarantee the batched PG update rides on.
+  std::cout << format("\nbatched forward scaling: best of {} repetitions\n\n",
+                      kRepetitions);
+  dras::nn::NetworkConfig net_cfg;
+  net_cfg.input_rows = 1024;
+  net_cfg.fc1 = 256;
+  net_cfg.fc2 = 128;
+  net_cfg.outputs = 32;
+  dras::util::Rng net_rng(321);
+  dras::nn::Network net(net_cfg, net_rng);
+
+  bool all_rows_identical = true;
+  double per_sample_best_per_row = 0.0;
+  std::vector<std::vector<std::string>> fwd_table;
+  for (const std::size_t batch : {1u, 4u, 16u, 64u}) {
+    std::vector<float> inputs(batch * net_cfg.input_size());
+    for (float& v : inputs)
+      v = static_cast<float>(net_rng.uniform(-1.0, 1.0));
+    std::vector<float> outputs(batch * net_cfg.outputs);
+    const int iterations = static_cast<int>(256 / batch);
+
+    // Identity first: every batched row equals the per-sample forward.
+    net.forward_batch(inputs, batch, outputs);
+    bool identical = true;
+    for (std::size_t b = 0; b < batch; ++b) {
+      const auto row = std::span<const float>(inputs).subspan(
+          b * net_cfg.input_size(), net_cfg.input_size());
+      const auto expected = net.forward(row);
+      identical &= std::memcmp(outputs.data() + b * net_cfg.outputs,
+                               expected.data(),
+                               net_cfg.outputs * sizeof(float)) == 0;
+    }
+    all_rows_identical &= identical;
+
+    double serial_best_s = 0.0, batched_best_s = 0.0;
+    for (int rep = 0; rep < kRepetitions; ++rep) {
+      double start = now_seconds();
+      for (int it = 0; it < iterations; ++it)
+        for (std::size_t b = 0; b < batch; ++b)
+          (void)net.forward(std::span<const float>(inputs).subspan(
+              b * net_cfg.input_size(), net_cfg.input_size()));
+      const double serial_s = now_seconds() - start;
+      start = now_seconds();
+      for (int it = 0; it < iterations; ++it)
+        net.forward_batch(inputs, batch, outputs);
+      const double batched_s = now_seconds() - start;
+      if (rep == 0 || serial_s < serial_best_s) serial_best_s = serial_s;
+      if (rep == 0 || batched_s < batched_best_s) batched_best_s = batched_s;
+    }
+    const double rows = static_cast<double>(iterations) *
+                        static_cast<double>(batch);
+    const double serial_us = serial_best_s / rows * 1e6;
+    const double batched_us = batched_best_s / rows * 1e6;
+    if (batch == 1) per_sample_best_per_row = batched_us;
+    const double speedup =
+        batched_us > 0.0 ? serial_us / batched_us : 0.0;
+    fwd_table.push_back({format("{}", batch), format("{:.2f}", serial_us),
+                         format("{:.2f}", batched_us),
+                         format("{:.2f}x", speedup),
+                         identical ? "yes" : "NO"});
+    std::cout << format(
+        "{{\"name\":\"forward_batch/batch:{}\",\"batch\":{},"
+        "\"serial_us_per_row\":{:.3f},\"batched_us_per_row\":{:.3f},"
+        "\"speedup\":{:.3f},\"identical\":{}}}\n",
+        batch, batch, serial_us, batched_us, speedup,
+        identical ? "true" : "false");
+  }
+  (void)per_sample_best_per_row;
+
+  std::cout << "\n";
+  dras::metrics::print_table(
+      std::cout,
+      {"batch", "serial µs/row", "batched µs/row", "speedup", "identical"},
+      fwd_table);
+
   if (!all_identical) {
     std::cerr << "\nFAIL: parallel results diverged from the serial "
                  "baseline\n";
@@ -242,7 +326,13 @@ int main() {
                  "single-worker baseline\n";
     return 1;
   }
+  if (!all_rows_identical) {
+    std::cerr << "\nFAIL: batched forward rows diverged from per-sample "
+                 "forward()\n";
+    return 1;
+  }
   std::cout << "\nall parallel results bit-identical to --jobs 1; all "
-               "rollout-trained parameters bit-identical to workers=1\n";
+               "rollout-trained parameters bit-identical to workers=1; all "
+               "batched forward rows bit-identical to forward()\n";
   return 0;
 }

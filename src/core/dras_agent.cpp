@@ -28,6 +28,7 @@ nn::NetworkConfig DrasConfig::network_config() const {
     net.outputs = 1;
   }
   if (failure_features) net.input_rows += StateEncoder::kFailureRows;
+  if (fairness_features) net.input_rows += StateEncoder::kFairnessRows;
   return net;
 }
 
@@ -36,7 +37,7 @@ DrasAgent::DrasAgent(const DrasConfig& config)
       name_(to_string(config.kind)),
       reward_(config.reward_kind, config.reward_weights),
       encoder_(config.total_nodes, config.time_scale,
-               config.failure_features),
+               config.failure_features, config.fairness_features),
       rng_(util::derive_seed(config.seed, "dras-agent")) {
   if (config.total_nodes <= 0)
     throw std::invalid_argument("agent needs a positive node count");
@@ -140,6 +141,14 @@ std::uint64_t config_fingerprint(const DrasConfig& c) noexcept {
   // Mixed only when enabled so every pre-existing fault-free checkpoint
   // keeps its historical fingerprint.
   if (c.failure_features) mix(0xFA17FEA7u);
+  // Same discipline for the fairness extensions: a fairness-shaped
+  // reward or fairness input rows change what the parameters mean, but
+  // fairness-off agents keep the historical fingerprint bit-for-bit.
+  if (c.reward_weights.fairness != 0.0) {
+    mix(0xFA15FA15u);
+    mix_f64(c.reward_weights.fairness);
+  }
+  if (c.fairness_features) mix(0xFA15FEA7u);
   return h;
 }
 }  // namespace

@@ -62,6 +62,11 @@ struct DrasConfig {
   /// Adds two input rows to the network.  Off by default so fault-free
   /// agents keep their historical topology and checkpoint fingerprint.
   bool failure_features = false;
+  /// Append fair-share features to the state vector (candidate user
+  /// shares, queue user diversity; src/fair).  Adds two input rows.
+  /// Off by default, same fingerprint discipline as failure_features.
+  /// The fairness *reward* term is reward_weights.fairness.
+  bool fairness_features = false;
 
   [[nodiscard]] nn::NetworkConfig network_config() const;
 };

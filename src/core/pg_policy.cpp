@@ -87,6 +87,24 @@ void PGPolicy::update() {
     baseline_count_.resize(k_total, 0);
   }
 
+  // All K window evaluations run as one batched forward: the recorded
+  // states and the parameters are both fixed for the whole sweep, so
+  // forward_batch_retained() replaces K forward() calls (bit-identical
+  // per sample — see nn::gemm_batch) and stage_batch_sample() below
+  // rehydrates each sample's activations for its backward pass.
+  const std::size_t input_size = config_.net.input_size();
+  const std::size_t outputs = config_.net.outputs;
+  batch_states_.resize(k_total * input_size);
+  for (std::size_t k = 0; k < k_total; ++k) {
+    const Step& step = memory_[k];
+    assert(step.state.size() == input_size);
+    std::copy(step.state.begin(), step.state.end(),
+              batch_states_.begin() +
+                  static_cast<std::ptrdiff_t>(k * input_size));
+  }
+  batch_logits_.resize(k_total * outputs);
+  network_.forward_batch_retained(batch_states_, k_total, batch_logits_);
+
   network_.zero_gradients();
   std::vector<float> grad_logits(config_.net.outputs);
   double loss_acc = 0.0;
@@ -103,7 +121,8 @@ void PGPolicy::update() {
     ++baseline_count_[k];
 
     // Gradient of −log π(a|s)·A at the logits: (softmax − onehot_a)·A.
-    const auto logits = network_.forward(step.state);
+    const std::span<const float> logits(batch_logits_.data() + k * outputs,
+                                        outputs);
     nn::softmax_masked(logits, probs_scratch_, step.valid);
     const double p_action =
         std::max(static_cast<double>(probs_scratch_[step.action]), 1e-12);
@@ -112,6 +131,7 @@ void PGPolicy::update() {
     for (std::size_t i = 0; i < grad_logits.size(); ++i)
       grad_logits[i] = probs_scratch_[i] * adv;
     grad_logits[step.action] -= adv;
+    network_.stage_batch_sample(k);
     network_.backward(grad_logits);
   }
 

@@ -140,6 +140,10 @@ class PGPolicy {
   double last_loss_ = 0.0;
   double last_grad_norm_ = 0.0;
   std::vector<float> probs_scratch_;
+  // update() scratch: the batched forward's packed states and logits
+  // (states and parameters are fixed across an update, so all K
+  // forwards run as one forward_batch_retained call).
+  std::vector<float> batch_states_, batch_logits_;
   nn::GradientAccumulator* sink_ = nullptr;  // transient, never serialized
 };
 

@@ -14,6 +14,7 @@ RewardFunction::RewardFunction(RewardKind kind, RewardWeights weights)
 double RewardFunction::step_reward(const sim::SchedulingContext& ctx,
                                    const sim::Job& job) const {
   const auto n_total = static_cast<double>(ctx.cluster().total_nodes());
+  double reward = 0.0;
   switch (kind_) {
     case RewardKind::Capability: {
       const double wait = std::max(ctx.now() - job.submit_time, 0.0);
@@ -24,22 +25,28 @@ double RewardFunction::step_reward(const sim::SchedulingContext& ctx,
       const double wait_share = wait / t_max;
       const double size_share = static_cast<double>(job.size) / n_total;
       const double util = ctx.cluster().utilization();
-      return weights_.w1 * wait_share + weights_.w2 * size_share +
-             weights_.w3 * util;
+      reward = weights_.w1 * wait_share + weights_.w2 * size_share +
+               weights_.w3 * util;
+      break;
     }
     case RewardKind::Capacity: {
       const auto& queue = ctx.queue();
-      if (queue.empty()) return 0.0;
+      if (queue.empty()) break;
       double sum = 0.0;
       for (const sim::Job* waiting : queue) {
         const double queued =
             std::max(ctx.now() - waiting->submit_time, kQueuedTimeFloor);
         sum += -1.0 / queued;
       }
-      return sum / static_cast<double>(queue.size());
+      reward = sum / static_cast<double>(queue.size());
+      break;
     }
   }
-  return 0.0;
+  // Opt-in fairness shaping: favour users holding a small decayed share
+  // of the machine.  Guarded so weight 0 stays bit-identical (no +0.0).
+  if (weights_.fairness != 0.0)
+    reward += weights_.fairness * (1.0 - ctx.user_share(job.user_id));
+  return reward;
 }
 
 double RewardFunction::job_value(const sim::SchedulingContext& ctx,

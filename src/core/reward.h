@@ -28,6 +28,12 @@ struct RewardWeights {
   double w1 = 1.0 / 3.0;  ///< starvation avoidance (wait share)
   double w2 = 1.0 / 3.0;  ///< capability promotion (size share)
   double w3 = 1.0 / 3.0;  ///< utilisation share
+  /// Opt-in fairness shaping (src/fair, DESIGN.md §12): adds
+  /// fairness × (1 − user_share) to every step reward, rewarding the
+  /// selection of jobs from users holding a small decayed share of the
+  /// machine.  At 0 (the default) the term — and its branch — vanish,
+  /// leaving rewards byte-identical to the unshaped function.
+  double fairness = 0.0;
 };
 
 class RewardFunction {

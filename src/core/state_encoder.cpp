@@ -7,10 +7,11 @@
 namespace dras::core {
 
 StateEncoder::StateEncoder(int total_nodes, double time_scale,
-                           bool failure_features)
+                           bool failure_features, bool fairness_features)
     : total_nodes_(total_nodes),
       time_scale_(time_scale),
-      failure_features_(failure_features) {
+      failure_features_(failure_features),
+      fairness_features_(fairness_features) {
   if (total_nodes <= 0 || time_scale <= 0.0)
     throw std::invalid_argument("encoder needs positive nodes/time scale");
 }
@@ -51,6 +52,29 @@ void StateEncoder::append_failure_rows(const sim::SchedulingContext& ctx,
   out[3] = 0.0f;
 }
 
+void StateEncoder::append_fairness_rows(
+    const sim::SchedulingContext& ctx,
+    std::span<const sim::Job* const> candidates, float* out) const noexcept {
+  // Row 1: mean and max decayed user share over the candidate jobs —
+  //        how well-served are the users the agent can pick from?
+  float mean = 0.0f, max = 0.0f;
+  for (const sim::Job* job : candidates) {
+    const auto share = static_cast<float>(ctx.user_share(job->user_id));
+    mean += share;
+    max = std::max(max, share);
+  }
+  if (!candidates.empty()) mean /= static_cast<float>(candidates.size());
+  out[0] = mean;
+  out[1] = max;
+  // Row 2: user diversity of the full queue (distinct users per queued
+  //        job, in (0, 1]); padding.
+  const std::size_t queued = ctx.queue().size();
+  out[2] = queued > 0 ? static_cast<float>(ctx.queued_user_count()) /
+                            static_cast<float>(queued)
+                      : 0.0f;
+  out[3] = 0.0f;
+}
+
 void StateEncoder::encode_window(const sim::SchedulingContext& ctx,
                                  std::span<const sim::Job* const> window,
                                  std::size_t window_slots,
@@ -66,9 +90,12 @@ void StateEncoder::encode_window(const sim::SchedulingContext& ctx,
   // Remaining slots stay zero (invalid actions are masked downstream).
   cursor = out.data() + 4 * window_slots;
   append_nodes(ctx, cursor);
-  if (failure_features_)
-    append_failure_rows(
-        ctx, cursor + 2 * static_cast<std::size_t>(total_nodes_));
+  cursor += 2 * static_cast<std::size_t>(total_nodes_);
+  if (failure_features_) {
+    append_failure_rows(ctx, cursor);
+    cursor += 2 * kFailureRows;
+  }
+  if (fairness_features_) append_fairness_rows(ctx, window, cursor);
 }
 
 void StateEncoder::encode_job(const sim::SchedulingContext& ctx,
@@ -77,9 +104,16 @@ void StateEncoder::encode_job(const sim::SchedulingContext& ctx,
   out.assign(dql_input_size(), 0.0f);
   write_job_block(job, ctx.now(), out.data());
   append_nodes(ctx, out.data() + 4);
-  if (failure_features_)
-    append_failure_rows(
-        ctx, out.data() + 4 + 2 * static_cast<std::size_t>(total_nodes_));
+  float* cursor =
+      out.data() + 4 + 2 * static_cast<std::size_t>(total_nodes_);
+  if (failure_features_) {
+    append_failure_rows(ctx, cursor);
+    cursor += 2 * kFailureRows;
+  }
+  if (fairness_features_) {
+    const sim::Job* candidates[] = {&job};
+    append_fairness_rows(ctx, candidates, cursor);
+  }
 }
 
 }  // namespace dras::core

@@ -18,6 +18,14 @@
 // it is scheduling against.  Off by default — the fault-free encoding is
 // bit-identical to the historical one.
 //
+// With fairness features enabled (src/fair) two further rows summarise
+// the fair-share state of the candidate jobs:
+//     [ mean user share over the candidates, max user share ]
+//     [ queued-user diversity (distinct users / queued jobs), 0 ]
+// so a fairness-aware agent can tell whether the window is dominated by
+// already-well-served users.  Also off by default and bit-identical when
+// disabled.
+//
 // The paper feeds raw values; we additionally scale sizes by the machine
 // size and times by a per-system time scale so the network inputs stay
 // O(1) — a standard conditioning detail that does not change what the
@@ -36,28 +44,36 @@ class StateEncoder {
  public:
   /// Extra input rows appended when failure features are enabled.
   static constexpr std::size_t kFailureRows = 2;
+  /// Extra input rows appended when fairness features are enabled.
+  static constexpr std::size_t kFairnessRows = 2;
 
   /// `time_scale` is the characteristic time (seconds) used to normalise
   /// runtimes, queued times and release deltas (e.g. the system's maximum
   /// walltime).
   StateEncoder(int total_nodes, double time_scale,
-               bool failure_features = false);
+               bool failure_features = false,
+               bool fairness_features = false);
 
   [[nodiscard]] int total_nodes() const noexcept { return total_nodes_; }
   [[nodiscard]] double time_scale() const noexcept { return time_scale_; }
   [[nodiscard]] bool failure_features() const noexcept {
     return failure_features_;
   }
+  [[nodiscard]] bool fairness_features() const noexcept {
+    return fairness_features_;
+  }
 
   /// Flat input length for a PG network over a W-job window.
   [[nodiscard]] std::size_t pg_input_size(std::size_t window) const noexcept {
     return 2 * (2 * window + static_cast<std::size_t>(total_nodes_) +
-                (failure_features_ ? kFailureRows : 0));
+                (failure_features_ ? kFailureRows : 0) +
+                (fairness_features_ ? kFairnessRows : 0));
   }
   /// Flat input length for a DQL network (one job).
   [[nodiscard]] std::size_t dql_input_size() const noexcept {
     return 2 * (2 + static_cast<std::size_t>(total_nodes_) +
-                (failure_features_ ? kFailureRows : 0));
+                (failure_features_ ? kFailureRows : 0) +
+                (fairness_features_ ? kFairnessRows : 0));
   }
 
   /// Encode a W-slot window (PG).  `window` holds the jobs actually present
@@ -78,10 +94,14 @@ class StateEncoder {
   void append_nodes(const sim::SchedulingContext& ctx, float* out) const;
   void append_failure_rows(const sim::SchedulingContext& ctx,
                            float* out) const noexcept;
+  void append_fairness_rows(const sim::SchedulingContext& ctx,
+                            std::span<const sim::Job* const> candidates,
+                            float* out) const noexcept;
 
   int total_nodes_;
   double time_scale_;
   bool failure_features_;
+  bool fairness_features_;
   mutable std::vector<sim::NodeRow> node_scratch_;
 };
 

@@ -1,0 +1,109 @@
+// Decayed per-user resource-share accounting (DESIGN.md §12).
+//
+// Production fair-share schedulers rank users by how much machine they
+// have recently consumed, with an exponential half-life so old usage
+// stops counting against a user.  ShareTracker is that ledger: the
+// simulator charges it size × effective-runtime node-seconds whenever a
+// job starts, and schedulers / the fairness reward read back each user's
+// decayed share as a fraction of the decayed total.
+//
+// The tracker is deterministic and RNG-free — shares are a pure function
+// of the charge sequence — and it is reset with the simulator at the
+// start of every run, so episodes stay atomic under crash-resume and
+// worker-count changes.
+#pragma once
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "sim/job.h"
+
+namespace dras::fair {
+
+/// Default half-life: two simulated days — long enough that one busy day
+/// counts, short enough that last week's burst does not.
+inline constexpr double kDefaultShareHalfLife = 2.0 * 86400.0;
+
+class ShareTracker {
+ public:
+  explicit ShareTracker(double half_life_seconds = kDefaultShareHalfLife)
+      : half_life_(half_life_seconds) {}
+
+  /// Forget everything (start of a new simulation run).
+  void reset() {
+    shares_.clear();
+    total_ = 0.0;
+    last_decay_ = 0.0;
+  }
+
+  /// Charge `node_seconds` of consumption to `user` at sim time `now`.
+  /// Unknown users (sim::kUnknownUser) are pooled under the sentinel key
+  /// so they still count against the total.
+  void charge(int user, double node_seconds, double now) {
+    decay_to(now);
+    shares_[user] += node_seconds;
+    total_ += node_seconds;
+  }
+
+  /// Decayed node-seconds attributed to `user` as of `now`.
+  [[nodiscard]] double share(int user, double now) const {
+    const auto it = shares_.find(user);
+    if (it == shares_.end()) return 0.0;
+    return it->second * decay_factor(now);
+  }
+
+  /// `user`'s fraction of all decayed consumption in [0, 1]; 0 when
+  /// nothing has been charged yet.
+  [[nodiscard]] double fraction(int user, double now) const {
+    if (total_ <= 0.0) return 0.0;
+    const auto it = shares_.find(user);
+    if (it == shares_.end()) return 0.0;
+    // Decay factors cancel in the ratio, so no clock math is needed —
+    // and the ratio is exact even when both values have decayed to
+    // denormal territory.
+    (void)now;
+    return it->second / total_;
+  }
+
+  /// Number of users (including the unknown pool) ever charged this run.
+  [[nodiscard]] std::size_t users() const noexcept { return shares_.size(); }
+
+  [[nodiscard]] double half_life() const noexcept { return half_life_; }
+
+  /// Decayed per-user shares as of `now`, ascending user id.
+  [[nodiscard]] std::vector<std::pair<int, double>> snapshot(
+      double now) const {
+    std::vector<std::pair<int, double>> result;
+    result.reserve(shares_.size());
+    const double f = decay_factor(now);
+    for (const auto& [user, value] : shares_)
+      result.emplace_back(user, value * f);
+    return result;
+  }
+
+ private:
+  /// Multiplier that ages the stored (as-of last_decay_) values to `now`.
+  [[nodiscard]] double decay_factor(double now) const {
+    if (half_life_ <= 0.0 || now <= last_decay_) return 1.0;
+    return std::exp2(-(now - last_decay_) / half_life_);
+  }
+
+  /// Rebase the stored values to `now` (called before every charge so
+  /// all entries share one reference time).
+  void decay_to(double now) {
+    const double f = decay_factor(now);
+    if (f != 1.0) {
+      for (auto& [user, value] : shares_) value *= f;
+      total_ *= f;
+    }
+    if (now > last_decay_) last_decay_ = now;
+  }
+
+  double half_life_;
+  std::map<int, double> shares_;  ///< user → node-seconds as of last_decay_.
+  double total_ = 0.0;
+  double last_decay_ = 0.0;
+};
+
+}  // namespace dras::fair

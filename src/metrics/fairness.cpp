@@ -1,0 +1,60 @@
+#include "metrics/fairness.h"
+
+#include <algorithm>
+#include <map>
+
+namespace dras::metrics {
+
+double jain_index(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0, sum_sq = 0.0;
+  for (const double v : values) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  if (sum_sq <= 0.0) return 0.0;
+  return sum * sum / (static_cast<double>(values.size()) * sum_sq);
+}
+
+std::vector<UserStat> by_user(std::span<const sim::JobRecord> records) {
+  std::map<int, UserStat> users;
+  for (const sim::JobRecord& rec : records) {
+    UserStat& stat = users[rec.user_id];
+    stat.user_id = rec.user_id;
+    ++stat.jobs;
+    stat.avg_wait += rec.wait();
+    stat.max_wait = std::max(stat.max_wait, rec.wait());
+    stat.avg_slowdown += rec.slowdown();
+    stat.node_seconds += rec.node_seconds();
+  }
+  std::vector<UserStat> result;
+  result.reserve(users.size());
+  for (auto& entry : users) {
+    UserStat& stat = entry.second;
+    stat.avg_wait /= static_cast<double>(stat.jobs);
+    stat.avg_slowdown /= static_cast<double>(stat.jobs);
+    result.push_back(std::move(stat));
+  }
+  return result;
+}
+
+FairnessSummary fairness_summary(std::span<const sim::JobRecord> records) {
+  FairnessSummary summary;
+  summary.per_user = by_user(records);
+  summary.users = summary.per_user.size();
+  std::vector<double> service, inverse_slowdown;
+  service.reserve(summary.users);
+  inverse_slowdown.reserve(summary.users);
+  for (const UserStat& stat : summary.per_user) {
+    service.push_back(stat.node_seconds);
+    inverse_slowdown.push_back(
+        stat.avg_slowdown > 0.0 ? 1.0 / stat.avg_slowdown : 0.0);
+    summary.max_user_slowdown =
+        std::max(summary.max_user_slowdown, stat.avg_slowdown);
+  }
+  summary.jain_service = jain_index(service);
+  summary.jain_slowdown = jain_index(inverse_slowdown);
+  return summary;
+}
+
+}  // namespace dras::metrics

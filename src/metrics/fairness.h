@@ -1,0 +1,53 @@
+// Multi-tenant fairness metrics (DESIGN.md §12).
+//
+// Per-user aggregation of the §IV-E metrics plus Jain's fairness index,
+// the standard scalar for "how evenly was the resource shared":
+//
+//   J(x) = (Σ x_i)² / (n · Σ x_i²),  J ∈ [1/n, 1]
+//
+// J = 1 when all users fare identically; J = 1/n when one user
+// monopolises.  We report two flavours per run: service fairness (x =
+// per-user delivered node-seconds) and experience fairness (x = 1 /
+// per-user mean slowdown, so equal *treatment* — not equal demand —
+// scores 1 even when users submit very different volumes).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sim/metrics_collector.h"
+
+namespace dras::metrics {
+
+/// Jain's fairness index of a non-negative sample; 0 when the sample is
+/// empty or sums to zero.
+[[nodiscard]] double jain_index(std::span<const double> values);
+
+/// Per-user §IV-E aggregation over one run's completed jobs.
+struct UserStat {
+  int user_id = sim::kUnknownUser;
+  std::size_t jobs = 0;
+  double avg_wait = 0.0;
+  double max_wait = 0.0;
+  double avg_slowdown = 0.0;
+  double node_seconds = 0.0;  ///< Delivered service.
+};
+
+/// Group records by user id, ascending (the unknown sentinel, if
+/// present, sorts first).
+[[nodiscard]] std::vector<UserStat> by_user(
+    std::span<const sim::JobRecord> records);
+
+/// Scalar fairness summary of one run.
+struct FairnessSummary {
+  std::size_t users = 0;           ///< Distinct users with completed jobs.
+  double jain_service = 0.0;       ///< Jain over delivered node-seconds.
+  double jain_slowdown = 0.0;      ///< Jain over 1 / mean user slowdown.
+  double max_user_slowdown = 0.0;  ///< Worst per-user mean slowdown.
+  std::vector<UserStat> per_user;  ///< The underlying table.
+};
+
+[[nodiscard]] FairnessSummary fairness_summary(
+    std::span<const sim::JobRecord> records);
+
+}  // namespace dras::metrics

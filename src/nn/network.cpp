@@ -130,6 +130,19 @@ std::span<const float> Network::forward(std::span<const float> input) {
 
 void Network::forward_batch(std::span<const float> inputs, std::size_t batch,
                             std::span<float> outputs) {
+  forward_batch_impl(inputs, batch, outputs, /*retain=*/false);
+}
+
+void Network::forward_batch_retained(std::span<const float> inputs,
+                                     std::size_t batch,
+                                     std::span<float> outputs) {
+  forward_batch_impl(inputs, batch, outputs, /*retain=*/true);
+}
+
+void Network::forward_batch_impl(std::span<const float> inputs,
+                                 std::size_t batch, std::span<float> outputs,
+                                 bool retain) {
+  retained_batch_ = 0;
   if (batch == 0) return;
   if (inputs.size() != batch * config_.input_size())
     throw std::invalid_argument("forward_batch inputs have the wrong length");
@@ -165,10 +178,12 @@ void Network::forward_batch(std::span<const float> inputs, std::size_t batch,
 
   gemm_batch(cblock(layout_.w1, h1 * r), batch_conv_, batch_fc1_, h1, r,
              batch);
+  if (retain) batch_fc1_pre_ = batch_fc1_;
   leaky_relu(batch_fc1_, config_.leaky_slope);
 
   gemm_batch(cblock(layout_.w2, h2 * h1), batch_fc1_, batch_fc2_, h2, h1,
              batch);
+  if (retain) batch_fc2_pre_ = batch_fc2_;
   leaky_relu(batch_fc2_, config_.leaky_slope);
 
   gemm_batch(cblock(layout_.w3, out * h2), batch_fc2_, batch_out_, out, h2,
@@ -178,7 +193,40 @@ void Network::forward_batch(std::span<const float> inputs, std::size_t batch,
     for (std::size_t i = 0; i < out; ++i)
       y[i] = batch_out_[i * batch + b] + params_[layout_.b3 + i];
   }
+  if (retain) {
+    batch_input_.assign(inputs.begin(), inputs.end());
+    retained_batch_ = batch;
+  }
   if (timed) NetMetrics::get().batch_forward_us.observe(micros_since(start));
+}
+
+void Network::stage_batch_sample(std::size_t b) {
+  if (b >= retained_batch_)
+    throw std::logic_error(
+        "stage_batch_sample() without a retained batch covering the index");
+  const std::size_t batch = retained_batch_;
+  const std::size_t r = config_.input_rows;
+  const std::size_t h1 = config_.fc1;
+  const std::size_t h2 = config_.fc2;
+  const std::size_t out = config_.outputs;
+
+  const float* x = batch_input_.data() + b * 2 * r;
+  std::copy(x, x + 2 * r, input_.begin());
+  // The batch buffers are sample-minor ([feature][batch]); gather
+  // column b back into the single-sample caches backward() reads.
+  for (std::size_t i = 0; i < r; ++i)
+    conv_out_[i] = batch_conv_[i * batch + b];
+  for (std::size_t i = 0; i < h1; ++i) {
+    fc1_pre_[i] = batch_fc1_pre_[i * batch + b];
+    fc1_post_[i] = batch_fc1_[i * batch + b];
+  }
+  for (std::size_t i = 0; i < h2; ++i) {
+    fc2_pre_[i] = batch_fc2_pre_[i * batch + b];
+    fc2_post_[i] = batch_fc2_[i * batch + b];
+  }
+  for (std::size_t i = 0; i < out; ++i)
+    output_[i] = batch_out_[i * batch + b] + params_[layout_.b3 + i];
+  has_forward_ = true;
 }
 
 void Network::backward(std::span<const float> grad_output) {

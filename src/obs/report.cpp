@@ -155,11 +155,14 @@ std::optional<double> metric_value(const RunData& run,
     if (entry == nullptr) return std::nullopt;
     return number_field(*entry, rest.substr(colon + 1));
   }
-  // First-class failure metrics (see the file comment): they live in
-  // the manifest's "stats" object like any other set_stat key, but are
-  // named here so the failure-drill gate can rely on them never being
-  // shadowed by a future manifest field.
-  if (name == "wasted_node_hours" || name == "failures") {
+  // First-class failure and fairness metrics (see the file comment):
+  // they live in the manifest's "stats" object like any other set_stat
+  // key, but are named here so the failure-drill and fairness-drill
+  // gates can rely on them never being shadowed by a future manifest
+  // field.
+  if (name == "wasted_node_hours" || name == "failures" ||
+      name == "fairness_jain" || name == "fairness_jain_slowdown" ||
+      name == "max_user_slowdown") {
     const util::json::Value* stats = run.manifest.find("stats");
     if (stats == nullptr) return std::nullopt;
     return number_field(*stats, name);
@@ -172,13 +175,16 @@ std::optional<double> metric_value(const RunData& run,
 }
 
 bool higher_is_worse(const std::string& metric) {
-  // Scores, work totals and rates regress downward; times — and the
-  // failure metrics wasted_node_hours / failures — regress upward.
+  // Scores, work totals, rates and fairness indices regress downward;
+  // times — and the failure metrics wasted_node_hours / failures —
+  // regress upward.  Jain's index is in [1/n, 1] with 1 = perfectly
+  // fair, so a *drop* is the regression.
   const bool is_rate =
       metric.size() >= 8 &&
       metric.compare(metric.size() - 8, 8, "_per_sec") == 0;
   return !(metric == "final_score" || metric == "episodes" ||
-           metric == "rounds" || is_rate);
+           metric == "rounds" || metric == "fairness_jain" ||
+           metric == "fairness_jain_slowdown" || is_rate);
 }
 
 std::vector<Threshold> default_thresholds() {

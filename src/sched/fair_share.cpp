@@ -1,0 +1,249 @@
+#include "sched/fair_share.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <vector>
+
+namespace dras::sched {
+
+namespace {
+
+/// A job's requested claim on the machine, in node-seconds — what DRR
+/// deficits are spent on and what WFQ finish tags advance by.
+double job_cost(const sim::Job& job) {
+  return static_cast<double>(job.size) * job.runtime_estimate;
+}
+
+/// Queued, non-reserved jobs grouped per user (arrival order within a
+/// user; std::map keeps users in ascending-id rotation order).
+std::map<int, std::vector<sim::Job*>> by_user(
+    const sim::SchedulingContext& ctx) {
+  std::map<int, std::vector<sim::Job*>> users;
+  for (sim::Job* job : ctx.queue())
+    if (!ctx.is_reserved(job->id)) users[job->user_id].push_back(job);
+  return users;
+}
+
+/// The map entry strictly after `cursor` in wrap-around ascending order.
+template <typename Map>
+typename Map::iterator rotate_from(Map& users, int cursor) {
+  auto it = users.upper_bound(cursor);
+  if (it == users.end()) it = users.begin();
+  return it;
+}
+
+/// Start `job` through the EASY rules of the current instance.
+bool try_start(sim::SchedulingContext& ctx, const sim::Job& job) {
+  return ctx.reservation().active() ? ctx.backfill(job.id)
+                                    : ctx.start_now(job.id);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// UserRoundRobin
+// ---------------------------------------------------------------------------
+
+void UserRoundRobin::schedule(sim::SchedulingContext& ctx) {
+  while (!ctx.reservation().full()) {
+    auto users = by_user(ctx);
+    if (users.empty()) break;
+    const auto it = rotate_from(users, cursor_);
+    sim::Job* target = it->second.front();
+    if (try_start(ctx, *target)) {
+      cursor_ = it->first;
+      continue;
+    }
+    if (!ctx.reserve(target->id)) break;  // racing full ledger
+    cursor_ = it->first;
+  }
+  if (!ctx.reservation().active()) return;
+  // Backfill keeps rotating across users too.
+  while (true) {
+    const auto candidates = ctx.backfill_candidates();
+    if (candidates.empty()) break;
+    std::map<int, sim::Job*> heads;
+    for (sim::Job* job : candidates) heads.try_emplace(job->user_id, job);
+    const auto it = rotate_from(heads, cursor_);
+    if (!ctx.backfill(it->second->id)) break;
+    cursor_ = it->first;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DeficitRoundRobin
+// ---------------------------------------------------------------------------
+
+void DeficitRoundRobin::schedule(sim::SchedulingContext& ctx) {
+  // Derive the default quantum from the first queue this episode sees:
+  // the mean job cost, so a typical user starts one typical job per
+  // rotation.
+  if (quantum_ <= 0.0 && derived_quantum_ <= 0.0) {
+    double total = 0.0;
+    for (const sim::Job* job : ctx.queue()) total += job_cost(*job);
+    if (!ctx.queue().empty())
+      derived_quantum_ = total / static_cast<double>(ctx.queue().size());
+  }
+  const double quantum =
+      quantum_ > 0.0 ? quantum_
+                     : (derived_quantum_ > 0.0 ? derived_quantum_ : 1.0);
+
+  bool progress = true;
+  bool fast_forwarded = false;
+  while (progress && !ctx.reservation().full()) {
+    progress = false;
+    auto users = by_user(ctx);
+    if (users.empty()) break;
+    // Deficits persist only while a user stays backlogged (classic DRR).
+    for (auto it = deficit_.begin(); it != deficit_.end();) {
+      if (!users.contains(it->first)) it = deficit_.erase(it);
+      else ++it;
+    }
+    // One full rotation starting after the cursor.
+    std::vector<int> order;
+    order.reserve(users.size());
+    for (auto it = rotate_from(users, cursor_); order.size() < users.size();
+         ++it) {
+      if (it == users.end()) it = users.begin();
+      order.push_back(it->first);
+    }
+    for (const int user : order) {
+      double& deficit = deficit_[user];
+      deficit += quantum;
+      for (sim::Job* job : users[user]) {
+        const double cost = job_cost(*job);
+        if (deficit < cost) break;
+        if (!try_start(ctx, *job)) break;
+        deficit -= cost;
+        cursor_ = user;
+        progress = true;
+      }
+      if (ctx.reservation().full()) break;
+    }
+    // Work-conserving fast-forward: classic DRR keeps rotating while the
+    // link is idle, so when a full rotation starts nothing but some
+    // user's head job physically fits, grant every backlogged user the
+    // quanta of the rotations the cheapest such start still needs (in
+    // one step — idle rotations take no wall-clock time).  At most once
+    // per instance, so a start rejected for non-deficit reasons (EASY
+    // legality) cannot loop.
+    if (!progress && !fast_forwarded) {
+      double rotations = std::numeric_limits<double>::infinity();
+      for (const auto& [user, jobs] : users) {
+        const sim::Job* head = jobs.front();
+        if (!ctx.cluster().fits(head->size)) continue;
+        const double short_by = job_cost(*head) - deficit_[user];
+        rotations =
+            std::min(rotations, std::max(1.0, std::ceil(short_by / quantum)));
+      }
+      if (std::isfinite(rotations)) {
+        for (const auto& [user, jobs] : users)
+          deficit_[user] += rotations * quantum;
+        fast_forwarded = true;
+        progress = true;
+      }
+    }
+  }
+  // EASY guarantee: the rotation-next blocked job gets the reservation.
+  if (!ctx.reservation().full()) {
+    auto users = by_user(ctx);
+    if (!users.empty()) {
+      const auto it = rotate_from(users, cursor_);
+      (void)ctx.reserve(it->second.front()->id);
+    }
+  }
+  if (!ctx.reservation().active()) return;
+  // Backfill in rotation order, spending accrued deficit only: a user
+  // whose balance does not cover the job waits for later rotations, so
+  // heavy users cannot jump the rotation through the backfill side door.
+  while (true) {
+    const auto candidates = ctx.backfill_candidates();
+    if (candidates.empty()) break;
+    std::map<int, sim::Job*> heads;
+    for (sim::Job* job : candidates) heads.try_emplace(job->user_id, job);
+    bool started = false;
+    auto it = rotate_from(heads, cursor_);
+    for (std::size_t seen = 0; seen < heads.size(); ++seen, ++it) {
+      if (it == heads.end()) it = heads.begin();
+      const double cost = job_cost(*it->second);
+      if (deficit_[it->first] < cost) continue;
+      if (!ctx.backfill(it->second->id)) continue;
+      deficit_[it->first] -= cost;
+      cursor_ = it->first;
+      started = true;
+      break;
+    }
+    if (!started) break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// WeightedFairQueuing
+// ---------------------------------------------------------------------------
+
+void WeightedFairQueuing::schedule(sim::SchedulingContext& ctx) {
+  // Virtual finish tag of a queued job under SCFQ (self-clocked fair
+  // queuing: the system virtual time is the tag of the job last served).
+  const auto finish_tag = [&](const sim::Job& job) {
+    double last = virtual_time_;
+    if (const auto it = last_finish_.find(job.user_id);
+        it != last_finish_.end())
+      last = std::max(last, it->second);
+    return last + job_cost(job) / weight(job.user_id);
+  };
+  // Smallest finish tag among `jobs`.  Tags tie whenever a freshly
+  // backlogged user re-enters at the system virtual time, so ties go to
+  // the user served least recently (smallest last finish), then arrival
+  // order — otherwise equal-cost floods resolve ties by arrival and the
+  // policy degenerates to FCFS.
+  const auto last_finish_of = [&](int user) {
+    const auto it = last_finish_.find(user);
+    return it != last_finish_.end() ? it->second : 0.0;
+  };
+  const auto next_job = [&](const std::vector<sim::Job*>& jobs)
+      -> std::pair<sim::Job*, double> {
+    sim::Job* best = nullptr;
+    double best_tag = 0.0;
+    for (sim::Job* job : jobs) {
+      if (ctx.is_reserved(job->id)) continue;
+      const double tag = finish_tag(*job);
+      if (best == nullptr || tag < best_tag ||
+          (tag == best_tag &&
+           last_finish_of(job->user_id) < last_finish_of(best->user_id))) {
+        best = job;
+        best_tag = tag;
+      }
+    }
+    return {best, best_tag};
+  };
+  const auto commit = [&](const sim::Job& job, double tag) {
+    last_finish_[job.user_id] = tag;
+    virtual_time_ = tag;
+  };
+
+  while (!ctx.reservation().full()) {
+    const auto [target, tag] = next_job(ctx.queue());
+    if (target == nullptr) break;
+    if (try_start(ctx, *target)) {
+      commit(*target, tag);
+      continue;
+    }
+    if (!ctx.reserve(target->id)) break;  // racing full ledger
+    // A reservation is this policy's commitment to serve the job next:
+    // advance the virtual clock now, since the automatic reservation
+    // start never reports back to the scheduler.
+    commit(*target, tag);
+  }
+  if (!ctx.reservation().active()) return;
+  while (true) {
+    const auto candidates = ctx.backfill_candidates();
+    if (candidates.empty()) break;
+    const auto [target, tag] = next_job(candidates);
+    if (target == nullptr || !ctx.backfill(target->id)) break;
+    commit(*target, tag);
+  }
+}
+
+}  // namespace dras::sched

@@ -1,0 +1,109 @@
+// Fair-share comparison schedulers (DESIGN.md §12).
+//
+// Three classical multi-tenant policies, all built on the same
+// EASY-backfilling skeleton as FcfsEasy (start in policy order while jobs
+// fit, reserve the first blocked job, then backfill) so they inherit its
+// progress guarantee — only the *order* in which queued jobs are
+// considered changes:
+//
+//   UserRoundRobin     — users take turns; within a user, arrival order.
+//   DeficitRoundRobin  — each user accrues a node-second quantum per
+//                        rotation and spends it to start (or backfill)
+//                        jobs, so heavy jobs wait for their user's
+//                        deficit to build up while cheaper users go
+//                        first.  Idle-machine rotations fast-forward in
+//                        one step (classic DRR rotates instantly on an
+//                        idle link), keeping the policy work-conserving.
+//   WeightedFairQueuing — jobs are ordered by virtual finish time
+//                        max(V, last_finish[user]) + cost / weight[user],
+//                        the classic WFQ service curve; tags tie toward
+//                        the least-recently-served user.
+//
+// Reservations are system commitments the simulator honours on its own,
+// so the policies account for them at decision time (cursor rotation,
+// WFQ virtual-clock commit) rather than when the reserved job starts.
+//
+// All per-episode state (rotation cursor, deficits, virtual clocks) is
+// reset in begin_episode() and copied by clone(), so the policies run
+// deterministically under exec::ParallelEvaluator.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "sim/scheduler.h"
+
+namespace dras::sched {
+
+/// Round-robin across users, arrival order within a user.
+class UserRoundRobin final : public sim::Scheduler {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "User-RR"; }
+  void begin_episode() override { cursor_ = sim::kUnknownUser; }
+  void schedule(sim::SchedulingContext& ctx) override;
+  [[nodiscard]] std::unique_ptr<sim::Scheduler> clone() const override {
+    return std::make_unique<UserRoundRobin>(*this);
+  }
+
+ private:
+  int cursor_ = sim::kUnknownUser;  ///< Last user served; rotation resumes
+                                    ///< at the next larger user id.
+};
+
+/// Deficit round robin over per-user node-second budgets.
+class DeficitRoundRobin final : public sim::Scheduler {
+ public:
+  /// `quantum` is the node-second budget a user accrues per rotation; 0
+  /// derives one mean-job quantum from the first scheduling instance
+  /// (mean size × mean estimate over the visible queue).
+  explicit DeficitRoundRobin(double quantum = 0.0) : quantum_(quantum) {}
+
+  [[nodiscard]] std::string_view name() const override { return "DRR"; }
+  void begin_episode() override {
+    deficit_.clear();
+    cursor_ = sim::kUnknownUser;
+    derived_quantum_ = 0.0;
+  }
+  void schedule(sim::SchedulingContext& ctx) override;
+  [[nodiscard]] std::unique_ptr<sim::Scheduler> clone() const override {
+    return std::make_unique<DeficitRoundRobin>(*this);
+  }
+
+ private:
+  double quantum_;
+  double derived_quantum_ = 0.0;
+  std::map<int, double> deficit_;  ///< user → unspent node-seconds.
+  int cursor_ = sim::kUnknownUser;
+};
+
+/// Weighted fair queuing by virtual finish time.
+class WeightedFairQueuing final : public sim::Scheduler {
+ public:
+  /// Users absent from `weights` get weight 1.  Larger weight = larger
+  /// entitled share (virtual finish times advance more slowly).
+  explicit WeightedFairQueuing(std::map<int, double> weights = {})
+      : weights_(std::move(weights)) {}
+
+  [[nodiscard]] std::string_view name() const override { return "WFQ"; }
+  void begin_episode() override {
+    virtual_time_ = 0.0;
+    last_finish_.clear();
+  }
+  void schedule(sim::SchedulingContext& ctx) override;
+  [[nodiscard]] std::unique_ptr<sim::Scheduler> clone() const override {
+    return std::make_unique<WeightedFairQueuing>(*this);
+  }
+
+ private:
+  [[nodiscard]] double weight(int user) const {
+    const auto it = weights_.find(user);
+    return it != weights_.end() ? it->second : 1.0;
+  }
+
+  std::map<int, double> weights_;
+  double virtual_time_ = 0.0;
+  std::map<int, double> last_finish_;  ///< user → last virtual finish.
+};
+
+}  // namespace dras::sched

@@ -22,6 +22,9 @@ using Time = double;  ///< Seconds since the trace epoch.
 inline constexpr Time kUnsetTime = -1.0;
 inline constexpr JobId kInvalidJob = -1;
 
+/// Sentinel user/project id: identity unknown (the SWF "-1" convention).
+inline constexpr int kUnknownUser = -1;
+
 /// How a job was ultimately dispatched (paper §III-B).
 enum class ExecMode : std::uint8_t {
   None = 0,        ///< Not yet started.
@@ -41,6 +44,10 @@ struct Job {
   Time runtime_actual = 0.0;    ///< True runtime from the trace.
   int priority = 0;             ///< 1 = high priority, 0 = low (§III-A).
   std::vector<JobId> dependencies;  ///< Parent jobs; empty for most jobs.
+
+  // --- Multi-tenant identity (src/fair; -1 = unknown, the SWF sentinel) ---
+  int user_id = kUnknownUser;     ///< Submitting user (SWF field 12).
+  int project_id = kUnknownUser;  ///< Group / allocation project (field 13).
 
   // --- Filled in by the simulator ---
   Time start_time = kUnsetTime;

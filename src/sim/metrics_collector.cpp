@@ -25,6 +25,8 @@ void MetricsCollector::record_completion(const Job& job) {
   rec.mode = job.mode;
   rec.requeues = job.requeues;
   rec.wasted_node_seconds = job.wasted_node_seconds;
+  rec.user_id = job.user_id;
+  rec.project_id = job.project_id;
   records_.push_back(rec);
 }
 

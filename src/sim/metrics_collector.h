@@ -25,6 +25,8 @@ struct JobRecord {
   ExecMode mode = ExecMode::None;
   int requeues = 0;  ///< Fault kills survived before completing.
   double wasted_node_seconds = 0.0;  ///< Lost work across those kills.
+  int user_id = kUnknownUser;     ///< Submitting user (src/fair).
+  int project_id = kUnknownUser;  ///< Allocation project.
 
   [[nodiscard]] Time wait() const noexcept { return start - submit; }
   [[nodiscard]] Time response() const noexcept { return end - submit; }

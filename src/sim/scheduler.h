@@ -49,6 +49,14 @@ class SchedulingContext {
   /// Node-seconds of killed-and-requeued work waiting in the queue.
   [[nodiscard]] double requeued_backlog() const noexcept;
 
+  // --- Fairness observation (src/fair; zero before any job starts) ---
+  /// `user`'s fraction of all decayed node-second consumption this run,
+  /// in [0, 1] (fair::ShareTracker; users never charged report 0).
+  [[nodiscard]] double user_share(int user) const noexcept;
+  /// Distinct user ids among currently queued jobs (the unknown
+  /// sentinel counts as one user).
+  [[nodiscard]] std::size_t queued_user_count() const noexcept;
+
   // --- Actions ---
   /// Start `id` immediately (execution mode Ready unless the job held a
   /// reservation earlier, then Reserved).  Fails if it does not fit or is

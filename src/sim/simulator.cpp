@@ -86,6 +86,14 @@ double SchedulingContext::requeued_backlog() const noexcept {
   return sim_.requeued_backlog();
 }
 
+double SchedulingContext::user_share(int user) const noexcept {
+  return sim_.user_share(user);
+}
+
+std::size_t SchedulingContext::queued_user_count() const noexcept {
+  return sim_.queued_user_count();
+}
+
 bool SchedulingContext::start_now(JobId id) {
   return sim_.action_start(id, /*as_backfill=*/false);
 }
@@ -249,6 +257,13 @@ void Simulator::start_job(Job& job, ExecMode mode) {
   job.start_time = now_;
   job.mode = mode;
   ++started_jobs_;
+  // Fair-share ledger: charge the work this incarnation will perform
+  // (remaining runtime after any durably checkpointed progress) at start
+  // time.  Unknown users pool under the sentinel key.
+  shares_.charge(job.user_id,
+                 static_cast<double>(job.size) *
+                     (job.effective_runtime() - job.progress_saved),
+                 now_);
   if (!faults_enabled_) {
     job.end_time = now_ + job.effective_runtime();
     events_.push(Event{job.end_time, EventType::JobEnd, job.id});
@@ -515,6 +530,20 @@ double Simulator::fraction_down() const noexcept {
          static_cast<double>(cluster_.total_nodes());
 }
 
+std::size_t Simulator::queued_user_count() const noexcept {
+  // The visible queue is small (tens of jobs); a linear distinct-count
+  // avoids allocating on the scheduling hot path.
+  const auto& visible = queue_.visible();
+  std::size_t distinct = 0;
+  for (std::size_t i = 0; i < visible.size(); ++i) {
+    bool seen = false;
+    for (std::size_t j = 0; j < i && !seen; ++j)
+      seen = visible[j]->user_id == visible[i]->user_id;
+    if (!seen) ++distinct;
+  }
+  return distinct;
+}
+
 double Simulator::recent_fault_rate() const noexcept {
   if (recent_failures_.empty()) return 0.0;
   const Time horizon = now_ - faults_.feature_window;
@@ -534,6 +563,7 @@ void Simulator::reset(const Trace& trace) {
   queue_.clear();
   ledger_.clear();
   metrics_.clear();
+  shares_.reset();
   ever_reserved_.clear();
   jobs_ = trace;
   index_.clear();

@@ -17,6 +17,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "fair/share_tracker.h"
 #include "sim/cluster.h"
 #include "sim/event_queue.h"
 #include "sim/fault.h"
@@ -155,11 +156,18 @@ class Simulator {
     return requeued_backlog_;
   }
 
+  // --- Fairness accessors (SchedulingContext backing, src/fair) ---
+  [[nodiscard]] double user_share(int user) const noexcept {
+    return shares_.fraction(user, now_);
+  }
+  [[nodiscard]] std::size_t queued_user_count() const noexcept;
+
   Cluster cluster_;
   EventQueue events_;
   WaitQueue queue_;
   ReservationLedger ledger_;
   MetricsCollector metrics_;
+  fair::ShareTracker shares_;
 
   std::vector<Job> jobs_;                       // per-run trace copy
   std::unordered_map<JobId, std::size_t> index_;  // id -> jobs_ slot

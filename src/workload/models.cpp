@@ -53,6 +53,15 @@ WorkloadModel WorkloadModel::with_load(double target) const {
   return copy;
 }
 
+WorkloadModel WorkloadModel::with_users(int users, double zipf_exponent,
+                                        int projects) const {
+  WorkloadModel copy = *this;
+  copy.user_count = users;
+  copy.user_zipf_exponent = zipf_exponent;
+  copy.project_count = projects;
+  return copy;
+}
+
 std::string WorkloadModel::validate() const {
   if (system_nodes <= 0) return "system_nodes must be positive";
   if (size_mix.empty()) return "size mix is empty";
@@ -71,6 +80,12 @@ std::string WorkloadModel::validate() const {
   if (max_overestimate_factor < 1.0) return "overestimate factor below 1";
   if (high_priority_fraction < 0.0 || high_priority_fraction > 1.0)
     return "priority fraction outside [0, 1]";
+  if (user_count < 0) return "user_count must be non-negative";
+  if (user_count > 0 && user_zipf_exponent < 0.0)
+    return "user_zipf_exponent must be non-negative";
+  if (project_count < 0) return "project_count must be non-negative";
+  if (user_count == 0 && project_count > 0)
+    return "project_count without user_count";
   return {};
 }
 

@@ -46,6 +46,18 @@ struct WorkloadModel {
   /// User estimates are pessimistic: estimate = actual × U(1, this).
   double max_overestimate_factor = 3.0;
 
+  // --- Multi-tenant user mix (src/fair; off by default) ---
+  /// Number of distinct users submitting jobs.  0 (the default) leaves
+  /// every job's user/project at the unknown sentinel and the generator
+  /// byte-identical to the user-less models.
+  int user_count = 0;
+  /// Zipf exponent of the user-share distribution: p(k) ∝ 1/k^s for user
+  /// rank k (1.0 ≈ classic heavy-tailed submission shares; 0 = uniform).
+  double user_zipf_exponent = 1.0;
+  /// Number of allocation projects; users map round-robin onto projects.
+  /// 0 derives ceil(user_count / 4).
+  int project_count = 0;
+
   /// Mean job size implied by the size mix.
   [[nodiscard]] double mean_size() const noexcept;
   /// Mean runtime of the log-uniform draw: (b − a) / ln(b / a).
@@ -56,6 +68,12 @@ struct WorkloadModel {
 
   /// Copy with mean_interarrival adjusted so offered_load() == target.
   [[nodiscard]] WorkloadModel with_load(double target) const;
+
+  /// Copy with a Zipf user mix enabled (see user_count /
+  /// user_zipf_exponent / project_count above).
+  [[nodiscard]] WorkloadModel with_users(int users,
+                                         double zipf_exponent = 1.0,
+                                         int projects = 0) const;
 
   /// Validate invariants (probabilities sum to ~1, sizes fit the system,
   /// positive times).  Returns an error message or empty string.

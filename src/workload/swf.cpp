@@ -138,6 +138,34 @@ SwfParseResult parse_swf(std::istream& in, const SwfParseOptions& options) {
     job.size = requested > 0 ? requested : allocated;
     job.runtime_estimate = value[8] > 0.0 ? value[8] : job.runtime_actual;
 
+    // Identity fields: 12 user, 13 group, 14 executable (1-based SWF
+    // numbering).  -1 is SWF's own "unknown" sentinel and stays valid in
+    // strict mode; anything else must be a non-negative integer.  A bad
+    // id degrades to the sentinel (the job itself is still usable) with
+    // a recorded issue — strict mode throws instead.
+    const auto identity_field = [&](std::size_t index,
+                                    const char* label) -> int {
+      const double v = value[index];
+      if (integral_in_range(v, 0.0, kMaxProcs)) return static_cast<int>(v);
+      if (v == -1.0) return sim::kUnknownUser;
+      if (options.strict)
+        throw util::ParseError(
+            options.filename, lineno,
+            util::format("{} id {} must be -1 or a non-negative integer",
+                         label, v));
+      ++result.identity_defaulted;
+      if (result.issues.size() < options.max_recorded_issues)
+        result.issues.push_back(SwfIssue{
+            lineno,
+            util::format("{} id {} is not -1 or a non-negative integer; "
+                         "treating as unknown",
+                         label, v)});
+      return sim::kUnknownUser;
+    };
+    job.user_id = identity_field(11, "user");
+    job.project_id = identity_field(12, "group");
+    (void)identity_field(13, "executable");  // validated, not yet modeled
+
     const auto [it, inserted] =
         first_line_of_id.try_emplace(job.id, lineno);
     if (!inserted) {
@@ -203,8 +231,8 @@ void write_swf(std::ostream& out, const sim::Trace& trace) {
     out << job.id << ' ' << util::format("{:.0f}", job.submit_time)
         << " -1 " << util::format("{:.0f}", job.runtime_actual) << ' '
         << job.size << " -1 -1 " << job.size << ' '
-        << util::format("{:.0f}", job.runtime_estimate)
-        << " -1 1 -1 -1 -1 -1 -1 -1 -1\n";
+        << util::format("{:.0f}", job.runtime_estimate) << " -1 1 "
+        << job.user_id << ' ' << job.project_id << " -1 -1 -1 -1 -1\n";
   }
 }
 

@@ -12,9 +12,15 @@
 //   field  8  requested procs     → Job::size (preferred when > 0)
 //   field  9  requested time (s)  → Job::runtime_estimate
 //                                   (fallback: run time when missing)
+//   field 12  user id             → Job::user_id (-1 = unknown)
+//   field 13  group id            → Job::project_id (-1 = unknown)
+//   field 14  executable id       → validated only (not yet modeled)
 //
 // Unknown/absent values are -1 per the SWF convention.  Jobs with
-// non-positive size or runtime are skipped (cancelled entries).
+// non-positive size or runtime are skipped (cancelled entries).  An
+// identity field that is neither -1 nor a non-negative integer degrades
+// to the unknown sentinel with a recorded file:line issue (strict mode
+// throws); the job itself is kept.
 //
 // The hardened entry point is parse_swf(): every field is validated
 // (numeric, finite, in range, no duplicate ids) and each defect is
@@ -59,6 +65,10 @@ struct SwfParseResult {
   std::size_t lines_total = 0;        ///< Non-comment, non-blank lines.
   std::size_t lines_malformed = 0;    ///< Defective lines (== issue count).
   std::size_t lines_unusable = 0;     ///< Well-formed but cancelled/empty.
+  /// Identity fields (user/group/executable) defaulted to the unknown
+  /// sentinel because the value was neither -1 nor a non-negative
+  /// integer; the owning lines are kept, not skipped.
+  std::size_t identity_defaulted = 0;
   [[nodiscard]] std::size_t lines_parsed() const noexcept {
     return trace.size();
   }

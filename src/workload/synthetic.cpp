@@ -72,6 +72,30 @@ sim::Job draw_job(const WorkloadModel& model, util::Rng& rng,
   return job;
 }
 
+/// Assign Zipf-distributed users to an already-generated trace.  Draws
+/// come from their own derived stream so the arrival/size/runtime bytes
+/// of the main generator are untouched — a model with user_count == 0
+/// produces exactly the historical trace.
+void assign_users(const WorkloadModel& model, const GenerateOptions& options,
+                  sim::Trace& trace) {
+  if (model.user_count <= 0) return;
+  util::Rng rng(util::derive_seed(options.seed, "user-mix-" + model.name));
+  // p(k) ∝ 1/(k+1)^s over user ranks k = 0..user_count-1.
+  std::vector<double> weights(static_cast<std::size_t>(model.user_count));
+  for (std::size_t k = 0; k < weights.size(); ++k)
+    weights[k] =
+        1.0 / std::pow(static_cast<double>(k + 1), model.user_zipf_exponent);
+  const int projects = model.project_count > 0
+                           ? model.project_count
+                           : (model.user_count + 3) / 4;
+  for (sim::Job& job : trace) {
+    const std::size_t pick =
+        rng.weighted_index(weights.data(), weights.size());
+    job.user_id = static_cast<int>(pick < weights.size() ? pick : 0);
+    job.project_id = job.user_id % projects;
+  }
+}
+
 }  // namespace
 
 sim::Trace generate_trace(const WorkloadModel& model,
@@ -95,6 +119,7 @@ sim::Trace generate_trace(const WorkloadModel& model,
     if (!rng.bernoulli(accept)) continue;
     trace.push_back(draw_job(model, rng, next_id++, t));
   }
+  assign_users(model, options, trace);
   return trace;
 }
 

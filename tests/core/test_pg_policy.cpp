@@ -143,6 +143,31 @@ TEST(PGPolicy, LearnsStateDependentPolicy) {
   EXPECT_GT(probs[1], 0.6f);
 }
 
+// The update loop batches every recorded state through one
+// forward_batch_retained call (see nn::Network::stage_batch_sample); the
+// resulting parameters must not depend on anything but the experiences.
+TEST(PGPolicy, BatchedUpdateIsDeterministicOverVariedExperiences) {
+  PGPolicy a(tiny_config(), 29), b(tiny_config(), 29);
+  // 9 steps: a partial lane block in gemm_batch plus varied states,
+  // actions and rewards so every batched sample is distinct.
+  for (int step = 0; step < 9; ++step) {
+    const auto state =
+        state_for(tiny_config(), -0.8f + 0.2f * static_cast<float>(step));
+    const std::size_t action = static_cast<std::size_t>(step) % 3;
+    const double reward = (step % 2 == 0) ? 1.0 : -0.5;
+    a.record(state, 3, action, reward);
+    b.record(state, 3, action, reward);
+  }
+  a.update();
+  b.update();
+  EXPECT_EQ(a.updates_done(), 1u);
+  const auto pa = a.network().parameters();
+  const auto pb = b.network().parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i)
+    EXPECT_EQ(pa[i], pb[i]) << "parameter " << i;
+}
+
 TEST(PGPolicy, SameSeedIsReproducible) {
   PGPolicy a(tiny_config(), 23), b(tiny_config(), 23);
   const auto state = state_for(tiny_config(), 0.4f);

@@ -134,6 +134,56 @@ TEST_F(JobValueTest, CapabilityValueCombinesWaitAndSizeShares) {
   EXPECT_NEAR(v_new, (1.0 / 3.0) * 0.01 + (2.0 / 3.0) * 0.8, 1e-9);
 }
 
+// Fairness shaping (DESIGN.md §12): reward += fairness · (1 − user_share),
+// evaluated on the post-action share tracker.
+TEST(Reward, FairnessWeightZeroIsExactlyTheUnshapedReward) {
+  sim::Simulator sim(10);
+  const RewardFunction plain(RewardKind::Capability);
+  RewardWeights explicit_zero;
+  explicit_zero.fairness = 0.0;
+  const RewardFunction shaped(RewardKind::Capability, explicit_zero);
+  double r_plain = -1.0, r_shaped = -1.0;
+  LambdaScheduler probe([&](sim::SchedulingContext& ctx) {
+    if (ctx.now() < 100.0 || r_plain >= 0.0) return;
+    const sim::Job* selected = ctx.queue().front();
+    ASSERT_TRUE(ctx.start_now(selected->id));
+    r_plain = plain.step_reward(ctx, *selected);
+    r_shaped = shaped.step_reward(ctx, *selected);
+  });
+  const sim::Trace trace = {make_job(1, 0, 5, 100), make_job(2, 0, 5, 100),
+                            make_job(3, 100, 1, 1)};
+  (void)sim.run(trace, probe);
+  // Bitwise equality: at weight 0 the fairness branch never executes.
+  EXPECT_EQ(r_plain, r_shaped);
+}
+
+TEST(Reward, FairnessTermRewardsUnderservedUsers) {
+  // User 1 is charged 200 node-seconds, user 2 is charged 600; rewarding
+  // user 2's selection earns fairness · (1 − 0.75).
+  sim::Simulator sim(10);
+  RewardWeights weights;  // paper thirds
+  weights.fairness = 2.0;
+  const RewardFunction shaped(RewardKind::Capability, weights);
+  const RewardFunction plain(RewardKind::Capability);
+
+  auto job_a = make_job(1, 0, 2, 100);  // 200 node-seconds
+  job_a.user_id = 1;
+  auto job_b = make_job(2, 0, 2, 300);  // 600 node-seconds
+  job_b.user_id = 2;
+
+  double bonus = -1.0;
+  LambdaScheduler probe([&](sim::SchedulingContext& ctx) {
+    if (bonus >= 0.0 || ctx.queue().size() != 2) return;
+    ASSERT_TRUE(ctx.start_now(1));
+    const sim::Job* second = ctx.queue().front();
+    ASSERT_TRUE(ctx.start_now(second->id));
+    bonus = shaped.step_reward(ctx, *second) - plain.step_reward(ctx, *second);
+  });
+  (void)sim.run({job_a, job_b}, probe);
+  // Post-action share for user 2: 600 / (200 + 600) = 0.75.
+  EXPECT_NEAR(bonus, 2.0 * (1.0 - 0.75), 1e-12);
+}
+
 TEST_F(JobValueTest, CapacityValueFavoursRecentJobs) {
   // Eq. 2's myopic gain is 1/t_j: newest jobs have the largest gain (the
   // root of Optimization's long max waits in Fig. 7).

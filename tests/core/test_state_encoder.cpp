@@ -112,6 +112,95 @@ TEST_F(EncoderFixture, WindowLargerThanSlotsThrows) {
   });
 }
 
+TEST(StateEncoder, FairnessSizesAndDefaults) {
+  const StateEncoder plain(100, 3600.0);
+  EXPECT_FALSE(plain.fairness_features());
+  const StateEncoder fair(100, 3600.0, /*failure_features=*/false,
+                          /*fairness_features=*/true);
+  EXPECT_TRUE(fair.fairness_features());
+  EXPECT_EQ(fair.pg_input_size(50),
+            plain.pg_input_size(50) + 2 * StateEncoder::kFairnessRows);
+  EXPECT_EQ(fair.dql_input_size(),
+            plain.dql_input_size() + 2 * StateEncoder::kFairnessRows);
+}
+
+// Multi-user probe: job 1 (user 1) runs and has been charged; jobs 2
+// (user 2) and 3 (user 1) are queued when the probe fires at t=50.
+class FairnessEncoderFixture : public ::testing::Test {
+ protected:
+  void probe(const std::function<void(const sim::SchedulingContext&)>& fn) {
+    sim::Simulator sim(4);
+    bool done = false;
+    LambdaScheduler scheduler([&](sim::SchedulingContext& ctx) {
+      if (ctx.now() == 0.0) {
+        ASSERT_TRUE(ctx.start_now(1));
+        return;
+      }
+      if (!done && ctx.now() == 50.0) {
+        done = true;
+        fn(ctx);
+      }
+    });
+    auto job1 = make_job(1, 0, 2, 100, 200);
+    job1.user_id = 1;
+    auto job2 = make_job(2, 10, 3, 50, 60);
+    job2.user_id = 2;
+    auto job3 = make_job(3, 50, 1, 30);
+    job3.user_id = 1;
+    (void)sim.run({job1, job2, job3}, scheduler);
+    EXPECT_TRUE(done);
+  }
+};
+
+TEST_F(FairnessEncoderFixture, WindowFairnessRowsDescribeCandidates) {
+  probe([&](const sim::SchedulingContext& ctx) {
+    const StateEncoder encoder(4, 100.0, false, true);
+    const auto window = front_window(ctx.queue(), 3);
+    ASSERT_EQ(window.size(), 2u);
+    std::vector<float> state;
+    encoder.encode_window(ctx, window, 3, state);
+    ASSERT_EQ(state.size(), encoder.pg_input_size(3));
+    // Only user 1 has ever been charged, so its decayed fraction is 1;
+    // user 2's is 0.  Candidates are jobs 2 (user 2) and 3 (user 1):
+    // mean share 0.5, max 1.0.  Queue diversity: 2 users / 2 jobs = 1.
+    const std::size_t base = 4 * 3 + 2 * 4;  // job blocks + node rows
+    EXPECT_FLOAT_EQ(state[base + 0], 0.5f);
+    EXPECT_FLOAT_EQ(state[base + 1], 1.0f);
+    EXPECT_FLOAT_EQ(state[base + 2], 1.0f);
+    EXPECT_FLOAT_EQ(state[base + 3], 0.0f);
+  });
+}
+
+TEST_F(FairnessEncoderFixture, DisabledFairnessKeepsEncodingIdentical) {
+  probe([&](const sim::SchedulingContext& ctx) {
+    const StateEncoder plain(4, 100.0);
+    const StateEncoder fair(4, 100.0, false, true);
+    const auto window = front_window(ctx.queue(), 3);
+    std::vector<float> state_plain, state_fair;
+    plain.encode_window(ctx, window, 3, state_plain);
+    fair.encode_window(ctx, window, 3, state_fair);
+    // The fairness-enabled encoding is the plain one plus appended rows.
+    ASSERT_EQ(state_fair.size(),
+              state_plain.size() + 2 * StateEncoder::kFairnessRows);
+    for (std::size_t i = 0; i < state_plain.size(); ++i)
+      EXPECT_EQ(state_plain[i], state_fair[i]) << "index " << i;
+  });
+}
+
+TEST_F(FairnessEncoderFixture, JobEncodingAppendsFairnessRows) {
+  probe([&](const sim::SchedulingContext& ctx) {
+    const StateEncoder encoder(4, 100.0, false, true);
+    std::vector<float> state;
+    encoder.encode_job(ctx, *ctx.queue().front(), state);  // job 2, user 2
+    ASSERT_EQ(state.size(), encoder.dql_input_size());
+    const std::size_t base = 4 + 2 * 4;
+    // Single candidate from user 2 (share 0): mean = max = 0.
+    EXPECT_FLOAT_EQ(state[base + 0], 0.0f);
+    EXPECT_FLOAT_EQ(state[base + 1], 0.0f);
+    EXPECT_FLOAT_EQ(state[base + 2], 1.0f);  // 2 users / 2 queued jobs
+  });
+}
+
 TEST(Window, FrontWindowTruncates) {
   sim::Job a = make_job(1, 0, 1, 10), b = make_job(2, 1, 1, 10),
            c = make_job(3, 2, 1, 10);

@@ -1,0 +1,120 @@
+#include "fair/share_tracker.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.h"
+#include "sim/simulator.h"
+
+namespace dras::fair {
+namespace {
+
+TEST(ShareTracker, EmptyTrackerReportsZero) {
+  ShareTracker tracker;
+  EXPECT_DOUBLE_EQ(tracker.share(0, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(tracker.fraction(0, 100.0), 0.0);
+  EXPECT_EQ(tracker.users(), 0u);
+}
+
+TEST(ShareTracker, ChargesAccumulatePerUser) {
+  ShareTracker tracker(/*half_life_seconds=*/0.0);  // decay off
+  tracker.charge(0, 100.0, 0.0);
+  tracker.charge(1, 300.0, 0.0);
+  tracker.charge(0, 100.0, 10.0);
+  EXPECT_DOUBLE_EQ(tracker.share(0, 10.0), 200.0);
+  EXPECT_DOUBLE_EQ(tracker.share(1, 10.0), 300.0);
+  EXPECT_DOUBLE_EQ(tracker.fraction(0, 10.0), 0.4);
+  EXPECT_DOUBLE_EQ(tracker.fraction(1, 10.0), 0.6);
+  EXPECT_EQ(tracker.users(), 2u);
+}
+
+TEST(ShareTracker, HalfLifeHalvesTheShare) {
+  ShareTracker tracker(/*half_life_seconds=*/100.0);
+  tracker.charge(7, 64.0, 0.0);
+  EXPECT_DOUBLE_EQ(tracker.share(7, 100.0), 32.0);
+  EXPECT_DOUBLE_EQ(tracker.share(7, 300.0), 8.0);
+}
+
+TEST(ShareTracker, FractionIsDecayInvariant) {
+  // Both users' stored values age by the same factor, so fractions are
+  // constant between charges regardless of how far the clock advances.
+  ShareTracker tracker(/*half_life_seconds=*/50.0);
+  tracker.charge(0, 10.0, 0.0);
+  tracker.charge(1, 30.0, 0.0);
+  EXPECT_DOUBLE_EQ(tracker.fraction(0, 0.0), 0.25);
+  EXPECT_DOUBLE_EQ(tracker.fraction(0, 1e6), 0.25);
+  EXPECT_DOUBLE_EQ(tracker.fraction(1, 1e6), 0.75);
+}
+
+TEST(ShareTracker, LaterChargeOutweighsDecayedOlderOne) {
+  // Equal raw node-seconds, but user 0's charge is a half-life old when
+  // user 1's lands — recent usage must dominate.
+  ShareTracker tracker(/*half_life_seconds=*/100.0);
+  tracker.charge(0, 100.0, 0.0);
+  tracker.charge(1, 100.0, 100.0);
+  EXPECT_LT(tracker.fraction(0, 100.0), tracker.fraction(1, 100.0));
+  EXPECT_NEAR(tracker.fraction(0, 100.0), 50.0 / 150.0, 1e-12);
+}
+
+TEST(ShareTracker, ResetForgetsEverything) {
+  ShareTracker tracker;
+  tracker.charge(3, 100.0, 50.0);
+  tracker.reset();
+  EXPECT_EQ(tracker.users(), 0u);
+  EXPECT_DOUBLE_EQ(tracker.fraction(3, 100.0), 0.0);
+  // A fresh charge after reset behaves like the first ever.
+  tracker.charge(3, 10.0, 0.0);
+  EXPECT_DOUBLE_EQ(tracker.fraction(3, 0.0), 1.0);
+}
+
+TEST(ShareTracker, UnknownUsersPoolUnderSentinel) {
+  ShareTracker tracker;
+  tracker.charge(sim::kUnknownUser, 10.0, 0.0);
+  tracker.charge(sim::kUnknownUser, 10.0, 0.0);
+  tracker.charge(5, 20.0, 0.0);
+  EXPECT_EQ(tracker.users(), 2u);
+  EXPECT_DOUBLE_EQ(tracker.fraction(sim::kUnknownUser, 0.0), 0.5);
+}
+
+TEST(ShareTracker, SnapshotListsDecayedSharesAscending) {
+  ShareTracker tracker(/*half_life_seconds=*/100.0);
+  tracker.charge(2, 8.0, 0.0);
+  tracker.charge(1, 4.0, 0.0);
+  const auto snap = tracker.snapshot(100.0);
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].first, 1);
+  EXPECT_DOUBLE_EQ(snap[0].second, 2.0);
+  EXPECT_EQ(snap[1].first, 2);
+  EXPECT_DOUBLE_EQ(snap[1].second, 4.0);
+}
+
+// The simulator charges the tracker on job start and exposes shares to
+// schedulers through SchedulingContext::user_share.
+TEST(ShareTracker, SimulatorExposesUserShareToSchedulers) {
+  using dras::testing::LambdaScheduler;
+  using dras::testing::make_job;
+
+  auto job_a = make_job(0, 0.0, 2, 100.0);  // 200 node-seconds
+  job_a.user_id = 1;
+  auto job_b = make_job(1, 0.0, 2, 300.0);  // 600 node-seconds
+  job_b.user_id = 2;
+
+  double share_user1 = -1.0, share_user2 = -1.0;
+  std::size_t queued_users = 0;
+  LambdaScheduler probe([&](sim::SchedulingContext& ctx) {
+    if (ctx.queue().size() == 2) queued_users = ctx.queued_user_count();
+    while (!ctx.queue().empty()) {
+      if (!ctx.start_now(ctx.queue().front()->id)) break;
+    }
+    share_user1 = ctx.user_share(1);
+    share_user2 = ctx.user_share(2);
+  });
+
+  sim::Simulator sim(4);
+  (void)sim.run({job_a, job_b}, probe);
+  EXPECT_EQ(queued_users, 2u);
+  EXPECT_NEAR(share_user1, 0.25, 1e-12);
+  EXPECT_NEAR(share_user2, 0.75, 1e-12);
+}
+
+}  // namespace
+}  // namespace dras::fair

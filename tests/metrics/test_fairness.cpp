@@ -1,0 +1,109 @@
+#include "metrics/fairness.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/metrics_collector.h"
+
+namespace dras::metrics {
+namespace {
+
+sim::JobRecord make_record(sim::JobId id, int user, double submit,
+                           double start, double end, int size) {
+  sim::JobRecord rec;
+  rec.id = id;
+  rec.user_id = user;
+  rec.submit = submit;
+  rec.start = start;
+  rec.end = end;
+  rec.size = size;
+  return rec;
+}
+
+TEST(JainIndex, EqualAllocationsScoreOne) {
+  const std::vector<double> equal{3.0, 3.0, 3.0, 3.0};
+  EXPECT_DOUBLE_EQ(jain_index(equal), 1.0);
+}
+
+TEST(JainIndex, MonopolyScoresOneOverN) {
+  const std::vector<double> monopoly{10.0, 0.0, 0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(jain_index(monopoly), 1.0 / 5.0);
+}
+
+TEST(JainIndex, HandComputedMidpoint) {
+  // (1+2+3)^2 / (3 * (1+4+9)) = 36/42.
+  const std::vector<double> values{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(jain_index(values), 36.0 / 42.0);
+}
+
+TEST(JainIndex, EmptyAndAllZeroReturnZero) {
+  EXPECT_DOUBLE_EQ(jain_index({}), 0.0);
+  const std::vector<double> zeros{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(jain_index(zeros), 0.0);
+}
+
+TEST(JainIndex, ScaleInvariant) {
+  const std::vector<double> a{1.0, 2.0, 5.0};
+  const std::vector<double> b{10.0, 20.0, 50.0};
+  EXPECT_DOUBLE_EQ(jain_index(a), jain_index(b));
+}
+
+TEST(ByUser, GroupsAndAveragesPerUser) {
+  const std::vector<sim::JobRecord> records{
+      make_record(0, 1, 0.0, 10.0, 110.0, 2),   // wait 10, run 100
+      make_record(1, 1, 0.0, 30.0, 130.0, 2),   // wait 30
+      make_record(2, 0, 0.0, 0.0, 50.0, 4),     // wait 0, run 50
+  };
+  const auto users = by_user(records);
+  ASSERT_EQ(users.size(), 2u);
+  // Ascending user id.
+  EXPECT_EQ(users[0].user_id, 0);
+  EXPECT_EQ(users[1].user_id, 1);
+  EXPECT_EQ(users[0].jobs, 1u);
+  EXPECT_EQ(users[1].jobs, 2u);
+  EXPECT_DOUBLE_EQ(users[1].avg_wait, 20.0);
+  EXPECT_DOUBLE_EQ(users[1].max_wait, 30.0);
+  EXPECT_DOUBLE_EQ(users[0].node_seconds, 4.0 * 50.0);
+  EXPECT_DOUBLE_EQ(users[1].node_seconds, 2.0 * 100.0 * 2);
+}
+
+TEST(FairnessSummary, EqualServiceIsPerfectlyFair) {
+  // Two users, identical service and identical slowdowns.
+  const std::vector<sim::JobRecord> records{
+      make_record(0, 0, 0.0, 0.0, 100.0, 2),
+      make_record(1, 1, 0.0, 0.0, 100.0, 2),
+  };
+  const auto summary = fairness_summary(records);
+  EXPECT_EQ(summary.users, 2u);
+  EXPECT_DOUBLE_EQ(summary.jain_service, 1.0);
+  EXPECT_DOUBLE_EQ(summary.jain_slowdown, 1.0);
+}
+
+TEST(FairnessSummary, MonopolisedServiceScoresOneOverN) {
+  // User 0 receives all the node-seconds; users 1..3 complete zero-size
+  // jobs are impossible, so give them zero-length runtimes via size 0.
+  std::vector<sim::JobRecord> records;
+  records.push_back(make_record(0, 0, 0.0, 0.0, 100.0, 8));
+  for (int user = 1; user < 4; ++user)
+    records.push_back(
+        make_record(user, user, 0.0, 0.0, 0.0, 1));  // 0 node-seconds
+  const auto summary = fairness_summary(records);
+  EXPECT_EQ(summary.users, 4u);
+  EXPECT_DOUBLE_EQ(summary.jain_service, 1.0 / 4.0);
+}
+
+TEST(FairnessSummary, TracksWorstUserSlowdown) {
+  // User 1's job waits 900s against a 100s runtime → slowdown 10.
+  const std::vector<sim::JobRecord> records{
+      make_record(0, 0, 0.0, 0.0, 100.0, 1),      // slowdown 1
+      make_record(1, 1, 0.0, 900.0, 1000.0, 1),   // slowdown 10
+  };
+  const auto summary = fairness_summary(records);
+  EXPECT_DOUBLE_EQ(summary.max_user_slowdown, 10.0);
+  // inverse slowdowns {1, 0.1}: jain = (1.1)^2 / (2 * 1.01).
+  EXPECT_NEAR(summary.jain_slowdown, 1.21 / 2.02, 1e-12);
+}
+
+}  // namespace
+}  // namespace dras::metrics

@@ -264,5 +264,74 @@ TEST(Network, ForwardBatchValidatesBufferLengths) {
   EXPECT_NO_THROW(net.forward_batch(empty, 0, empty));
 }
 
+// The PG update batches its K forwards through forward_batch_retained and
+// replays each sample into the single-sample caches with
+// stage_batch_sample before backward().  The whole scheme only works if
+// the staged backward produces bit-identical gradients to the serial
+// forward/backward it replaces.
+TEST(Network, StagedBatchBackwardBitIdenticalToSerial) {
+  const NetworkConfig cfg = small_config();
+  util::Rng rng(54);
+  Network reference(cfg, rng);
+  util::Rng rng2(54);
+  Network batched(cfg, rng2);
+
+  constexpr std::size_t batch = 7;
+  std::vector<float> inputs(batch * cfg.input_size());
+  std::vector<float> grads(batch * cfg.outputs);
+  for (float& v : inputs) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  for (float& v : grads) v = static_cast<float>(rng.uniform(-0.5, 0.5));
+
+  // Serial: forward/backward each sample, accumulating gradients.
+  for (std::size_t b = 0; b < batch; ++b) {
+    const auto x = std::span<const float>(inputs).subspan(
+        b * cfg.input_size(), cfg.input_size());
+    reference.forward(x);
+    reference.backward(std::span<const float>(grads).subspan(
+        b * cfg.outputs, cfg.outputs));
+  }
+
+  // Batched: one retained forward, then stage + backward per sample.
+  std::vector<float> outputs(batch * cfg.outputs);
+  batched.forward_batch_retained(inputs, batch, outputs);
+  for (std::size_t b = 0; b < batch; ++b) {
+    batched.stage_batch_sample(b);
+    batched.backward(std::span<const float>(grads).subspan(
+        b * cfg.outputs, cfg.outputs));
+  }
+
+  const std::span<const float> expected = reference.gradients();
+  const std::span<const float> actual = batched.gradients();
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    EXPECT_EQ(actual[i], expected[i]) << "gradient " << i;
+
+  // The batched outputs are the per-sample outputs, bit for bit.
+  for (std::size_t b = 0; b < batch; ++b) {
+    const auto x = std::span<const float>(inputs).subspan(
+        b * cfg.input_size(), cfg.input_size());
+    const std::span<const float> row = reference.forward(x);
+    for (std::size_t i = 0; i < cfg.outputs; ++i)
+      EXPECT_EQ(outputs[b * cfg.outputs + i], row[i]);
+  }
+}
+
+TEST(Network, StageBatchSampleRequiresRetainedBatch) {
+  const NetworkConfig cfg = small_config();
+  util::Rng rng(55);
+  Network net(cfg, rng);
+  // No retained batch yet.
+  EXPECT_THROW(net.stage_batch_sample(0), std::logic_error);
+  std::vector<float> inputs(3 * cfg.input_size(), 0.25f);
+  std::vector<float> outputs(3 * cfg.outputs);
+  // A plain (non-retaining) batched forward does not arm staging.
+  net.forward_batch(inputs, 3, outputs);
+  EXPECT_THROW(net.stage_batch_sample(0), std::logic_error);
+  net.forward_batch_retained(inputs, 3, outputs);
+  EXPECT_NO_THROW(net.stage_batch_sample(2));
+  // Out-of-range sample index.
+  EXPECT_THROW(net.stage_batch_sample(3), std::logic_error);
+}
+
 }  // namespace
 }  // namespace dras::nn

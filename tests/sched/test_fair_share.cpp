@@ -1,0 +1,223 @@
+#include "sched/fair_share.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "../test_helpers.h"
+#include "metrics/fairness.h"
+#include "sched/fcfs_easy.h"
+#include "sim/simulator.h"
+
+namespace dras::sched {
+namespace {
+
+using dras::testing::make_job;
+using sim::JobRecord;
+using sim::Trace;
+
+sim::Job user_job(sim::JobId id, double submit, int size, double runtime,
+                  int user) {
+  auto job = make_job(id, submit, size, runtime);
+  job.user_id = user;
+  return job;
+}
+
+sim::SimulationResult run_policy(int nodes, const Trace& trace,
+                                 sim::Scheduler& policy) {
+  sim::Simulator sim(nodes);
+  return sim.run(trace, policy);
+}
+
+std::map<sim::JobId, JobRecord> by_id(const sim::SimulationResult& result) {
+  std::map<sim::JobId, JobRecord> jobs;
+  for (const auto& rec : result.jobs) jobs[rec.id] = rec;
+  return jobs;
+}
+
+/// A skewed two-user contention trace: user 0 floods the queue at t=0,
+/// user 1 submits a single job right behind the flood.  All jobs are
+/// machine-wide, so exactly one runs at a time and the start *order* is
+/// the whole policy.
+Trace flood_trace() {
+  Trace trace;
+  for (int i = 0; i < 4; ++i)
+    trace.push_back(user_job(i, 0.0 + i * 0.001, 4, 100.0, 0));
+  trace.push_back(user_job(4, 0.01, 4, 100.0, 1));
+  return trace;
+}
+
+TEST(UserRoundRobin, AlternatesUsersUnderContention) {
+  UserRoundRobin rr;
+  const auto jobs = by_id(run_policy(4, flood_trace(), rr));
+  // Job 1 already holds the (committed) EASY reservation when user 1's
+  // job arrives, so the earliest fair slot is third (t=200).  FCFS would
+  // start user 1's job last, at t=400; round-robin alternates back to
+  // user 0 afterwards.
+  EXPECT_DOUBLE_EQ(jobs.at(4).start, 200.0);
+  EXPECT_DOUBLE_EQ(jobs.at(2).start, 300.0);
+  EXPECT_DOUBLE_EQ(jobs.at(3).start, 400.0);
+}
+
+TEST(UserRoundRobin, FallsBackToArrivalOrderWithinOneUser) {
+  UserRoundRobin rr;
+  Trace trace;
+  for (int i = 0; i < 3; ++i)
+    trace.push_back(user_job(i, 0.0 + i, 4, 100.0, 7));
+  const auto jobs = by_id(run_policy(4, trace, rr));
+  EXPECT_DOUBLE_EQ(jobs.at(0).start, 0.0);
+  EXPECT_DOUBLE_EQ(jobs.at(1).start, 100.0);
+  EXPECT_DOUBLE_EQ(jobs.at(2).start, 200.0);
+}
+
+TEST(UserRoundRobin, CompletesEveryJob) {
+  UserRoundRobin rr;
+  const auto result = run_policy(4, flood_trace(), rr);
+  EXPECT_EQ(result.jobs.size(), 5u);
+  EXPECT_EQ(result.unfinished_jobs, 0u);
+}
+
+TEST(DeficitRoundRobin, HeavyJobWaitsForItsDeficit) {
+  // An 8-node machine is blocked until t=100, queueing up a contention
+  // burst: user 1's first cheap job takes the EASY reservation, user 0's
+  // huge job (cost 4000 >> quantum 800) arrives next, then more cheap
+  // user-1 jobs.  When the machine frees, user 0's deficit covers
+  // nothing, so user 1's later-arriving cheap jobs start at t=100 while
+  // the heavy job waits for its reservation at t=200.
+  Trace trace;
+  trace.push_back(user_job(0, 0.0, 8, 100.0, 2));    // blocker, cost 800
+  trace.push_back(user_job(1, 1.0, 4, 100.0, 1));    // cheap, cost 400
+  trace.push_back(user_job(2, 2.0, 4, 1000.0, 0));   // heavy, cost 4000
+  trace.push_back(user_job(3, 3.0, 4, 100.0, 1));    // cheap
+  trace.push_back(user_job(4, 4.0, 4, 100.0, 1));    // cheap
+  DeficitRoundRobin drr(/*quantum=*/800.0);
+  const auto jobs = by_id(run_policy(8, trace, drr));
+  EXPECT_LT(jobs.at(1).start, jobs.at(2).start);
+  EXPECT_LT(jobs.at(3).start, jobs.at(2).start);  // arrived after, runs first
+  EXPECT_EQ(jobs.size(), 5u);
+}
+
+TEST(DeficitRoundRobin, ExplicitQuantumStartsAffordableJobsImmediately) {
+  // A quantum covering every job's cost reduces DRR to round-robin:
+  // user 1's job takes the first post-reservation slot (t=200), exactly
+  // like UserRoundRobin on the same trace.
+  DeficitRoundRobin drr(/*quantum=*/1e9);
+  const auto jobs = by_id(run_policy(4, flood_trace(), drr));
+  EXPECT_DOUBLE_EQ(jobs.at(4).start, 200.0);
+  EXPECT_EQ(jobs.size(), 5u);
+}
+
+/// flood_trace() plus a second user-1 job: enough backlog on both sides
+/// for the virtual clock (not just the first turn) to matter.
+Trace two_user_flood() {
+  Trace trace = flood_trace();
+  trace.push_back(user_job(5, 0.011, 4, 100.0, 1));
+  return trace;
+}
+
+TEST(WeightedFairQueuing, EqualWeightsInterleaveUsers) {
+  WeightedFairQueuing wfq;
+  const auto jobs = by_id(run_policy(4, two_user_flood(), wfq));
+  // Job 1 holds the committed reservation, then service alternates by
+  // finish tag: u1 (t=200), u0 (t=300), u1 (t=400), u0 (t=500) — FCFS
+  // would hold both user-1 jobs to the very end (t=400, t=500).
+  EXPECT_DOUBLE_EQ(jobs.at(4).start, 200.0);
+  EXPECT_DOUBLE_EQ(jobs.at(5).start, 400.0);
+  EXPECT_EQ(jobs.size(), 6u);
+}
+
+TEST(WeightedFairQueuing, LargerWeightGetsServedSooner) {
+  // Same two-user flood, but user 1 carries weight 4: its finish tags
+  // advance 4× more slowly, so its second job is served back-to-back at
+  // t=300 instead of alternating to t=400.
+  WeightedFairQueuing wfq({{1, 4.0}});
+  const auto jobs = by_id(run_policy(4, two_user_flood(), wfq));
+  EXPECT_DOUBLE_EQ(jobs.at(4).start, 200.0);
+  EXPECT_DOUBLE_EQ(jobs.at(5).start, 300.0);
+}
+
+TEST(FairShare, AllPoliciesBeatFcfsOnSlowdownFairness) {
+  // Skewed contention: the flood user monopolises an FCFS machine, so
+  // any fair-share policy must raise the slowdown-fairness index.
+  Trace trace;
+  for (int i = 0; i < 8; ++i)
+    trace.push_back(user_job(i, 0.0 + i * 0.001, 4, 100.0, 0));
+  trace.push_back(user_job(8, 0.01, 4, 100.0, 1));
+  trace.push_back(user_job(9, 0.02, 4, 100.0, 2));
+
+  const auto jain = [&](sim::Scheduler& policy) {
+    return metrics::fairness_summary(run_policy(4, trace, policy).jobs)
+        .jain_slowdown;
+  };
+  FcfsEasy fcfs;
+  UserRoundRobin rr;
+  DeficitRoundRobin drr;
+  WeightedFairQueuing wfq;
+  const double fcfs_jain = jain(fcfs);
+  EXPECT_GT(jain(rr), fcfs_jain);
+  EXPECT_GT(jain(drr), fcfs_jain);
+  EXPECT_GT(jain(wfq), fcfs_jain);
+}
+
+TEST(FairShare, DeterministicAcrossRuns) {
+  const Trace trace = flood_trace();
+  UserRoundRobin rr_a, rr_b;
+  DeficitRoundRobin drr_a, drr_b;
+  WeightedFairQueuing wfq_a, wfq_b;
+  const std::pair<sim::Scheduler*, sim::Scheduler*> pairs[] = {
+      {&rr_a, &rr_b}, {&drr_a, &drr_b}, {&wfq_a, &wfq_b}};
+  for (const auto& [a, b] : pairs) {
+    const auto run_a = run_policy(4, trace, *a);
+    const auto run_b = run_policy(4, trace, *b);
+    ASSERT_EQ(run_a.jobs.size(), run_b.jobs.size());
+    for (std::size_t i = 0; i < run_a.jobs.size(); ++i) {
+      EXPECT_EQ(run_a.jobs[i].id, run_b.jobs[i].id);
+      EXPECT_DOUBLE_EQ(run_a.jobs[i].start, run_b.jobs[i].start);
+    }
+  }
+}
+
+TEST(FairShare, CloneProducesIdenticalPolicy) {
+  // Clones run in isolation (exec::ParallelEvaluator) and must behave
+  // identically to the original; begin_episode() resets rotation state
+  // on both sides.
+  UserRoundRobin original;
+  const Trace trace = flood_trace();
+  (void)run_policy(4, trace, original);  // advances the cursor
+  auto clone = original.clone();
+  ASSERT_NE(clone, nullptr);
+  const auto run_a = run_policy(4, trace, original);
+  const auto run_b = run_policy(4, trace, *clone);
+  ASSERT_EQ(run_a.jobs.size(), run_b.jobs.size());
+  for (std::size_t i = 0; i < run_a.jobs.size(); ++i)
+    EXPECT_DOUBLE_EQ(run_a.jobs[i].start, run_b.jobs[i].start);
+}
+
+TEST(FairShare, AnonymousTraceDegradesToFcfsOrder) {
+  // Without user ids every job pools under the unknown sentinel, so all
+  // three policies serve arrival order — same starts as FCFS.
+  Trace trace;
+  for (int i = 0; i < 4; ++i)
+    trace.push_back(make_job(i, 0.0 + i, 2, 50.0 + 10.0 * i));
+  FcfsEasy fcfs;
+  const auto base = by_id(run_policy(4, trace, fcfs));
+  UserRoundRobin rr;
+  DeficitRoundRobin drr;
+  WeightedFairQueuing wfq;
+  for (sim::Scheduler* policy :
+       std::initializer_list<sim::Scheduler*>{&rr, &drr, &wfq}) {
+    const auto jobs = by_id(run_policy(4, trace, *policy));
+    for (const auto& [id, rec] : base)
+      EXPECT_DOUBLE_EQ(jobs.at(id).start, rec.start)
+          << policy->name() << " job " << id;
+  }
+}
+
+TEST(FairShare, NamesAreStable) {
+  EXPECT_EQ(UserRoundRobin().name(), "User-RR");
+  EXPECT_EQ(DeficitRoundRobin().name(), "DRR");
+  EXPECT_EQ(WeightedFairQueuing().name(), "WFQ");
+}
+
+}  // namespace
+}  // namespace dras::sched

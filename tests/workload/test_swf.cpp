@@ -276,6 +276,92 @@ TEST(SwfHardened, OutOfRangeCountsOnDuplicateIdLineReportRangeFirst) {
   EXPECT_DOUBLE_EQ(result.trace[1].submit_time, 5.0);
 }
 
+// ---------------------------------------------------------------------------
+// Identity fields (user / group / executable, SWF fields 12-14)
+// ---------------------------------------------------------------------------
+
+TEST(SwfIdentity, ParsesUserAndGroupFields) {
+  std::stringstream in(
+      "1 0 -1 100 4 -1 -1 4 200 -1 1 17 3 9 -1 -1 -1 -1\n");
+  const auto result = parse_swf(in);
+  ASSERT_EQ(result.trace.size(), 1u);
+  EXPECT_EQ(result.trace[0].user_id, 17);
+  EXPECT_EQ(result.trace[0].project_id, 3);
+  EXPECT_EQ(result.identity_defaulted, 0u);
+}
+
+TEST(SwfIdentity, MinusOneIsAValidUnknownEvenInStrictMode) {
+  // -1 is the SWF convention for "unknown", not a malformed value.
+  std::stringstream in{std::string(kGoodLine)};
+  SwfParseOptions strict;
+  strict.strict = true;
+  const auto result = parse_swf(in, strict);
+  ASSERT_EQ(result.trace.size(), 1u);
+  EXPECT_EQ(result.trace[0].user_id, sim::kUnknownUser);
+  EXPECT_EQ(result.trace[0].project_id, sim::kUnknownUser);
+  EXPECT_EQ(result.identity_defaulted, 0u);
+}
+
+TEST(SwfIdentity, LenientModeKeepsJobAndDefaultsBadIdentity) {
+  // A negative (non -1) user id is invalid, but the job itself is fine:
+  // lenient mode keeps it with the unknown sentinel and records a
+  // file:line issue.
+  std::stringstream in(
+      "1 0 -1 100 4 -1 -1 4 200 -1 1 -7 2.5 -1 -1 -1 -1 -1\n");
+  const auto result = parse_swf(in);
+  ASSERT_EQ(result.trace.size(), 1u);
+  EXPECT_EQ(result.trace[0].user_id, sim::kUnknownUser);
+  EXPECT_EQ(result.trace[0].project_id, sim::kUnknownUser);
+  EXPECT_EQ(result.identity_defaulted, 2u);
+  EXPECT_EQ(result.lines_malformed, 0u);
+  ASSERT_EQ(result.issues.size(), 2u);
+  EXPECT_NE(result.issues[0].message.find("user"), std::string::npos);
+  EXPECT_NE(result.issues[1].message.find("group"), std::string::npos);
+}
+
+TEST(SwfIdentity, StrictModeThrowsOnBadIdentityWithFileAndLine) {
+  std::stringstream in(
+      "1 0 -1 100 4 -1 -1 4 200 -1 1 -7 -1 -1 -1 -1 -1 -1\n");
+  SwfParseOptions options;
+  options.strict = true;
+  options.filename = "ids.swf";
+  try {
+    (void)parse_swf(in, options);
+    FAIL() << "expected util::ParseError";
+  } catch (const util::ParseError& e) {
+    EXPECT_EQ(e.file(), "ids.swf");
+    EXPECT_EQ(e.line(), 1u);
+    EXPECT_NE(std::string(e.what()).find("user"), std::string::npos);
+  }
+}
+
+TEST(SwfIdentity, BadExecutableFieldIsValidatedToo) {
+  std::stringstream in(
+      "1 0 -1 100 4 -1 -1 4 200 -1 1 -1 -1 3.7 -1 -1 -1 -1\n");
+  const auto result = parse_swf(in);
+  ASSERT_EQ(result.trace.size(), 1u);
+  EXPECT_EQ(result.identity_defaulted, 1u);
+  ASSERT_EQ(result.issues.size(), 1u);
+  EXPECT_NE(result.issues[0].message.find("executable"), std::string::npos);
+}
+
+TEST(SwfIdentity, WriterRoundTripsUserAndProject) {
+  auto job = make_job(1, 100, 64, 3600, 7200);
+  job.user_id = 42;
+  job.project_id = 7;
+  auto anon = make_job(2, 200, 16, 600, 1200);  // stays -1/-1
+  std::stringstream buffer;
+  write_swf(buffer, {job, anon});
+  SwfParseOptions strict;
+  strict.strict = true;
+  const auto result = parse_swf(buffer, strict);
+  ASSERT_EQ(result.trace.size(), 2u);
+  EXPECT_EQ(result.trace[0].user_id, 42);
+  EXPECT_EQ(result.trace[0].project_id, 7);
+  EXPECT_EQ(result.trace[1].user_id, sim::kUnknownUser);
+  EXPECT_EQ(result.trace[1].project_id, sim::kUnknownUser);
+}
+
 TEST(SwfHardened, ZeroJobFileParsesToEmptyTraceWithZeroCounters) {
   std::stringstream in(
       "; UNIX workload archive header\n"

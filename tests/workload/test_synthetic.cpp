@@ -129,6 +129,156 @@ TEST(Synthetic, InvalidModelThrows) {
                std::invalid_argument);
 }
 
+// ---------------------------------------------------------------------------
+// Multi-tenant user mix (with_users)
+// ---------------------------------------------------------------------------
+
+// Golden pin: the user-mix feature must leave the legacy generator
+// byte-identical when disabled.  These values were captured from the
+// generator before user support existed; any drift is a regression.
+struct GoldenJob {
+  sim::JobId id;
+  double submit;
+  int size;
+  double estimate;
+  double actual;
+  int priority;
+};
+
+TEST(SyntheticUsers, DisabledUserMixKeepsLegacyBytesThetaMini) {
+  const GoldenJob golden[] = {
+      {0, 5909.7332508150903, 128, 86400, 79521.132860051206, 0},
+      {1, 15609.343577973874, 256, 3021.6373356097424, 1063.8280457348828, 0},
+      {2, 20086.69323110312, 64, 53077.448892668668, 24392.551437428894, 0},
+      {3, 23398.602617772813, 8, 42757.938103618355, 25133.838878410646, 0},
+      {4, 24746.73674350607, 128, 86400, 79698.013371406589, 0},
+      {5, 25153.486376384135, 8, 5075.6718575972282, 2037.6366714447329, 0},
+      {6, 28291.308394414049, 16, 41716.14087528261, 22032.930050369505, 0},
+      {7, 33409.599451033282, 16, 6416.2456381772618, 3602.6982310408921, 1},
+      {8, 36359.623276294013, 8, 4691.8079099643028, 2749.6782198676374, 0},
+      {9, 37082.26542125547, 256, 2299.972971719249, 803.6779156863729, 0},
+      {10, 40367.504276188163, 16, 39771.894797761997, 14474.999438179146, 0},
+      {11, 43963.704758873246, 8, 27164.358647750123, 22530.437375325699, 0},
+  };
+  const auto trace = generate_trace(theta_mini_workload(), options(12, 42));
+  ASSERT_EQ(trace.size(), 12u);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(trace[i].id, golden[i].id);
+    EXPECT_EQ(trace[i].submit_time, golden[i].submit);
+    EXPECT_EQ(trace[i].size, golden[i].size);
+    EXPECT_EQ(trace[i].runtime_estimate, golden[i].estimate);
+    EXPECT_EQ(trace[i].runtime_actual, golden[i].actual);
+    EXPECT_EQ(trace[i].priority, golden[i].priority);
+    EXPECT_EQ(trace[i].user_id, sim::kUnknownUser);
+    EXPECT_EQ(trace[i].project_id, sim::kUnknownUser);
+  }
+}
+
+TEST(SyntheticUsers, DisabledUserMixKeepsLegacyBytesCoriMini) {
+  const GoldenJob golden[] = {
+      {0, 4000.1296941114724, 8, 2463.3585641638228, 681.44816286933246, 0},
+      {1, 4040.9361145627167, 1, 77032.544957940248, 67488.138828366747, 0},
+      {2, 7154.3430743091458, 1, 172800, 119446.41427099128, 0},
+      {3, 14218.656040718721, 16, 26727.421897558146, 7150.3594542394685, 0},
+      {4, 15345.93699588378, 2, 2350.2499268232655, 659.84192708950809, 0},
+      {5, 18353.68939054355, 32, 106655.62705775561, 56398.509205140166, 0},
+      {6, 19168.396904826954, 4, 134968.87707294902, 78879.529581991694, 0},
+      {7, 22381.897296878524, 1, 172800, 133724.08483807693, 0},
+      {8, 22493.744126839996, 4, 4670.9733382185832, 1737.8743765355637, 0},
+      {9, 23067.877008861215, 8, 12300.615728017905, 6077.3149558858086, 0},
+      {10, 23256.638961748769, 1, 29053.159533753289, 10383.444670827324, 0},
+      {11, 24617.925740497703, 4, 172800, 107428.26663829185, 0},
+  };
+  const auto trace = generate_trace(cori_mini_workload(), options(12, 42));
+  ASSERT_EQ(trace.size(), 12u);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(trace[i].submit_time, golden[i].submit);
+    EXPECT_EQ(trace[i].size, golden[i].size);
+    EXPECT_EQ(trace[i].runtime_estimate, golden[i].estimate);
+    EXPECT_EQ(trace[i].runtime_actual, golden[i].actual);
+    EXPECT_EQ(trace[i].user_id, sim::kUnknownUser);
+  }
+}
+
+TEST(SyntheticUsers, UserMixLeavesSchedulingFieldsUntouched) {
+  // The user draw rides a separate derived RNG stream: enabling it must
+  // not perturb arrivals, sizes, runtimes or priorities.
+  const auto base = generate_trace(theta_mini_workload(), options(300, 21));
+  const auto tagged = generate_trace(
+      theta_mini_workload().with_users(8, 1.2), options(300, 21));
+  ASSERT_EQ(base.size(), tagged.size());
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_EQ(base[i].submit_time, tagged[i].submit_time);
+    EXPECT_EQ(base[i].size, tagged[i].size);
+    EXPECT_EQ(base[i].runtime_estimate, tagged[i].runtime_estimate);
+    EXPECT_EQ(base[i].runtime_actual, tagged[i].runtime_actual);
+    EXPECT_EQ(base[i].priority, tagged[i].priority);
+  }
+}
+
+TEST(SyntheticUsers, UserAssignmentIsDeterministic) {
+  const auto model = theta_mini_workload().with_users(6);
+  const auto a = generate_trace(model, options(200, 33));
+  const auto b = generate_trace(model, options(200, 33));
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].user_id, b[i].user_id);
+    EXPECT_EQ(a[i].project_id, b[i].project_id);
+  }
+}
+
+TEST(SyntheticUsers, ZipfMixSkewsTowardLowUserIds) {
+  const auto trace = generate_trace(
+      theta_mini_workload().with_users(10, 1.5), options(5000, 17));
+  std::map<int, int> counts;
+  for (const auto& job : trace) {
+    ASSERT_GE(job.user_id, 0);
+    ASSERT_LT(job.user_id, 10);
+    ++counts[job.user_id];
+  }
+  // User 0 dominates user 9 under a 1.5-exponent Zipf (expected ratio
+  // 10^1.5 ≈ 31×; demand only > with generous slack).
+  EXPECT_GT(counts[0], 5 * std::max(counts[9], 1));
+}
+
+TEST(SyntheticUsers, UniformMixCoversAllUsers) {
+  const auto trace = generate_trace(
+      theta_mini_workload().with_users(5, 0.0), options(2000, 18));
+  std::set<int> seen;
+  for (const auto& job : trace) seen.insert(job.user_id);
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(SyntheticUsers, ProjectsDeriveFromUsers) {
+  // Default project count = ceil(users / 4); project id = user % projects.
+  const auto trace = generate_trace(
+      theta_mini_workload().with_users(8), options(500, 19));
+  for (const auto& job : trace) {
+    ASSERT_GE(job.project_id, 0);
+    ASSERT_LT(job.project_id, 2);
+    EXPECT_EQ(job.project_id, job.user_id % 2);
+  }
+}
+
+TEST(SyntheticUsers, ExplicitProjectCountWins) {
+  const auto trace = generate_trace(
+      theta_mini_workload().with_users(6, 1.0, 3), options(500, 20));
+  for (const auto& job : trace) {
+    ASSERT_GE(job.project_id, 0);
+    ASSERT_LT(job.project_id, 3);
+  }
+}
+
+TEST(SyntheticUsers, InvalidUserConfigThrows) {
+  WorkloadModel bad = theta_mini_workload();
+  bad.user_count = -1;
+  EXPECT_THROW((void)generate_trace(bad, options(10, 1)),
+               std::invalid_argument);
+  WorkloadModel orphan_projects = theta_mini_workload();
+  orphan_projects.project_count = 3;  // projects without users
+  EXPECT_THROW((void)generate_trace(orphan_projects, options(10, 1)),
+               std::invalid_argument);
+}
+
 TEST(SampledJobset, DrawsFromSourceDistribution) {
   const auto source =
       generate_trace(theta_mini_workload(), options(500, 10));

@@ -9,7 +9,7 @@
 //   dras_sim --policy fcfs --model theta-mini --depth 4   # conservative
 //
 // Policies: fcfs, binpacking, random, optimization, decima-pg, sjf, ljf,
-//           wfp3, f1, dras-pg, dras-dql
+//           wfp3, f1, user-rr, drr, wfq, dras-pg, dras-dql
 // Models:   theta, cori, theta-mini, cori-mini
 #include <cstdio>
 #include <cstdlib>
@@ -24,6 +24,7 @@
 #include "exec/async_writer.h"
 #include "exec/parallel_evaluator.h"
 #include "exec/parallel_runner.h"
+#include "metrics/fairness.h"
 #include "metrics/report.h"
 #include "nn/serialize.h"
 #include "obs/metrics.h"
@@ -35,6 +36,7 @@
 #include "rollout/rollout_pool.h"
 #include "sched/bin_packing.h"
 #include "sched/decima_pg.h"
+#include "sched/fair_share.h"
 #include "sched/fcfs_easy.h"
 #include "sched/knapsack_opt.h"
 #include "sched/priority_sched.h"
@@ -63,6 +65,7 @@ int usage(const std::string& error = {}) {
       "usage: dras_sim [options]\n"
       "  --policy P          fcfs | binpacking | random | optimization |\n"
       "                      decima-pg | sjf | ljf | wfp3 | f1 |\n"
+      "                      user-rr | drr | wfq |\n"
       "                      dras-pg | dras-dql            (default fcfs)\n"
       "  --model M           theta | cori | theta-mini | cori-mini\n"
       "                                               (default theta-mini)\n"
@@ -97,6 +100,24 @@ int usage(const std::string& error = {}) {
       "                      DRAS agent's state encoding; changes the\n"
       "                      model/checkpoint fingerprint, so off by\n"
       "                      default\n"
+      "  --users N           multi-tenant synthetic traces: tag jobs with\n"
+      "                      N users under a Zipf popularity mix (default\n"
+      "                      0 = anonymous, byte-identical legacy traces;\n"
+      "                      the user draw rides a separate RNG stream so\n"
+      "                      arrivals/sizes/runtimes never change)\n"
+      "  --user-zipf S       Zipf exponent of the user mix (default 1.0;\n"
+      "                      0 = uniform)\n"
+      "  --projects N        project/allocation count (default: one per 4\n"
+      "                      users)\n"
+      "  --fairness-weight X add X * (1 - user_share) to the DRAS step\n"
+      "                      reward — favours users holding a small\n"
+      "                      decayed share of the machine (default 0,\n"
+      "                      byte-identical off; changes the checkpoint\n"
+      "                      fingerprint when set)\n"
+      "  --fairness-features append the fair-share rows (candidate user\n"
+      "                      shares, queue user diversity) to the DRAS\n"
+      "                      state encoding; fingerprint discipline as\n"
+      "                      --failure-features\n"
       "  --exec-jobs N       worker threads for the evaluation grid\n"
       "                      (0 = hardware concurrency; default 1; output\n"
       "                      is identical for every N; --jobs is taken by\n"
@@ -207,7 +228,7 @@ int main(int argc, char** argv) {
         argc, argv,
         {"csv", "verbose", "help", "profile", "resume", "swf-strict",
          "guard", "checkpoint-async", "guard-adaptive",
-         "failure-features"});
+         "failure-features", "fairness-features"});
     if (args.flag("help")) return usage();
     const bool csv_output = args.flag("csv");
     if (args.flag("verbose"))
@@ -287,7 +308,15 @@ int main(int argc, char** argv) {
       return true;
     };
 
-    const auto setup = pick_model(args.get("model", "theta-mini"));
+    auto setup = pick_model(args.get("model", "theta-mini"));
+    // Multi-tenant mode: tag synthetic jobs (main trace AND training
+    // episodes) with a Zipf user mix.  The user draw rides a separate
+    // derived RNG stream, so --users 0 (the default) is byte-identical.
+    if (args.has("users"))
+      setup.model = setup.model.with_users(
+          static_cast<int>(args.get_int("users", 0)),
+          args.get_double("user-zipf", 1.0),
+          static_cast<int>(args.get_int("projects", 0)));
     const auto policy_name = args.get("policy", "fcfs");
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
     const int depth = static_cast<int>(args.get_int("depth", 1));
@@ -432,6 +461,19 @@ int main(int argc, char** argv) {
             fault_config.ckpt_interval, fault_config.ckpt_seconds_per_node,
             fault_config.io_bandwidth,
             args.flag("failure-features") ? 1 : 0);
+      }
+      if (args.has("users") || args.flag("fairness-features") ||
+          args.get_double("fairness-weight", 0.0) != 0.0) {
+        // Same discipline as the fault block: appended only when the
+        // multi-tenant machinery is on, so anonymous runs keep their
+        // historical fingerprints.
+        canonical += format(
+            ";users={};user_zipf={};projects={};fairness_weight={};"
+            "fairness_features={}",
+            setup.model.user_count, setup.model.user_zipf_exponent,
+            setup.model.project_count,
+            args.get_double("fairness-weight", 0.0),
+            args.flag("fairness-features") ? 1 : 0);
       }
       char fingerprint[16];
       std::snprintf(fingerprint, sizeof(fingerprint), "%08x",
@@ -622,6 +664,12 @@ int main(int argc, char** argv) {
     } else if (policy_name == "f1") {
       owned = std::make_unique<dras::sched::PriorityScheduler>(
           dras::sched::make_f1());
+    } else if (policy_name == "user-rr") {
+      owned = std::make_unique<dras::sched::UserRoundRobin>();
+    } else if (policy_name == "drr") {
+      owned = std::make_unique<dras::sched::DeficitRoundRobin>();
+    } else if (policy_name == "wfq") {
+      owned = std::make_unique<dras::sched::WeightedFairQueuing>();
     } else if (policy_name == "decima-pg") {
       dras::sched::DecimaConfig cfg;
       cfg.total_nodes = nodes;
@@ -657,6 +705,8 @@ int main(int argc, char** argv) {
           seed);
       cfg.total_nodes = nodes;
       cfg.failure_features = args.flag("failure-features");
+      cfg.fairness_features = args.flag("fairness-features");
+      cfg.reward_weights.fairness = args.get_double("fairness-weight", 0.0);
       auto agent = std::make_unique<dras::core::DrasAgent>(cfg);
       train_agent(*agent);
       trained_agent = agent.get();
@@ -703,8 +753,26 @@ int main(int argc, char** argv) {
     const auto& summary = evaluation.summary;
     const double total_reward = evaluation.total_reward;
 
+    // Multi-tenant accounting: computed whenever any completed job
+    // carries a user id (synthetic --users mix or SWF user fields).
+    // Anonymous runs skip the whole block, so their bytes never change.
+    const auto fairness = dras::metrics::fairness_summary(result.jobs);
+    const bool multi_tenant =
+        fairness.users > 1 ||
+        (fairness.users == 1 &&
+         fairness.per_user.front().user_id != dras::sim::kUnknownUser);
+
     // Telemetry epilogue: finalize the trace document and dump metrics
     // (both through atomic writers — see flush_telemetry above).
+    if (run_recorder && multi_tenant) {
+      run_recorder->set_stat("fairness_jain", fairness.jain_service);
+      run_recorder->set_stat("fairness_jain_slowdown",
+                             fairness.jain_slowdown);
+      run_recorder->set_stat("fairness_users",
+                             static_cast<double>(fairness.users));
+      run_recorder->set_stat("max_user_slowdown",
+                             fairness.max_user_slowdown);
+    }
     if (run_recorder) run_recorder->set_final_score(total_reward);
     if (!flush_telemetry()) return 2;
     if (run_recorder) run_recorder->finish(0);
@@ -721,21 +789,44 @@ int main(int argc, char** argv) {
                           summary.avg_slowdown, summary.avg_response,
                           summary.utilization, total_reward);
     } else {
-      dras::metrics::print_table(
-          std::cout, {"metric", "value"},
-          {{"policy", std::string(owned->name())},
-           {"machine", format("{} nodes, reservation depth {}", nodes, depth)},
-           {"jobs completed", format("{}", summary.jobs)},
-           {"jobs unfinished", format("{}", result.unfinished_jobs)},
-           {"avg wait", dras::metrics::format_duration(summary.avg_wait)},
-           {"p90 wait", dras::metrics::format_duration(summary.p90_wait)},
-           {"max wait", dras::metrics::format_duration(summary.max_wait)},
-           {"avg slowdown", format("{:.2f}", summary.avg_slowdown)},
-           {"avg response",
-            dras::metrics::format_duration(summary.avg_response)},
-           {"utilization",
-            format("{:.1f}%", 100.0 * summary.utilization)},
-           {"total reward", format("{:.2f}", total_reward)}});
+      std::vector<std::vector<std::string>> rows = {
+          {"policy", std::string(owned->name())},
+          {"machine", format("{} nodes, reservation depth {}", nodes, depth)},
+          {"jobs completed", format("{}", summary.jobs)},
+          {"jobs unfinished", format("{}", result.unfinished_jobs)},
+          {"avg wait", dras::metrics::format_duration(summary.avg_wait)},
+          {"p90 wait", dras::metrics::format_duration(summary.p90_wait)},
+          {"max wait", dras::metrics::format_duration(summary.max_wait)},
+          {"avg slowdown", format("{:.2f}", summary.avg_slowdown)},
+          {"avg response",
+           dras::metrics::format_duration(summary.avg_response)},
+          {"utilization", format("{:.1f}%", 100.0 * summary.utilization)},
+          {"total reward", format("{:.2f}", total_reward)}};
+      if (multi_tenant) {
+        rows.push_back({"users", format("{}", fairness.users)});
+        rows.push_back(
+            {"jain (service)", format("{:.4f}", fairness.jain_service)});
+        rows.push_back(
+            {"jain (slowdown)", format("{:.4f}", fairness.jain_slowdown)});
+        rows.push_back({"max user slowdown",
+                        format("{:.2f}", fairness.max_user_slowdown)});
+      }
+      dras::metrics::print_table(std::cout, {"metric", "value"}, rows);
+      if (multi_tenant) {
+        std::vector<std::vector<std::string>> per_user;
+        per_user.reserve(fairness.per_user.size());
+        for (const auto& stat : fairness.per_user)
+          per_user.push_back(
+              {stat.user_id == dras::sim::kUnknownUser
+                   ? std::string("(unknown)")
+                   : format("user {}", stat.user_id),
+               format("{} jobs, avg wait {}, avg slowdown {:.2f}, "
+                      "{:.0f} node-s",
+                      stat.jobs,
+                      dras::metrics::format_duration(stat.avg_wait),
+                      stat.avg_slowdown, stat.node_seconds)});
+        dras::metrics::print_table(std::cout, {"user", "service"}, per_user);
+      }
     }
     return 0;
   } catch (const dras::robust::DivergenceError& e) {
